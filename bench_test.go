@@ -1,0 +1,434 @@
+// Package repro's root benchmark suite regenerates every paper table and
+// figure as a testing.B benchmark (one target per experiment, as indexed in
+// DESIGN.md §4), plus the ablations of DESIGN.md §5. The printed rows for
+// the same experiments come from cmd/benchtables; these benches provide the
+// ns/op views and run under `go test -bench=.`.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/hwmodel"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+	"repro/internal/svm/reference"
+)
+
+const benchSeed = 1
+
+// smsvBench runs b.N SMSV products on the matrix built from bl in format f.
+func smsvBench(b *testing.B, bl *sparse.Builder, f sparse.Format) {
+	b.Helper()
+	m, err := bl.Build(f)
+	if err != nil {
+		b.Skipf("format %v: %v", f, err)
+	}
+	rows, cols := m.Dims()
+	xs := bench.SampleRows(m, 1, benchSeed)
+	dst := make([]float64, rows)
+	scratch := make([]float64, cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecSparse(dst, xs[0], scratch, 1, sparse.SchedStatic)
+	}
+}
+
+// BenchmarkFig1FormatComparison is the Figure 1 / Table III experiment:
+// SMSV time per format on the five figure datasets.
+func BenchmarkFig1FormatComparison(b *testing.B) {
+	for _, name := range dataset.Figure1Names {
+		d, err := dataset.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl := d.MustGenerate(benchSeed)
+		for _, f := range sparse.BasicFormats {
+			b.Run(fmt.Sprintf("%s/%v", name, f), func(b *testing.B) {
+				smsvBench(b, bl, f)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2DIADiagonals is the Figure 2 sweep: DIA SMSV cost vs the
+// number of occupied diagonals at fixed size and nnz.
+func BenchmarkFig2DIADiagonals(b *testing.B) {
+	const n = 2048
+	for ndig := 2; ndig <= n; ndig *= 8 {
+		rng := rand.New(rand.NewSource(benchSeed))
+		bl, err := dataset.Banded(n, n, ndig, n, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ndig=%d", ndig), func(b *testing.B) {
+			smsvBench(b, bl, sparse.DIA)
+		})
+	}
+}
+
+// BenchmarkFig3ELLMdim is the Figure 3 sweep: ELL SMSV cost vs mdim at
+// fixed size and nnz.
+func BenchmarkFig3ELLMdim(b *testing.B) {
+	const n = 2048
+	for mdim := 2; mdim <= n; mdim *= 8 {
+		rng := rand.New(rand.NewSource(benchSeed))
+		bl, err := dataset.SkewRows(n, n, 2*n, mdim, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("mdim=%d", mdim), func(b *testing.B) {
+			smsvBench(b, bl, sparse.ELL)
+		})
+	}
+}
+
+// BenchmarkFig4COOvsCSR is the Figure 4 experiment: CSR vs COO SMSV cost
+// as row-length variance grows (see also the simulated-parallel
+// critical-path comparison in cmd/benchtables -exp fig4).
+func BenchmarkFig4COOvsCSR(b *testing.B) {
+	m, n, adim := 400, 16000, 160.0
+	for _, vdim := range []float64{0, 16000, 256000} {
+		rng := rand.New(rand.NewSource(benchSeed))
+		bl, err := dataset.VdimFamily(m, n, adim, vdim, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range []sparse.Format{sparse.CSR, sparse.COO} {
+			b.Run(fmt.Sprintf("vdim=%.0f/%v", vdim, f), func(b *testing.B) {
+				smsvBench(b, bl, f)
+			})
+		}
+	}
+}
+
+// BenchmarkTable6Adaptive is the Table VI experiment: the full scheduling
+// decision (feature extraction + hybrid measurement) per dataset.
+func BenchmarkTable6Adaptive(b *testing.B) {
+	for _, name := range dataset.Table6Names {
+		d, err := dataset.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl := d.MustGenerate(benchSeed)
+		b.Run(name, func(b *testing.B) {
+			sched := core.New(core.Config{Policy: core.Hybrid, Workers: 1, Seed: benchSeed})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Choose(bl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7VsReference is the Figure 7 experiment: SMO training time,
+// LIBSVM-style fixed-CSR baseline vs the adaptive solver, capped at a
+// fixed iteration budget so both run the identical optimization prefix.
+func BenchmarkFig7VsReference(b *testing.B) {
+	const iters = 100
+	for _, name := range []string{"adult", "mnist", "trefethen"} {
+		d, err := dataset.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl := d.MustGenerate(benchSeed)
+		rng := rand.New(rand.NewSource(benchSeed))
+		y := dataset.PlantedLabels(bl.MustBuild(sparse.CSR), 0.02, rng)
+		b.Run(name+"/reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := reference.Train(bl, y, reference.Config{
+					C: 1, MaxIter: iters, Kernel: svm.KernelParams{Type: svm.Linear}, Workers: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/adaptive", func(b *testing.B) {
+			sched := core.New(core.Config{Policy: core.Hybrid, Workers: 1, Seed: benchSeed})
+			for i := 0; i < b.N; i++ {
+				if _, err := svm.TrainAdaptive(bl, y, sched, svm.Config{
+					C: 1, MaxIter: iters, Kernel: svm.KernelParams{Type: svm.Linear}, Workers: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable7Model is the Table VII / Figures 5–6 experiment: the
+// calibrated platform + convergence model evaluation.
+func BenchmarkTable7Model(b *testing.B) {
+	c := hwmodel.CIFAR10()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hwmodel.TableVII(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuningPipeline measures the §IV batch→lr→momentum grid search
+// on the modeled DGX.
+func BenchmarkTuningPipeline(b *testing.B) {
+	c := hwmodel.CIFAR10()
+	for i := 0; i < b.N; i++ {
+		if _, err := hwmodel.AutoTune(c, hwmodel.DGX); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveDNNStep measures one real forward+backward+update step of
+// the pure-Go convnet at the live-experiment geometry.
+func BenchmarkLiveDNNStep(b *testing.B) {
+	d, err := dnn.SyntheticCIFAR(6, 1, 8, 8, 256, 64, 2.2, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, 1, benchSeed)
+	opt := dnn.NewSGD(net, 0.01, 0.9)
+	idx := make([]int, 32)
+	for i := range idx {
+		idx[i] = i
+	}
+	x, y := d.Batch(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainStep(x, y)
+		opt.Step()
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationPolicy compares the cost of the three decision policies
+// on the same dataset: the rule-based path is pure arithmetic, empirical
+// builds and measures all five formats, hybrid only the model's top-2.
+func BenchmarkAblationPolicy(b *testing.B) {
+	d, err := dataset.ByName("aloi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	for _, pol := range []core.Policy{core.RuleBased, core.Empirical, core.Hybrid} {
+		b.Run(pol.String(), func(b *testing.B) {
+			sched := core.New(core.Config{Policy: pol, Workers: 1, Seed: benchSeed})
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Choose(bl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChunking compares static vs guided scheduling of the
+// CSR kernel on a skewed matrix.
+func BenchmarkAblationChunking(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeed))
+	bl, err := dataset.VdimFamily(2000, 4000, 40, 20000, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := bl.MustBuild(sparse.CSR)
+	rows, cols := m.Dims()
+	xs := bench.SampleRows(m, 1, benchSeed)
+	dst := make([]float64, rows)
+	scratch := make([]float64, cols)
+	for _, sched := range []sparse.Sched{sparse.SchedStatic, sparse.SchedGuided} {
+		name := "static"
+		if sched == sparse.SchedGuided {
+			name = "guided"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulVecSparse(dst, xs[0], scratch, 0, sched)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFusion compares the fused update+select SMO pass
+// against separate sweeps, at a fixed iteration budget.
+func BenchmarkAblationFusion(b *testing.B) {
+	d, err := dataset.ByName("adult")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	m := bl.MustBuild(sparse.ELL)
+	rng := rand.New(rand.NewSource(benchSeed))
+	y := dataset.PlantedLabels(m, 0.02, rng)
+	for _, unfused := range []bool{false, true} {
+		name := "fused"
+		if unfused {
+			name = "unfused"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svm.Train(m, y, svm.Config{
+					C: 1, MaxIter: 100, Kernel: svm.KernelParams{Type: svm.Linear},
+					Workers: 1, Unfused: unfused,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationELLLayout compares row-major against the classical
+// column-major (slot-major) ELLPACK element order.
+func BenchmarkAblationELLLayout(b *testing.B) {
+	d, err := dataset.ByName("connect-4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	rowMajor := bl.MustBuild(sparse.ELL).(*sparse.ELLMatrix)
+	colMajor := sparse.NewELLColMajor(bl)
+	rows, cols := rowMajor.Dims()
+	xs := bench.SampleRows(rowMajor, 1, benchSeed)
+	dst := make([]float64, rows)
+	scratch := make([]float64, cols)
+	for _, tc := range []struct {
+		name string
+		m    sparse.Matrix
+	}{{"row-major", rowMajor}, {"col-major", colMajor}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc.m.MulVecSparse(dst, xs[0], scratch, 1, sparse.SchedStatic)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSkewFormats compares ELL against its derived remedies
+// (HYB and JDS) on a Figure 3-style skewed matrix: one mdim-length row
+// forces ELL to pad every row, while HYB spills the tail to COO and JDS
+// stores exactly nnz.
+func BenchmarkAblationSkewFormats(b *testing.B) {
+	const n = 2048
+	rng := rand.New(rand.NewSource(benchSeed))
+	bl, err := dataset.SkewRows(n, n, 2*n, 1024, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mats := []struct {
+		name string
+		m    sparse.Matrix
+	}{
+		{"ELL-padded", bl.MustBuild(sparse.ELL)},
+		{"HYB", sparse.NewHYB(bl, 0)},
+		{"JDS", sparse.NewJDS(bl)},
+		{"CSR", bl.MustBuild(sparse.CSR)},
+	}
+	xs := bench.SampleRows(mats[3].m, 1, benchSeed)
+	dst := make([]float64, n)
+	scratch := make([]float64, n)
+	for _, tc := range mats {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc.m.MulVecSparse(dst, xs[0], scratch, 1, sparse.SchedStatic)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCOOMergeVsSMSV compares the LIBSVM-style per-row merge
+// dot (reference baseline) against the scatter/gather SMSV kernel for
+// computing one full kernel row — the key kernel-level difference behind
+// Figure 7.
+func BenchmarkAblationCOOMergeVsSMSV(b *testing.B) {
+	d, err := dataset.ByName("adult")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	m := bl.MustBuild(sparse.CSR).(*sparse.CSRMatrix)
+	rows, cols := m.Dims()
+	x := m.Row(17).Clone()
+	dst := make([]float64, rows)
+	scratch := make([]float64, cols)
+	b.Run("merge-dot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				dst[r] = m.Row(r).Dot(x)
+			}
+		}
+	})
+	b.Run("scatter-smsv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MulVecSparse(dst, x, scratch, 1, sparse.SchedStatic)
+		}
+	})
+}
+
+// BenchmarkAblationPairedSMSV compares SMO's two kernel rows computed as
+// one fused pass over the matrix against two independent SMSVs — fusing
+// halves the matrix traffic (Equation 7's memory bound).
+func BenchmarkAblationPairedSMSV(b *testing.B) {
+	d, err := dataset.ByName("connect-4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	m := bl.MustBuild(sparse.CSR)
+	rows, cols := m.Dims()
+	xs := bench.SampleRows(m, 2, benchSeed)
+	d1 := make([]float64, rows)
+	d2 := make([]float64, rows)
+	s1 := make([]float64, cols)
+	s2 := make([]float64, cols)
+	b.Run("two-passes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MulVecSparse(d1, xs[0], s1, 1, sparse.SchedStatic)
+			m.MulVecSparse(d2, xs[1], s1, 1, sparse.SchedStatic)
+		}
+	})
+	b.Run("fused-pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.PairMulVecSparse(m, d1, d2, xs[0], xs[1], s1, s2, 1, sparse.SchedStatic)
+		}
+	})
+}
+
+// BenchmarkAblationShrinking compares plain SMO against the shrinking
+// variant on an overlapping problem where many variables hit the C bound —
+// the regime shrinking was designed for.
+func BenchmarkAblationShrinking(b *testing.B) {
+	d, err := dataset.ByName("adult")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	m := bl.MustBuild(sparse.CSR)
+	rng := rand.New(rand.NewSource(benchSeed))
+	y := dataset.PlantedLabels(m, 0.08, rng) // noisy: many bound alphas
+	cfg := svm.Config{C: 0.5, Kernel: svm.KernelParams{Type: svm.Linear}, MaxIter: 30000, Workers: 1}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svm.Train(m, y, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shrinking", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svm.TrainShrinking(m, y, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

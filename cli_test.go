@@ -1,0 +1,65 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline exercises the tool family end to end as real processes:
+// datagen writes a LIBSVM file, svmtrain trains on it and saves a model,
+// svmpredict applies the model back and reports accuracy, layoutsched
+// analyzes the same file with a persistent tuning history.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "aloi.libsvm")
+	model := filepath.Join(dir, "aloi.model")
+	hist := filepath.Join(dir, "history.txt")
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		cmd.Dir = "."
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	run("./cmd/datagen", "-dataset", "aloi", "-o", data)
+	if _, err := os.Stat(data); err != nil {
+		t.Fatal(err)
+	}
+	out := run("./cmd/svmtrain", "-file", data, "-model", model, "-maxiter", "2000")
+	if !strings.Contains(out, "Layout decision") || !strings.Contains(out, "Training accuracy") {
+		t.Fatalf("svmtrain output missing sections:\n%s", out)
+	}
+	out = run("./cmd/svmpredict", "-model", model, "-file", data, "-quiet")
+	if !strings.Contains(out, "accuracy:") || !strings.Contains(out, "per-class metrics") {
+		t.Fatalf("svmpredict output missing sections:\n%s", out)
+	}
+	out = run("./cmd/layoutsched", "-file", data, "-history", hist)
+	if !strings.Contains(out, "Decision (hybrid policy)") {
+		t.Fatalf("layoutsched output missing decision:\n%s", out)
+	}
+	// Second run against the history must reuse.
+	out = run("./cmd/layoutsched", "-file", data, "-history", hist)
+	if !strings.Contains(out, "reused from tuning history") {
+		t.Fatalf("layoutsched did not reuse history:\n%s", out)
+	}
+	out = run("./cmd/benchtables", "-exp", "table2,scaling")
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "scaling study") {
+		t.Fatalf("benchtables output missing tables:\n%s", out)
+	}
+	// One example as a smoke test of the public-API path.
+	out = run("./examples/quickstart")
+	if !strings.Contains(out, "decision:") || !strings.Contains(out, "accuracy:") {
+		t.Fatalf("quickstart output missing sections:\n%s", out)
+	}
+}

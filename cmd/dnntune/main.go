@@ -1,0 +1,106 @@
+// Command dnntune runs the paper's §IV deep-learning tuning study:
+//
+//   - "model" mode evaluates the calibrated platform + convergence models,
+//     regenerating Table VII and running the batch → learning-rate →
+//     momentum tuning pipeline on any modeled platform.
+//   - "live" mode trains the real pure-Go convnet on synthetic CIFAR-like
+//     data, demonstrating the same B/η/µ effects on actual SGD runs.
+//
+// Usage:
+//
+//	dnntune -mode model -platform DGX
+//	dnntune -mode live -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/hwmodel"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "model", "model or live")
+		platform  = flag.String("platform", "DGX", "modeled platform: '8 CPUs', KNL, Haswell, GPU, DGX, or a name from -platforms")
+		platforms = flag.String("platforms", "", "JSON file of custom platform definitions (see hwmodel.LoadPlatforms)")
+		workers   = flag.Int("workers", 0, "live-mode training workers")
+		seed      = flag.Int64("seed", 1, "live-mode dataset seed")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "model":
+		t, err := bench.TableVII()
+		if err != nil {
+			fatal(err)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+
+		p, err := resolvePlatform(*platform, *platforms)
+		if err != nil {
+			fatal(err)
+		}
+		reports, err := hwmodel.AutoTune(hwmodel.CIFAR10(), p)
+		if err != nil {
+			fatal(err)
+		}
+		tt := bench.NewTable(fmt.Sprintf("Tuning pipeline on %s", p.Name),
+			"stage", "B", "lr", "mu", "iters", "epochs", "time(s)", "stage speedup")
+		for _, r := range reports {
+			tt.Add(r.Stage, fmt.Sprint(r.Best.B), fmt.Sprintf("%.3f", r.Best.LR),
+				fmt.Sprintf("%.2f", r.Best.Momentum),
+				fmt.Sprintf("%.0f", r.Trials[bestIdx(r)].Iters),
+				fmt.Sprintf("%.0f", hwmodel.Epochs(r.Trials[bestIdx(r)].Iters, r.Best.B)),
+				fmt.Sprintf("%.0f", r.BestTime), fmt.Sprintf("%.2fx", r.SpeedupVsPrev))
+		}
+		tt.Render(os.Stdout)
+	case "live":
+		t, err := bench.LiveDNNTuning(*workers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		t.Render(os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func bestIdx(r hwmodel.TuneReport) int {
+	for i, tr := range r.Trials {
+		if !tr.Diverged && tr.Hyper == r.Best {
+			return i
+		}
+	}
+	return 0
+}
+
+// resolvePlatform finds the named platform among the built-ins and, when a
+// definitions file is given, the custom entries (custom names win).
+func resolvePlatform(name, file string) (hwmodel.Platform, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return hwmodel.Platform{}, err
+		}
+		defer f.Close()
+		custom, err := hwmodel.LoadPlatforms(f)
+		if err != nil {
+			return hwmodel.Platform{}, err
+		}
+		for _, p := range custom {
+			if p.Name == name {
+				return p, nil
+			}
+		}
+	}
+	return hwmodel.ByName(name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnntune:", err)
+	os.Exit(1)
+}

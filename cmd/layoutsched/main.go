@@ -1,0 +1,155 @@
+// Command layoutsched analyzes a machine-learning dataset and recommends a
+// storage format: it extracts the paper's nine Table IV influencing
+// parameters, evaluates the rule-based cost model, optionally
+// micro-benchmarks the candidate formats on the actual data, and prints the
+// decision.
+//
+// Usage:
+//
+//	layoutsched -file data.libsvm            # analyze a LIBSVM-format file
+//	layoutsched -dataset mnist               # analyze a Table V clone
+//	layoutsched -dataset sector -policy rule-based
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "LIBSVM-format dataset file")
+		name     = flag.String("dataset", "", "Table V dataset clone name (adult, aloi, mnist, ...)")
+		policy   = flag.String("policy", "hybrid", "decision policy: rule-based, empirical, hybrid")
+		workers  = flag.Int("workers", 0, "kernel workers (0 = all cores)")
+		seed     = flag.Int64("seed", 1, "clone generation seed")
+		histPath = flag.String("history", "", "incremental-tuning history file: decisions are reused for similar datasets and new ones appended")
+		verbose  = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
+	)
+	flag.Parse()
+
+	b, err := loadMatrix(*file, *name, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pol := map[string]core.Policy{
+		"rule-based": core.RuleBased, "empirical": core.Empirical, "hybrid": core.Hybrid,
+	}
+	p, ok := pol[*policy]
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	var hist *core.History
+	if *histPath != "" {
+		hist, err = loadHistory(*histPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	sched := core.New(core.Config{Policy: p, Workers: *workers, Seed: *seed, History: hist})
+	dec, err := sched.Choose(b)
+	if err != nil {
+		fatal(err)
+	}
+	if hist != nil {
+		if err := saveHistory(*histPath, hist); err != nil {
+			fatal(err)
+		}
+		if dec.Reused {
+			fmt.Println("(decision reused from tuning history)")
+		}
+	}
+
+	fmt.Println("Influencing parameters (Table IV):")
+	fmt.Printf("  %v\n\n", dec.Features)
+	if *verbose {
+		fmt.Println(dataset.Profiled(dec.Matrix).String())
+	}
+	t := bench.NewTable("Rule-based cost model (ascending)", "format", "bytes/SMSV", "weight", "imbalance", "cost")
+	for _, e := range dec.Estimates {
+		t.Add(e.Format.String(), fmt.Sprint(e.Bytes), fmt.Sprintf("%.2f", e.Weight),
+			fmt.Sprintf("%.2f", e.Imbalance), fmt.Sprintf("%.3g", e.Cost))
+	}
+	t.Render(os.Stdout)
+	if len(dec.Measured) > 0 {
+		fmt.Println()
+		mt := bench.NewTable("Measured SMSV times", "format", "time")
+		formats := make([]sparse.Format, 0, len(dec.Measured))
+		for f := range dec.Measured {
+			formats = append(formats, f)
+		}
+		sort.Slice(formats, func(i, j int) bool { return dec.Measured[formats[i]] < dec.Measured[formats[j]] })
+		for _, f := range formats {
+			mt.Add(f.String(), bench.FmtDur(dec.Measured[f]))
+		}
+		mt.Render(os.Stdout)
+	}
+	fmt.Printf("\nDecision (%v policy): store this dataset in %v format.\n", dec.Policy, dec.Chosen)
+}
+
+func loadMatrix(file, name string, seed int64) (*sparse.Builder, error) {
+	switch {
+	case file != "" && name != "":
+		return nil, fmt.Errorf("give either -file or -dataset, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		samples, n, err := dataset.ParseLIBSVM(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(samples) == 0 {
+			return nil, fmt.Errorf("%s: no samples", file)
+		}
+		b, _ := dataset.SamplesToMatrix(samples, n)
+		return b, nil
+	case name != "":
+		d, err := dataset.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(seed)
+	default:
+		return nil, fmt.Errorf("give -file or -dataset (one of: adult, breast_cancer, aloi, gisette, mnist, sector, epsilon, leukemia, connect-4, trefethen, dna)")
+	}
+}
+
+// loadHistory reads an existing history file; a missing file starts empty.
+func loadHistory(path string) (*core.History, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &core.History{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadHistory(f)
+}
+
+func saveHistory(path string, h *core.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layoutsched:", err)
+	os.Exit(1)
+}

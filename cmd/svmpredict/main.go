@@ -1,0 +1,98 @@
+// Command svmpredict loads a model written by svmtrain -model and applies
+// it to a LIBSVM-format file, printing one prediction per line and (when
+// the file carries true ±1 labels) accuracy, per-class precision/recall
+// and the confusion matrix — the svm-predict half of the LIBSVM tool pair.
+//
+// Usage:
+//
+//	svmpredict -model adult.model -file test.libsvm
+//	svmpredict -model adult.model -file test.libsvm -quiet   # metrics only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/svm"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file written by svmtrain -model")
+		filePath  = flag.String("file", "", "LIBSVM-format data file")
+		quiet     = flag.Bool("quiet", false, "suppress per-sample predictions")
+	)
+	flag.Parse()
+	if *modelPath == "" || *filePath == "" {
+		fatal(fmt.Errorf("both -model and -file are required"))
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := svm.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	df, err := os.Open(*filePath)
+	if err != nil {
+		fatal(err)
+	}
+	samples, _, err := dataset.ParseLIBSVM(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("%s: no samples", *filePath))
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	yTrue := make([]float64, 0, len(samples))
+	yPred := make([]float64, 0, len(samples))
+	labeled := true
+	for _, s := range samples {
+		p := model.Predict(s.Features)
+		yPred = append(yPred, p)
+		yTrue = append(yTrue, s.Label)
+		if s.Label != 1 && s.Label != -1 {
+			labeled = false
+		}
+		if !*quiet {
+			fmt.Fprintf(out, "%g\n", p)
+		}
+	}
+	out.Flush()
+
+	if !labeled {
+		fmt.Fprintf(os.Stderr, "svmpredict: file labels are not ±1; skipping metrics\n")
+		return
+	}
+	fmt.Printf("accuracy: %.4f (%d samples, %d SVs)\n",
+		metrics.Accuracy(yTrue, yPred), len(samples), len(model.SVs))
+	cm, err := metrics.Confusion(yTrue, yPred)
+	if err != nil {
+		fatal(err)
+	}
+	t := bench.NewTable("per-class metrics", "class", "precision", "recall", "F1")
+	for _, c := range cm.Classes {
+		t.Add(fmt.Sprintf("%+g", c),
+			fmt.Sprintf("%.4f", cm.Precision(c)),
+			fmt.Sprintf("%.4f", cm.Recall(c)),
+			fmt.Sprintf("%.4f", cm.F1(c)))
+	}
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "svmpredict:", err)
+	os.Exit(1)
+}

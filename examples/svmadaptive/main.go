@@ -1,0 +1,76 @@
+// Svmadaptive reproduces the paper's central SVM claim on one dataset: it
+// trains the same SMO problem with every fixed storage format, with the
+// LIBSVM-style reference, and with the adaptive scheduler, and prints the
+// resulting times side by side (a single-dataset slice of Table VI and
+// Figure 7).
+//
+//	go run ./examples/svmadaptive            # defaults to the sector clone
+//	go run ./examples/svmadaptive mnist
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+	"repro/internal/svm/reference"
+)
+
+func main() {
+	name := "sector"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	d, err := dataset.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := d.MustGenerate(1)
+	rng := rand.New(rand.NewSource(2))
+	y := dataset.PlantedLabels(b.MustBuild(sparse.CSR), 0.02, rng)
+	cfg := svm.Config{C: 1, Kernel: svm.KernelParams{Type: svm.Linear}, MaxIter: 1500}
+
+	t := bench.NewTable(fmt.Sprintf("SMO training on the %s clone (%s)", d.Name, d.Application),
+		"trainer", "iterations", "time", "speedup vs slowest")
+	type run struct {
+		label string
+		nanos int64
+		iters int
+	}
+	var runs []run
+	for _, f := range sparse.BasicFormats {
+		_, stats, err := svm.TrainFixed(b, y, f, cfg)
+		if err != nil {
+			fmt.Printf("  fixed-%v: skipped (%v)\n", f, err)
+			continue
+		}
+		runs = append(runs, run{"fixed-" + f.String(), int64(stats.TotalTime), stats.Iterations})
+	}
+	if _, stats, err := reference.Train(b, y, reference.Config{C: 1, Kernel: cfg.Kernel, MaxIter: cfg.MaxIter}); err == nil {
+		runs = append(runs, run{"reference (LIBSVM-style CSR)", int64(stats.TotalTime), stats.Iterations})
+	}
+	sched := core.New(core.Config{Policy: core.Empirical})
+	res, err := svm.TrainAdaptive(b, y, sched, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, run{"adaptive → " + res.Decision.Chosen.String(), int64(res.Stats.TotalTime), res.Stats.Iterations})
+
+	var slowest int64
+	for _, r := range runs {
+		if r.nanos > slowest {
+			slowest = r.nanos
+		}
+	}
+	for _, r := range runs {
+		t.Add(r.label, fmt.Sprint(r.iters), fmt.Sprintf("%.3gms", float64(r.nanos)/1e6),
+			fmt.Sprintf("%.2fx", float64(slowest)/float64(r.nanos)))
+	}
+	t.Render(os.Stdout)
+}

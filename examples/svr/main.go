@@ -1,0 +1,84 @@
+// Svr demonstrates the regression side of the library (§II-A: "yᵢ ∈ ℝ"):
+// ε-SVR with a Gaussian kernel fits a noisy sine wave on a
+// layout-scheduled matrix, and prints an ASCII plot of truth vs fit.
+//
+//	go run ./examples/svr
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(4))
+	const n = 240
+	b := sparse.NewBuilder(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*6 - 3
+		b.Add(i, 0, x)
+		y[i] = math.Sin(x) + rng.NormFloat64()*0.05
+	}
+
+	sched := core.New(core.Config{Policy: core.Hybrid})
+	res, err := svm.TrainRegressionAdaptive(b, y, sched, svm.RegressionConfig{
+		C: 50, Epsilon: 0.02, Kernel: svm.KernelParams{Type: svm.Gaussian, Gamma: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout: %v   iterations: %d   SVs: %d/%d\n",
+		res.Decision.Chosen, res.Stats.Iterations, len(res.Model.SVs), n)
+
+	// Score on the training grid.
+	preds := make([]float64, n)
+	var v sparse.Vector
+	for i := 0; i < n; i++ {
+		v = res.Decision.Matrix.RowTo(v, i)
+		preds[i] = res.Model.Predict(v)
+	}
+	fmt.Printf("MSE: %.4f   MAE: %.4f   R²: %.4f\n",
+		metrics.MSE(y, preds), metrics.MAE(y, preds), metrics.R2(y, preds))
+
+	// ASCII plot: truth (·) and fit (*) over x in [-3, 3].
+	fmt.Println("\n  x      sin(x) vs fit")
+	for xi := -3.0; xi <= 3.01; xi += 0.4 {
+		pred := res.Model.Predict(sparse.NewVectorDense([]float64{xi}))
+		truth := math.Sin(xi)
+		fmt.Printf("%+5.1f  |%s\n", xi, plotLine(truth, pred))
+	}
+}
+
+// plotLine renders truth (·) and prediction (*) on a [-1.2, 1.2] axis;
+// coinciding points render as (#).
+func plotLine(truth, pred float64) string {
+	const width = 49
+	pos := func(v float64) int {
+		p := int((v + 1.2) / 2.4 * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	line := []byte(strings.Repeat(" ", width))
+	tp, pp := pos(truth), pos(pred)
+	line[tp] = '.'
+	if pp == tp {
+		line[pp] = '#'
+	} else {
+		line[pp] = '*'
+	}
+	return string(line)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderCSV writes the table as CSV (header row first, title omitted),
+// for piping experiment output into plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table with
+// the title as a heading.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+}
+
+// RenderAs dispatches on a format name: "text" (default), "csv",
+// "markdown".
+func (t *Table) RenderAs(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		t.Render(w)
+		return nil
+	case "csv":
+		return t.RenderCSV(w)
+	case "markdown", "md":
+		t.RenderMarkdown(w)
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown render format %q", format)
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	t := NewTable("Demo", "name", "value")
+	t.Add("a|b", "1")
+	t.Add("c", "2")
+	return t
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\na|b,1\nc,2\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	demoTable().RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"## Demo", "| name | value |", "| --- | --- |", "a\\|b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	var buf bytes.Buffer
+	for _, f := range []string{"", "text", "csv", "markdown", "md"} {
+		buf.Reset()
+		if err := demoTable().RenderAs(&buf, f); err != nil {
+			t.Fatalf("%q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%q produced no output", f)
+		}
+	}
+	if err := demoTable().RenderAs(&buf, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// This file simulates P-way parallel execution on hosts with fewer (or
+// noisier) cores than the paper's testbed. Rather than racing goroutines —
+// whose wall-clock on a shared single-core VM reflects scheduler noise, not
+// load balance — the simulation measures the kernel's *serial* throughput
+// once (a stable millisecond-scale number) and applies the exact work
+// partition arithmetic of the parallel kernels:
+//
+//	CSR static rows:  time ≈ serial · max_chunk_work / total_work
+//	COO nnz space:    time ≈ serial / P   (balanced by construction)
+//
+// max_chunk_work is computed from the actual row pointer array over the
+// same SplitRange partition the live kernel uses, so the imbalance ratio is
+// exact while the base speed is measured.
+
+// minSerialTime returns the minimum of three serial TimeSMSV measurements,
+// the standard steady-state estimator.
+func minSerialTime(m sparse.Matrix, xs []sparse.Vector, reps int) time.Duration {
+	best := time.Duration(-1)
+	for trial := 0; trial < 3; trial++ {
+		if d := TimeSMSV(m, xs, reps, 1, sparse.SchedStatic); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// CSRChunkImbalance returns max-chunk-work / mean-chunk-work for a static
+// P-way row partition of the matrix, where a chunk's work is its nonzero
+// count plus a per-row loop overhead of rowCost nonzero-equivalents.
+func CSRChunkImbalance(m *sparse.CSRMatrix, p int, rowCost float64) float64 {
+	rows, _ := m.Dims()
+	if p <= 0 {
+		p = 1
+	}
+	if p > rows {
+		p = rows
+	}
+	var total, maxChunk float64
+	for w := 0; w < p; w++ {
+		lo, hi := parallel.SplitRange(rows, p, w)
+		var work float64
+		for i := lo; i < hi; i++ {
+			work += float64(m.RowNNZ(i)) + rowCost
+		}
+		total += work
+		if work > maxChunk {
+			maxChunk = work
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return maxChunk / (total / float64(p))
+}
+
+// SimulatedCSRStaticTime returns the modeled P-worker critical-path time of
+// the static row-partitioned CSR SMSV kernel: the measured serial time
+// scaled by the exact partition imbalance and divided by P.
+func SimulatedCSRStaticTime(m *sparse.CSRMatrix, xs []sparse.Vector, reps, p int) time.Duration {
+	if p <= 0 {
+		p = 1
+	}
+	serial := minSerialTime(m, xs, reps)
+	imb := CSRChunkImbalance(m, p, 2)
+	return time.Duration(float64(serial) * imb / float64(p))
+}
+
+// SimulatedCOOTime returns the modeled P-worker time of the nnz-parallel
+// COO kernel: the nnz space divides evenly, so the simulated parallel time
+// is the measured serial time over P (per-worker boundary fixups are O(1)
+// and ignored).
+func SimulatedCOOTime(m *sparse.COOMatrix, xs []sparse.Vector, reps, p int) time.Duration {
+	if p <= 0 {
+		p = 1
+	}
+	return minSerialTime(m, xs, reps) / time.Duration(p)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// Weights are the rule-based model's per-byte access-efficiency factors
+// and CSR imbalance coefficient. The package defaults were calibrated on
+// the paper's Table III/VI rankings; Calibrate measures them on the host
+// instead, making the rule-based policy machine-aware without per-dataset
+// measurement.
+type Weights struct {
+	DEN, CSR, COO, ELL, DIA float64
+	Beta                    float64 // CSR imbalance coefficient
+}
+
+// DefaultWeights returns the paper-calibrated defaults.
+func DefaultWeights() Weights {
+	return Weights{
+		DEN: WeightDEN, CSR: WeightCSR, COO: WeightCOO,
+		ELL: WeightELL, DIA: WeightDIA, Beta: ImbalanceBeta,
+	}
+}
+
+// of returns the weight for a basic format.
+func (w Weights) of(f sparse.Format) float64 {
+	switch f {
+	case sparse.DEN:
+		return w.DEN
+	case sparse.CSR:
+		return w.CSR
+	case sparse.COO:
+		return w.COO
+	case sparse.ELL:
+		return w.ELL
+	case sparse.DIA:
+		return w.DIA
+	default:
+		return 1
+	}
+}
+
+// Calibrate measures per-byte SMSV throughput for every basic format on a
+// synthetic probe matrix and returns host-specific weights normalized to
+// DEN = 1. The probe is dense enough that every format holds the same
+// logical elements with fully regular structure, isolating the per-element
+// access cost from padding effects (which the cost model's byte counts
+// already capture). The imbalance coefficient keeps its default: it
+// reflects scheduling, not memory access.
+func Calibrate(workers int, sched sparse.Sched, seed int64) (Weights, error) {
+	const (
+		n       = 384
+		density = 0.25
+		reps    = 8
+	)
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(n, n)
+	// Uniform row lengths: no imbalance, no ELL padding beyond one row.
+	per := int(density * n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < per; k++ {
+			b.Add(i, perm[(i+k*7)%n], rng.NormFloat64()+0.5)
+		}
+	}
+	csr, err := b.Build(sparse.CSR)
+	if err != nil {
+		return Weights{}, err
+	}
+	xs := []sparse.Vector{csr.(*sparse.CSRMatrix).Row(0).Clone()}
+	dst := make([]float64, n)
+	scratch := make([]float64, n)
+
+	perByte := map[sparse.Format]float64{}
+	for _, f := range sparse.BasicFormats {
+		m, err := b.Build(f)
+		if err != nil {
+			return Weights{}, fmt.Errorf("core: calibrate %v: %w", f, err)
+		}
+		bytes := modelBytes(m)
+		best := time.Duration(-1)
+		for trial := 0; trial < 3; trial++ {
+			m.MulVecSparse(dst, xs[0], scratch, workers, sched) // warm-up
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				m.MulVecSparse(dst, xs[0], scratch, workers, sched)
+			}
+			if d := time.Since(start); best < 0 || d < best {
+				best = d
+			}
+		}
+		perByte[f] = float64(best) / float64(bytes)
+	}
+	den := perByte[sparse.DEN]
+	if den <= 0 {
+		return Weights{}, fmt.Errorf("core: calibrate measured zero DEN time")
+	}
+	return Weights{
+		DEN:  1,
+		CSR:  perByte[sparse.CSR] / den,
+		COO:  perByte[sparse.COO] / den,
+		ELL:  perByte[sparse.ELL] / den,
+		DIA:  perByte[sparse.DIA] / den,
+		Beta: ImbalanceBeta,
+	}, nil
+}
+
+// modelBytes mirrors the byte model of EstimateCosts for a concrete
+// matrix, so calibration divides by the same denominator the model will
+// multiply by.
+func modelBytes(m sparse.Matrix) int64 {
+	rows, cols := m.Dims()
+	switch t := m.(type) {
+	case *sparse.Dense:
+		return 8 * int64(rows) * int64(cols)
+	case *sparse.CSRMatrix:
+		return 12*int64(m.NNZ()) + 8*int64(rows)
+	case *sparse.COOMatrix:
+		return 16 * int64(m.NNZ())
+	case *sparse.ELLMatrix:
+		return 12 * int64(rows) * int64(t.Width())
+	case *sparse.DIAMatrix:
+		stride := min(rows, cols)
+		return 8*int64(t.NumDiagonals())*int64(stride) + 4*int64(t.NumDiagonals())
+	default:
+		return int64(m.StorageBytes())
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestDefaultWeights(t *testing.T) {
+	w := DefaultWeights()
+	if w.DEN != WeightDEN || w.CSR != WeightCSR || w.Beta != ImbalanceBeta {
+		t.Fatalf("defaults wrong: %+v", w)
+	}
+	for _, f := range sparse.BasicFormats {
+		if w.of(f) <= 0 {
+			t.Fatalf("weight for %v not positive", f)
+		}
+	}
+	if w.of(sparse.CSC) != 1 {
+		t.Fatal("non-basic format should weight 1")
+	}
+}
+
+func TestCalibrateProducesSaneWeights(t *testing.T) {
+	w, err := Calibrate(1, sparse.SchedStatic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DEN != 1 {
+		t.Fatalf("DEN weight %v, want 1 (normalization anchor)", w.DEN)
+	}
+	for _, tc := range []struct {
+		name string
+		val  float64
+	}{{"CSR", w.CSR}, {"COO", w.COO}, {"ELL", w.ELL}, {"DIA", w.DIA}} {
+		// Host weights vary but must stay within an order of magnitude of
+		// the dense baseline — anything outside signals a broken probe.
+		if tc.val < 0.1 || tc.val > 10 {
+			t.Errorf("%s weight %v outside [0.1, 10]", tc.name, tc.val)
+		}
+	}
+	if w.Beta != ImbalanceBeta {
+		t.Fatalf("calibration should keep the default Beta, got %v", w.Beta)
+	}
+}
+
+func TestSchedulerWithCalibratedWeights(t *testing.T) {
+	w, err := Calibrate(1, sparse.SchedStatic, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildRandom(t, 120, 60, 0.15, 9)
+	sched := New(Config{Policy: RuleBased, Weights: &w})
+	dec, err := sched.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Matrix == nil {
+		t.Fatal("no matrix")
+	}
+	// The estimates must reflect the custom weights, not the defaults.
+	for _, e := range dec.Estimates {
+		if e.Format == sparse.DEN && e.Weight != 1 {
+			t.Fatalf("DEN weight in estimates %v, want calibrated 1", e.Weight)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+func featuresOf(t *testing.T, name string) dataset.Features {
+	t.Helper()
+	d, err := dataset.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.Extract(d.MustGenerate(1).MustBuild(sparse.CSR))
+}
+
+// TestModelSelectionsMatchPaper checks the rule-based model reproduces the
+// paper's Table VI selections on the datasets where the choice is
+// physically determined by the Table IV parameters. breast_cancer and
+// connect-4 are excluded: the paper itself selects different formats for
+// breast_cancer and leukemia despite identical Table V statistics, so no
+// feature-driven model can match both (see EXPERIMENTS.md).
+func TestModelSelectionsMatchPaper(t *testing.T) {
+	want := map[string]sparse.Format{
+		"adult":     sparse.ELL,
+		"aloi":      sparse.CSR,
+		"mnist":     sparse.COO,
+		"gisette":   sparse.DEN,
+		"sector":    sparse.COO,
+		"leukemia":  sparse.DEN,
+		"trefethen": sparse.DIA,
+	}
+	for name, wantFmt := range want {
+		f := featuresOf(t, name)
+		if got := RuleBasedChoice(f); got != wantFmt {
+			t.Errorf("%s: model chose %v, paper selects %v (features %v)", name, got, wantFmt, f)
+		}
+	}
+}
+
+func TestModelWorstMatchesPaperWhereDetermined(t *testing.T) {
+	// Table VI's "worst" column for the structurally clear cases:
+	// gisette's worst is DIA, trefethen's worst is DEN, adult's worst DIA.
+	worst := map[string]sparse.Format{
+		"adult":     sparse.DIA,
+		"gisette":   sparse.DIA,
+		"trefethen": sparse.DEN,
+	}
+	for name, wantFmt := range worst {
+		ests := EstimateCosts(featuresOf(t, name))
+		if got := ests[len(ests)-1].Format; got != wantFmt {
+			t.Errorf("%s: model worst %v, paper worst %v", name, got, wantFmt)
+		}
+	}
+}
+
+func TestEstimateCostsSortedAndPositive(t *testing.T) {
+	f := featuresOf(t, "mnist")
+	ests := EstimateCosts(f)
+	if len(ests) != 5 {
+		t.Fatalf("got %d estimates, want 5", len(ests))
+	}
+	seen := map[sparse.Format]bool{}
+	for i, e := range ests {
+		if e.Cost <= 0 || e.Bytes <= 0 || e.Imbalance < 1 {
+			t.Errorf("estimate %d invalid: %+v", i, e)
+		}
+		if i > 0 && ests[i-1].Cost > e.Cost {
+			t.Errorf("estimates not sorted at %d", i)
+		}
+		if seen[e.Format] {
+			t.Errorf("format %v appears twice", e.Format)
+		}
+		seen[e.Format] = true
+	}
+}
+
+func TestImbalanceGrowsWithVdim(t *testing.T) {
+	base := dataset.Features{M: 1000, N: 500, NNZ: 40000, Ndig: 1400, Mdim: 200, Adim: 40, Density: 0.08}
+	prev := -1.0
+	for _, vdim := range []float64{0, 100, 1000, 10000} {
+		f := base
+		f.Vdim = vdim
+		var csr Estimate
+		for _, e := range EstimateCosts(f) {
+			if e.Format == sparse.CSR {
+				csr = e
+			}
+		}
+		if csr.Imbalance < prev {
+			t.Fatalf("CSR imbalance not monotone in vdim: %v after %v", csr.Imbalance, prev)
+		}
+		prev = csr.Imbalance
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RuleBased.String() != "rule-based" || Empirical.String() != "empirical" || Hybrid.String() != "hybrid" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "unknown" {
+		t.Fatal("unknown policy should stringify as unknown")
+	}
+}
+
+func buildRandom(t *testing.T, rows, cols int, density float64, seed int64) *sparse.Builder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64()+0.2)
+			}
+		}
+	}
+	return b
+}
+
+func TestSchedulerRuleBased(t *testing.T) {
+	b := buildRandom(t, 100, 50, 0.1, 1)
+	s := New(Config{Policy: RuleBased})
+	d, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Matrix == nil || d.Matrix.Format() != d.Chosen {
+		t.Fatalf("materialized format %v != chosen %v", d.Matrix.Format(), d.Chosen)
+	}
+	if d.Chosen != d.Estimates[0].Format {
+		t.Fatalf("rule-based chose %v, model best is %v", d.Chosen, d.Estimates[0].Format)
+	}
+	if len(d.Measured) != 0 {
+		t.Fatal("rule-based policy should not measure")
+	}
+}
+
+func TestSchedulerEmpiricalMeasuresAllFormats(t *testing.T) {
+	b := buildRandom(t, 200, 80, 0.15, 2)
+	s := New(Config{Policy: Empirical, Workers: 2})
+	d, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Measured) != 5 {
+		t.Fatalf("measured %d formats, want 5: %v", len(d.Measured), d.Measured)
+	}
+	best := d.Measured[d.Chosen]
+	for f, dur := range d.Measured {
+		if dur < best {
+			t.Fatalf("chosen %v (%v) is not fastest; %v took %v", d.Chosen, best, f, dur)
+		}
+	}
+	if d.Matrix.Format() != d.Chosen {
+		t.Fatal("matrix not materialized in chosen format")
+	}
+}
+
+func TestSchedulerHybridMeasuresTopK(t *testing.T) {
+	b := buildRandom(t, 150, 60, 0.2, 3)
+	s := New(Config{Policy: Hybrid, TopK: 3})
+	d, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Measured) != 3 {
+		t.Fatalf("measured %d formats, want 3", len(d.Measured))
+	}
+	// The measured set must be exactly the model's top-3.
+	for _, e := range d.Estimates[:3] {
+		if _, ok := d.Measured[e.Format]; !ok {
+			t.Fatalf("model candidate %v was not measured", e.Format)
+		}
+	}
+}
+
+func TestSchedulerFallsBackWhenDIAUnbuildable(t *testing.T) {
+	// An anti-diagonal matrix wants DIA-ish treatment in the model but the
+	// padded DIA array exceeds the cap; the scheduler must fall back
+	// rather than fail.
+	rows := 40000
+	b := sparse.NewBuilder(rows, rows)
+	for i := 0; i < rows; i++ {
+		b.Add(i, rows-1-i, 1.0)
+	}
+	s := New(Config{Policy: RuleBased})
+	d, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chosen == sparse.DIA {
+		t.Fatal("chose unbuildable DIA")
+	}
+	if d.Matrix == nil {
+		t.Fatal("no matrix materialized")
+	}
+}
+
+func TestSchedulerDeterministicWithSeed(t *testing.T) {
+	b := buildRandom(t, 120, 40, 0.2, 4)
+	s := New(Config{Policy: RuleBased, Seed: 7})
+	d1, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Chosen != d2.Chosen {
+		t.Fatalf("rule-based decision not deterministic: %v vs %v", d1.Chosen, d2.Chosen)
+	}
+}
+
+func TestTrefethenEmpiricalPrefersSparseFormat(t *testing.T) {
+	// On the banded trefethen clone the DEN kernel does ~180x the work of
+	// DIA/CSR; any measurement-based policy must avoid DEN.
+	d, err := dataset.ByName("trefethen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.MustGenerate(5)
+	s := New(Config{Policy: Empirical})
+	dec, err := s.Choose(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Chosen == sparse.DEN {
+		t.Fatalf("empirical policy chose DEN on a 0.6%% dense banded matrix: %v", dec.Measured)
+	}
+}

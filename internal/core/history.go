@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// History is the scheduler's incremental auto-tuning memory: every measured
+// decision is recorded as (feature vector → chosen format), and future
+// datasets whose Table IV parameters land close enough to a recorded one
+// reuse its format without re-measuring. This amortizes the empirical
+// policy's measurement cost across a workload of similar datasets — the
+// OSKI-style tuning-database idea applied to the paper's nine-parameter
+// space.
+//
+// Distance is Euclidean over log-scaled shape features (sizes and counts
+// span orders of magnitude; density and the vdim/adim ratio enter
+// directly), so "similar" means same shape class rather than same size.
+type History struct {
+	mu      sync.Mutex
+	entries []historyEntry
+}
+
+type historyEntry struct {
+	point  [featureDims]float64
+	format sparse.Format
+}
+
+// featureDims is the embedded feature-space dimensionality.
+const featureDims = 7
+
+// embed maps a Features value into the history's normalized metric space.
+func embed(f dataset.Features) [featureDims]float64 {
+	l := func(x float64) float64 { return math.Log1p(math.Max(x, 0)) }
+	ratio := 0.0
+	if f.Adim > 0 {
+		ratio = f.Vdim / f.Adim
+	}
+	mdimRatio := 0.0
+	if f.Adim > 0 {
+		mdimRatio = float64(f.Mdim) / f.Adim
+	}
+	return [featureDims]float64{
+		l(float64(f.M)) - l(float64(f.N)), // aspect
+		l(float64(f.NNZ)),
+		l(float64(f.Ndig)),
+		l(f.Dnnz),
+		l(mdimRatio),
+		l(ratio),
+		f.Density * 10, // density on a comparable scale
+	}
+}
+
+func dist2(a, b [featureDims]float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Record stores a decided (features, format) pair.
+func (h *History) Record(f dataset.Features, format sparse.Format) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.entries = append(h.entries, historyEntry{point: embed(f), format: format})
+}
+
+// Len reports the number of recorded decisions.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Lookup returns the format of the nearest recorded decision within the
+// given radius (in embedded-space distance), or ok=false when nothing is
+// close enough.
+func (h *History) Lookup(f dataset.Features, radius float64) (sparse.Format, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := embed(f)
+	best := -1
+	bestD := radius * radius
+	for i := range h.entries {
+		if d := dist2(p, h.entries[i].point); d <= bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return h.entries[best].format, true
+}
+
+// Save writes the history as one line per entry:
+// "<f0> <f1> ... <f6> <format>".
+func (h *History) Save(w io.Writer) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, e := range h.entries {
+		for _, x := range e.point {
+			fmt.Fprintf(bw, "%.17g ", x)
+		}
+		fmt.Fprintln(bw, e.format)
+	}
+	return bw.Flush()
+}
+
+// LoadHistory reads a history written by Save.
+func LoadHistory(r io.Reader) (*History, error) {
+	h := &History{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != featureDims+1 {
+			return nil, fmt.Errorf("core: history line %d: %d fields, want %d", lineNo, len(fields), featureDims+1)
+		}
+		var e historyEntry
+		for i := 0; i < featureDims; i++ {
+			x, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: history line %d field %d: %v", lineNo, i, err)
+			}
+			e.point[i] = x
+		}
+		f, err := sparse.ParseFormat(fields[featureDims])
+		if err != nil {
+			return nil, fmt.Errorf("core: history line %d: %v", lineNo, err)
+		}
+		e.format = f
+		h.entries = append(h.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// DefaultHistoryRadius is the reuse threshold: embedded points closer than
+// this share a format. Calibrated so the Table V clones under different
+// seeds reuse each other while structurally different datasets do not.
+const DefaultHistoryRadius = 0.75

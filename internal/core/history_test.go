@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+func TestHistoryRecordLookup(t *testing.T) {
+	h := &History{}
+	fa := featuresOf(t, "adult")
+	if _, ok := h.Lookup(fa, DefaultHistoryRadius); ok {
+		t.Fatal("empty history returned a hit")
+	}
+	h.Record(fa, sparse.ELL)
+	got, ok := h.Lookup(fa, DefaultHistoryRadius)
+	if !ok || got != sparse.ELL {
+		t.Fatalf("exact lookup: %v %v", got, ok)
+	}
+	// A structurally different dataset must miss.
+	ft := featuresOf(t, "trefethen")
+	if _, ok := h.Lookup(ft, DefaultHistoryRadius); ok {
+		t.Fatal("trefethen matched an adult record")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestHistoryReusesAcrossSeeds(t *testing.T) {
+	// The same dataset generated with a different seed has nearly
+	// identical Table IV parameters and must reuse the recorded format.
+	d, err := dataset.ByName("aloi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := dataset.Extract(d.MustGenerate(1).MustBuild(sparse.CSR))
+	f2 := dataset.Extract(d.MustGenerate(99).MustBuild(sparse.CSR))
+	h := &History{}
+	h.Record(f1, sparse.CSR)
+	got, ok := h.Lookup(f2, DefaultHistoryRadius)
+	if !ok || got != sparse.CSR {
+		t.Fatalf("seed-variant lookup failed: %v %v", got, ok)
+	}
+}
+
+func TestHistorySaveLoadRoundTrip(t *testing.T) {
+	h := &History{}
+	h.Record(featuresOf(t, "adult"), sparse.ELL)
+	h.Record(featuresOf(t, "trefethen"), sparse.DIA)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+	got, ok := loaded.Lookup(featuresOf(t, "trefethen"), DefaultHistoryRadius)
+	if !ok || got != sparse.DIA {
+		t.Fatalf("loaded lookup: %v %v", got, ok)
+	}
+}
+
+func TestLoadHistoryErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":  "1 2 3\n",
+		"bad float":   "a 0 0 0 0 0 0 CSR\n",
+		"bad format":  "0 0 0 0 0 0 0 XYZ\n",
+		"extra field": "0 0 0 0 0 0 0 CSR extra\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadHistory(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted: %q", name, in)
+		}
+	}
+	// Blank lines are fine.
+	if h, err := LoadHistory(strings.NewReader("\n\n")); err != nil || h.Len() != 0 {
+		t.Fatalf("blank input: %v %v", h, err)
+	}
+}
+
+func TestSchedulerReusesHistory(t *testing.T) {
+	d, err := dataset.ByName("aloi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &History{}
+	sched := New(Config{Policy: Empirical, History: h, Seed: 3})
+	first, err := sched.Choose(d.MustGenerate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Reused {
+		t.Fatal("first decision cannot be a reuse")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("history length %d after first decision", h.Len())
+	}
+	second, err := sched.Choose(d.MustGenerate(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Reused {
+		t.Fatal("second decision on a near-identical dataset did not reuse")
+	}
+	if second.Chosen != first.Chosen {
+		t.Fatalf("reuse changed format: %v vs %v", second.Chosen, first.Chosen)
+	}
+	if len(second.Measured) != 0 {
+		t.Fatal("reused decision still measured")
+	}
+	if second.Matrix == nil || second.Matrix.Format() != second.Chosen {
+		t.Fatal("reused decision not materialized")
+	}
+}
+
+func TestSchedulerHistoryMissMeasures(t *testing.T) {
+	h := &History{}
+	sched := New(Config{Policy: Empirical, History: h, Seed: 4})
+	a, err := dataset.ByName("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dataset.ByName("trefethen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Choose(a.MustGenerate(1)); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sched.Choose(tr.MustGenerate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reused {
+		t.Fatal("structurally different dataset reused a decision")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("history length %d, want 2", h.Len())
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// Policy selects how the scheduler decides.
+type Policy int
+
+const (
+	// RuleBased picks the format with the lowest modeled cost — zero
+	// measurement overhead, pure Table IV reasoning.
+	RuleBased Policy = iota
+	// Empirical builds every candidate format and times the actual SMO
+	// SMSV kernel on sampled rows of the real matrix, picking the fastest.
+	// This is the paper's auto-tuning mode: the measurement cost is
+	// amortized over the thousands of SMO iterations that follow.
+	Empirical
+	// Hybrid prunes to the TopK model candidates, then measures only
+	// those — the practical default.
+	Hybrid
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case RuleBased:
+		return "rule-based"
+	case Empirical:
+		return "empirical"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Scheduler. The zero value is usable: hybrid
+// policy, all cores, static scheduling, 3 trial rows, top-2 candidates.
+type Config struct {
+	Policy    Policy
+	Workers   int // parallel kernel workers; 0 = all cores
+	Sched     sparse.Sched
+	TrialRows int   // rows sampled as x vectors per measurement; 0 = 3
+	Repeats   int   // timed repetitions per trial row; 0 = 2
+	TopK      int   // hybrid: candidates to measure; 0 = 2
+	Seed      int64 // sampling seed; fixed default keeps runs reproducible
+	// History enables incremental auto-tuning: measured decisions are
+	// recorded, and datasets whose features fall within HistoryRadius of
+	// a recorded one reuse its format without re-measuring.
+	History       *History
+	HistoryRadius float64 // 0 = DefaultHistoryRadius
+	// Weights overrides the rule-based model's access-efficiency factors,
+	// typically from Calibrate; nil uses the paper-calibrated defaults.
+	Weights *Weights
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrialRows <= 0 {
+		c.TrialRows = 3
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 2
+	}
+	if c.HistoryRadius <= 0 {
+		c.HistoryRadius = DefaultHistoryRadius
+	}
+	return c
+}
+
+// Decision records everything the scheduler did: the extracted features,
+// the model's estimates, any measurements, and the chosen format with its
+// materialized matrix.
+type Decision struct {
+	Policy    Policy
+	Features  dataset.Features
+	Estimates []Estimate // ascending model cost
+	// Measured holds per-format measured SMSV time for the formats that
+	// were benchmarked (empty for RuleBased).
+	Measured map[sparse.Format]time.Duration
+	Chosen   sparse.Format
+	Matrix   sparse.Matrix // the data materialized in the chosen format
+	// Reused is true when the format came from the incremental-tuning
+	// history rather than a fresh measurement.
+	Reused bool
+}
+
+// Scheduler chooses storage formats for data matrices.
+type Scheduler struct {
+	cfg Config
+}
+
+// New creates a Scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	return &Scheduler{cfg: cfg.withDefaults()}
+}
+
+// Choose decides the storage format for the matrix held in b and returns
+// the decision with the matrix materialized in the chosen format.
+func (s *Scheduler) Choose(b *sparse.Builder) (*Decision, error) {
+	// Features come cheaply from the CSR materialization, which Empirical
+	// and Hybrid need anyway as a measurement candidate.
+	csr, err := b.Build(sparse.CSR)
+	if err != nil {
+		return nil, fmt.Errorf("core: building CSR for analysis: %w", err)
+	}
+	feats := dataset.Extract(csr)
+	weights := DefaultWeights()
+	if s.cfg.Weights != nil {
+		weights = *s.cfg.Weights
+	}
+	d := &Decision{
+		Policy:    s.cfg.Policy,
+		Features:  feats,
+		Estimates: EstimateCostsWith(feats, weights),
+		Measured:  map[sparse.Format]time.Duration{},
+	}
+
+	// Incremental auto-tuning: reuse a recorded decision for a similar
+	// dataset before paying for any measurement.
+	if s.cfg.History != nil {
+		if f, ok := s.cfg.History.Lookup(feats, s.cfg.HistoryRadius); ok {
+			if m, err := materialize(b, csr, f); err == nil {
+				d.Chosen = f
+				d.Matrix = m
+				d.Reused = true
+				return d, nil
+			}
+			// Unbuildable here (e.g. DIA cap): fall through to a fresh
+			// decision.
+		}
+	}
+
+	var candidates []sparse.Format
+	switch s.cfg.Policy {
+	case RuleBased:
+		d.Chosen = d.Estimates[0].Format
+		m, err := materialize(b, csr, d.Chosen)
+		if err != nil {
+			// The model can pick DIA for matrices whose padded DIA form
+			// exceeds the memory cap; fall back to the next estimate.
+			for _, e := range d.Estimates[1:] {
+				if m, err = materialize(b, csr, e.Format); err == nil {
+					d.Chosen = e.Format
+					break
+				}
+			}
+			if m == nil {
+				return nil, fmt.Errorf("core: no buildable format: %w", err)
+			}
+		}
+		d.Matrix = m
+		return d, nil
+	case Empirical:
+		candidates = sparse.BasicFormats[:]
+	case Hybrid:
+		k := min(s.cfg.TopK, len(d.Estimates))
+		for _, e := range d.Estimates[:k] {
+			candidates = append(candidates, e.Format)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown policy %d", int(s.cfg.Policy))
+	}
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
+	trials := s.sampleRows(csr.(*sparse.CSRMatrix), rng)
+	var best sparse.Matrix
+	bestTime := time.Duration(-1)
+	var lastErr error
+	for _, f := range candidates {
+		m, err := materialize(b, csr, f)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		t := s.measure(m, trials)
+		d.Measured[f] = t
+		if bestTime < 0 || t < bestTime {
+			bestTime, best, d.Chosen = t, m, f
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no candidate format could be built: %w", lastErr)
+	}
+	d.Matrix = best
+	if s.cfg.History != nil {
+		s.cfg.History.Record(feats, d.Chosen)
+	}
+	return d, nil
+}
+
+// materialize builds format f from b, reusing the already-built CSR.
+func materialize(b *sparse.Builder, csr sparse.Matrix, f sparse.Format) (sparse.Matrix, error) {
+	if f == sparse.CSR {
+		return csr, nil
+	}
+	return b.Build(f)
+}
+
+// sampleRows extracts TrialRows random rows of the matrix to use as the
+// sparse x vectors — the same distribution SMO draws X_high/X_low from.
+func (s *Scheduler) sampleRows(m *sparse.CSRMatrix, rng *rand.Rand) []sparse.Vector {
+	rows, _ := m.Dims()
+	out := make([]sparse.Vector, 0, s.cfg.TrialRows)
+	for len(out) < s.cfg.TrialRows {
+		r := m.Row(rng.Intn(rows)).Clone()
+		out = append(out, r)
+	}
+	return out
+}
+
+// measure times Repeats SMSV products per trial row and returns the total.
+func (s *Scheduler) measure(m sparse.Matrix, trials []sparse.Vector) time.Duration {
+	rows, cols := m.Dims()
+	dst := make([]float64, rows)
+	scratch := make([]float64, cols)
+	// One warm-up pass touches every stored element, faulting pages in so
+	// the timed runs measure steady-state kernel speed.
+	if len(trials) > 0 {
+		m.MulVecSparse(dst, trials[0], scratch, s.cfg.Workers, s.cfg.Sched)
+	}
+	start := time.Now()
+	for _, x := range trials {
+		for r := 0; r < s.cfg.Repeats; r++ {
+			m.MulVecSparse(dst, x, scratch, s.cfg.Workers, s.cfg.Sched)
+		}
+	}
+	return time.Since(start)
+}

@@ -1,0 +1,60 @@
+package dataset_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// Parse LIBSVM text and extract the Table IV influencing parameters.
+func ExampleParseLIBSVM() {
+	in := `+1 1:0.5 3:1.25
+-1 2:2 3:0.5
++1 1:1 2:1 3:1
+`
+	samples, n, err := dataset.ParseLIBSVM(strings.NewReader(in))
+	if err != nil {
+		panic(err)
+	}
+	b, y := dataset.SamplesToMatrix(samples, n)
+	m := b.MustBuild(sparse.CSR)
+	f := dataset.Extract(m)
+	fmt.Println("labels:", y)
+	fmt.Println("mdim:", f.Mdim, "adim:", f.Adim)
+	// Output:
+	// labels: [1 -1 1]
+	// mdim: 3 adim: 2.3333333333333335
+}
+
+// Generate the paper's trefethen clone and verify its diagonal structure.
+func ExampleDescriptor_Generate() {
+	d, err := dataset.ByName("trefethen")
+	if err != nil {
+		panic(err)
+	}
+	b, err := d.Generate(1)
+	if err != nil {
+		panic(err)
+	}
+	f := dataset.Extract(b.MustBuild(sparse.DIA))
+	fmt.Println("M×N:", f.M, "x", f.N)
+	fmt.Println("diagonals:", f.Ndig)
+	// Output:
+	// M×N: 2000 x 2000
+	// diagonals: 12
+}
+
+// The two-point row plan hits a requested (adim, vdim, mdim) triple.
+func ExamplePlanRows() {
+	plan, err := dataset.PlanRows(1000, 128, 32.14, 85.22, 74)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("long rows:", plan.K, "of length", plan.Mdim)
+	fmt.Println("short rows of length", plan.X)
+	// Output:
+	// long rows: 46 of length 74
+	// short rows of length 30
+}

@@ -1,0 +1,81 @@
+// Package dataset provides machine-learning dataset handling for the layout
+// scheduler: extraction of the paper's nine influencing parameters
+// (Table IV), LIBSVM-format text I/O, and seeded synthetic generators that
+// clone the statistical signature of every dataset in the paper's Table V
+// as well as the parametric matrix families behind Figures 2–4.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Features holds the paper's Table IV influencing parameters for a data
+// matrix. These nine values are the entire input to the layout scheduler:
+// the paper's thesis is that they determine which storage format wins.
+type Features struct {
+	M       int     // number of rows (samples)
+	N       int     // number of columns (features; max feature index)
+	NNZ     int64   // number of nonzero elements
+	Ndig    int     // number of occupied diagonals
+	Dnnz    float64 // nnz per diagonal: NNZ/Ndig
+	Mdim    int     // maximum nonzeros in a row
+	Adim    float64 // average nonzeros per row: NNZ/M
+	Vdim    float64 // variance of per-row nonzero counts
+	Density float64 // NNZ/(M·N)
+}
+
+// Extract computes the nine Table IV parameters from any matrix in a single
+// pass over its rows.
+func Extract(m sparse.Matrix) Features {
+	rows, cols := m.Dims()
+	f := Features{M: rows, N: cols}
+	if rows == 0 || cols == 0 {
+		return f
+	}
+	diag := make([]bool, rows+cols-1) // diagonal o = j-i+rows-1
+	dims := make([]int, rows)
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		dims[i] = v.NNZ()
+		f.NNZ += int64(v.NNZ())
+		if v.NNZ() > f.Mdim {
+			f.Mdim = v.NNZ()
+		}
+		for _, j := range v.Index {
+			diag[int(j)-i+rows-1] = true
+		}
+	}
+	for _, occupied := range diag {
+		if occupied {
+			f.Ndig++
+		}
+	}
+	f.Adim = float64(f.NNZ) / float64(rows)
+	for _, d := range dims {
+		delta := float64(d) - f.Adim
+		f.Vdim += delta * delta
+	}
+	f.Vdim /= float64(rows)
+	f.Density = float64(f.NNZ) / (float64(rows) * float64(cols))
+	if f.Ndig > 0 {
+		f.Dnnz = float64(f.NNZ) / float64(f.Ndig)
+	}
+	return f
+}
+
+// String renders the features as one aligned line matching Table V's column
+// order.
+func (f Features) String() string {
+	return fmt.Sprintf("M=%d N=%d nnz=%d ndig=%d dnnz=%.2f mdim=%d adim=%.2f vdim=%.3g density=%.3f",
+		f.M, f.N, f.NNZ, f.Ndig, f.Dnnz, f.Mdim, f.Adim, f.Vdim, f.Density)
+}
+
+// RelErr returns the relative error |got−want|/max(|want|,1) used when
+// comparing generated clones against the paper's Table V targets.
+func RelErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Max(math.Abs(want), 1)
+}

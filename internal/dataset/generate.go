@@ -1,0 +1,267 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// RowPlan is a two-point row-length distribution that hits a target
+// (adim, vdim, mdim) triple exactly in expectation.
+//
+// Derivation: give a fraction p of rows length mdim and the rest length x.
+// With D = mdim − adim and E = adim − x, the mean constraint forces
+// p = E/(D+E) and the variance works out to exactly D·E. Solving for a
+// requested variance: E = vdim/D, x = adim − vdim/(mdim−adim).
+type RowPlan struct {
+	M    int // rows
+	Mdim int // long-row length
+	X    int // short-row length (rounded)
+	K    int // number of long rows (at least 1 so mdim is realized)
+}
+
+// PlanRows builds a RowPlan realizing the target statistics. It returns an
+// error when the triple is infeasible (vdim too large for the given mdim
+// headroom, or lengths outside [0, n]).
+func PlanRows(m, n int, adim, vdim float64, mdim int) (RowPlan, error) {
+	if m <= 0 || n <= 0 {
+		return RowPlan{}, fmt.Errorf("dataset: invalid dims %dx%d", m, n)
+	}
+	if mdim > n {
+		return RowPlan{}, fmt.Errorf("dataset: mdim %d exceeds n %d", mdim, n)
+	}
+	if float64(mdim) < adim {
+		return RowPlan{}, fmt.Errorf("dataset: mdim %d below adim %.2f", mdim, adim)
+	}
+	if vdim == 0 || float64(mdim) == adim {
+		// Uniform rows.
+		l := int(math.Round(adim))
+		if l < 0 || l > n {
+			return RowPlan{}, fmt.Errorf("dataset: adim %.2f out of range", adim)
+		}
+		return RowPlan{M: m, Mdim: l, X: l, K: m}, nil
+	}
+	d := float64(mdim) - adim
+	e := vdim / d
+	x := adim - e
+	if x < 0 {
+		return RowPlan{}, fmt.Errorf("dataset: vdim %.3g infeasible for adim %.2f mdim %d", vdim, adim, mdim)
+	}
+	p := e / (d + e)
+	k := int(math.Round(p * float64(m)))
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	return RowPlan{M: m, Mdim: mdim, X: int(math.Round(x)), K: k}, nil
+}
+
+// Lengths expands the plan into per-row nonzero counts, dithering the short
+// rows so the total lands as close as possible to targetNNZ (pass a
+// non-positive target to skip dithering). Long rows land at random
+// positions — as in the real datasets — so contiguous row partitions see
+// genuinely uneven work, the load-imbalance mechanism behind the paper's
+// CSR-vs-COO vdim effect (Figure 4).
+func (p RowPlan) Lengths(targetNNZ int64, rng *rand.Rand) []int {
+	lens := make([]int, p.M)
+	for i := range lens {
+		lens[i] = p.X
+	}
+	if p.K >= p.M {
+		for i := range lens {
+			lens[i] = p.Mdim
+		}
+	} else {
+		for _, i := range rng.Perm(p.M)[:p.K] {
+			lens[i] = p.Mdim
+		}
+	}
+	if targetNNZ > 0 {
+		var total int64
+		for _, l := range lens {
+			total += int64(l)
+		}
+		// Distribute the residual one nonzero at a time over random short
+		// rows, never exceeding mdim or going below zero.
+		for delta := targetNNZ - total; delta != 0; {
+			i := rng.Intn(p.M)
+			switch {
+			case delta > 0 && lens[i] < p.Mdim:
+				lens[i]++
+				delta--
+			case delta < 0 && lens[i] > 0 && lens[i] != p.Mdim:
+				lens[i]--
+				delta++
+			default:
+				// Row can't absorb the adjustment; try another.
+				continue
+			}
+		}
+	}
+	return lens
+}
+
+// FromRowLengths builds a matrix whose i-th row has lens[i] nonzeros at
+// uniformly sampled distinct column positions, with values drawn from a
+// standard normal shifted away from zero. The same seed always produces the
+// same matrix.
+func FromRowLengths(lens []int, n int, rng *rand.Rand) *sparse.Builder {
+	b := sparse.NewBuilder(len(lens), n)
+	perm := make([]int32, n)
+	for j := range perm {
+		perm[j] = int32(j)
+	}
+	for i, l := range lens {
+		if l > n {
+			l = n
+		}
+		// Partial Fisher-Yates: the first l entries become the row's
+		// column positions.
+		for k := 0; k < l; k++ {
+			swap := k + rng.Intn(n-k)
+			perm[k], perm[swap] = perm[swap], perm[k]
+			b.Add(i, int(perm[k]), nonzeroValue(rng))
+		}
+	}
+	return b
+}
+
+// nonzeroValue samples a value bounded away from zero so builders never
+// elide generated entries.
+func nonzeroValue(rng *rand.Rand) float64 {
+	v := rng.NormFloat64()
+	if v >= 0 {
+		return v + 0.1
+	}
+	return v - 0.1
+}
+
+// Banded builds an m×n matrix with exactly ndig occupied diagonals and
+// approximately nnz nonzeros spread as evenly as possible across them —
+// the Figure 2 family (fixed M, N, nnz; varying ndig). Diagonal offsets are
+// chosen symmetrically around the main diagonal.
+func Banded(m, n, ndig int, nnz int64, rng *rand.Rand) (*sparse.Builder, error) {
+	maxDig := m + n - 1
+	if ndig <= 0 || ndig > maxDig {
+		return nil, fmt.Errorf("dataset: ndig %d out of range [1,%d]", ndig, maxDig)
+	}
+	offsets := make([]int, 0, ndig)
+	for k := 0; len(offsets) < ndig; k++ {
+		// 0, +1, -1, +2, -2, ...
+		var o int
+		if k%2 == 1 {
+			o = (k + 1) / 2
+		} else {
+			o = -k / 2
+		}
+		if o > -m && o < n {
+			offsets = append(offsets, o)
+		}
+		if k > 2*maxDig {
+			return nil, fmt.Errorf("dataset: cannot place %d diagonals in %dx%d", ndig, m, n)
+		}
+	}
+	b := sparse.NewBuilder(m, n)
+	per := nnz / int64(ndig)
+	extra := nnz % int64(ndig)
+	for d, o := range offsets {
+		count := per
+		if int64(d) < extra {
+			count++
+		}
+		lo := 0
+		if o < 0 {
+			lo = -o
+		}
+		hi := m
+		if n-o < hi {
+			hi = n - o
+		}
+		dlen := hi - lo
+		if count > int64(dlen) {
+			count = int64(dlen)
+		}
+		if count < 1 && nnz >= int64(ndig) {
+			count = 1
+		}
+		// Evenly spaced rows along the diagonal keep every diagonal
+		// occupied with the requested share.
+		for k := int64(0); k < count; k++ {
+			i := lo + int(k*int64(dlen)/count)
+			b.Add(i, i+o, nonzeroValue(rng))
+		}
+	}
+	return b, nil
+}
+
+// SkewRows builds an m×n matrix with the given total nnz where one row
+// block holds rows of length mdim and the rest share the remainder — the
+// Figure 3 family (fixed M, N, nnz; varying mdim). mdim must divide into
+// the budget: heavyRows = nnz/mdim rows get mdim nonzeros each (at least
+// one), remaining nonzeros spread one per row.
+func SkewRows(m, n int, nnz int64, mdim int, rng *rand.Rand) (*sparse.Builder, error) {
+	if mdim <= 0 || mdim > n {
+		return nil, fmt.Errorf("dataset: mdim %d out of range [1,%d]", mdim, n)
+	}
+	if int64(mdim) > nnz {
+		return nil, fmt.Errorf("dataset: mdim %d exceeds nnz %d", mdim, nnz)
+	}
+	if nnz > int64(m)*int64(mdim) {
+		return nil, fmt.Errorf("dataset: nnz %d cannot fit in %d rows of at most %d", nnz, m, mdim)
+	}
+	heavy := int(nnz / int64(mdim))
+	if heavy > m {
+		heavy = m
+	}
+	lens := make([]int, m)
+	remaining := nnz
+	for i := 0; i < heavy; i++ {
+		lens[i] = mdim
+		remaining -= int64(mdim)
+	}
+	for i := heavy; i < m && remaining > 0; i++ {
+		lens[i] = 1
+		remaining--
+	}
+	return FromRowLengths(lens, n, rng), nil
+}
+
+// VdimFamily builds an m×n matrix with the given adim and a row-length
+// variance of approximately vdim, using the two-point plan — the Figure 4
+// family (COO vs CSR as vdim grows). mdim is derived from the requested
+// variance so that the short-row length stays positive.
+func VdimFamily(m, n int, adim, vdim float64, rng *rand.Rand) (*sparse.Builder, error) {
+	// Choose mdim large enough that the short-row length x = adim − vdim/D
+	// stays positive: D = mdim − adim ≥ 1.25·vdim/adim keeps x ≥ adim/5,
+	// while the 4√vdim term gives small variances a wide spread.
+	spread := math.Max(4*math.Sqrt(vdim), 1.25*vdim/adim)
+	mdim := int(adim + spread)
+	if mdim <= int(adim) {
+		mdim = int(adim) + 1
+	}
+	if mdim > n {
+		mdim = n
+	}
+	plan, err := PlanRows(m, n, adim, vdim, mdim)
+	if err != nil {
+		return nil, err
+	}
+	lens := plan.Lengths(int64(adim*float64(m)), rng)
+	return FromRowLengths(lens, n, rng), nil
+}
+
+// DenseMatrix builds a fully dense m×n matrix (density 1.0) with normal
+// values — the shape of gisette/epsilon/dna in Table V.
+func DenseMatrix(m, n int, rng *rand.Rand) *sparse.Builder {
+	b := sparse.NewBuilder(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b.Add(i, j, nonzeroValue(rng))
+		}
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// Sample is one parsed LIBSVM line: a label and a sparse feature vector.
+type Sample struct {
+	Label    float64
+	Features sparse.Vector
+}
+
+// ParseLIBSVM reads the LIBSVM/svmlight text format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based in the file and converted to 0-based. Blank lines and
+// lines starting with '#' are skipped. Returns the samples and the number
+// of features (the maximum index seen, matching the paper's definition of
+// N as "maximum feature index of all samples").
+func ParseLIBSVM(r io.Reader) (samples []Sample, numFeatures int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: line %d: bad label %q: %v", lineNo, fields[0], err)
+		}
+		s := Sample{Label: label}
+		prev := int32(-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, 0, fmt.Errorf("dataset: line %d: feature %q missing ':'", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, 0, fmt.Errorf("dataset: line %d: bad feature index %q", lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dataset: line %d: bad feature value %q", lineNo, f[colon+1:])
+			}
+			zeroIdx := int32(idx - 1)
+			if zeroIdx <= prev {
+				return nil, 0, fmt.Errorf("dataset: line %d: feature indices not strictly ascending", lineNo)
+			}
+			prev = zeroIdx
+			if val != 0 {
+				s.Features = s.Features.Append(zeroIdx, val)
+			}
+			if idx > numFeatures {
+				numFeatures = idx
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("dataset: read: %v", err)
+	}
+	for i := range samples {
+		samples[i].Features.Dim = numFeatures
+	}
+	return samples, numFeatures, nil
+}
+
+// WriteLIBSVM writes samples in the LIBSVM text format with 1-based
+// indices. Integral labels print without a decimal point, matching the
+// conventional file layout.
+func WriteLIBSVM(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range samples {
+		if s.Label == float64(int64(s.Label)) {
+			fmt.Fprintf(bw, "%d", int64(s.Label))
+		} else {
+			fmt.Fprintf(bw, "%g", s.Label)
+		}
+		for k, idx := range s.Features.Index {
+			fmt.Fprintf(bw, " %d:%g", idx+1, s.Features.Value[k])
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SamplesToMatrix assembles parsed samples into a matrix builder and a
+// label slice, the shape the SVM trainer consumes.
+func SamplesToMatrix(samples []Sample, numFeatures int) (*sparse.Builder, []float64) {
+	if numFeatures < 1 {
+		numFeatures = 1
+	}
+	b := sparse.NewBuilder(max(len(samples), 1), numFeatures)
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		b.AddRow(i, s.Features)
+		y[i] = s.Label
+	}
+	return b, y
+}

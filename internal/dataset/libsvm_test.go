@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestParseLIBSVMBasic(t *testing.T) {
+	in := `+1 1:0.5 3:1.25
+-1 2:2
+# comment line
+
++1 5:-0.75
+`
+	samples, n, err := ParseLIBSVM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 || n != 5 {
+		t.Fatalf("got %d samples, n=%d", len(samples), n)
+	}
+	if samples[0].Label != 1 || samples[1].Label != -1 {
+		t.Fatalf("labels wrong: %+v", samples)
+	}
+	if samples[0].Features.NNZ() != 2 || samples[0].Features.Index[1] != 2 {
+		t.Fatalf("sample 0 features wrong: %+v", samples[0].Features)
+	}
+	for _, s := range samples {
+		if s.Features.Dim != 5 {
+			t.Fatalf("dim not fixed up: %+v", s.Features)
+		}
+		if err := s.Features.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParseLIBSVMErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad label":        "abc 1:2\n",
+		"missing colon":    "+1 12\n",
+		"zero index":       "+1 0:3\n",
+		"negative index":   "+1 -2:3\n",
+		"bad value":        "+1 1:xyz\n",
+		"unsorted indices": "+1 3:1 2:1\n",
+		"duplicate index":  "+1 2:1 2:5\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseLIBSVM(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestLIBSVMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]Sample, 20)
+	for i := range orig {
+		label := float64(1)
+		if i%3 == 0 {
+			label = -1
+		}
+		v := sparse.Vector{Dim: 40}
+		for j := 0; j < 40; j++ {
+			if rng.Float64() < 0.25 {
+				v = v.Append(int32(j), float64(rng.Intn(100)+1)/4)
+			}
+		}
+		orig[i] = Sample{Label: label, Features: v}
+	}
+	var buf bytes.Buffer
+	if err := WriteLIBSVM(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, _, err := ParseLIBSVM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("%d samples, want %d", len(parsed), len(orig))
+	}
+	for i := range orig {
+		if parsed[i].Label != orig[i].Label {
+			t.Fatalf("sample %d label %v != %v", i, parsed[i].Label, orig[i].Label)
+		}
+		if len(parsed[i].Features.Index) != len(orig[i].Features.Index) {
+			t.Fatalf("sample %d nnz differs", i)
+		}
+		for k := range orig[i].Features.Index {
+			if parsed[i].Features.Index[k] != orig[i].Features.Index[k] ||
+				parsed[i].Features.Value[k] != orig[i].Features.Value[k] {
+				t.Fatalf("sample %d entry %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestSamplesToMatrix(t *testing.T) {
+	in := "+1 1:1 2:2\n-1 3:3\n"
+	samples, n, err := ParseLIBSVM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, y := SamplesToMatrix(samples, n)
+	m := b.MustBuild(sparse.CSR)
+	rows, cols := m.Dims()
+	if rows != 2 || cols != 3 || m.NNZ() != 3 {
+		t.Fatalf("matrix %dx%d nnz=%d", rows, cols, m.NNZ())
+	}
+	if y[0] != 1 || y[1] != -1 {
+		t.Fatalf("labels %v", y)
+	}
+}
+
+func TestPlantedLabelsBothClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d, _ := ByName("adult")
+	m := d.MustGenerate(3).MustBuild(sparse.CSR)
+	y := PlantedLabels(m, 0.05, rng)
+	var pos, neg int
+	for _, l := range y {
+		switch l {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("label %v not in {-1,+1}", l)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("degenerate labels: %d pos, %d neg", pos, neg)
+	}
+}
+
+func TestBalancedLabels(t *testing.T) {
+	y := BalancedLabels(5)
+	want := []float64{1, -1, 1, -1, 1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("labels %v", y)
+		}
+	}
+}

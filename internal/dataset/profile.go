@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// Profile is the descriptive companion to Features: distributional views
+// of the matrix that explain *why* the nine parameters land where they do
+// — a row-length histogram behind mdim/adim/vdim, and a diagonal-occupancy
+// profile behind ndig/dnnz.
+type Profile struct {
+	Features Features
+	// RowLenBuckets histograms dim_i into powers of two: bucket k counts
+	// rows with nnz in [2^(k-1)+1 .. 2^k], bucket 0 counts empty rows and
+	// 1-nnz rows are bucket 1's lower edge.
+	RowLenBuckets []int
+	// TopDiagonals lists the most occupied diagonals as (offset, count),
+	// descending by count, at most 8 entries.
+	TopDiagonals []DiagonalCount
+}
+
+// DiagonalCount is one diagonal's occupancy.
+type DiagonalCount struct {
+	Offset int // column − row
+	Count  int
+}
+
+// Profiled computes the profile in one pass over the rows.
+func Profiled(m sparse.Matrix) *Profile {
+	rows, cols := m.Dims()
+	p := &Profile{Features: Extract(m)}
+	diag := make(map[int]int)
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		p.addRowLen(v.NNZ())
+		for _, j := range v.Index {
+			diag[int(j)-i]++
+		}
+	}
+	// Top diagonals by simple selection (the map is usually small relative
+	// to nnz; 8 passes beat sorting the whole thing for huge ndig).
+	_ = cols
+	for len(p.TopDiagonals) < 8 && len(diag) > 0 {
+		bestOff, bestCnt := 0, -1
+		for off, cnt := range diag {
+			if cnt > bestCnt || (cnt == bestCnt && off < bestOff) {
+				bestOff, bestCnt = off, cnt
+			}
+		}
+		p.TopDiagonals = append(p.TopDiagonals, DiagonalCount{Offset: bestOff, Count: bestCnt})
+		delete(diag, bestOff)
+	}
+	return p
+}
+
+func (p *Profile) addRowLen(n int) {
+	bucket := 0
+	for v := n; v > 0; v >>= 1 {
+		bucket++
+	}
+	for len(p.RowLenBuckets) <= bucket {
+		p.RowLenBuckets = append(p.RowLenBuckets, 0)
+	}
+	p.RowLenBuckets[bucket]++
+}
+
+// BucketLabel renders bucket k's nnz range ("0", "1", "2-3", "4-7", …).
+func BucketLabel(k int) string {
+	switch k {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	default:
+		lo := 1 << (k - 1)
+		hi := 1<<k - 1
+		return fmt.Sprintf("%d-%d", lo, hi)
+	}
+}
+
+// String renders the profile as an aligned multi-line report with ASCII
+// bars, ready for CLI output.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v\n", p.Features)
+	maxCount := 0
+	for _, c := range p.RowLenBuckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sb.WriteString("row-length histogram (nnz per row):\n")
+	for k, c := range p.RowLenBuckets {
+		if c == 0 {
+			continue
+		}
+		bar := ""
+		if maxCount > 0 {
+			n := c * 30 / maxCount
+			if n < 1 {
+				n = 1
+			}
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&sb, "  %-12s %6d %s\n", BucketLabel(k), c, bar)
+	}
+	if len(p.TopDiagonals) > 0 {
+		sb.WriteString("densest diagonals (offset: nnz):\n")
+		for _, d := range p.TopDiagonals {
+			fmt.Fprintf(&sb, "  %+6d: %d\n", d.Offset, d.Count)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestProfiledRowHistogram(t *testing.T) {
+	b := sparse.NewBuilder(6, 20)
+	// Rows with nnz: 0, 1, 2, 3, 4, 8
+	b.Add(1, 0, 1)
+	for j := 0; j < 2; j++ {
+		b.Add(2, j, 1)
+	}
+	for j := 0; j < 3; j++ {
+		b.Add(3, j, 1)
+	}
+	for j := 0; j < 4; j++ {
+		b.Add(4, j, 1)
+	}
+	for j := 0; j < 8; j++ {
+		b.Add(5, j, 1)
+	}
+	p := Profiled(b.MustBuild(sparse.CSR))
+	// Buckets: 0→1 row, 1 (nnz=1)→1, 2 (2-3)→2, 3 (4-7)→1, 4 (8-15)→1.
+	want := []int{1, 1, 2, 1, 1}
+	for k, w := range want {
+		if p.RowLenBuckets[k] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", k, p.RowLenBuckets[k], w, p.RowLenBuckets)
+		}
+	}
+}
+
+func TestProfiledTopDiagonals(t *testing.T) {
+	b := sparse.NewBuilder(10, 10)
+	for i := 0; i < 10; i++ {
+		b.Add(i, i, 1) // main diagonal: 10 entries
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(i, i+2, 1) // offset +2: 5 entries
+	}
+	b.Add(3, 0, 1) // offset -3: 1 entry
+	p := Profiled(b.MustBuild(sparse.CSR))
+	if len(p.TopDiagonals) != 3 {
+		t.Fatalf("%d diagonals, want 3", len(p.TopDiagonals))
+	}
+	if p.TopDiagonals[0].Offset != 0 || p.TopDiagonals[0].Count != 10 {
+		t.Fatalf("top diagonal %+v", p.TopDiagonals[0])
+	}
+	if p.TopDiagonals[1].Offset != 2 || p.TopDiagonals[1].Count != 5 {
+		t.Fatalf("second diagonal %+v", p.TopDiagonals[1])
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	d, err := ByName("trefethen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profiled(d.MustGenerate(1).MustBuild(sparse.DIA))
+	out := p.String()
+	for _, want := range []string{"row-length histogram", "densest diagonals", "ndig=12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	cases := map[int]string{0: "0", 1: "1", 2: "2-3", 3: "4-7", 4: "8-15"}
+	for k, want := range cases {
+		if got := BucketLabel(k); got != want {
+			t.Fatalf("bucket %d label %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// FeatureRange holds per-column minima and maxima observed on a training
+// set, the state behind svm-scale-style preprocessing.
+type FeatureRange struct {
+	Min, Max []float64
+	Lower    float64 // target range lower bound
+	Upper    float64 // target range upper bound
+}
+
+// FitRange scans a matrix and records each feature's [min, max], targeting
+// the given output range (svm-scale defaults to [-1, 1]). Columns with no
+// nonzero entries keep min = max = 0 and pass through unscaled. Zeros are
+// treated as observations (sparse ML convention: absent features are 0).
+func FitRange(m sparse.Matrix, lower, upper float64) *FeatureRange {
+	rows, cols := m.Dims()
+	fr := &FeatureRange{
+		Min:   make([]float64, cols),
+		Max:   make([]float64, cols),
+		Lower: lower,
+		Upper: upper,
+	}
+	seen := make([]bool, cols)
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		for k, j := range v.Index {
+			x := v.Value[k]
+			if !seen[j] {
+				// A sparse column's implicit zeros count toward its range.
+				fr.Min[j] = math.Min(0, x)
+				fr.Max[j] = math.Max(0, x)
+				seen[j] = true
+				continue
+			}
+			if x < fr.Min[j] {
+				fr.Min[j] = x
+			}
+			if x > fr.Max[j] {
+				fr.Max[j] = x
+			}
+		}
+	}
+	return fr
+}
+
+// scaleValue maps x in [min, max] to [lower, upper].
+func (fr *FeatureRange) scaleValue(j int32, x float64) float64 {
+	lo, hi := fr.Min[j], fr.Max[j]
+	if hi == lo {
+		return x // constant (or unseen) column: leave alone
+	}
+	return fr.Lower + (fr.Upper-fr.Lower)*(x-lo)/(hi-lo)
+}
+
+// Apply rescales a matrix column-wise into a new builder. Note that
+// range-scaling a sparse matrix can densify it (a zero maps away from zero
+// when a column's range does not include a zero image), exactly as
+// svm-scale warns; only stored entries are rescaled here, matching the
+// common sparse-data practice of scaling by max-abs instead when zeros
+// must stay zeros.
+func (fr *FeatureRange) Apply(m sparse.Matrix) *sparse.Builder {
+	rows, cols := m.Dims()
+	b := sparse.NewBuilder(rows, cols)
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		for k, j := range v.Index {
+			b.Add(i, int(j), fr.scaleValue(j, v.Value[k]))
+		}
+	}
+	return b
+}
+
+// MaxAbsScale rescales each column by its maximum absolute value, the
+// sparsity-preserving alternative: zeros stay zeros and every entry lands
+// in [-1, 1].
+func MaxAbsScale(m sparse.Matrix) *sparse.Builder {
+	rows, cols := m.Dims()
+	maxAbs := make([]float64, cols)
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		for k, j := range v.Index {
+			if a := math.Abs(v.Value[k]); a > maxAbs[j] {
+				maxAbs[j] = a
+			}
+		}
+	}
+	b := sparse.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		for k, j := range v.Index {
+			x := v.Value[k]
+			if maxAbs[j] > 0 {
+				x /= maxAbs[j]
+			}
+			b.Add(i, int(j), x)
+		}
+	}
+	return b
+}

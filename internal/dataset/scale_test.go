@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestFitRangeAndApply(t *testing.T) {
+	b := sparse.NewBuilder(3, 2)
+	b.Add(0, 0, 10)
+	b.Add(1, 0, 20)
+	b.Add(2, 0, 30)
+	b.Add(0, 1, -4)
+	b.Add(1, 1, 4)
+	m := b.MustBuild(sparse.CSR)
+	fr := FitRange(m, -1, 1)
+	// Column 0: implicit zeros never occur (all rows set) but zero still
+	// counts toward the range per the sparse convention: min(0,10)=0.
+	if fr.Min[0] != 0 || fr.Max[0] != 30 {
+		t.Fatalf("col 0 range [%v,%v]", fr.Min[0], fr.Max[0])
+	}
+	if fr.Min[1] != -4 || fr.Max[1] != 4 {
+		t.Fatalf("col 1 range [%v,%v]", fr.Min[1], fr.Max[1])
+	}
+	scaled := fr.Apply(m).MustBuild(sparse.DEN).(*sparse.Dense)
+	if got := scaled.At(2, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("max of col 0 scaled to %v, want 1", got)
+	}
+	if got := scaled.At(0, 1); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("min of col 1 scaled to %v, want -1", got)
+	}
+	if got := scaled.At(1, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("max of col 1 scaled to %v, want 1", got)
+	}
+}
+
+func TestFitRangeAllScaledValuesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := sparse.NewBuilder(40, 15)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 15; j++ {
+			if rng.Float64() < 0.4 {
+				b.Add(i, j, rng.NormFloat64()*50)
+			}
+		}
+	}
+	m := b.MustBuild(sparse.CSR)
+	fr := FitRange(m, 0, 1)
+	scaled := fr.Apply(m).MustBuild(sparse.CSR)
+	var v sparse.Vector
+	rows, _ := scaled.Dims()
+	for i := 0; i < rows; i++ {
+		v = scaled.RowTo(v, i)
+		for _, x := range v.Value {
+			if x < -1e-12 || x > 1+1e-12 {
+				t.Fatalf("scaled value %v outside [0,1]", x)
+			}
+		}
+	}
+}
+
+func TestMaxAbsScalePreservesSparsityAndSign(t *testing.T) {
+	b := sparse.NewBuilder(3, 3)
+	b.Add(0, 0, -8)
+	b.Add(1, 0, 2)
+	b.Add(2, 1, 5)
+	m := b.MustBuild(sparse.CSR)
+	scaled := MaxAbsScale(m).MustBuild(sparse.CSR)
+	if scaled.NNZ() != m.NNZ() {
+		t.Fatalf("sparsity changed: %d -> %d", m.NNZ(), scaled.NNZ())
+	}
+	d := scaled.(*sparse.CSRMatrix)
+	if got := d.Row(0).Value[0]; got != -1 {
+		t.Fatalf("(0,0) = %v, want -1", got)
+	}
+	if got := d.Row(1).Value[0]; got != 0.25 {
+		t.Fatalf("(1,0) = %v, want 0.25", got)
+	}
+	if got := d.Row(2).Value[0]; got != 1 {
+		t.Fatalf("(2,1) = %v, want 1", got)
+	}
+	// Column 2 is empty: MaxAbsScale must not invent entries or divide by
+	// zero anywhere.
+}
+
+func TestMaxAbsScaleValuesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := sparse.NewBuilder(30, 10)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 10; j++ {
+			if rng.Float64() < 0.3 {
+				b.Add(i, j, rng.NormFloat64()*100)
+			}
+		}
+	}
+	scaled := MaxAbsScale(b.MustBuild(sparse.CSR)).MustBuild(sparse.CSR)
+	var v sparse.Vector
+	for i := 0; i < 30; i++ {
+		v = scaled.RowTo(v, i)
+		for _, x := range v.Value {
+			if math.Abs(x) > 1+1e-12 {
+				t.Fatalf("|%v| > 1 after max-abs scaling", x)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Split holds a train/test partition of a labeled dataset, rebuilt as two
+// independent matrices.
+type Split struct {
+	TrainX *sparse.Builder
+	TrainY []float64
+	TestX  *sparse.Builder
+	TestY  []float64
+}
+
+// TrainTestSplit shuffles rows with the given seed and carves off
+// testFrac of them (rounded down, at least 1 each side) into the test
+// partition.
+func TrainTestSplit(m sparse.Matrix, y []float64, testFrac float64, seed int64) (*Split, error) {
+	rows, _ := m.Dims()
+	if len(y) != rows {
+		return nil, fmt.Errorf("dataset: %d labels for %d rows", len(y), rows)
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, fmt.Errorf("dataset: test fraction %v outside (0,1)", testFrac)
+	}
+	nTest := int(float64(rows) * testFrac)
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= rows {
+		return nil, fmt.Errorf("dataset: %d rows cannot give both partitions at fraction %v", rows, testFrac)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(rows)
+	return buildSplit(m, y, perm[nTest:], perm[:nTest])
+}
+
+// StratifiedSplit is TrainTestSplit preserving per-class proportions: each
+// label contributes testFrac of its rows (rounded, at least 1 when the
+// class has 2+ rows) to the test partition.
+func StratifiedSplit(m sparse.Matrix, y []float64, testFrac float64, seed int64) (*Split, error) {
+	rows, _ := m.Dims()
+	if len(y) != rows {
+		return nil, fmt.Errorf("dataset: %d labels for %d rows", len(y), rows)
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, fmt.Errorf("dataset: test fraction %v outside (0,1)", testFrac)
+	}
+	byClass := map[float64][]int{}
+	for i, l := range y {
+		byClass[l] = append(byClass[l], i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var trainIdx, testIdx []int
+	for _, idx := range byClassOrdered(byClass) {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := int(float64(len(idx))*testFrac + 0.5)
+		if n < 1 && len(idx) >= 2 {
+			n = 1
+		}
+		if n >= len(idx) {
+			n = len(idx) - 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		testIdx = append(testIdx, idx[:n]...)
+		trainIdx = append(trainIdx, idx[n:]...)
+	}
+	if len(trainIdx) == 0 || len(testIdx) == 0 {
+		return nil, fmt.Errorf("dataset: stratified split produced an empty partition")
+	}
+	return buildSplit(m, y, trainIdx, testIdx)
+}
+
+// byClassOrdered returns the per-class index slices in deterministic
+// (ascending label) order so splits are reproducible.
+func byClassOrdered(byClass map[float64][]int) [][]int {
+	labels := make([]float64, 0, len(byClass))
+	for l := range byClass {
+		labels = append(labels, l)
+	}
+	// insertion sort: tiny label sets
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
+	out := make([][]int, len(labels))
+	for i, l := range labels {
+		out[i] = byClass[l]
+	}
+	return out
+}
+
+func buildSplit(m sparse.Matrix, y []float64, trainIdx, testIdx []int) (*Split, error) {
+	_, cols := m.Dims()
+	s := &Split{
+		TrainX: sparse.NewBuilder(len(trainIdx), cols),
+		TestX:  sparse.NewBuilder(len(testIdx), cols),
+	}
+	var v sparse.Vector
+	for r, src := range trainIdx {
+		v = m.RowTo(v, src)
+		s.TrainX.AddRow(r, v)
+		s.TrainY = append(s.TrainY, y[src])
+	}
+	for r, src := range testIdx {
+		v = m.RowTo(v, src)
+		s.TestX.AddRow(r, v)
+		s.TestY = append(s.TestY, y[src])
+	}
+	return s, nil
+}

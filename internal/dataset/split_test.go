@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func splitFixture(t *testing.T, rows int, seed int64) (sparse.Matrix, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(rows, 6)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		// 75/25 class imbalance.
+		if i%4 == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+		// Column 0 carries an exact row identity for coverage checks;
+		// the rest is noise.
+		b.Add(i, 0, float64(i*10))
+		for j := 1; j < 6; j++ {
+			b.Add(i, j, rng.NormFloat64())
+		}
+	}
+	return b.MustBuild(sparse.CSR), y
+}
+
+func TestTrainTestSplitSizesAndDisjoint(t *testing.T) {
+	m, y := splitFixture(t, 100, 1)
+	s, err := TrainTestSplit(m, y, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TestY) != 25 || len(s.TrainY) != 75 {
+		t.Fatalf("split sizes %d/%d", len(s.TrainY), len(s.TestY))
+	}
+	// Column 0 carries an exact row identity (10·i, skipping row 0 whose
+	// zero value is elided); train+test must cover every row exactly once.
+	seen := map[int]int{}
+	collect := func(b *sparse.Builder) {
+		mm := b.MustBuild(sparse.CSR)
+		rows, _ := mm.Dims()
+		var v sparse.Vector
+		for i := 0; i < rows; i++ {
+			v = mm.RowTo(v, i)
+			id := 0
+			if v.NNZ() > 0 && v.Index[0] == 0 {
+				id = int(math.Round(v.Value[0]))
+			}
+			seen[id]++
+		}
+	}
+	collect(s.TrainX)
+	collect(s.TestX)
+	if len(seen) != 100 {
+		t.Fatalf("recovered %d distinct rows, want 100", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("row %d appears %d times across partitions", id, n)
+		}
+	}
+}
+
+func TestTrainTestSplitErrors(t *testing.T) {
+	m, y := splitFixture(t, 10, 3)
+	if _, err := TrainTestSplit(m, y, 0, 1); err == nil {
+		t.Fatal("frac 0 accepted")
+	}
+	if _, err := TrainTestSplit(m, y, 1, 1); err == nil {
+		t.Fatal("frac 1 accepted")
+	}
+	if _, err := TrainTestSplit(m, y[:4], 0.2, 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}
+
+func TestStratifiedSplitPreservesProportions(t *testing.T) {
+	m, y := splitFixture(t, 200, 4)
+	s, err := StratifiedSplit(m, y, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(ys []float64) float64 {
+		pos := 0
+		for _, l := range ys {
+			if l == 1 {
+				pos++
+			}
+		}
+		return float64(pos) / float64(len(ys))
+	}
+	all := frac(y)
+	if math.Abs(frac(s.TrainY)-all) > 0.03 {
+		t.Fatalf("train class fraction %v, want ~%v", frac(s.TrainY), all)
+	}
+	if math.Abs(frac(s.TestY)-all) > 0.03 {
+		t.Fatalf("test class fraction %v, want ~%v", frac(s.TestY), all)
+	}
+}
+
+func TestStratifiedSplitTinyClasses(t *testing.T) {
+	b := sparse.NewBuilder(5, 2)
+	for i := 0; i < 5; i++ {
+		b.Add(i, 0, float64(i+1))
+	}
+	m := b.MustBuild(sparse.CSR)
+	y := []float64{0, 0, 0, 0, 1} // class 1 has a single row
+	s, err := StratifiedSplit(m, y, 0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The singleton class must stay in training (cannot split it).
+	for _, l := range s.TestY {
+		if l == 1 {
+			t.Fatal("singleton class leaked into test")
+		}
+	}
+	if len(s.TrainY)+len(s.TestY) != 5 {
+		t.Fatal("rows lost")
+	}
+}
+
+func TestSplitsDeterministic(t *testing.T) {
+	m, y := splitFixture(t, 60, 7)
+	a, err := TrainTestSplit(m, y, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainTestSplit(m, y, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TestY {
+		if a.TestY[i] != b.TestY[i] {
+			t.Fatal("same seed, different split")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Descriptor describes one of the paper's Table V evaluation datasets: the
+// statistics the paper reports and a seeded generator that clones that
+// statistical signature at a tractable size.
+//
+// The large datasets (gisette 30M nnz, epsilon 780M, dna 720M) are scaled
+// down — format performance depends on the Table IV parameters, which are
+// shape statistics, so clones preserve density, row-length distribution
+// (adim:mdim:vdim profile) and diagonal structure rather than raw size.
+// CloneM/CloneN record the generated dimensions.
+type Descriptor struct {
+	Name        string
+	Application string   // the paper's application domain column
+	Paper       Features // Table V's reported statistics
+	CloneM      int      // rows of the generated clone
+	CloneN      int      // columns of the generated clone
+	Scaled      bool     // true when the clone is smaller than the original
+
+	gen func(d Descriptor, rng *rand.Rand) (*sparse.Builder, error)
+}
+
+// Generate builds the clone matrix with the given seed.
+func (d Descriptor) Generate(seed int64) (*sparse.Builder, error) {
+	return d.gen(d, rand.New(rand.NewSource(seed)))
+}
+
+// MustGenerate is Generate for trusted descriptors; it panics on error.
+func (d Descriptor) MustGenerate(seed int64) *sparse.Builder {
+	b, err := d.Generate(seed)
+	if err != nil {
+		panic(fmt.Sprintf("dataset %s: %v", d.Name, err))
+	}
+	return b
+}
+
+// genPlanned clones a sparse dataset from its (adim, vdim, mdim) row plan.
+func genPlanned(d Descriptor, rng *rand.Rand) (*sparse.Builder, error) {
+	adim := d.Paper.Adim
+	mdim := d.Paper.Mdim
+	if mdim > d.CloneN {
+		mdim = d.CloneN
+	}
+	plan, err := PlanRows(d.CloneM, d.CloneN, adim, d.Paper.Vdim, mdim)
+	if err != nil {
+		return nil, err
+	}
+	target := int64(adim * float64(d.CloneM))
+	lens := plan.Lengths(target, rng)
+	return FromRowLengths(lens, d.CloneN, rng), nil
+}
+
+// genDense clones a fully dense dataset.
+func genDense(d Descriptor, rng *rand.Rand) (*sparse.Builder, error) {
+	return DenseMatrix(d.CloneM, d.CloneN, rng), nil
+}
+
+// genBanded clones a banded dataset (trefethen) with the paper's diagonal
+// count.
+func genBanded(d Descriptor, rng *rand.Rand) (*sparse.Builder, error) {
+	return Banded(d.CloneM, d.CloneN, d.Paper.Ndig, d.Paper.NNZ, rng)
+}
+
+// TableV returns descriptors for all eleven datasets in the paper's
+// Table V, in the paper's row order.
+func TableV() []Descriptor {
+	return []Descriptor{
+		{
+			Name: "adult", Application: "economy",
+			Paper:  Features{M: 2265, N: 119, NNZ: 31404, Ndig: 2347, Dnnz: 13.38, Mdim: 14, Adim: 13.87, Vdim: 0.059, Density: 0.119},
+			CloneM: 2265, CloneN: 119, gen: genPlanned,
+		},
+		{
+			Name: "breast_cancer", Application: "clinical",
+			Paper:  Features{M: 38, N: 7129, NNZ: 270902, Ndig: 7166, Dnnz: 37.80, Mdim: 7129, Adim: 7129, Vdim: 0, Density: 1.0},
+			CloneM: 38, CloneN: 7129, gen: genDense,
+		},
+		{
+			Name: "aloi", Application: "vision",
+			Paper:  Features{M: 1000, N: 128, NNZ: 32142, Ndig: 1125, Dnnz: 28.57, Mdim: 74, Adim: 32.14, Vdim: 85.22, Density: 0.251},
+			CloneM: 1000, CloneN: 128, gen: genPlanned,
+		},
+		{
+			Name: "gisette", Application: "selection",
+			Paper:  Features{M: 6000, N: 5000, NNZ: 30000000, Ndig: 10999, Dnnz: 2728, Mdim: 5000, Adim: 5000, Vdim: 0, Density: 1.0},
+			CloneM: 600, CloneN: 500, Scaled: true, gen: genDense,
+		},
+		{
+			Name: "mnist", Application: "recognition",
+			Paper:  Features{M: 450, N: 772, NNZ: 66825, Ndig: 1050, Dnnz: 63.64, Mdim: 291, Adim: 148.5, Vdim: 1594, Density: 0.192},
+			CloneM: 450, CloneN: 772, gen: genPlanned,
+		},
+		{
+			Name: "sector", Application: "industry",
+			Paper:  Features{M: 1500, N: 55188, NNZ: 238790, Ndig: 33770, Dnnz: 7.07, Mdim: 1819, Adim: 159.19, Vdim: 17634, Density: 0.003},
+			CloneM: 375, CloneN: 13797, Scaled: true, gen: genPlanned,
+		},
+		{
+			Name: "epsilon", Application: "AI",
+			Paper:  Features{M: 390000, N: 2000, NNZ: 780000000, Ndig: 391999, Dnnz: 1990, Mdim: 2000, Adim: 2000, Vdim: 0, Density: 1.0},
+			CloneM: 1950, CloneN: 200, Scaled: true, gen: genDense,
+		},
+		{
+			Name: "leukemia", Application: "biology",
+			Paper:  Features{M: 38, N: 7129, NNZ: 270902, Ndig: 7166, Dnnz: 37.8, Mdim: 7129, Adim: 7129, Vdim: 0, Density: 1.0},
+			CloneM: 38, CloneN: 7129, gen: genDense,
+		},
+		{
+			Name: "connect-4", Application: "game",
+			Paper:  Features{M: 1800, N: 125, NNZ: 75600, Ndig: 1922, Dnnz: 39.33, Mdim: 42, Adim: 42, Vdim: 0, Density: 0.336},
+			CloneM: 1800, CloneN: 125, gen: genPlanned,
+		},
+		{
+			Name: "trefethen", Application: "numerical",
+			Paper:  Features{M: 2000, N: 2000, NNZ: 21953, Ndig: 12, Dnnz: 1829, Mdim: 12, Adim: 10.98, Vdim: 1.25, Density: 0.006},
+			CloneM: 2000, CloneN: 2000, gen: genBanded,
+		},
+		{
+			Name: "dna", Application: "genomics",
+			Paper:  Features{M: 3600000, N: 200, NNZ: 720000000, Ndig: 3600199, Dnnz: 200.0, Mdim: 200, Adim: 200, Vdim: 0, Density: 1.0},
+			CloneM: 18000, CloneN: 200, Scaled: true, gen: genDense,
+		},
+	}
+}
+
+// ByName returns the Table V descriptor with the given name.
+func ByName(name string) (Descriptor, error) {
+	for _, d := range TableV() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("dataset: unknown Table V dataset %q", name)
+}
+
+// Figure1Names lists the five datasets evaluated in the paper's Figure 1
+// and Table III, in figure order.
+var Figure1Names = []string{"adult", "aloi", "mnist", "gisette", "trefethen"}
+
+// Table6Names lists the nine datasets of the paper's Table VI (the
+// adaptive-system evaluation), in table order.
+var Table6Names = []string{
+	"adult", "breast_cancer", "aloi", "gisette", "mnist",
+	"sector", "leukemia", "connect-4", "trefethen",
+}

@@ -1,0 +1,53 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// FromMatrix bridges the sparse-matrix world into DNN training: the rows
+// of a layout-scheduled data matrix become flat feature vectors ([N, 1, 1,
+// d] tensors) with integer class labels, so the same Table V clones the
+// SVM experiments use can train an MLP. Labels may be any distinct values
+// (e.g. ±1); they are densely re-indexed, with the mapping returned.
+func FromMatrix(m sparse.Matrix, y []float64, trainFrac float64) (*Dataset, map[float64]int, error) {
+	rows, cols := m.Dims()
+	if len(y) != rows {
+		return nil, nil, fmt.Errorf("dnn: %d labels for %d rows", len(y), rows)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dnn: train fraction %v outside (0,1)", trainFrac)
+	}
+	classIdx := map[float64]int{}
+	for _, l := range y {
+		if _, ok := classIdx[l]; !ok {
+			classIdx[l] = len(classIdx)
+		}
+	}
+	if len(classIdx) < 2 {
+		return nil, nil, fmt.Errorf("dnn: need at least 2 classes, got %d", len(classIdx))
+	}
+	nTrain := int(float64(rows) * trainFrac)
+	if nTrain < 1 || nTrain >= rows {
+		return nil, nil, fmt.Errorf("dnn: %d rows cannot split at fraction %v", rows, trainFrac)
+	}
+	d := &Dataset{Classes: len(classIdx), C: 1, H: 1, W: cols}
+	fill := func(lo, hi int) (*Tensor, []int) {
+		x := NewTensor(hi-lo, 1, 1, cols)
+		labels := make([]int, hi-lo)
+		var v sparse.Vector
+		for i := lo; i < hi; i++ {
+			v = m.RowTo(v, i)
+			dst := x.Data[(i-lo)*cols : (i-lo+1)*cols]
+			for k, j := range v.Index {
+				dst[j] = v.Value[k]
+			}
+			labels[i-lo] = classIdx[y[i]]
+		}
+		return x, labels
+	}
+	d.TrainX, d.TrainY = fill(0, nTrain)
+	d.TestX, d.TestY = fill(nTrain, rows)
+	return d, classIdx, nil
+}

@@ -1,0 +1,57 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+func TestFromMatrixBridgeTrainsOnClone(t *testing.T) {
+	d, err := dataset.ByName("aloi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.MustGenerate(3).MustBuild(sparse.CSR)
+	rng := rand.New(rand.NewSource(4))
+	y := dataset.PlantedLabels(m, 0.02, rng)
+	ds, classes, err := FromMatrix(m, y, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 2 || len(classes) != 2 {
+		t.Fatalf("classes %v", classes)
+	}
+	if ds.NTrain()+ds.NTest() != 1000 {
+		t.Fatalf("split sizes %d/%d", ds.NTrain(), ds.NTest())
+	}
+	net := MLP(ds.Classes, ds.C*ds.H*ds.W, 32, 1, 5)
+	res, err := TrainToTarget(net, ds, TrainConfig{
+		Batch: 50, LR: 0.01, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 80, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("MLP on the aloi clone never reached 0.8 (final %v)", res.FinalAcc)
+	}
+}
+
+func TestFromMatrixErrors(t *testing.T) {
+	b := sparse.NewBuilder(10, 3)
+	for i := 0; i < 10; i++ {
+		b.Add(i, 0, 1)
+	}
+	m := b.MustBuild(sparse.CSR)
+	y := make([]float64, 10)
+	if _, _, err := FromMatrix(m, y[:5], 0.8); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, _, err := FromMatrix(m, y, 0); err == nil {
+		t.Fatal("frac 0 accepted")
+	}
+	if _, _, err := FromMatrix(m, y, 0.8); err == nil {
+		t.Fatal("single class accepted")
+	}
+}

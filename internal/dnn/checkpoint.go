@@ -1,0 +1,53 @@
+package dnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the serialized form of a network's learnable state. The
+// architecture itself is code, not data — loading requires a structurally
+// identical network, which the shape check enforces.
+type checkpoint struct {
+	Shapes [][]int
+	Data   [][]float64
+}
+
+// SaveWeights writes every learnable parameter of the network.
+func SaveWeights(w io.Writer, net *Network) error {
+	var cp checkpoint
+	for _, p := range net.Params() {
+		cp.Shapes = append(cp.Shapes, append([]int{}, p.W.Shape...))
+		cp.Data = append(cp.Data, append([]float64{}, p.W.Data...))
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadWeights restores parameters saved by SaveWeights into a structurally
+// identical network.
+func LoadWeights(r io.Reader, net *Network) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("dnn: decode checkpoint: %w", err)
+	}
+	params := net.Params()
+	if len(params) != len(cp.Shapes) {
+		return fmt.Errorf("dnn: checkpoint has %d params, network has %d", len(cp.Shapes), len(params))
+	}
+	for i, p := range params {
+		if len(cp.Shapes[i]) != len(p.W.Shape) {
+			return fmt.Errorf("dnn: param %d rank mismatch", i)
+		}
+		for d := range p.W.Shape {
+			if cp.Shapes[i][d] != p.W.Shape[d] {
+				return fmt.Errorf("dnn: param %d shape %v, checkpoint %v", i, p.W.Shape, cp.Shapes[i])
+			}
+		}
+		if len(cp.Data[i]) != p.W.Len() {
+			return fmt.Errorf("dnn: param %d data length %d, want %d", i, len(cp.Data[i]), p.W.Len())
+		}
+		copy(p.W.Data, cp.Data[i])
+	}
+	return nil
+}

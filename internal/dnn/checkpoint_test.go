@@ -1,0 +1,75 @@
+package dnn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	d, err := SyntheticCIFAR(3, 1, 8, 8, 96, 30, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 6)
+	// Train briefly so the weights are non-trivial.
+	opt := NewSGD(net, 0.02, 0.9)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for step := 0; step < 10; step++ {
+		x, y := d.Batch(idx)
+		net.ZeroGrads()
+		net.TrainStep(x, y)
+		opt.Step()
+	}
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	restored := SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 999) // different init
+	if err := LoadWeights(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must agree exactly.
+	x, _ := d.Batch(idx)
+	a := net.Predict(x)
+	b := restored.Predict(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction mismatch at %d", i)
+		}
+	}
+	// Logits too (stronger than argmax agreement).
+	la := net.Forward(x)
+	lb := restored.Forward(x)
+	for i := range la.Data {
+		if la.Data[i] != lb.Data[i] {
+			t.Fatalf("logit mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	net := MLP(3, 16, 8, 1, 1)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	other := MLP(3, 16, 12, 1, 1) // different hidden width
+	if err := LoadWeights(&buf, other); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	buf.Reset()
+	if err := SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	fewer := NewNetwork(NewDense(16, 3, 1, testRand()))
+	if err := LoadWeights(&buf, fewer); err == nil {
+		t.Fatal("param-count mismatch accepted")
+	}
+}
+
+func TestCheckpointGarbageInput(t *testing.T) {
+	net := MLP(3, 16, 8, 1, 1)
+	if err := LoadWeights(bytes.NewReader([]byte("not a gob stream")), net); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package dnn
+
+import "math/rand"
+
+// Cifar10FullNet builds the Caffe `cifar10_full` architecture the paper
+// uses as its DNN baseline (§IV: "Our baseline is Caffe's cifar10_full
+// model"): three 5×5 convolution + pool stages (32, 32, 64 channels) over
+// 32×32×3 input, followed by a linear classifier into 10 classes.
+// Caffe's version pairs each conv with pooling and normalization; LRN
+// layers contribute little at this scale and are omitted, as most
+// reimplementations do.
+//
+// scale shrinks the channel counts (scale=1 is the full model with ~89k
+// parameters; scale=4 gives 8/8/16 channels for laptop-speed tests).
+// Input height/width must be divisible by 8 (three stride-2 pools).
+func Cifar10FullNet(classes, c, h, w, scale, workers int, seed int64) *Network {
+	if scale < 1 {
+		scale = 1
+	}
+	if h%8 != 0 || w%8 != 0 {
+		panic("dnn: cifar10_full input dims must be divisible by 8")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c1 := max(32/scale, 1)
+	c2 := max(32/scale, 1)
+	c3 := max(64/scale, 1)
+	flat := c3 * (h / 8) * (w / 8)
+	return NewNetwork(
+		// conv1 5x5 pad 2 → pool → relu (Caffe pools before ReLU here).
+		NewConv2D(c, c1, 5, 2, workers, rng),
+		NewMaxPool2D(2, workers),
+		NewReLU(),
+		// conv2 5x5 pad 2 → relu → pool.
+		NewConv2D(c1, c2, 5, 2, workers, rng),
+		NewReLU(),
+		NewMaxPool2D(2, workers),
+		// conv3 5x5 pad 2 → relu → pool.
+		NewConv2D(c2, c3, 5, 2, workers, rng),
+		NewReLU(),
+		NewMaxPool2D(2, workers),
+		NewFlatten(),
+		NewDense(flat, classes, workers, rng),
+	)
+}
+
+// Cifar10FullSolver returns the SGD settings of Caffe's
+// cifar10_full_solver: base η 0.001, momentum 0.9, weight decay 0.004,
+// with the documented two 10× drops appearing late in training.
+func Cifar10FullSolver(net *Network, stepIters int) *SGD {
+	opt := NewSGD(net, 0.001, 0.9)
+	opt.WeightDecay = 0.004
+	if stepIters > 0 {
+		opt.Schedule = StepLR{Step: stepIters, Gamma: 0.1}
+	}
+	return opt
+}

@@ -1,0 +1,66 @@
+package dnn
+
+import "testing"
+
+func TestCifar10FullNetShapes(t *testing.T) {
+	net := Cifar10FullNet(10, 3, 32, 32, 1, 1, 1)
+	x := NewTensor(2, 3, 32, 32)
+	logits := net.Forward(x)
+	if logits.Shape[0] != 2 || logits.Shape[1] != 10 {
+		t.Fatalf("logits shape %v", logits.Shape)
+	}
+	// Full model: conv1 3*32*25+32, conv2 32*32*25+32, conv3 32*64*25+64,
+	// fc 64*16*10+10 = 2432+25632+51264+10250 = 89578.
+	if got := net.NumParams(); got != 89578 {
+		t.Fatalf("NumParams = %d, want 89578", got)
+	}
+}
+
+func TestCifar10FullNetScaled(t *testing.T) {
+	net := Cifar10FullNet(4, 1, 8, 8, 4, 1, 2)
+	x := NewTensor(3, 1, 8, 8)
+	logits := net.Forward(x)
+	if logits.Shape[0] != 3 || logits.Shape[1] != 4 {
+		t.Fatalf("logits shape %v", logits.Shape)
+	}
+}
+
+func TestCifar10FullNetRejectsBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible dims accepted")
+		}
+	}()
+	Cifar10FullNet(10, 3, 30, 30, 1, 1, 1)
+}
+
+func TestCifar10FullSolverSettings(t *testing.T) {
+	net := Cifar10FullNet(4, 1, 8, 8, 4, 1, 3)
+	opt := Cifar10FullSolver(net, 100)
+	if opt.LR != 0.001 || opt.Momentum != 0.9 || opt.WeightDecay != 0.004 {
+		t.Fatalf("solver settings %+v", opt)
+	}
+	if opt.Schedule == nil || opt.Schedule.Multiplier(100) != 0.1 {
+		t.Fatal("step schedule missing")
+	}
+	if Cifar10FullSolver(net, 0).Schedule != nil {
+		t.Fatal("stepIters=0 should disable the schedule")
+	}
+}
+
+func TestCifar10FullTrainsOnSyntheticData(t *testing.T) {
+	d, err := SyntheticCIFAR(4, 1, 8, 8, 256, 64, 1.0, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Cifar10FullNet(d.Classes, d.C, d.H, d.W, 4, 1, 30)
+	res, err := TrainToTarget(net, d, TrainConfig{
+		Batch: 32, LR: 0.02, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 40, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("scaled cifar10_full did not reach 0.8 (final %v)", res.FinalAcc)
+	}
+}

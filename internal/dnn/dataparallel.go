@@ -1,0 +1,143 @@
+package dnn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DataParallel implements the paper's §IV-B multi-GPU strategy in shared
+// memory: "divide-and-conquer for the data and replication for the
+// weights. Assume we have P workers. At each iteration, we partition a
+// batch of B samples and each worker gets B/P samples. Each worker gets
+// one copy of the weights W. After a global sum reduce operation ... each
+// worker can update their local weights by W = W − η·ΣᵢΔWᵢ/P."
+//
+// Each replica is an independent Network with identical initialization;
+// TrainStep shards the batch, runs the replicas concurrently, allreduces
+// the gradients (a weighted average, so the update equals exactly what a
+// single network would compute on the full batch), applies one momentum
+// update on the primary replica and broadcasts its weights.
+type DataParallel struct {
+	replicas []*Network
+	opt      *SGD
+	p        int
+}
+
+// NewDataParallel builds P identically initialized replicas via build
+// (which must be deterministic in its seed argument) and binds a momentum
+// optimizer to the primary.
+func NewDataParallel(build func(seed int64) *Network, p int, lr, momentum float64, seed int64) (*DataParallel, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dnn: need at least 1 replica, got %d", p)
+	}
+	dp := &DataParallel{p: p}
+	for w := 0; w < p; w++ {
+		dp.replicas = append(dp.replicas, build(seed))
+	}
+	// Verify the builder really replicated the weights.
+	ref := dp.replicas[0].Params()
+	for w := 1; w < p; w++ {
+		params := dp.replicas[w].Params()
+		if len(params) != len(ref) {
+			return nil, fmt.Errorf("dnn: replica %d has %d params, primary has %d", w, len(params), len(ref))
+		}
+		for i := range params {
+			if params[i].W.Len() != ref[i].W.Len() {
+				return nil, fmt.Errorf("dnn: replica %d param %d shape mismatch", w, i)
+			}
+			for j := range params[i].W.Data {
+				if params[i].W.Data[j] != ref[i].W.Data[j] {
+					return nil, fmt.Errorf("dnn: build(seed) is not deterministic (replica %d differs)", w)
+				}
+			}
+		}
+	}
+	dp.opt = NewSGD(dp.replicas[0], lr, momentum)
+	return dp, nil
+}
+
+// Replicas returns the worker count P.
+func (dp *DataParallel) Replicas() int { return dp.p }
+
+// Network returns the primary replica (for evaluation and inspection).
+func (dp *DataParallel) Network() *Network { return dp.replicas[0] }
+
+// TrainStep shards the batch across the replicas, allreduces gradients,
+// steps the optimizer and broadcasts the updated weights. It returns the
+// batch mean loss. Shards are as equal as possible; with fewer samples
+// than replicas the surplus replicas idle this step.
+func (dp *DataParallel) TrainStep(x *Tensor, labels []int) float64 {
+	b := x.Shape[0]
+	if b == 0 {
+		return 0
+	}
+	per := x.Len() / b
+	type shard struct {
+		lo, hi int
+	}
+	shards := make([]shard, dp.p)
+	base, extra := b/dp.p, b%dp.p
+	lo := 0
+	for w := range shards {
+		hi := lo + base
+		if w < extra {
+			hi++
+		}
+		shards[w] = shard{lo, hi}
+		lo = hi
+	}
+	losses := make([]float64, dp.p)
+	var wg sync.WaitGroup
+	for w := 0; w < dp.p; w++ {
+		if shards[w].lo >= shards[w].hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := shards[w]
+			sx := NewTensorFrom(x.Data[s.lo*per:s.hi*per], append([]int{s.hi - s.lo}, x.Shape[1:]...)...)
+			dp.replicas[w].ZeroGrads()
+			losses[w] = dp.replicas[w].TrainStep(sx, labels[s.lo:s.hi])
+		}(w)
+	}
+	wg.Wait()
+
+	// Global sum reduce: each shard's gradient is a mean over its own
+	// samples, so the batch-mean gradient is the shard-size-weighted
+	// average — identical to a single worker on the whole batch.
+	primary := dp.replicas[0].Params()
+	w0 := float64(shards[0].hi-shards[0].lo) / float64(b)
+	for i := range primary {
+		for j := range primary[i].Grad.Data {
+			primary[i].Grad.Data[j] *= w0
+		}
+	}
+	for w := 1; w < dp.p; w++ {
+		if shards[w].lo >= shards[w].hi {
+			continue
+		}
+		weight := float64(shards[w].hi-shards[w].lo) / float64(b)
+		params := dp.replicas[w].Params()
+		for i := range primary {
+			for j := range primary[i].Grad.Data {
+				primary[i].Grad.Data[j] += weight * params[i].Grad.Data[j]
+			}
+		}
+	}
+	dp.opt.Step()
+	// Broadcast: replicate the primary's updated weights.
+	for w := 1; w < dp.p; w++ {
+		params := dp.replicas[w].Params()
+		for i := range primary {
+			copy(params[i].W.Data, primary[i].W.Data)
+			params[i].Grad.Zero()
+		}
+	}
+
+	var loss float64
+	for w := 0; w < dp.p; w++ {
+		loss += losses[w] * float64(shards[w].hi-shards[w].lo)
+	}
+	return loss / float64(b)
+}

@@ -1,0 +1,81 @@
+package dnn
+
+import "math/rand"
+
+// Dropout randomly zeroes a fraction Rate of activations during training,
+// scaling the survivors by 1/(1−Rate) (inverted dropout, so inference
+// needs no rescaling). Call SetTraining(false) before evaluation.
+type Dropout struct {
+	Rate     float64
+	rng      *rand.Rand
+	training bool
+	mask     []bool
+}
+
+// NewDropout creates a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("dnn: dropout rate must be in [0,1)")
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed)), training: true}
+}
+
+// Name identifies the layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Params returns nothing; dropout is parameter-free.
+func (d *Dropout) Params() []Param { return nil }
+
+// SetTraining toggles between training (drop) and inference (identity).
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Forward applies the mask in training mode, identity otherwise.
+func (d *Dropout) Forward(x *Tensor) *Tensor {
+	if !d.training || d.Rate == 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]bool, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			out.Data[i] = 0
+			d.mask[i] = false
+		} else {
+			out.Data[i] *= scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units with the same
+// scale.
+func (d *Dropout) Backward(dout *Tensor) *Tensor {
+	if !d.training || d.Rate == 0 {
+		return dout
+	}
+	out := dout.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range out.Data {
+		if d.mask[i] {
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// SetTrainingMode walks a network and toggles every Dropout layer; call
+// with false before Evaluate and true before resuming training.
+func SetTrainingMode(n *Network, training bool) {
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok {
+			d.SetTraining(training)
+		}
+	}
+}

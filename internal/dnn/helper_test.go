@@ -1,0 +1,6 @@
+package dnn
+
+import "math/rand"
+
+// testRand returns a fixed-seed RNG for deterministic tests.
+func testRand() *rand.Rand { return rand.New(rand.NewSource(123)) }

@@ -1,0 +1,377 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/parallel"
+)
+
+// Param is one learnable tensor and its gradient accumulator.
+type Param struct {
+	W    *Tensor
+	Grad *Tensor
+}
+
+// Layer is one differentiable network stage. Forward consumes a batch and
+// caches what Backward needs; Backward consumes ∂L/∂out and returns
+// ∂L/∂in, accumulating parameter gradients into Params().
+type Layer interface {
+	Name() string
+	Forward(x *Tensor) *Tensor
+	Backward(dout *Tensor) *Tensor
+	Params() []Param
+}
+
+// Dense is a fully connected layer: out = x·W + b for x of shape [B, in].
+type Dense struct {
+	In, Out int
+	W, B    Param
+	workers int
+	x       *Tensor // cached input
+}
+
+// NewDense creates a Dense layer with He initialization.
+func NewDense(in, out, workers int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, workers: workers}
+	w := NewTensor(in, out)
+	w.RandInit(in, rng)
+	d.W = Param{W: w, Grad: NewTensor(in, out)}
+	d.B = Param{W: NewTensor(1, out), Grad: NewTensor(1, out)}
+	return d
+}
+
+// Name identifies the layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.In, d.Out) }
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []Param { return []Param{d.W, d.B} }
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	d.x = x
+	out := MatMul(x, d.W.W, d.workers)
+	b := d.B.W.Data
+	rows := out.Shape[0]
+	parallel.ForRange(rows, d.workers, parallel.Static, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Data[i*d.Out : (i+1)*d.Out]
+			for j := range row {
+				row[j] += b[j]
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates ∂L/∂W = xᵀ·dout, ∂L/∂b = Σ rows(dout), and returns
+// ∂L/∂x = dout·Wᵀ.
+func (d *Dense) Backward(dout *Tensor) *Tensor {
+	gw := MatMulATB(d.x, dout, d.workers)
+	for i, g := range gw.Data {
+		d.W.Grad.Data[i] += g
+	}
+	rows := dout.Shape[0]
+	for i := 0; i < rows; i++ {
+		row := dout.Data[i*d.Out : (i+1)*d.Out]
+		for j, g := range row {
+			d.B.Grad.Data[j] += g
+		}
+	}
+	return MatMulABT(dout, d.W.W, d.workers)
+}
+
+// ReLU is the rectifier activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name identifies the layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params returns nothing; ReLU is parameter-free.
+func (r *ReLU) Params() []Param { return nil }
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(dout *Tensor) *Tensor {
+	out := dout.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Conv2D is a 2-D convolution over NCHW input, implemented as im2col +
+// matrix multiply ("the computational kernels of deep learning are mainly
+// matrix-matrix multiply", §IV-C), with zero padding Pad and stride
+// Stride (AlexNet-style networks need stride > 1 in the stem).
+type Conv2D struct {
+	InC, OutC, K, Pad, Stride int
+	W, B                      Param
+	workers                   int
+	x                         *Tensor
+	cols                      *Tensor // cached im2col matrix
+	inH, inW                  int
+}
+
+// NewConv2D creates a stride-1 conv layer with K×K kernels.
+func NewConv2D(inC, outC, k, pad, workers int, rng *rand.Rand) *Conv2D {
+	return NewConv2DStride(inC, outC, k, pad, 1, workers, rng)
+}
+
+// NewConv2DStride creates a conv layer with an explicit stride.
+func NewConv2DStride(inC, outC, k, pad, stride, workers int, rng *rand.Rand) *Conv2D {
+	if stride < 1 {
+		panic("dnn: conv stride must be >= 1")
+	}
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Pad: pad, Stride: stride, workers: workers}
+	w := NewTensor(outC, inC*k*k)
+	w.RandInit(inC*k*k, rng)
+	c.W = Param{W: w, Grad: NewTensor(outC, inC*k*k)}
+	c.B = Param{W: NewTensor(1, outC), Grad: NewTensor(1, outC)}
+	return c
+}
+
+// Name identifies the layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv(%d→%d, %dx%d)", c.InC, c.OutC, c.K, c.K)
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2D) Params() []Param { return []Param{c.W, c.B} }
+
+// outDims computes the output spatial size for input h×w.
+func (c *Conv2D) outDims(h, w int) (int, int) {
+	return (h+2*c.Pad-c.K)/c.Stride + 1, (w+2*c.Pad-c.K)/c.Stride + 1
+}
+
+// im2col unfolds x [B,C,H,W] into a matrix [B·OH·OW, C·K·K].
+func (c *Conv2D) im2col(x *Tensor) *Tensor {
+	b, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(h, w)
+	cols := NewTensor(b*oh*ow, ch*c.K*c.K)
+	k := c.K
+	parallel.ForRange(b, c.workers, parallel.Static, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					dst := cols.Data[((n*oh+oy)*ow+ox)*ch*k*k:]
+					di := 0
+					for cc := 0; cc < ch; cc++ {
+						for ky := 0; ky < k; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							for kx := 0; kx < k; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if iy >= 0 && iy < h && ix >= 0 && ix < w {
+									dst[di] = x.Data[((n*ch+cc)*h+iy)*w+ix]
+								} else {
+									dst[di] = 0
+								}
+								di++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return cols
+}
+
+// Forward computes the convolution.
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("dnn: conv input shape %v, want [B,%d,H,W]", x.Shape, c.InC))
+	}
+	c.x = x
+	c.inH, c.inW = x.Shape[2], x.Shape[3]
+	oh, ow := c.outDims(c.inH, c.inW)
+	c.cols = c.im2col(x)
+	// [B·OH·OW, CKK] · [CKK, OutC] = [B·OH·OW, OutC]
+	prod := MatMulABT(c.cols, c.W.W, c.workers)
+	bvec := c.B.W.Data
+	out := NewTensor(x.Shape[0], c.OutC, oh, ow)
+	bn := x.Shape[0]
+	parallel.ForRange(bn, c.workers, parallel.Static, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := prod.Data[((n*oh+oy)*ow+ox)*c.OutC:]
+					for oc := 0; oc < c.OutC; oc++ {
+						out.Data[((n*c.OutC+oc)*oh+oy)*ow+ox] = src[oc] + bvec[oc]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns ∂L/∂x.
+func (c *Conv2D) Backward(dout *Tensor) *Tensor {
+	bn, oh, ow := dout.Shape[0], dout.Shape[2], dout.Shape[3]
+	// Reorder dout to [B·OH·OW, OutC] to match the im2col product.
+	dprod := NewTensor(bn*oh*ow, c.OutC)
+	for n := 0; n < bn; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					dprod.Data[((n*oh+oy)*ow+ox)*c.OutC+oc] = dout.Data[((n*c.OutC+oc)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	// ∂W = dprodᵀ · cols  → [OutC, CKK]
+	gw := MatMulATB(dprod, c.cols, c.workers)
+	for i, g := range gw.Data {
+		c.W.Grad.Data[i] += g
+	}
+	for r := 0; r < dprod.Shape[0]; r++ {
+		row := dprod.Data[r*c.OutC : (r+1)*c.OutC]
+		for oc, g := range row {
+			c.B.Grad.Data[oc] += g
+		}
+	}
+	// ∂cols = dprod · W → [B·OH·OW, CKK], then col2im scatter-add.
+	dcols := MatMul(dprod, c.W.W, c.workers)
+	dx := NewTensor(c.x.Shape...)
+	ch, h, w, k := c.InC, c.inH, c.inW, c.K
+	parallel.ForRange(bn, c.workers, parallel.Static, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := dcols.Data[((n*oh+oy)*ow+ox)*ch*k*k:]
+					si := 0
+					for cc := 0; cc < ch; cc++ {
+						for ky := 0; ky < k; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							for kx := 0; kx < k; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if iy >= 0 && iy < h && ix >= 0 && ix < w {
+									dx.Data[((n*ch+cc)*h+iy)*w+ix] += src[si]
+								}
+								si++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// MaxPool2D is non-overlapping max pooling with a square window.
+type MaxPool2D struct {
+	K       int
+	workers int
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D creates a pooling layer with window K×K, stride K.
+func NewMaxPool2D(k, workers int) *MaxPool2D {
+	return &MaxPool2D{K: k, workers: workers}
+}
+
+// Name identifies the layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool(%d)", p.K) }
+
+// Params returns nothing; pooling is parameter-free.
+func (p *MaxPool2D) Params() []Param { return nil }
+
+// Forward takes the max over each window.
+func (p *MaxPool2D) Forward(x *Tensor) *Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if h%p.K != 0 || w%p.K != 0 {
+		panic(fmt.Sprintf("dnn: pool %d does not divide %dx%d", p.K, h, w))
+	}
+	oh, ow := h/p.K, w/p.K
+	out := NewTensor(b, c, oh, ow)
+	p.inShape = append([]int{}, x.Shape...)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	parallel.ForRange(b, p.workers, parallel.Static, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			for cc := 0; cc < c; cc++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						bestIdx := -1
+						best := 0.0
+						for ky := 0; ky < p.K; ky++ {
+							for kx := 0; kx < p.K; kx++ {
+								idx := ((n*c+cc)*h+oy*p.K+ky)*w + ox*p.K + kx
+								if bestIdx < 0 || x.Data[idx] > best {
+									bestIdx, best = idx, x.Data[idx]
+								}
+							}
+						}
+						o := ((n*c+cc)*oh+oy)*ow + ox
+						out.Data[o] = best
+						p.argmax[o] = bestIdx
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2D) Backward(dout *Tensor) *Tensor {
+	dx := NewTensor(p.inShape...)
+	for o, idx := range p.argmax {
+		dx.Data[idx] += dout.Data[o]
+	}
+	return dx
+}
+
+// Flatten reshapes [B, ...] to [B, features].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name identifies the layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params returns nothing.
+func (f *Flatten) Params() []Param { return nil }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *Tensor) *Tensor {
+	f.inShape = append([]int{}, x.Shape...)
+	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(dout *Tensor) *Tensor {
+	return dout.Reshape(f.inShape...)
+}

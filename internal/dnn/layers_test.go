@@ -1,0 +1,295 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGradCheck verifies a layer's analytic gradients (input and
+// parameter) against central finite differences through a scalar loss
+// L = Σ out² / 2, whose ∂L/∂out = out.
+func numericalGradCheck(t *testing.T, layer Layer, x *Tensor, tol float64) {
+	t.Helper()
+	lossOf := func() float64 {
+		out := layer.Forward(x)
+		var l float64
+		for _, v := range out.Data {
+			l += v * v / 2
+		}
+		return l
+	}
+	// Analytic pass.
+	out := layer.Forward(x)
+	for _, p := range layer.Params() {
+		p.Grad.Zero()
+	}
+	dx := layer.Backward(out.Clone())
+
+	const h = 1e-6
+	// Input gradient check on a sample of positions.
+	for _, i := range sampleIndices(len(x.Data), 12) {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := lossOf()
+		x.Data[i] = orig - h
+		lm := lossOf()
+		x.Data[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(dx.Data[i]-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("%s: input grad[%d] = %v, numeric %v", layer.Name(), i, dx.Data[i], want)
+		}
+	}
+	// Parameter gradient check.
+	for pi, p := range layer.Params() {
+		for _, i := range sampleIndices(len(p.W.Data), 8) {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + h
+			lp := lossOf()
+			p.W.Data[i] = orig - h
+			lm := lossOf()
+			p.W.Data[i] = orig
+			want := (lp - lm) / (2 * h)
+			if math.Abs(p.Grad.Data[i]-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("%s: param %d grad[%d] = %v, numeric %v", layer.Name(), pi, i, p.Grad.Data[i], want)
+			}
+		}
+	}
+}
+
+func sampleIndices(n, k int) []int {
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i * n / k
+	}
+	return out
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewDense(6, 4, 1, rng)
+	x := randTensor(rng, 3, 6)
+	numericalGradCheck(t, layer, x, 1e-5)
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewConv2D(2, 3, 3, 1, 1, rng)
+	x := randTensor(rng, 2, 2, 5, 5)
+	numericalGradCheck(t, layer, x, 1e-4)
+}
+
+func TestConvNoPadGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewConv2D(1, 2, 3, 0, 1, rng)
+	x := randTensor(rng, 1, 1, 6, 6)
+	numericalGradCheck(t, layer, x, 1e-4)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	x := NewTensorFrom([]float64{-1, 2, 0, 3}, 1, 4)
+	out := r.Forward(x)
+	want := []float64{0, 2, 0, 3}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("relu out %v", out.Data)
+		}
+	}
+	d := r.Backward(NewTensorFrom([]float64{5, 5, 5, 5}, 1, 4))
+	wantD := []float64{0, 5, 0, 5}
+	for i := range wantD {
+		if d.Data[i] != wantD[i] {
+			t.Fatalf("relu grad %v", d.Data)
+		}
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D(2, 1)
+	x := NewTensorFrom([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 1, 2, 2,
+		1, 1, 2, 3,
+	}, 1, 1, 4, 4)
+	out := p.Forward(x)
+	want := []float64{4, 8, 9, 3}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("pool out %v, want %v", out.Data, want)
+		}
+	}
+	d := p.Backward(NewTensorFrom([]float64{10, 20, 30, 40}, 1, 1, 2, 2))
+	// Gradient lands only at the argmax positions.
+	if d.Data[5] != 10 || d.Data[7] != 20 || d.Data[8] != 30 || d.Data[15] != 40 {
+		t.Fatalf("pool grad %v", d.Data)
+	}
+	var sum float64
+	for _, v := range d.Data {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("pool grad not conserved: %v", sum)
+	}
+}
+
+func TestMaxPoolRejectsIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for indivisible pooling")
+		}
+	}()
+	NewMaxPool2D(3, 1).Forward(NewTensor(1, 1, 4, 4))
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := randTensor(rand.New(rand.NewSource(4)), 2, 3, 4, 4)
+	out := f.Forward(x)
+	if out.Shape[0] != 2 || out.Shape[1] != 48 {
+		t.Fatalf("flatten shape %v", out.Shape)
+	}
+	back := f.Backward(out)
+	if len(back.Shape) != 4 || back.Shape[2] != 4 {
+		t.Fatalf("unflatten shape %v", back.Shape)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	var s SoftmaxCrossEntropy
+	logits := NewTensorFrom([]float64{10, 0, 0, 0, 10, 0}, 2, 3)
+	loss := s.Forward(logits, []int{0, 1})
+	if loss > 0.01 {
+		t.Fatalf("confident correct loss %v, want ~0", loss)
+	}
+	lossWrong := s.Forward(logits, []int{1, 0})
+	if lossWrong < 5 {
+		t.Fatalf("confident wrong loss %v, want ~10", lossWrong)
+	}
+	// Gradient: probs - onehot, scaled by 1/B; rows sum to 0.
+	s.Forward(logits, []int{0, 1})
+	g := s.Backward()
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			sum += g.Data[i*3+j]
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Fatalf("grad row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	logits := randTensor(rng, 4, 5)
+	labels := []int{0, 3, 2, 4}
+	var s SoftmaxCrossEntropy
+	s.Forward(logits, labels)
+	g := s.Backward()
+	const h = 1e-6
+	for _, i := range sampleIndices(len(logits.Data), 10) {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp := s.Forward(logits, labels)
+		logits.Data[i] = orig - h
+		lm := s.Forward(logits, labels)
+		logits.Data[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(g.Data[i]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("softmax grad[%d] = %v, numeric %v", i, g.Data[i], want)
+		}
+	}
+}
+
+func TestNetworkEndToEndGradient(t *testing.T) {
+	// Full-stack gradient check through conv+pool+dense against finite
+	// differences of the actual loss.
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(
+		NewConv2D(1, 2, 3, 1, 1, rng),
+		NewReLU(),
+		NewMaxPool2D(2, 1),
+		NewFlatten(),
+		NewDense(2*2*2, 3, 1, rng),
+	)
+	x := randTensor(rng, 2, 1, 4, 4)
+	labels := []int{0, 2}
+	net.ZeroGrads()
+	net.TrainStep(x, labels)
+	lossOf := func() float64 {
+		return net.Loss.Forward(net.Forward(x), labels)
+	}
+	const h = 1e-6
+	for pi, p := range net.Params() {
+		for _, i := range sampleIndices(len(p.W.Data), 6) {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + h
+			lp := lossOf()
+			p.W.Data[i] = orig - h
+			lm := lossOf()
+			p.W.Data[i] = orig
+			want := (lp - lm) / (2 * h)
+			if math.Abs(p.Grad.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d grad[%d] = %v, numeric %v", pi, i, p.Grad.Data[i], want)
+			}
+		}
+	}
+}
+
+func TestConvStrideGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layer := NewConv2DStride(2, 3, 3, 1, 2, 1, rng)
+	x := randTensor(rng, 2, 2, 7, 7)
+	numericalGradCheck(t, layer, x, 1e-4)
+}
+
+func TestConvStrideOutputDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// AlexNet-style stem: 11x11 kernel, stride 4, pad 2 on 32x32 input:
+	// out = (32+4-11)/4+1 = 7.
+	layer := NewConv2DStride(3, 4, 11, 2, 4, 1, rng)
+	out := layer.Forward(randTensor(rng, 1, 3, 32, 32))
+	if out.Shape[2] != 7 || out.Shape[3] != 7 {
+		t.Fatalf("output %v, want 7x7 spatial", out.Shape)
+	}
+}
+
+func TestConvStrideMatchesSubsampledStride1(t *testing.T) {
+	// With no padding, stride-2 convolution output equals the stride-1
+	// output sampled at even positions.
+	rng := rand.New(rand.NewSource(9))
+	s1 := NewConv2DStride(1, 1, 3, 0, 1, 1, rng)
+	s2 := NewConv2DStride(1, 1, 3, 0, 2, 1, rng)
+	copy(s2.W.W.Data, s1.W.W.Data)
+	copy(s2.B.W.Data, s1.B.W.Data)
+	x := randTensor(rng, 1, 1, 9, 9)
+	full := s1.Forward(x)    // 7x7
+	strided := s2.Forward(x) // 4x4
+	for oy := 0; oy < 4; oy++ {
+		for ox := 0; ox < 4; ox++ {
+			want := full.Data[(2*oy)*7+2*ox]
+			got := strided.Data[oy*4+ox]
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("(%d,%d): %v != %v", oy, ox, got, want)
+			}
+		}
+	}
+}
+
+func TestConvStrideRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stride 0 accepted")
+		}
+	}()
+	NewConv2DStride(1, 1, 3, 0, 0, 1, testRand())
+}

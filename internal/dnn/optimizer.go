@@ -1,0 +1,62 @@
+package dnn
+
+// SGD implements stochastic gradient descent with the classical momentum
+// update of the paper's Equations (8)–(9):
+//
+//	V_{t+1} = µ·V_t − η·∆W_t
+//	W_{t+1} = W_t + V_{t+1}
+//
+// µ = 0 reduces to plain SGD ("the updating rule becomes the original
+// version if µ = 0").
+type SGD struct {
+	LR       float64 // η, the base learning rate (step size)
+	Momentum float64 // µ
+	// WeightDecay adds λ·W to every gradient (L2 regularization), as the
+	// Caffe cifar10_full recipe does; 0 disables it.
+	WeightDecay float64
+	// Schedule scales η per iteration (Caffe's lr_policy); nil means
+	// FixedLR.
+	Schedule LRSchedule
+
+	velocity []*Tensor
+	params   []Param
+	step     int
+}
+
+// NewSGD binds an optimizer to a network's parameters.
+func NewSGD(net *Network, lr, momentum float64) *SGD {
+	params := net.Params()
+	vel := make([]*Tensor, len(params))
+	for i, p := range params {
+		vel[i] = NewTensor(p.W.Shape...)
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: vel, params: params}
+}
+
+// EffectiveLR returns the learning rate the next Step will use.
+func (o *SGD) EffectiveLR() float64 {
+	lr := o.LR
+	if o.Schedule != nil {
+		lr *= o.Schedule.Multiplier(o.step)
+	}
+	return lr
+}
+
+// Step applies one momentum update using the accumulated gradients, then
+// clears them and advances the schedule.
+func (o *SGD) Step() {
+	lr := o.EffectiveLR()
+	for i, p := range o.params {
+		v := o.velocity[i]
+		for j := range p.W.Data {
+			g := p.Grad.Data[j]
+			if o.WeightDecay != 0 {
+				g += o.WeightDecay * p.W.Data[j]
+			}
+			v.Data[j] = o.Momentum*v.Data[j] - lr*g // Eq (8)
+			p.W.Data[j] += v.Data[j]                // Eq (9)
+		}
+		p.Grad.Zero()
+	}
+	o.step++
+}

@@ -1,0 +1,60 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRSchedule maps an iteration number to a learning-rate multiplier,
+// mirroring Caffe's lr_policy options that the baseline cifar10_full
+// recipe uses. The multiplier applies on top of the base η.
+type LRSchedule interface {
+	// Multiplier returns the factor for iteration t (0-based).
+	Multiplier(t int) float64
+	fmt.Stringer
+}
+
+// FixedLR keeps η constant — Caffe's lr_policy: "fixed".
+type FixedLR struct{}
+
+// Multiplier returns 1 at every iteration.
+func (FixedLR) Multiplier(int) float64 { return 1 }
+
+// String names the policy.
+func (FixedLR) String() string { return "fixed" }
+
+// StepLR multiplies η by Gamma every Step iterations — Caffe's
+// lr_policy: "step" (cifar10_full drops by 10× twice late in training).
+type StepLR struct {
+	Step  int     // iterations per drop; must be > 0
+	Gamma float64 // per-drop factor, e.g. 0.1
+}
+
+// Multiplier returns Gamma^(t/Step).
+func (s StepLR) Multiplier(t int) float64 {
+	if s.Step <= 0 {
+		return 1
+	}
+	m := 1.0
+	for k := t / s.Step; k > 0; k-- {
+		m *= s.Gamma
+	}
+	return m
+}
+
+// String names the policy.
+func (s StepLR) String() string { return fmt.Sprintf("step(%d,%g)", s.Step, s.Gamma) }
+
+// InvLR is Caffe's lr_policy: "inv": multiplier (1 + γ·t)^(−power).
+type InvLR struct {
+	Gamma float64
+	Power float64
+}
+
+// Multiplier returns (1 + γ·t)^(−power).
+func (s InvLR) Multiplier(t int) float64 {
+	return math.Pow(1+s.Gamma*float64(t), -s.Power)
+}
+
+// String names the policy.
+func (s InvLR) String() string { return fmt.Sprintf("inv(%g,%g)", s.Gamma, s.Power) }

@@ -1,0 +1,165 @@
+// Package dnn is a from-scratch deep-neural-network training stack in pure
+// Go: dense tensors, convolution / pooling / fully-connected layers,
+// softmax cross-entropy, and SGD with the momentum update of the paper's
+// Equations (8)–(9). It exists to demonstrate the paper's §IV tuning
+// claims (batch size, learning rate, momentum) on live training runs; the
+// hardware economics of Table VII are modeled separately in
+// internal/hwmodel.
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/parallel"
+)
+
+// Tensor is a dense row-major n-dimensional array.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("dnn: non-positive dimension in shape %v", shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int{}, shape...), Data: make([]float64, n)}
+}
+
+// NewTensorFrom wraps data in a tensor of the given shape (no copy).
+func NewTensorFrom(data []float64, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int{}, shape...), Data: data}
+	if len(data) != t.Len() {
+		panic(fmt.Sprintf("dnn: %d elements for shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Reshape returns a view with a new shape of equal length.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	out := &Tensor{Shape: append([]int{}, shape...), Data: t.Data}
+	if out.Len() != t.Len() {
+		panic(fmt.Sprintf("dnn: reshape %v -> %v changes length", t.Shape, shape))
+	}
+	return out
+}
+
+// RandInit fills the tensor with He-style initialization: normal values
+// scaled by sqrt(2/fanIn).
+func (t *Tensor) RandInit(fanIn int, rng *rand.Rand) {
+	scale := 1.0
+	if fanIn > 0 {
+		scale = math.Sqrt(2.0 / float64(fanIn))
+	}
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * scale
+	}
+}
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
+// parallelized over rows of A. Panics on shape mismatch.
+func MatMul(a, b *Tensor, workers int) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("dnn: matmul %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := NewTensor(m, n)
+	parallel.ForRange(m, workers, parallel.Static, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulATB computes C = Aᵀ·B for A [m,k], B [m,n] → C [k,n], used in
+// weight-gradient computation.
+func MatMulATB(a, b *Tensor, workers int) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("dnn: matmulATB %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := NewTensor(k, n)
+	parallel.ForRange(k, workers, parallel.Static, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			crow := c.Data[p*n : (p+1)*n]
+			for i := 0; i < m; i++ {
+				av := a.Data[i*k+p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulABT computes C = A·Bᵀ for A [m,k], B [n,k] → C [m,n], used in
+// input-gradient computation.
+func MatMulABT(a, b *Tensor, workers int) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("dnn: matmulABT %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := NewTensor(m, n)
+	parallel.ForRange(m, workers, parallel.Static, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var sum float64
+				for p := 0; p < k; p++ {
+					sum += arow[p] * brow[p]
+				}
+				crow[j] = sum
+			}
+		}
+	})
+	return c
+}

@@ -1,0 +1,127 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := NewTensor(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := NewTensor(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func tensorsClose(a, b *Tensor, tol float64) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol*(1+math.Abs(b.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := rng.Intn(8)+1, rng.Intn(8)+1, rng.Intn(8)+1
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		want := refMatMul(a, b)
+		if got := MatMul(a, b, 3); !tensorsClose(got, want, 1e-12) {
+			t.Fatalf("MatMul mismatch at %dx%dx%d", m, k, n)
+		}
+		// ATB: Aᵀ·B with A [m,k] — build At explicitly and compare.
+		at := NewTensor(k, m)
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				at.Data[p*m+i] = a.Data[i*k+p]
+			}
+		}
+		b2 := randTensor(rng, m, n)
+		if got := MatMulATB(a, b2, 2); !tensorsClose(got, refMatMul(at, b2), 1e-12) {
+			t.Fatalf("MatMulATB mismatch")
+		}
+		// ABT: A·Bᵀ with B [n,k].
+		b3 := randTensor(rng, n, k)
+		b3t := NewTensor(k, n)
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				b3t.Data[p*n+j] = b3.Data[j*k+p]
+			}
+		}
+		if got := MatMulABT(a, b3, 2); !tensorsClose(got, refMatMul(a, b3t), 1e-12) {
+			t.Fatalf("MatMulABT mismatch")
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewTensor(2, 3)
+	b := NewTensor(4, 5)
+	mustPanic("matmul", func() { MatMul(a, b, 1) })
+	mustPanic("atb", func() { MatMulATB(a, b, 1) })
+	mustPanic("abt", func() { MatMulABT(a, b, 1) })
+	mustPanic("reshape", func() { a.Reshape(7) })
+	mustPanic("newtensor", func() { NewTensor(0, 3) })
+	mustPanic("from", func() { NewTensorFrom(make([]float64, 5), 2, 3) })
+}
+
+func TestTensorCloneAndZero(t *testing.T) {
+	a := NewTensorFrom([]float64{1, 2, 3, 4}, 2, 2)
+	c := a.Clone()
+	c.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestRandInitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewTensor(1000, 10)
+	w.RandInit(1000, rng)
+	var sumSq float64
+	for _, v := range w.Data {
+		sumSq += v * v
+	}
+	variance := sumSq / float64(w.Len())
+	want := 2.0 / 1000
+	if variance < want/2 || variance > want*2 {
+		t.Fatalf("He init variance %v, want ~%v", variance, want)
+	}
+}

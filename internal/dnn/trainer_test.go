@@ -1,0 +1,209 @@
+package dnn
+
+import (
+	"testing"
+)
+
+func smallDataset(t *testing.T, noise float64, seed int64) *Dataset {
+	t.Helper()
+	d, err := SyntheticCIFAR(4, 1, 8, 8, 512, 160, noise, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSyntheticCIFARShape(t *testing.T) {
+	d, err := SyntheticCIFAR(10, 3, 8, 8, 200, 40, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NTrain() != 200 || d.NTest() != 40 {
+		t.Fatalf("sizes %d/%d", d.NTrain(), d.NTest())
+	}
+	if d.TrainX.Len() != 200*3*8*8 {
+		t.Fatalf("train tensor %v", d.TrainX.Shape)
+	}
+	seen := map[int]bool{}
+	for _, y := range d.TrainY {
+		if y < 0 || y >= 10 {
+			t.Fatalf("label %d", y)
+		}
+		seen[y] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d classes present", len(seen))
+	}
+}
+
+func TestSyntheticCIFARRejectsBadSpec(t *testing.T) {
+	for _, tc := range [][6]int{
+		{1, 1, 8, 8, 100, 10}, // one class
+		{4, 0, 8, 8, 100, 10}, // zero channels
+		{4, 1, 8, 8, 2, 10},   // fewer train samples than classes
+		{4, 1, 8, 8, 100, 0},  // no test samples
+	} {
+		if _, err := SyntheticCIFAR(tc[0], tc[1], tc[2], tc[3], tc[4], tc[5], 1, 1); err == nil {
+			t.Fatalf("spec %v accepted", tc)
+		}
+	}
+}
+
+func TestSyntheticCIFARDeterministic(t *testing.T) {
+	a, _ := SyntheticCIFAR(3, 1, 6, 6, 30, 10, 1, 42)
+	b, _ := SyntheticCIFAR(3, 1, 6, 6, 30, 10, 1, 42)
+	for i := range a.TrainX.Data {
+		if a.TrainX.Data[i] != b.TrainX.Data[i] {
+			t.Fatal("same seed, different data")
+		}
+	}
+}
+
+func TestMLPReachesTarget(t *testing.T) {
+	d := smallDataset(t, 0.8, 2)
+	net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 3)
+	res, err := TrainToTarget(net, d, TrainConfig{
+		Batch: 32, LR: 0.05, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 40, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("MLP did not reach 0.8: final acc %v after %d iterations", res.FinalAcc, res.Iterations)
+	}
+	if res.Epochs <= 0 || len(res.AccTrace) == 0 {
+		t.Fatalf("bad result bookkeeping: %+v", res)
+	}
+}
+
+func TestConvNetReachesTarget(t *testing.T) {
+	d := smallDataset(t, 1.2, 5)
+	net := SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 6)
+	res, err := TrainToTarget(net, d, TrainConfig{
+		Batch: 32, LR: 0.03, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 30, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("convnet did not reach 0.8: final acc %v", res.FinalAcc)
+	}
+}
+
+// TestMomentumAcceleratesConvergence reproduces the §IV-E claim on a live
+// run: with the same B and η, µ=0.9 reaches the target in fewer iterations
+// than µ=0.
+func TestMomentumAcceleratesConvergence(t *testing.T) {
+	d := smallDataset(t, 0.8, 8)
+	run := func(mu float64) int {
+		net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 9)
+		res, err := TrainToTarget(net, d, TrainConfig{
+			Batch: 32, LR: 0.02, Momentum: mu, TargetAcc: 0.8, MaxEpochs: 60,
+			EvalEvery: 4, Seed: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reached {
+			return 1 << 30
+		}
+		return res.Iterations
+	}
+	plain := run(0)
+	mom := run(0.9)
+	if mom >= plain {
+		t.Fatalf("momentum did not help: %d iterations with µ=0.9 vs %d with µ=0", mom, plain)
+	}
+}
+
+// TestLargerBatchFewerIterations reproduces the §IV-C claim: a larger batch
+// needs fewer iterations (though more samples) to the same accuracy.
+func TestLargerBatchFewerIterations(t *testing.T) {
+	d := smallDataset(t, 1.8, 11)
+	run := func(batch int, lr float64) int {
+		net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 12)
+		res, err := TrainToTarget(net, d, TrainConfig{
+			Batch: batch, LR: lr, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 200,
+			EvalEvery: 1, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reached {
+			return 1 << 30
+		}
+		return res.Iterations
+	}
+	small := run(8, 0.01)
+	large := run(64, 0.01)
+	if large >= small {
+		t.Fatalf("B=64 took %d iterations, B=8 took %d; expected fewer at larger batch", large, small)
+	}
+}
+
+// TestTooLargeLRDiverges reproduces the §IV-D stability cliff: an
+// excessive learning rate fails to reach the target.
+func TestTooLargeLRDiverges(t *testing.T) {
+	d := smallDataset(t, 0.8, 14)
+	net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 15)
+	res, err := TrainToTarget(net, d, TrainConfig{
+		Batch: 32, LR: 50.0, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 10, Seed: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatalf("η=50 reached target accuracy %v — stability cliff missing", res.FinalAcc)
+	}
+}
+
+func TestTrainToTargetValidation(t *testing.T) {
+	d := smallDataset(t, 1, 17)
+	net := MLP(d.Classes, d.C*d.H*d.W, 16, 1, 18)
+	bad := []TrainConfig{
+		{Batch: 0, LR: 0.1, Momentum: 0.9},
+		{Batch: 1 << 20, LR: 0.1, Momentum: 0.9},
+		{Batch: 32, LR: 0, Momentum: 0.9},
+		{Batch: 32, LR: 0.1, Momentum: 1.0},
+		{Batch: 32, LR: 0.1, Momentum: -0.5},
+	}
+	for _, cfg := range bad {
+		if _, err := TrainToTarget(net, d, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSGDMomentumUpdateRule(t *testing.T) {
+	// One parameter, known gradient sequence: verify Equations (8)-(9)
+	// verbatim: V1 = µ·0 − η·g1; W1 = W0 + V1; V2 = µ·V1 − η·g2; ...
+	rng := testRand()
+	net := NewNetwork(NewDense(1, 1, 1, rng))
+	p := net.Params()[0]
+	p.W.Data[0] = 1.0
+	opt := NewSGD(net, 0.1, 0.5)
+	p.Grad.Data[0] = 2.0
+	opt.Step()
+	// V = -0.2; W = 0.8
+	if p.W.Data[0] != 0.8 {
+		t.Fatalf("after step 1: W = %v, want 0.8", p.W.Data[0])
+	}
+	p.Grad.Data[0] = 1.0
+	opt.Step()
+	// V = 0.5*(-0.2) - 0.1*1 = -0.2; W = 0.6
+	if diff := p.W.Data[0] - 0.6; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("after step 2: W = %v, want 0.6", p.W.Data[0])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("gradients not cleared after Step")
+	}
+}
+
+func TestNetworkNumParams(t *testing.T) {
+	rng := testRand()
+	net := NewNetwork(NewDense(10, 5, 1, rng), NewReLU(), NewDense(5, 2, 1, rng))
+	// 10*5+5 + 5*2+2 = 67
+	if got := net.NumParams(); got != 67 {
+		t.Fatalf("NumParams = %d, want 67", got)
+	}
+}

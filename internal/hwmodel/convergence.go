@@ -1,0 +1,123 @@
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// CIFAR10Train is the CIFAR-10 training-set size used for epoch accounting.
+const CIFAR10Train = 50000
+
+// TargetAccuracy is the paper's stopping criterion for every run.
+const TargetAccuracy = 0.8
+
+// Hyper is one SGD hyper-parameter setting.
+type Hyper struct {
+	B        int     // batch size
+	LR       float64 // learning rate η
+	Momentum float64 // momentum µ
+}
+
+// Convergence maps hyper-parameters to SGD iterations-to-0.8-accuracy.
+//
+// The model is a separable power law anchored on the paper's four measured
+// operating points:
+//
+//	(B=100, η=0.001, µ=0.90) → 60000 iterations
+//	(B=512, η=0.001, µ=0.90) → 30000
+//	(B=512, η=0.003, µ=0.90) → 12000
+//	(B=512, η=0.003, µ=0.95) →  7000
+//
+// which fix the three exponents:
+//
+//	batch:    iters ∝ B^−α,        α = ln2/ln5.12      ≈ 0.425
+//	rate:     iters ∝ η^−β,        β = ln2.5/ln3       ≈ 0.834
+//	momentum: iters ∝ ((1−µ)/0.1)^γ, γ = ln(12/7)/ln2  ≈ 0.778
+//
+// Above CriticalBatch the Keskar sharp-minima penalty reverses the batch
+// benefit (iterations grow again), and learning rates beyond the stability
+// bound η ≤ ηmax(B, µ) diverge — the algorithm never reaches 0.8, which the
+// paper's tuning grids had to avoid.
+type Convergence struct {
+	// Anchor is the calibration point: AnchorIters iterations at AnchorH.
+	AnchorH     Hyper
+	AnchorIters float64
+	// BatchExp, LRExp, MomentumExp are the power-law exponents above.
+	BatchExp, LRExp, MomentumExp float64
+	// CriticalBatch is where large-batch generalization loss kicks in;
+	// LargeBatchExp is the penalty exponent past it.
+	CriticalBatch int
+	LargeBatchExp float64
+	// StabilityLR is the maximum stable η at (B=CriticalBatch, µ=0.90);
+	// the bound scales as √(B/CriticalBatch)·(1−µ)/0.1.
+	StabilityLR float64
+}
+
+// CIFAR10 returns the convergence model calibrated on the paper's CIFAR-10
+// rows (Caffe cifar10_full network).
+func CIFAR10() Convergence {
+	return Convergence{
+		AnchorH:       Hyper{B: 100, LR: 0.001, Momentum: 0.90},
+		AnchorIters:   60000,
+		BatchExp:      math.Log(2) / math.Log(5.12),
+		LRExp:         math.Log(2.5) / math.Log(3),
+		MomentumExp:   math.Log(12.0/7.0) / math.Log(2),
+		CriticalBatch: 512,
+		LargeBatchExp: 0.45,
+		StabilityLR:   0.008,
+	}
+}
+
+// MaxStableLR returns the largest learning rate that still converges at the
+// given batch size and momentum.
+func (c Convergence) MaxStableLR(b int, momentum float64) float64 {
+	if b <= 0 || momentum >= 1 {
+		return 0
+	}
+	return c.StabilityLR * math.Sqrt(float64(b)/float64(c.CriticalBatch)) * (1 - momentum) / 0.1
+}
+
+// Iterations returns the modeled SGD iterations to reach 0.8 test accuracy,
+// or an error when the setting diverges or is invalid.
+func (c Convergence) Iterations(h Hyper) (float64, error) {
+	if h.B < 1 {
+		return 0, fmt.Errorf("hwmodel: batch size %d < 1", h.B)
+	}
+	if h.LR <= 0 {
+		return 0, fmt.Errorf("hwmodel: learning rate %v <= 0", h.LR)
+	}
+	if h.Momentum < 0 || h.Momentum >= 1 {
+		return 0, fmt.Errorf("hwmodel: momentum %v outside [0,1)", h.Momentum)
+	}
+	if h.LR > c.MaxStableLR(h.B, h.Momentum) {
+		return 0, fmt.Errorf("hwmodel: η=%v diverges at B=%d µ=%v (stability bound %.4g)",
+			h.LR, h.B, h.Momentum, c.MaxStableLR(h.B, h.Momentum))
+	}
+	a := c.AnchorH
+	iters := c.AnchorIters
+	iters *= math.Pow(float64(h.B)/float64(a.B), -c.BatchExp)
+	iters *= math.Pow(h.LR/a.LR, -c.LRExp)
+	iters *= math.Pow((1-h.Momentum)/(1-a.Momentum), c.MomentumExp)
+	if h.B > c.CriticalBatch {
+		iters *= math.Pow(float64(h.B)/float64(c.CriticalBatch), c.LargeBatchExp)
+	}
+	if a.B > c.CriticalBatch {
+		iters /= math.Pow(float64(a.B)/float64(c.CriticalBatch), c.LargeBatchExp)
+	}
+	return iters, nil
+}
+
+// Epochs converts an iteration count at batch size b into training epochs.
+func Epochs(iters float64, b int) float64 {
+	return iters * float64(b) / CIFAR10Train
+}
+
+// TimeToAccuracy returns the modeled wall-clock seconds for platform p to
+// reach 0.8 accuracy at hyper-parameters h.
+func (c Convergence) TimeToAccuracy(p Platform, h Hyper) (seconds, iters float64, err error) {
+	iters, err = c.Iterations(h)
+	if err != nil {
+		return 0, 0, err
+	}
+	return iters * p.SecPerIter(h.B), iters, nil
+}

@@ -1,0 +1,84 @@
+package hwmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// platformJSON is the on-disk shape of a custom platform definition.
+type platformJSON struct {
+	Name     string  `json:"name"`
+	Rmax     float64 `json:"rmax_samples_per_sec"`
+	BHalf    float64 `json:"bhalf"`
+	PriceUSD float64 `json:"price_usd"`
+	// Optional calibration alternative: instead of rmax/bhalf, give two
+	// measured (batch, seconds-per-iteration) points and the curve is
+	// fitted the same way the built-in DGX was.
+	Calibrate []calPoint `json:"calibrate,omitempty"`
+}
+
+type calPoint struct {
+	B       int     `json:"batch"`
+	SecIter float64 `json:"sec_per_iter"`
+}
+
+// LoadPlatforms reads a JSON array of custom platform definitions, so
+// users can run the dollars-per-speedup study on their own hardware
+// price/throughput numbers. Each entry gives either (rmax, bhalf) directly
+// or two measured calibration points.
+func LoadPlatforms(r io.Reader) ([]Platform, error) {
+	var raw []platformJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("hwmodel: decode platforms: %w", err)
+	}
+	out := make([]Platform, 0, len(raw))
+	for i, pj := range raw {
+		if pj.Name == "" {
+			return nil, fmt.Errorf("hwmodel: platform %d has no name", i)
+		}
+		if pj.PriceUSD <= 0 {
+			return nil, fmt.Errorf("hwmodel: platform %q needs a positive price", pj.Name)
+		}
+		p := Platform{Name: pj.Name, Rmax: pj.Rmax, BHalf: pj.BHalf, PriceUSD: pj.PriceUSD}
+		if len(pj.Calibrate) == 2 {
+			fitted, err := FitPlatform(pj.Name, pj.PriceUSD,
+				pj.Calibrate[0].B, pj.Calibrate[0].SecIter,
+				pj.Calibrate[1].B, pj.Calibrate[1].SecIter)
+			if err != nil {
+				return nil, fmt.Errorf("hwmodel: platform %q: %w", pj.Name, err)
+			}
+			p = fitted
+		} else if len(pj.Calibrate) != 0 {
+			return nil, fmt.Errorf("hwmodel: platform %q: calibration needs exactly 2 points, got %d", pj.Name, len(pj.Calibrate))
+		}
+		if p.Rmax <= 0 || p.BHalf < 0 {
+			return nil, fmt.Errorf("hwmodel: platform %q has invalid curve (rmax %v, bhalf %v)", pj.Name, p.Rmax, p.BHalf)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FitPlatform solves the throughput curve R(B) = Rmax·B/(B+B½) from two
+// measured (batch, seconds-per-iteration) points — the same fit that
+// produced the built-in DGX entry from the paper's two measured rows.
+func FitPlatform(name string, priceUSD float64, b1 int, s1 float64, b2 int, s2 float64) (Platform, error) {
+	if b1 <= 0 || b2 <= 0 || s1 <= 0 || s2 <= 0 || b1 == b2 {
+		return Platform{}, fmt.Errorf("need two distinct positive calibration points")
+	}
+	// R(B) = B/secIter; R = Rmax·B/(B+h) ⇒ Rmax = R·(B+h)/B.
+	r1 := float64(b1) / s1
+	r2 := float64(b2) / s2
+	// r1(b1+h)/b1 = r2(b2+h)/b2 ⇒ h·(r1/b1 − r2/b2) = r2 − r1.
+	denom := r1/float64(b1) - r2/float64(b2)
+	if denom == 0 {
+		return Platform{}, fmt.Errorf("calibration points are degenerate")
+	}
+	h := (r2 - r1) / denom
+	if h < 0 {
+		return Platform{}, fmt.Errorf("calibration implies negative B½ (%v): throughput must grow with batch", h)
+	}
+	rmax := r1 * (float64(b1) + h) / float64(b1)
+	return Platform{Name: name, Rmax: rmax, BHalf: h, PriceUSD: priceUSD}, nil
+}

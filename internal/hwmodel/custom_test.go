@@ -1,0 +1,78 @@
+package hwmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitPlatformRecoversDGX(t *testing.T) {
+	// Feeding the paper's two measured DGX points back into the fitter
+	// must recover the built-in DGX curve.
+	p, err := FitPlatform("dgx-refit", 79000, 100, 387.0/60000, 512, 361.0/30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.BHalf-DGX.BHalf) > 1 {
+		t.Fatalf("BHalf %v, want ~%v", p.BHalf, DGX.BHalf)
+	}
+	if math.Abs(p.Rmax-DGX.Rmax)/DGX.Rmax > 0.01 {
+		t.Fatalf("Rmax %v, want ~%v", p.Rmax, DGX.Rmax)
+	}
+}
+
+func TestFitPlatformErrors(t *testing.T) {
+	if _, err := FitPlatform("x", 1, 100, 0.1, 100, 0.2); err == nil {
+		t.Fatal("duplicate batch accepted")
+	}
+	if _, err := FitPlatform("x", 1, 0, 0.1, 10, 0.2); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	// Throughput falling with batch implies negative BHalf.
+	if _, err := FitPlatform("x", 1, 100, 0.001, 1000, 0.1); err == nil {
+		t.Fatal("shrinking throughput accepted")
+	}
+}
+
+func TestLoadPlatforms(t *testing.T) {
+	in := `[
+	  {"name": "laptop", "rmax_samples_per_sec": 500, "bhalf": 8, "price_usd": 2000},
+	  {"name": "rig", "price_usd": 5000,
+	   "calibrate": [{"batch": 100, "sec_per_iter": 0.02}, {"batch": 800, "sec_per_iter": 0.09}]}
+	]`
+	ps, err := LoadPlatforms(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "laptop" || ps[1].Name != "rig" {
+		t.Fatalf("got %+v", ps)
+	}
+	if ps[1].Rmax <= 0 || ps[1].BHalf < 0 {
+		t.Fatalf("rig curve not fitted: %+v", ps[1])
+	}
+	// The fitted curve reproduces its calibration points.
+	if got := ps[1].SecPerIter(100); math.Abs(got-0.02) > 1e-9 {
+		t.Fatalf("rig sec/iter@100 = %v", got)
+	}
+	// Custom platforms drive the convergence model like built-ins.
+	c := CIFAR10()
+	secs, _, err := c.TimeToAccuracy(ps[0], Hyper{B: 100, LR: 0.001, Momentum: 0.9})
+	if err != nil || secs <= 0 {
+		t.Fatalf("custom platform time: %v %v", secs, err)
+	}
+}
+
+func TestLoadPlatformsErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":  "{",
+		"no name":   `[{"price_usd": 1}]`,
+		"no price":  `[{"name": "x"}]`,
+		"one calib": `[{"name":"x","price_usd":1,"calibrate":[{"batch":1,"sec_per_iter":1}]}]`,
+		"no curve":  `[{"name":"x","price_usd":1}]`,
+	}
+	for name, in := range cases {
+		if _, err := LoadPlatforms(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package hwmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/hwmodel"
+)
+
+// The convergence model reproduces the paper's Table VII anchors.
+func ExampleConvergence_Iterations() {
+	c := hwmodel.CIFAR10()
+	iters, err := c.Iterations(hwmodel.Hyper{B: 512, LR: 0.003, Momentum: 0.95})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f iterations to 0.8 accuracy\n", iters)
+	// Output:
+	// 7000 iterations to 0.8 accuracy
+}
+
+// Time to 0.8 CIFAR-10 accuracy on the modeled DGX at the paper's final
+// tuned setting: roughly one minute, down from 8.2 hours on the 8-core CPU.
+func ExampleConvergence_TimeToAccuracy() {
+	c := hwmodel.CIFAR10()
+	tuned := hwmodel.Hyper{B: 512, LR: 0.003, Momentum: 0.95}
+	secs, _, err := c.TimeToAccuracy(hwmodel.DGX, tuned)
+	if err != nil {
+		panic(err)
+	}
+	base, _, err := c.TimeToAccuracy(hwmodel.CPU8, hwmodel.Hyper{B: 100, LR: 0.001, Momentum: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("DGX tuned: %.0f s; 8-core baseline: %.0f s; speedup %.0fx\n", secs, base, base/secs)
+	// Output:
+	// DGX tuned: 84 s; 8-core baseline: 29426 s; speedup 349x
+}
+
+// Unstable settings are rejected rather than reported as fast.
+func ExampleConvergence_MaxStableLR() {
+	c := hwmodel.CIFAR10()
+	_, err := c.Iterations(hwmodel.Hyper{B: 100, LR: 0.016, Momentum: 0.9})
+	fmt.Println("diverges:", err != nil)
+	fmt.Printf("max stable at B=100: %.4f\n", c.MaxStableLR(100, 0.9))
+	// Output:
+	// diverges: true
+	// max stable at B=100: 0.0035
+}

@@ -1,0 +1,270 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Max(math.Abs(want), 1e-12)
+}
+
+func TestPlatformCalibrationMatchesTableVII(t *testing.T) {
+	// At B=100 every platform must reproduce the paper's measured
+	// time-per-iteration (time / 60000) to within 0.5%.
+	want := map[string]float64{
+		"8 CPUs":  29427.0 / 60000,
+		"KNL":     4922.0 / 60000,
+		"Haswell": 1997.0 / 60000,
+		"GPU":     503.0 / 60000,
+		"DGX":     387.0 / 60000,
+	}
+	for _, p := range Platforms() {
+		if got := p.SecPerIter(100); relErr(got, want[p.Name]) > 0.005 {
+			t.Errorf("%s: sec/iter @100 = %v, want %v", p.Name, got, want[p.Name])
+		}
+	}
+	// The DGX must also hit its measured B=512 point (361 s / 30000 iter).
+	if got := DGX.SecPerIter(512); relErr(got, 361.0/30000) > 0.005 {
+		t.Errorf("DGX sec/iter @512 = %v, want %v", got, 361.0/30000)
+	}
+}
+
+func TestThroughputMonotoneInBatch(t *testing.T) {
+	for _, p := range Platforms() {
+		prev := 0.0
+		for _, b := range []int{1, 16, 64, 256, 1024, 8192} {
+			r := p.SamplesPerSec(b)
+			if r <= prev {
+				t.Fatalf("%s: throughput not increasing at B=%d (%v after %v)", p.Name, b, r, prev)
+			}
+			if r > p.Rmax {
+				t.Fatalf("%s: throughput %v exceeds Rmax %v", p.Name, r, p.Rmax)
+			}
+			prev = r
+		}
+	}
+	if CPU8.SamplesPerSec(0) != 0 || CPU8.SecPerIter(0) != 0 {
+		t.Fatal("B=0 should give zero throughput")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("KNL")
+	if err != nil || p.Name != "KNL" {
+		t.Fatalf("ByName KNL: %v %v", p, err)
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestConvergenceAnchors(t *testing.T) {
+	c := CIFAR10()
+	anchors := []struct {
+		h    Hyper
+		want float64
+	}{
+		{Hyper{B: 100, LR: 0.001, Momentum: 0.90}, 60000},
+		{Hyper{B: 512, LR: 0.001, Momentum: 0.90}, 30000},
+		{Hyper{B: 512, LR: 0.003, Momentum: 0.90}, 12000},
+		{Hyper{B: 512, LR: 0.003, Momentum: 0.95}, 7000},
+	}
+	for _, a := range anchors {
+		got, err := c.Iterations(a.h)
+		if err != nil {
+			t.Fatalf("%+v: %v", a.h, err)
+		}
+		if relErr(got, a.want) > 0.01 {
+			t.Errorf("iters(%+v) = %v, want %v", a.h, got, a.want)
+		}
+	}
+}
+
+func TestConvergenceDivergence(t *testing.T) {
+	c := CIFAR10()
+	// The paper's grid max η=0.016 at B=100 must diverge (they only found
+	// large η workable after raising B).
+	if _, err := c.Iterations(Hyper{B: 100, LR: 0.016, Momentum: 0.90}); err == nil {
+		t.Error("η=0.016 at B=100 should diverge")
+	}
+	// High momentum shrinks the stable-η region.
+	if _, err := c.Iterations(Hyper{B: 512, LR: 0.003, Momentum: 0.99}); err == nil {
+		t.Error("µ=0.99 at η=0.003 should diverge")
+	}
+	// Invalid inputs.
+	for _, h := range []Hyper{
+		{B: 0, LR: 0.001, Momentum: 0.9},
+		{B: 100, LR: 0, Momentum: 0.9},
+		{B: 100, LR: 0.001, Momentum: 1.0},
+		{B: 100, LR: 0.001, Momentum: -0.1},
+	} {
+		if _, err := c.Iterations(h); err == nil {
+			t.Errorf("%+v accepted", h)
+		}
+	}
+}
+
+func TestConvergenceMonotonicity(t *testing.T) {
+	c := CIFAR10()
+	// More momentum (within stability) -> fewer iterations.
+	prev := math.Inf(1)
+	for _, mu := range []float64{0.90, 0.92, 0.94} {
+		it, err := c.Iterations(Hyper{B: 512, LR: 0.001, Momentum: mu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it >= prev {
+			t.Fatalf("iterations not decreasing in µ: %v at %v", it, mu)
+		}
+		prev = it
+	}
+	// Larger η (stable) -> fewer iterations.
+	i1, _ := c.Iterations(Hyper{B: 512, LR: 0.001, Momentum: 0.90})
+	i2, _ := c.Iterations(Hyper{B: 512, LR: 0.002, Momentum: 0.90})
+	if i2 >= i1 {
+		t.Fatalf("iterations not decreasing in η: %v -> %v", i1, i2)
+	}
+	// Past the critical batch, iterations grow again (Keskar penalty).
+	at512, _ := c.Iterations(Hyper{B: 512, LR: 0.001, Momentum: 0.90})
+	at4096, _ := c.Iterations(Hyper{B: 4096, LR: 0.001, Momentum: 0.90})
+	if at4096 <= at512*math.Pow(4096.0/512, -c.BatchExp)*1.5 {
+		t.Fatalf("large-batch penalty missing: iters(4096)=%v", at4096)
+	}
+}
+
+func TestTableVIIReproducesPaperShape(t *testing.T) {
+	rows, err := TableVII(CIFAR10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for i, row := range rows {
+		paper := PaperTableVII[i]
+		if row.Method != paper.Method {
+			t.Fatalf("row %d method %q, want %q", i, row.Method, paper.Method)
+		}
+		// Times must match the paper within 5%. It cannot be tighter: the
+		// paper's own three DGX rows at B=512 imply three different
+		// seconds-per-iteration (361/30000 = 0.01203, 138/12000 = 0.0115,
+		// 83/7000 = 0.01186), so one throughput curve cannot hit all of
+		// them exactly.
+		if relErr(row.TimeSec, paper.TimeSec) > 0.05 {
+			t.Errorf("%s: time %v, paper %v", row.Method, row.TimeSec, paper.TimeSec)
+		}
+		if relErr(row.Iterations, paper.Iterations) > 0.01 {
+			t.Errorf("%s: iters %v, paper %v", row.Method, row.Iterations, paper.Iterations)
+		}
+		// Speedups within 5% (ratios of modeled times).
+		if relErr(row.Speedup, paper.Speedup) > 0.05 {
+			t.Errorf("%s: speedup %v, paper %v", row.Method, row.Speedup, paper.Speedup)
+		}
+	}
+	// Figure 5 shape: strictly decreasing time down the table.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TimeSec >= rows[i-1].TimeSec {
+			t.Errorf("time not decreasing at row %d: %v after %v", i, rows[i].TimeSec, rows[i-1].TimeSec)
+		}
+	}
+	// Figure 6 shape: P100 has the lowest price-per-speedup, the 8-core
+	// CPU the highest among untuned platforms.
+	var p100, cpu8 float64
+	for _, r := range rows[:5] {
+		switch r.Platform.Name {
+		case "GPU":
+			p100 = r.PricePerSpeedup
+		case "8 CPUs":
+			cpu8 = r.PricePerSpeedup
+		}
+	}
+	for _, r := range rows {
+		if r.PricePerSpeedup < p100-1e-9 {
+			t.Errorf("%s price/speedup %v beats P100 %v; paper has P100 cheapest", r.Method, r.PricePerSpeedup, p100)
+		}
+	}
+	if cpu8 <= p100 {
+		t.Error("8-core CPU should be the least efficient platform")
+	}
+	// Headline: 8.2 hours down to ~1 minute (total speedup ≥ 300x).
+	if final := rows[len(rows)-1]; final.Speedup < 300 {
+		t.Errorf("final speedup %v, want >= 300", final.Speedup)
+	}
+}
+
+func TestEpochs(t *testing.T) {
+	if got := Epochs(60000, 100); got != 120 {
+		t.Fatalf("Epochs(60000,100) = %v, want 120", got)
+	}
+	if got := Epochs(7000, 512); relErr(got, 71.68) > 0.01 {
+		t.Fatalf("Epochs(7000,512) = %v, want 71.68", got)
+	}
+}
+
+func TestAutoTunePipeline(t *testing.T) {
+	reports, err := AutoTune(CIFAR10(), DGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d stages, want 3", len(reports))
+	}
+	for i, want := range []string{"batch", "learning-rate", "momentum"} {
+		if reports[i].Stage != want {
+			t.Fatalf("stage %d = %q, want %q", i, reports[i].Stage, want)
+		}
+		if reports[i].SpeedupVsPrev < 1 {
+			t.Errorf("stage %s made things worse: %v", want, reports[i].SpeedupVsPrev)
+		}
+	}
+	final := reports[2]
+	// Shape checks per the paper: batch lands in the flat 256–512 valley,
+	// η well above the 0.001 default, µ above 0.90, and the three stages
+	// compound to a large total win over the untuned DGX (387 s).
+	b := reports[0].Best.B
+	if b < 256 || b > 512 {
+		t.Errorf("tuned batch %d outside the paper's 256–512 valley", b)
+	}
+	if reports[1].Best.LR < 0.002 {
+		t.Errorf("tuned η %v, want > default", reports[1].Best.LR)
+	}
+	if final.Best.Momentum <= 0.90 {
+		t.Errorf("tuned µ %v, want > 0.90", final.Best.Momentum)
+	}
+	if final.BestTime > 120 {
+		t.Errorf("tuned time %v s, want < 120 s (paper reaches 83 s)", final.BestTime)
+	}
+	// Every reported stage must include diverged trials being skipped, not
+	// chosen.
+	for _, rep := range reports {
+		for _, tr := range rep.Trials {
+			if tr.Diverged && tr.Hyper == rep.Best {
+				t.Errorf("stage %s chose a diverged trial", rep.Stage)
+			}
+		}
+	}
+}
+
+func TestTuneStepAllDiverged(t *testing.T) {
+	c := CIFAR10()
+	_, _, err := TuneStep(c, DGX, []Hyper{
+		{B: 64, LR: 0.5, Momentum: 0.9},
+		{B: 64, LR: 0.9, Momentum: 0.9},
+	})
+	if err == nil {
+		t.Fatal("expected error when all candidates diverge")
+	}
+}
+
+func TestTuningSpacesMatchPaper(t *testing.T) {
+	if len(BatchSpace) != 9 || BatchSpace[0] != 64 || BatchSpace[8] != 8192 {
+		t.Fatalf("batch space %v", BatchSpace)
+	}
+	if len(LRSpace) != 16 || LRSpace[0] != 0.001 || relErr(LRSpace[15], 0.016) > 1e-9 {
+		t.Fatalf("lr space %v", LRSpace)
+	}
+	if len(MomentumSpace) != 10 || MomentumSpace[0] != 0.90 || relErr(MomentumSpace[9], 0.99) > 1e-9 {
+		t.Fatalf("momentum space %v", MomentumSpace)
+	}
+}

@@ -1,0 +1,92 @@
+// Package hwmodel reproduces the paper's deep-learning hardware study
+// (§IV–V, Table VII, Figures 5–6) without the hardware: each platform the
+// paper measured (8-core Xeon, KNL, Haswell, Tesla P100, DGX station) is
+// modeled as a throughput curve R(B) = Rmax·B/(B + B½) — samples per second
+// saturating with batch size — calibrated so the paper's measured
+// time-to-0.8-accuracy rows are reproduced exactly at the paper's settings.
+// A companion convergence model (convergence.go) maps the hyper-parameters
+// (B, η, µ) to SGD iterations-to-accuracy, anchored on the paper's own
+// tuning results.
+//
+// Substitution note (DESIGN.md §2): the paper's contribution here is
+// hardware/hyper-parameter *economics* — who wins and at what
+// dollars-per-speedup — not a new training algorithm. The calibrated model
+// preserves exactly those comparisons; the real from-scratch DNN in
+// internal/dnn demonstrates the B/η/µ mechanisms on live training runs.
+package hwmodel
+
+import "fmt"
+
+// Platform models one of the paper's five hardware targets.
+type Platform struct {
+	Name string
+	// Rmax is the asymptotic training throughput in samples/second at
+	// infinite batch size.
+	Rmax float64
+	// BHalf is the batch size at which throughput reaches half of Rmax —
+	// GPUs and wide many-core parts need large batches to saturate, so
+	// they carry large BHalf values.
+	BHalf float64
+	// PriceUSD is the paper's Table VII system price.
+	PriceUSD float64
+}
+
+// SamplesPerSec returns the modeled training throughput at batch size b.
+func (p Platform) SamplesPerSec(b int) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return p.Rmax * float64(b) / (float64(b) + p.BHalf)
+}
+
+// SecPerIter returns the modeled wall-clock seconds per SGD iteration at
+// batch size b.
+func (p Platform) SecPerIter(b int) float64 {
+	r := p.SamplesPerSec(b)
+	if r == 0 {
+		return 0
+	}
+	return float64(b) / r
+}
+
+// The five platforms, calibrated against Table VII's measured
+// time-per-iteration at B=100 (and additionally at B=512 for the DGX,
+// whose two measured rows pin both curve parameters):
+//
+//	platform   s/iter@100   source row
+//	CPU8       0.49045      29427 s / 60000 iter
+//	KNL        0.08203       4922 s / 60000 iter
+//	Haswell    0.033283      1997 s / 60000 iter
+//	P100       0.0083833      503 s / 60000 iter
+//	DGX        0.00645        387 s / 60000 iter, 0.012033 @ B=512
+var (
+	// CPU8 is the Intel Xeon E5-1660 v4 8-core host (Intel Caffe).
+	CPU8 = Platform{Name: "8 CPUs", Rmax: 220.21, BHalf: 8, PriceUSD: 1571}
+	// KNL is the 68-core Intel Xeon Phi 7250 (Intel Caffe, MCDRAM cache
+	// mode, quad NUMA). Its wide vector units need large batches, hence
+	// the big BHalf.
+	KNL = Platform{Name: "KNL", Rmax: 1999.18, BHalf: 64, PriceUSD: 4876}
+	// Haswell is the dual-socket 32-core Xeon E5-2698 v3 (Intel Caffe).
+	Haswell = Platform{Name: "Haswell", Rmax: 3485.25, BHalf: 16, PriceUSD: 7400}
+	// P100 is one Tesla P100 (NVIDIA Caffe + cuDNN).
+	P100 = Platform{Name: "GPU", Rmax: 23380.54, BHalf: 96, PriceUSD: 11571}
+	// DGX is the 4×P100 DGX station (NVIDIA Caffe + NCCL). The two
+	// measured batch points fix BHalf = 378.8: the allreduce and per-GPU
+	// underutilization make small batches disproportionately expensive.
+	DGX = Platform{Name: "DGX", Rmax: 73790.7, BHalf: 375.95, PriceUSD: 79000}
+)
+
+// Platforms returns the five modeled platforms in Table VII order.
+func Platforms() []Platform {
+	return []Platform{CPU8, KNL, Haswell, P100, DGX}
+}
+
+// ByName returns the platform with the given Table VII name.
+func ByName(name string) (Platform, error) {
+	for _, p := range Platforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("hwmodel: unknown platform %q", name)
+}

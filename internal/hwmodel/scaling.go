@@ -1,0 +1,29 @@
+package hwmodel
+
+// ScalingPoint is one row of the §IV-B scaling study: the DGX station's
+// speedup over a single P100 at a given batch size.
+type ScalingPoint struct {
+	B           int
+	P100SecIter float64
+	DGXSecIter  float64
+	Speedup     float64
+}
+
+// ScalingStudy reproduces the paper's §IV-B observation: "the
+// straightforward porting from one P100 GPU to one DGX station only brings
+// 1.3× speedup" at the Caffe default B=100, because small per-GPU batches
+// underutilize the four GPUs and the allreduce dominates — while larger
+// batches recover most of the 4-GPU advantage (which is why tuning B is
+// the first §IV-C step).
+func ScalingStudy(batches []int) []ScalingPoint {
+	if len(batches) == 0 {
+		batches = []int{64, 100, 256, 512, 1024, 2048, 4096, 8192}
+	}
+	out := make([]ScalingPoint, 0, len(batches))
+	for _, b := range batches {
+		p := P100.SecPerIter(b)
+		d := DGX.SecPerIter(b)
+		out = append(out, ScalingPoint{B: b, P100SecIter: p, DGXSecIter: d, Speedup: p / d})
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package hwmodel
+
+import "testing"
+
+func TestScalingStudyReproducesPortingObservation(t *testing.T) {
+	points := ScalingStudy(nil)
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	var at100, last ScalingPoint
+	for _, p := range points {
+		if p.B == 100 {
+			at100 = p
+		}
+		last = p
+	}
+	// §IV-B: "the straightforward porting from one P100 GPU to one DGX
+	// station only brings 1.3× speedup" at B=100.
+	if at100.Speedup < 1.2 || at100.Speedup > 1.45 {
+		t.Fatalf("DGX/P100 speedup at B=100 = %v, want ~1.3", at100.Speedup)
+	}
+	// Speedup grows monotonically with batch size and approaches the
+	// multi-GPU throughput advantage at the largest batches.
+	prev := 0.0
+	for _, p := range points {
+		if p.Speedup < prev {
+			t.Fatalf("scaling not monotone at B=%d: %v after %v", p.B, p.Speedup, prev)
+		}
+		prev = p.Speedup
+	}
+	if last.Speedup < 2.5 {
+		t.Fatalf("large-batch DGX advantage %v, want > 2.5x", last.Speedup)
+	}
+}

@@ -1,0 +1,122 @@
+package hwmodel
+
+import "fmt"
+
+// The paper's tuning spaces (§IV-C/D/E).
+var (
+	// BatchSpace is the §IV-C batch-size grid.
+	BatchSpace = []int{64, 100, 128, 256, 512, 1024, 2048, 4096, 8192}
+	// LRSpace is the §IV-D learning-rate grid: 0.001, 0.002, …, 0.016.
+	LRSpace = lrSpace()
+	// MomentumSpace is the §IV-E momentum grid: 0.90, 0.91, …, 0.99.
+	MomentumSpace = momentumSpace()
+)
+
+func lrSpace() []float64 {
+	out := make([]float64, 16)
+	for i := range out {
+		out[i] = 0.001 * float64(i+1)
+	}
+	return out
+}
+
+func momentumSpace() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = 0.90 + 0.01*float64(i)
+	}
+	return out
+}
+
+// TrialResult is one evaluated grid point.
+type TrialResult struct {
+	Hyper
+	TimeSec  float64
+	Iters    float64
+	Diverged bool
+}
+
+// TuneStep evaluates every candidate produced by vary on platform p and
+// returns all trials plus the index of the fastest converging one.
+func TuneStep(c Convergence, p Platform, candidates []Hyper) (trials []TrialResult, best int, err error) {
+	best = -1
+	for _, h := range candidates {
+		secs, iters, err := c.TimeToAccuracy(p, h)
+		tr := TrialResult{Hyper: h, TimeSec: secs, Iters: iters}
+		if err != nil {
+			tr.Diverged = true
+			tr.TimeSec = 0
+		}
+		trials = append(trials, tr)
+		if !tr.Diverged && (best < 0 || tr.TimeSec < trials[best].TimeSec) {
+			best = len(trials) - 1
+		}
+	}
+	if best < 0 {
+		return trials, -1, fmt.Errorf("hwmodel: every candidate diverged")
+	}
+	return trials, best, nil
+}
+
+// TuneReport is the outcome of the paper's three-stage §IV pipeline.
+type TuneReport struct {
+	Stage         string
+	Trials        []TrialResult
+	Best          Hyper
+	BestTime      float64
+	SpeedupVsPrev float64
+}
+
+// AutoTune runs the paper's sequential tuning recipe on a platform: start
+// from the Caffe defaults, tune B over BatchSpace, then η over LRSpace at
+// the chosen B, then µ over MomentumSpace at the chosen (B, η). It returns
+// one report per stage.
+func AutoTune(c Convergence, p Platform) ([]TuneReport, error) {
+	cur := Hyper{B: 100, LR: 0.001, Momentum: 0.90}
+	prevTime, _, err := c.TimeToAccuracy(p, cur)
+	if err != nil {
+		return nil, err
+	}
+	var reports []TuneReport
+
+	stage := func(name string, candidates []Hyper) error {
+		trials, best, err := TuneStep(c, p, candidates)
+		if err != nil {
+			return fmt.Errorf("hwmodel: %s stage: %w", name, err)
+		}
+		cur = trials[best].Hyper
+		rep := TuneReport{
+			Stage:         name,
+			Trials:        trials,
+			Best:          cur,
+			BestTime:      trials[best].TimeSec,
+			SpeedupVsPrev: prevTime / trials[best].TimeSec,
+		}
+		prevTime = trials[best].TimeSec
+		reports = append(reports, rep)
+		return nil
+	}
+
+	var bs []Hyper
+	for _, b := range BatchSpace {
+		bs = append(bs, Hyper{B: b, LR: cur.LR, Momentum: cur.Momentum})
+	}
+	if err := stage("batch", bs); err != nil {
+		return nil, err
+	}
+	var lrs []Hyper
+	for _, lr := range LRSpace {
+		lrs = append(lrs, Hyper{B: cur.B, LR: lr, Momentum: cur.Momentum})
+	}
+	if err := stage("learning-rate", lrs); err != nil {
+		return nil, err
+	}
+	var mus []Hyper
+	for _, mu := range MomentumSpace {
+		mus = append(mus, Hyper{B: cur.B, LR: cur.LR, Momentum: mu})
+	}
+	if err := stage("momentum", mus); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}

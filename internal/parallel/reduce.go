@@ -1,0 +1,117 @@
+package parallel
+
+import "sync"
+
+// SumFloat64 computes the sum of f(i) over i in [0, n) with p workers.
+// Each worker accumulates locally and the partials are combined serially,
+// so the result is deterministic for a fixed (n, p) pair.
+func SumFloat64(n, p int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = DefaultWorkers
+	}
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partial := make([]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := SplitRange(n, p, w)
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partial[w] = s
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ArgExtreme holds the result of an argmin/argmax reduction.
+type ArgExtreme struct {
+	Index int     // index of the extreme element; -1 if no element qualified
+	Value float64 // the extreme value; undefined when Index == -1
+}
+
+// ArgMin returns the index and value of the minimum of value(i) over the
+// i in [0, n) for which ok(i) is true, computed with p workers. Ties break
+// toward the smallest index, matching a serial scan, so results are
+// deterministic. ok may be nil, meaning every index qualifies.
+func ArgMin(n, p int, ok func(i int) bool, value func(i int) float64) ArgExtreme {
+	return argExtreme(n, p, ok, value, true)
+}
+
+// ArgMax is the maximizing counterpart of ArgMin.
+func ArgMax(n, p int, ok func(i int) bool, value func(i int) float64) ArgExtreme {
+	return argExtreme(n, p, ok, value, false)
+}
+
+func argExtreme(n, p int, ok func(i int) bool, value func(i int) float64, wantMin bool) ArgExtreme {
+	if n <= 0 {
+		return ArgExtreme{Index: -1}
+	}
+	if p <= 0 {
+		p = DefaultWorkers
+	}
+	if p > n {
+		p = n
+	}
+	scan := func(lo, hi int) ArgExtreme {
+		best := ArgExtreme{Index: -1}
+		for i := lo; i < hi; i++ {
+			if ok != nil && !ok(i) {
+				continue
+			}
+			v := value(i)
+			if best.Index == -1 || (wantMin && v < best.Value) || (!wantMin && v > best.Value) {
+				best = ArgExtreme{Index: i, Value: v}
+			}
+		}
+		return best
+	}
+	if p == 1 {
+		return scan(0, n)
+	}
+	partial := make([]ArgExtreme, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := SplitRange(n, p, w)
+			partial[w] = scan(lo, hi)
+		}(w)
+	}
+	wg.Wait()
+	// Partials arrive in ascending index order, so replacing only on a
+	// strictly better value keeps the smallest-index tie-break.
+	best := ArgExtreme{Index: -1}
+	for _, cand := range partial {
+		if cand.Index == -1 {
+			continue
+		}
+		if best.Index == -1 ||
+			(wantMin && cand.Value < best.Value) ||
+			(!wantMin && cand.Value > best.Value) {
+			best = cand
+		}
+	}
+	return best
+}

@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// CSCMatrix is compressed sparse column storage — the column-wise twin of
+// CSR that the paper notes is derivable from it (§III-A). Its multiply
+// kernel iterates only the columns where x is nonzero, so unlike the other
+// formats its SMSV work is Θ(Σ_{j∈nnz(x)} colnnz(j)) rather than the full
+// stored-element count; it is included as an extension, not one of the five
+// scheduled formats.
+type CSCMatrix struct {
+	rows, cols int
+	ptr        []int64   // len cols+1
+	idx        []int32   // len nnz, row indices, ascending within a column
+	val        []float64 // len nnz
+}
+
+func newCSC(rows, cols int, r, c []int32, v []float64) *CSCMatrix {
+	m := &CSCMatrix{
+		rows: rows,
+		cols: cols,
+		ptr:  make([]int64, cols+1),
+		idx:  make([]int32, len(v)),
+		val:  make([]float64, len(v)),
+	}
+	for _, col := range c {
+		m.ptr[col+1]++
+	}
+	for j := 0; j < cols; j++ {
+		m.ptr[j+1] += m.ptr[j]
+	}
+	fill := make([]int64, cols)
+	// Input triplets are row-major sorted, so filling column buckets in
+	// order leaves row indices ascending within each column.
+	for k := range v {
+		col := c[k]
+		pos := m.ptr[col] + fill[col]
+		fill[col]++
+		m.idx[pos] = r[k]
+		m.val[pos] = v[k]
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *CSCMatrix) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSCMatrix) NNZ() int { return len(m.val) }
+
+// Format returns CSC.
+func (m *CSCMatrix) Format() Format { return CSC }
+
+// RowTo appends the nonzeros of row i to dst. CSC has no row index, so this
+// probes every column with a binary search — O(N log nnz); CSC is built for
+// column access, and this cost asymmetry is why it is not in the scheduled
+// set for the row-access SMO workload.
+func (m *CSCMatrix) RowTo(dst Vector, i int) Vector {
+	dst = dst.Reset(m.cols)
+	for j := 0; j < m.cols; j++ {
+		lo, hi := m.ptr[j], m.ptr[j+1]
+		seg := m.idx[lo:hi]
+		k := sort.Search(len(seg), func(k int) bool { return seg[k] >= int32(i) })
+		if k < len(seg) && seg[k] == int32(i) {
+			dst = dst.Append(int32(j), m.val[lo+int64(k)])
+		}
+	}
+	return dst
+}
+
+// MulVecSparse computes dst = A·x column-wise: only columns with a nonzero
+// x entry are touched. Columns are distributed over workers with per-worker
+// partial outputs merged serially, keeping the result deterministic.
+func (m *CSCMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	nx := len(x.Index)
+	if nx == 0 {
+		return
+	}
+	p := workers
+	if p <= 0 {
+		p = parallel.DefaultWorkers
+	}
+	if p > nx {
+		p = nx
+	}
+	if p == 1 {
+		for k, j := range x.Index {
+			xv := x.Value[k]
+			for q := m.ptr[j]; q < m.ptr[j+1]; q++ {
+				dst[m.idx[q]] += m.val[q] * xv
+			}
+		}
+		return
+	}
+	partial := make([][]float64, p)
+	parallel.For(p, p, parallel.Static, func(w int) {
+		lo, hi := parallel.SplitRange(nx, p, w)
+		acc := make([]float64, m.rows)
+		for k := lo; k < hi; k++ {
+			j := x.Index[k]
+			xv := x.Value[k]
+			for q := m.ptr[j]; q < m.ptr[j+1]; q++ {
+				acc[m.idx[q]] += m.val[q] * xv
+			}
+		}
+		partial[w] = acc
+	})
+	for _, acc := range partial {
+		for i, a := range acc {
+			if a != 0 {
+				dst[i] += a
+			}
+		}
+	}
+}
+
+// StoredElements returns 2·nnz + N (value and row-index arrays plus the
+// column-pointer array counted as N entries), the CSC analogue of Table
+// II's CSR row.
+func (m *CSCMatrix) StoredElements() int64 {
+	return 2*int64(len(m.val)) + int64(m.cols)
+}
+
+// StorageBytes returns the backing array footprint.
+func (m *CSCMatrix) StorageBytes() int64 {
+	return int64(len(m.ptr))*8 + int64(len(m.idx))*4 + int64(len(m.val))*8
+}

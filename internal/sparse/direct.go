@@ -1,0 +1,49 @@
+package sparse
+
+import "fmt"
+
+// NewCSRFrom wraps pre-built CSR arrays (row pointers, column indices,
+// values) without copying, for callers who already hold data in CSR form
+// and should not pay a Builder round trip. The arrays are validated before
+// acceptance; on success the matrix takes ownership.
+func NewCSRFrom(rows, cols int, ptr []int64, idx []int32, val []float64) (*CSRMatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: invalid dims %dx%d", rows, cols)
+	}
+	m := &CSRMatrix{rows: rows, cols: cols, ptr: ptr, idx: idx, val: val}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewCOOFrom wraps pre-built COO triplet arrays without copying. The
+// triplets must already be row-major sorted and unique; Validate enforces
+// it.
+func NewCOOFrom(rows, cols int, row, col []int32, val []float64) (*COOMatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: invalid dims %dx%d", rows, cols)
+	}
+	m := &COOMatrix{rows: rows, cols: cols, row: row, col: col, val: val}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromDense builds a Builder from a row-major dense slice, eliding zeros —
+// the convenient path from [][]float64-style data into the format family.
+func FromDense(rows, cols int, data []float64) (*Builder, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("sparse: %d elements for %dx%d", len(data), rows, cols)
+	}
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if x := data[i*cols+j]; x != 0 {
+				b.Add(i, j, x)
+			}
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,64 @@
+package sparse
+
+import "testing"
+
+func TestNewCSRFromValidInput(t *testing.T) {
+	// [1 0 2; 0 3 0]
+	m, err := NewCSRFrom(2, 3,
+		[]int64{0, 2, 3},
+		[]int32{0, 2, 1},
+		[]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	var v Vector
+	v = m.RowTo(v, 0)
+	if v.NNZ() != 2 || v.Value[1] != 2 {
+		t.Fatalf("row 0: %+v", v)
+	}
+}
+
+func TestNewCSRFromRejectsCorrupt(t *testing.T) {
+	if _, err := NewCSRFrom(2, 3, []int64{0, 2}, []int32{0, 2, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("short ptr accepted")
+	}
+	if _, err := NewCSRFrom(2, 3, []int64{0, 2, 3}, []int32{2, 0, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("unsorted columns accepted")
+	}
+	if _, err := NewCSRFrom(2, 3, []int64{0, 2, 3}, []int32{0, 5, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	if _, err := NewCSRFrom(0, 3, nil, nil, nil); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestNewCOOFrom(t *testing.T) {
+	m, err := NewCOOFrom(3, 3, []int32{0, 1, 1}, []int32{2, 0, 2}, []float64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	if _, err := NewCOOFrom(3, 3, []int32{1, 0}, []int32{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("unsorted rows accepted")
+	}
+}
+
+func TestFromDense(t *testing.T) {
+	b, err := FromDense(2, 2, []float64{1, 0, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := b.MustBuild(CSR)
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	if _, err := FromDense(2, 2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

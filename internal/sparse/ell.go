@@ -1,0 +1,140 @@
+package sparse
+
+import "repro/internal/parallel"
+
+// ELLMatrix is ELLPACK/ITPACK storage: every row is padded to the length of
+// the longest row (mdim), giving two M×mdim arrays. Padded slots carry a
+// valid column index (0) and a zero value so the kernel can stream them
+// unconditionally — the multiply therefore costs Θ(M·mdim) multiply-adds,
+// which is exactly why the paper's Figure 3 shows ELL degrading as mdim
+// grows at fixed nnz.
+//
+// Two element orders are supported. Row-major matches how the CPU kernels
+// in this repo stream a row at a time; column-major (slot-major) is the
+// classical GPU-friendly ELLPACK order and is kept as an ablation
+// (BenchmarkAblationELLLayout).
+type ELLMatrix struct {
+	rows, cols int
+	width      int // mdim: slots per row
+	nnz        int
+	colMajor   bool
+	idx        []int32   // rows*width
+	val        []float64 // rows*width
+}
+
+func newELL(rows, cols int, r, c []int32, v []float64, colMajor bool) *ELLMatrix {
+	width := 0
+	counts := make([]int32, rows)
+	for _, row := range r {
+		counts[row]++
+		if int(counts[row]) > width {
+			width = int(counts[row])
+		}
+	}
+	if width == 0 {
+		width = 1 // keep arrays non-empty so the kernel has no special case
+	}
+	m := &ELLMatrix{
+		rows:     rows,
+		cols:     cols,
+		width:    width,
+		nnz:      len(v),
+		colMajor: colMajor,
+		idx:      make([]int32, rows*width),
+		val:      make([]float64, rows*width),
+	}
+	fill := make([]int32, rows)
+	for k := range v {
+		row := int(r[k])
+		slot := int(fill[row])
+		fill[row]++
+		m.idx[m.at(row, slot)] = c[k]
+		m.val[m.at(row, slot)] = v[k]
+	}
+	return m
+}
+
+// NewELLColMajor builds the column-major (slot-major) layout variant from
+// a builder's contents.
+func NewELLColMajor(b *Builder) *ELLMatrix {
+	r, c, v := b.canonical()
+	return newELL(b.rows, b.cols, r, c, v, true)
+}
+
+// at maps (row, slot) to the flat array position under the active layout.
+func (m *ELLMatrix) at(row, slot int) int {
+	if m.colMajor {
+		return slot*m.rows + row
+	}
+	return row*m.width + slot
+}
+
+// Dims returns the matrix dimensions.
+func (m *ELLMatrix) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the number of logically nonzero elements (padding excluded).
+func (m *ELLMatrix) NNZ() int { return m.nnz }
+
+// Format returns ELL.
+func (m *ELLMatrix) Format() Format { return ELL }
+
+// Width returns the per-row slot count (the dataset's mdim).
+func (m *ELLMatrix) Width() int { return m.width }
+
+// ColMajor reports whether the slot-major layout variant is in use.
+func (m *ELLMatrix) ColMajor() bool { return m.colMajor }
+
+// RowTo appends the nonzeros of row i to dst, skipping padding.
+func (m *ELLMatrix) RowTo(dst Vector, i int) Vector {
+	dst = dst.Reset(m.cols)
+	for s := 0; s < m.width; s++ {
+		k := m.at(i, s)
+		if m.val[k] != 0 {
+			dst = dst.Append(m.idx[k], m.val[k])
+		}
+	}
+	return dst
+}
+
+// MulVecSparse computes dst = A·x streaming all rows*width slots, padding
+// included — the Θ(M·mdim) cost model of Table II.
+func (m *ELLMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+	x.ScatterInto(scratch)
+	if m.colMajor {
+		// Slot-major: parallelize over rows; each row strides through the
+		// array, touching one element per slot lane.
+		parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for s := 0; s < m.width; s++ {
+					k := s*m.rows + i
+					sum += m.val[k] * scratch[m.idx[k]]
+				}
+				dst[i] = sum
+			}
+		})
+	} else {
+		parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				base := i * m.width
+				var sum float64
+				for s := 0; s < m.width; s++ {
+					sum += m.val[base+s] * scratch[m.idx[base+s]]
+				}
+				dst[i] = sum
+			}
+		})
+	}
+	x.GatherFrom(scratch)
+}
+
+// StoredElements returns 2·M·mdim per Table II (index and value arrays,
+// padding included; reaches 2MN when some row is fully dense).
+func (m *ELLMatrix) StoredElements() int64 {
+	return 2 * int64(m.rows) * int64(m.width)
+}
+
+// StorageBytes returns the backing array footprint.
+func (m *ELLMatrix) StorageBytes() int64 {
+	return int64(len(m.idx))*4 + int64(len(m.val))*8
+}

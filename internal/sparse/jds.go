@@ -1,0 +1,195 @@
+package sparse
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// JDSMatrix is jagged diagonal storage (JAD/JDS): rows are sorted by
+// descending nonzero count, then column-compressed into "jagged diagonals"
+// — the k-th jagged diagonal holds the k-th nonzero of every row long
+// enough to have one. Like ELL it exposes long vectorizable columns, but
+// without ELL's padding: storage is exactly nnz plus the permutation, so
+// it tolerates the skewed row lengths that destroy ELL in Figure 3. It is
+// provided as a derived-format extension (§III-A) alongside CSC, BCSR and
+// HYB.
+type JDSMatrix struct {
+	rows, cols int
+	perm       []int32   // perm[k] = original row stored at jagged position k
+	jdPtr      []int64   // start of each jagged diagonal; len = maxRowNNZ+1
+	idx        []int32   // len nnz, column indices
+	val        []float64 // len nnz
+}
+
+// NewJDS materializes the builder's contents in JDS form.
+func NewJDS(b *Builder) *JDSMatrix {
+	r, c, v := b.canonical()
+	m := &JDSMatrix{rows: b.rows, cols: b.cols}
+	// Per-row entry positions, then the descending-length permutation.
+	rowStart := make([]int, b.rows+1)
+	for _, row := range r {
+		rowStart[row+1]++
+	}
+	maxLen := 0
+	for i := 0; i < b.rows; i++ {
+		if l := rowStart[i+1]; l > maxLen {
+			maxLen = l
+		}
+		rowStart[i+1] += rowStart[i]
+	}
+	m.perm = make([]int32, b.rows)
+	for i := range m.perm {
+		m.perm[i] = int32(i)
+	}
+	rowLen := func(i int32) int { return rowStart[i+1] - rowStart[i] }
+	sort.SliceStable(m.perm, func(a, b int) bool {
+		return rowLen(m.perm[a]) > rowLen(m.perm[b])
+	})
+	// Jagged diagonal d holds entry d of every row with length > d; rows
+	// are in perm order, so each diagonal is a contiguous prefix.
+	m.jdPtr = make([]int64, maxLen+1)
+	m.idx = make([]int32, len(v))
+	m.val = make([]float64, len(v))
+	pos := 0
+	for d := 0; d < maxLen; d++ {
+		m.jdPtr[d] = int64(pos)
+		for k, orig := range m.perm {
+			if rowLen(orig) <= d {
+				break // perm is sorted by descending length
+			}
+			e := rowStart[orig] + d
+			m.idx[pos] = c[e]
+			m.val[pos] = v[e]
+			pos++
+			_ = k
+		}
+	}
+	m.jdPtr[maxLen] = int64(pos)
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *JDSMatrix) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the stored nonzero count.
+func (m *JDSMatrix) NNZ() int { return len(m.val) }
+
+// Format reports CSR: JDS is a derived format with CSR-like exact-nnz
+// storage; use the concrete type to distinguish it.
+func (m *JDSMatrix) Format() Format { return CSR }
+
+// NumJaggedDiagonals returns the jagged diagonal count (the longest row's
+// nonzero count).
+func (m *JDSMatrix) NumJaggedDiagonals() int { return len(m.jdPtr) - 1 }
+
+// RowTo appends the nonzeros of row i to dst in ascending column order.
+func (m *JDSMatrix) RowTo(dst Vector, i int) Vector {
+	dst = dst.Reset(m.cols)
+	// Find row i's jagged position.
+	k := -1
+	for p, orig := range m.perm {
+		if orig == int32(i) {
+			k = p
+			break
+		}
+	}
+	if k < 0 {
+		return dst
+	}
+	for d := 0; d < m.NumJaggedDiagonals(); d++ {
+		lo, hi := m.jdPtr[d], m.jdPtr[d+1]
+		if int64(k) >= hi-lo {
+			break // this row has no entry on diagonal d
+		}
+		e := lo + int64(k)
+		dst = dst.Append(m.idx[e], m.val[e])
+	}
+	dst.sortEntries()
+	return dst
+}
+
+// MulVecSparse computes dst = A·x: the jagged diagonals are streamed in
+// order, each one a dense run over the row prefix, with rows partitioned
+// across workers via the permutation. Work is exactly Θ(nnz) — JDS's
+// advantage over padded ELL on skewed matrices.
+func (m *JDSMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+	x.ScatterInto(scratch)
+	nd := m.NumJaggedDiagonals()
+	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		// Worker owns jagged positions [lo, hi): contiguous rows of the
+		// permutation, so no write races on dst.
+		for k := lo; k < hi; k++ {
+			dst[m.perm[k]] = 0
+		}
+		for d := 0; d < nd; d++ {
+			dLo, dHi := m.jdPtr[d], m.jdPtr[d+1]
+			rows := int(dHi - dLo) // rows participating in this diagonal
+			kHi := hi
+			if kHi > rows {
+				kHi = rows
+			}
+			for k := lo; k < kHi; k++ {
+				e := dLo + int64(k)
+				dst[m.perm[k]] += m.val[e] * scratch[m.idx[e]]
+			}
+		}
+	})
+	x.GatherFrom(scratch)
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *JDSMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	scratch := make([]float64, m.cols)
+	copy(scratch, x)
+	m.MulVecSparse(dst, Vector{Dim: m.cols}, scratch, workers, sched)
+}
+
+// StoredElements returns 2·nnz + M + ndiag (values, indices, permutation
+// and jagged pointers) — CSR-like exact storage.
+func (m *JDSMatrix) StoredElements() int64 {
+	return 2*int64(len(m.val)) + int64(m.rows) + int64(len(m.jdPtr))
+}
+
+// StorageBytes returns the backing array footprint.
+func (m *JDSMatrix) StorageBytes() int64 {
+	return int64(len(m.perm))*4 + int64(len(m.jdPtr))*8 + int64(len(m.idx))*4 + int64(len(m.val))*8
+}
+
+// Validate checks JDS invariants: a true permutation, monotone jagged
+// pointers, descending participation, and in-range indices.
+func (m *JDSMatrix) Validate() error {
+	seen := make([]bool, m.rows)
+	for _, p := range m.perm {
+		if int(p) >= m.rows || p < 0 || seen[p] {
+			return errJDS("perm is not a permutation")
+		}
+		seen[p] = true
+	}
+	prevRows := int64(m.rows) + 1
+	for d := 0; d < m.NumJaggedDiagonals(); d++ {
+		if m.jdPtr[d] > m.jdPtr[d+1] {
+			return errJDS("jagged pointers decrease")
+		}
+		rows := m.jdPtr[d+1] - m.jdPtr[d]
+		if rows > prevRows {
+			return errJDS("jagged diagonal grows")
+		}
+		prevRows = rows
+	}
+	if m.jdPtr[len(m.jdPtr)-1] != int64(len(m.val)) {
+		return errJDS("jagged pointers do not cover values")
+	}
+	for _, j := range m.idx {
+		if int(j) >= m.cols || j < 0 {
+			return errJDS("column index out of range")
+		}
+	}
+	return nil
+}
+
+type jdsError string
+
+func (e jdsError) Error() string { return "sparse: JDS " + string(e) }
+
+func errJDS(msg string) error { return jdsError(msg) }

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJDSPreservesContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, density := range []float64{0.05, 0.3, 1.0} {
+		b := randomBuilder(rng, 30, 25, density)
+		b.Add(0, 0, 1)
+		ref := b.MustBuild(DEN)
+		j := NewJDS(b)
+		if !Equal(ref, j) {
+			t.Fatalf("d=%v: JDS content differs", density)
+		}
+		if err := ValidateMatrix(j); err != nil {
+			t.Fatalf("d=%v: %v", density, err)
+		}
+	}
+}
+
+func TestJDSSkewedRowsExactStorage(t *testing.T) {
+	// One 50-nnz row among 1-nnz rows: ELL pads to width 50, JDS stores
+	// exactly nnz.
+	b := NewBuilder(20, 60)
+	for j := 0; j < 50; j++ {
+		b.Add(0, j, 1)
+	}
+	for i := 1; i < 20; i++ {
+		b.Add(i, i, 2)
+	}
+	j := NewJDS(b)
+	ell := b.MustBuild(ELL).(*ELLMatrix)
+	if j.NumJaggedDiagonals() != 50 {
+		t.Fatalf("jagged diagonals = %d, want 50", j.NumJaggedDiagonals())
+	}
+	if j.StoredElements() >= ell.StoredElements() {
+		t.Fatalf("JDS stored %d should beat padded ELL %d", j.StoredElements(), ell.StoredElements())
+	}
+	if !Equal(b.MustBuild(DEN), j) {
+		t.Fatal("content differs")
+	}
+}
+
+func TestJDSMulVecMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	b := randomBuilder(rng, 40, 30, 0.2)
+	// Heavy skew to exercise the shrinking-diagonal logic.
+	for j := 0; j < 30; j++ {
+		b.Add(3, j, float64(j)+1)
+	}
+	dense := ToDense(b.MustBuild(DEN))
+	j := NewJDS(b)
+	x := Vector{Dim: 30}
+	for c := 0; c < 30; c += 3 {
+		x = x.Append(int32(c), rng.NormFloat64())
+	}
+	want := refMulVecSparse(dense, 40, 30, x)
+	scratch := make([]float64, 30)
+	for _, workers := range []int{1, 2, 5} {
+		dst := make([]float64, 40)
+		j.MulVecSparse(dst, x, scratch, workers, SchedStatic)
+		if !almostEqual(dst, want, 1e-12) {
+			t.Fatalf("w=%d: JDS SMSV mismatch", workers)
+		}
+		for c, s := range scratch {
+			if s != 0 {
+				t.Fatalf("scratch[%d]=%v not restored", c, s)
+			}
+		}
+	}
+	// Dense-vector kernel agrees too.
+	xd := x.Dense()
+	dst := make([]float64, 40)
+	j.MulVecDense(dst, xd, 2, SchedStatic)
+	if !almostEqual(dst, want, 1e-12) {
+		t.Fatal("JDS MulVecDense mismatch")
+	}
+}
+
+func TestJDSValidateCatchesCorruption(t *testing.T) {
+	b := NewBuilder(5, 5)
+	b.Add(0, 1, 1)
+	b.Add(0, 3, 2)
+	b.Add(2, 2, 3)
+	j := NewJDS(b)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	j.perm[0] = j.perm[1]
+	if j.Validate() == nil {
+		t.Error("broken permutation accepted")
+	}
+	j2 := NewJDS(b)
+	j2.idx[0] = 99
+	if j2.Validate() == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestJDSEmptyRows(t *testing.T) {
+	b := NewBuilder(6, 4)
+	b.Add(2, 1, 5) // single entry; rows 0,1,3,4,5 empty
+	j := NewJDS(b)
+	var v Vector
+	for i := 0; i < 6; i++ {
+		v = j.RowTo(v, i)
+		want := 0
+		if i == 2 {
+			want = 1
+		}
+		if v.NNZ() != want {
+			t.Fatalf("row %d nnz %d, want %d", i, v.NNZ(), want)
+		}
+	}
+	dst := make([]float64, 6)
+	scratch := make([]float64, 4)
+	x := Vector{Index: []int32{1}, Value: []float64{2}, Dim: 4}
+	j.MulVecSparse(dst, x, scratch, 3, SchedStatic)
+	for i, d := range dst {
+		want := 0.0
+		if i == 2 {
+			want = 10
+		}
+		if d != want {
+			t.Fatalf("dst[%d]=%v, want %v", i, d, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package sparse
+
+import "repro/internal/parallel"
+
+// This file provides the classical SpMV (sparse-matrix × dense-vector)
+// kernels for every format. SMO only needs SMSV — the paper's point is
+// that its x vectors are themselves matrix rows — but downstream users of
+// the format library (iterative solvers, graph kernels) multiply by dense
+// vectors; these kernels skip the scatter/gather step and read x directly.
+
+// DenseMultiplier is implemented by formats that support dense-vector
+// multiplication.
+type DenseMultiplier interface {
+	// MulVecDense computes dst = A·x for a dense x of length cols; dst
+	// must have length rows.
+	MulVecDense(dst, x []float64, workers int, sched Sched)
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (d *Dense) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	cols := d.cols
+	parallel.ForRange(d.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := d.data[i*cols : (i+1)*cols]
+			var sum float64
+			for j, a := range row {
+				sum += a * x[j]
+			}
+			dst[i] = sum
+		}
+	})
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *CSRMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for k := m.ptr[i]; k < m.ptr[i+1]; k++ {
+				sum += m.val[k] * x[m.idx[k]]
+			}
+			dst[i] = sum
+		}
+	})
+}
+
+// MulVecDense computes dst = A·x for dense x by reusing the nnz-parallel
+// sparse kernel with x pre-placed in the scratch image (an empty sparse
+// vector scatters nothing, so the kernel reads x directly and restores
+// nothing afterwards).
+func (m *COOMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	scratch := make([]float64, m.cols)
+	copy(scratch, x)
+	m.MulVecSparse(dst, Vector{Dim: m.cols}, scratch, workers, sched)
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *ELLMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			if m.colMajor {
+				for s := 0; s < m.width; s++ {
+					k := s*m.rows + i
+					sum += m.val[k] * x[m.idx[k]]
+				}
+			} else {
+				base := i * m.width
+				for s := 0; s < m.width; s++ {
+					sum += m.val[base+s] * x[m.idx[base+s]]
+				}
+			}
+			dst[i] = sum
+		}
+	})
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *DIAMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = 0
+		}
+		for d, o := range m.offsets {
+			rlo, rhi := lo, hi
+			if o < 0 && rlo < -int(o) {
+				rlo = -int(o)
+			}
+			if end := m.cols - int(o); rhi > end {
+				rhi = end
+			}
+			if rlo >= rhi {
+				continue
+			}
+			lane := m.data[d*m.stride : (d+1)*m.stride]
+			if o < 0 {
+				for i := rlo; i < rhi; i++ {
+					dst[i] += lane[i+int(o)] * x[i+int(o)]
+				}
+			} else {
+				for i := rlo; i < rhi; i++ {
+					dst[i] += lane[i] * x[i+int(o)]
+				}
+			}
+		}
+	})
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *CSCMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	m.MulVecSparse(dst, denseAsVector(x), nil, workers, sched)
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *BCSRMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	b := m.b
+	parallel.ForRange(m.brows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		for br := lo; br < hi; br++ {
+			rowBase := br * b
+			rowsHere := min(b, m.rows-rowBase)
+			for lr := 0; lr < rowsHere; lr++ {
+				dst[rowBase+lr] = 0
+			}
+			for p := m.ptr[br]; p < m.ptr[br+1]; p++ {
+				colBase := int(m.bidx[p]) * b
+				colsHere := min(b, m.cols-colBase)
+				blk := m.val[int(p)*b*b : int(p+1)*b*b]
+				for lr := 0; lr < rowsHere; lr++ {
+					var sum float64
+					for lc := 0; lc < colsHere; lc++ {
+						sum += blk[lr*b+lc] * x[colBase+lc]
+					}
+					dst[rowBase+lr] += sum
+				}
+			}
+		}
+	})
+}
+
+// MulVecDense computes dst = A·x for dense x.
+func (m *HYBMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+	m.ell.MulVecDense(dst, x, workers, sched)
+	if m.coo.NNZ() == 0 {
+		return
+	}
+	spill := make([]float64, m.rows)
+	m.coo.MulVecDense(spill, x, workers, sched)
+	for i, s := range spill {
+		if s != 0 {
+			dst[i] += s
+		}
+	}
+}
+
+// denseAsVector wraps a dense slice as a fully populated Vector whose
+// values alias x, so the COO/CSC sparse kernels can reuse it. The scratch
+// argument becomes unnecessary because the kernel indexes x directly.
+func denseAsVector(x []float64) Vector {
+	idx := make([]int32, len(x))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return Vector{Index: idx, Value: x, Dim: len(x)}
+}

@@ -1,0 +1,28 @@
+package sparse
+
+// Transpose returns Aᵀ in the requested format. The column-major walk goes
+// through CSC, whose construction is a linear-time bucket pass, so the
+// whole operation is O(nnz + M + N) plus the target materialization.
+func Transpose(m Matrix, target Format) (Matrix, error) {
+	rows, cols := m.Dims()
+	// Stream rows into a CSC of the original, which *is* the CSR of the
+	// transpose; then re-emit as triplets of the transpose.
+	b := NewBuilder(cols, rows)
+	var v Vector
+	for i := 0; i < rows; i++ {
+		v = m.RowTo(v, i)
+		for k, j := range v.Index {
+			b.Add(int(j), i, v.Value[k])
+		}
+	}
+	return b.Build(target)
+}
+
+// MustTranspose is Transpose for trusted input; it panics on error.
+func MustTranspose(m Matrix, target Format) Matrix {
+	out, err := Transpose(m, target)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

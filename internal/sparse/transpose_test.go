@@ -1,0 +1,40 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransposeAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	b := randomBuilder(rng, 20, 35, 0.2)
+	orig := b.MustBuild(CSR)
+	for _, f := range AllFormats {
+		tr, err := Transpose(orig, f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		r, c := tr.Dims()
+		if r != 35 || c != 20 {
+			t.Fatalf("%v: transpose dims %dx%d", f, r, c)
+		}
+		if tr.NNZ() != orig.NNZ() {
+			t.Fatalf("%v: nnz %d != %d", f, tr.NNZ(), orig.NNZ())
+		}
+		// (Aᵀ)ᵀ == A
+		back := MustTranspose(tr, CSR)
+		if !Equal(orig, back) {
+			t.Fatalf("%v: double transpose differs", f)
+		}
+	}
+}
+
+func TestTransposeElements(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 2, 7)
+	b.Add(1, 0, 5)
+	tr := MustTranspose(b.MustBuild(COO), DEN).(*Dense)
+	if tr.At(2, 0) != 7 || tr.At(0, 1) != 5 {
+		t.Fatalf("transpose wrong: %+v", ToDense(tr))
+	}
+}

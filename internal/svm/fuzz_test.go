@@ -1,0 +1,34 @@
+package svm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadModel checks the model parser never panics and that accepted
+// models survive a save/load round trip.
+func FuzzLoadModel(f *testing.F) {
+	f.Add("kernel_type linear\nrho 0.5\ntotal_sv 1\nSV\n1.5 1:2 3:4\n")
+	f.Add("kernel_type gaussian\ngamma 0.1\nSV\n")
+	f.Add("")
+	f.Add("SV\n")
+	f.Add("kernel_type polynomial\ndegree 3\na 1\nr 1\nSV\n-2 5:1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := LoadModel(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("save of accepted model failed: %v", err)
+		}
+		again, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.SVs) != len(m.SVs) || again.Kernel.Type != m.Kernel.Type {
+			t.Fatal("round trip changed the model")
+		}
+	})
+}

@@ -1,0 +1,6 @@
+package svm
+
+import "math/rand"
+
+// testRandSVM returns a fixed-seed RNG for deterministic tests.
+func testRandSVM(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

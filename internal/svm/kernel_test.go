@@ -1,0 +1,116 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestKernelTypeString(t *testing.T) {
+	names := map[KernelType]string{
+		Linear: "linear", Polynomial: "polynomial",
+		Gaussian: "gaussian", Sigmoid: "sigmoid", KernelType(9): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d: got %q want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	good := []KernelParams{
+		{Type: Linear},
+		{Type: Sigmoid, A: 1, R: 0},
+		{Type: Polynomial, A: 1, R: 1, Degree: 3},
+		{Type: Gaussian, Gamma: 0.5},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", p.Type, err)
+		}
+	}
+	bad := []KernelParams{
+		{Type: Polynomial, Degree: 0},
+		{Type: Gaussian, Gamma: 0},
+		{Type: Gaussian, Gamma: -1},
+		{Type: KernelType(42)},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestKernelEvalKnownValues(t *testing.T) {
+	v := sparse.NewVectorDense([]float64{1, 2, 0})
+	w := sparse.NewVectorDense([]float64{3, 0, 4})
+	dot := 3.0
+	if got := (KernelParams{Type: Linear}).Eval(v, w); got != dot {
+		t.Fatalf("linear = %v, want %v", got, dot)
+	}
+	p := KernelParams{Type: Polynomial, A: 2, R: 1, Degree: 3}
+	if got, want := p.Eval(v, w), math.Pow(2*dot+1, 3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("poly = %v, want %v", got, want)
+	}
+	g := KernelParams{Type: Gaussian, Gamma: 0.1}
+	// ||v-w||^2 = (1-3)^2 + 4 + 16 = 24
+	if got, want := g.Eval(v, w), math.Exp(-0.1*24); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("gaussian = %v, want %v", got, want)
+	}
+	sg := KernelParams{Type: Sigmoid, A: 0.5, R: -1}
+	if got, want := sg.Eval(v, w), math.Tanh(0.5*dot-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sigmoid = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianKernelProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := KernelParams{Type: Gaussian, Gamma: 0.3}
+	for trial := 0; trial < 50; trial++ {
+		dim := rng.Intn(10) + 1
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		va, vb := sparse.NewVectorDense(a), sparse.NewVectorDense(b)
+		k := p.Eval(va, vb)
+		if k <= 0 || k > 1 {
+			t.Fatalf("gaussian value %v out of (0,1]", k)
+		}
+		if self := p.Eval(va, va); math.Abs(self-1) > 1e-12 {
+			t.Fatalf("K(v,v) = %v, want 1", self)
+		}
+		if sym := p.Eval(vb, va); math.Abs(sym-k) > 1e-12 {
+			t.Fatalf("not symmetric: %v vs %v", sym, k)
+		}
+	}
+}
+
+func TestIntPowMatchesMathPow(t *testing.T) {
+	check := func(xRaw int16, d uint8) bool {
+		x := float64(xRaw) / 100
+		deg := int(d%8) + 1
+		got := intPow(x, deg)
+		want := math.Pow(x, float64(deg))
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultGaussian(t *testing.T) {
+	p := DefaultGaussian(50)
+	if p.Type != Gaussian || p.Gamma != 0.02 {
+		t.Fatalf("got %+v", p)
+	}
+	if p0 := DefaultGaussian(0); p0.Gamma != 1 {
+		t.Fatalf("zero features gamma = %v, want 1", p0.Gamma)
+	}
+}

@@ -1,0 +1,79 @@
+package svm
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// Model is a trained binary SVM: the support vectors with their signed
+// coefficients αᵢyᵢ and the bias b. The decision function is
+//
+//	f(x) = Σᵢ Coef[i]·K(SVs[i], x) − B
+//
+// with the sample classified by sign(f(x)).
+type Model struct {
+	Kernel KernelParams
+	SVs    []sparse.Vector
+	Coef   []float64 // αᵢ·yᵢ per support vector
+	B      float64
+}
+
+// Decision evaluates the decision function on one sample.
+func (m *Model) Decision(x sparse.Vector) float64 {
+	sum := parallel.SumFloat64(len(m.SVs), 1, func(i int) float64 {
+		return m.Coef[i] * m.Kernel.Eval(m.SVs[i], x)
+	})
+	return sum - m.B
+}
+
+// Predict classifies one sample into {-1, +1}.
+func (m *Model) Predict(x sparse.Vector) float64 {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// DecisionBatch evaluates the decision function on every row of x in
+// parallel — the input Platt scaling and threshold tuning consume.
+func (m *Model) DecisionBatch(x sparse.Matrix, workers int) []float64 {
+	rows, _ := x.Dims()
+	out := make([]float64, rows)
+	parallel.ForRange(rows, workers, parallel.Static, func(lo, hi int) {
+		var v sparse.Vector
+		for i := lo; i < hi; i++ {
+			v = x.RowTo(v, i)
+			out[i] = m.Decision(v)
+		}
+	})
+	return out
+}
+
+// PredictBatch classifies every row of x in parallel.
+func (m *Model) PredictBatch(x sparse.Matrix, workers int) []float64 {
+	rows, _ := x.Dims()
+	out := make([]float64, rows)
+	parallel.ForRange(rows, workers, parallel.Static, func(lo, hi int) {
+		var v sparse.Vector
+		for i := lo; i < hi; i++ {
+			v = x.RowTo(v, i)
+			out[i] = m.Predict(v)
+		}
+	})
+	return out
+}
+
+// Accuracy returns the fraction of rows whose prediction matches y.
+func (m *Model) Accuracy(x sparse.Matrix, y []float64, workers int) float64 {
+	pred := m.PredictBatch(x, workers)
+	correct := 0
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(y))
+}

@@ -1,0 +1,128 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// MulticlassModel is a one-vs-one ensemble of binary SVMs, the construction
+// the paper describes for multi-class problems ("multi-class SVMs are
+// generally implemented as several independent binary-class SVMs" that
+// "can be easily trained in parallel").
+type MulticlassModel struct {
+	Classes []float64 // sorted distinct labels
+	// Pairs[k] is the binary model separating Classes[I] (as +1) from
+	// Classes[J] (as −1).
+	Pairs []PairModel
+}
+
+// PairModel is one one-vs-one binary classifier.
+type PairModel struct {
+	I, J  int // class indices into Classes
+	Model *Model
+}
+
+// TrainMulticlass trains k(k−1)/2 one-vs-one binary SVMs. Pair subproblems
+// are independent; they are trained sequentially here with the parallelism
+// inside each solve (the binary SMO sweeps dominate), matching the paper's
+// framing.
+func TrainMulticlass(x sparse.Matrix, y []float64, cfg Config) (*MulticlassModel, error) {
+	rows, cols := x.Dims()
+	if len(y) != rows {
+		return nil, fmt.Errorf("svm: %d labels for %d rows", len(y), rows)
+	}
+	classSet := map[float64]bool{}
+	for _, l := range y {
+		classSet[l] = true
+	}
+	if len(classSet) < 2 {
+		return nil, fmt.Errorf("svm: multiclass needs >= 2 classes, got %d", len(classSet))
+	}
+	mm := &MulticlassModel{}
+	for c := range classSet {
+		mm.Classes = append(mm.Classes, c)
+	}
+	sort.Float64s(mm.Classes)
+
+	// Pre-split row indices by class.
+	byClass := make([][]int, len(mm.Classes))
+	classIdx := map[float64]int{}
+	for i, c := range mm.Classes {
+		classIdx[c] = i
+	}
+	for r, l := range y {
+		ci := classIdx[l]
+		byClass[ci] = append(byClass[ci], r)
+	}
+
+	var rowBuf sparse.Vector
+	for i := 0; i < len(mm.Classes); i++ {
+		for j := i + 1; j < len(mm.Classes); j++ {
+			subRows := len(byClass[i]) + len(byClass[j])
+			sb := sparse.NewBuilder(subRows, cols)
+			suby := make([]float64, 0, subRows)
+			r := 0
+			for _, src := range byClass[i] {
+				rowBuf = x.RowTo(rowBuf, src)
+				sb.AddRow(r, rowBuf)
+				suby = append(suby, 1)
+				r++
+			}
+			for _, src := range byClass[j] {
+				rowBuf = x.RowTo(rowBuf, src)
+				sb.AddRow(r, rowBuf)
+				suby = append(suby, -1)
+				r++
+			}
+			subX, err := sb.Build(sparse.CSR)
+			if err != nil {
+				return nil, err
+			}
+			model, _, err := Train(subX, suby, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%v,%v): %w", mm.Classes[i], mm.Classes[j], err)
+			}
+			mm.Pairs = append(mm.Pairs, PairModel{I: i, J: j, Model: model})
+		}
+	}
+	return mm, nil
+}
+
+// Predict classifies one sample by one-vs-one majority vote; ties break
+// toward the smaller class label, matching LIBSVM.
+func (mm *MulticlassModel) Predict(x sparse.Vector) float64 {
+	votes := make([]int, len(mm.Classes))
+	for _, p := range mm.Pairs {
+		if p.Model.Predict(x) > 0 {
+			votes[p.I]++
+		} else {
+			votes[p.J]++
+		}
+	}
+	best := 0
+	for i := 1; i < len(votes); i++ {
+		if votes[i] > votes[best] {
+			best = i
+		}
+	}
+	return mm.Classes[best]
+}
+
+// Accuracy returns the fraction of rows classified into their label.
+func (mm *MulticlassModel) Accuracy(x sparse.Matrix, y []float64) float64 {
+	rows, _ := x.Dims()
+	if rows == 0 {
+		return 0
+	}
+	correct := 0
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = x.RowTo(v, i)
+		if mm.Predict(v) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(rows)
+}

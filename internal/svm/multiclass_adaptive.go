@@ -1,0 +1,149 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// AdaptivePair extends PairModel with the per-subproblem layout decision.
+type AdaptivePair struct {
+	PairModel
+	Decision *core.Decision
+}
+
+// AdaptiveMulticlassModel is a one-vs-one ensemble in which every binary
+// subproblem gets its own layout decision — the paper notes multi-class
+// SVMs "can be easily trained in parallel once the binary-class SVMs are
+// available", and each class-pair submatrix has its own Table IV
+// signature, so each earns its own format.
+type AdaptiveMulticlassModel struct {
+	Classes []float64
+	Pairs   []AdaptivePair
+}
+
+// TrainMulticlassAdaptive trains the k(k−1)/2 one-vs-one subproblems with
+// per-pair layout scheduling, running up to pairWorkers subproblems
+// concurrently (0 = all cores). Sharing one scheduler across pairs shares
+// its incremental-tuning history too, so similar submatrices reuse layout
+// decisions.
+func TrainMulticlassAdaptive(x sparse.Matrix, y []float64, sched *core.Scheduler, cfg Config, pairWorkers int) (*AdaptiveMulticlassModel, error) {
+	rows, cols := x.Dims()
+	if len(y) != rows {
+		return nil, fmt.Errorf("svm: %d labels for %d rows", len(y), rows)
+	}
+	classSet := map[float64]bool{}
+	for _, l := range y {
+		classSet[l] = true
+	}
+	if len(classSet) < 2 {
+		return nil, fmt.Errorf("svm: multiclass needs >= 2 classes, got %d", len(classSet))
+	}
+	mm := &AdaptiveMulticlassModel{}
+	for c := range classSet {
+		mm.Classes = append(mm.Classes, c)
+	}
+	sort.Float64s(mm.Classes)
+	classIdx := map[float64]int{}
+	byClass := make([][]int, len(mm.Classes))
+	for i, c := range mm.Classes {
+		classIdx[c] = i
+	}
+	for r, l := range y {
+		ci := classIdx[l]
+		byClass[ci] = append(byClass[ci], r)
+	}
+
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := 0; i < len(mm.Classes); i++ {
+		for j := i + 1; j < len(mm.Classes); j++ {
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+	mm.Pairs = make([]AdaptivePair, len(jobs))
+	errs := make([]error, len(jobs))
+	var mu sync.Mutex // guards the shared scheduler (its history is locked internally, but decisions measure timing and should not interleave)
+	parallel.For(len(jobs), pairWorkers, parallel.Static, func(k int) {
+		job := jobs[k]
+		subRows := len(byClass[job.i]) + len(byClass[job.j])
+		sb := sparse.NewBuilder(subRows, cols)
+		suby := make([]float64, 0, subRows)
+		var rowBuf sparse.Vector
+		r := 0
+		for _, src := range byClass[job.i] {
+			rowBuf = x.RowTo(rowBuf, src)
+			sb.AddRow(r, rowBuf)
+			suby = append(suby, 1)
+			r++
+		}
+		for _, src := range byClass[job.j] {
+			rowBuf = x.RowTo(rowBuf, src)
+			sb.AddRow(r, rowBuf)
+			suby = append(suby, -1)
+			r++
+		}
+		mu.Lock()
+		dec, err := sched.Choose(sb)
+		mu.Unlock()
+		if err != nil {
+			errs[k] = fmt.Errorf("svm: pair (%v,%v) scheduling: %w", mm.Classes[job.i], mm.Classes[job.j], err)
+			return
+		}
+		model, _, err := Train(dec.Matrix, suby, cfg)
+		if err != nil {
+			errs[k] = fmt.Errorf("svm: pair (%v,%v): %w", mm.Classes[job.i], mm.Classes[job.j], err)
+			return
+		}
+		mm.Pairs[k] = AdaptivePair{
+			PairModel: PairModel{I: job.i, J: job.j, Model: model},
+			Decision:  dec,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mm, nil
+}
+
+// Predict classifies one sample by one-vs-one majority vote.
+func (mm *AdaptiveMulticlassModel) Predict(x sparse.Vector) float64 {
+	votes := make([]int, len(mm.Classes))
+	for _, p := range mm.Pairs {
+		if p.Model.Predict(x) > 0 {
+			votes[p.I]++
+		} else {
+			votes[p.J]++
+		}
+	}
+	best := 0
+	for i := 1; i < len(votes); i++ {
+		if votes[i] > votes[best] {
+			best = i
+		}
+	}
+	return mm.Classes[best]
+}
+
+// Accuracy returns the fraction of rows classified into their label.
+func (mm *AdaptiveMulticlassModel) Accuracy(x sparse.Matrix, y []float64) float64 {
+	rows, _ := x.Dims()
+	if rows == 0 {
+		return 0
+	}
+	correct := 0
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = x.RowTo(v, i)
+		if mm.Predict(v) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(rows)
+}

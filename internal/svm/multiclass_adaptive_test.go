@@ -1,0 +1,80 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+func fourBlobs(t *testing.T, n int, seed int64) (sparse.Matrix, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(n, 2)
+	y := make([]float64, n)
+	centers := [][2]float64{{6, 6}, {-6, 6}, {-6, -6}, {6, -6}}
+	for i := 0; i < n; i++ {
+		c := i % 4
+		y[i] = float64(c)
+		b.Add(i, 0, centers[c][0]+rng.NormFloat64())
+		b.Add(i, 1, centers[c][1]+rng.NormFloat64())
+	}
+	return b.MustBuild(sparse.CSR), y
+}
+
+func TestMulticlassAdaptiveFourClasses(t *testing.T) {
+	m, y := fourBlobs(t, 200, 51)
+	sched := core.New(core.Config{Policy: core.RuleBased})
+	mm, err := TrainMulticlassAdaptive(m, y, sched, Config{C: 5, Kernel: KernelParams{Type: Linear}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Classes) != 4 || len(mm.Pairs) != 6 {
+		t.Fatalf("classes %v, %d pairs", mm.Classes, len(mm.Pairs))
+	}
+	for _, p := range mm.Pairs {
+		if p.Decision == nil || p.Model == nil {
+			t.Fatal("pair missing decision or model")
+		}
+	}
+	if acc := mm.Accuracy(m, y); acc < 0.97 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestMulticlassAdaptiveSharedHistory(t *testing.T) {
+	m, y := fourBlobs(t, 160, 52)
+	hist := &core.History{}
+	sched := core.New(core.Config{Policy: core.Empirical, History: hist})
+	mm, err := TrainMulticlassAdaptive(m, y, sched, Config{C: 5, Kernel: KernelParams{Type: Linear}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All six pair submatrices share a shape; after the first measured
+	// decision the rest should come from history.
+	var reused int
+	for _, p := range mm.Pairs {
+		if p.Decision.Reused {
+			reused++
+		}
+	}
+	if reused < 4 {
+		t.Fatalf("only %d of 6 pair decisions reused the shared history", reused)
+	}
+	if hist.Len() == 0 {
+		t.Fatal("history empty after training")
+	}
+}
+
+func TestMulticlassAdaptiveErrors(t *testing.T) {
+	m, y := fourBlobs(t, 40, 53)
+	sched := core.New(core.Config{Policy: core.RuleBased})
+	if _, err := TrainMulticlassAdaptive(m, y[:10], sched, Config{Kernel: KernelParams{Type: Linear}}, 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	one := make([]float64, 40)
+	if _, err := TrainMulticlassAdaptive(m, one, sched, Config{Kernel: KernelParams{Type: Linear}}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+}

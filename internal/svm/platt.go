@@ -1,0 +1,134 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// PlattScaler maps raw SVM decision values to calibrated probabilities
+// P(y=+1|x) = 1/(1+exp(A·f(x)+B)) — Platt scaling, fitted by the
+// regularized Newton method of Lin, Lin & Weng (2007), which is what
+// LIBSVM's -b 1 option runs.
+type PlattScaler struct {
+	A, B float64
+}
+
+// FitPlatt fits the sigmoid on (decision value, label) pairs. Labels must
+// be ±1.
+func FitPlatt(decisions []float64, y []float64) (PlattScaler, error) {
+	n := len(decisions)
+	if n == 0 || n != len(y) {
+		return PlattScaler{}, fmt.Errorf("svm: platt needs matching non-empty slices, got %d/%d", n, len(y))
+	}
+	var prior0, prior1 float64
+	for _, l := range y {
+		switch l {
+		case 1:
+			prior1++
+		case -1:
+			prior0++
+		default:
+			return PlattScaler{}, fmt.Errorf("svm: platt label %v not in {-1,+1}", l)
+		}
+	}
+	if prior0 == 0 || prior1 == 0 {
+		return PlattScaler{}, fmt.Errorf("svm: platt needs both classes")
+	}
+	// Regularized targets.
+	hiTarget := (prior1 + 1) / (prior1 + 2)
+	loTarget := 1 / (prior0 + 2)
+	t := make([]float64, n)
+	for i := range t {
+		if y[i] > 0 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+	a, b := 0.0, math.Log((prior0+1)/(prior1+1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	fval := plattObjective(decisions, t, a, b)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian.
+		var h11, h22, h21, g1, g2 float64
+		h11, h22 = sigma, sigma
+		for i := 0; i < n; i++ {
+			fApB := decisions[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				e := math.Exp(-fApB)
+				p = e / (1 + e)
+				q = 1 / (1 + e)
+			} else {
+				e := math.Exp(fApB)
+				p = 1 / (1 + e)
+				q = e / (1 + e)
+			}
+			d2 := p * q
+			h11 += decisions[i] * decisions[i] * d2
+			h22 += d2
+			h21 += decisions[i] * d2
+			d1 := t[i] - p
+			g1 += decisions[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		step := 1.0
+		for step >= minStep {
+			newA, newB := a+step*dA, b+step*dB
+			newF := plattObjective(decisions, t, newA, newB)
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return PlattScaler{A: a, B: b}, nil
+}
+
+// plattObjective is the negative log-likelihood being minimized.
+func plattObjective(decisions, t []float64, a, b float64) float64 {
+	var f float64
+	for i := range decisions {
+		fApB := decisions[i]*a + b
+		if fApB >= 0 {
+			f += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			f += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	return f
+}
+
+// Prob maps a decision value to P(y=+1|x).
+func (s PlattScaler) Prob(decision float64) float64 {
+	fApB := decision*s.A + s.B
+	if fApB >= 0 {
+		e := math.Exp(-fApB)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(fApB))
+}
+
+// FitPlattModel fits a scaler on a trained model's decision values over a
+// calibration set.
+func FitPlattModel(m *Model, x sparse.Matrix, y []float64, workers int) (PlattScaler, error) {
+	return FitPlatt(m.DecisionBatch(x, workers), y)
+}

@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestFitPlattSeparatedDecisions(t *testing.T) {
+	// Decisions cleanly split by sign: the sigmoid must map them to
+	// near-0/1 probabilities with a monotone decreasing... increasing
+	// curve in the decision value.
+	var dec, y []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			dec = append(dec, 2+rng.Float64())
+			y = append(y, 1)
+		} else {
+			dec = append(dec, -2-rng.Float64())
+			y = append(y, -1)
+		}
+	}
+	s, err := FitPlatt(dec, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Prob(3); p < 0.9 {
+		t.Fatalf("P(+1|d=3) = %v, want > 0.9", p)
+	}
+	if p := s.Prob(-3); p > 0.1 {
+		t.Fatalf("P(+1|d=-3) = %v, want < 0.1", p)
+	}
+	// Monotone increasing in the decision value.
+	prev := -1.0
+	for d := -4.0; d <= 4.0; d += 0.5 {
+		p := s.Prob(d)
+		if p < prev {
+			t.Fatalf("probability not monotone at d=%v", d)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestFitPlattErrors(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestFitPlattModelEndToEnd(t *testing.T) {
+	b, y := blobs(150, 4, 1.5, 41)
+	m := b.MustBuild(sparse.CSR)
+	model, _, err := Train(m, y, Config{Kernel: KernelParams{Type: Linear}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FitPlattModel(model, m, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibration sanity: mean predicted probability of the positive
+	// class over positives should exceed that over negatives by a wide
+	// margin, and the Brier score should beat the uninformed 0.25.
+	var brier float64
+	var posMean, negMean float64
+	var nPos, nNeg int
+	var v sparse.Vector
+	for i := 0; i < 150; i++ {
+		v = m.RowTo(v, i)
+		p := s.Prob(model.Decision(v))
+		target := 0.0
+		if y[i] > 0 {
+			target = 1
+			posMean += p
+			nPos++
+		} else {
+			negMean += p
+			nNeg++
+		}
+		brier += (p - target) * (p - target)
+	}
+	brier /= 150
+	posMean /= float64(nPos)
+	negMean /= float64(nNeg)
+	if posMean-negMean < 0.5 {
+		t.Fatalf("calibrated separation too small: %v vs %v", posMean, negMean)
+	}
+	if brier > 0.15 {
+		t.Fatalf("Brier score %v, want < 0.15", brier)
+	}
+	if math.IsNaN(s.A) || math.IsNaN(s.B) {
+		t.Fatalf("non-finite sigmoid: %+v", s)
+	}
+}

@@ -1,0 +1,168 @@
+package svm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// MaxPrecomputeElements caps the precomputed kernel matrix at 2^27 entries
+// (1 GiB of float64) — the guard against the paper's §III scenario, where
+// a 520k-sample dataset would need a 2 TB dense kernel matrix. Problems
+// above the cap must use the SMSV path.
+const MaxPrecomputeElements = 1 << 27
+
+// KernelMatrix is the fully precomputed n×n kernel, the classical
+// alternative to per-iteration SMSVs for small problems: after an O(n²·d)
+// setup, every SMO kernel-row access is a slice lookup. The paper's §III
+// explains why this cannot scale — this type exists for the regime where
+// it can.
+type KernelMatrix struct {
+	n    int
+	data []float64 // row-major n×n
+}
+
+// PrecomputeKernel evaluates K over all sample pairs, row-parallel, using
+// the fused-pair SMSV kernels row by row. Returns an error above
+// MaxPrecomputeElements.
+func PrecomputeKernel(x sparse.Matrix, p KernelParams, workers int) (*KernelMatrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := x.Dims()
+	if int64(rows)*int64(rows) > MaxPrecomputeElements {
+		return nil, fmt.Errorf("svm: %d×%d kernel matrix (%d elements) exceeds the %d-element cap; use the SMSV path",
+			rows, rows, int64(rows)*int64(rows), int64(MaxPrecomputeElements))
+	}
+	km := &KernelMatrix{n: rows, data: make([]float64, rows*rows)}
+	normSq := rowNorms(x)
+	// Each row of K is one SMSV plus the pointwise transform. Row pairs
+	// (r, r+1) share a fused pass.
+	scratch1 := make([]float64, cols)
+	scratch2 := make([]float64, cols)
+	var v1, v2 sparse.Vector
+	transform := func(dst []float64, r int) {
+		if p.Type == Linear {
+			return
+		}
+		nr := normSq[r]
+		for i := range dst {
+			dst[i] = p.FromDot(dst[i], normSq[i], nr)
+		}
+	}
+	for r := 0; r < rows; r += 2 {
+		if r+1 < rows {
+			v1 = x.RowTo(v1, r)
+			v2 = x.RowTo(v2, r+1)
+			sparse.PairMulVecSparse(x, km.data[r*rows:(r+1)*rows], km.data[(r+1)*rows:(r+2)*rows],
+				v1, v2, scratch1, scratch2, workers, sparse.SchedStatic)
+			transform(km.data[r*rows:(r+1)*rows], r)
+			transform(km.data[(r+1)*rows:(r+2)*rows], r+1)
+		} else {
+			v1 = x.RowTo(v1, r)
+			x.MulVecSparse(km.data[r*rows:(r+1)*rows], v1, scratch1, workers, sparse.SchedStatic)
+			transform(km.data[r*rows:(r+1)*rows], r)
+		}
+	}
+	return km, nil
+}
+
+// N returns the sample count.
+func (k *KernelMatrix) N() int { return k.n }
+
+// Row returns row r of the kernel matrix as a view.
+func (k *KernelMatrix) Row(r int) []float64 {
+	return k.data[r*k.n : (r+1)*k.n]
+}
+
+// At returns K(i, j).
+func (k *KernelMatrix) At(i, j int) float64 { return k.data[i*k.n+j] }
+
+// TrainPrecomputed runs the SMO solver with every kernel row served from
+// the precomputed matrix: zero SMSVs during iteration. The layout decision
+// still matters for the precompute pass itself (n SMSVs), so the scheduler
+// composes with this mode.
+func TrainPrecomputed(x sparse.Matrix, y []float64, cfg Config, workers int) (*Model, Stats, error) {
+	km, err := PrecomputeKernel(x, cfg.Kernel, workers)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// A huge cache plus a kernelRow that hits it every time: reuse the
+	// standard solver with the cache pre-seeded.
+	cfg.CacheRows = km.n
+	rows, _ := x.Dims()
+	if len(y) != rows {
+		return nil, Stats{}, fmt.Errorf("svm: %d labels for %d rows", len(y), rows)
+	}
+	model, stats, err := trainWithSeededCache(x, y, cfg, km)
+	return model, stats, err
+}
+
+// trainWithSeededCache is Train with the kernel-row cache pre-populated
+// from a precomputed matrix.
+func trainWithSeededCache(x sparse.Matrix, y []float64, cfg Config, km *KernelMatrix) (*Model, Stats, error) {
+	start := time.Now()
+	rows, cols := x.Dims()
+	var pos, neg int
+	for _, l := range y {
+		switch l {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, Stats{}, fmt.Errorf("svm: label %v not in {-1,+1}", l)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, Stats{}, fmt.Errorf("svm: need both classes")
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	cfg = cfg.withDefaults(rows)
+	s := &solver{
+		x:        x,
+		y:        y,
+		cfg:      cfg,
+		alpha:    make([]float64, rows),
+		f:        make([]float64, rows),
+		kHigh:    make([]float64, rows),
+		kLow:     make([]float64, rows),
+		scratch:  make([]float64, cols),
+		scratch2: make([]float64, cols),
+		normSq:   rowNorms(x),
+		cache:    newRowCache(rows),
+	}
+	for r := 0; r < rows; r++ {
+		s.cache.put(r, km.Row(r))
+	}
+	for i := range s.f {
+		s.f[i] = -y[i]
+	}
+	var stats Stats
+	if cfg.SecondOrder {
+		s.diag = make([]float64, rows)
+		for i := range s.diag {
+			s.diag[i] = km.At(i, i)
+		}
+		stats = s.runSecondOrder()
+	} else {
+		stats = s.run()
+	}
+	model := s.buildModel()
+	stats.NumSV = len(model.SVs)
+	stats.Objective = s.objective()
+	stats.TotalTime = time.Since(start)
+	return model, stats, nil
+}
+
+// SumKernelParallel is a small utility over the precomputed matrix: the
+// weighted sum Σⱼ w[j]·K(r, j) computed with p workers (used by tooling
+// that inspects models against the full kernel).
+func (k *KernelMatrix) SumKernelParallel(r int, w []float64, p int) float64 {
+	row := k.Row(r)
+	return parallel.SumFloat64(k.n, p, func(j int) float64 { return w[j] * row[j] })
+}

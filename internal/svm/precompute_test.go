@@ -1,0 +1,106 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestPrecomputeKernelMatchesDirect(t *testing.T) {
+	b, _ := blobs(37, 4, 1.5, 81) // odd count: exercises the tail row
+	m := b.MustBuild(sparse.CSR)
+	csr := m.(*sparse.CSRMatrix)
+	for _, kp := range []KernelParams{
+		{Type: Linear},
+		{Type: Gaussian, Gamma: 0.3},
+		{Type: Polynomial, A: 1, R: 1, Degree: 2},
+	} {
+		km, err := PrecomputeKernel(m, kp, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 37; i += 5 {
+			for j := 0; j < 37; j += 7 {
+				want := kp.Eval(csr.Row(i), csr.Row(j))
+				if got := km.At(i, j); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("%v: K(%d,%d) = %v, want %v", kp.Type, i, j, got, want)
+				}
+			}
+		}
+		// Symmetry.
+		for i := 0; i < 37; i += 3 {
+			for j := 0; j < i; j += 4 {
+				if d := math.Abs(km.At(i, j) - km.At(j, i)); d > 1e-12 {
+					t.Fatalf("%v: asymmetry at (%d,%d): %v", kp.Type, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainPrecomputedMatchesSMSVPath(t *testing.T) {
+	b, y := blobs(90, 5, 2.0, 82)
+	m := b.MustBuild(sparse.CSR)
+	cfg := Config{C: 1.5, Kernel: KernelParams{Type: Gaussian, Gamma: 0.2}}
+	direct, ds, err := Train(m, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, ps, err := TrainPrecomputed(m, y, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Iterations != ps.Iterations {
+		t.Fatalf("trajectories diverge: %d vs %d iterations", ds.Iterations, ps.Iterations)
+	}
+	if math.Abs(direct.B-pre.B) > 1e-9 {
+		t.Fatalf("bias %v vs %v", direct.B, pre.B)
+	}
+	if len(direct.SVs) != len(pre.SVs) {
+		t.Fatalf("SV count %d vs %d", len(direct.SVs), len(pre.SVs))
+	}
+	// Zero kernel time during iteration: every row came from the seeded
+	// cache, so the measured kernel time is (near) nil.
+	if ps.KernelTime > ds.KernelTime {
+		t.Fatalf("precomputed path spent more kernel time (%v) than direct (%v)", ps.KernelTime, ds.KernelTime)
+	}
+}
+
+func TestTrainPrecomputedSecondOrder(t *testing.T) {
+	b, y := blobs(60, 4, 1.5, 83)
+	m := b.MustBuild(sparse.CSR)
+	cfg := Config{C: 2, Kernel: KernelParams{Type: Linear}, SecondOrder: true}
+	model, stats, err := TrainPrecomputed(m, y, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("no convergence in %d iterations", stats.Iterations)
+	}
+	if acc := model.Accuracy(m, y, 0); acc < 0.95 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestPrecomputeKernelCap(t *testing.T) {
+	// A matrix whose n² exceeds the cap must be refused without allocating.
+	b := sparse.NewBuilder(20000, 2)
+	for i := 0; i < 20000; i++ {
+		b.Add(i, 0, 1)
+	}
+	m := b.MustBuild(sparse.CSR)
+	if _, err := PrecomputeKernel(m, KernelParams{Type: Linear}, 1); err == nil {
+		t.Fatal("20000² kernel matrix accepted")
+	}
+	if _, _, err := TrainPrecomputed(m, nil, Config{Kernel: KernelParams{Type: Linear}}, 1); err == nil {
+		t.Fatal("TrainPrecomputed accepted an over-cap problem")
+	}
+}
+
+func TestPrecomputeKernelRejectsBadKernel(t *testing.T) {
+	b, _ := blobs(10, 2, 1, 84)
+	if _, err := PrecomputeKernel(b.MustBuild(sparse.CSR), KernelParams{Type: Gaussian}, 1); err == nil {
+		t.Fatal("gamma=0 accepted")
+	}
+}

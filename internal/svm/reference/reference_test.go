@@ -1,0 +1,86 @@
+package reference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+func blobs(n, dim int, center float64, seed int64) (*sparse.Builder, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(n, dim)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		y[i] = sign
+		for j := 0; j < dim; j++ {
+			b.Add(i, j, sign*center+rng.NormFloat64())
+		}
+	}
+	return b, y
+}
+
+func TestReferenceTrainsSeparable(t *testing.T) {
+	b, y := blobs(100, 4, 3.0, 1)
+	model, stats, err := Train(b, y, Config{C: 1, Kernel: svm.KernelParams{Type: svm.Linear}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("no convergence in %d iterations", stats.Iterations)
+	}
+	m := b.MustBuild(sparse.CSR)
+	if acc := model.Accuracy(m, y, 0); acc < 0.99 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestReferenceMatchesOptimizedSolver(t *testing.T) {
+	// Both implementations run the same SMO algorithm, so the iteration
+	// trajectory, bias and support-vector set must match exactly.
+	b, y := blobs(90, 5, 2.0, 2)
+	refModel, refStats, err := Train(b, y, Config{C: 1.5, Kernel: svm.KernelParams{Type: svm.Gaussian, Gamma: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := b.MustBuild(sparse.CSR)
+	optModel, optStats, err := svm.Train(m, y, svm.Config{C: 1.5, Kernel: svm.KernelParams{Type: svm.Gaussian, Gamma: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.Iterations != optStats.Iterations {
+		t.Fatalf("reference %d iterations, optimized %d", refStats.Iterations, optStats.Iterations)
+	}
+	if math.Abs(refModel.B-optModel.B) > 1e-9 {
+		t.Fatalf("bias %v vs %v", refModel.B, optModel.B)
+	}
+	if len(refModel.SVs) != len(optModel.SVs) {
+		t.Fatalf("SV count %d vs %d", len(refModel.SVs), len(optModel.SVs))
+	}
+	for i := range refModel.Coef {
+		if math.Abs(refModel.Coef[i]-optModel.Coef[i]) > 1e-9 {
+			t.Fatalf("coef %d: %v vs %v", i, refModel.Coef[i], optModel.Coef[i])
+		}
+	}
+}
+
+func TestReferenceRejectsBadInput(t *testing.T) {
+	b, y := blobs(20, 3, 2.0, 3)
+	if _, _, err := Train(b, y[:5], Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := append([]float64{}, y...)
+	bad[3] = 0
+	if _, _, err := Train(b, bad, Config{}); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if _, _, err := Train(b, y, Config{Kernel: svm.KernelParams{Type: svm.Gaussian}}); err == nil {
+		t.Fatal("gamma=0 accepted")
+	}
+}

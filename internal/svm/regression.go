@@ -1,0 +1,278 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// The paper's background (§II-A) covers regression alongside
+// classification: "The data structure of the regression problem is
+// identical to that of the classification problem. The only difference is
+// that yᵢ ∈ ℝ." ε-SVR shares the SMO structure and therefore the same
+// two-SMSV-per-iteration bottleneck, so the layout scheduler applies
+// unchanged. The dual has 2n variables β = (α, α*) with the extended
+// labels (+1…, −1…); the working-set selection, analytic step and
+// convergence test are exactly Algorithm 1 on the extended problem, with
+// the transformed gradient initialized to +(ε − yᵢ) / −(ε + yᵢ) on the two
+// halves.
+
+// RegressionConfig parameterizes ε-SVR training.
+type RegressionConfig struct {
+	C       float64 // box constraint; 0 means 1
+	Epsilon float64 // ε-insensitive tube half-width; 0 means 0.1
+	Tol     float64 // KKT tolerance; 0 means 1e-3
+	MaxIter int     // 0 means 200·(2n) + 10000
+	Kernel  KernelParams
+	Workers int
+	Sched   sparse.Sched
+	// CacheRows enables the kernel-row LRU cache, as in classification.
+	CacheRows int
+}
+
+// RegressionModel predicts real-valued targets:
+// g(x) = Σᵢ Coef[i]·K(SVs[i], x) + B.
+type RegressionModel struct {
+	Kernel KernelParams
+	SVs    []sparse.Vector
+	Coef   []float64 // (αᵢ − αᵢ*) per support vector
+	B      float64
+}
+
+// Predict evaluates the regression function on one sample.
+func (m *RegressionModel) Predict(x sparse.Vector) float64 {
+	sum := parallel.SumFloat64(len(m.SVs), 1, func(i int) float64 {
+		return m.Coef[i] * m.Kernel.Eval(m.SVs[i], x)
+	})
+	return sum + m.B
+}
+
+// MSE returns the mean squared error over a dataset.
+func (m *RegressionModel) MSE(x sparse.Matrix, y []float64) float64 {
+	rows, _ := x.Dims()
+	if rows == 0 {
+		return 0
+	}
+	var sum float64
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = x.RowTo(v, i)
+		d := m.Predict(v) - y[i]
+		sum += d * d
+	}
+	return sum / float64(rows)
+}
+
+// TrainRegression runs SMO ε-SVR on x with real-valued targets y.
+func TrainRegression(x sparse.Matrix, y []float64, cfg RegressionConfig) (*RegressionModel, Stats, error) {
+	start := time.Now()
+	rows, cols := x.Dims()
+	if len(y) != rows {
+		return nil, Stats{}, fmt.Errorf("svm: %d targets for %d rows", len(y), rows)
+	}
+	for i, t := range y {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, Stats{}, fmt.Errorf("svm: non-finite target at row %d", i)
+		}
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.1
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-3
+	}
+	n2 := 2 * rows
+	if cfg.MaxIter <= 0 {
+		// ε-SVR needs far more SMO iterations than classification: with a
+		// tight tube most points sit near a boundary, so progress per
+		// two-variable step is small.
+		cfg.MaxIter = 200*n2 + 10000
+	}
+
+	s := &svrSolver{
+		x:       x,
+		cfg:     cfg,
+		n:       rows,
+		alpha:   make([]float64, n2),
+		f:       make([]float64, n2),
+		yext:    make([]float64, n2),
+		kHigh:   make([]float64, rows),
+		kLow:    make([]float64, rows),
+		scratch: make([]float64, cols),
+		normSq:  rowNorms(x),
+		cache:   newRowCache(cfg.CacheRows),
+	}
+	// f is the Keerthi-transformed gradient f_e = y_e·(Q̄β + p)_e; at β = 0
+	// that is y_e·p_e: +(ε − yᵢ) on the α half, −(ε + yᵢ) on the α* half.
+	for i := 0; i < rows; i++ {
+		s.yext[i] = 1
+		s.yext[rows+i] = -1
+		s.f[i] = cfg.Epsilon - y[i]
+		s.f[rows+i] = -(cfg.Epsilon + y[i])
+	}
+	stats := s.run()
+	stats.TotalTime = time.Since(start)
+	model := s.buildModel()
+	stats.NumSV = len(model.SVs)
+	return model, stats, nil
+}
+
+// svrSolver runs SMO on the 2n-variable extended problem. Extended index
+// e maps to sample e%n; the extended kernel is Q[e][g] =
+// y_e·y_g·K(e%n, g%n) folded into the update coefficients, so only
+// base-kernel rows (length n) are ever computed — the same two SMSVs.
+type svrSolver struct {
+	x       sparse.Matrix
+	cfg     RegressionConfig
+	n       int
+	alpha   []float64 // β over [0, 2n)
+	f       []float64
+	yext    []float64
+	kHigh   []float64 // K(X_{high%n}, ·), length n
+	kLow    []float64
+	scratch []float64
+	normSq  []float64
+	bHigh   float64
+	bLow    float64
+	rowBuf  sparse.Vector
+	cache   *rowCache
+}
+
+func (s *svrSolver) inHigh(e int) bool {
+	a, ye := s.alpha[e], s.yext[e]
+	return (a > 0 && a < s.cfg.C) || (ye > 0 && a == 0) || (ye < 0 && a == s.cfg.C)
+}
+
+func (s *svrSolver) inLow(e int) bool {
+	a, ye := s.alpha[e], s.yext[e]
+	return (a > 0 && a < s.cfg.C) || (ye > 0 && a == s.cfg.C) || (ye < 0 && a == 0)
+}
+
+func (s *svrSolver) kernelRow(dst []float64, sample int) {
+	if cached := s.cache.get(sample); cached != nil {
+		copy(dst, cached)
+		return
+	}
+	defer func() { s.cache.put(sample, dst) }()
+	s.rowBuf = s.x.RowTo(s.rowBuf, sample)
+	s.x.MulVecSparse(dst, s.rowBuf, s.scratch, s.cfg.Workers, s.cfg.Sched)
+	p := s.cfg.Kernel
+	if p.Type == Linear {
+		return
+	}
+	nr := s.normSq[sample]
+	parallel.ForRange(len(dst), s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = p.FromDot(dst[i], s.normSq[i], nr)
+		}
+	})
+}
+
+func (s *svrSolver) selectWorkingSet() (high, low int, ok bool) {
+	n2 := 2 * s.n
+	mn := parallel.ArgMin(n2, s.cfg.Workers, s.inHigh, func(e int) float64 { return s.f[e] })
+	mx := parallel.ArgMax(n2, s.cfg.Workers, s.inLow, func(e int) float64 { return s.f[e] })
+	if mn.Index < 0 || mx.Index < 0 {
+		return 0, 0, false
+	}
+	s.bHigh, s.bLow = mn.Value, mx.Value
+	return mn.Index, mx.Index, true
+}
+
+func (s *svrSolver) run() Stats {
+	var st Stats
+	high, low, ok := s.selectWorkingSet()
+	if !ok {
+		return st
+	}
+	for ; st.Iterations < s.cfg.MaxIter; st.Iterations++ {
+		if s.bLow <= s.bHigh+2*s.cfg.Tol {
+			st.Converged = true
+			break
+		}
+		t0 := time.Now()
+		s.kernelRow(s.kHigh, high%s.n)
+		s.kernelRow(s.kLow, low%s.n)
+		st.KernelTime += time.Since(t0)
+		// The feasible direction (Δβ_l = y_l·t, Δβ_h = −y_h·t) gives the
+		// curvature dᵀQ̄d = K_hh + K_ll − 2·K_hl: the y factors square away,
+		// exactly as in the classification solver.
+		kHH := s.kHigh[high%s.n]
+		kLL := s.kLow[low%s.n]
+		kHL := s.kHigh[low%s.n]
+		eta := kHH + kLL - 2*kHL
+		if eta <= 0 {
+			eta = 1e-12
+		}
+		yl, yh := s.yext[low], s.yext[high]
+		dl := yl * (s.bHigh - s.bLow) / eta
+		sgn := yh * yl
+		loB, hiB := -s.alpha[low], s.cfg.C-s.alpha[low]
+		if sgn > 0 {
+			loB = math.Max(loB, s.alpha[high]-s.cfg.C)
+			hiB = math.Min(hiB, s.alpha[high])
+		} else {
+			loB = math.Max(loB, -s.alpha[high])
+			hiB = math.Min(hiB, s.cfg.C-s.alpha[high])
+		}
+		if dl < loB {
+			dl = loB
+		}
+		if dl > hiB {
+			dl = hiB
+		}
+		dh := -sgn * dl
+		s.alpha[low] += dl
+		s.alpha[high] += dh
+		if dh == 0 && dl == 0 {
+			if high, low, ok = s.selectWorkingSet(); !ok {
+				break
+			}
+			continue
+		}
+		// Δf_e = y_e·ΔG_e with ΔG_e = y_e·(y_h·K(e%n,h%n)·Δβ_h +
+		// y_l·K(e%n,l%n)·Δβ_l): the y_e² cancels, so BOTH halves of the
+		// extended vector receive the same delta, and one base kernel row
+		// serves them both.
+		ch := dh * yh
+		cl := dl * yl
+		n := s.n
+		parallel.ForRange(n, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				delta := ch*s.kHigh[i] + cl*s.kLow[i]
+				s.f[i] += delta
+				s.f[n+i] += delta
+			}
+		})
+		if high, low, ok = s.selectWorkingSet(); !ok {
+			break
+		}
+	}
+	return st
+}
+
+func (s *svrSolver) buildModel() *RegressionModel {
+	m := &RegressionModel{
+		Kernel: s.cfg.Kernel,
+		B:      -(s.bHigh + s.bLow) / 2,
+	}
+	var v sparse.Vector
+	for i := 0; i < s.n; i++ {
+		coef := s.alpha[i] - s.alpha[s.n+i] // αᵢ − αᵢ*
+		if coef != 0 {
+			v = s.x.RowTo(v, i)
+			m.SVs = append(m.SVs, v.Clone())
+			m.Coef = append(m.Coef, coef)
+		}
+	}
+	return m
+}

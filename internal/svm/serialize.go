@@ -1,0 +1,175 @@
+package svm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// The model text format is LIBSVM-inspired: a small header of key/value
+// lines, an "SV" separator, then one line per support vector —
+//
+//	<coef> <index>:<value> <index>:<value> ...
+//
+// with 1-based feature indices, so the SV block round-trips through
+// ordinary LIBSVM tooling.
+
+// Save writes the model in the text format.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "kernel_type %s\n", m.Kernel.Type)
+	switch m.Kernel.Type {
+	case Polynomial:
+		fmt.Fprintf(bw, "degree %d\n", m.Kernel.Degree)
+		fmt.Fprintf(bw, "a %.17g\n", m.Kernel.A)
+		fmt.Fprintf(bw, "r %.17g\n", m.Kernel.R)
+	case Gaussian:
+		fmt.Fprintf(bw, "gamma %.17g\n", m.Kernel.Gamma)
+	case Sigmoid:
+		fmt.Fprintf(bw, "a %.17g\n", m.Kernel.A)
+		fmt.Fprintf(bw, "r %.17g\n", m.Kernel.R)
+	}
+	fmt.Fprintf(bw, "rho %.17g\n", m.B)
+	fmt.Fprintf(bw, "total_sv %d\n", len(m.SVs))
+	fmt.Fprintln(bw, "SV")
+	for k, sv := range m.SVs {
+		fmt.Fprintf(bw, "%.17g", m.Coef[k])
+		for i, idx := range sv.Index {
+			fmt.Fprintf(bw, " %d:%.17g", idx+1, sv.Value[i])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	m := &Model{}
+	totalSV := -1
+	maxIdx := int32(0)
+
+	inHeader := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if inHeader {
+			if line == "SV" {
+				inHeader = false
+				continue
+			}
+			key, val, ok := strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("svm: malformed header line %q", line)
+			}
+			if err := m.applyHeader(key, val, &totalSV); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		coef, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("svm: bad SV coefficient %q: %v", fields[0], err)
+		}
+		var v sparse.Vector
+		prev := int32(-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("svm: SV feature %q missing ':'", f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("svm: bad SV feature index %q", f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("svm: bad SV feature value %q", f[colon+1:])
+			}
+			zi := int32(idx - 1)
+			if zi <= prev {
+				return nil, fmt.Errorf("svm: SV feature indices not ascending")
+			}
+			prev = zi
+			if zi >= maxIdx {
+				maxIdx = zi + 1
+			}
+			v = v.Append(zi, val)
+		}
+		m.Coef = append(m.Coef, coef)
+		m.SVs = append(m.SVs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("svm: read: %v", err)
+	}
+	if totalSV >= 0 && totalSV != len(m.SVs) {
+		return nil, fmt.Errorf("svm: header declares %d SVs, file has %d", totalSV, len(m.SVs))
+	}
+	for i := range m.SVs {
+		m.SVs[i].Dim = int(maxIdx)
+	}
+	if err := m.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Model) applyHeader(key, val string, totalSV *int) error {
+	switch key {
+	case "kernel_type":
+		for _, kt := range []KernelType{Linear, Polynomial, Gaussian, Sigmoid} {
+			if kt.String() == val {
+				m.Kernel.Type = kt
+				return nil
+			}
+		}
+		return fmt.Errorf("svm: unknown kernel_type %q", val)
+	case "degree":
+		d, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("svm: bad degree %q", val)
+		}
+		m.Kernel.Degree = d
+	case "gamma":
+		g, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("svm: bad gamma %q", val)
+		}
+		m.Kernel.Gamma = g
+	case "a":
+		a, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("svm: bad a %q", val)
+		}
+		m.Kernel.A = a
+	case "r":
+		r, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("svm: bad r %q", val)
+		}
+		m.Kernel.R = r
+	case "rho":
+		b, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("svm: bad rho %q", val)
+		}
+		m.B = b
+	case "total_sv":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("svm: bad total_sv %q", val)
+		}
+		*totalSV = n
+	default:
+		return fmt.Errorf("svm: unknown header key %q", key)
+	}
+	return nil
+}

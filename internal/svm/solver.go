@@ -1,0 +1,495 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// Config parameterizes SMO training.
+type Config struct {
+	C float64 // regularization constant; 0 means 1.0
+	// WeightPos/WeightNeg scale C per class (LIBSVM's -w option): the box
+	// constraint for a sample of class ±1 is C·Weight±. 0 means 1. Raising
+	// the minority class's weight counters class imbalance.
+	WeightPos, WeightNeg float64
+	Tol                  float64 // KKT tolerance τ; convergence when b_low ≤ b_high + 2τ; 0 means 1e-3
+	MaxIter              int     // iteration cap; 0 means 10·n + 1000
+	Kernel               KernelParams
+	Workers              int          // parallel workers; 0 = all cores
+	Sched                sparse.Sched // kernel scheduling policy
+	// Unfused disables the fused update-and-select pass: the f update and
+	// the working-set reductions run as separate parallel sweeps, costing
+	// one extra pass over f per iteration (the paper-era implementations
+	// fuse them; kept switchable for the fusion ablation).
+	Unfused bool
+	// CacheRows enables an LRU cache of that many kernel-matrix rows —
+	// the LIBSVM/SVM-light caching the paper's related work cites. SMO
+	// reselects hot indices constantly, so warm rows skip both SMSVs.
+	CacheRows int
+	// SecondOrder switches the low-index selection to the second-order
+	// criterion of Fan, Chen & Lin (2005) — "working set selection using
+	// second order information", which LIBSVM adopted: low maximizes
+	// (f_i − b_high)²/η_i over the violating set instead of max f_i.
+	// Typically fewer, slightly costlier iterations.
+	SecondOrder bool
+	// Shrinking routes training through the active-set solver
+	// (TrainShrinking): bound variables outside the optimality window are
+	// dropped and the per-iteration SMSVs run on a submatrix. Pays off on
+	// long-running problems; see BenchmarkAblationShrinking.
+	Shrinking bool
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.WeightPos <= 0 {
+		c.WeightPos = 1
+	}
+	if c.WeightNeg <= 0 {
+		c.WeightNeg = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 10*n + 1000
+	}
+	return c
+}
+
+// Stats reports what training did.
+type Stats struct {
+	Iterations int
+	Converged  bool
+	KernelTime time.Duration // time in the two per-iteration SMSV products
+	TotalTime  time.Duration
+	Objective  float64 // the dual objective F(α) of Equation (1)
+	NumSV      int
+}
+
+// Train runs binary SMO (the paper's Algorithm 1) on x with ±1 labels y.
+func Train(x sparse.Matrix, y []float64, cfg Config) (*Model, Stats, error) {
+	if cfg.Shrinking {
+		if cfg.SecondOrder {
+			return nil, Stats{}, fmt.Errorf("svm: Shrinking and SecondOrder cannot be combined")
+		}
+		return TrainShrinking(x, y, cfg)
+	}
+	start := time.Now()
+	rows, cols := x.Dims()
+	if len(y) != rows {
+		return nil, Stats{}, fmt.Errorf("svm: %d labels for %d rows", len(y), rows)
+	}
+	var pos, neg int
+	for _, l := range y {
+		switch l {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, Stats{}, fmt.Errorf("svm: label %v not in {-1,+1}", l)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, Stats{}, fmt.Errorf("svm: need both classes, got %d positive and %d negative", pos, neg)
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	cfg = cfg.withDefaults(rows)
+
+	s := &solver{
+		x:        x,
+		y:        y,
+		cfg:      cfg,
+		alpha:    make([]float64, rows),
+		f:        make([]float64, rows),
+		kHigh:    make([]float64, rows),
+		kLow:     make([]float64, rows),
+		scratch:  make([]float64, cols),
+		scratch2: make([]float64, cols),
+		normSq:   rowNorms(x),
+		cache:    newRowCache(cfg.CacheRows),
+	}
+	for i := range s.f {
+		s.f[i] = -y[i] // step 2 of Algorithm 1
+	}
+	if cfg.SecondOrder {
+		s.diag = make([]float64, rows)
+		for i := range s.diag {
+			s.diag[i] = cfg.Kernel.FromDot(s.normSq[i], s.normSq[i], s.normSq[i])
+		}
+	}
+	var stats Stats
+	if cfg.SecondOrder {
+		stats = s.runSecondOrder()
+	} else {
+		stats = s.run()
+	}
+	stats.TotalTime = time.Since(start)
+	model := s.buildModel()
+	stats.NumSV = len(model.SVs)
+	stats.Objective = s.objective()
+	return model, stats, nil
+}
+
+type solver struct {
+	x        sparse.Matrix
+	y        []float64
+	cfg      Config
+	alpha    []float64
+	f        []float64
+	kHigh    []float64 // kernel row K(X_high, ·)
+	kLow     []float64
+	scratch  []float64
+	scratch2 []float64 // second workspace for the paired two-row SMSV
+	normSq   []float64
+	bHigh    float64
+	bLow     float64
+
+	rowBufH sparse.Vector
+	rowBufL sparse.Vector
+
+	cache *rowCache // optional kernel-row LRU
+	diag  []float64 // K(X_i, X_i), precomputed for second-order selection
+}
+
+// boxC returns sample i's upper box bound C·Weight_{class(i)}.
+func (s *solver) boxC(i int) float64 {
+	if s.y[i] > 0 {
+		return s.cfg.C * s.cfg.WeightPos
+	}
+	return s.cfg.C * s.cfg.WeightNeg
+}
+
+// rowNorms precomputes ‖X_i‖² for the Gaussian kernel.
+func rowNorms(x sparse.Matrix) []float64 {
+	rows, _ := x.Dims()
+	out := make([]float64, rows)
+	var v sparse.Vector
+	for i := 0; i < rows; i++ {
+		v = x.RowTo(v, i)
+		out[i] = v.Norm2Sq()
+	}
+	return out
+}
+
+func (s *solver) inHigh(i int) bool {
+	a, yi, c := s.alpha[i], s.y[i], s.boxC(i)
+	return (a > 0 && a < c) || (yi > 0 && a == 0) || (yi < 0 && a == c)
+}
+
+func (s *solver) inLow(i int) bool {
+	a, yi, c := s.alpha[i], s.y[i], s.boxC(i)
+	return (a > 0 && a < c) || (yi > 0 && a == c) || (yi < 0 && a == 0)
+}
+
+// kernelRow computes K(X_r, X_i) for all i into dst: one SMSV producing the
+// dot products, then the pointwise Table I transform. With caching enabled,
+// warm rows are copied out of the LRU instead.
+func (s *solver) kernelRow(dst []float64, row sparse.Vector, r int) {
+	if cached := s.cache.get(r); cached != nil {
+		copy(dst, cached)
+		return
+	}
+	defer func() { s.cache.put(r, dst) }()
+	s.x.MulVecSparse(dst, row, s.scratch, s.cfg.Workers, s.cfg.Sched)
+	s.transformRow(dst, r)
+}
+
+// kernelRows fills kHigh and kLow for the working-set pair. When neither
+// row is cached, both products come from one fused pass over the matrix
+// (PairMulVecSparse), halving matrix traffic versus two independent SMSVs
+// — the dominant per-iteration cost per §III-A.
+func (s *solver) kernelRows(sel selection) {
+	hCached := s.cache.get(sel.high)
+	lCached := s.cache.get(sel.low)
+	switch {
+	case hCached != nil && lCached != nil:
+		copy(s.kHigh, hCached)
+		copy(s.kLow, lCached)
+	case hCached != nil:
+		copy(s.kHigh, hCached)
+		s.rowBufL = s.x.RowTo(s.rowBufL, sel.low)
+		s.kernelRow(s.kLow, s.rowBufL, sel.low)
+	case lCached != nil:
+		copy(s.kLow, lCached)
+		s.rowBufH = s.x.RowTo(s.rowBufH, sel.high)
+		s.kernelRow(s.kHigh, s.rowBufH, sel.high)
+	default:
+		s.rowBufH = s.x.RowTo(s.rowBufH, sel.high)
+		s.rowBufL = s.x.RowTo(s.rowBufL, sel.low)
+		if sel.high == sel.low {
+			s.kernelRow(s.kHigh, s.rowBufH, sel.high)
+			copy(s.kLow, s.kHigh)
+			return
+		}
+		sparse.PairMulVecSparse(s.x, s.kHigh, s.kLow, s.rowBufH, s.rowBufL,
+			s.scratch, s.scratch2, s.cfg.Workers, s.cfg.Sched)
+		s.transformRow(s.kHigh, sel.high)
+		s.transformRow(s.kLow, sel.low)
+		s.cache.put(sel.high, s.kHigh)
+		s.cache.put(sel.low, s.kLow)
+	}
+}
+
+// transformRow applies the pointwise Table I transform to a row of raw dot
+// products.
+func (s *solver) transformRow(dst []float64, r int) {
+	p := s.cfg.Kernel
+	if p.Type == Linear {
+		return
+	}
+	nr := s.normSq[r]
+	parallel.ForRange(len(dst), s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = p.FromDot(dst[i], s.normSq[i], nr)
+		}
+	})
+}
+
+// selection holds one working-set pick.
+type selection struct {
+	high, low int
+}
+
+// selectWorkingSet finds high = argmin f over I_high and low = argmax f
+// over I_low, setting bHigh/bLow (steps 6–10 of Algorithm 1).
+func (s *solver) selectWorkingSet() (selection, bool) {
+	n := len(s.f)
+	mn := parallel.ArgMin(n, s.cfg.Workers, s.inHigh, func(i int) float64 { return s.f[i] })
+	mx := parallel.ArgMax(n, s.cfg.Workers, s.inLow, func(i int) float64 { return s.f[i] })
+	if mn.Index < 0 || mx.Index < 0 {
+		return selection{}, false
+	}
+	s.bHigh, s.bLow = mn.Value, mx.Value
+	return selection{high: mn.Index, low: mx.Index}, true
+}
+
+// updateF applies step 5: f_i += Δα_high·y_high·K_high,i + Δα_low·y_low·K_low,i.
+// In fused mode it also performs the next working-set reductions in the
+// same pass, saving one sweep over f per iteration.
+func (s *solver) updateF(dh, dl float64, sel selection) (selection, bool) {
+	ch := dh * s.y[sel.high]
+	cl := dl * s.y[sel.low]
+	n := len(s.f)
+	if s.cfg.Unfused {
+		parallel.ForRange(n, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.f[i] += ch*s.kHigh[i] + cl*s.kLow[i]
+			}
+		})
+		return s.selectWorkingSet()
+	}
+	p := s.cfg.Workers
+	if p <= 0 {
+		p = parallel.DefaultWorkers
+	}
+	if p > n {
+		p = n
+	}
+	type best struct {
+		minIdx, maxIdx int
+		minVal, maxVal float64
+	}
+	partial := make([]best, p)
+	parallel.For(p, p, parallel.Static, func(w int) {
+		lo, hi := parallel.SplitRange(n, p, w)
+		b := best{minIdx: -1, maxIdx: -1}
+		for i := lo; i < hi; i++ {
+			// Parenthesized to match the unfused `f[i] += ch*kH + cl*kL`
+			// association bit-for-bit, keeping both modes on the same
+			// optimization trajectory.
+			fi := s.f[i] + (ch*s.kHigh[i] + cl*s.kLow[i])
+			s.f[i] = fi
+			if s.inHigh(i) && (b.minIdx < 0 || fi < b.minVal) {
+				b.minIdx, b.minVal = i, fi
+			}
+			if s.inLow(i) && (b.maxIdx < 0 || fi > b.maxVal) {
+				b.maxIdx, b.maxVal = i, fi
+			}
+		}
+		partial[w] = b
+	})
+	out := best{minIdx: -1, maxIdx: -1}
+	for _, b := range partial {
+		if b.minIdx >= 0 && (out.minIdx < 0 || b.minVal < out.minVal) {
+			out.minIdx, out.minVal = b.minIdx, b.minVal
+		}
+		if b.maxIdx >= 0 && (out.maxIdx < 0 || b.maxVal > out.maxVal) {
+			out.maxIdx, out.maxVal = b.maxIdx, b.maxVal
+		}
+	}
+	if out.minIdx < 0 || out.maxIdx < 0 {
+		return selection{}, false
+	}
+	s.bHigh, s.bLow = out.minVal, out.maxVal
+	return selection{high: out.minIdx, low: out.maxIdx}, true
+}
+
+// step performs the analytic two-variable update (Equations 5–6) with box
+// clipping, returning the applied deltas.
+func (s *solver) step(sel selection) (dh, dl float64) {
+	h, l := sel.high, sel.low
+	eta := s.kHigh[h] + s.kLow[l] - 2*s.kHigh[l]
+	if eta <= 0 {
+		eta = 1e-12 // degenerate pair; take a tiny safe step
+	}
+	yl, yh := s.y[l], s.y[h]
+	// Unclipped Equation (5).
+	dl = yl * (s.bHigh - s.bLow) / eta
+	// Box constraints: α_low + dl ∈ [0,C] and α_high − s·dl ∈ [0,C]
+	// with s = y_high·y_low (from the equality constraint).
+	sgn := yh * yl
+	cl, chi := s.boxC(l), s.boxC(h)
+	loB, hiB := -s.alpha[l], cl-s.alpha[l]
+	if sgn > 0 {
+		loB = math.Max(loB, s.alpha[h]-chi)
+		hiB = math.Min(hiB, s.alpha[h])
+	} else {
+		loB = math.Max(loB, -s.alpha[h])
+		hiB = math.Min(hiB, chi-s.alpha[h])
+	}
+	if dl < loB {
+		dl = loB
+	}
+	if dl > hiB {
+		dl = hiB
+	}
+	dh = -sgn * dl // Equation (6)
+	s.alpha[l] += dl
+	s.alpha[h] += dh
+	return dh, dl
+}
+
+func (s *solver) run() Stats {
+	var st Stats
+	sel, ok := s.selectWorkingSet()
+	if !ok {
+		return st
+	}
+	for st.Iterations = 0; st.Iterations < s.cfg.MaxIter; st.Iterations++ {
+		if s.bLow <= s.bHigh+2*s.cfg.Tol {
+			st.Converged = true
+			break
+		}
+		t0 := time.Now()
+		s.kernelRows(sel)
+		st.KernelTime += time.Since(t0)
+		dh, dl := s.step(sel)
+		if dh == 0 && dl == 0 {
+			// Box-clipped to a null step: the working set is exhausted at
+			// this pair; nudge convergence check via fresh selection.
+			var ok bool
+			if sel, ok = s.selectWorkingSet(); !ok {
+				break
+			}
+			// A null step with the same selection would loop forever.
+			if s.bLow <= s.bHigh+2*s.cfg.Tol {
+				st.Converged = true
+				break
+			}
+			continue
+		}
+		var okSel bool
+		sel, okSel = s.updateF(dh, dl, sel)
+		if !okSel {
+			break
+		}
+	}
+	return st
+}
+
+// runSecondOrder is the WSS2 variant of run: high is still the maximal
+// violator (argmin f over I_high), but low maximizes the guaranteed dual
+// decrease (f_i − b_high)²/η_i over the violating part of I_low, which
+// requires K(X_high, ·) *before* picking low — so the loop computes the
+// high row first and cannot fuse the update with the next selection.
+func (s *solver) runSecondOrder() Stats {
+	var st Stats
+	n := len(s.f)
+	for ; st.Iterations < s.cfg.MaxIter; st.Iterations++ {
+		mn := parallel.ArgMin(n, s.cfg.Workers, s.inHigh, func(i int) float64 { return s.f[i] })
+		mx := parallel.ArgMax(n, s.cfg.Workers, s.inLow, func(i int) float64 { return s.f[i] })
+		if mn.Index < 0 || mx.Index < 0 {
+			break
+		}
+		s.bHigh, s.bLow = mn.Value, mx.Value
+		if s.bLow <= s.bHigh+2*s.cfg.Tol {
+			st.Converged = true
+			break
+		}
+		high := mn.Index
+		t0 := time.Now()
+		s.rowBufH = s.x.RowTo(s.rowBufH, high)
+		s.kernelRow(s.kHigh, s.rowBufH, high)
+		st.KernelTime += time.Since(t0)
+		// Second-order low: maximize (f_i − b_high)² / η_i over violators.
+		kHH := s.kHigh[high]
+		pick := parallel.ArgMax(n, s.cfg.Workers,
+			func(i int) bool { return s.inLow(i) && s.f[i] > s.bHigh },
+			func(i int) float64 {
+				d := s.f[i] - s.bHigh
+				eta := kHH + s.diag[i] - 2*s.kHigh[i]
+				if eta <= 0 {
+					eta = 1e-12
+				}
+				return d * d / eta
+			})
+		if pick.Index < 0 {
+			break
+		}
+		low := pick.Index
+		t0 = time.Now()
+		s.rowBufL = s.x.RowTo(s.rowBufL, low)
+		s.kernelRow(s.kLow, s.rowBufL, low)
+		st.KernelTime += time.Since(t0)
+		// The analytic step uses b_low = f[low] for this pair.
+		s.bLow = s.f[low]
+		dh, dl := s.step(selection{high: high, low: low})
+		if dh == 0 && dl == 0 {
+			continue
+		}
+		ch := dh * s.y[high]
+		cl := dl * s.y[low]
+		parallel.ForRange(n, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.f[i] += ch*s.kHigh[i] + cl*s.kLow[i]
+			}
+		})
+	}
+	return st
+}
+
+// objective evaluates the dual objective of Equation (1) in O(n) using the
+// identity Σᵢαᵢyᵢfᵢ = ΣᵢΣⱼαᵢαⱼyᵢyⱼKᵢⱼ − Σᵢαᵢ.
+func (s *solver) objective() float64 {
+	var sumA, sumAYF float64
+	for i, a := range s.alpha {
+		sumA += a
+		sumAYF += a * s.y[i] * s.f[i]
+	}
+	return 0.5*sumA - 0.5*sumAYF
+}
+
+func (s *solver) buildModel() *Model {
+	m := &Model{
+		Kernel: s.cfg.Kernel,
+		B:      (s.bHigh + s.bLow) / 2,
+	}
+	var v sparse.Vector
+	for i, a := range s.alpha {
+		if a > 0 {
+			v = s.x.RowTo(v, i)
+			m.SVs = append(m.SVs, v.Clone())
+			m.Coef = append(m.Coef, a*s.y[i])
+		}
+	}
+	return m
+}

@@ -1,0 +1,79 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TestSVRMaintainedGradientExact verifies the ε-SVR solver's incrementally
+// maintained transformed gradient f against a from-scratch O(n²)
+// recomputation at the final iterate — the invariant whose violation
+// silently degrades solution quality.
+func TestSVRMaintainedGradientExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 50
+	b := sparse.NewBuilder(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*6 - 3
+		b.Add(i, 0, x)
+		b.Add(i, 1, rng.NormFloat64())
+		y[i] = math.Sin(x) + rng.NormFloat64()*0.1
+	}
+	m := b.MustBuild(sparse.CSR)
+	cfg := RegressionConfig{
+		C: 20, Epsilon: 0.05, Tol: 1e-3, MaxIter: 5000,
+		Kernel: KernelParams{Type: Gaussian, Gamma: 1},
+	}
+	rows, cols := m.Dims()
+	n2 := 2 * rows
+	s := &svrSolver{
+		x: m, cfg: cfg, n: rows,
+		alpha: make([]float64, n2), f: make([]float64, n2), yext: make([]float64, n2),
+		kHigh: make([]float64, rows), kLow: make([]float64, rows),
+		scratch: make([]float64, cols), normSq: rowNorms(m),
+	}
+	for i := 0; i < rows; i++ {
+		s.yext[i] = 1
+		s.yext[rows+i] = -1
+		s.f[i] = cfg.Epsilon - y[i]
+		s.f[rows+i] = -(cfg.Epsilon + y[i])
+	}
+	s.run()
+
+	var rowVecs []sparse.Vector
+	for i := 0; i < rows; i++ {
+		rowVecs = append(rowVecs, m.RowTo(sparse.Vector{}, i).Clone())
+	}
+	for e := 0; e < n2; e++ {
+		var qb float64
+		for g := 0; g < n2; g++ {
+			if s.alpha[g] == 0 {
+				continue
+			}
+			qb += s.yext[e] * s.yext[g] * cfg.Kernel.Eval(rowVecs[e%rows], rowVecs[g%rows]) * s.alpha[g]
+		}
+		p := cfg.Epsilon - y[e%rows]
+		if e >= rows {
+			p = cfg.Epsilon + y[e-rows]
+		}
+		want := s.yext[e] * (qb + p)
+		if d := math.Abs(want - s.f[e]); d > 1e-9 {
+			t.Fatalf("f[%d] drifted by %v (maintained %v, recomputed %v)", e, d, s.f[e], want)
+		}
+	}
+	// Equality constraint and box must hold exactly.
+	var c float64
+	for e := 0; e < n2; e++ {
+		c += s.yext[e] * s.alpha[e]
+		if s.alpha[e] < -1e-12 || s.alpha[e] > cfg.C+1e-12 {
+			t.Fatalf("beta[%d] = %v outside box [0,%v]", e, s.alpha[e], cfg.C)
+		}
+	}
+	if math.Abs(c) > 1e-9 {
+		t.Fatalf("Σ y·β = %v, want 0", c)
+	}
+}
