@@ -1,0 +1,36 @@
+# Developer entry points for the layout-scheduling reproduction.
+#
+#   make build      compile every package and command
+#   make vet        static analysis over the whole module
+#   make test       full test suite (tier-1 verify alongside build)
+#   make test-race  short-mode race check of the concurrency-heavy packages
+#   make bench      run every benchmark once, human-readable
+#   make bench-json full benchmark sweep as JSON lines in BENCH_<date>.json
+
+GO ?= go
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/...
+BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
+
+.PHONY: build vet test test-race bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCH_FILE)
+	@echo wrote $(BENCH_FILE)
+
+clean:
+	rm -f BENCH_*.json

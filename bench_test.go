@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dnn"
+	"repro/internal/exec"
 	"repro/internal/hwmodel"
 	"repro/internal/sparse"
 	"repro/internal/svm"
@@ -36,7 +37,7 @@ func smsvBench(b *testing.B, bl *sparse.Builder, f sparse.Format) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.MulVecSparse(dst, xs[0], scratch, 1, sparse.SchedStatic)
+		m.MulVecSparse(dst, xs[0], scratch, nil)
 	}
 }
 
@@ -118,7 +119,7 @@ func BenchmarkTable6Adaptive(b *testing.B) {
 		}
 		bl := d.MustGenerate(benchSeed)
 		b.Run(name, func(b *testing.B) {
-			sched := core.New(core.Config{Policy: core.Hybrid, Workers: 1, Seed: benchSeed})
+			sched := core.New(core.Config{Policy: core.Hybrid, Exec: exec.Serial(), Seed: benchSeed})
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -146,17 +147,17 @@ func BenchmarkFig7VsReference(b *testing.B) {
 		b.Run(name+"/reference", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := reference.Train(bl, y, reference.Config{
-					C: 1, MaxIter: iters, Kernel: svm.KernelParams{Type: svm.Linear}, Workers: 1,
+					C: 1, MaxIter: iters, Kernel: svm.KernelParams{Type: svm.Linear}, Exec: exec.Serial(),
 				}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(name+"/adaptive", func(b *testing.B) {
-			sched := core.New(core.Config{Policy: core.Hybrid, Workers: 1, Seed: benchSeed})
+			sched := core.New(core.Config{Policy: core.Hybrid, Exec: exec.Serial(), Seed: benchSeed})
 			for i := 0; i < b.N; i++ {
 				if _, err := svm.TrainAdaptive(bl, y, sched, svm.Config{
-					C: 1, MaxIter: iters, Kernel: svm.KernelParams{Type: svm.Linear}, Workers: 1,
+					C: 1, MaxIter: iters, Kernel: svm.KernelParams{Type: svm.Linear}, Exec: exec.Serial(),
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -195,7 +196,7 @@ func BenchmarkLiveDNNStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, 1, benchSeed)
+	net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, nil, benchSeed)
 	opt := dnn.NewSGD(net, 0.01, 0.9)
 	idx := make([]int, 32)
 	for i := range idx {
@@ -223,7 +224,7 @@ func BenchmarkAblationPolicy(b *testing.B) {
 	bl := d.MustGenerate(benchSeed)
 	for _, pol := range []core.Policy{core.RuleBased, core.Empirical, core.Hybrid} {
 		b.Run(pol.String(), func(b *testing.B) {
-			sched := core.New(core.Config{Policy: pol, Workers: 1, Seed: benchSeed})
+			sched := core.New(core.Config{Policy: pol, Exec: exec.Serial(), Seed: benchSeed})
 			for i := 0; i < b.N; i++ {
 				if _, err := sched.Choose(bl); err != nil {
 					b.Fatal(err)
@@ -246,14 +247,16 @@ func BenchmarkAblationChunking(b *testing.B) {
 	xs := bench.SampleRows(m, 1, benchSeed)
 	dst := make([]float64, rows)
 	scratch := make([]float64, cols)
-	for _, sched := range []sparse.Sched{sparse.SchedStatic, sparse.SchedGuided} {
+	for _, sched := range []exec.Sched{exec.Static, exec.Guided} {
 		name := "static"
-		if sched == sparse.SchedGuided {
+		if sched == exec.Guided {
 			name = "guided"
 		}
 		b.Run(name, func(b *testing.B) {
+			ex := exec.New(0, sched)
+			defer ex.Close()
 			for i := 0; i < b.N; i++ {
-				m.MulVecSparse(dst, xs[0], scratch, 0, sched)
+				m.MulVecSparse(dst, xs[0], scratch, ex)
 			}
 		})
 	}
@@ -279,7 +282,7 @@ func BenchmarkAblationFusion(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := svm.Train(m, y, svm.Config{
 					C: 1, MaxIter: 100, Kernel: svm.KernelParams{Type: svm.Linear},
-					Workers: 1, Unfused: unfused,
+					Exec: exec.Serial(), Unfused: unfused,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -308,7 +311,7 @@ func BenchmarkAblationELLLayout(b *testing.B) {
 	}{{"row-major", rowMajor}, {"col-major", colMajor}} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tc.m.MulVecSparse(dst, xs[0], scratch, 1, sparse.SchedStatic)
+				tc.m.MulVecSparse(dst, xs[0], scratch, nil)
 			}
 		})
 	}
@@ -340,7 +343,7 @@ func BenchmarkAblationSkewFormats(b *testing.B) {
 	for _, tc := range mats {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tc.m.MulVecSparse(dst, xs[0], scratch, 1, sparse.SchedStatic)
+				tc.m.MulVecSparse(dst, xs[0], scratch, nil)
 			}
 		})
 	}
@@ -370,7 +373,7 @@ func BenchmarkAblationCOOMergeVsSMSV(b *testing.B) {
 	})
 	b.Run("scatter-smsv", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			m.MulVecSparse(dst, x, scratch, 1, sparse.SchedStatic)
+			m.MulVecSparse(dst, x, scratch, nil)
 		}
 	})
 }
@@ -393,13 +396,13 @@ func BenchmarkAblationPairedSMSV(b *testing.B) {
 	s2 := make([]float64, cols)
 	b.Run("two-passes", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			m.MulVecSparse(d1, xs[0], s1, 1, sparse.SchedStatic)
-			m.MulVecSparse(d2, xs[1], s1, 1, sparse.SchedStatic)
+			m.MulVecSparse(d1, xs[0], s1, nil)
+			m.MulVecSparse(d2, xs[1], s1, nil)
 		}
 	})
 	b.Run("fused-pair", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sparse.PairMulVecSparse(m, d1, d2, xs[0], xs[1], s1, s2, 1, sparse.SchedStatic)
+			sparse.PairMulVecSparse(m, d1, d2, xs[0], xs[1], s1, s2, nil)
 		}
 	})
 }
@@ -416,7 +419,7 @@ func BenchmarkAblationShrinking(b *testing.B) {
 	m := bl.MustBuild(sparse.CSR)
 	rng := rand.New(rand.NewSource(benchSeed))
 	y := dataset.PlantedLabels(m, 0.08, rng) // noisy: many bound alphas
-	cfg := svm.Config{C: 0.5, Kernel: svm.KernelParams{Type: svm.Linear}, MaxIter: 30000, Workers: 1}
+	cfg := svm.Config{C: 0.5, Kernel: svm.KernelParams{Type: svm.Linear}, MaxIter: 30000, Exec: exec.Serial()}
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := svm.Train(m, y, cfg); err != nil {
@@ -430,5 +433,39 @@ func BenchmarkAblationShrinking(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkSMOPoolVsSpawn measures end-to-end SMO training on a Table V
+// clone under the persistent-pool execution context against the old
+// spawn-goroutines-per-kernel model at the same worker count. Every SMO
+// iteration issues two SMSV kernels plus reduction sweeps, so per-call
+// spawn overhead compounds across the whole run; the pooled context should
+// never be slower.
+func BenchmarkSMOPoolVsSpawn(b *testing.B) {
+	d, err := dataset.ByName("adult")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	m := bl.MustBuild(sparse.CSR)
+	rng := rand.New(rand.NewSource(benchSeed))
+	y := dataset.PlantedLabels(m, 0.02, rng)
+	const workers = 4
+	run := func(b *testing.B, ex *exec.Exec) {
+		cfg := svm.Config{C: 1, MaxIter: 300, Kernel: svm.KernelParams{Type: svm.Linear}, Exec: ex}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svm.Train(m, y, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("spawn", func(b *testing.B) {
+		run(b, exec.NewSpawning(workers, exec.Static))
+	})
+	b.Run("pool", func(b *testing.B) {
+		ex := exec.New(workers, exec.Static)
+		defer ex.Close()
+		run(b, ex)
 	})
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/svm"
 )
 
@@ -35,7 +36,9 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.ExpConfig{Workers: *workers, Reps: *reps, Seed: *seed}
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+	cfg := bench.ExpConfig{Exec: ex, Reps: *reps, Seed: *seed}
 	if *quick {
 		cfg.SweepN = 512
 	}
@@ -65,7 +68,7 @@ func main() {
 		{"table7", bench.TableVII},
 		{"tune", bench.TuneDGX},
 		{"scaling", bench.ScalingStudy},
-		{"live", func() (*bench.Table, error) { return bench.LiveDNNTuning(*workers, *seed) }},
+		{"live", func() (*bench.Table, error) { return bench.LiveDNNTuning(ex, *seed) }},
 	}
 
 	if *list {

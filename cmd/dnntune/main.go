@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/exec"
 	"repro/internal/hwmodel"
 )
 
@@ -59,7 +60,9 @@ func main() {
 		}
 		tt.Render(os.Stdout)
 	case "live":
-		t, err := bench.LiveDNNTuning(*workers, *seed)
+		ex := exec.New(*workers, exec.Static)
+		defer ex.Close()
+		t, err := bench.LiveDNNTuning(ex, *seed)
 		if err != nil {
 			fatal(err)
 		}

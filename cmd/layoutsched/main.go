@@ -9,6 +9,7 @@
 //	layoutsched -file data.libsvm            # analyze a LIBSVM-format file
 //	layoutsched -dataset mnist               # analyze a Table V clone
 //	layoutsched -dataset sector -policy rule-based
+//	layoutsched -dataset mnist -stats        # report kernel counters
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "clone generation seed")
 		histPath = flag.String("history", "", "incremental-tuning history file: decisions are reused for similar datasets and new ones appended")
 		verbose  = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
+		stats    = flag.Bool("stats", false, "report per-format kernel invocation counters after the decision")
 	)
 	flag.Parse()
 
@@ -53,7 +56,14 @@ func main() {
 			fatal(err)
 		}
 	}
-	sched := core.New(core.Config{Policy: p, Workers: *workers, Seed: *seed, History: hist})
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+	var counters *exec.Stats
+	if *stats {
+		counters = &exec.Stats{}
+		ex = ex.WithStats(counters)
+	}
+	sched := core.New(core.Config{Policy: p, Exec: ex, Seed: *seed, History: hist})
 	dec, err := sched.Choose(b)
 	if err != nil {
 		fatal(err)
@@ -92,6 +102,16 @@ func main() {
 		mt.Render(os.Stdout)
 	}
 	fmt.Printf("\nDecision (%v policy): store this dataset in %v format.\n", dec.Policy, dec.Chosen)
+	if counters != nil {
+		fmt.Println()
+		st := bench.NewTable("Kernel counters", "kernel", "invocations", "elements", "time")
+		for _, ks := range counters.Snapshot() {
+			st.Add(ks.Kind.String(), fmt.Sprint(ks.Calls), fmt.Sprint(ks.Elements), bench.FmtDur(ks.Time))
+		}
+		tot := counters.Total()
+		st.Add("total", fmt.Sprint(tot.Calls), fmt.Sprint(tot.Elements), bench.FmtDur(tot.Time))
+		st.Render(os.Stdout)
+	}
 }
 
 func loadMatrix(file, name string, seed int64) (*sparse.Builder, error) {

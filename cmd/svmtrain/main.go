@@ -19,6 +19,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 	"repro/internal/svm/reference"
@@ -53,9 +54,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := svm.Config{C: *c, Tol: *tol, MaxIter: *maxIter, Kernel: kp, Workers: *workers,
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+	cfg := svm.Config{C: *c, Tol: *tol, MaxIter: *maxIter, Kernel: kp, Exec: ex,
 		SecondOrder: *wss2, CacheRows: *cache}
-	sched := core.New(core.Config{Policy: core.Hybrid, Workers: *workers, Seed: *seed})
+	sched := core.New(core.Config{Policy: core.Hybrid, Exec: ex, Seed: *seed})
 
 	var res *svm.AdaptiveResult
 	if *shrink {
@@ -80,7 +83,7 @@ func main() {
 	fmt.Printf("Training: %d iterations, converged=%v, %d SVs, objective=%.6g\n",
 		res.Stats.Iterations, res.Stats.Converged, res.Stats.NumSV, res.Stats.Objective)
 	fmt.Printf("Time: total %v (kernel SMSVs %v)\n", res.Stats.TotalTime, res.Stats.KernelTime)
-	acc := res.Model.Accuracy(res.Decision.Matrix, y, *workers)
+	acc := res.Model.Accuracy(res.Decision.Matrix, y, ex)
 	fmt.Printf("Training accuracy: %.4f\n", acc)
 	if *modelOut != "" {
 		f, err := os.Create(*modelOut)
@@ -117,7 +120,7 @@ func main() {
 		}
 		rows = append(rows, row{"fixed-" + f.String(), stats.Iterations, stats.Converged, int64(stats.TotalTime)})
 	}
-	refCfg := reference.Config{C: *c, Tol: *tol, MaxIter: *maxIter, Kernel: kp, Workers: *workers}
+	refCfg := reference.Config{C: *c, Tol: *tol, MaxIter: *maxIter, Kernel: kp, Exec: ex}
 	if _, stats, err := reference.Train(b, y, refCfg); err == nil {
 		rows = append(rows, row{"reference-libsvm-csr", stats.Iterations, stats.Converged, int64(stats.TotalTime)})
 	}

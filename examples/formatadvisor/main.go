@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -27,7 +28,7 @@ func main() {
 		}
 		feats := dataset.Extract(b.MustBuild(sparse.CSR))
 		modelPick := core.RuleBasedChoice(feats)
-		times, err := bench.TimeFormats(b, 3, 3, 0, sparse.SchedStatic, 1)
+		times, err := bench.TimeFormats(b, 3, 3, exec.Default(), 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -48,5 +48,5 @@ func main() {
 	}
 	fmt.Printf("training: %d iterations, converged=%v, %d support vectors\n",
 		stats.Iterations, stats.Converged, stats.NumSV)
-	fmt.Printf("accuracy: %.3f\n", model.Accuracy(dec.Matrix, y, 0))
+	fmt.Printf("accuracy: %.3f\n", model.Accuracy(dec.Matrix, y, nil))
 }

@@ -57,7 +57,7 @@ func TestIntegrationSVMPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := res.Model.Accuracy(res.Decision.Matrix, py, 0); acc < 0.85 {
+	if acc := res.Model.Accuracy(res.Decision.Matrix, py, nil); acc < 0.85 {
 		t.Fatalf("pipeline accuracy %v", acc)
 	}
 	if hist.Len() != 1 {
@@ -157,7 +157,7 @@ func TestIntegrationDNNPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	build := func(seed int64) *dnn.Network {
-		return dnn.Cifar10FullNet(d.Classes, d.C, d.H, d.W, 4, 1, seed)
+		return dnn.Cifar10FullNet(d.Classes, d.C, d.H, d.W, 4, nil, seed)
 	}
 	dp, err := dnn.NewDataParallel(build, 2, 0.02, 0.9, 31)
 	if err != nil {
@@ -173,7 +173,7 @@ func TestIntegrationDNNPipeline(t *testing.T) {
 			dp.TrainStep(x, yb)
 		}
 	}
-	acc := dnn.Evaluate(dp.Network(), d, 64, 1)
+	acc := dnn.Evaluate(dp.Network(), d, 64)
 	if acc < 0.8 {
 		t.Fatalf("data-parallel cifar10_full accuracy %v", acc)
 	}
@@ -185,7 +185,7 @@ func TestIntegrationDNNPipeline(t *testing.T) {
 	if err := dnn.LoadWeights(&ckpt, restored); err != nil {
 		t.Fatal(err)
 	}
-	if racc := dnn.Evaluate(restored, d, 64, 1); racc != acc {
+	if racc := dnn.Evaluate(restored, d, 64); racc != acc {
 		t.Fatalf("restored accuracy %v != %v", racc, acc)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -31,17 +32,17 @@ func SampleRows(m sparse.Matrix, k int, seed int64) []sparse.Vector {
 // TimeSMSV measures the steady-state time of reps SMSV products per input
 // vector on matrix m, after one warm-up pass. It returns the total duration
 // across all timed products.
-func TimeSMSV(m sparse.Matrix, xs []sparse.Vector, reps, workers int, sched sparse.Sched) time.Duration {
+func TimeSMSV(m sparse.Matrix, xs []sparse.Vector, reps int, ex *exec.Exec) time.Duration {
 	rows, cols := m.Dims()
 	dst := make([]float64, rows)
 	scratch := make([]float64, cols)
 	if len(xs) > 0 {
-		m.MulVecSparse(dst, xs[0], scratch, workers, sched)
+		m.MulVecSparse(dst, xs[0], scratch, ex)
 	}
 	start := time.Now()
 	for _, x := range xs {
 		for r := 0; r < reps; r++ {
-			m.MulVecSparse(dst, x, scratch, workers, sched)
+			m.MulVecSparse(dst, x, scratch, ex)
 		}
 	}
 	return time.Since(start)
@@ -49,7 +50,7 @@ func TimeSMSV(m sparse.Matrix, xs []sparse.Vector, reps, workers int, sched spar
 
 // TimeFormats measures TimeSMSV for every buildable basic format of the
 // matrix in b and returns format → duration.
-func TimeFormats(b *sparse.Builder, reps, trialRows, workers int, sched sparse.Sched, seed int64) (map[sparse.Format]time.Duration, error) {
+func TimeFormats(b *sparse.Builder, reps, trialRows int, ex *exec.Exec, seed int64) (map[sparse.Format]time.Duration, error) {
 	csr, err := b.Build(sparse.CSR)
 	if err != nil {
 		return nil, err
@@ -65,7 +66,7 @@ func TimeFormats(b *sparse.Builder, reps, trialRows, workers int, sched sparse.S
 		// pauses and scheduler noise on shared hosts.
 		best := time.Duration(-1)
 		for trial := 0; trial < 3; trial++ {
-			if d := TimeSMSV(m, xs, reps, workers, sched); best < 0 || d < best {
+			if d := TimeSMSV(m, xs, reps, ex); best < 0 || d < best {
 				best = d
 			}
 		}

@@ -49,7 +49,7 @@ func TestSampleRows(t *testing.T) {
 
 func TestTimeFormatsAndSpeedups(t *testing.T) {
 	b := testBuilder(t)
-	times, err := TimeFormats(b, 2, 3, 1, sparse.SchedStatic, 7)
+	times, err := TimeFormats(b, 2, 3, nil, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dnn"
+	"repro/internal/exec"
 	"repro/internal/hwmodel"
 )
 
@@ -124,7 +125,7 @@ func TuneDGX() (*Table, error) {
 // LiveDNNTuning trains the real pure-Go convnet on synthetic CIFAR-like
 // data at several hyper-parameter settings, demonstrating the §IV tuning
 // effects on live runs (iterations to 0.8 accuracy).
-func LiveDNNTuning(workers int, seed int64) (*Table, error) {
+func LiveDNNTuning(ex *exec.Exec, seed int64) (*Table, error) {
 	d, err := dnn.SyntheticCIFAR(6, 1, 8, 8, 2048, 512, 2.2, seed)
 	if err != nil {
 		return nil, err
@@ -141,11 +142,10 @@ func LiveDNNTuning(workers int, seed int64) (*Table, error) {
 		{"tune momentum", dnn.TrainConfig{Batch: 64, LR: 0.01, Momentum: 0.9, MaxEpochs: 120}},
 	}
 	for _, s := range settings {
-		net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, workers, seed+11)
+		net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, ex, seed+11)
 		cfg := s.cfg
 		cfg.TargetAcc = 0.8
 		cfg.EvalEvery = 4
-		cfg.Workers = workers
 		cfg.Seed = seed + 23
 		res, err := dnn.TrainToTarget(net, d, cfg)
 		if err != nil {

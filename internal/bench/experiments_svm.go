@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 	"repro/internal/svm/reference"
@@ -15,8 +16,9 @@ import (
 
 // ExpConfig controls the experiment drivers' cost/fidelity trade-off.
 type ExpConfig struct {
-	Workers   int // kernel workers; 0 = all cores
-	Sched     sparse.Sched
+	// Exec is the execution context all measurement kernels run under;
+	// nil means exec.Default().
+	Exec      *exec.Exec
 	Reps      int   // SMSV repetitions per trial vector
 	TrialRows int   // sampled x vectors per measurement
 	Seed      int64 // dataset generation seed
@@ -27,6 +29,9 @@ type ExpConfig struct {
 
 // Defaults fills zero fields with sensible values.
 func (c ExpConfig) Defaults() ExpConfig {
+	if c.Exec == nil {
+		c.Exec = exec.Default()
+	}
 	if c.Reps <= 0 {
 		c.Reps = 3
 	}
@@ -61,7 +66,7 @@ func Fig1(cfg ExpConfig) (*Table, error) {
 			return nil, err
 		}
 		b := d.MustGenerate(cfg.Seed)
-		times, err := TimeFormats(b, cfg.Reps, cfg.TrialRows, cfg.Workers, cfg.Sched, cfg.Seed)
+		times, err := TimeFormats(b, cfg.Reps, cfg.TrialRows, cfg.Exec, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("fig1 %s: %w", name, err)
 		}
@@ -96,7 +101,7 @@ func Fig2(cfg ExpConfig) (*Table, error) {
 			return nil, fmt.Errorf("fig2 ndig=%d: %w", ndig, err)
 		}
 		xs := SampleRows(m, cfg.TrialRows, cfg.Seed)
-		times = append(times, TimeSMSV(m, xs, cfg.Reps, cfg.Workers, cfg.Sched))
+		times = append(times, TimeSMSV(m, xs, cfg.Reps, cfg.Exec))
 		ndigs = append(ndigs, ndig)
 	}
 	base := times[len(times)-1] // worst case: most diagonals
@@ -127,7 +132,7 @@ func Fig3(cfg ExpConfig) (*Table, error) {
 			return nil, err
 		}
 		xs := SampleRows(m, cfg.TrialRows, cfg.Seed)
-		times = append(times, TimeSMSV(m, xs, cfg.Reps, cfg.Workers, cfg.Sched))
+		times = append(times, TimeSMSV(m, xs, cfg.Reps, cfg.Exec))
 		mdims = append(mdims, mdim)
 	}
 	base := times[len(times)-1]
@@ -250,7 +255,7 @@ func TableIII(cfg ExpConfig) (*Table, error) {
 			return nil, err
 		}
 		b := d.MustGenerate(cfg.Seed)
-		times, err := TimeFormats(b, cfg.Reps, cfg.TrialRows, cfg.Workers, cfg.Sched, cfg.Seed)
+		times, err := TimeFormats(b, cfg.Reps, cfg.TrialRows, cfg.Exec, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -329,7 +334,7 @@ func TableVI(cfg ExpConfig, policy core.Policy) (*Table, error) {
 		"connect-4":     {"DEN", "3.3x", "6.4x"},
 		"trefethen":     {"DIA", "1.7x", "4.1x"},
 	}
-	sched := core.New(core.Config{Policy: policy, Workers: cfg.Workers, Sched: cfg.Sched,
+	sched := core.New(core.Config{Policy: policy, Exec: cfg.Exec,
 		TrialRows: cfg.TrialRows, Repeats: cfg.Reps, Seed: cfg.Seed})
 	for _, name := range dataset.Table6Names {
 		d, err := dataset.ByName(name)
@@ -341,7 +346,7 @@ func TableVI(cfg ExpConfig, policy core.Policy) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table6 %s: %w", name, err)
 		}
-		times, err := TimeFormats(b, cfg.Reps, cfg.TrialRows, cfg.Workers, cfg.Sched, cfg.Seed)
+		times, err := TimeFormats(b, cfg.Reps, cfg.TrialRows, cfg.Exec, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +379,7 @@ func Fig7(cfg ExpConfig, svmCfg svm.Config) (*Table, error) {
 	cfg = cfg.Defaults()
 	t := NewTable("Figure 7 — adaptive SVM speedup over parallel-LIBSVM-style baseline",
 		"dataset", "baseline", "adaptive", "selection", "iters", "speedup")
-	sched := core.New(core.Config{Policy: core.Empirical, Workers: cfg.Workers, Sched: cfg.Sched,
+	sched := core.New(core.Config{Policy: core.Empirical, Exec: cfg.Exec,
 		TrialRows: cfg.TrialRows, Repeats: cfg.Reps, Seed: cfg.Seed})
 	for _, name := range dataset.Table6Names {
 		d, err := dataset.ByName(name)
@@ -386,14 +391,13 @@ func Fig7(cfg ExpConfig, svmCfg svm.Config) (*Table, error) {
 		y := dataset.PlantedLabels(b.MustBuild(sparse.CSR), 0.02, rng)
 
 		refCfg := reference.Config{C: svmCfg.C, Tol: svmCfg.Tol, MaxIter: svmCfg.MaxIter,
-			Kernel: svmCfg.Kernel, Workers: cfg.Workers}
+			Kernel: svmCfg.Kernel, Exec: cfg.Exec}
 		_, refStats, err := reference.Train(b, y, refCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s baseline: %w", name, err)
 		}
 		adCfg := svmCfg
-		adCfg.Workers = cfg.Workers
-		adCfg.Sched = cfg.Sched
+		adCfg.Exec = cfg.Exec
 		res, err := svm.TrainAdaptive(b, y, sched, adCfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s adaptive: %w", name, err)

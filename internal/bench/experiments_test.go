@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/svm"
 )
 
 // quickCfg keeps the experiment drivers fast enough for unit tests.
 func quickCfg() ExpConfig {
-	return ExpConfig{Workers: 1, Reps: 1, TrialRows: 1, Seed: 1, SweepN: 64}
+	return ExpConfig{Exec: exec.Serial(), Reps: 1, TrialRows: 1, Seed: 1, SweepN: 64}
 }
 
 func renderOK(t *testing.T, tbl *Table, wantRows int) {

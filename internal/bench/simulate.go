@@ -26,7 +26,7 @@ import (
 func minSerialTime(m sparse.Matrix, xs []sparse.Vector, reps int) time.Duration {
 	best := time.Duration(-1)
 	for trial := 0; trial < 3; trial++ {
-		if d := TimeSMSV(m, xs, reps, 1, sparse.SchedStatic); best < 0 || d < best {
+		if d := TimeSMSV(m, xs, reps, nil); best < 0 || d < best {
 			best = d
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -51,7 +52,7 @@ func (w Weights) of(f sparse.Format) float64 {
 // access cost from padding effects (which the cost model's byte counts
 // already capture). The imbalance coefficient keeps its default: it
 // reflects scheduling, not memory access.
-func Calibrate(workers int, sched sparse.Sched, seed int64) (Weights, error) {
+func Calibrate(ex *exec.Exec, seed int64) (Weights, error) {
 	const (
 		n       = 384
 		density = 0.25
@@ -84,10 +85,10 @@ func Calibrate(workers int, sched sparse.Sched, seed int64) (Weights, error) {
 		bytes := modelBytes(m)
 		best := time.Duration(-1)
 		for trial := 0; trial < 3; trial++ {
-			m.MulVecSparse(dst, xs[0], scratch, workers, sched) // warm-up
+			m.MulVecSparse(dst, xs[0], scratch, ex) // warm-up
 			start := time.Now()
 			for r := 0; r < reps; r++ {
-				m.MulVecSparse(dst, xs[0], scratch, workers, sched)
+				m.MulVecSparse(dst, xs[0], scratch, ex)
 			}
 			if d := time.Since(start); best < 0 || d < best {
 				best = d

@@ -22,7 +22,7 @@ func TestDefaultWeights(t *testing.T) {
 }
 
 func TestCalibrateProducesSaneWeights(t *testing.T) {
-	w, err := Calibrate(1, sparse.SchedStatic, 1)
+	w, err := Calibrate(nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestCalibrateProducesSaneWeights(t *testing.T) {
 }
 
 func TestSchedulerWithCalibratedWeights(t *testing.T) {
-	w, err := Calibrate(1, sparse.SchedStatic, 2)
+	w, err := Calibrate(nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

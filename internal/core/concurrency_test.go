@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/sparse"
+)
+
+// TestChooseEmptyBuilderReturnsTypedError covers the degenerate-matrix
+// path: a zero-value Builder has no rows, and sampling a trial row from it
+// used to panic inside rng.Intn. Choose must instead fail with
+// ErrEmptyMatrix so callers can branch on it.
+func TestChooseEmptyBuilderReturnsTypedError(t *testing.T) {
+	for _, policy := range []Policy{RuleBased, Empirical, Hybrid} {
+		s := New(Config{Policy: policy})
+		d, err := s.Choose(&sparse.Builder{})
+		if d != nil {
+			t.Fatalf("policy %v: got a decision for an empty builder", policy)
+		}
+		if !errors.Is(err, ErrEmptyMatrix) {
+			t.Fatalf("policy %v: err = %v, want ErrEmptyMatrix", policy, err)
+		}
+	}
+}
+
+// TestConcurrentChooseAndKernelsShareOneExec documents and enforces the
+// thread-safety contract of Exec: one pooled context may be shared by any
+// number of goroutines running Scheduler.Choose and SMSV kernels at once.
+// Run under -race (make test-race) this also proves the instrumentation
+// counters are race-free.
+func TestConcurrentChooseAndKernelsShareOneExec(t *testing.T) {
+	st := &exec.Stats{}
+	ex := exec.New(4, exec.Guided).WithStats(st)
+	t.Cleanup(ex.Close)
+
+	build := func(seed int64) *sparse.Builder {
+		rng := rand.New(rand.NewSource(seed))
+		b := sparse.NewBuilder(60, 40)
+		for i := 0; i < 60; i++ {
+			for j := 0; j < 40; j++ {
+				if rng.Float64() < 0.2 {
+					b.Add(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		return b
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			b := build(int64(g + 1))
+			// Half the goroutines run full scheduling decisions, half
+			// hammer the pooled SMSV kernels directly.
+			if g%2 == 0 {
+				s := New(Config{Policy: Empirical, Exec: ex, Seed: int64(g)})
+				if _, err := s.Choose(b); err != nil {
+					t.Errorf("goroutine %d: Choose: %v", g, err)
+				}
+				return
+			}
+			m := b.MustBuild(sparse.CSR)
+			x := m.(*sparse.CSRMatrix).Row(0).Clone()
+			dst := make([]float64, 60)
+			scratch := make([]float64, 40)
+			for i := 0; i < 50; i++ {
+				m.MulVecSparse(dst, x, scratch, ex)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Total().Calls == 0 {
+		t.Fatal("shared stats recorded no kernel invocations")
+	}
+}

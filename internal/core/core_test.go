@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -140,7 +141,7 @@ func TestSchedulerRuleBased(t *testing.T) {
 
 func TestSchedulerEmpiricalMeasuresAllFormats(t *testing.T) {
 	b := buildRandom(t, 200, 80, 0.15, 2)
-	s := New(Config{Policy: Empirical, Workers: 2})
+	s := New(Config{Policy: Empirical, Exec: exec.New(2, exec.Static)})
 	d, err := s.Choose(b)
 	if err != nil {
 		t.Fatal(err)

@@ -1,13 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
+
+// ErrEmptyMatrix is returned by Choose when the builder describes a
+// degenerate matrix with no rows or columns: no format can represent it and
+// no trial row can be sampled from it.
+var ErrEmptyMatrix = errors.New("core: empty matrix: builder has no rows or columns")
 
 // Policy selects how the scheduler decides.
 type Policy int
@@ -43,9 +50,10 @@ func (p Policy) String() string {
 // Config parameterizes a Scheduler. The zero value is usable: hybrid
 // policy, all cores, static scheduling, 3 trial rows, top-2 candidates.
 type Config struct {
-	Policy    Policy
-	Workers   int // parallel kernel workers; 0 = all cores
-	Sched     sparse.Sched
+	Policy Policy
+	// Exec is the execution context measurement kernels run under; nil
+	// means exec.Default() (all cores, static schedule, pooled workers).
+	Exec      *exec.Exec
 	TrialRows int   // rows sampled as x vectors per measurement; 0 = 3
 	Repeats   int   // timed repetitions per trial row; 0 = 2
 	TopK      int   // hybrid: candidates to measure; 0 = 2
@@ -61,6 +69,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Exec == nil {
+		c.Exec = exec.Default()
+	}
 	if c.TrialRows <= 0 {
 		c.TrialRows = 3
 	}
@@ -106,6 +117,9 @@ func New(cfg Config) *Scheduler {
 // Choose decides the storage format for the matrix held in b and returns
 // the decision with the matrix materialized in the chosen format.
 func (s *Scheduler) Choose(b *sparse.Builder) (*Decision, error) {
+	if rows, cols := b.Dims(); rows == 0 || cols == 0 {
+		return nil, ErrEmptyMatrix
+	}
 	// Features come cheaply from the CSR materialization, which Empirical
 	// and Hybrid need anyway as a measurement candidate.
 	csr, err := b.Build(sparse.CSR)
@@ -225,12 +239,12 @@ func (s *Scheduler) measure(m sparse.Matrix, trials []sparse.Vector) time.Durati
 	// One warm-up pass touches every stored element, faulting pages in so
 	// the timed runs measure steady-state kernel speed.
 	if len(trials) > 0 {
-		m.MulVecSparse(dst, trials[0], scratch, s.cfg.Workers, s.cfg.Sched)
+		m.MulVecSparse(dst, trials[0], scratch, s.cfg.Exec)
 	}
 	start := time.Now()
 	for _, x := range trials {
 		for r := 0; r < s.cfg.Repeats; r++ {
-			m.MulVecSparse(dst, x, scratch, s.cfg.Workers, s.cfg.Sched)
+			m.MulVecSparse(dst, x, scratch, s.cfg.Exec)
 		}
 	}
 	return time.Since(start)

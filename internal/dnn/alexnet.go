@@ -1,6 +1,10 @@
 package dnn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/exec"
+)
 
 // AlexNetCIFAR builds the CIFAR-scale adaptation of AlexNet that the
 // paper's introduction benchmarks ("using a 8-core CPUs to train AlexNet
@@ -14,7 +18,7 @@ import "math/rand"
 // scale divides the channel/neuron counts (scale=1 is the full ~2.2M
 // parameter CIFAR variant; larger scales make laptop-speed tests). Input
 // height/width must be divisible by 8.
-func AlexNetCIFAR(classes, c, h, w, scale, workers int, seed int64) *Network {
+func AlexNetCIFAR(classes, c, h, w, scale int, ex *exec.Exec, seed int64) *Network {
 	if scale < 1 {
 		scale = 1
 	}
@@ -27,26 +31,26 @@ func AlexNetCIFAR(classes, c, h, w, scale, workers int, seed int64) *Network {
 	fc := ch(512)
 	flat := c5 * (h / 8) * (w / 8)
 	return NewNetwork(
-		NewConv2D(c, c1, 3, 1, workers, rng),
+		NewConv2D(c, c1, 3, 1, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
-		NewConv2D(c1, c2, 3, 1, workers, rng),
+		NewMaxPool2D(2, ex),
+		NewConv2D(c1, c2, 3, 1, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
-		NewConv2D(c2, c3, 3, 1, workers, rng),
+		NewMaxPool2D(2, ex),
+		NewConv2D(c2, c3, 3, 1, ex, rng),
 		NewReLU(),
-		NewConv2D(c3, c4, 3, 1, workers, rng),
+		NewConv2D(c3, c4, 3, 1, ex, rng),
 		NewReLU(),
-		NewConv2D(c4, c5, 3, 1, workers, rng),
+		NewConv2D(c4, c5, 3, 1, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
+		NewMaxPool2D(2, ex),
 		NewFlatten(),
 		NewDropout(0.5, seed+1),
-		NewDense(flat, fc, workers, rng),
+		NewDense(flat, fc, ex, rng),
 		NewReLU(),
 		NewDropout(0.5, seed+2),
-		NewDense(fc, fc/2, workers, rng),
+		NewDense(fc, fc/2, ex, rng),
 		NewReLU(),
-		NewDense(fc/2, classes, workers, rng),
+		NewDense(fc/2, classes, ex, rng),
 	)
 }

@@ -3,7 +3,7 @@ package dnn
 import "testing"
 
 func TestAlexNetCIFARShapes(t *testing.T) {
-	net := AlexNetCIFAR(10, 3, 32, 32, 1, 1, 1)
+	net := AlexNetCIFAR(10, 3, 32, 32, 1, nil, 1)
 	x := NewTensor(2, 3, 32, 32)
 	SetTrainingMode(net, false)
 	logits := net.Forward(x)
@@ -20,7 +20,7 @@ func TestAlexNetCIFARTrainsScaled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := AlexNetCIFAR(d.Classes, d.C, d.H, d.W, 16, 1, 42)
+	net := AlexNetCIFAR(d.Classes, d.C, d.H, d.W, 16, nil, 42)
 	opt := NewSGD(net, 0.02, 0.9)
 	idx := make([]int, 32)
 	for epoch := 0; epoch < 50; epoch++ {
@@ -35,12 +35,12 @@ func TestAlexNetCIFARTrainsScaled(t *testing.T) {
 			opt.Step()
 		}
 		SetTrainingMode(net, false)
-		if Evaluate(net, d, 64, 1) >= 0.8 {
+		if Evaluate(net, d, 64) >= 0.8 {
 			return
 		}
 	}
 	SetTrainingMode(net, false)
-	t.Fatalf("AlexNetCIFAR/16 never reached 0.8 (final %v)", Evaluate(net, d, 64, 1))
+	t.Fatalf("AlexNetCIFAR/16 never reached 0.8 (final %v)", Evaluate(net, d, 64))
 }
 
 func TestAlexNetCIFARRejectsBadDims(t *testing.T) {
@@ -49,5 +49,5 @@ func TestAlexNetCIFARRejectsBadDims(t *testing.T) {
 			t.Fatal("indivisible dims accepted")
 		}
 	}()
-	AlexNetCIFAR(10, 3, 30, 30, 1, 1, 1)
+	AlexNetCIFAR(10, 3, 30, 30, 1, nil, 1)
 }

@@ -26,7 +26,7 @@ func TestFromMatrixBridgeTrainsOnClone(t *testing.T) {
 	if ds.NTrain()+ds.NTest() != 1000 {
 		t.Fatalf("split sizes %d/%d", ds.NTrain(), ds.NTest())
 	}
-	net := MLP(ds.Classes, ds.C*ds.H*ds.W, 32, 1, 5)
+	net := MLP(ds.Classes, ds.C*ds.H*ds.W, 32, nil, 5)
 	res, err := TrainToTarget(net, ds, TrainConfig{
 		Batch: 50, LR: 0.01, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 80, Seed: 6,
 	})

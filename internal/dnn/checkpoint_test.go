@@ -10,7 +10,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 6)
+	net := SmallConvNet(d.Classes, d.C, d.H, d.W, nil, 6)
 	// Train briefly so the weights are non-trivial.
 	opt := NewSGD(net, 0.02, 0.9)
 	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
@@ -24,7 +24,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := SaveWeights(&buf, net); err != nil {
 		t.Fatal(err)
 	}
-	restored := SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 999) // different init
+	restored := SmallConvNet(d.Classes, d.C, d.H, d.W, nil, 999) // different init
 	if err := LoadWeights(&buf, restored); err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +48,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 }
 
 func TestCheckpointShapeMismatch(t *testing.T) {
-	net := MLP(3, 16, 8, 1, 1)
+	net := MLP(3, 16, 8, nil, 1)
 	var buf bytes.Buffer
 	if err := SaveWeights(&buf, net); err != nil {
 		t.Fatal(err)
 	}
-	other := MLP(3, 16, 12, 1, 1) // different hidden width
+	other := MLP(3, 16, 12, nil, 1) // different hidden width
 	if err := LoadWeights(&buf, other); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
@@ -61,14 +61,14 @@ func TestCheckpointShapeMismatch(t *testing.T) {
 	if err := SaveWeights(&buf, net); err != nil {
 		t.Fatal(err)
 	}
-	fewer := NewNetwork(NewDense(16, 3, 1, testRand()))
+	fewer := NewNetwork(NewDense(16, 3, nil, testRand()))
 	if err := LoadWeights(&buf, fewer); err == nil {
 		t.Fatal("param-count mismatch accepted")
 	}
 }
 
 func TestCheckpointGarbageInput(t *testing.T) {
-	net := MLP(3, 16, 8, 1, 1)
+	net := MLP(3, 16, 8, nil, 1)
 	if err := LoadWeights(bytes.NewReader([]byte("not a gob stream")), net); err == nil {
 		t.Fatal("garbage accepted")
 	}

@@ -1,6 +1,10 @@
 package dnn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/exec"
+)
 
 // Cifar10FullNet builds the Caffe `cifar10_full` architecture the paper
 // uses as its DNN baseline (§IV: "Our baseline is Caffe's cifar10_full
@@ -13,7 +17,7 @@ import "math/rand"
 // scale shrinks the channel counts (scale=1 is the full model with ~89k
 // parameters; scale=4 gives 8/8/16 channels for laptop-speed tests).
 // Input height/width must be divisible by 8 (three stride-2 pools).
-func Cifar10FullNet(classes, c, h, w, scale, workers int, seed int64) *Network {
+func Cifar10FullNet(classes, c, h, w, scale int, ex *exec.Exec, seed int64) *Network {
 	if scale < 1 {
 		scale = 1
 	}
@@ -27,19 +31,19 @@ func Cifar10FullNet(classes, c, h, w, scale, workers int, seed int64) *Network {
 	flat := c3 * (h / 8) * (w / 8)
 	return NewNetwork(
 		// conv1 5x5 pad 2 → pool → relu (Caffe pools before ReLU here).
-		NewConv2D(c, c1, 5, 2, workers, rng),
-		NewMaxPool2D(2, workers),
+		NewConv2D(c, c1, 5, 2, ex, rng),
+		NewMaxPool2D(2, ex),
 		NewReLU(),
 		// conv2 5x5 pad 2 → relu → pool.
-		NewConv2D(c1, c2, 5, 2, workers, rng),
+		NewConv2D(c1, c2, 5, 2, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
+		NewMaxPool2D(2, ex),
 		// conv3 5x5 pad 2 → relu → pool.
-		NewConv2D(c2, c3, 5, 2, workers, rng),
+		NewConv2D(c2, c3, 5, 2, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
+		NewMaxPool2D(2, ex),
 		NewFlatten(),
-		NewDense(flat, classes, workers, rng),
+		NewDense(flat, classes, ex, rng),
 	)
 }
 

@@ -3,7 +3,7 @@ package dnn
 import "testing"
 
 func TestCifar10FullNetShapes(t *testing.T) {
-	net := Cifar10FullNet(10, 3, 32, 32, 1, 1, 1)
+	net := Cifar10FullNet(10, 3, 32, 32, 1, nil, 1)
 	x := NewTensor(2, 3, 32, 32)
 	logits := net.Forward(x)
 	if logits.Shape[0] != 2 || logits.Shape[1] != 10 {
@@ -17,7 +17,7 @@ func TestCifar10FullNetShapes(t *testing.T) {
 }
 
 func TestCifar10FullNetScaled(t *testing.T) {
-	net := Cifar10FullNet(4, 1, 8, 8, 4, 1, 2)
+	net := Cifar10FullNet(4, 1, 8, 8, 4, nil, 2)
 	x := NewTensor(3, 1, 8, 8)
 	logits := net.Forward(x)
 	if logits.Shape[0] != 3 || logits.Shape[1] != 4 {
@@ -31,11 +31,11 @@ func TestCifar10FullNetRejectsBadDims(t *testing.T) {
 			t.Fatal("indivisible dims accepted")
 		}
 	}()
-	Cifar10FullNet(10, 3, 30, 30, 1, 1, 1)
+	Cifar10FullNet(10, 3, 30, 30, 1, nil, 1)
 }
 
 func TestCifar10FullSolverSettings(t *testing.T) {
-	net := Cifar10FullNet(4, 1, 8, 8, 4, 1, 3)
+	net := Cifar10FullNet(4, 1, 8, 8, 4, nil, 3)
 	opt := Cifar10FullSolver(net, 100)
 	if opt.LR != 0.001 || opt.Momentum != 0.9 || opt.WeightDecay != 0.004 {
 		t.Fatalf("solver settings %+v", opt)
@@ -53,7 +53,7 @@ func TestCifar10FullTrainsOnSyntheticData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := Cifar10FullNet(d.Classes, d.C, d.H, d.W, 4, 1, 30)
+	net := Cifar10FullNet(d.Classes, d.C, d.H, d.W, 4, nil, 30)
 	res, err := TrainToTarget(net, d, TrainConfig{
 		Batch: 32, LR: 0.02, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 40, Seed: 31,
 	})

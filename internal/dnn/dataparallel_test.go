@@ -6,7 +6,7 @@ import (
 )
 
 func buildSmallNet(seed int64) *Network {
-	return MLP(3, 16, 8, 1, seed)
+	return MLP(3, 16, 8, nil, seed)
 }
 
 func TestDataParallelMatchesSerial(t *testing.T) {
@@ -102,7 +102,7 @@ func TestDataParallelTrainsToTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	build := func(seed int64) *Network { return MLP(4, 64, 32, 1, seed) }
+	build := func(seed int64) *Network { return MLP(4, 64, 32, nil, seed) }
 	dp, err := NewDataParallel(build, 4, 0.03, 0.9, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -116,11 +116,11 @@ func TestDataParallelTrainsToTarget(t *testing.T) {
 			x, y := d.Batch(idx)
 			dp.TrainStep(x, y)
 		}
-		if Evaluate(dp.Network(), d, 64, 1) >= 0.8 {
+		if Evaluate(dp.Network(), d, 64) >= 0.8 {
 			return
 		}
 	}
-	t.Fatalf("data-parallel training never reached 0.8 (final %v)", Evaluate(dp.Network(), d, 64, 1))
+	t.Fatalf("data-parallel training never reached 0.8 (final %v)", Evaluate(dp.Network(), d, 64))
 }
 
 func TestNewDataParallelValidation(t *testing.T) {
@@ -131,7 +131,7 @@ func TestNewDataParallelValidation(t *testing.T) {
 	counter := int64(0)
 	bad := func(seed int64) *Network {
 		counter++
-		return MLP(3, 16, 8, 1, seed+counter)
+		return MLP(3, 16, 8, nil, seed+counter)
 	}
 	if _, err := NewDataParallel(bad, 2, 0.1, 0, 1); err == nil {
 		t.Fatal("non-deterministic builder accepted")

@@ -14,7 +14,7 @@ func ExampleTrainToTarget() {
 	if err != nil {
 		panic(err)
 	}
-	net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 2)
+	net := dnn.SmallConvNet(d.Classes, d.C, d.H, d.W, nil, 2)
 	res, err := dnn.TrainToTarget(net, d, dnn.TrainConfig{
 		Batch: 32, LR: 0.03, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 30, Seed: 3,
 	})
@@ -29,7 +29,7 @@ func ExampleTrainToTarget() {
 // The momentum update follows the paper's Equations (8)-(9) exactly:
 // V₁ = 0.5·0 − 0.1·2 = −0.2, W₁ = 1 + V₁ = 0.8.
 func ExampleSGD_Step() {
-	net := dnn.NewNetwork(dnn.NewDense(1, 1, 1, rand.New(rand.NewSource(1))))
+	net := dnn.NewNetwork(dnn.NewDense(1, 1, nil, rand.New(rand.NewSource(1))))
 	p := net.Params()[0]
 	p.W.Data[0] = 1.0
 	opt := dnn.NewSGD(net, 0.1, 0.5)
@@ -46,7 +46,7 @@ func ExampleNewDataParallel() {
 	if err != nil {
 		panic(err)
 	}
-	build := func(seed int64) *dnn.Network { return dnn.MLP(3, 16, 8, 1, seed) }
+	build := func(seed int64) *dnn.Network { return dnn.MLP(3, 16, 8, nil, seed) }
 	dp, err := dnn.NewDataParallel(build, 4, 0.05, 0.9, 6)
 	if err != nil {
 		panic(err)

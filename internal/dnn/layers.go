@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 )
 
 // Param is one learnable tensor and its gradient accumulator.
@@ -27,13 +27,15 @@ type Layer interface {
 type Dense struct {
 	In, Out int
 	W, B    Param
-	workers int
+	ex      *exec.Exec
 	x       *Tensor // cached input
 }
 
-// NewDense creates a Dense layer with He initialization.
-func NewDense(in, out, workers int, rng *rand.Rand) *Dense {
-	d := &Dense{In: in, Out: out, workers: workers}
+// NewDense creates a Dense layer with He initialization; ex is the
+// execution context its matmuls and pointwise loops run under (nil =
+// serial).
+func NewDense(in, out int, ex *exec.Exec, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, ex: ex}
 	w := NewTensor(in, out)
 	w.RandInit(in, rng)
 	d.W = Param{W: w, Grad: NewTensor(in, out)}
@@ -50,10 +52,10 @@ func (d *Dense) Params() []Param { return []Param{d.W, d.B} }
 // Forward computes x·W + b.
 func (d *Dense) Forward(x *Tensor) *Tensor {
 	d.x = x
-	out := MatMul(x, d.W.W, d.workers)
+	out := MatMul(x, d.W.W, d.ex)
 	b := d.B.W.Data
 	rows := out.Shape[0]
-	parallel.ForRange(rows, d.workers, parallel.Static, func(lo, hi int) {
+	d.ex.ForRange(rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := out.Data[i*d.Out : (i+1)*d.Out]
 			for j := range row {
@@ -67,7 +69,7 @@ func (d *Dense) Forward(x *Tensor) *Tensor {
 // Backward accumulates ∂L/∂W = xᵀ·dout, ∂L/∂b = Σ rows(dout), and returns
 // ∂L/∂x = dout·Wᵀ.
 func (d *Dense) Backward(dout *Tensor) *Tensor {
-	gw := MatMulATB(d.x, dout, d.workers)
+	gw := MatMulATB(d.x, dout, d.ex)
 	for i, g := range gw.Data {
 		d.W.Grad.Data[i] += g
 	}
@@ -78,7 +80,7 @@ func (d *Dense) Backward(dout *Tensor) *Tensor {
 			d.B.Grad.Data[j] += g
 		}
 	}
-	return MatMulABT(dout, d.W.W, d.workers)
+	return MatMulABT(dout, d.W.W, d.ex)
 }
 
 // ReLU is the rectifier activation.
@@ -131,23 +133,23 @@ func (r *ReLU) Backward(dout *Tensor) *Tensor {
 type Conv2D struct {
 	InC, OutC, K, Pad, Stride int
 	W, B                      Param
-	workers                   int
+	ex                        *exec.Exec
 	x                         *Tensor
 	cols                      *Tensor // cached im2col matrix
 	inH, inW                  int
 }
 
 // NewConv2D creates a stride-1 conv layer with K×K kernels.
-func NewConv2D(inC, outC, k, pad, workers int, rng *rand.Rand) *Conv2D {
-	return NewConv2DStride(inC, outC, k, pad, 1, workers, rng)
+func NewConv2D(inC, outC, k, pad int, ex *exec.Exec, rng *rand.Rand) *Conv2D {
+	return NewConv2DStride(inC, outC, k, pad, 1, ex, rng)
 }
 
 // NewConv2DStride creates a conv layer with an explicit stride.
-func NewConv2DStride(inC, outC, k, pad, stride, workers int, rng *rand.Rand) *Conv2D {
+func NewConv2DStride(inC, outC, k, pad, stride int, ex *exec.Exec, rng *rand.Rand) *Conv2D {
 	if stride < 1 {
 		panic("dnn: conv stride must be >= 1")
 	}
-	c := &Conv2D{InC: inC, OutC: outC, K: k, Pad: pad, Stride: stride, workers: workers}
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Pad: pad, Stride: stride, ex: ex}
 	w := NewTensor(outC, inC*k*k)
 	w.RandInit(inC*k*k, rng)
 	c.W = Param{W: w, Grad: NewTensor(outC, inC*k*k)}
@@ -174,7 +176,7 @@ func (c *Conv2D) im2col(x *Tensor) *Tensor {
 	oh, ow := c.outDims(h, w)
 	cols := NewTensor(b*oh*ow, ch*c.K*c.K)
 	k := c.K
-	parallel.ForRange(b, c.workers, parallel.Static, func(lo, hi int) {
+	c.ex.ForRange(b, func(lo, hi int) {
 		for n := lo; n < hi; n++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
@@ -211,11 +213,11 @@ func (c *Conv2D) Forward(x *Tensor) *Tensor {
 	oh, ow := c.outDims(c.inH, c.inW)
 	c.cols = c.im2col(x)
 	// [B·OH·OW, CKK] · [CKK, OutC] = [B·OH·OW, OutC]
-	prod := MatMulABT(c.cols, c.W.W, c.workers)
+	prod := MatMulABT(c.cols, c.W.W, c.ex)
 	bvec := c.B.W.Data
 	out := NewTensor(x.Shape[0], c.OutC, oh, ow)
 	bn := x.Shape[0]
-	parallel.ForRange(bn, c.workers, parallel.Static, func(lo, hi int) {
+	c.ex.ForRange(bn, func(lo, hi int) {
 		for n := lo; n < hi; n++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
@@ -245,7 +247,7 @@ func (c *Conv2D) Backward(dout *Tensor) *Tensor {
 		}
 	}
 	// ∂W = dprodᵀ · cols  → [OutC, CKK]
-	gw := MatMulATB(dprod, c.cols, c.workers)
+	gw := MatMulATB(dprod, c.cols, c.ex)
 	for i, g := range gw.Data {
 		c.W.Grad.Data[i] += g
 	}
@@ -256,10 +258,10 @@ func (c *Conv2D) Backward(dout *Tensor) *Tensor {
 		}
 	}
 	// ∂cols = dprod · W → [B·OH·OW, CKK], then col2im scatter-add.
-	dcols := MatMul(dprod, c.W.W, c.workers)
+	dcols := MatMul(dprod, c.W.W, c.ex)
 	dx := NewTensor(c.x.Shape...)
 	ch, h, w, k := c.InC, c.inH, c.inW, c.K
-	parallel.ForRange(bn, c.workers, parallel.Static, func(lo, hi int) {
+	c.ex.ForRange(bn, func(lo, hi int) {
 		for n := lo; n < hi; n++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
@@ -287,14 +289,14 @@ func (c *Conv2D) Backward(dout *Tensor) *Tensor {
 // MaxPool2D is non-overlapping max pooling with a square window.
 type MaxPool2D struct {
 	K       int
-	workers int
+	ex      *exec.Exec
 	argmax  []int
 	inShape []int
 }
 
 // NewMaxPool2D creates a pooling layer with window K×K, stride K.
-func NewMaxPool2D(k, workers int) *MaxPool2D {
-	return &MaxPool2D{K: k, workers: workers}
+func NewMaxPool2D(k int, ex *exec.Exec) *MaxPool2D {
+	return &MaxPool2D{K: k, ex: ex}
 }
 
 // Name identifies the layer.
@@ -316,7 +318,7 @@ func (p *MaxPool2D) Forward(x *Tensor) *Tensor {
 		p.argmax = make([]int, out.Len())
 	}
 	p.argmax = p.argmax[:out.Len()]
-	parallel.ForRange(b, p.workers, parallel.Static, func(lo, hi int) {
+	p.ex.ForRange(b, func(lo, hi int) {
 		for n := lo; n < hi; n++ {
 			for cc := 0; cc < c; cc++ {
 				for oy := 0; oy < oh; oy++ {

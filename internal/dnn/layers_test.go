@@ -74,21 +74,21 @@ func sampleIndices(n, k int) []int {
 
 func TestDenseGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	layer := NewDense(6, 4, 1, rng)
+	layer := NewDense(6, 4, nil, rng)
 	x := randTensor(rng, 3, 6)
 	numericalGradCheck(t, layer, x, 1e-5)
 }
 
 func TestConvGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	layer := NewConv2D(2, 3, 3, 1, 1, rng)
+	layer := NewConv2D(2, 3, 3, 1, nil, rng)
 	x := randTensor(rng, 2, 2, 5, 5)
 	numericalGradCheck(t, layer, x, 1e-4)
 }
 
 func TestConvNoPadGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	layer := NewConv2D(1, 2, 3, 0, 1, rng)
+	layer := NewConv2D(1, 2, 3, 0, nil, rng)
 	x := randTensor(rng, 1, 1, 6, 6)
 	numericalGradCheck(t, layer, x, 1e-4)
 }
@@ -113,7 +113,7 @@ func TestReLUForwardBackward(t *testing.T) {
 }
 
 func TestMaxPoolForwardBackward(t *testing.T) {
-	p := NewMaxPool2D(2, 1)
+	p := NewMaxPool2D(2, nil)
 	x := NewTensorFrom([]float64{
 		1, 2, 5, 6,
 		3, 4, 7, 8,
@@ -147,7 +147,7 @@ func TestMaxPoolRejectsIndivisible(t *testing.T) {
 			t.Fatal("no panic for indivisible pooling")
 		}
 	}()
-	NewMaxPool2D(3, 1).Forward(NewTensor(1, 1, 4, 4))
+	NewMaxPool2D(3, nil).Forward(NewTensor(1, 1, 4, 4))
 }
 
 func TestFlattenRoundTrip(t *testing.T) {
@@ -215,11 +215,11 @@ func TestNetworkEndToEndGradient(t *testing.T) {
 	// differences of the actual loss.
 	rng := rand.New(rand.NewSource(6))
 	net := NewNetwork(
-		NewConv2D(1, 2, 3, 1, 1, rng),
+		NewConv2D(1, 2, 3, 1, nil, rng),
 		NewReLU(),
-		NewMaxPool2D(2, 1),
+		NewMaxPool2D(2, nil),
 		NewFlatten(),
-		NewDense(2*2*2, 3, 1, rng),
+		NewDense(2*2*2, 3, nil, rng),
 	)
 	x := randTensor(rng, 2, 1, 4, 4)
 	labels := []int{0, 2}
@@ -247,7 +247,7 @@ func TestNetworkEndToEndGradient(t *testing.T) {
 
 func TestConvStrideGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	layer := NewConv2DStride(2, 3, 3, 1, 2, 1, rng)
+	layer := NewConv2DStride(2, 3, 3, 1, 2, nil, rng)
 	x := randTensor(rng, 2, 2, 7, 7)
 	numericalGradCheck(t, layer, x, 1e-4)
 }
@@ -256,7 +256,7 @@ func TestConvStrideOutputDims(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	// AlexNet-style stem: 11x11 kernel, stride 4, pad 2 on 32x32 input:
 	// out = (32+4-11)/4+1 = 7.
-	layer := NewConv2DStride(3, 4, 11, 2, 4, 1, rng)
+	layer := NewConv2DStride(3, 4, 11, 2, 4, nil, rng)
 	out := layer.Forward(randTensor(rng, 1, 3, 32, 32))
 	if out.Shape[2] != 7 || out.Shape[3] != 7 {
 		t.Fatalf("output %v, want 7x7 spatial", out.Shape)
@@ -267,8 +267,8 @@ func TestConvStrideMatchesSubsampledStride1(t *testing.T) {
 	// With no padding, stride-2 convolution output equals the stride-1
 	// output sampled at even positions.
 	rng := rand.New(rand.NewSource(9))
-	s1 := NewConv2DStride(1, 1, 3, 0, 1, 1, rng)
-	s2 := NewConv2DStride(1, 1, 3, 0, 2, 1, rng)
+	s1 := NewConv2DStride(1, 1, 3, 0, 1, nil, rng)
+	s2 := NewConv2DStride(1, 1, 3, 0, 2, nil, rng)
 	copy(s2.W.W.Data, s1.W.W.Data)
 	copy(s2.B.W.Data, s1.B.W.Data)
 	x := randTensor(rng, 1, 1, 9, 9)
@@ -291,5 +291,5 @@ func TestConvStrideRejectsZero(t *testing.T) {
 			t.Fatal("stride 0 accepted")
 		}
 	}()
-	NewConv2DStride(1, 1, 3, 0, 0, 1, testRand())
+	NewConv2DStride(1, 1, 3, 0, 0, nil, testRand())
 }

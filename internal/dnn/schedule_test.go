@@ -48,7 +48,7 @@ func TestInvLR(t *testing.T) {
 
 func TestSGDScheduleApplied(t *testing.T) {
 	rng := testRand()
-	net := NewNetwork(NewDense(1, 1, 1, rng))
+	net := NewNetwork(NewDense(1, 1, nil, rng))
 	p := net.Params()[0]
 	p.W.Data[0] = 1.0
 	opt := NewSGD(net, 0.1, 0)
@@ -70,7 +70,7 @@ func TestSGDScheduleApplied(t *testing.T) {
 
 func TestSGDWeightDecay(t *testing.T) {
 	rng := testRand()
-	net := NewNetwork(NewDense(1, 1, 1, rng))
+	net := NewNetwork(NewDense(1, 1, nil, rng))
 	p := net.Params()[0]
 	p.W.Data[0] = 2.0
 	opt := NewSGD(net, 0.1, 0)
@@ -139,7 +139,7 @@ func TestDropoutRejectsBadRate(t *testing.T) {
 
 func TestSetTrainingMode(t *testing.T) {
 	rng := testRand()
-	net := NewNetwork(NewDense(4, 4, 1, rng), NewDropout(0.5, 2), NewDense(4, 2, 1, rng))
+	net := NewNetwork(NewDense(4, 4, nil, rng), NewDropout(0.5, 2), NewDense(4, 2, nil, rng))
 	SetTrainingMode(net, false)
 	x := NewTensor(1, 4)
 	for i := range x.Data {
@@ -162,7 +162,7 @@ func TestStepDecayStabilizesTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(sched LRSchedule) float64 {
-		net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 20)
+		net := MLP(d.Classes, d.C*d.H*d.W, 32, nil, 20)
 		opt := NewSGD(net, 0.08, 0.9)
 		opt.Schedule = sched
 		idx := make([]int, 32)
@@ -179,7 +179,7 @@ func TestStepDecayStabilizesTraining(t *testing.T) {
 				it++
 			}
 		}
-		return Evaluate(net, d, 128, 1)
+		return Evaluate(net, d, 128)
 	}
 	fixed := run(FixedLR{})
 	stepped := run(StepLR{Step: 100, Gamma: 0.3})

@@ -12,7 +12,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 )
 
 // Tensor is a dense row-major n-dimensional array.
@@ -87,14 +87,16 @@ func (t *Tensor) RandInit(fanIn int, rng *rand.Rand) {
 }
 
 // MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
-// parallelized over rows of A. Panics on shape mismatch.
-func MatMul(a, b *Tensor, workers int) *Tensor {
+// parallelized over rows of A under ex (nil = serial). Panics on shape
+// mismatch.
+func MatMul(a, b *Tensor, ex *exec.Exec) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("dnn: matmul %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := NewTensor(m, n)
-	parallel.ForRange(m, workers, parallel.Static, func(lo, hi int) {
+	t0 := ex.Begin()
+	ex.ForRange(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			crow := c.Data[i*n : (i+1)*n]
@@ -110,18 +112,20 @@ func MatMul(a, b *Tensor, workers int) *Tensor {
 			}
 		}
 	})
+	ex.End(exec.KindMatMul, int64(m)*int64(k)*int64(n), t0)
 	return c
 }
 
 // MatMulATB computes C = Aᵀ·B for A [m,k], B [m,n] → C [k,n], used in
 // weight-gradient computation.
-func MatMulATB(a, b *Tensor, workers int) *Tensor {
+func MatMulATB(a, b *Tensor, ex *exec.Exec) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("dnn: matmulATB %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := NewTensor(k, n)
-	parallel.ForRange(k, workers, parallel.Static, func(lo, hi int) {
+	t0 := ex.Begin()
+	ex.ForRange(k, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
 			crow := c.Data[p*n : (p+1)*n]
 			for i := 0; i < m; i++ {
@@ -136,18 +140,20 @@ func MatMulATB(a, b *Tensor, workers int) *Tensor {
 			}
 		}
 	})
+	ex.End(exec.KindMatMul, int64(m)*int64(k)*int64(n), t0)
 	return c
 }
 
 // MatMulABT computes C = A·Bᵀ for A [m,k], B [n,k] → C [m,n], used in
 // input-gradient computation.
-func MatMulABT(a, b *Tensor, workers int) *Tensor {
+func MatMulABT(a, b *Tensor, ex *exec.Exec) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("dnn: matmulABT %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	c := NewTensor(m, n)
-	parallel.ForRange(m, workers, parallel.Static, func(lo, hi int) {
+	t0 := ex.Begin()
+	ex.ForRange(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
 			crow := c.Data[i*n : (i+1)*n]
@@ -161,5 +167,6 @@ func MatMulABT(a, b *Tensor, workers int) *Tensor {
 			}
 		}
 	})
+	ex.End(exec.KindMatMul, int64(m)*int64(k)*int64(n), t0)
 	return c
 }

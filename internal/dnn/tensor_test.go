@@ -48,7 +48,7 @@ func TestMatMulVariants(t *testing.T) {
 		a := randTensor(rng, m, k)
 		b := randTensor(rng, k, n)
 		want := refMatMul(a, b)
-		if got := MatMul(a, b, 3); !tensorsClose(got, want, 1e-12) {
+		if got := MatMul(a, b, texec(t, 3)); !tensorsClose(got, want, 1e-12) {
 			t.Fatalf("MatMul mismatch at %dx%dx%d", m, k, n)
 		}
 		// ATB: Aᵀ·B with A [m,k] — build At explicitly and compare.
@@ -59,7 +59,7 @@ func TestMatMulVariants(t *testing.T) {
 			}
 		}
 		b2 := randTensor(rng, m, n)
-		if got := MatMulATB(a, b2, 2); !tensorsClose(got, refMatMul(at, b2), 1e-12) {
+		if got := MatMulATB(a, b2, texec(t, 2)); !tensorsClose(got, refMatMul(at, b2), 1e-12) {
 			t.Fatalf("MatMulATB mismatch")
 		}
 		// ABT: A·Bᵀ with B [n,k].
@@ -70,7 +70,7 @@ func TestMatMulVariants(t *testing.T) {
 				b3t.Data[p*n+j] = b3.Data[j*k+p]
 			}
 		}
-		if got := MatMulABT(a, b3, 2); !tensorsClose(got, refMatMul(a, b3t), 1e-12) {
+		if got := MatMulABT(a, b3, texec(t, 2)); !tensorsClose(got, refMatMul(a, b3t), 1e-12) {
 			t.Fatalf("MatMulABT mismatch")
 		}
 	}
@@ -88,9 +88,9 @@ func TestMatMulShapePanics(t *testing.T) {
 	}
 	a := NewTensor(2, 3)
 	b := NewTensor(4, 5)
-	mustPanic("matmul", func() { MatMul(a, b, 1) })
-	mustPanic("atb", func() { MatMulATB(a, b, 1) })
-	mustPanic("abt", func() { MatMulABT(a, b, 1) })
+	mustPanic("matmul", func() { MatMul(a, b, nil) })
+	mustPanic("atb", func() { MatMulATB(a, b, nil) })
+	mustPanic("abt", func() { MatMulABT(a, b, nil) })
 	mustPanic("reshape", func() { a.Reshape(7) })
 	mustPanic("newtensor", func() { NewTensor(0, 3) })
 	mustPanic("from", func() { NewTensorFrom(make([]float64, 5), 2, 3) })

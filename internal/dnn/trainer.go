@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/exec"
 )
 
 // TrainConfig drives a time-to-accuracy training run.
@@ -14,7 +16,6 @@ type TrainConfig struct {
 	TargetAcc float64 // stop when test accuracy reaches this; 0 means run MaxEpochs
 	MaxEpochs int     // hard cap
 	EvalEvery int     // evaluate test accuracy every this many iterations; 0 = once per epoch
-	Workers   int
 	Seed      int64
 }
 
@@ -38,41 +39,42 @@ type AccPoint struct {
 
 // SmallConvNet builds a scaled-down cifar10_full-style network for the
 // given input geometry: conv→relu→pool→conv→relu→pool→dense→relu→dense.
-func SmallConvNet(classes, c, h, w, workers int, seed int64) *Network {
+func SmallConvNet(classes, c, h, w int, ex *exec.Exec, seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	f1, f2 := 8, 16
 	// Two stride-2 pools shrink H and W by 4 in total.
 	flat := f2 * (h / 4) * (w / 4)
 	return NewNetwork(
-		NewConv2D(c, f1, 3, 1, workers, rng),
+		NewConv2D(c, f1, 3, 1, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
-		NewConv2D(f1, f2, 3, 1, workers, rng),
+		NewMaxPool2D(2, ex),
+		NewConv2D(f1, f2, 3, 1, ex, rng),
 		NewReLU(),
-		NewMaxPool2D(2, workers),
+		NewMaxPool2D(2, ex),
 		NewFlatten(),
-		NewDense(flat, 32, workers, rng),
+		NewDense(flat, 32, ex, rng),
 		NewReLU(),
-		NewDense(32, classes, workers, rng),
+		NewDense(32, classes, ex, rng),
 	)
 }
 
 // MLP builds a plain two-hidden-layer perceptron over flattened input.
-func MLP(classes, inFeatures, hidden, workers int, seed int64) *Network {
+func MLP(classes, inFeatures, hidden int, ex *exec.Exec, seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	return NewNetwork(
 		NewFlatten(),
-		NewDense(inFeatures, hidden, workers, rng),
+		NewDense(inFeatures, hidden, ex, rng),
 		NewReLU(),
-		NewDense(hidden, hidden/2, workers, rng),
+		NewDense(hidden, hidden/2, ex, rng),
 		NewReLU(),
-		NewDense(hidden/2, classes, workers, rng),
+		NewDense(hidden/2, classes, ex, rng),
 	)
 }
 
-// Evaluate computes test accuracy in mini-batches. Dropout layers are
-// switched to inference mode for the duration and restored afterwards.
-func Evaluate(net *Network, d *Dataset, batch, workers int) float64 {
+// Evaluate computes test accuracy in mini-batches; the network's own
+// execution context drives the layer kernels. Dropout layers are switched
+// to inference mode for the duration and restored afterwards.
+func Evaluate(net *Network, d *Dataset, batch int) float64 {
 	SetTrainingMode(net, false)
 	defer SetTrainingMode(net, true)
 	if batch <= 0 {
@@ -137,7 +139,7 @@ func TrainToTarget(net *Network, d *Dataset, cfg TrainConfig) (TrainResult, erro
 		opt.Step()
 		res.Iterations = it + 1
 		if (it+1)%evalEvery == 0 || it+1 == maxIters {
-			acc := Evaluate(net, d, 256, cfg.Workers)
+			acc := Evaluate(net, d, 256)
 			res.AccTrace = append(res.AccTrace, AccPoint{Iteration: it + 1, Accuracy: acc})
 			res.FinalAcc = acc
 			if cfg.TargetAcc > 0 && acc >= cfg.TargetAcc {
@@ -149,7 +151,7 @@ func TrainToTarget(net *Network, d *Dataset, cfg TrainConfig) (TrainResult, erro
 	res.Epochs = float64(res.Iterations) / float64(itersPerEpoch)
 	res.Elapsed = time.Since(start)
 	if res.FinalAcc == 0 && len(res.AccTrace) == 0 {
-		res.FinalAcc = Evaluate(net, d, 256, cfg.Workers)
+		res.FinalAcc = Evaluate(net, d, 256)
 	}
 	return res, nil
 }

@@ -61,7 +61,7 @@ func TestSyntheticCIFARDeterministic(t *testing.T) {
 
 func TestMLPReachesTarget(t *testing.T) {
 	d := smallDataset(t, 0.8, 2)
-	net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 3)
+	net := MLP(d.Classes, d.C*d.H*d.W, 32, nil, 3)
 	res, err := TrainToTarget(net, d, TrainConfig{
 		Batch: 32, LR: 0.05, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 40, Seed: 4,
 	})
@@ -78,7 +78,7 @@ func TestMLPReachesTarget(t *testing.T) {
 
 func TestConvNetReachesTarget(t *testing.T) {
 	d := smallDataset(t, 1.2, 5)
-	net := SmallConvNet(d.Classes, d.C, d.H, d.W, 1, 6)
+	net := SmallConvNet(d.Classes, d.C, d.H, d.W, nil, 6)
 	res, err := TrainToTarget(net, d, TrainConfig{
 		Batch: 32, LR: 0.03, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 30, Seed: 7,
 	})
@@ -96,7 +96,7 @@ func TestConvNetReachesTarget(t *testing.T) {
 func TestMomentumAcceleratesConvergence(t *testing.T) {
 	d := smallDataset(t, 0.8, 8)
 	run := func(mu float64) int {
-		net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 9)
+		net := MLP(d.Classes, d.C*d.H*d.W, 32, nil, 9)
 		res, err := TrainToTarget(net, d, TrainConfig{
 			Batch: 32, LR: 0.02, Momentum: mu, TargetAcc: 0.8, MaxEpochs: 60,
 			EvalEvery: 4, Seed: 10,
@@ -121,7 +121,7 @@ func TestMomentumAcceleratesConvergence(t *testing.T) {
 func TestLargerBatchFewerIterations(t *testing.T) {
 	d := smallDataset(t, 1.8, 11)
 	run := func(batch int, lr float64) int {
-		net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 12)
+		net := MLP(d.Classes, d.C*d.H*d.W, 32, nil, 12)
 		res, err := TrainToTarget(net, d, TrainConfig{
 			Batch: batch, LR: lr, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 200,
 			EvalEvery: 1, Seed: 13,
@@ -145,7 +145,7 @@ func TestLargerBatchFewerIterations(t *testing.T) {
 // excessive learning rate fails to reach the target.
 func TestTooLargeLRDiverges(t *testing.T) {
 	d := smallDataset(t, 0.8, 14)
-	net := MLP(d.Classes, d.C*d.H*d.W, 32, 1, 15)
+	net := MLP(d.Classes, d.C*d.H*d.W, 32, nil, 15)
 	res, err := TrainToTarget(net, d, TrainConfig{
 		Batch: 32, LR: 50.0, Momentum: 0.9, TargetAcc: 0.8, MaxEpochs: 10, Seed: 16,
 	})
@@ -159,7 +159,7 @@ func TestTooLargeLRDiverges(t *testing.T) {
 
 func TestTrainToTargetValidation(t *testing.T) {
 	d := smallDataset(t, 1, 17)
-	net := MLP(d.Classes, d.C*d.H*d.W, 16, 1, 18)
+	net := MLP(d.Classes, d.C*d.H*d.W, 16, nil, 18)
 	bad := []TrainConfig{
 		{Batch: 0, LR: 0.1, Momentum: 0.9},
 		{Batch: 1 << 20, LR: 0.1, Momentum: 0.9},
@@ -178,7 +178,7 @@ func TestSGDMomentumUpdateRule(t *testing.T) {
 	// One parameter, known gradient sequence: verify Equations (8)-(9)
 	// verbatim: V1 = µ·0 − η·g1; W1 = W0 + V1; V2 = µ·V1 − η·g2; ...
 	rng := testRand()
-	net := NewNetwork(NewDense(1, 1, 1, rng))
+	net := NewNetwork(NewDense(1, 1, nil, rng))
 	p := net.Params()[0]
 	p.W.Data[0] = 1.0
 	opt := NewSGD(net, 0.1, 0.5)
@@ -201,7 +201,7 @@ func TestSGDMomentumUpdateRule(t *testing.T) {
 
 func TestNetworkNumParams(t *testing.T) {
 	rng := testRand()
-	net := NewNetwork(NewDense(10, 5, 1, rng), NewReLU(), NewDense(5, 2, 1, rng))
+	net := NewNetwork(NewDense(10, 5, nil, rng), NewReLU(), NewDense(5, 2, nil, rng))
 	// 10*5+5 + 5*2+2 = 67
 	if got := net.NumParams(); got != 67 {
 		t.Fatalf("NumParams = %d, want 67", got)

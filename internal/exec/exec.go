@@ -1,0 +1,302 @@
+// Package exec bundles a persistent worker pool, a scheduling policy, and
+// optional instrumentation counters into one execution context — the *Exec —
+// that every compute kernel in this repository takes in place of a bare
+// (workers, sched) pair. The context carries three things:
+//
+//   - a parallel.Pool of long-lived workers, so per-kernel goroutine spawn
+//     and WaitGroup teardown (which dominate SMO's millions of small SMSV
+//     products) are paid once per Exec instead of once per call;
+//   - the schedule (Static or Guided) the kernels partition work with;
+//   - optional Stats counters (kernel invocations, stored elements touched,
+//     cumulative per-kind time) that are atomic, allocation-free, and
+//     nil-safe so the default path costs nothing.
+//
+// A nil *Exec is valid everywhere and means serial execution with no
+// instrumentation; exec.Default() is the shared all-cores pooled context the
+// config layers fall back to. An Exec is safe for concurrent use by multiple
+// goroutines, including nested submissions from inside a kernel body.
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Sched selects how loops are partitioned among workers. It aliases
+// parallel.Schedule so kernel callers only need to import exec.
+type Sched = parallel.Schedule
+
+// Scheduling policies, re-exported from package parallel.
+const (
+	// Static divides the iteration space into one contiguous chunk per
+	// worker: lowest overhead, balanced only for uniform iteration cost.
+	Static = parallel.Static
+	// Guided hands out shrinking chunks from a shared counter, like OpenMP
+	// schedule(guided), balancing irregular row lengths.
+	Guided = parallel.Guided
+)
+
+// Exec is an execution context for compute kernels. Construct one with New,
+// Serial, or Default; the zero value and nil both mean serial execution.
+type Exec struct {
+	pool    *parallel.Pool
+	workers int
+	sched   Sched
+	stats   *Stats
+	owned   bool // pool created by New; Close stops it
+}
+
+// New creates a pooled execution context with the given worker count
+// (workers <= 0 means all cores, i.e. parallel.NumWorkers()) and schedule.
+// Call Close when done to release the pool's goroutines.
+func New(workers int, sched Sched) *Exec {
+	if workers <= 0 {
+		workers = parallel.NumWorkers()
+	}
+	e := &Exec{workers: workers, sched: sched}
+	if workers > 1 {
+		e.pool = parallel.NewPool(workers)
+		e.owned = true
+	}
+	return e
+}
+
+// Serial returns a context that runs every kernel inline on the calling
+// goroutine. Equivalent to passing a nil *Exec, but usable where a non-nil
+// value reads better.
+func Serial() *Exec { return &Exec{workers: 1} }
+
+// NewSpawning creates a context that spawns fresh goroutines on every call
+// instead of keeping a pool — the pre-pool execution model, retained as the
+// baseline for benchmarks that quantify what the persistent pool saves. It
+// needs no Close.
+func NewSpawning(workers int, sched Sched) *Exec {
+	if workers <= 0 {
+		workers = parallel.NumWorkers()
+	}
+	return &Exec{workers: workers, sched: sched}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultExec *Exec
+)
+
+// Default returns the shared all-cores static-schedule context. It is
+// created on first use, never closed, and safe for concurrent use; config
+// layers map a nil Exec to it so the zero-value configuration keeps the old
+// "workers 0 = all cores" behaviour.
+func Default() *Exec {
+	defaultOnce.Do(func() { defaultExec = New(0, Static) })
+	return defaultExec
+}
+
+// Close releases the pool owned by this context. Contexts derived with
+// WithSched/WithStats share the parent's pool and their Close is a no-op,
+// as is Close on nil, Serial, or Default contexts.
+func (e *Exec) Close() {
+	if e != nil && e.owned {
+		e.pool.Close()
+	}
+}
+
+// Workers reports the worker count; 1 for a nil context.
+func (e *Exec) Workers() int {
+	if e == nil || e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
+// Sched reports the scheduling policy; Static for a nil context.
+func (e *Exec) Sched() Sched {
+	if e == nil {
+		return Static
+	}
+	return e.sched
+}
+
+// WithSched returns a context identical to e but using schedule s. The
+// result shares e's pool and stats; e may be nil.
+func (e *Exec) WithSched(s Sched) *Exec {
+	if e == nil {
+		return &Exec{workers: 1, sched: s}
+	}
+	d := *e
+	d.sched = s
+	d.owned = false
+	return &d
+}
+
+// WithStats returns a context identical to e but recording into st (nil
+// detaches instrumentation). The result shares e's pool; e may be nil.
+func (e *Exec) WithStats(st *Stats) *Exec {
+	if e == nil {
+		return &Exec{workers: 1, stats: st}
+	}
+	d := *e
+	d.stats = st
+	d.owned = false
+	return &d
+}
+
+// Stats returns the attached counters, or nil when instrumentation is off.
+func (e *Exec) Stats() *Stats {
+	if e == nil {
+		return nil
+	}
+	return e.stats
+}
+
+// Tracking reports whether instrumentation counters are attached. Kernels
+// use it to skip work (like counting touched elements) that only feeds the
+// counters.
+func (e *Exec) Tracking() bool { return e != nil && e.stats != nil }
+
+// ForRange runs body over contiguous sub-ranges [lo, hi) of [0, n) using
+// the context's workers and schedule, blocking until all iterations
+// complete. Serial contexts run body(0, n) inline.
+func (e *Exec) ForRange(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if e == nil || e.workers == 1 || n == 1 {
+		body(0, n)
+		return
+	}
+	if e.pool != nil {
+		e.pool.ForRange(n, e.sched, body)
+		return
+	}
+	parallel.ForRange(n, e.workers, e.sched, body)
+}
+
+// For runs body(i) for every i in [0, n), like ForRange with single-index
+// granularity.
+func (e *Exec) For(n int, body func(i int)) {
+	e.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Parts returns the partition count kernels should size per-worker scratch
+// for when processing n items: min(Workers, n), at least 1. Pair it with
+// ForParts and parallel.SplitRange.
+func (e *Exec) Parts(n int) int {
+	p := e.Workers()
+	if n >= 1 && p > n {
+		p = n
+	}
+	return p
+}
+
+// ForParts runs body(w) exactly once for each w in [0, parts), in parallel
+// when the context has a pool. It is the building block for kernels that
+// accumulate into per-partition scratch (COO fix-ups, CSC partial outputs,
+// fused SMO updates): distinct w values may run concurrently, so body must
+// only write state indexed by w.
+func (e *Exec) ForParts(parts int, body func(w int)) {
+	if parts <= 0 {
+		return
+	}
+	if e == nil || e.workers == 1 || parts == 1 {
+		for w := 0; w < parts; w++ {
+			body(w)
+		}
+		return
+	}
+	if e.pool != nil {
+		// Static: each part is one chunk, so parts map 1:1 onto claims.
+		e.pool.For(parts, parallel.Static, body)
+		return
+	}
+	parallel.For(parts, e.workers, parallel.Static, body)
+}
+
+// Sum computes the sum of f(i) over [0, n). Partials accumulate
+// per-partition and merge in partition order, so the result is
+// deterministic for a fixed worker count.
+func (e *Exec) Sum(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := e.Parts(n)
+	if p == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	partial := make([]float64, p)
+	e.ForParts(p, func(w int) {
+		lo, hi := parallel.SplitRange(n, p, w)
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[w] = s
+	})
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// ArgMin returns the index and value of the minimum of value(i) over the
+// i in [0, n) for which ok(i) is true (ok nil means all qualify). Ties
+// break toward the smallest index, matching a serial scan.
+func (e *Exec) ArgMin(n int, ok func(i int) bool, value func(i int) float64) parallel.ArgExtreme {
+	return e.argExtreme(n, ok, value, true)
+}
+
+// ArgMax is the maximizing counterpart of ArgMin.
+func (e *Exec) ArgMax(n int, ok func(i int) bool, value func(i int) float64) parallel.ArgExtreme {
+	return e.argExtreme(n, ok, value, false)
+}
+
+func (e *Exec) argExtreme(n int, ok func(i int) bool, value func(i int) float64, wantMin bool) parallel.ArgExtreme {
+	if n <= 0 {
+		return parallel.ArgExtreme{Index: -1}
+	}
+	scan := func(lo, hi int) parallel.ArgExtreme {
+		best := parallel.ArgExtreme{Index: -1}
+		for i := lo; i < hi; i++ {
+			if ok != nil && !ok(i) {
+				continue
+			}
+			v := value(i)
+			if best.Index == -1 || (wantMin && v < best.Value) || (!wantMin && v > best.Value) {
+				best = parallel.ArgExtreme{Index: i, Value: v}
+			}
+		}
+		return best
+	}
+	p := e.Parts(n)
+	if p == 1 {
+		return scan(0, n)
+	}
+	partial := make([]parallel.ArgExtreme, p)
+	e.ForParts(p, func(w int) {
+		lo, hi := parallel.SplitRange(n, p, w)
+		partial[w] = scan(lo, hi)
+	})
+	// Partials are merged in ascending index order and replaced only on a
+	// strictly better value, keeping the smallest-index tie-break.
+	best := parallel.ArgExtreme{Index: -1}
+	for _, cand := range partial {
+		if cand.Index == -1 {
+			continue
+		}
+		if best.Index == -1 ||
+			(wantMin && cand.Value < best.Value) ||
+			(!wantMin && cand.Value > best.Value) {
+			best = cand
+		}
+	}
+	return best
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilExecIsSerialAndSafe(t *testing.T) {
+	var e *Exec
+	if e.Workers() != 1 || e.Sched() != Static || e.Tracking() || e.Stats() != nil {
+		t.Fatal("nil Exec must read as serial, static, untracked")
+	}
+	count := 0
+	e.For(7, func(i int) { count++ })
+	e.ForRange(5, func(lo, hi int) { count += hi - lo })
+	e.ForParts(3, func(w int) { count++ })
+	if count != 7+5+3 {
+		t.Fatalf("nil Exec ran %d iterations, want 15", count)
+	}
+	// Begin/End on nil must not touch the clock or panic.
+	start := e.Begin()
+	if !start.IsZero() {
+		t.Fatal("nil Exec Begin must return the zero Time")
+	}
+	e.End(KindCSR, 10, start)
+	e.Close()
+}
+
+func TestExecForRangeCoversAll(t *testing.T) {
+	for _, sched := range []Sched{Static, Guided} {
+		e := New(4, sched)
+		for _, n := range []int{0, 1, 3, 100, 2047} {
+			seen := make([]atomic.Int32, max(n, 1))
+			e.ForRange(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("sched=%v n=%d: index %d visited %d times", sched, n, i, got)
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestExecForPartsRunsEachOnce(t *testing.T) {
+	e := New(4, Static)
+	defer e.Close()
+	for _, parts := range []int{1, 2, 4, 9} {
+		seen := make([]atomic.Int32, parts)
+		e.ForParts(parts, func(w int) { seen[w].Add(1) })
+		for w := range seen {
+			if got := seen[w].Load(); got != 1 {
+				t.Fatalf("parts=%d: part %d ran %d times", parts, w, got)
+			}
+		}
+	}
+}
+
+func TestExecReductionsMatchSerial(t *testing.T) {
+	e := New(4, Static)
+	defer e.Close()
+	n := 1000
+	val := func(i int) float64 { return float64((i*2654435761)%977) - 488 }
+	ok := func(i int) bool { return i%3 != 0 }
+
+	var s *Exec // serial reference
+	if got, want := e.Sum(n, val), s.Sum(n, val); got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got, want := e.ArgMin(n, ok, val), s.ArgMin(n, ok, val); got != want {
+		t.Fatalf("ArgMin = %+v, want %+v", got, want)
+	}
+	if got, want := e.ArgMax(n, ok, val), s.ArgMax(n, ok, val); got != want {
+		t.Fatalf("ArgMax = %+v, want %+v", got, want)
+	}
+	if got := e.ArgMin(0, nil, val); got.Index != -1 {
+		t.Fatalf("empty ArgMin = %+v, want Index -1", got)
+	}
+}
+
+func TestStatsCountersAccumulate(t *testing.T) {
+	st := &Stats{}
+	e := New(2, Static).WithStats(st)
+	defer e.Close()
+	if !e.Tracking() {
+		t.Fatal("WithStats must enable tracking")
+	}
+	for i := 0; i < 3; i++ {
+		start := e.Begin()
+		if start.IsZero() {
+			t.Fatal("Begin with stats must return a real time")
+		}
+		e.End(KindELL, 40, start)
+	}
+	snap := st.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != KindELL || snap[0].Calls != 3 || snap[0].Elements != 120 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if tot := st.Total(); tot.Calls != 3 || tot.Elements != 120 {
+		t.Fatalf("total = %+v", tot)
+	}
+	st.Reset()
+	if len(st.Snapshot()) != 0 {
+		t.Fatal("Reset must zero the counters")
+	}
+}
+
+func TestStatsConcurrentUpdates(t *testing.T) {
+	st := &Stats{}
+	e := Default().WithStats(st)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			k := Kind(g % int(numKinds))
+			for i := 0; i < per; i++ {
+				e.End(k, 5, time.Now())
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tot := st.Total(); tot.Calls != goroutines*per || tot.Elements != goroutines*per*5 {
+		t.Fatalf("total = %+v, want %d calls", tot, goroutines*per)
+	}
+}
+
+func TestWithSchedSharesPool(t *testing.T) {
+	e := New(4, Static)
+	defer e.Close()
+	g := e.WithSched(Guided)
+	if g.Sched() != Guided || g.Workers() != 4 {
+		t.Fatalf("derived ctx = %d workers sched %v", g.Workers(), g.Sched())
+	}
+	g.Close() // must not close the shared pool
+	var n atomic.Int32
+	e.For(100, func(i int) { n.Add(1) })
+	if n.Load() != 100 {
+		t.Fatal("parent pool must survive derived Close")
+	}
+}
+
+func TestDefaultIsSharedAndPooled(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default must return one shared context")
+	}
+	if a.Workers() < 1 {
+		t.Fatalf("Default workers = %d", a.Workers())
+	}
+}

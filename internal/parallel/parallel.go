@@ -41,9 +41,20 @@ func (s Schedule) String() string {
 	}
 }
 
-// DefaultWorkers is the worker count used when a Pool or For call is given
-// a non-positive worker count. It is GOMAXPROCS at package init.
-var DefaultWorkers = runtime.GOMAXPROCS(0)
+// DefaultWorkers, when positive, overrides the worker count used when a
+// Pool or For call is given a non-positive worker count. When zero (the
+// default) the effective count is resolved to runtime.GOMAXPROCS(0) at
+// call time, so runtime changes to GOMAXPROCS are honored.
+var DefaultWorkers int
+
+// NumWorkers returns the effective default worker count: DefaultWorkers if
+// positive, otherwise GOMAXPROCS at the time of the call.
+func NumWorkers() int {
+	if DefaultWorkers > 0 {
+		return DefaultWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // minGuidedChunk is the smallest chunk Guided scheduling will hand out.
 // Chosen so the atomic counter is not contended for fine-grained loops.
@@ -69,7 +80,7 @@ func ForRange(n, p int, sched Schedule, body func(lo, hi int)) {
 		return
 	}
 	if p <= 0 {
-		p = DefaultWorkers
+		p = NumWorkers()
 	}
 	if p > n {
 		p = n

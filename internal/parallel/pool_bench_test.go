@@ -1,0 +1,41 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPoolVsSpawn compares pooled dispatch against per-call goroutine
+// spawning on the small-n ForRange loops that dominate SMO training, where
+// each kernel body is only a few microseconds of work. The pooled variant
+// must win on small n — that gap is the motivation for Pool.
+func BenchmarkPoolVsSpawn(b *testing.B) {
+	work := func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i) * 1.0000001
+		}
+		sink = s
+	}
+	for _, n := range []int{256, 1024, 8192, 65536} {
+		for _, workers := range []int{2, 4} {
+			b.Run(fmt.Sprintf("spawn/n=%d/p=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ForRange(n, workers, Static, work)
+				}
+			})
+			b.Run(fmt.Sprintf("pool/n=%d/p=%d", n, workers), func(b *testing.B) {
+				p := NewPool(workers)
+				defer p.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.ForRange(n, Static, work)
+				}
+			})
+		}
+	}
+}
+
+var sink float64

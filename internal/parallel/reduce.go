@@ -10,7 +10,7 @@ func SumFloat64(n, p int, f func(i int) float64) float64 {
 		return 0
 	}
 	if p <= 0 {
-		p = DefaultWorkers
+		p = NumWorkers()
 	}
 	if p > n {
 		p = n
@@ -68,7 +68,7 @@ func argExtreme(n, p int, ok func(i int) bool, value func(i int) float64, wantMi
 		return ArgExtreme{Index: -1}
 	}
 	if p <= 0 {
-		p = DefaultWorkers
+		p = NumWorkers()
 	}
 	if p > n {
 		p = n

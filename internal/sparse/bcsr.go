@@ -1,6 +1,6 @@
 package sparse
 
-import "repro/internal/parallel"
+import "repro/internal/exec"
 
 // defaultBlock is the register-blocking factor used when BCSR is built via
 // Builder.Build; 4×4 is OSKI's most common profitable block on x86.
@@ -118,10 +118,11 @@ func (m *BCSRMatrix) RowTo(dst Vector, i int) Vector {
 
 // MulVecSparse computes dst = A·x block-row-parallel, streaming every
 // stored block slot (fill-in included).
-func (m *BCSRMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (m *BCSRMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
 	b := m.b
-	parallel.ForRange(m.brows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.brows, func(lo, hi int) {
 		for br := lo; br < hi; br++ {
 			rowBase := br * b
 			rowsHere := min(b, m.rows-rowBase)
@@ -143,6 +144,7 @@ func (m *BCSRMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wo
 		}
 	})
 	x.GatherFrom(scratch)
+	ex.End(exec.KindBCSR, m.StoredElements(), t)
 }
 
 // StoredElements returns stored block slots + block indices + pointers,

@@ -53,6 +53,10 @@ func (b *Builder) AddRow(row int, v Vector) {
 // Len reports the number of triplets added so far (before dedup).
 func (b *Builder) Len() int { return len(b.r) }
 
+// Dims reports the matrix dimensions the builder was created with. A
+// zero-value Builder reports 0×0, which Build and the scheduler reject.
+func (b *Builder) Dims() (rows, cols int) { return b.rows, b.cols }
+
 // canonical sorts triplets row-major, merges duplicates, drops zeros, and
 // returns the cleaned parallel slices. The builder is left untouched so it
 // can be materialized into several formats.

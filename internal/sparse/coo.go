@@ -3,6 +3,7 @@ package sparse
 import (
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/parallel"
 )
 
@@ -54,7 +55,8 @@ func (m *COOMatrix) RowTo(dst Vector, i int) Vector {
 // worker owns a contiguous triplet range; contributions to the boundary
 // rows shared with a neighbouring worker are accumulated separately and
 // merged serially, so no atomics are needed and results are deterministic.
-func (m *COOMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (m *COOMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
 	for i := range dst {
 		dst[i] = 0
@@ -62,30 +64,26 @@ func (m *COOMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 	n := len(m.val)
 	if n == 0 {
 		x.GatherFrom(scratch)
+		ex.End(exec.KindCOO, 0, t)
 		return
 	}
-	p := workers
-	if p <= 0 {
-		p = parallel.DefaultWorkers
-	}
-	if p > n {
-		p = n
-	}
+	p := ex.Parts(n)
 	if p == 1 {
 		for k := 0; k < n; k++ {
 			dst[m.row[k]] += m.val[k] * scratch[m.col[k]]
 		}
 		x.GatherFrom(scratch)
+		ex.End(exec.KindCOO, m.StoredElements(), t)
 		return
 	}
-	// fixups[w] holds worker w's contribution to its first and last rows,
-	// which may be shared with neighbours.
+	// fixups[w] holds partition w's contribution to its first and last
+	// rows, which may be shared with neighbours.
 	type edge struct {
 		firstRow, lastRow int32
 		firstSum, lastSum float64
 	}
 	fixups := make([]edge, p)
-	parallel.For(p, p, parallel.Static, func(w int) {
+	ex.ForParts(p, func(w int) {
 		lo, hi := parallel.SplitRange(n, p, w)
 		if lo >= hi {
 			fixups[w] = edge{firstRow: -1, lastRow: -1}
@@ -122,6 +120,7 @@ func (m *COOMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 		}
 	}
 	x.GatherFrom(scratch)
+	ex.End(exec.KindCOO, m.StoredElements(), t)
 }
 
 // StoredElements returns 3·nnz per Table II (row, column and value arrays).

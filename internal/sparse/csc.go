@@ -3,6 +3,7 @@ package sparse
 import (
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/parallel"
 )
 
@@ -73,23 +74,20 @@ func (m *CSCMatrix) RowTo(dst Vector, i int) Vector {
 }
 
 // MulVecSparse computes dst = A·x column-wise: only columns with a nonzero
-// x entry are touched. Columns are distributed over workers with per-worker
-// partial outputs merged serially, keeping the result deterministic.
-func (m *CSCMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+// x entry are touched. Columns are distributed over the context's workers
+// with per-partition partial outputs merged serially, keeping the result
+// deterministic.
+func (m *CSCMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	for i := range dst {
 		dst[i] = 0
 	}
 	nx := len(x.Index)
 	if nx == 0 {
+		ex.End(exec.KindCSC, 0, t)
 		return
 	}
-	p := workers
-	if p <= 0 {
-		p = parallel.DefaultWorkers
-	}
-	if p > nx {
-		p = nx
-	}
+	p := ex.Parts(nx)
 	if p == 1 {
 		for k, j := range x.Index {
 			xv := x.Value[k]
@@ -97,10 +95,13 @@ func (m *CSCMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 				dst[m.idx[q]] += m.val[q] * xv
 			}
 		}
+		if ex.Tracking() {
+			ex.End(exec.KindCSC, m.touched(x), t)
+		}
 		return
 	}
 	partial := make([][]float64, p)
-	parallel.For(p, p, parallel.Static, func(w int) {
+	ex.ForParts(p, func(w int) {
 		lo, hi := parallel.SplitRange(nx, p, w)
 		acc := make([]float64, m.rows)
 		for k := lo; k < hi; k++ {
@@ -119,6 +120,20 @@ func (m *CSCMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 			}
 		}
 	}
+	if ex.Tracking() {
+		ex.End(exec.KindCSC, m.touched(x), t)
+	}
+}
+
+// touched counts the stored elements the CSC kernel actually reads for
+// input x — the sum of the touched columns' lengths, since only columns
+// with a nonzero x entry are visited. Used only for instrumentation.
+func (m *CSCMatrix) touched(x Vector) int64 {
+	var n int64
+	for _, j := range x.Index {
+		n += m.ptr[j+1] - m.ptr[j]
+	}
+	return n
 }
 
 // StoredElements returns 2·nnz + N (value and row-index arrays plus the

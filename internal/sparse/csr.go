@@ -1,6 +1,6 @@
 package sparse
 
-import "repro/internal/parallel"
+import "repro/internal/exec"
 
 // CSRMatrix is compressed sparse row storage: a row-pointer array plus
 // column-index and value arrays of length nnz. CSR is LIBSVM's fixed
@@ -63,9 +63,10 @@ func (m *CSRMatrix) RowNNZ(i int) int { return int(m.ptr[i+1] - m.ptr[i]) }
 // MulVecSparse computes dst = A·x by scattering x and gather-dotting each
 // row: work Θ(nnz), but rows are the parallel unit, so skewed row lengths
 // unbalance static schedules (the paper's CSR-vs-COO vdim effect).
-func (m *CSRMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (m *CSRMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var sum float64
 			for k := m.ptr[i]; k < m.ptr[i+1]; k++ {
@@ -75,6 +76,7 @@ func (m *CSRMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 		}
 	})
 	x.GatherFrom(scratch)
+	ex.End(exec.KindCSR, m.StoredElements(), t)
 }
 
 // MulVecRange computes dst[i] = (A·x)[i] for rows i in [lo, hi) only, with

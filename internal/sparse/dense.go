@@ -1,6 +1,6 @@
 package sparse
 
-import "repro/internal/parallel"
+import "repro/internal/exec"
 
 // Dense is row-major dense (DEN) storage. It stores all M·N elements, so
 // its multiply kernel always performs M·N multiply-adds — the behaviour
@@ -67,10 +67,11 @@ func (d *Dense) RowTo(dst Vector, i int) Vector {
 // x beyond the scatter: each row performs a full N-length dot against the
 // scattered image, so work is Θ(M·N) regardless of nnz — exactly the DEN
 // cost model of Table II.
-func (d *Dense) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (d *Dense) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
 	cols := d.cols
-	parallel.ForRange(d.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(d.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := d.data[i*cols : (i+1)*cols]
 			var sum float64
@@ -81,6 +82,7 @@ func (d *Dense) MulVecSparse(dst []float64, x Vector, scratch []float64, workers
 		}
 	})
 	x.GatherFrom(scratch)
+	ex.End(exec.KindDEN, d.StoredElements(), t)
 }
 
 // StoredElements returns M·N per Table II.

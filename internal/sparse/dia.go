@@ -3,7 +3,7 @@ package sparse
 import (
 	"fmt"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 )
 
 // maxDIAElements caps the padded DIA data array so a pathological matrix
@@ -107,9 +107,10 @@ func (m *DIAMatrix) RowTo(dst Vector, i int) Vector {
 // Θ(M·ndig) including padding, matching the DIA cost model that drives
 // Figure 2, while banded matrices stream at dense-lane speed (no index
 // loads at all, DIA's advantage on trefethen-like data).
-func (m *DIAMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (m *DIAMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = 0
 		}
@@ -139,6 +140,7 @@ func (m *DIAMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 		}
 	})
 	x.GatherFrom(scratch)
+	ex.End(exec.KindDIA, m.StoredElements(), t)
 }
 
 // StoredElements returns ndig·(min(M,N)+1): each lane's padded data plus

@@ -1,6 +1,6 @@
 package sparse
 
-import "repro/internal/parallel"
+import "repro/internal/exec"
 
 // ELLMatrix is ELLPACK/ITPACK storage: every row is padded to the length of
 // the longest row (mdim), giving two M×mdim arrays. Padded slots carry a
@@ -98,12 +98,13 @@ func (m *ELLMatrix) RowTo(dst Vector, i int) Vector {
 
 // MulVecSparse computes dst = A·x streaming all rows*width slots, padding
 // included — the Θ(M·mdim) cost model of Table II.
-func (m *ELLMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (m *ELLMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
 	if m.colMajor {
 		// Slot-major: parallelize over rows; each row strides through the
 		// array, touching one element per slot lane.
-		parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		ex.ForRange(m.rows, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var sum float64
 				for s := 0; s < m.width; s++ {
@@ -114,7 +115,7 @@ func (m *ELLMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 			}
 		})
 	} else {
-		parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+		ex.ForRange(m.rows, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				base := i * m.width
 				var sum float64
@@ -126,6 +127,7 @@ func (m *ELLMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 		})
 	}
 	x.GatherFrom(scratch)
+	ex.End(exec.KindELL, m.StoredElements(), t)
 }
 
 // StoredElements returns 2·M·mdim per Table II (index and value arrays,

@@ -23,7 +23,7 @@ func Example() {
 	x := sparse.NewVectorDense([]float64{1, 0, 1, 1})
 	dst := make([]float64, 3)
 	scratch := make([]float64, 4)
-	csr.MulVecSparse(dst, x, scratch, 1, sparse.SchedStatic)
+	csr.MulVecSparse(dst, x, scratch, nil)
 	fmt.Println("A·x =", dst)
 	// Output:
 	// CSR 4 nonzeros

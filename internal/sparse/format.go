@@ -12,7 +12,11 @@
 // format-dependent performance gaps (Figures 1–4, Tables II–III).
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
 
 // Format identifies one of the supported matrix storage formats.
 type Format int
@@ -88,9 +92,10 @@ type Matrix interface {
 	RowTo(dst Vector, i int) Vector
 	// MulVecSparse computes dst = A·x for a sparse vector x whose dense
 	// image has been scattered into scratch (len == cols). dst must have
-	// len == rows. workers/sched control parallelism as in package
-	// parallel. The kernel touches every *stored* element of A.
-	MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched)
+	// len == rows. ex supplies workers, schedule, and optional counters; a
+	// nil ex runs the kernel serially. The kernel touches every *stored*
+	// element of A.
+	MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec)
 	// StoredElements returns how many scalar/index slots the format keeps,
 	// in the units of the paper's Table II (padding included).
 	StoredElements() int64
@@ -98,15 +103,24 @@ type Matrix interface {
 	StorageBytes() int64
 }
 
-// Sched re-exports the scheduling choice so callers of sparse don't need to
-// import internal/parallel directly.
-type Sched int
-
-// Scheduling policies for the parallel kernels.
-const (
-	// SchedStatic partitions rows (or nonzeros) into equal contiguous chunks.
-	SchedStatic Sched = iota
-	// SchedGuided hands out shrinking chunks from a shared counter,
-	// balancing irregular row lengths.
-	SchedGuided
-)
+// KindOf maps a storage format to its instrumentation counter kind.
+func KindOf(f Format) exec.Kind {
+	switch f {
+	case DEN:
+		return exec.KindDEN
+	case CSR:
+		return exec.KindCSR
+	case COO:
+		return exec.KindCOO
+	case ELL:
+		return exec.KindELL
+	case DIA:
+		return exec.KindDIA
+	case CSC:
+		return exec.KindCSC
+	case BCSR:
+		return exec.KindBCSR
+	default:
+		return exec.KindDEN
+	}
+}

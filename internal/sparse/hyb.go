@@ -1,6 +1,10 @@
 package sparse
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/exec"
+)
 
 // HYBMatrix is the hybrid ELL+COO format: rows are stored in an ELL part
 // up to a width threshold, and the overflow of longer rows spills into a
@@ -107,19 +111,26 @@ func appendRow(dst Vector, coo *COOMatrix, i int) Vector {
 }
 
 // MulVecSparse computes dst = A·x as the ELL product plus the COO overflow
-// product.
-func (m *HYBMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
-	m.ell.MulVecSparse(dst, x, scratch, workers, sched)
-	if m.coo.NNZ() == 0 {
-		return
+// product. The composite records one KindHYB invocation; the inner part
+// kernels run with instrumentation detached so the work is not counted
+// twice.
+func (m *HYBMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
+	inner := ex
+	if ex.Tracking() {
+		inner = ex.WithStats(nil)
 	}
-	spill := make([]float64, m.rows)
-	m.coo.MulVecSparse(spill, x, scratch, workers, sched)
-	for i, s := range spill {
-		if s != 0 {
-			dst[i] += s
+	m.ell.MulVecSparse(dst, x, scratch, inner)
+	if m.coo.NNZ() != 0 {
+		spill := make([]float64, m.rows)
+		m.coo.MulVecSparse(spill, x, scratch, inner)
+		for i, s := range spill {
+			if s != 0 {
+				dst[i] += s
+			}
 		}
 	}
+	ex.End(exec.KindHYB, m.StoredElements(), t)
 }
 
 // StoredElements returns the sum of the parts' Table II footprints.

@@ -3,6 +3,8 @@ package sparse
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/exec"
 )
 
 func TestHYBPreservesContent(t *testing.T) {
@@ -67,7 +69,7 @@ func TestHYBMulVecSparseMatchesReference(t *testing.T) {
 	want := refMulVecSparse(dense, 35, 25, x)
 	dst := make([]float64, 35)
 	scratch := make([]float64, 25)
-	h.MulVecSparse(dst, x, scratch, 3, SchedStatic)
+	h.MulVecSparse(dst, x, scratch, texec(t, 3, exec.Static))
 	if !almostEqual(dst, want, 1e-12) {
 		t.Fatalf("HYB SMSV mismatch:\n got %v\nwant %v", dst, want)
 	}
@@ -88,7 +90,7 @@ func TestMulVecDenseMatchesSparseAllFormats(t *testing.T) {
 	xs := NewVectorDense(x)
 	scratch := make([]float64, 22)
 	want := make([]float64, 30)
-	b.MustBuild(DEN).MulVecSparse(want, xs, scratch, 1, SchedStatic)
+	b.MustBuild(DEN).MulVecSparse(want, xs, scratch, nil)
 
 	mats := []Matrix{}
 	for _, f := range AllFormats {
@@ -106,7 +108,7 @@ func TestMulVecDenseMatchesSparseAllFormats(t *testing.T) {
 		}
 		for _, workers := range []int{1, 3} {
 			dst := make([]float64, 30)
-			dm.MulVecDense(dst, x, workers, SchedStatic)
+			dm.MulVecDense(dst, x, texec(t, workers, exec.Static))
 			if !almostEqual(dst, want, 1e-12) {
 				t.Fatalf("%T w=%d: MulVecDense mismatch", m, workers)
 			}
@@ -124,7 +126,7 @@ func TestMulVecDenseWithZeroVector(t *testing.T) {
 		for i := range dst {
 			dst[i] = 5 // stale values the kernel must clear
 		}
-		m.(DenseMultiplier).MulVecDense(dst, x, 2, SchedGuided)
+		m.(DenseMultiplier).MulVecDense(dst, x, texec(t, 2, exec.Guided))
 		for i, d := range dst {
 			if d != 0 {
 				t.Fatalf("%v: dst[%d]=%v for zero x", f, i, d)

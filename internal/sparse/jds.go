@@ -3,7 +3,7 @@ package sparse
 import (
 	"sort"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 )
 
 // JDSMatrix is jagged diagonal storage (JAD/JDS): rows are sorted by
@@ -113,10 +113,11 @@ func (m *JDSMatrix) RowTo(dst Vector, i int) Vector {
 // order, each one a dense run over the row prefix, with rows partitioned
 // across workers via the permutation. Work is exactly Θ(nnz) — JDS's
 // advantage over padded ELL on skewed matrices.
-func (m *JDSMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, workers int, sched Sched) {
+func (m *JDSMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x.ScatterInto(scratch)
 	nd := m.NumJaggedDiagonals()
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.rows, func(lo, hi int) {
 		// Worker owns jagged positions [lo, hi): contiguous rows of the
 		// permutation, so no write races on dst.
 		for k := lo; k < hi; k++ {
@@ -136,13 +137,14 @@ func (m *JDSMatrix) MulVecSparse(dst []float64, x Vector, scratch []float64, wor
 		}
 	})
 	x.GatherFrom(scratch)
+	ex.End(exec.KindJDS, m.StoredElements(), t)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (m *JDSMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+func (m *JDSMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
 	scratch := make([]float64, m.cols)
 	copy(scratch, x)
-	m.MulVecSparse(dst, Vector{Dim: m.cols}, scratch, workers, sched)
+	m.MulVecSparse(dst, Vector{Dim: m.cols}, scratch, ex)
 }
 
 // StoredElements returns 2·nnz + M + ndiag (values, indices, permutation

@@ -3,6 +3,8 @@ package sparse
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/exec"
 )
 
 func TestJDSPreservesContent(t *testing.T) {
@@ -61,7 +63,7 @@ func TestJDSMulVecMatchesReference(t *testing.T) {
 	scratch := make([]float64, 30)
 	for _, workers := range []int{1, 2, 5} {
 		dst := make([]float64, 40)
-		j.MulVecSparse(dst, x, scratch, workers, SchedStatic)
+		j.MulVecSparse(dst, x, scratch, texec(t, workers, exec.Static))
 		if !almostEqual(dst, want, 1e-12) {
 			t.Fatalf("w=%d: JDS SMSV mismatch", workers)
 		}
@@ -74,7 +76,7 @@ func TestJDSMulVecMatchesReference(t *testing.T) {
 	// Dense-vector kernel agrees too.
 	xd := x.Dense()
 	dst := make([]float64, 40)
-	j.MulVecDense(dst, xd, 2, SchedStatic)
+	j.MulVecDense(dst, xd, texec(t, 2, exec.Static))
 	if !almostEqual(dst, want, 1e-12) {
 		t.Fatal("JDS MulVecDense mismatch")
 	}
@@ -118,7 +120,7 @@ func TestJDSEmptyRows(t *testing.T) {
 	dst := make([]float64, 6)
 	scratch := make([]float64, 4)
 	x := Vector{Index: []int32{1}, Value: []float64{2}, Dim: 4}
-	j.MulVecSparse(dst, x, scratch, 3, SchedStatic)
+	j.MulVecSparse(dst, x, scratch, texec(t, 3, exec.Static))
 	for i, d := range dst {
 		want := 0.0
 		if i == 2 {

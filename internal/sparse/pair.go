@@ -1,6 +1,6 @@
 package sparse
 
-import "repro/internal/parallel"
+import "repro/internal/exec"
 
 // PairMultiplier is implemented by formats whose kernels can compute two
 // SMSV products in a single pass over the stored elements. SMO needs
@@ -9,15 +9,18 @@ import "repro/internal/parallel"
 // (Equation 7), nearly a 2× iteration speedup.
 type PairMultiplier interface {
 	// MulVecSparse2 computes dst1 = A·x1 and dst2 = A·x2 with one sweep
-	// over A. scratch1 and scratch2 are distinct cols-length workspaces.
-	MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, workers int, sched Sched)
+	// over A. scratch1 and scratch2 are distinct cols-length workspaces;
+	// ex supplies workers, schedule, and optional counters (recorded under
+	// KindPair, since the fused sweep reads A once for both products).
+	MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, ex *exec.Exec)
 }
 
 // MulVecSparse2 computes both products in one pass over the CSR arrays.
-func (m *CSRMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, workers int, sched Sched) {
+func (m *CSRMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x1.ScatterInto(scratch1)
 	x2.ScatterInto(scratch2)
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s1, s2 float64
 			for k := m.ptr[i]; k < m.ptr[i+1]; k++ {
@@ -32,14 +35,16 @@ func (m *CSRMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1,
 	})
 	x1.GatherFrom(scratch1)
 	x2.GatherFrom(scratch2)
+	ex.End(exec.KindPair, m.StoredElements(), t)
 }
 
 // MulVecSparse2 computes both products in one pass over the dense array.
-func (d *Dense) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, workers int, sched Sched) {
+func (d *Dense) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x1.ScatterInto(scratch1)
 	x2.ScatterInto(scratch2)
 	cols := d.cols
-	parallel.ForRange(d.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(d.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := d.data[i*cols : (i+1)*cols]
 			var s1, s2 float64
@@ -53,13 +58,15 @@ func (d *Dense) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scr
 	})
 	x1.GatherFrom(scratch1)
 	x2.GatherFrom(scratch2)
+	ex.End(exec.KindPair, d.StoredElements(), t)
 }
 
 // MulVecSparse2 computes both products in one pass over the ELL slots.
-func (m *ELLMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, workers int, sched Sched) {
+func (m *ELLMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x1.ScatterInto(scratch1)
 	x2.ScatterInto(scratch2)
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s1, s2 float64
 			if m.colMajor {
@@ -85,13 +92,15 @@ func (m *ELLMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1,
 	})
 	x1.GatherFrom(scratch1)
 	x2.GatherFrom(scratch2)
+	ex.End(exec.KindPair, m.StoredElements(), t)
 }
 
 // MulVecSparse2 computes both products in one pass over the DIA lanes.
-func (m *DIAMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, workers int, sched Sched) {
+func (m *DIAMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	x1.ScatterInto(scratch1)
 	x2.ScatterInto(scratch2)
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst1[i] = 0
 			dst2[i] = 0
@@ -125,16 +134,17 @@ func (m *DIAMatrix) MulVecSparse2(dst1, dst2 []float64, x1, x2 Vector, scratch1,
 	})
 	x1.GatherFrom(scratch1)
 	x2.GatherFrom(scratch2)
+	ex.End(exec.KindPair, m.StoredElements(), t)
 }
 
 // PairMulVecSparse computes dst1 = A·x1 and dst2 = A·x2, using the fused
 // single-pass kernel when the format provides one and two independent
 // passes otherwise.
-func PairMulVecSparse(m Matrix, dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, workers int, sched Sched) {
+func PairMulVecSparse(m Matrix, dst1, dst2 []float64, x1, x2 Vector, scratch1, scratch2 []float64, ex *exec.Exec) {
 	if pm, ok := m.(PairMultiplier); ok {
-		pm.MulVecSparse2(dst1, dst2, x1, x2, scratch1, scratch2, workers, sched)
+		pm.MulVecSparse2(dst1, dst2, x1, x2, scratch1, scratch2, ex)
 		return
 	}
-	m.MulVecSparse(dst1, x1, scratch1, workers, sched)
-	m.MulVecSparse(dst2, x2, scratch2, workers, sched)
+	m.MulVecSparse(dst1, x1, scratch1, ex)
+	m.MulVecSparse(dst2, x2, scratch2, ex)
 }

@@ -3,6 +3,8 @@ package sparse
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/exec"
 )
 
 func TestPairMulVecMatchesSingle(t *testing.T) {
@@ -27,11 +29,11 @@ func TestPairMulVecMatchesSingle(t *testing.T) {
 		}
 		want1 := make([]float64, 40)
 		want2 := make([]float64, 40)
-		m.MulVecSparse(want1, x1, s1, 1, SchedStatic)
-		m.MulVecSparse(want2, x2, s1, 1, SchedStatic)
+		m.MulVecSparse(want1, x1, s1, nil)
+		m.MulVecSparse(want2, x2, s1, nil)
 		got1 := make([]float64, 40)
 		got2 := make([]float64, 40)
-		PairMulVecSparse(m, got1, got2, x1, x2, s1, s2, 2, SchedStatic)
+		PairMulVecSparse(m, got1, got2, x1, x2, s1, s2, texec(t, 2, exec.Static))
 		if !almostEqual(got1, want1, 1e-13) || !almostEqual(got2, want2, 1e-13) {
 			t.Fatalf("%v: paired products differ from singles", f)
 		}

@@ -5,7 +5,18 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/exec"
 )
+
+// texec returns a pooled execution context that is closed when the test
+// finishes.
+func texec(t testing.TB, workers int, sched exec.Sched) *exec.Exec {
+	t.Helper()
+	e := exec.New(workers, sched)
+	t.Cleanup(e.Close)
+	return e
+}
 
 // randomBuilder fills an rows×cols builder with approximately density*rows*cols
 // nonzeros drawn from rng.
@@ -187,9 +198,9 @@ func TestMulVecSparseMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 2, 5} {
-				for _, sched := range []Sched{SchedStatic, SchedGuided} {
+				for _, sched := range []exec.Sched{exec.Static, exec.Guided} {
 					dst := make([]float64, tc.rows)
-					m.MulVecSparse(dst, x, scratch, workers, sched)
+					m.MulVecSparse(dst, x, scratch, texec(t, workers, sched))
 					if !almostEqual(dst, want, 1e-12) {
 						t.Fatalf("%v %dx%d w=%d s=%d: mismatch\n got %v\nwant %v",
 							f, tc.rows, tc.cols, workers, sched, dst, want)
@@ -216,7 +227,7 @@ func TestMulVecSparseEmptyX(t *testing.T) {
 		for i := range dst {
 			dst[i] = 99 // stale garbage the kernel must overwrite
 		}
-		m.MulVecSparse(dst, Vector{Dim: 10}, scratch, 4, SchedStatic)
+		m.MulVecSparse(dst, Vector{Dim: 10}, scratch, texec(t, 4, exec.Static))
 		for i, d := range dst {
 			if d != 0 {
 				t.Fatalf("%v: dst[%d]=%v, want 0 for empty x", f, i, d)
@@ -376,8 +387,8 @@ func TestELLColMajorMatchesRowMajor(t *testing.T) {
 	scratch := make([]float64, 19)
 	a := make([]float64, 25)
 	c := make([]float64, 25)
-	rm.MulVecSparse(a, x, scratch, 3, SchedStatic)
-	cm.MulVecSparse(c, x, scratch, 3, SchedStatic)
+	rm.MulVecSparse(a, x, scratch, texec(t, 3, exec.Static))
+	cm.MulVecSparse(c, x, scratch, texec(t, 3, exec.Static))
 	if !almostEqual(a, c, 1e-13) {
 		t.Fatal("col-major ELL multiply differs from row-major")
 	}
@@ -423,7 +434,7 @@ func TestBCSRNonMultipleDims(t *testing.T) {
 	scratch := make([]float64, 11)
 	want := refMulVecSparse(ToDense(ref), 13, 11, x)
 	got := make([]float64, 13)
-	m.MulVecSparse(got, x, scratch, 4, SchedStatic)
+	m.MulVecSparse(got, x, scratch, texec(t, 4, exec.Static))
 	if !almostEqual(got, want, 1e-12) {
 		t.Fatalf("BCSR ragged multiply mismatch: got %v want %v", got, want)
 	}
@@ -477,7 +488,7 @@ func TestQuickMulVecAgreesAcrossFormats(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			m.MulVecSparse(dst, x, scratch, 3, SchedGuided)
+			m.MulVecSparse(dst, x, scratch, texec(t, 3, exec.Guided))
 			if !almostEqual(dst, want, 1e-11) {
 				return false
 			}
@@ -500,10 +511,10 @@ func TestCOOParallelDeterministic(t *testing.T) {
 	}
 	scratch := make([]float64, 50)
 	first := make([]float64, 200)
-	m.MulVecSparse(first, x, scratch, 8, SchedStatic)
+	m.MulVecSparse(first, x, scratch, texec(t, 8, exec.Static))
 	for trial := 0; trial < 5; trial++ {
 		got := make([]float64, 200)
-		m.MulVecSparse(got, x, scratch, 8, SchedStatic)
+		m.MulVecSparse(got, x, scratch, texec(t, 8, exec.Static))
 		for i := range got {
 			if got[i] != first[i] {
 				t.Fatalf("trial %d: dst[%d] = %v != %v (nondeterministic)", trial, i, got[i], first[i])
@@ -526,7 +537,7 @@ func TestCOOSingleRowManyWorkers(t *testing.T) {
 	}
 	scratch := make([]float64, 64)
 	dst := make([]float64, 1)
-	m.MulVecSparse(dst, x, scratch, 8, SchedStatic)
+	m.MulVecSparse(dst, x, scratch, texec(t, 8, exec.Static))
 	if dst[0] != 64 {
 		t.Fatalf("dst[0] = %v, want 64", dst[0])
 	}

@@ -1,6 +1,6 @@
 package sparse
 
-import "repro/internal/parallel"
+import "repro/internal/exec"
 
 // This file provides the classical SpMV (sparse-matrix × dense-vector)
 // kernels for every format. SMO only needs SMSV — the paper's point is
@@ -12,14 +12,16 @@ import "repro/internal/parallel"
 // multiplication.
 type DenseMultiplier interface {
 	// MulVecDense computes dst = A·x for a dense x of length cols; dst
-	// must have length rows.
-	MulVecDense(dst, x []float64, workers int, sched Sched)
+	// must have length rows. ex supplies workers, schedule, and optional
+	// counters; nil means serial.
+	MulVecDense(dst, x []float64, ex *exec.Exec)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (d *Dense) MulVecDense(dst, x []float64, workers int, sched Sched) {
+func (d *Dense) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	cols := d.cols
-	parallel.ForRange(d.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(d.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := d.data[i*cols : (i+1)*cols]
 			var sum float64
@@ -29,11 +31,13 @@ func (d *Dense) MulVecDense(dst, x []float64, workers int, sched Sched) {
 			dst[i] = sum
 		}
 	})
+	ex.End(exec.KindDEN, d.StoredElements(), t)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (m *CSRMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+func (m *CSRMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	t := ex.Begin()
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var sum float64
 			for k := m.ptr[i]; k < m.ptr[i+1]; k++ {
@@ -42,21 +46,23 @@ func (m *CSRMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
 			dst[i] = sum
 		}
 	})
+	ex.End(exec.KindCSR, m.StoredElements(), t)
 }
 
 // MulVecDense computes dst = A·x for dense x by reusing the nnz-parallel
 // sparse kernel with x pre-placed in the scratch image (an empty sparse
 // vector scatters nothing, so the kernel reads x directly and restores
 // nothing afterwards).
-func (m *COOMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+func (m *COOMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
 	scratch := make([]float64, m.cols)
 	copy(scratch, x)
-	m.MulVecSparse(dst, Vector{Dim: m.cols}, scratch, workers, sched)
+	m.MulVecSparse(dst, Vector{Dim: m.cols}, scratch, ex)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (m *ELLMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+func (m *ELLMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	t := ex.Begin()
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var sum float64
 			if m.colMajor {
@@ -73,11 +79,13 @@ func (m *ELLMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
 			dst[i] = sum
 		}
 	})
+	ex.End(exec.KindELL, m.StoredElements(), t)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (m *DIAMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
-	parallel.ForRange(m.rows, workers, parallel.Schedule(sched), func(lo, hi int) {
+func (m *DIAMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	t := ex.Begin()
+	ex.ForRange(m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = 0
 		}
@@ -104,17 +112,19 @@ func (m *DIAMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
 			}
 		}
 	})
+	ex.End(exec.KindDIA, m.StoredElements(), t)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (m *CSCMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
-	m.MulVecSparse(dst, denseAsVector(x), nil, workers, sched)
+func (m *CSCMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	m.MulVecSparse(dst, denseAsVector(x), nil, ex)
 }
 
 // MulVecDense computes dst = A·x for dense x.
-func (m *BCSRMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
+func (m *BCSRMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	t := ex.Begin()
 	b := m.b
-	parallel.ForRange(m.brows, workers, parallel.Schedule(sched), func(lo, hi int) {
+	ex.ForRange(m.brows, func(lo, hi int) {
 		for br := lo; br < hi; br++ {
 			rowBase := br * b
 			rowsHere := min(b, m.rows-rowBase)
@@ -135,21 +145,29 @@ func (m *BCSRMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
 			}
 		}
 	})
+	ex.End(exec.KindBCSR, m.StoredElements(), t)
 }
 
-// MulVecDense computes dst = A·x for dense x.
-func (m *HYBMatrix) MulVecDense(dst, x []float64, workers int, sched Sched) {
-	m.ell.MulVecDense(dst, x, workers, sched)
-	if m.coo.NNZ() == 0 {
-		return
+// MulVecDense computes dst = A·x for dense x. Like the sparse composite
+// kernel, it records one KindHYB invocation with the parts' instrumentation
+// detached.
+func (m *HYBMatrix) MulVecDense(dst, x []float64, ex *exec.Exec) {
+	t := ex.Begin()
+	inner := ex
+	if ex.Tracking() {
+		inner = ex.WithStats(nil)
 	}
-	spill := make([]float64, m.rows)
-	m.coo.MulVecDense(spill, x, workers, sched)
-	for i, s := range spill {
-		if s != 0 {
-			dst[i] += s
+	m.ell.MulVecDense(dst, x, inner)
+	if m.coo.NNZ() != 0 {
+		spill := make([]float64, m.rows)
+		m.coo.MulVecDense(spill, x, inner)
+		for i, s := range spill {
+			if s != 0 {
+				dst[i] += s
+			}
 		}
 	}
+	ex.End(exec.KindHYB, m.StoredElements(), t)
 }
 
 // denseAsVector wraps a dense slice as a fully populated Vector whose

@@ -39,7 +39,7 @@ func ExampleTrainAdaptive() {
 		panic(err)
 	}
 	fmt.Println("converged:", res.Stats.Converged)
-	fmt.Printf("accuracy: %.2f\n", res.Model.Accuracy(res.Decision.Matrix, y, 0))
+	fmt.Printf("accuracy: %.2f\n", res.Model.Accuracy(res.Decision.Matrix, y, nil))
 	// Output:
 	// converged: true
 	// accuracy: 1.00

@@ -1,0 +1,14 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// texec builds a pooled execution context closed at test cleanup.
+func texec(t testing.TB, workers int) *exec.Exec {
+	e := exec.New(workers, exec.Static)
+	t.Cleanup(e.Close)
+	return e
+}

@@ -107,8 +107,8 @@ func TestSecondOrderConvergesAndMatchesAccuracy(t *testing.T) {
 	if !ss.Converged {
 		t.Fatalf("WSS2 did not converge in %d iterations", ss.Iterations)
 	}
-	accFirst := first.Accuracy(m, y, 0)
-	accSecond := second.Accuracy(m, y, 0)
+	accFirst := first.Accuracy(m, y, nil)
+	accSecond := second.Accuracy(m, y, nil)
 	if math.Abs(accFirst-accSecond) > 0.03 {
 		t.Fatalf("accuracies diverge: %v vs %v", accFirst, accSecond)
 	}
@@ -216,7 +216,7 @@ func TestClassWeightsShiftDecision(t *testing.T) {
 	}
 	m := b.MustBuild(sparse.CSR)
 	recall := func(model *Model) float64 {
-		pred := model.PredictBatch(m, 0)
+		pred := model.PredictBatch(m, nil)
 		var tp, actual int
 		for i := range y {
 			if y[i] == 1 {
@@ -275,7 +275,7 @@ func TestConfigShrinkingFlagDispatches(t *testing.T) {
 	if !stats.Converged {
 		t.Fatal("shrinking-flag path did not converge")
 	}
-	if acc := model.Accuracy(m, y, 0); acc < 0.97 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.97 {
 		t.Fatalf("accuracy %v", acc)
 	}
 	if _, _, err := Train(m, y, Config{Kernel: KernelParams{Type: Linear}, Shrinking: true, SecondOrder: true}); err == nil {
@@ -310,7 +310,7 @@ func TestDecisionBatchMatchesScalar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := model.DecisionBatch(m, 3)
+	batch := model.DecisionBatch(m, texec(t, 3))
 	var v sparse.Vector
 	for i := 0; i < 60; i++ {
 		v = m.RowTo(v, i)

@@ -1,7 +1,7 @@
 package svm
 
 import (
-	"repro/internal/parallel"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -20,9 +20,10 @@ type Model struct {
 
 // Decision evaluates the decision function on one sample.
 func (m *Model) Decision(x sparse.Vector) float64 {
-	sum := parallel.SumFloat64(len(m.SVs), 1, func(i int) float64 {
-		return m.Coef[i] * m.Kernel.Eval(m.SVs[i], x)
-	})
+	var sum float64
+	for i := range m.SVs {
+		sum += m.Coef[i] * m.Kernel.Eval(m.SVs[i], x)
+	}
 	return sum - m.B
 }
 
@@ -36,10 +37,10 @@ func (m *Model) Predict(x sparse.Vector) float64 {
 
 // DecisionBatch evaluates the decision function on every row of x in
 // parallel — the input Platt scaling and threshold tuning consume.
-func (m *Model) DecisionBatch(x sparse.Matrix, workers int) []float64 {
+func (m *Model) DecisionBatch(x sparse.Matrix, ex *exec.Exec) []float64 {
 	rows, _ := x.Dims()
 	out := make([]float64, rows)
-	parallel.ForRange(rows, workers, parallel.Static, func(lo, hi int) {
+	ex.ForRange(rows, func(lo, hi int) {
 		var v sparse.Vector
 		for i := lo; i < hi; i++ {
 			v = x.RowTo(v, i)
@@ -50,10 +51,10 @@ func (m *Model) DecisionBatch(x sparse.Matrix, workers int) []float64 {
 }
 
 // PredictBatch classifies every row of x in parallel.
-func (m *Model) PredictBatch(x sparse.Matrix, workers int) []float64 {
+func (m *Model) PredictBatch(x sparse.Matrix, ex *exec.Exec) []float64 {
 	rows, _ := x.Dims()
 	out := make([]float64, rows)
-	parallel.ForRange(rows, workers, parallel.Static, func(lo, hi int) {
+	ex.ForRange(rows, func(lo, hi int) {
 		var v sparse.Vector
 		for i := lo; i < hi; i++ {
 			v = x.RowTo(v, i)
@@ -64,8 +65,8 @@ func (m *Model) PredictBatch(x sparse.Matrix, workers int) []float64 {
 }
 
 // Accuracy returns the fraction of rows whose prediction matches y.
-func (m *Model) Accuracy(x sparse.Matrix, y []float64, workers int) float64 {
-	pred := m.PredictBatch(x, workers)
+func (m *Model) Accuracy(x sparse.Matrix, y []float64, ex *exec.Exec) float64 {
+	pred := m.PredictBatch(x, ex)
 	correct := 0
 	for i, p := range pred {
 		if p == y[i] {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -129,6 +130,6 @@ func (s PlattScaler) Prob(decision float64) float64 {
 
 // FitPlattModel fits a scaler on a trained model's decision values over a
 // calibration set.
-func FitPlattModel(m *Model, x sparse.Matrix, y []float64, workers int) (PlattScaler, error) {
-	return FitPlatt(m.DecisionBatch(x, workers), y)
+func FitPlattModel(m *Model, x sparse.Matrix, y []float64, ex *exec.Exec) (PlattScaler, error) {
+	return FitPlatt(m.DecisionBatch(x, ex), y)
 }

@@ -69,7 +69,7 @@ func TestFitPlattModelEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := FitPlattModel(model, m, y, 1)
+	s, err := FitPlattModel(model, m, y, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

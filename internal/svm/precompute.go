@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -25,9 +25,9 @@ type KernelMatrix struct {
 }
 
 // PrecomputeKernel evaluates K over all sample pairs, row-parallel, using
-// the fused-pair SMSV kernels row by row. Returns an error above
-// MaxPrecomputeElements.
-func PrecomputeKernel(x sparse.Matrix, p KernelParams, workers int) (*KernelMatrix, error) {
+// the fused-pair SMSV kernels row by row under ex (nil = serial). Returns
+// an error above MaxPrecomputeElements.
+func PrecomputeKernel(x sparse.Matrix, p KernelParams, ex *exec.Exec) (*KernelMatrix, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,12 +57,12 @@ func PrecomputeKernel(x sparse.Matrix, p KernelParams, workers int) (*KernelMatr
 			v1 = x.RowTo(v1, r)
 			v2 = x.RowTo(v2, r+1)
 			sparse.PairMulVecSparse(x, km.data[r*rows:(r+1)*rows], km.data[(r+1)*rows:(r+2)*rows],
-				v1, v2, scratch1, scratch2, workers, sparse.SchedStatic)
+				v1, v2, scratch1, scratch2, ex)
 			transform(km.data[r*rows:(r+1)*rows], r)
 			transform(km.data[(r+1)*rows:(r+2)*rows], r+1)
 		} else {
 			v1 = x.RowTo(v1, r)
-			x.MulVecSparse(km.data[r*rows:(r+1)*rows], v1, scratch1, workers, sparse.SchedStatic)
+			x.MulVecSparse(km.data[r*rows:(r+1)*rows], v1, scratch1, ex)
 			transform(km.data[r*rows:(r+1)*rows], r)
 		}
 	}
@@ -84,8 +84,8 @@ func (k *KernelMatrix) At(i, j int) float64 { return k.data[i*k.n+j] }
 // the precomputed matrix: zero SMSVs during iteration. The layout decision
 // still matters for the precompute pass itself (n SMSVs), so the scheduler
 // composes with this mode.
-func TrainPrecomputed(x sparse.Matrix, y []float64, cfg Config, workers int) (*Model, Stats, error) {
-	km, err := PrecomputeKernel(x, cfg.Kernel, workers)
+func TrainPrecomputed(x sparse.Matrix, y []float64, cfg Config) (*Model, Stats, error) {
+	km, err := PrecomputeKernel(x, cfg.Kernel, cfg.Exec)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -160,9 +160,9 @@ func trainWithSeededCache(x sparse.Matrix, y []float64, cfg Config, km *KernelMa
 }
 
 // SumKernelParallel is a small utility over the precomputed matrix: the
-// weighted sum Σⱼ w[j]·K(r, j) computed with p workers (used by tooling
-// that inspects models against the full kernel).
-func (k *KernelMatrix) SumKernelParallel(r int, w []float64, p int) float64 {
+// weighted sum Σⱼ w[j]·K(r, j) computed under ex (used by tooling that
+// inspects models against the full kernel).
+func (k *KernelMatrix) SumKernelParallel(r int, w []float64, ex *exec.Exec) float64 {
 	row := k.Row(r)
-	return parallel.SumFloat64(k.n, p, func(j int) float64 { return w[j] * row[j] })
+	return ex.Sum(k.n, func(j int) float64 { return w[j] * row[j] })
 }

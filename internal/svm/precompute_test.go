@@ -16,7 +16,7 @@ func TestPrecomputeKernelMatchesDirect(t *testing.T) {
 		{Type: Gaussian, Gamma: 0.3},
 		{Type: Polynomial, A: 1, R: 1, Degree: 2},
 	} {
-		km, err := PrecomputeKernel(m, kp, 1)
+		km, err := PrecomputeKernel(m, kp, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func TestTrainPrecomputedMatchesSMSVPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre, ps, err := TrainPrecomputed(m, y, cfg, 1)
+	pre, ps, err := TrainPrecomputed(m, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +71,14 @@ func TestTrainPrecomputedSecondOrder(t *testing.T) {
 	b, y := blobs(60, 4, 1.5, 83)
 	m := b.MustBuild(sparse.CSR)
 	cfg := Config{C: 2, Kernel: KernelParams{Type: Linear}, SecondOrder: true}
-	model, stats, err := TrainPrecomputed(m, y, cfg, 1)
+	model, stats, err := TrainPrecomputed(m, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !stats.Converged {
 		t.Fatalf("no convergence in %d iterations", stats.Iterations)
 	}
-	if acc := model.Accuracy(m, y, 0); acc < 0.95 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.95 {
 		t.Fatalf("accuracy %v", acc)
 	}
 }
@@ -90,17 +90,17 @@ func TestPrecomputeKernelCap(t *testing.T) {
 		b.Add(i, 0, 1)
 	}
 	m := b.MustBuild(sparse.CSR)
-	if _, err := PrecomputeKernel(m, KernelParams{Type: Linear}, 1); err == nil {
+	if _, err := PrecomputeKernel(m, KernelParams{Type: Linear}, nil); err == nil {
 		t.Fatal("20000² kernel matrix accepted")
 	}
-	if _, _, err := TrainPrecomputed(m, nil, Config{Kernel: KernelParams{Type: Linear}}, 1); err == nil {
+	if _, _, err := TrainPrecomputed(m, nil, Config{Kernel: KernelParams{Type: Linear}}); err == nil {
 		t.Fatal("TrainPrecomputed accepted an over-cap problem")
 	}
 }
 
 func TestPrecomputeKernelRejectsBadKernel(t *testing.T) {
 	b, _ := blobs(10, 2, 1, 84)
-	if _, err := PrecomputeKernel(b.MustBuild(sparse.CSR), KernelParams{Type: Gaussian}, 1); err == nil {
+	if _, err := PrecomputeKernel(b.MustBuild(sparse.CSR), KernelParams{Type: Gaussian}, nil); err == nil {
 		t.Fatal("gamma=0 accepted")
 	}
 }

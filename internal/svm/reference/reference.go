@@ -12,7 +12,7 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 )
@@ -23,7 +23,9 @@ type Config struct {
 	Tol     float64
 	MaxIter int
 	Kernel  svm.KernelParams
-	Workers int
+	// Exec is the execution context row-parallel loops run under; nil
+	// means exec.Default().
+	Exec *exec.Exec
 }
 
 // Stats reports baseline training work.
@@ -64,6 +66,9 @@ func Train(b *sparse.Builder, y []float64, cfg Config) (*svm.Model, Stats, error
 	if cfg.MaxIter <= 0 {
 		cfg.MaxIter = 10*rows + 1000
 	}
+	if cfg.Exec == nil {
+		cfg.Exec = exec.Default()
+	}
 
 	alpha := make([]float64, rows)
 	f := make([]float64, rows)
@@ -88,7 +93,7 @@ func Train(b *sparse.Builder, y []float64, cfg Config) (*svm.Model, Stats, error
 	// kernelRow: LIBSVM-style per-row merge dot, parallel over rows.
 	kernelRow := func(dst []float64, r int) {
 		xr := csr.Row(r)
-		parallel.ForRange(rows, cfg.Workers, parallel.Static, func(lo, hi int) {
+		cfg.Exec.ForRange(rows, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				dst[i] = cfg.Kernel.FromDot(csr.Row(i).Dot(xr), normSq[i], normSq[r])
 			}
@@ -98,8 +103,8 @@ func Train(b *sparse.Builder, y []float64, cfg Config) (*svm.Model, Stats, error
 	var st Stats
 	var bHigh, bLow float64
 	sel := func() (int, int, bool) {
-		mn := parallel.ArgMin(rows, cfg.Workers, inHigh, func(i int) float64 { return f[i] })
-		mx := parallel.ArgMax(rows, cfg.Workers, inLow, func(i int) float64 { return f[i] })
+		mn := cfg.Exec.ArgMin(rows, inHigh, func(i int) float64 { return f[i] })
+		mx := cfg.Exec.ArgMax(rows, inLow, func(i int) float64 { return f[i] })
 		if mn.Index < 0 || mx.Index < 0 {
 			return 0, 0, false
 		}
@@ -145,7 +150,7 @@ func Train(b *sparse.Builder, y []float64, cfg Config) (*svm.Model, Stats, error
 		ch, cl := dh*y[high], dl*y[low]
 		// Unfused f update, then a separate selection sweep — the extra
 		// pass the optimized solver fuses away.
-		parallel.ForRange(rows, cfg.Workers, parallel.Static, func(lo, hi int) {
+		cfg.Exec.ForRange(rows, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				f[i] += ch*kH[i] + cl*kL[i]
 			}

@@ -36,7 +36,7 @@ func TestReferenceTrainsSeparable(t *testing.T) {
 		t.Fatalf("no convergence in %d iterations", stats.Iterations)
 	}
 	m := b.MustBuild(sparse.CSR)
-	if acc := model.Accuracy(m, y, 0); acc < 0.99 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.99 {
 		t.Fatalf("accuracy %v", acc)
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/parallel"
+	"repro/internal/exec"
 	"repro/internal/sparse"
 )
 
@@ -27,8 +27,9 @@ type RegressionConfig struct {
 	Tol     float64 // KKT tolerance; 0 means 1e-3
 	MaxIter int     // 0 means 200·(2n) + 10000
 	Kernel  KernelParams
-	Workers int
-	Sched   sparse.Sched
+	// Exec is the execution context kernels and reductions run under; nil
+	// means exec.Default().
+	Exec *exec.Exec
 	// CacheRows enables the kernel-row LRU cache, as in classification.
 	CacheRows int
 }
@@ -44,9 +45,10 @@ type RegressionModel struct {
 
 // Predict evaluates the regression function on one sample.
 func (m *RegressionModel) Predict(x sparse.Vector) float64 {
-	sum := parallel.SumFloat64(len(m.SVs), 1, func(i int) float64 {
-		return m.Coef[i] * m.Kernel.Eval(m.SVs[i], x)
-	})
+	var sum float64
+	for i := range m.SVs {
+		sum += m.Coef[i] * m.Kernel.Eval(m.SVs[i], x)
+	}
 	return sum + m.B
 }
 
@@ -80,6 +82,9 @@ func TrainRegression(x sparse.Matrix, y []float64, cfg RegressionConfig) (*Regre
 	}
 	if err := cfg.Kernel.Validate(); err != nil {
 		return nil, Stats{}, err
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = exec.Default()
 	}
 	if cfg.C <= 0 {
 		cfg.C = 1
@@ -164,13 +169,13 @@ func (s *svrSolver) kernelRow(dst []float64, sample int) {
 	}
 	defer func() { s.cache.put(sample, dst) }()
 	s.rowBuf = s.x.RowTo(s.rowBuf, sample)
-	s.x.MulVecSparse(dst, s.rowBuf, s.scratch, s.cfg.Workers, s.cfg.Sched)
+	s.x.MulVecSparse(dst, s.rowBuf, s.scratch, s.cfg.Exec)
 	p := s.cfg.Kernel
 	if p.Type == Linear {
 		return
 	}
 	nr := s.normSq[sample]
-	parallel.ForRange(len(dst), s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+	s.cfg.Exec.ForRange(len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = p.FromDot(dst[i], s.normSq[i], nr)
 		}
@@ -179,8 +184,8 @@ func (s *svrSolver) kernelRow(dst []float64, sample int) {
 
 func (s *svrSolver) selectWorkingSet() (high, low int, ok bool) {
 	n2 := 2 * s.n
-	mn := parallel.ArgMin(n2, s.cfg.Workers, s.inHigh, func(e int) float64 { return s.f[e] })
-	mx := parallel.ArgMax(n2, s.cfg.Workers, s.inLow, func(e int) float64 { return s.f[e] })
+	mn := s.cfg.Exec.ArgMin(n2, s.inHigh, func(e int) float64 { return s.f[e] })
+	mx := s.cfg.Exec.ArgMax(n2, s.inLow, func(e int) float64 { return s.f[e] })
 	if mn.Index < 0 || mx.Index < 0 {
 		return 0, 0, false
 	}
@@ -246,7 +251,7 @@ func (s *svrSolver) run() Stats {
 		ch := dh * yh
 		cl := dl * yl
 		n := s.n
-		parallel.ForRange(n, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+		s.cfg.Exec.ForRange(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				delta := ch*s.kHigh[i] + cl*s.kLow[i]
 				s.f[i] += delta

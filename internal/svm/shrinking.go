@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -173,18 +172,18 @@ func (s *shrinkSolver) kernelRowsActive(high, low int) {
 	kH := s.kHigh[:nAct]
 	kL := s.kLow[:nAct]
 	if high == low {
-		s.subX.MulVecSparse(kH, s.rowBufH, s.scratch, s.cfg.Workers, s.cfg.Sched)
+		s.subX.MulVecSparse(kH, s.rowBufH, s.scratch, s.cfg.Exec)
 		copy(kL, kH)
 	} else {
 		sparse.PairMulVecSparse(s.subX, kH, kL, s.rowBufH, s.rowBufL,
-			s.scratch, s.scratch2, s.cfg.Workers, s.cfg.Sched)
+			s.scratch, s.scratch2, s.cfg.Exec)
 	}
 	p := s.cfg.Kernel
 	if p.Type == Linear {
 		return
 	}
 	nh, nl := s.normSq[high], s.normSq[low]
-	parallel.ForRange(nAct, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+	s.cfg.Exec.ForRange(nAct, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			orig := s.active[k]
 			kH[k] = p.FromDot(kH[k], s.normSq[orig], nh)
@@ -197,10 +196,10 @@ func (s *shrinkSolver) kernelRowsActive(high, low int) {
 // original indices and their active positions.
 func (s *shrinkSolver) selectActive() (high, low, hPos, lPos int, ok bool) {
 	nAct := len(s.active)
-	mn := parallel.ArgMin(nAct, s.cfg.Workers,
+	mn := s.cfg.Exec.ArgMin(nAct,
 		func(k int) bool { return s.inHigh(s.active[k]) },
 		func(k int) float64 { return s.f[s.active[k]] })
-	mx := parallel.ArgMax(nAct, s.cfg.Workers,
+	mx := s.cfg.Exec.ArgMax(nAct,
 		func(k int) bool { return s.inLow(s.active[k]) },
 		func(k int) float64 { return s.f[s.active[k]] })
 	if mn.Index < 0 || mx.Index < 0 {
@@ -226,7 +225,7 @@ func (s *shrinkSolver) reconstructF() {
 			continue
 		}
 		v = s.x.RowTo(v, j)
-		s.x.MulVecSparse(row, v, s.scratch, s.cfg.Workers, s.cfg.Sched)
+		s.x.MulVecSparse(row, v, s.scratch, s.cfg.Exec)
 		p := s.cfg.Kernel
 		coef := s.alpha[j] * s.y[j]
 		if p.Type == Linear {
@@ -304,7 +303,7 @@ func (s *shrinkSolver) runShrinking() Stats {
 			chc := dh * yh
 			clc := dl * yl
 			nAct := len(s.active)
-			parallel.ForRange(nAct, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+			s.cfg.Exec.ForRange(nAct, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					s.f[s.active[k]] += chc*s.kHigh[k] + clc*s.kLow[k]
 				}

@@ -27,8 +27,8 @@ func TestShrinkingMatchesPlainOnSeparable(t *testing.T) {
 	if math.Abs(ps.Objective-ss.Objective) > 1e-3*(1+math.Abs(ps.Objective)) {
 		t.Fatalf("objectives differ: %v vs %v", ps.Objective, ss.Objective)
 	}
-	accP := plain.Accuracy(m, y, 0)
-	accS := shr.Accuracy(m, y, 0)
+	accP := plain.Accuracy(m, y, nil)
+	accS := shr.Accuracy(m, y, nil)
 	if math.Abs(accP-accS) > 0.02 {
 		t.Fatalf("accuracies differ: %v vs %v", accP, accS)
 	}
@@ -72,7 +72,7 @@ func TestShrinkingOnTableVClone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := model.Accuracy(m, y, 0); acc < 0.88 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.88 {
 		t.Fatalf("accuracy %v after %d iterations (converged=%v)", acc, stats.Iterations, stats.Converged)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
@@ -19,8 +20,10 @@ type Config struct {
 	Tol                  float64 // KKT tolerance τ; convergence when b_low ≤ b_high + 2τ; 0 means 1e-3
 	MaxIter              int     // iteration cap; 0 means 10·n + 1000
 	Kernel               KernelParams
-	Workers              int          // parallel workers; 0 = all cores
-	Sched                sparse.Sched // kernel scheduling policy
+	// Exec is the execution context every parallel kernel and reduction
+	// runs under; nil means exec.Default() (all cores, static schedule,
+	// pooled workers).
+	Exec *exec.Exec
 	// Unfused disables the fused update-and-select pass: the f update and
 	// the working-set reductions run as separate parallel sweeps, costing
 	// one extra pass over f per iteration (the paper-era implementations
@@ -44,6 +47,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults(n int) Config {
+	if c.Exec == nil {
+		c.Exec = exec.Default()
+	}
 	if c.C <= 0 {
 		c.C = 1
 	}
@@ -199,7 +205,7 @@ func (s *solver) kernelRow(dst []float64, row sparse.Vector, r int) {
 		return
 	}
 	defer func() { s.cache.put(r, dst) }()
-	s.x.MulVecSparse(dst, row, s.scratch, s.cfg.Workers, s.cfg.Sched)
+	s.x.MulVecSparse(dst, row, s.scratch, s.cfg.Exec)
 	s.transformRow(dst, r)
 }
 
@@ -231,7 +237,7 @@ func (s *solver) kernelRows(sel selection) {
 			return
 		}
 		sparse.PairMulVecSparse(s.x, s.kHigh, s.kLow, s.rowBufH, s.rowBufL,
-			s.scratch, s.scratch2, s.cfg.Workers, s.cfg.Sched)
+			s.scratch, s.scratch2, s.cfg.Exec)
 		s.transformRow(s.kHigh, sel.high)
 		s.transformRow(s.kLow, sel.low)
 		s.cache.put(sel.high, s.kHigh)
@@ -247,7 +253,7 @@ func (s *solver) transformRow(dst []float64, r int) {
 		return
 	}
 	nr := s.normSq[r]
-	parallel.ForRange(len(dst), s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+	s.cfg.Exec.ForRange(len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = p.FromDot(dst[i], s.normSq[i], nr)
 		}
@@ -263,8 +269,8 @@ type selection struct {
 // over I_low, setting bHigh/bLow (steps 6–10 of Algorithm 1).
 func (s *solver) selectWorkingSet() (selection, bool) {
 	n := len(s.f)
-	mn := parallel.ArgMin(n, s.cfg.Workers, s.inHigh, func(i int) float64 { return s.f[i] })
-	mx := parallel.ArgMax(n, s.cfg.Workers, s.inLow, func(i int) float64 { return s.f[i] })
+	mn := s.cfg.Exec.ArgMin(n, s.inHigh, func(i int) float64 { return s.f[i] })
+	mx := s.cfg.Exec.ArgMax(n, s.inLow, func(i int) float64 { return s.f[i] })
 	if mn.Index < 0 || mx.Index < 0 {
 		return selection{}, false
 	}
@@ -280,26 +286,20 @@ func (s *solver) updateF(dh, dl float64, sel selection) (selection, bool) {
 	cl := dl * s.y[sel.low]
 	n := len(s.f)
 	if s.cfg.Unfused {
-		parallel.ForRange(n, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+		s.cfg.Exec.ForRange(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				s.f[i] += ch*s.kHigh[i] + cl*s.kLow[i]
 			}
 		})
 		return s.selectWorkingSet()
 	}
-	p := s.cfg.Workers
-	if p <= 0 {
-		p = parallel.DefaultWorkers
-	}
-	if p > n {
-		p = n
-	}
+	p := s.cfg.Exec.Parts(n)
 	type best struct {
 		minIdx, maxIdx int
 		minVal, maxVal float64
 	}
 	partial := make([]best, p)
-	parallel.For(p, p, parallel.Static, func(w int) {
+	s.cfg.Exec.ForParts(p, func(w int) {
 		lo, hi := parallel.SplitRange(n, p, w)
 		b := best{minIdx: -1, maxIdx: -1}
 		for i := lo; i < hi; i++ {
@@ -415,8 +415,8 @@ func (s *solver) runSecondOrder() Stats {
 	var st Stats
 	n := len(s.f)
 	for ; st.Iterations < s.cfg.MaxIter; st.Iterations++ {
-		mn := parallel.ArgMin(n, s.cfg.Workers, s.inHigh, func(i int) float64 { return s.f[i] })
-		mx := parallel.ArgMax(n, s.cfg.Workers, s.inLow, func(i int) float64 { return s.f[i] })
+		mn := s.cfg.Exec.ArgMin(n, s.inHigh, func(i int) float64 { return s.f[i] })
+		mx := s.cfg.Exec.ArgMax(n, s.inLow, func(i int) float64 { return s.f[i] })
 		if mn.Index < 0 || mx.Index < 0 {
 			break
 		}
@@ -432,7 +432,7 @@ func (s *solver) runSecondOrder() Stats {
 		st.KernelTime += time.Since(t0)
 		// Second-order low: maximize (f_i − b_high)² / η_i over violators.
 		kHH := s.kHigh[high]
-		pick := parallel.ArgMax(n, s.cfg.Workers,
+		pick := s.cfg.Exec.ArgMax(n,
 			func(i int) bool { return s.inLow(i) && s.f[i] > s.bHigh },
 			func(i int) float64 {
 				d := s.f[i] - s.bHigh
@@ -458,7 +458,7 @@ func (s *solver) runSecondOrder() Stats {
 		}
 		ch := dh * s.y[high]
 		cl := dl * s.y[low]
-		parallel.ForRange(n, s.cfg.Workers, parallel.Schedule(s.cfg.Sched), func(lo, hi int) {
+		s.cfg.Exec.ForRange(n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				s.f[i] += ch*s.kHigh[i] + cl*s.kLow[i]
 			}

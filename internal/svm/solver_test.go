@@ -38,7 +38,7 @@ func TestTrainSeparableBlobsLinear(t *testing.T) {
 	if !stats.Converged {
 		t.Fatalf("did not converge in %d iterations", stats.Iterations)
 	}
-	if acc := model.Accuracy(m, y, 0); acc < 0.99 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.99 {
 		t.Fatalf("train accuracy %v, want >= 0.99", acc)
 	}
 	if stats.NumSV == 0 || stats.NumSV > 120 {
@@ -75,7 +75,7 @@ func TestTrainGaussianKernelNonlinear(t *testing.T) {
 	if !stats.Converged {
 		t.Fatalf("did not converge in %d iterations", stats.Iterations)
 	}
-	if acc := model.Accuracy(m, y, 0); acc < 0.97 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.97 {
 		t.Fatalf("rings accuracy %v, want >= 0.97", acc)
 	}
 	// A linear kernel cannot do better than ~0.5 on rings; sanity-check
@@ -84,7 +84,7 @@ func TestTrainGaussianKernelNonlinear(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lin := linModel.Accuracy(m, y, 0); lin > 0.8 {
+	if lin := linModel.Accuracy(m, y, nil); lin > 0.8 {
 		t.Fatalf("linear kernel suspiciously good on rings: %v", lin)
 	}
 }
@@ -98,7 +98,7 @@ func TestTrainSameModelAcrossFormats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		model, stats, err := Train(m, y, Config{C: 1, Kernel: KernelParams{Type: Linear}, Workers: 2})
+		model, stats, err := Train(m, y, Config{C: 1, Kernel: KernelParams{Type: Linear}, Exec: texec(t, 2)})
 		if err != nil {
 			t.Fatalf("%v: %v", f, err)
 		}
@@ -210,7 +210,7 @@ func TestTrainOnTableVClone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if acc := model.Accuracy(m, y, 0); acc < 0.9 {
+	if acc := model.Accuracy(m, y, nil); acc < 0.9 {
 		t.Fatalf("adult clone accuracy %v after %d iterations, want >= 0.9", acc, stats.Iterations)
 	}
 }
@@ -222,7 +222,7 @@ func TestPredictBatchMatchesScalar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := model.PredictBatch(m, 4)
+	batch := model.PredictBatch(m, texec(t, 4))
 	var v sparse.Vector
 	for i := 0; i < 50; i++ {
 		v = m.RowTo(v, i)
