@@ -6,12 +6,14 @@
 #   make test-race  short-mode race check of the concurrency-heavy packages
 #   make bench      run every benchmark once, human-readable
 #   make bench-json full benchmark sweep as JSON lines in BENCH_<date>.json
+#   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
 GO ?= go
-RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/...
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/...
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
+LAYOUTD_ADDR ?= :8723
 
-.PHONY: build vet test test-race bench bench-json clean
+.PHONY: build vet test test-race bench bench-json run-layoutd clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +33,9 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCH_FILE)
 	@echo wrote $(BENCH_FILE)
+
+run-layoutd:
+	$(GO) run ./cmd/layoutd -addr $(LAYOUTD_ADDR)
 
 clean:
 	rm -f BENCH_*.json

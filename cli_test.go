@@ -1,11 +1,18 @@
 package repro_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCLIPipeline exercises the tool family end to end as real processes:
@@ -48,6 +55,24 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "Decision (hybrid policy)") {
 		t.Fatalf("layoutsched output missing decision:\n%s", out)
 	}
+	// -json emits the layoutd wire format.
+	out = run("./cmd/layoutsched", "-file", data, "-json")
+	var dec struct {
+		Policy   string `json:"policy"`
+		Chosen   string `json:"chosen"`
+		Features struct {
+			M int `json:"m"`
+		} `json:"features"`
+		Estimates []struct {
+			Format string `json:"format"`
+		} `json:"estimates"`
+	}
+	if err := json.Unmarshal([]byte(out), &dec); err != nil {
+		t.Fatalf("layoutsched -json output not JSON: %v\n%s", err, out)
+	}
+	if dec.Policy != "hybrid" || dec.Chosen == "" || dec.Features.M == 0 || len(dec.Estimates) != 5 {
+		t.Fatalf("layoutsched -json incomplete: %+v", dec)
+	}
 	// Second run against the history must reuse.
 	out = run("./cmd/layoutsched", "-file", data, "-history", hist)
 	if !strings.Contains(out, "reused from tuning history") {
@@ -61,5 +86,131 @@ func TestCLIPipeline(t *testing.T) {
 	out = run("./examples/quickstart")
 	if !strings.Contains(out, "decision:") || !strings.Contains(out, "accuracy:") {
 		t.Fatalf("quickstart output missing sections:\n%s", out)
+	}
+}
+
+// TestLayoutdDaemon boots the real daemon as a child process, exercises the
+// HTTP API end to end — schedule twice (miss then cache hit), predict-less
+// 503, metrics — and verifies graceful shutdown persists the tuning
+// history.
+func TestLayoutdDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "adult.libsvm")
+	hist := filepath.Join(dir, "layoutd.hist")
+
+	gen := exec.Command("go", "run", "./cmd/datagen", "-dataset", "adult", "-o", data)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("datagen: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	daemon := exec.Command("go", "run", "./cmd/layoutd",
+		"-addr", "127.0.0.1:0", "-history", hist, "-max-inflight", "2")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// go run re-spawns the built binary; a process group lets the SIGTERM
+	// reach the daemon itself.
+	daemon.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+
+	// The startup log names the bound port.
+	sc := bufio.NewScanner(stderr)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		logs.WriteString(line + "\n")
+		if i := strings.Index(line, "layoutd listening on "); i >= 0 {
+			base = "http://" + strings.Fields(line[i+len("layoutd listening on "):])[0]
+			break
+		}
+	}
+	if base == "" {
+		daemon.Process.Kill()
+		t.Fatalf("daemon never announced its address:\n%s", logs.String())
+	}
+	go func() {
+		io.Copy(&logs, stderr) // keep draining so the child never blocks
+		done <- daemon.Wait()
+	}()
+	defer syscall.Kill(-daemon.Process.Pid, syscall.SIGKILL)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path string, body any) (int, string) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(out)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	req := map[string]string{"data": string(raw)}
+	code, body := post("/v1/schedule", req)
+	if code != 200 || !strings.Contains(body, `"source": "measured"`) {
+		t.Fatalf("first schedule: %d %s", code, body)
+	}
+	code, body = post("/v1/schedule", req)
+	if code != 200 || !strings.Contains(body, `"source": "cache"`) {
+		t.Fatalf("second schedule not cached: %d %s", code, body)
+	}
+	if code, body := post("/v1/predict", map[string]any{"rows": []string{"1:1"}}); code != 503 {
+		t.Fatalf("predict without model: %d %s", code, body)
+	}
+	code, body = get("/metrics")
+	if code != 200 || !strings.Contains(body, "layoutd_cache_hits_total 1") ||
+		!strings.Contains(body, "layoutd_measurements_total 1") {
+		t.Fatalf("metrics: %d\n%s", code, body)
+	}
+
+	// Graceful shutdown must persist the history learned from the
+	// measured decision.
+	syscall.Kill(-daemon.Process.Pid, syscall.SIGTERM)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM:\n%s", logs.String())
+	}
+	// go run may report exit before the daemon child finishes persisting;
+	// poll briefly for the file.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h, err := os.ReadFile(hist)
+		if err == nil && len(strings.TrimSpace(string(h))) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history not written after shutdown (%v):\n%s", err, logs.String())
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }

@@ -1,0 +1,166 @@
+// Command layoutd is the layout-scheduling daemon: it serves the paper's
+// runtime format selection over HTTP/JSON so the measurement cost is
+// amortized across a workload of similar datasets. Decisions are cached by
+// shape class (the nine Table IV parameters, quantized), deduplicated with
+// singleflight, bounded by an admission limit, and optionally backed by a
+// persistent tuning history and a trained SVM model for /v1/predict.
+//
+// Usage:
+//
+//	layoutd -addr :8723
+//	layoutd -addr :8723 -policy hybrid -history tuning.hist -model svm.model
+//
+// Endpoints:
+//
+//	POST /v1/schedule  {"data": "<libsvm rows>"} or {"profile": {...}}
+//	POST /v1/predict   {"rows": ["1:0.5 3:1.2", ...]}
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/serve"
+	"repro/internal/svm"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8723", "listen address")
+		policy      = flag.String("policy", "hybrid", "default decision policy: rule-based, empirical, hybrid")
+		workers     = flag.Int("workers", 0, "kernel workers (0 = all cores)")
+		histPath    = flag.String("history", "", "tuning-history file: loaded at startup, saved on shutdown")
+		modelPath   = flag.String("model", "", "trained SVM model file served by /v1/predict")
+		maxInflight = flag.Int("max-inflight", 4, "concurrent measurement slots; excess requests get 429")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request measurement deadline")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body byte cap")
+		cacheCap    = flag.Int("cache-capacity", 256, "decision cache entries per shard")
+		trialRows   = flag.Int("trial-rows", 0, "scheduler trial rows (0 = default)")
+		topK        = flag.Int("topk", 0, "hybrid candidate count (0 = default)")
+		seed        = flag.Int64("seed", 1, "measurement sampling seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *policy, *workers, *histPath, *modelPath,
+		*maxInflight, *timeout, *maxBody, *cacheCap, *trialRows, *topK, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "layoutd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, policy string, workers int, histPath, modelPath string,
+	maxInflight int, timeout time.Duration, maxBody int64,
+	cacheCap, trialRows, topK int, seed int64) error {
+	pol := map[string]core.Policy{
+		"rule-based": core.RuleBased, "empirical": core.Empirical, "hybrid": core.Hybrid,
+	}
+	p, ok := pol[policy]
+	if !ok {
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	hist := &core.History{}
+	if histPath != "" {
+		h, err := loadHistory(histPath)
+		if err != nil {
+			return err
+		}
+		hist = h
+		log.Printf("loaded %d tuning-history entries from %s", hist.Len(), histPath)
+	}
+	var model *svm.Model
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		model, err = svm.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded SVM model with %d support vectors from %s", len(model.SVs), modelPath)
+	}
+	ex := exec.New(workers, exec.Static)
+	defer ex.Close()
+
+	s := serve.NewServer(serve.Config{
+		Policy: p, Exec: ex, Stats: &exec.Stats{}, History: hist, Model: model,
+		TrialRows: trialRows, TopK: topK, Seed: seed,
+		MaxInflight: maxInflight, Timeout: timeout, MaxBody: maxBody,
+		CacheCapacity: cacheCap,
+	})
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Bind explicitly so -addr :0 works and the log names the real port.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("layoutd listening on %s (policy %s, %d measurement slots)", ln.Addr(), p, maxInflight)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, draining", sig)
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight handlers finish
+	// (bounded by the measurement timeout plus slack), then drain and
+	// persist what was learned.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	s.Drain()
+	if histPath != "" {
+		if err := saveHistory(histPath, s.History()); err != nil {
+			return fmt.Errorf("saving history: %w", err)
+		}
+		log.Printf("saved %d tuning-history entries to %s", s.History().Len(), histPath)
+	}
+	return nil
+}
+
+func loadHistory(path string) (*core.History, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &core.History{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadHistory(f)
+}
+
+func saveHistory(path string, h *core.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -10,9 +10,11 @@
 //	layoutsched -dataset mnist               # analyze a Table V clone
 //	layoutsched -dataset sector -policy rule-based
 //	layoutsched -dataset mnist -stats        # report kernel counters
+//	layoutsched -dataset mnist -json         # machine-readable decision (layoutd wire format)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 )
 
@@ -35,6 +38,7 @@ func main() {
 		histPath = flag.String("history", "", "incremental-tuning history file: decisions are reused for similar datasets and new ones appended")
 		verbose  = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
 		stats    = flag.Bool("stats", false, "report per-format kernel invocation counters after the decision")
+		jsonOut  = flag.Bool("json", false, "emit the decision as machine-readable JSON (the layoutd wire format) instead of tables")
 	)
 	flag.Parse()
 
@@ -72,9 +76,17 @@ func main() {
 		if err := saveHistory(*histPath, hist); err != nil {
 			fatal(err)
 		}
-		if dec.Reused {
-			fmt.Println("(decision reused from tuning history)")
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(serve.NewDecisionJSON(dec)); err != nil {
+			fatal(err)
 		}
+		return
+	}
+	if hist != nil && dec.Reused {
+		fmt.Println("(decision reused from tuning history)")
 	}
 
 	fmt.Println("Influencing parameters (Table IV):")

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -65,6 +67,73 @@ func TestHistorySaveLoadRoundTrip(t *testing.T) {
 	got, ok := loaded.Lookup(featuresOf(t, "trefethen"), DefaultHistoryRadius)
 	if !ok || got != sparse.DIA {
 		t.Fatalf("loaded lookup: %v %v", got, ok)
+	}
+}
+
+// TestHistoryConcurrentRecordLookup hammers one History from recording,
+// looking-up, saving, and length-polling goroutines at once; under -race it
+// verifies the mutex covers every access path.
+func TestHistoryConcurrentRecordLookup(t *testing.T) {
+	h := &History{}
+	fa := featuresOf(t, "adult")
+	ft := featuresOf(t, "trefethen")
+	formats := []sparse.Format{sparse.CSR, sparse.ELL, sparse.COO}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := fa
+				if (g+i)%2 == 0 {
+					f = ft
+				}
+				h.Record(f, formats[(g+i)%len(formats)])
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := fa
+				if (g+i)%2 == 0 {
+					f = ft
+				}
+				if got, ok := h.Lookup(f, DefaultHistoryRadius); ok {
+					found := false
+					for _, want := range formats {
+						found = found || got == want
+					}
+					if !found {
+						t.Errorf("lookup returned unrecorded format %v", got)
+					}
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = h.Len()
+				if err := h.Save(io.Discard); err != nil {
+					t.Errorf("save: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Len() != 4*50 {
+		t.Fatalf("len = %d, want %d", h.Len(), 4*50)
+	}
+	// The memory must still round-trip cleanly after concurrent growth.
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != h.Len() {
+		t.Fatalf("round trip lost entries: %d != %d", loaded.Len(), h.Len())
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -117,8 +118,20 @@ func New(cfg Config) *Scheduler {
 // Choose decides the storage format for the matrix held in b and returns
 // the decision with the matrix materialized in the chosen format.
 func (s *Scheduler) Choose(b *sparse.Builder) (*Decision, error) {
+	return s.ChooseContext(context.Background(), b)
+}
+
+// ChooseContext is Choose with cancellation: the context is checked before
+// every candidate materialization and between timed kernel repetitions, so a
+// caller-imposed deadline bounds the measurement phase. A cancelled decision
+// returns ctx.Err() (wrapped); already-completed measurements are discarded
+// and nothing is recorded into the tuning history.
+func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Decision, error) {
 	if rows, cols := b.Dims(); rows == 0 || cols == 0 {
 		return nil, ErrEmptyMatrix
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: choose: %w", err)
 	}
 	// Features come cheaply from the CSR materialization, which Empirical
 	// and Hybrid need anyway as a measurement candidate.
@@ -190,12 +203,18 @@ func (s *Scheduler) Choose(b *sparse.Builder) (*Decision, error) {
 	bestTime := time.Duration(-1)
 	var lastErr error
 	for _, f := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: choose: %w", err)
+		}
 		m, err := materialize(b, csr, f)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		t := s.measure(m, trials)
+		t, err := s.measure(ctx, m, trials)
+		if err != nil {
+			return nil, fmt.Errorf("core: choose: %w", err)
+		}
 		d.Measured[f] = t
 		if bestTime < 0 || t < bestTime {
 			bestTime, best, d.Chosen = t, m, f
@@ -232,7 +251,9 @@ func (s *Scheduler) sampleRows(m *sparse.CSRMatrix, rng *rand.Rand) []sparse.Vec
 }
 
 // measure times Repeats SMSV products per trial row and returns the total.
-func (s *Scheduler) measure(m sparse.Matrix, trials []sparse.Vector) time.Duration {
+// Cancellation is observed between repetitions — one kernel invocation is
+// the granularity of abort.
+func (s *Scheduler) measure(ctx context.Context, m sparse.Matrix, trials []sparse.Vector) (time.Duration, error) {
 	rows, cols := m.Dims()
 	dst := make([]float64, rows)
 	scratch := make([]float64, cols)
@@ -241,11 +262,16 @@ func (s *Scheduler) measure(m sparse.Matrix, trials []sparse.Vector) time.Durati
 	if len(trials) > 0 {
 		m.MulVecSparse(dst, trials[0], scratch, s.cfg.Exec)
 	}
-	start := time.Now()
+	var total time.Duration
 	for _, x := range trials {
 		for r := 0; r < s.cfg.Repeats; r++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			start := time.Now()
 			m.MulVecSparse(dst, x, scratch, s.cfg.Exec)
+			total += time.Since(start)
 		}
 	}
-	return time.Since(start)
+	return total, nil
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestChooseContextAlreadyCancelled(t *testing.T) {
+	d, err := dataset.ByName("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sched := New(Config{Policy: Empirical})
+	if _, err := sched.ChooseContext(ctx, d.MustGenerate(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestChooseContextDeadlineMidMeasurement(t *testing.T) {
+	d, err := dataset.ByName("aloi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &History{}
+	// Enough repetitions that the deadline always lands inside the
+	// measurement loop, where cancellation is polled between kernels.
+	sched := New(Config{Policy: Empirical, TrialRows: 20, Repeats: 200, History: h})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if _, err := sched.ChooseContext(ctx, d.MustGenerate(1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if h.Len() != 0 {
+		t.Fatal("aborted decision was recorded into the history")
+	}
+}
+
+func TestChooseContextBackgroundMatchesChoose(t *testing.T) {
+	d, err := dataset.ByName("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := New(Config{Policy: Hybrid, Seed: 9})
+	a, err := sched.ChooseContext(context.Background(), d.MustGenerate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Choose(d.MustGenerate(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chosen != b.Chosen {
+		t.Fatalf("ChooseContext chose %v, Choose chose %v", a.Chosen, b.Chosen)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -21,9 +22,13 @@ type Sample struct {
 //	<label> <index>:<value> <index>:<value> ...
 //
 // Indices are 1-based in the file and converted to 0-based. Blank lines and
-// lines starting with '#' are skipped. Returns the samples and the number
-// of features (the maximum index seen, matching the paper's definition of
-// N as "maximum feature index of all samples").
+// lines starting with '#' are skipped. Malformed input — unparsable labels
+// or values, index:value pairs without exactly one ':', non-positive,
+// duplicate, or descending indices, and non-finite numbers — is rejected
+// with an error naming the line and offending token, never silently
+// skipped. Returns the samples and the number of features (the maximum
+// index seen, matching the paper's definition of N as "maximum feature
+// index of all samples").
 func ParseLIBSVM(r io.Reader) (samples []Sample, numFeatures int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -39,24 +44,36 @@ func ParseLIBSVM(r io.Reader) (samples []Sample, numFeatures int, err error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("dataset: line %d: bad label %q: %v", lineNo, fields[0], err)
 		}
+		if math.IsNaN(label) || math.IsInf(label, 0) {
+			return nil, 0, fmt.Errorf("dataset: line %d: non-finite label %q", lineNo, fields[0])
+		}
 		s := Sample{Label: label}
 		prev := int32(-1)
 		for _, f := range fields[1:] {
 			colon := strings.IndexByte(f, ':')
 			if colon < 0 {
-				return nil, 0, fmt.Errorf("dataset: line %d: feature %q missing ':'", lineNo, f)
+				return nil, 0, fmt.Errorf("dataset: line %d: feature %q missing ':' (want index:value)", lineNo, f)
+			}
+			if strings.IndexByte(f[colon+1:], ':') >= 0 {
+				return nil, 0, fmt.Errorf("dataset: line %d: feature %q has more than one ':'", lineNo, f)
 			}
 			idx, err := strconv.Atoi(f[:colon])
 			if err != nil || idx < 1 {
-				return nil, 0, fmt.Errorf("dataset: line %d: bad feature index %q", lineNo, f[:colon])
+				return nil, 0, fmt.Errorf("dataset: line %d: feature %q: index %q is not a positive integer", lineNo, f, f[:colon])
 			}
 			val, err := strconv.ParseFloat(f[colon+1:], 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("dataset: line %d: bad feature value %q", lineNo, f[colon+1:])
+				return nil, 0, fmt.Errorf("dataset: line %d: feature %q: bad value %q", lineNo, f, f[colon+1:])
+			}
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				return nil, 0, fmt.Errorf("dataset: line %d: feature %q: non-finite value", lineNo, f)
 			}
 			zeroIdx := int32(idx - 1)
-			if zeroIdx <= prev {
-				return nil, 0, fmt.Errorf("dataset: line %d: feature indices not strictly ascending", lineNo)
+			switch {
+			case zeroIdx == prev:
+				return nil, 0, fmt.Errorf("dataset: line %d: duplicate feature index %d", lineNo, idx)
+			case zeroIdx < prev:
+				return nil, 0, fmt.Errorf("dataset: line %d: feature index %d after %d: indices must be strictly ascending", lineNo, idx, prev+1)
 			}
 			prev = zeroIdx
 			if val != 0 {

@@ -40,19 +40,46 @@ func TestParseLIBSVMBasic(t *testing.T) {
 }
 
 func TestParseLIBSVMErrors(t *testing.T) {
-	cases := map[string]string{
-		"bad label":        "abc 1:2\n",
-		"missing colon":    "+1 12\n",
-		"zero index":       "+1 0:3\n",
-		"negative index":   "+1 -2:3\n",
-		"bad value":        "+1 1:xyz\n",
-		"unsorted indices": "+1 3:1 2:1\n",
-		"duplicate index":  "+1 2:1 2:5\n",
+	// Every malformed shape must be rejected with an explicit error that
+	// names the line and the offending token — never silently skipped.
+	cases := []struct {
+		name    string
+		in      string
+		wantMsg string
+	}{
+		{"bad label", "abc 1:2\n", `bad label "abc"`},
+		{"nan label", "nan 1:2\n", `non-finite label "nan"`},
+		{"inf label", "+inf 1:2\n", `non-finite label "+inf"`},
+		{"missing colon", "+1 12\n", `feature "12" missing ':'`},
+		{"double colon", "+1 1:2:3\n", `feature "1:2:3" has more than one ':'`},
+		{"zero index", "+1 0:3\n", `index "0" is not a positive integer`},
+		{"negative index", "+1 -2:3\n", `index "-2" is not a positive integer`},
+		{"fractional index", "+1 1.5:3\n", `index "1.5" is not a positive integer`},
+		{"empty index", "+1 :3\n", `index "" is not a positive integer`},
+		{"bad value", "+1 1:xyz\n", `feature "1:xyz": bad value "xyz"`},
+		{"empty value", "+1 1:\n", `feature "1:": bad value ""`},
+		{"nan value", "+1 1:nan\n", `feature "1:nan": non-finite value`},
+		{"inf value", "+1 1:-inf\n", `feature "1:-inf": non-finite value`},
+		{"unsorted indices", "+1 3:1 2:1\n", "feature index 2 after 3: indices must be strictly ascending"},
+		{"duplicate index", "+1 2:1 2:5\n", "duplicate feature index 2"},
 	}
-	for name, in := range cases {
-		if _, _, err := ParseLIBSVM(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: accepted %q", name, in)
+	for _, tc := range cases {
+		_, _, err := ParseLIBSVM(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantMsg)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error %q does not name the line", tc.name, err)
+		}
+	}
+	// The line number must track real (non-comment, non-blank) input.
+	_, _, err := ParseLIBSVM(strings.NewReader("# header\n+1 1:1\n\n+1 bad\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("line numbering wrong: %v", err)
 	}
 }
 

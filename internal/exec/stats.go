@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -162,6 +163,23 @@ func (s *Stats) Reset() {
 		s.counters[k].elems.Store(0)
 		s.counters[k].nanos.Store(0)
 	}
+}
+
+// WriteMetrics renders the snapshot in a Prometheus-style plain-text
+// exposition: one `<prefix>_kernel_{calls,elements,nanos}{kind="..."}` line
+// per non-empty kind. Concurrent updates during the write may split between
+// lines but never corrupt them. A nil receiver writes nothing.
+func (s *Stats) WriteMetrics(w io.Writer, prefix string) error {
+	for _, ks := range s.Snapshot() {
+		if _, err := fmt.Fprintf(w,
+			"%s_kernel_calls{kind=%q} %d\n%s_kernel_elements{kind=%q} %d\n%s_kernel_nanos{kind=%q} %d\n",
+			prefix, ks.Kind, ks.Calls,
+			prefix, ks.Kind, ks.Elements,
+			prefix, ks.Kind, int64(ks.Time)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // String renders the snapshot as one line per kind.

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// CachedDecision is what the serving cache keeps per shape class: the
+// winning format and the measurement evidence behind it. Matrices are never
+// cached — they belong to one request's data — and estimates are re-derived
+// from the request's own features (the model is pure and cheap).
+type CachedDecision struct {
+	Format   sparse.Format
+	Measured map[sparse.Format]time.Duration
+	// Source is the provenance of the original decision ("measured" or
+	// "history"), preserved so cache hits can report how the format was
+	// first chosen.
+	Source string
+}
+
+// Key derives the decision-cache key from the nine Table IV parameters plus
+// the decision knobs (policy, top-k). Shape features are quantized on a
+// log1p grid so sampling noise between near-identical datasets — e.g. the
+// same corpus regenerated or resharded — lands in one shape class, while
+// structurally different matrices separate. Exact-key hits serve from the
+// cache; near misses beyond the grid still get the History radius lookup
+// inside the scheduler.
+func Key(f dataset.Features, policy string, topK int) string {
+	// 8 buckets per natural-log unit ≈ 13% relative resolution.
+	q := func(x float64) int64 {
+		return int64(math.Round(math.Log1p(math.Max(x, 0)) * 8))
+	}
+	return fmt.Sprintf("%s/%d|%d,%d,%d,%d,%d,%d,%d,%d,%d",
+		policy, topK,
+		q(float64(f.M)), q(float64(f.N)), q(float64(f.NNZ)),
+		q(float64(f.Ndig)), q(f.Dnnz), q(float64(f.Mdim)),
+		q(f.Adim), q(f.Vdim), int64(math.Round(f.Density*1000)))
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{}
+	val  *CachedDecision
+	err  error
+}
+
+// shard is one lock domain of the cache: an LRU map plus the in-flight
+// calls keyed into it.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*call
+}
+
+type lruEntry struct {
+	key string
+	val *CachedDecision
+}
+
+// Cache is a sharded, profile-keyed decision cache with singleflight
+// deduplication: concurrent Do calls for one key run the compute function
+// exactly once and share its result. Sharding keeps lock contention local
+// to a shape class's hash bucket under concurrent serving load; each shard
+// holds at most capacity entries and evicts least-recently-used decisions.
+type Cache struct {
+	shards   []*shard
+	capacity int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedups    atomic.Int64
+	evictions atomic.Int64
+}
+
+// DefaultCacheShards balances lock spread against footprint for a
+// single-host daemon.
+const DefaultCacheShards = 16
+
+// NewCache creates a cache with the given shard count (<=0 means
+// DefaultCacheShards) and per-shard entry capacity (<=0 means 256).
+func NewCache(shards, capacity int) *Cache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	c := &Cache{shards: make([]*shard, shards), capacity: capacity}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries:  make(map[string]*list.Element),
+			order:    list.New(),
+			inflight: make(map[string]*call),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Do returns the decision for key, computing it with fn on a miss. The
+// outcome reports how the value was obtained: "hit" (cached), "dedup"
+// (another goroutine was already computing it; this call waited and shared
+// the result), or "miss" (this call ran fn). Errors are not cached, so a
+// failed computation retries on the next request; if the computing leader
+// fails — including by cancellation — every deduplicated waiter receives
+// the same error.
+func (c *Cache) Do(key string, fn func() (*CachedDecision, error)) (val *CachedDecision, outcome string, err error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.order.MoveToFront(el)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*lruEntry).val, "hit", nil
+	}
+	if cl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.dedups.Add(1)
+		<-cl.done
+		return cl.val, "dedup", cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	sh.inflight[key] = cl
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	cl.val, cl.err = fn()
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if cl.err == nil {
+		c.insertLocked(sh, key, cl.val)
+	}
+	sh.mu.Unlock()
+	close(cl.done)
+	return cl.val, "miss", cl.err
+}
+
+// insertLocked adds key→val to the shard, evicting from the LRU tail when
+// the shard is at capacity. Caller holds sh.mu.
+func (c *Cache) insertLocked(sh *shard, key string, val *CachedDecision) {
+	if el, ok := sh.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		sh.order.MoveToFront(el)
+		return
+	}
+	for sh.order.Len() >= c.capacity {
+		tail := sh.order.Back()
+		sh.order.Remove(tail)
+		delete(sh.entries, tail.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+	sh.entries[key] = sh.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// Len reports the total number of cached decisions across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Inflight reports how many singleflight computations are currently
+// running.
+func (c *Cache) Inflight() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.inflight)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Dedups, Evictions int64
+	Len, Inflight                   int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Dedups:    c.dedups.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       c.Len(),
+		Inflight:  c.Inflight(),
+	}
+}

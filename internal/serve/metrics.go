@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the fixed request-latency
+// histogram; the final +Inf bucket is implicit.
+var latencyBuckets = [...]time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// endpointMetrics accumulates one route's request counters. All fields are
+// atomic so the hot path takes no lock.
+type endpointMetrics struct {
+	count   atomic.Int64
+	errors  atomic.Int64 // responses with status >= 400
+	nanos   atomic.Int64 // cumulative handler latency
+	maxNano atomic.Int64
+	buckets [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// metricsRegistry tracks per-endpoint request metrics. Endpoints register
+// lazily under a lock; observation is lock-free after the first request.
+type metricsRegistry struct {
+	start     time.Time
+	mu        sync.RWMutex
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *metricsRegistry) endpoint(name string) *endpointMetrics {
+	m.mu.RLock()
+	em := m.endpoints[name]
+	m.mu.RUnlock()
+	if em != nil {
+		return em
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if em = m.endpoints[name]; em == nil {
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// observe records one completed request.
+func (m *metricsRegistry) observe(name string, status int, d time.Duration) {
+	em := m.endpoint(name)
+	em.count.Add(1)
+	if status >= 400 {
+		em.errors.Add(1)
+	}
+	em.nanos.Add(int64(d))
+	for {
+		cur := em.maxNano.Load()
+		if int64(d) <= cur || em.maxNano.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	b := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if d <= ub {
+			b = i
+			break
+		}
+	}
+	em.buckets[b].Add(1)
+}
+
+// write renders the registry as plain-text metric lines.
+func (m *metricsRegistry) write(w io.Writer) {
+	fmt.Fprintf(w, "layoutd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	m.mu.RLock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		em := m.endpoint(name)
+		fmt.Fprintf(w, "layoutd_requests_total{endpoint=%q} %d\n", name, em.count.Load())
+		fmt.Fprintf(w, "layoutd_request_errors_total{endpoint=%q} %d\n", name, em.errors.Load())
+		fmt.Fprintf(w, "layoutd_request_nanos_total{endpoint=%q} %d\n", name, em.nanos.Load())
+		fmt.Fprintf(w, "layoutd_request_nanos_max{endpoint=%q} %d\n", name, em.maxNano.Load())
+		for i := range em.buckets {
+			le := "+Inf"
+			if i < len(latencyBuckets) {
+				le = fmt.Sprintf("%g", latencyBuckets[i].Seconds())
+			}
+			fmt.Fprintf(w, "layoutd_request_latency_bucket{endpoint=%q,le=%q} %d\n",
+				name, le, em.buckets[i].Load())
+		}
+	}
+}

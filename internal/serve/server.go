@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+// ErrOverloaded is returned (and mapped to 429) when every measurement slot
+// is occupied: the request would have queued unbounded work onto the shared
+// exec pool.
+var ErrOverloaded = errors.New("serve: all measurement slots busy, retry later")
+
+// Config parameterizes a Server. The zero value is usable: hybrid policy,
+// shared default exec context, fresh history, no prediction model.
+type Config struct {
+	// Policy is the default decision policy; requests may override it.
+	Policy core.Policy
+	// Exec is the execution context measurements and predictions run
+	// under; nil means exec.Default().
+	Exec *exec.Exec
+	// Stats, when non-nil, is attached to Exec for kernel counters that
+	// /metrics exports.
+	Stats *exec.Stats
+	// History is the scheduler's near-miss tuning memory, layered under
+	// the exact-key decision cache; nil starts empty.
+	History *core.History
+	// Model, when non-nil, serves /v1/predict.
+	Model *svm.Model
+
+	TrialRows int   // scheduler trial rows; 0 = core default
+	Repeats   int   // scheduler repeats; 0 = core default
+	TopK      int   // hybrid candidate count; 0 = core default
+	Seed      int64 // sampling seed
+
+	// MaxInflight bounds concurrent measurement computations; further
+	// cache-missing schedule requests get 429. 0 = 4.
+	MaxInflight int
+	// Timeout bounds each request's measurement phase. 0 = 30s.
+	Timeout time.Duration
+	// MaxBody caps request body bytes; larger bodies get 413. 0 = 8 MiB.
+	MaxBody int64
+	// CacheShards and CacheCapacity size the decision cache (see
+	// NewCache); zeros take the cache defaults.
+	CacheShards   int
+	CacheCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Exec == nil {
+		c.Exec = exec.Default()
+	}
+	if c.Stats != nil {
+		c.Exec = c.Exec.WithStats(c.Stats)
+	}
+	if c.History == nil {
+		c.History = &core.History{}
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	return c
+}
+
+// Server is the layout-scheduling service: Handler exposes it over
+// HTTP/JSON, Drain stops admission and waits out in-flight work.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *metricsRegistry
+	sem     chan struct{} // measurement admission slots
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	measurements atomic.Int64 // scheduler runs that actually measured
+}
+
+// NewServer creates a Server from cfg.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		metrics: newMetricsRegistry(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+	}
+}
+
+// History returns the tuning history the server records into, so daemons
+// can persist it across restarts.
+func (s *Server) History() *core.History { return s.cfg.History }
+
+// Measurements reports how many schedule requests ran an actual
+// measurement (as opposed to being served from the cache, the singleflight
+// dedup, or the rule-based model).
+func (s *Server) Measurements() int64 { return s.measurements.Load() }
+
+// CacheStats exposes the decision-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Drain stops admitting requests (new ones get 503) and blocks until every
+// in-flight handler returns. Call after http.Server.Shutdown for a
+// belt-and-braces graceful stop, or directly when embedding the Handler.
+func (s *Server) Drain() {
+	s.closed.Store(true)
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/schedule  dataset profile or inline LIBSVM rows → decision
+//	POST /v1/predict   LIBSVM rows → SVM predictions
+//	GET  /healthz      liveness
+//	GET  /metrics      plain-text counters snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.route("schedule", http.MethodPost, s.handleSchedule))
+	mux.HandleFunc("/v1/predict", s.route("predict", http.MethodPost, s.handlePredict))
+	mux.HandleFunc("/healthz", s.route("healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the response code for the metrics layer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with method filtering, drain gating, in-flight
+// tracking, body capping, and latency observation.
+func (s *Server) route(name, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() { s.metrics.observe(name, rec.status, time.Since(start)) }()
+		if r.Method != method {
+			writeError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+			return
+		}
+		if s.closed.Load() {
+			writeError(rec, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		s.wg.Add(1)
+		defer s.wg.Done()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBody)
+		}
+		h(rec, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeBody decodes the JSON request body into v, translating the
+// MaxBytesReader overflow into 413. It reports whether decoding succeeded;
+// on failure the error response has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"history_len":    s.cfg.History.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.write(w)
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "layoutd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "layoutd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "layoutd_cache_dedups_total %d\n", cs.Dedups)
+	fmt.Fprintf(w, "layoutd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "layoutd_cache_entries %d\n", cs.Len)
+	fmt.Fprintf(w, "layoutd_cache_inflight %d\n", cs.Inflight)
+	fmt.Fprintf(w, "layoutd_measurements_total %d\n", s.measurements.Load())
+	fmt.Fprintf(w, "layoutd_measurement_slots %d\n", cap(s.sem))
+	fmt.Fprintf(w, "layoutd_measurement_slots_busy %d\n", len(s.sem))
+	fmt.Fprintf(w, "layoutd_history_entries %d\n", s.cfg.History.Len())
+	s.cfg.Stats.WriteMetrics(w, "layoutd")
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	policy := s.cfg.Policy
+	if req.Policy != "" {
+		p, err := parsePolicy(req.Policy)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		policy = p
+	}
+	switch {
+	case req.Profile != nil && req.Data != "":
+		writeError(w, http.StatusBadRequest, "give either profile or data, not both")
+	case req.Profile != nil:
+		s.scheduleProfile(w, *req.Profile)
+	case req.Data != "":
+		s.scheduleData(w, r, req, policy)
+	default:
+		writeError(w, http.StatusBadRequest, "give a profile or inline LIBSVM data")
+	}
+}
+
+// scheduleProfile answers a profile-only request: with no data to measure,
+// the decision is the rule-based cost model evaluated on the given nine
+// parameters.
+func (s *Server) scheduleProfile(w http.ResponseWriter, p FeaturesJSON) {
+	f := p.Features()
+	if f.M <= 0 || f.N <= 0 {
+		writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
+		return
+	}
+	ests := core.EstimateCosts(f)
+	d := DecisionJSON{
+		Policy:   core.RuleBased.String(),
+		Chosen:   ests[0].Format.String(),
+		Features: p,
+		Source:   "model",
+		Trace:    []string{"profile-only request: rule-based cost model, no measurement"},
+	}
+	for _, e := range ests {
+		d.Estimates = append(d.Estimates, EstimateJSON{
+			Format: e.Format.String(), Bytes: e.Bytes, Weight: e.Weight,
+			Imbalance: e.Imbalance, Cost: e.Cost,
+		})
+	}
+	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: d})
+}
+
+// scheduleData answers an inline-data request: parse the LIBSVM rows,
+// derive the shape class, and serve from the decision cache or measure
+// under admission control.
+func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req ScheduleRequest, policy core.Policy) {
+	samples, n, err := dataset.ParseLIBSVM(strings.NewReader(req.Data))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(samples) == 0 {
+		writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
+		return
+	}
+	b, _ := dataset.SamplesToMatrix(samples, n)
+	csr, err := b.Build(sparse.CSR)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unbuildable matrix: %v", err))
+		return
+	}
+	feats := dataset.Extract(csr)
+	trace := []string{fmt.Sprintf("parsed %d LIBSVM rows, %d features", len(samples), n)}
+
+	sched := core.New(core.Config{
+		Policy: policy, Exec: s.cfg.Exec,
+		TrialRows: s.cfg.TrialRows, Repeats: s.cfg.Repeats,
+		TopK: s.cfg.TopK, Seed: s.cfg.Seed, History: s.cfg.History,
+	})
+
+	if policy == core.RuleBased {
+		// Pure model decision: nothing to measure, nothing worth caching.
+		dec, err := sched.ChooseContext(r.Context(), b)
+		if err != nil {
+			writeScheduleError(w, err)
+			return
+		}
+		dj := NewDecisionJSON(dec)
+		dj.Trace = append(trace, "rule-based policy: model decision, no measurement")
+		writeJSON(w, http.StatusOK, ScheduleResponse{Decision: dj})
+		return
+	}
+
+	key := Key(feats, policy.String(), s.cfg.TopK)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	val, outcome, err := s.cache.Do(key, func() (*CachedDecision, error) {
+		// Only the singleflight leader reaches here; admission bounds how
+		// many leaders may queue measurement kernels onto the exec pool.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			return nil, ErrOverloaded
+		}
+		defer func() { <-s.sem }()
+		dec, err := sched.ChooseContext(ctx, b)
+		if err != nil {
+			return nil, err
+		}
+		source := "measured"
+		if dec.Reused {
+			source = "history"
+		} else {
+			s.measurements.Add(1)
+		}
+		return &CachedDecision{Format: dec.Chosen, Measured: dec.Measured, Source: source}, nil
+	})
+	if err != nil {
+		writeScheduleError(w, err)
+		return
+	}
+	switch outcome {
+	case "hit":
+		trace = append(trace, fmt.Sprintf("cache: hit for shape class %s (decision first %s)", key, val.Source))
+	case "dedup":
+		trace = append(trace, fmt.Sprintf("cache: joined in-flight measurement for shape class %s", key))
+	default:
+		trace = append(trace, fmt.Sprintf("cache: miss for shape class %s", key))
+		if val.Source == "history" {
+			trace = append(trace, "history: near-miss reuse, measurement skipped")
+		} else {
+			trace = append(trace, fmt.Sprintf("admission: acquired 1 of %d measurement slots", cap(s.sem)))
+		}
+	}
+
+	d := DecisionJSON{
+		Policy:   policy.String(),
+		Chosen:   val.Format.String(),
+		Features: NewFeaturesJSON(feats),
+		Source:   val.Source,
+		Measured: encodeMeasured(val.Measured),
+		Trace:    trace,
+	}
+	if outcome != "miss" {
+		d.Source = "cache"
+	}
+	for _, e := range core.EstimateCosts(feats) {
+		d.Estimates = append(d.Estimates, EstimateJSON{
+			Format: e.Format.String(), Bytes: e.Bytes, Weight: e.Weight,
+			Imbalance: e.Imbalance, Cost: e.Cost,
+		})
+	}
+	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: d})
+}
+
+// writeScheduleError maps scheduler failures onto HTTP statuses.
+func writeScheduleError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrEmptyMatrix):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "measurement deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled mid-measurement")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Model == nil {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded (start layoutd with -model)")
+		return
+	}
+	var req PredictRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "rows is empty")
+		return
+	}
+	// Rows are LIBSVM feature lists; a leading "index:value" token means
+	// the label is absent and a dummy one is prepended for the parser.
+	var sb strings.Builder
+	for i, row := range req.Rows {
+		row = strings.TrimSpace(row)
+		if row == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d is blank", i))
+			return
+		}
+		if first, _, _ := strings.Cut(row, " "); strings.Contains(first, ":") {
+			sb.WriteString("0 ")
+		}
+		sb.WriteString(row)
+		sb.WriteByte('\n')
+	}
+	samples, n, err := dataset.ParseLIBSVM(strings.NewReader(sb.String()))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(samples) != len(req.Rows) {
+		writeError(w, http.StatusBadRequest, "blank rows are not allowed")
+		return
+	}
+	b, _ := dataset.SamplesToMatrix(samples, n)
+	m, err := b.Build(sparse.CSR)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unbuildable matrix: %v", err))
+		return
+	}
+	decisions := s.cfg.Model.DecisionBatch(m, s.cfg.Exec)
+	preds := make([]float64, len(decisions))
+	for i, d := range decisions {
+		if d >= 0 {
+			preds[i] = 1
+		} else {
+			preds[i] = -1
+		}
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Predictions: preds,
+		Decisions:   decisions,
+		SVs:         len(s.cfg.Model.SVs),
+	})
+}

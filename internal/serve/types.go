@@ -1,0 +1,183 @@
+// Package serve turns the layout scheduler into a long-running network
+// service: an HTTP/JSON API over Scheduler.Choose and trained SVM models,
+// with a sharded, profile-keyed decision cache (singleflight-deduplicated so
+// concurrent requests for the same shape class measure once), bounded
+// admission onto the shared exec pool, per-request deadlines, and a
+// plain-text metrics endpoint. cmd/layoutd is the daemon wrapper;
+// cmd/layoutsched shares this package's JSON encoding for its -json flag.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// FeaturesJSON is the wire form of the paper's nine Table IV influencing
+// parameters. It is accepted in schedule requests (profile-only mode) and
+// echoed in every decision response.
+type FeaturesJSON struct {
+	M       int     `json:"m"`
+	N       int     `json:"n"`
+	NNZ     int64   `json:"nnz"`
+	Ndig    int     `json:"ndig"`
+	Dnnz    float64 `json:"dnnz"`
+	Mdim    int     `json:"mdim"`
+	Adim    float64 `json:"adim"`
+	Vdim    float64 `json:"vdim"`
+	Density float64 `json:"density"`
+}
+
+// NewFeaturesJSON converts extracted features to their wire form.
+func NewFeaturesJSON(f dataset.Features) FeaturesJSON {
+	return FeaturesJSON{
+		M: f.M, N: f.N, NNZ: f.NNZ, Ndig: f.Ndig, Dnnz: f.Dnnz,
+		Mdim: f.Mdim, Adim: f.Adim, Vdim: f.Vdim, Density: f.Density,
+	}
+}
+
+// Features converts the wire form back to the dataset type.
+func (f FeaturesJSON) Features() dataset.Features {
+	return dataset.Features{
+		M: f.M, N: f.N, NNZ: f.NNZ, Ndig: f.Ndig, Dnnz: f.Dnnz,
+		Mdim: f.Mdim, Adim: f.Adim, Vdim: f.Vdim, Density: f.Density,
+	}
+}
+
+// EstimateJSON is one format's rule-based cost estimate with the factors
+// broken out, mirroring core.Estimate.
+type EstimateJSON struct {
+	Format    string  `json:"format"`
+	Bytes     int64   `json:"bytes"`
+	Weight    float64 `json:"weight"`
+	Imbalance float64 `json:"imbalance"`
+	Cost      float64 `json:"cost"`
+}
+
+// MeasurementJSON is one format's measured SMSV time.
+type MeasurementJSON struct {
+	Format string  `json:"format"`
+	Nanos  int64   `json:"nanos"`
+	Millis float64 `json:"millis"`
+}
+
+// DecisionJSON is the machine-readable layout decision shared by the
+// layoutd /v1/schedule response and the layoutsched -json flag.
+type DecisionJSON struct {
+	Policy   string       `json:"policy"`
+	Chosen   string       `json:"chosen"`
+	Features FeaturesJSON `json:"features"`
+	// Source records where the decision came from: "model" (rule-based
+	// cost model only), "measured" (fresh empirical measurement),
+	// "history" (near-miss reuse from the tuning history), or "cache"
+	// (exact shape-class hit in the serving cache).
+	Source    string            `json:"source"`
+	Estimates []EstimateJSON    `json:"estimates"`
+	Measured  []MeasurementJSON `json:"measured,omitempty"` // ascending time
+	// Trace lists the policy steps the server took, in order, for
+	// observability ("cache: miss", "admission: acquired slot", ...).
+	Trace []string `json:"trace,omitempty"`
+}
+
+// NewDecisionJSON encodes a core decision. The measured block is sorted by
+// ascending time so the first entry is the empirical winner.
+func NewDecisionJSON(d *core.Decision) DecisionJSON {
+	out := DecisionJSON{
+		Policy:   d.Policy.String(),
+		Chosen:   d.Chosen.String(),
+		Features: NewFeaturesJSON(d.Features),
+		Source:   "model",
+	}
+	if len(d.Measured) > 0 {
+		out.Source = "measured"
+	}
+	if d.Reused {
+		out.Source = "history"
+	}
+	out.Estimates = make([]EstimateJSON, 0, len(d.Estimates))
+	for _, e := range d.Estimates {
+		out.Estimates = append(out.Estimates, EstimateJSON{
+			Format: e.Format.String(), Bytes: e.Bytes, Weight: e.Weight,
+			Imbalance: e.Imbalance, Cost: e.Cost,
+		})
+	}
+	out.Measured = encodeMeasured(d.Measured)
+	return out
+}
+
+// encodeMeasured renders a measurement map sorted by ascending time.
+func encodeMeasured(m map[sparse.Format]time.Duration) []MeasurementJSON {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]MeasurementJSON, 0, len(m))
+	for f, t := range m {
+		out = append(out, MeasurementJSON{
+			Format: f.String(), Nanos: int64(t),
+			Millis: float64(t) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos < out[j].Nanos
+		}
+		return out[i].Format < out[j].Format
+	})
+	return out
+}
+
+// ScheduleRequest is the /v1/schedule body. Exactly one of Profile or Data
+// must be set: Profile runs the rule-based cost model on the given Table IV
+// parameters (no data to measure); Data carries inline LIBSVM rows that the
+// configured policy can measure empirically.
+type ScheduleRequest struct {
+	Profile *FeaturesJSON `json:"profile,omitempty"`
+	Data    string        `json:"data,omitempty"`
+	// Policy optionally overrides the server's default decision policy:
+	// "rule-based", "empirical", or "hybrid".
+	Policy string `json:"policy,omitempty"`
+	// TopK optionally overrides the hybrid policy's candidate count.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// ScheduleResponse is the /v1/schedule reply.
+type ScheduleResponse struct {
+	Decision DecisionJSON `json:"decision"`
+}
+
+// PredictRequest is the /v1/predict body: rows in LIBSVM feature syntax
+// ("index:value index:value ..."), with or without a leading label.
+type PredictRequest struct {
+	Rows []string `json:"rows"`
+}
+
+// PredictResponse is the /v1/predict reply: one prediction in {-1,+1} and
+// one raw decision value per input row.
+type PredictResponse struct {
+	Predictions []float64 `json:"predictions"`
+	Decisions   []float64 `json:"decisions"`
+	SVs         int       `json:"svs"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parsePolicy maps the wire policy name to a core.Policy.
+func parsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "rule-based":
+		return core.RuleBased, nil
+	case "empirical":
+		return core.Empirical, nil
+	case "hybrid":
+		return core.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want rule-based, empirical, or hybrid)", s)
+	}
+}
