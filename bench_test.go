@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/exec"
 	"repro/internal/hwmodel"
+	"repro/internal/learn"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 	"repro/internal/svm/reference"
@@ -129,6 +131,65 @@ func BenchmarkTable6Adaptive(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPredictVsMeasure quantifies what the trained predictor buys on a
+// cache miss: a full measurement-based Choose (hybrid policy) against the
+// predict policy's model inference, plus the bare forest inference with no
+// matrix handling at all. The predict-policy decision still builds CSR,
+// extracts features, and materializes the chosen format — only the timed
+// kernel measurements disappear.
+func BenchmarkPredictVsMeasure(b *testing.B) {
+	ex := exec.Serial()
+	labeled, err := learn.MeasureAll(context.Background(), learn.SyntheticCorpus(20, benchSeed), ex, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := learn.Train(learn.Examples(labeled), learn.TrainConfig{Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dataset.ByName("aloi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bl := d.MustGenerate(benchSeed)
+	feats := dataset.Extract(bl.MustBuild(sparse.CSR))
+	b.Run("measure-choose", func(b *testing.B) {
+		sched := core.New(core.Config{Policy: core.Hybrid, Exec: ex, Seed: benchSeed})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.Choose(bl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("predict-choose", func(b *testing.B) {
+		// MinConfidence near zero keeps the benchmark on the prediction
+		// path regardless of how the votes split on this dataset.
+		sched := core.New(core.Config{
+			Policy: core.PolicyPredict, Predictor: forest, MinConfidence: 0.01,
+			Exec: ex, Seed: benchSeed,
+		})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec, err := sched.Choose(bl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !dec.Predicted {
+				b.Fatal("decision fell back to measurement")
+			}
+		}
+	})
+	b.Run("predict-infer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := forest.PredictFormat(feats); !ok {
+				b.Fatal("empty forest")
+			}
+		}
+	})
 }
 
 // BenchmarkFig7VsReference is the Figure 7 experiment: SMO training time,

@@ -78,6 +78,29 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "reused from tuning history") {
 		t.Fatalf("layoutsched did not reuse history:\n%s", out)
 	}
+	// Train a format predictor on a small synthetic corpus, score it on a
+	// held-out one, then use it to schedule without measuring.
+	fmodel := filepath.Join(dir, "format.model.json")
+	out = run("./cmd/layoutsched", "train", "-synthetic", "15", "-out", fmodel, "-seed", "1")
+	if !strings.Contains(out, "trained") || !strings.Contains(out, "saved to") {
+		t.Fatalf("train output missing summary:\n%s", out)
+	}
+	out = run("./cmd/layoutsched", "eval", "-model", fmodel, "-synthetic", "8", "-seed", "2")
+	if !strings.Contains(out, "eval:") || !strings.Contains(out, "within") {
+		t.Fatalf("eval output missing report:\n%s", out)
+	}
+	out = run("./cmd/layoutsched", "-file", data, "-policy", "predict",
+		"-predictor", fmodel, "-min-confidence", "0.01", "-json")
+	var pdec struct {
+		Source     string  `json:"source"`
+		Confidence float64 `json:"confidence"`
+	}
+	if err := json.Unmarshal([]byte(out), &pdec); err != nil {
+		t.Fatalf("predict-policy -json output not JSON: %v\n%s", err, out)
+	}
+	if pdec.Source != "predictor" || pdec.Confidence <= 0 {
+		t.Fatalf("predict-policy decision not attributed to the predictor: %+v", pdec)
+	}
 	out = run("./cmd/benchtables", "-exp", "table2,scaling")
 	if !strings.Contains(out, "Table II") || !strings.Contains(out, "scaling study") {
 		t.Fatalf("benchtables output missing tables:\n%s", out)
@@ -109,9 +132,27 @@ func TestLayoutdDaemon(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fmodel := filepath.Join(dir, "format.model.json")
+	train := exec.Command("go", "run", "./cmd/layoutsched", "train",
+		"-synthetic", "10", "-out", fmodel, "-seed", "1")
+	if out, err := train.CombinedOutput(); err != nil {
+		t.Fatalf("layoutsched train: %v\n%s", err, out)
+	}
+
+	// A corrupt predictor must fail startup with the file named — never
+	// surface mid-request.
+	badModel := filepath.Join(dir, "bad.model.json")
+	if err := os.WriteFile(badModel, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := exec.Command("go", "run", "./cmd/layoutd", "-addr", "127.0.0.1:0", "-predictor", badModel)
+	if out, err := bad.CombinedOutput(); err == nil || !strings.Contains(string(out), badModel) {
+		t.Fatalf("corrupt predictor did not fail startup naming the file (err %v):\n%s", err, out)
+	}
 
 	daemon := exec.Command("go", "run", "./cmd/layoutd",
-		"-addr", "127.0.0.1:0", "-history", hist, "-max-inflight", "2")
+		"-addr", "127.0.0.1:0", "-history", hist, "-max-inflight", "2",
+		"-predictor", fmodel, "-min-confidence", "0.01")
 	stderr, err := daemon.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -174,8 +215,19 @@ func TestLayoutdDaemon(t *testing.T) {
 	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
 		t.Fatalf("healthz: %d %s", code, body)
 	}
+	// The predict policy is exercised first, before any measurement records
+	// adult's shape into the tuning history — a history near-miss would
+	// otherwise answer before the predictor is consulted.
+	code, body := post("/v1/schedule", map[string]string{"data": string(raw), "policy": "predict"})
+	if code != 200 || !strings.Contains(body, `"source": "predictor"`) {
+		t.Fatalf("predict-policy schedule: %d %s", code, body)
+	}
+	code, body = post("/v1/predict-format", map[string]string{"data": string(raw)})
+	if code != 200 || !strings.Contains(body, `"format"`) || !strings.Contains(body, `"confidence"`) {
+		t.Fatalf("predict-format: %d %s", code, body)
+	}
 	req := map[string]string{"data": string(raw)}
-	code, body := post("/v1/schedule", req)
+	code, body = post("/v1/schedule", req)
 	if code != 200 || !strings.Contains(body, `"source": "measured"`) {
 		t.Fatalf("first schedule: %d %s", code, body)
 	}
@@ -188,7 +240,9 @@ func TestLayoutdDaemon(t *testing.T) {
 	}
 	code, body = get("/metrics")
 	if code != 200 || !strings.Contains(body, "layoutd_cache_hits_total 1") ||
-		!strings.Contains(body, "layoutd_measurements_total 1") {
+		!strings.Contains(body, "layoutd_measurements_total 1") ||
+		!strings.Contains(body, "layoutd_predictor_loaded 1") ||
+		!strings.Contains(body, "layoutd_predictor_hits_total 1") {
 		t.Fatalf("metrics: %d\n%s", code, body)
 	}
 

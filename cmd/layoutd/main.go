@@ -3,17 +3,20 @@
 // amortized across a workload of similar datasets. Decisions are cached by
 // shape class (the nine Table IV parameters, quantized), deduplicated with
 // singleflight, bounded by an admission limit, and optionally backed by a
-// persistent tuning history and a trained SVM model for /v1/predict.
+// persistent tuning history, a trained SVM model for /v1/predict, and a
+// trained format predictor for /v1/predict-format and the predict policy.
 //
 // Usage:
 //
 //	layoutd -addr :8723
 //	layoutd -addr :8723 -policy hybrid -history tuning.hist -model svm.model
+//	layoutd -addr :8723 -policy predict -predictor model.json
 //
 // Endpoints:
 //
-//	POST /v1/schedule  {"data": "<libsvm rows>"} or {"profile": {...}}
-//	POST /v1/predict   {"rows": ["1:0.5 3:1.2", ...]}
+//	POST /v1/schedule        {"data": "<libsvm rows>"} or {"profile": {...}}
+//	POST /v1/predict         {"rows": ["1:0.5 3:1.2", ...]}
+//	POST /v1/predict-format  {"data": "<libsvm rows>"} or {"profile": {...}}
 //	GET  /healthz
 //	GET  /metrics
 package main
@@ -32,55 +35,74 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/learn"
 	"repro/internal/serve"
 	"repro/internal/svm"
 )
 
+// options collects every daemon flag so run stays callable from tests
+// without a 14-argument signature.
+type options struct {
+	addr          string
+	policy        string
+	workers       int
+	histPath      string
+	modelPath     string
+	predictorPath string
+	minConfidence float64
+	maxInflight   int
+	timeout       time.Duration
+	maxBody       int64
+	cacheCap      int
+	trialRows     int
+	topK          int
+	seed          int64
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8723", "listen address")
-		policy      = flag.String("policy", "hybrid", "default decision policy: rule-based, empirical, hybrid")
-		workers     = flag.Int("workers", 0, "kernel workers (0 = all cores)")
-		histPath    = flag.String("history", "", "tuning-history file: loaded at startup, saved on shutdown")
-		modelPath   = flag.String("model", "", "trained SVM model file served by /v1/predict")
-		maxInflight = flag.Int("max-inflight", 4, "concurrent measurement slots; excess requests get 429")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request measurement deadline")
-		maxBody     = flag.Int64("max-body", 8<<20, "request body byte cap")
-		cacheCap    = flag.Int("cache-capacity", 256, "decision cache entries per shard")
-		trialRows   = flag.Int("trial-rows", 0, "scheduler trial rows (0 = default)")
-		topK        = flag.Int("topk", 0, "hybrid candidate count (0 = default)")
-		seed        = flag.Int64("seed", 1, "measurement sampling seed")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8723", "listen address")
+	flag.StringVar(&o.policy, "policy", "hybrid", "default decision policy: rule-based, empirical, hybrid, predict")
+	flag.IntVar(&o.workers, "workers", 0, "kernel workers (0 = all cores)")
+	flag.StringVar(&o.histPath, "history", "", "tuning-history file: loaded at startup, saved on shutdown")
+	flag.StringVar(&o.modelPath, "model", "", "trained SVM model file served by /v1/predict")
+	flag.StringVar(&o.predictorPath, "predictor", "", "trained format-predictor file (from `layoutsched train`) served by /v1/predict-format and the predict policy")
+	flag.Float64Var(&o.minConfidence, "min-confidence", 0, "predictor confidence below which decisions fall back to measurement (0 = default)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 4, "concurrent measurement slots; excess requests get 429")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request measurement deadline")
+	flag.Int64Var(&o.maxBody, "max-body", 8<<20, "request body byte cap")
+	flag.IntVar(&o.cacheCap, "cache-capacity", 256, "decision cache entries per shard")
+	flag.IntVar(&o.trialRows, "trial-rows", 0, "scheduler trial rows (0 = default)")
+	flag.IntVar(&o.topK, "topk", 0, "hybrid candidate count (0 = default)")
+	flag.Int64Var(&o.seed, "seed", 1, "measurement sampling seed")
 	flag.Parse()
-	if err := run(*addr, *policy, *workers, *histPath, *modelPath,
-		*maxInflight, *timeout, *maxBody, *cacheCap, *trialRows, *topK, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, policy string, workers int, histPath, modelPath string,
-	maxInflight int, timeout time.Duration, maxBody int64,
-	cacheCap, trialRows, topK int, seed int64) error {
+func run(o options) error {
 	pol := map[string]core.Policy{
-		"rule-based": core.RuleBased, "empirical": core.Empirical, "hybrid": core.Hybrid,
+		"rule-based": core.RuleBased, "empirical": core.Empirical,
+		"hybrid": core.Hybrid, "predict": core.PolicyPredict,
 	}
-	p, ok := pol[policy]
+	p, ok := pol[o.policy]
 	if !ok {
-		return fmt.Errorf("unknown policy %q", policy)
+		return fmt.Errorf("unknown policy %q", o.policy)
 	}
 	hist := &core.History{}
-	if histPath != "" {
-		h, err := loadHistory(histPath)
+	if o.histPath != "" {
+		h, err := loadHistory(o.histPath)
 		if err != nil {
 			return err
 		}
 		hist = h
-		log.Printf("loaded %d tuning-history entries from %s", hist.Len(), histPath)
+		log.Printf("loaded %d tuning-history entries from %s", hist.Len(), o.histPath)
 	}
 	var model *svm.Model
-	if modelPath != "" {
-		f, err := os.Open(modelPath)
+	if o.modelPath != "" {
+		f, err := os.Open(o.modelPath)
 		if err != nil {
 			return err
 		}
@@ -89,30 +111,50 @@ func run(addr, policy string, workers int, histPath, modelPath string,
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded SVM model with %d support vectors from %s", len(model.SVs), modelPath)
+		log.Printf("loaded SVM model with %d support vectors from %s", len(model.SVs), o.modelPath)
 	}
-	ex := exec.New(workers, exec.Static)
+	// A corrupt or outdated predictor fails startup here, with the file
+	// named in the error — never mid-request.
+	var predictor *learn.Forest
+	if o.predictorPath != "" {
+		f, err := learn.LoadFile(o.predictorPath)
+		if err != nil {
+			return err
+		}
+		predictor = f
+		log.Printf("loaded format predictor (%d trees, trained on %d examples) from %s",
+			predictor.Trees(), predictor.TrainedOn(), o.predictorPath)
+	}
+	if p == core.PolicyPredict && predictor == nil {
+		return fmt.Errorf("policy predict needs -predictor")
+	}
+	ex := exec.New(o.workers, exec.Static)
 	defer ex.Close()
 
-	s := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Policy: p, Exec: ex, Stats: &exec.Stats{}, History: hist, Model: model,
-		TrialRows: trialRows, TopK: topK, Seed: seed,
-		MaxInflight: maxInflight, Timeout: timeout, MaxBody: maxBody,
-		CacheCapacity: cacheCap,
-	})
+		MinConfidence: o.minConfidence,
+		TrialRows:     o.trialRows, TopK: o.topK, Seed: o.seed,
+		MaxInflight: o.maxInflight, Timeout: o.timeout, MaxBody: o.maxBody,
+		CacheCapacity: o.cacheCap,
+	}
+	if predictor != nil {
+		cfg.Predictor = predictor
+	}
+	s := serve.NewServer(cfg)
 	httpSrv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	// Bind explicitly so -addr :0 works and the log names the real port.
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("layoutd listening on %s (policy %s, %d measurement slots)", ln.Addr(), p, maxInflight)
+	log.Printf("layoutd listening on %s (policy %s, %d measurement slots)", ln.Addr(), p, o.maxInflight)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -126,17 +168,21 @@ func run(addr, policy string, workers int, histPath, modelPath string,
 	// Graceful shutdown: stop accepting, let in-flight handlers finish
 	// (bounded by the measurement timeout plus slack), then drain and
 	// persist what was learned.
-	ctx, cancel := context.WithTimeout(context.Background(), timeout+5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	s.Drain()
-	if histPath != "" {
-		if err := saveHistory(histPath, s.History()); err != nil {
+	if o.predictorPath != "" {
+		log.Printf("predictor answered %d decisions, fell back to measurement on %d",
+			s.PredictorHits(), s.PredictorFallbacks())
+	}
+	if o.histPath != "" {
+		if err := saveHistory(o.histPath, s.History()); err != nil {
 			return fmt.Errorf("saving history: %w", err)
 		}
-		log.Printf("saved %d tuning-history entries to %s", s.History().Len(), histPath)
+		log.Printf("saved %d tuning-history entries to %s", s.History().Len(), o.histPath)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@
 // storage format: it extracts the paper's nine Table IV influencing
 // parameters, evaluates the rule-based cost model, optionally
 // micro-benchmarks the candidate formats on the actual data, and prints the
-// decision.
+// decision. The train and eval subcommands close the measure→train→predict
+// flywheel: train fits a format predictor from measurement-labeled data,
+// eval scores it against a held-out measured oracle.
 //
 // Usage:
 //
@@ -11,34 +13,63 @@
 //	layoutsched -dataset sector -policy rule-based
 //	layoutsched -dataset mnist -stats        # report kernel counters
 //	layoutsched -dataset mnist -json         # machine-readable decision (layoutd wire format)
+//	layoutsched -dataset mnist -policy predict -predictor model.json
+//
+//	layoutsched train -synthetic 80 -out model.json
+//	layoutsched train -history tuning.hist -data 'corpus/*.libsvm' -out model.json
+//	layoutsched eval -model model.json -synthetic 40
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/learn"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "train":
+			if err := trainCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "eval":
+			if err := evalCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
+	scheduleCmd()
+}
+
+// scheduleCmd is the default mode: decide a storage format for one dataset.
+func scheduleCmd() {
 	var (
-		file     = flag.String("file", "", "LIBSVM-format dataset file")
-		name     = flag.String("dataset", "", "Table V dataset clone name (adult, aloi, mnist, ...)")
-		policy   = flag.String("policy", "hybrid", "decision policy: rule-based, empirical, hybrid")
-		workers  = flag.Int("workers", 0, "kernel workers (0 = all cores)")
-		seed     = flag.Int64("seed", 1, "clone generation seed")
-		histPath = flag.String("history", "", "incremental-tuning history file: decisions are reused for similar datasets and new ones appended")
-		verbose  = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
-		stats    = flag.Bool("stats", false, "report per-format kernel invocation counters after the decision")
-		jsonOut  = flag.Bool("json", false, "emit the decision as machine-readable JSON (the layoutd wire format) instead of tables")
+		file      = flag.String("file", "", "LIBSVM-format dataset file")
+		name      = flag.String("dataset", "", "Table V dataset clone name (adult, aloi, mnist, ...)")
+		policy    = flag.String("policy", "hybrid", "decision policy: rule-based, empirical, hybrid, predict")
+		workers   = flag.Int("workers", 0, "kernel workers (0 = all cores)")
+		seed      = flag.Int64("seed", 1, "clone generation seed")
+		histPath  = flag.String("history", "", "incremental-tuning history file: decisions are reused for similar datasets and new ones appended")
+		predPath  = flag.String("predictor", "", "trained format-predictor file (required for -policy predict)")
+		minConf   = flag.Float64("min-confidence", 0, "predictor confidence below which the decision falls back to measurement (0 = default)")
+		verbose   = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
+		statsFlag = flag.Bool("stats", false, "report per-format kernel invocation counters after the decision")
+		jsonOut   = flag.Bool("json", false, "emit the decision as machine-readable JSON (the layoutd wire format) instead of tables")
 	)
 	flag.Parse()
 
@@ -47,7 +78,8 @@ func main() {
 		fatal(err)
 	}
 	pol := map[string]core.Policy{
-		"rule-based": core.RuleBased, "empirical": core.Empirical, "hybrid": core.Hybrid,
+		"rule-based": core.RuleBased, "empirical": core.Empirical,
+		"hybrid": core.Hybrid, "predict": core.PolicyPredict,
 	}
 	p, ok := pol[*policy]
 	if !ok {
@@ -60,14 +92,25 @@ func main() {
 			fatal(err)
 		}
 	}
+	cfg := core.Config{Policy: p, Seed: *seed, History: hist, MinConfidence: *minConf}
+	if *predPath != "" {
+		forest, err := learn.LoadFile(*predPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Predictor = forest
+	} else if p == core.PolicyPredict {
+		fatal(fmt.Errorf("policy predict needs -predictor"))
+	}
 	ex := exec.New(*workers, exec.Static)
 	defer ex.Close()
 	var counters *exec.Stats
-	if *stats {
+	if *statsFlag {
 		counters = &exec.Stats{}
 		ex = ex.WithStats(counters)
 	}
-	sched := core.New(core.Config{Policy: p, Exec: ex, Seed: *seed, History: hist})
+	cfg.Exec = ex
+	sched := core.New(cfg)
 	dec, err := sched.Choose(b)
 	if err != nil {
 		fatal(err)
@@ -87,6 +130,11 @@ func main() {
 	}
 	if hist != nil && dec.Reused {
 		fmt.Println("(decision reused from tuning history)")
+	}
+	if dec.Predicted {
+		fmt.Printf("(decision predicted by the trained model, confidence %.2f — no measurement)\n", dec.Confidence)
+	} else if p == core.PolicyPredict {
+		fmt.Printf("(predictor confidence %.2f below threshold: measured instead)\n", dec.Confidence)
 	}
 
 	fmt.Println("Influencing parameters (Table IV):")
@@ -124,6 +172,120 @@ func main() {
 		st.Add("total", fmt.Sprint(tot.Calls), fmt.Sprint(tot.Elements), bench.FmtDur(tot.Time))
 		st.Render(os.Stdout)
 	}
+}
+
+// trainCmd fits a format predictor from measurement-labeled data: harvested
+// tuning history, LIBSVM files measured on the spot, and/or a generated
+// synthetic corpus.
+func trainCmd(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	var (
+		histPath  = fs.String("history", "", "tuning-history file to harvest examples from")
+		dataGlob  = fs.String("data", "", "glob of LIBSVM files to measure-label (e.g. 'corpus/*.libsvm')")
+		synthetic = fs.Int("synthetic", 0, "generate and measure-label this many synthetic datasets")
+		out       = fs.String("out", "model.json", "output model file")
+		trees     = fs.Int("trees", 0, "forest size (0 = default)")
+		depth     = fs.Int("depth", 0, "maximum tree depth (0 = default)")
+		seed      = fs.Int64("seed", 1, "corpus generation and measurement seed")
+		workers   = fs.Int("workers", 0, "kernel workers for measurement (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+
+	var examples []learn.Example
+	if *histPath != "" {
+		h, err := loadHistory(*histPath)
+		if err != nil {
+			return err
+		}
+		harvested := learn.FromHistory(h)
+		fmt.Printf("harvested %d examples from %s\n", len(harvested), *histPath)
+		examples = append(examples, harvested...)
+	}
+	measured, err := measureCorpus(*dataGlob, *synthetic, *seed, ex)
+	if err != nil {
+		return err
+	}
+	if len(measured) > 0 {
+		fmt.Printf("measure-labeled %d datasets\n", len(measured))
+		examples = append(examples, learn.Examples(measured)...)
+	}
+	forest, err := learn.Train(examples, learn.TrainConfig{Trees: *trees, MaxDepth: *depth, Seed: *seed})
+	if err != nil {
+		return fmt.Errorf("%w (give -history, -data, and/or -synthetic)", err)
+	}
+	if err := forest.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d trees on %d examples, saved to %s\n", forest.Trees(), forest.TrainedOn(), *out)
+	return nil
+}
+
+// evalCmd scores a trained predictor against a measured oracle on held-out
+// data.
+func evalCmd(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model file")
+		dataGlob  = fs.String("data", "", "glob of LIBSVM files to evaluate on")
+		synthetic = fs.Int("synthetic", 0, "evaluate on this many synthetic datasets")
+		seed      = fs.Int64("seed", 2, "corpus seed; keep it different from the training seed so the split is held out")
+		tolerance = fs.Float64("tolerance", 1.25, "slowdown-vs-oracle counted as acceptable")
+		minConf   = fs.Float64("min-confidence", core.DefaultMinConfidence, "confidence threshold for the low-confidence count")
+		workers   = fs.Int("workers", 0, "kernel workers for measurement (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	forest, err := learn.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+	measured, err := measureCorpus(*dataGlob, *synthetic, *seed, ex)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("nothing to evaluate: give -data and/or -synthetic")
+	}
+	res := learn.Evaluate(forest, measured, *tolerance, *minConf)
+	fmt.Println(res)
+	return nil
+}
+
+// measureCorpus assembles the measurement-labeled corpus both train and
+// eval run on: LIBSVM files matching the glob plus n synthetic datasets.
+func measureCorpus(glob string, synthetic int, seed int64, ex *exec.Exec) ([]learn.Labeled, error) {
+	var corpus []*sparse.Builder
+	if glob != "" {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no files match %q", glob)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			b, err := loadMatrix(path, "", seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			corpus = append(corpus, b)
+		}
+	}
+	if synthetic > 0 {
+		corpus = append(corpus, learn.SyntheticCorpus(synthetic, seed)...)
+	}
+	if len(corpus) == 0 {
+		return nil, nil
+	}
+	return learn.MeasureAll(context.Background(), corpus, ex, seed)
 }
 
 func loadMatrix(file, name string, seed int64) (*sparse.Builder, error) {

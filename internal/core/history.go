@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,30 +33,11 @@ type historyEntry struct {
 	format sparse.Format
 }
 
-// featureDims is the embedded feature-space dimensionality.
-const featureDims = 7
-
-// embed maps a Features value into the history's normalized metric space.
-func embed(f dataset.Features) [featureDims]float64 {
-	l := func(x float64) float64 { return math.Log1p(math.Max(x, 0)) }
-	ratio := 0.0
-	if f.Adim > 0 {
-		ratio = f.Vdim / f.Adim
-	}
-	mdimRatio := 0.0
-	if f.Adim > 0 {
-		mdimRatio = float64(f.Mdim) / f.Adim
-	}
-	return [featureDims]float64{
-		l(float64(f.M)) - l(float64(f.N)), // aspect
-		l(float64(f.NNZ)),
-		l(float64(f.Ndig)),
-		l(f.Dnnz),
-		l(mdimRatio),
-		l(ratio),
-		f.Density * 10, // density on a comparable scale
-	}
-}
+// featureDims is the embedded feature-space dimensionality. The embedding
+// itself lives in dataset.Embed so the history and the learned format
+// predictor (internal/learn) vectorize identically — one pinned helper
+// keeps saved histories and trained models mutually compatible.
+const featureDims = dataset.EmbedDims
 
 func dist2(a, b [featureDims]float64) float64 {
 	var s float64
@@ -72,7 +52,7 @@ func dist2(a, b [featureDims]float64) float64 {
 func (h *History) Record(f dataset.Features, format sparse.Format) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.entries = append(h.entries, historyEntry{point: embed(f), format: format})
+	h.entries = append(h.entries, historyEntry{point: dataset.Embed(f), format: format})
 }
 
 // Len reports the number of recorded decisions.
@@ -88,7 +68,7 @@ func (h *History) Len() int {
 func (h *History) Lookup(f dataset.Features, radius float64) (sparse.Format, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	p := embed(f)
+	p := dataset.Embed(f)
 	best := -1
 	bestD := radius * radius
 	for i := range h.entries {
@@ -100,6 +80,26 @@ func (h *History) Lookup(f dataset.Features, radius float64) (sparse.Format, boo
 		return 0, false
 	}
 	return h.entries[best].format, true
+}
+
+// HistoryExample is one recorded decision in embedded form, exposed so the
+// learned format predictor can harvest every measurement the scheduler ever
+// made as training data (the measure→train→predict flywheel).
+type HistoryExample struct {
+	Point  [featureDims]float64
+	Format sparse.Format
+}
+
+// Snapshot copies the recorded decisions. The copy is safe to read while
+// other goroutines keep recording.
+func (h *History) Snapshot() []HistoryExample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistoryExample, len(h.entries))
+	for i, e := range h.entries {
+		out[i] = HistoryExample{Point: e.point, Format: e.format}
+	}
+	return out
 }
 
 // Save writes the history as one line per entry:

@@ -17,6 +17,10 @@ import (
 // no trial row can be sampled from it.
 var ErrEmptyMatrix = errors.New("core: empty matrix: builder has no rows or columns")
 
+// ErrNoPredictor is returned by Choose under PolicyPredict when no trained
+// predictor was configured.
+var ErrNoPredictor = errors.New("core: predict policy requires a trained Predictor")
+
 // Policy selects how the scheduler decides.
 type Policy int
 
@@ -32,6 +36,14 @@ const (
 	// Hybrid prunes to the TopK model candidates, then measures only
 	// those — the practical default.
 	Hybrid
+	// PolicyPredict answers from a trained format predictor (Config.
+	// Predictor) when its confidence clears Config.MinConfidence — a
+	// microsecond model inference instead of a multi-rep kernel
+	// measurement — and falls back to hybrid measurement otherwise. The
+	// fallback is recorded into History so retraining learns exactly the
+	// shape classes the model was unsure about (the measure→train→predict
+	// flywheel).
+	PolicyPredict
 )
 
 // String returns the policy name.
@@ -43,10 +55,26 @@ func (p Policy) String() string {
 		return "empirical"
 	case Hybrid:
 		return "hybrid"
+	case PolicyPredict:
+		return "predict"
 	default:
 		return "unknown"
 	}
 }
+
+// FormatPredictor answers format queries from a trained model. It is
+// implemented by *learn.Forest; core only sees the interface so the learn
+// package can depend on core (for harvesting History) without a cycle.
+type FormatPredictor interface {
+	// PredictFormat returns the predicted best storage format for the
+	// given Table IV parameters with a confidence in [0, 1]. ok=false
+	// means the model has no answer at all (e.g. it holds no trees).
+	PredictFormat(f dataset.Features) (format sparse.Format, confidence float64, ok bool)
+}
+
+// DefaultMinConfidence is the predictor-trust threshold: predictions whose
+// vote share falls below it trigger a measurement fallback.
+const DefaultMinConfidence = 0.6
 
 // Config parameterizes a Scheduler. The zero value is usable: hybrid
 // policy, all cores, static scheduling, 3 trial rows, top-2 candidates.
@@ -67,6 +95,12 @@ type Config struct {
 	// Weights overrides the rule-based model's access-efficiency factors,
 	// typically from Calibrate; nil uses the paper-calibrated defaults.
 	Weights *Weights
+	// Predictor is the trained format model the PolicyPredict policy
+	// answers from (typically a *learn.Forest loaded from disk).
+	Predictor FormatPredictor
+	// MinConfidence gates the predictor: answers below it fall back to
+	// measurement. 0 = DefaultMinConfidence.
+	MinConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HistoryRadius <= 0 {
 		c.HistoryRadius = DefaultHistoryRadius
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = DefaultMinConfidence
 	}
 	return c
 }
@@ -103,6 +140,13 @@ type Decision struct {
 	// Reused is true when the format came from the incremental-tuning
 	// history rather than a fresh measurement.
 	Reused bool
+	// Predicted is true when the format came from the trained predictor
+	// (PolicyPredict with confidence at or above the threshold).
+	Predicted bool
+	// Confidence is the predictor's vote share for its answer. It is set
+	// whenever the predictor was consulted, including low-confidence
+	// decisions that fell back to measurement.
+	Confidence float64
 }
 
 // Scheduler chooses storage formats for data matrices.
@@ -189,10 +233,27 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 	case Empirical:
 		candidates = sparse.BasicFormats[:]
 	case Hybrid:
-		k := min(s.cfg.TopK, len(d.Estimates))
-		for _, e := range d.Estimates[:k] {
-			candidates = append(candidates, e.Format)
+		candidates = topK(d.Estimates, s.cfg.TopK)
+	case PolicyPredict:
+		if s.cfg.Predictor == nil {
+			return nil, ErrNoPredictor
 		}
+		f, conf, ok := s.cfg.Predictor.PredictFormat(feats)
+		d.Confidence = conf
+		if ok && conf >= s.cfg.MinConfidence {
+			if m, err := materialize(b, csr, f); err == nil {
+				d.Chosen = f
+				d.Matrix = m
+				d.Predicted = true
+				return d, nil
+			}
+			// The model can predict a format the data cannot build (e.g.
+			// DIA over its memory cap): measure instead of failing.
+		}
+		// Low confidence or unbuildable prediction: hybrid-style
+		// measurement, recorded into History below so retraining covers
+		// this shape class.
+		candidates = topK(d.Estimates, s.cfg.TopK)
 	default:
 		return nil, fmt.Errorf("core: unknown policy %d", int(s.cfg.Policy))
 	}
@@ -228,6 +289,16 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 		s.cfg.History.Record(feats, d.Chosen)
 	}
 	return d, nil
+}
+
+// topK lists the k cheapest modeled formats as measurement candidates.
+func topK(ests []Estimate, k int) []sparse.Format {
+	k = min(k, len(ests))
+	out := make([]sparse.Format, 0, k)
+	for _, e := range ests[:k] {
+		out = append(out, e.Format)
+	}
+	return out
 }
 
 // materialize builds format f from b, reusing the already-built CSR.

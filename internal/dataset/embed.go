@@ -1,0 +1,47 @@
+package dataset
+
+import "math"
+
+// EmbedDims is the dimensionality of the embedded feature space shared by
+// the scheduler's tuning history (core.History) and the trained format
+// predictor (internal/learn). Both persist embedded points to disk, so the
+// embedding is part of the on-disk compatibility contract: see the pin test
+// in embed_test.go before changing anything here.
+const EmbedDims = 7
+
+// EmbedNames names each embedded dimension, in Embed's output order, for
+// model introspection and diagnostics.
+var EmbedNames = [EmbedDims]string{
+	"aspect", "log_nnz", "log_ndig", "log_dnnz",
+	"log_mdim_ratio", "log_vdim_ratio", "density10",
+}
+
+// Embed maps the nine Table IV influencing parameters into a normalized
+// metric space where Euclidean distance means "same shape class". Sizes and
+// counts enter log-scaled because they span orders of magnitude; mdim and
+// vdim enter as ratios against adim so a matrix and its scaled clone embed
+// near each other; density is rescaled onto a comparable range.
+//
+// Changing this function invalidates every saved tuning history and every
+// trained prediction model — bump learn.ModelVersion and migrate if it ever
+// has to move.
+func Embed(f Features) [EmbedDims]float64 {
+	l := func(x float64) float64 { return math.Log1p(math.Max(x, 0)) }
+	ratio := 0.0
+	if f.Adim > 0 {
+		ratio = f.Vdim / f.Adim
+	}
+	mdimRatio := 0.0
+	if f.Adim > 0 {
+		mdimRatio = float64(f.Mdim) / f.Adim
+	}
+	return [EmbedDims]float64{
+		l(float64(f.M)) - l(float64(f.N)), // aspect
+		l(float64(f.NNZ)),
+		l(float64(f.Ndig)),
+		l(f.Dnnz),
+		l(mdimRatio),
+		l(ratio),
+		f.Density * 10, // density on a comparable scale
+	}
+}

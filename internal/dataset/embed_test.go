@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEmbedPinned pins the embedding to exact values: saved tuning
+// histories (core.History.Save) and trained prediction models (learn) both
+// persist embedded points, so any drift here silently invalidates every
+// file on disk. If this test fails, you changed the on-disk compatibility
+// contract — bump the model version and write a migration instead.
+func TestEmbedPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Features
+		want [EmbedDims]float64
+	}{
+		{
+			name: "synthetic",
+			f:    Features{M: 100, N: 10, NNZ: 500, Ndig: 109, Dnnz: 4.587, Mdim: 9, Adim: 5, Vdim: 2.5, Density: 0.5},
+			want: [EmbedDims]float64{2.217225244042889, 6.2166061010848646, 4.7004803657924166, 1.7204424704770116, 1.0296194171811583, 0.40546510810816438, 5},
+		},
+		{
+			name: "adult",
+			f:    Features{M: 2265, N: 119, NNZ: 31404, Ndig: 2347, Dnnz: 13.38, Mdim: 14, Adim: 13.87, Vdim: 0.059, Density: 0.119},
+			want: [EmbedDims]float64{2.9382796988059061, 10.354722394888482, 7.7613191809479867, 2.6658383522929006, 0.69782260716711675, 0.0042447633791541269, 1.1899999999999999},
+		},
+		{
+			name: "trefethen",
+			f:    Features{M: 2000, N: 2000, NNZ: 21953, Ndig: 12, Dnnz: 1829, Mdim: 12, Adim: 10.98, Vdim: 1.25, Density: 0.006},
+			want: [EmbedDims]float64{0, 9.9967046342472621, 2.5649493574615367, 7.5120712458354664, 0.73854883633922497, 0.10781651361769641, 0.059999999999999998},
+		},
+		{
+			// The zero value must embed at the origin (Adim=0 guards the
+			// ratio divisions).
+			name: "zero",
+			f:    Features{},
+			want: [EmbedDims]float64{},
+		},
+	}
+	for _, tc := range cases {
+		got := Embed(tc.f)
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+				t.Errorf("%s: Embed dim %d (%s) = %.17g, pinned %.17g",
+					tc.name, i, EmbedNames[i], got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestEmbedNoNaN guards the embedding against degenerate features: every
+// output must stay finite so histories and models never persist NaN.
+func TestEmbedNoNaN(t *testing.T) {
+	bad := []Features{
+		{M: 1, N: 1},
+		{M: 1, N: 1, Adim: 0, Vdim: 5, Mdim: 3},
+		{M: 1 << 30, N: 1 << 30, NNZ: 1 << 62, Ndig: 1 << 30, Dnnz: 1e18, Mdim: 1 << 30, Adim: 1e18, Vdim: 1e18, Density: 1},
+		{Dnnz: -4, Adim: -1, Vdim: -1, Density: -0.5},
+	}
+	for _, f := range bad {
+		for i, x := range Embed(f) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("Embed(%+v) dim %d = %v", f, i, x)
+			}
+		}
+	}
+}

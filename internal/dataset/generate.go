@@ -86,19 +86,24 @@ func (p RowPlan) Lengths(targetNNZ int64, rng *rand.Rand) []int {
 			total += int64(l)
 		}
 		// Distribute the residual one nonzero at a time over random short
-		// rows, never exceeding mdim or going below zero.
-		for delta := targetNNZ - total; delta != 0; {
+		// rows, never exceeding mdim or going below zero. A uniform plan
+		// (every row at mdim) can leave a residual no row can absorb;
+		// a stall counter turns that into best-effort instead of a spin.
+		stalls := 0
+		for delta := targetNNZ - total; delta != 0 && stalls < 8*p.M; {
 			i := rng.Intn(p.M)
 			switch {
 			case delta > 0 && lens[i] < p.Mdim:
 				lens[i]++
 				delta--
+				stalls = 0
 			case delta < 0 && lens[i] > 0 && lens[i] != p.Mdim:
 				lens[i]--
 				delta++
+				stalls = 0
 			default:
 				// Row can't absorb the adjustment; try another.
-				continue
+				stalls++
 			}
 		}
 	}

@@ -1,0 +1,111 @@
+package learn
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// Forest is a small random forest over the embedded Table IV parameters:
+// bootstrap-sampled CART trees with a random feature subset per split,
+// answering by majority vote. A Forest is immutable after Train/Load, so
+// concurrent predictions need no locking.
+type Forest struct {
+	trees   []*tree
+	trained int // examples seen at training time, for diagnostics
+}
+
+// TrainConfig parameterizes Train. The zero value is usable: 25 trees of
+// depth ≤ 8, leaves of ≥ 1 example, 3-feature splits, seed 1.
+type TrainConfig struct {
+	Trees    int   // forest size; 0 = 25
+	MaxDepth int   // per-tree depth cap; 0 = 8
+	MinLeaf  int   // minimum examples per leaf; 0 = 1
+	Mtry     int   // features sampled per split; 0 = 3 (≈ √EmbedDims)
+	Seed     int64 // bagging/split sampling seed; fixed default keeps training reproducible
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Trees <= 0 {
+		c.Trees = 25
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.Mtry <= 0 {
+		c.Mtry = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Train fits a forest on the labeled examples. It returns
+// ErrNoTrainingData for an empty set; a single example trains a (trivial)
+// constant model.
+func Train(examples []Example, cfg TrainConfig) (*Forest, error) {
+	if len(examples) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{trained: len(examples)}
+	idx := make([]int, len(examples))
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range idx {
+			idx[i] = rng.Intn(len(examples)) // bootstrap sample
+		}
+		f.trees = append(f.trees, grow(examples, idx, growCfg{
+			maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, mtry: cfg.Mtry, rng: rng,
+		}))
+	}
+	return f, nil
+}
+
+// Trees reports the forest size.
+func (f *Forest) Trees() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.trees)
+}
+
+// TrainedOn reports how many examples the forest was fitted to.
+func (f *Forest) TrainedOn() int {
+	if f == nil {
+		return 0
+	}
+	return f.trained
+}
+
+// PredictPoint votes the trees on an embedded point. Confidence is the
+// winning format's share of the vote; ok is false for a nil or empty
+// forest. Vote ties break toward the lower format value for determinism.
+func (f *Forest) PredictPoint(p [dataset.EmbedDims]float64) (sparse.Format, float64, bool) {
+	if f == nil || len(f.trees) == 0 {
+		return 0, 0, false
+	}
+	var votes [numLabels]int
+	for _, t := range f.trees {
+		label, _ := t.predict(p)
+		votes[label]++
+	}
+	best := 0
+	for c := 1; c < numLabels; c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return sparse.Format(best), float64(votes[best]) / float64(len(f.trees)), true
+}
+
+// PredictFormat embeds the Table IV parameters and votes; it implements
+// core.FormatPredictor.
+func (f *Forest) PredictFormat(feats dataset.Features) (sparse.Format, float64, bool) {
+	return f.PredictPoint(dataset.Embed(feats))
+}

@@ -1,0 +1,184 @@
+package learn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/sparse"
+)
+
+// Labeled is a measurement-labeled dataset: the training example plus the
+// raw features and the full per-format timing evidence, kept so Evaluate
+// can score a prediction's slowdown against the measured oracle.
+type Labeled struct {
+	Example
+	Features dataset.Features
+	Times    map[sparse.Format]time.Duration
+}
+
+// Measure labels one dataset by empirical measurement: every basic format
+// is built and timed (the scheduler's Empirical policy) and the fastest
+// becomes the training label. This is the expensive side of the flywheel —
+// each call costs a full measurement sweep.
+func Measure(ctx context.Context, b *sparse.Builder, ex *exec.Exec, seed int64) (Labeled, error) {
+	sched := core.New(core.Config{Policy: core.Empirical, Exec: ex, Seed: seed})
+	dec, err := sched.ChooseContext(ctx, b)
+	if err != nil {
+		return Labeled{}, err
+	}
+	return Labeled{
+		Example:  FromFeatures(dec.Features, dec.Chosen),
+		Features: dec.Features,
+		Times:    dec.Measured,
+	}, nil
+}
+
+// MeasureAll measure-labels a corpus of builders.
+func MeasureAll(ctx context.Context, corpus []*sparse.Builder, ex *exec.Exec, seed int64) ([]Labeled, error) {
+	out := make([]Labeled, 0, len(corpus))
+	for i, b := range corpus {
+		l, err := Measure(ctx, b, ex, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("learn: labeling corpus dataset %d: %w", i, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// Examples projects labeled data down to training examples.
+func Examples(items []Labeled) []Example {
+	out := make([]Example, len(items))
+	for i, it := range items {
+		out[i] = it.Example
+	}
+	return out
+}
+
+// SyntheticCorpus generates n structurally diverse matrices by cycling the
+// dataset generator families — banded (DIA territory), one-long-row skew
+// (ELL-hostile), high row-length variance (CSR vs COO), dense blocks (DEN),
+// and uniform rows (ELL) — with seed-derived parameters. Different seeds
+// give disjoint corpora, so train and eval splits are held out from each
+// other by construction.
+func SyntheticCorpus(n int, seed int64) []*sparse.Builder {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*sparse.Builder, 0, n)
+	for i := 0; len(out) < n; i++ {
+		var b *sparse.Builder
+		var err error
+		switch i % 5 {
+		case 0: // banded, few diagonals
+			size := 256 + rng.Intn(512)
+			ndig := 3 + rng.Intn(14)
+			b, err = dataset.Banded(size, size, ndig, int64(size*(2+rng.Intn(6))), rng)
+		case 1: // a block of mdim-length rows above a tail of singletons
+			side := 256 + rng.Intn(512)
+			mdim := side / (2 << rng.Intn(4))
+			b, err = dataset.SkewRows(side, side, int64(3*side), mdim, rng)
+		case 2: // two-point row plan with varying variance
+			m := 128 + rng.Intn(256)
+			cols := 512 + rng.Intn(1536)
+			adim := 8 + 24*rng.Float64()
+			vdim := []float64{0, 4, 64, 1024, 16384}[rng.Intn(5)]
+			b, err = dataset.VdimFamily(m, cols, adim, vdim, rng)
+		case 3: // small dense block
+			b = dataset.DenseMatrix(32+rng.Intn(96), 64+rng.Intn(192), rng)
+		case 4: // uniform rows
+			m := 256 + rng.Intn(512)
+			cols := 128 + rng.Intn(256)
+			lens := make([]int, m)
+			l := 4 + rng.Intn(28)
+			for r := range lens {
+				lens[r] = l
+			}
+			b = dataset.FromRowLengths(lens, cols, rng)
+		}
+		if err != nil || b == nil {
+			// A parameter draw outside a generator's feasible region is
+			// redrawn, not fatal; the loop keeps going until n builders.
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// EvalResult summarizes predictor quality over a labeled evaluation set, in
+// the spirit of the paper's Table VI: how often the model picks the
+// measured-best format, and how much time a misprediction actually costs.
+type EvalResult struct {
+	N         int     // scored datasets
+	Exact     int     // predictions matching the measured-best format
+	Within    int     // predictions whose measured time ≤ Tolerance × best
+	Tolerance float64 // the slowdown tolerance used for Within
+	// MeanSlowdown averages predicted-format time over best-format time;
+	// 1.0 is the oracle. Predictions of unbuildable formats are excluded
+	// here (they count against Within but have no measured time).
+	MeanSlowdown   float64
+	MeanConfidence float64
+	LowConfidence  int // predictions below the given confidence threshold
+}
+
+// Evaluate scores the forest against measurement-labeled data. tolerance
+// ≤ 0 means 1.25; minConfidence only affects the LowConfidence count (every
+// prediction is scored — evaluation has the oracle, so there is nothing to
+// fall back to).
+func Evaluate(f *Forest, items []Labeled, tolerance, minConfidence float64) EvalResult {
+	if tolerance <= 0 {
+		tolerance = 1.25
+	}
+	res := EvalResult{Tolerance: tolerance}
+	var slowdowns int
+	for _, it := range items {
+		pred, conf, ok := f.PredictPoint(it.Point)
+		if !ok {
+			continue
+		}
+		res.N++
+		res.MeanConfidence += conf
+		if conf < minConfidence {
+			res.LowConfidence++
+		}
+		if pred == it.Label {
+			res.Exact++
+		}
+		best, okBest := it.Times[it.Label]
+		got, okGot := it.Times[pred]
+		if !okBest || best <= 0 || !okGot {
+			// The model predicted a format the dataset could not even
+			// build (e.g. DIA over its cap): an unambiguous miss.
+			continue
+		}
+		s := float64(got) / float64(best)
+		res.MeanSlowdown += s
+		slowdowns++
+		if s <= tolerance {
+			res.Within++
+		}
+	}
+	if res.N > 0 {
+		res.MeanConfidence /= float64(res.N)
+	}
+	if slowdowns > 0 {
+		res.MeanSlowdown /= float64(slowdowns)
+	}
+	return res
+}
+
+// String renders the result as one report line.
+func (r EvalResult) String() string {
+	if r.N == 0 {
+		return "eval: no scored datasets"
+	}
+	return fmt.Sprintf(
+		"eval: %d datasets, exact %d (%.0f%%), within %.2fx of oracle %d (%.0f%%), mean slowdown %.3fx, mean confidence %.2f, low-confidence %d",
+		r.N, r.Exact, 100*float64(r.Exact)/float64(r.N),
+		r.Tolerance, r.Within, 100*float64(r.Within)/float64(r.N),
+		r.MeanSlowdown, r.MeanConfidence, r.LowConfidence)
+}

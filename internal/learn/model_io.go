@@ -1,0 +1,142 @@
+package learn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// ModelVersion is the serialization format version. Bump it whenever the
+// embedding (dataset.Embed), the node layout, or the vote semantics change,
+// so stale models are rejected at load time instead of silently predicting
+// in the wrong feature space.
+const ModelVersion = 1
+
+// ErrModelVersion is wrapped into Load's error when the file was written
+// by a different, incompatible model version.
+var ErrModelVersion = errors.New("learn: model version mismatch")
+
+// modelJSON is the on-disk form of a Forest.
+type modelJSON struct {
+	Version int        `json:"version"`
+	Dims    int        `json:"dims"`
+	Trained int        `json:"trained_examples"`
+	Trees   []treeJSON `json:"trees"`
+}
+
+type treeJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+// nodeJSON flattens one tree node. Internal nodes carry feat/thresh and
+// child indices; leaves carry feat=-1 with label/purity.
+type nodeJSON struct {
+	Feat   int     `json:"feat"`
+	Thresh float64 `json:"thresh,omitempty"`
+	Left   int     `json:"left,omitempty"`
+	Right  int     `json:"right,omitempty"`
+	Label  string  `json:"label,omitempty"`
+	Purity float64 `json:"purity,omitempty"`
+}
+
+// Save writes the forest as versioned JSON.
+func (f *Forest) Save(w io.Writer) error {
+	m := modelJSON{Version: ModelVersion, Dims: dataset.EmbedDims, Trained: f.trained}
+	for _, t := range f.trees {
+		tj := treeJSON{Nodes: make([]nodeJSON, len(t.nodes))}
+		for i, n := range t.nodes {
+			if n.feat < 0 {
+				tj.Nodes[i] = nodeJSON{Feat: -1, Label: n.label.String(), Purity: n.purity}
+			} else {
+				tj.Nodes[i] = nodeJSON{Feat: n.feat, Thresh: n.thresh, Left: n.left, Right: n.right}
+			}
+		}
+		m.Trees = append(m.Trees, tj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// Load reads a forest saved by Save, validating the version, the embedding
+// dimensionality, and every node's structure. A corrupt, truncated, or
+// version-mismatched file is a clean error, so daemons fail at startup
+// rather than mid-request.
+func Load(r io.Reader) (*Forest, error) {
+	var m modelJSON
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("learn: corrupt model file: %w", err)
+	}
+	if m.Version != ModelVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d (retrain with `layoutsched train`)",
+			ErrModelVersion, m.Version, ModelVersion)
+	}
+	if m.Dims != dataset.EmbedDims {
+		return nil, fmt.Errorf("learn: model embeds %d dimensions, this build embeds %d", m.Dims, dataset.EmbedDims)
+	}
+	if len(m.Trees) == 0 {
+		return nil, fmt.Errorf("learn: model holds no trees")
+	}
+	f := &Forest{trained: m.Trained}
+	for ti, tj := range m.Trees {
+		if len(tj.Nodes) == 0 {
+			return nil, fmt.Errorf("learn: tree %d is empty", ti)
+		}
+		t := &tree{nodes: make([]node, len(tj.Nodes))}
+		for i, nj := range tj.Nodes {
+			if nj.Feat < 0 {
+				label, err := sparse.ParseFormat(nj.Label)
+				if err != nil {
+					return nil, fmt.Errorf("learn: tree %d node %d: %v", ti, i, err)
+				}
+				if nj.Purity < 0 || nj.Purity > 1 {
+					return nil, fmt.Errorf("learn: tree %d node %d: purity %g outside [0,1]", ti, i, nj.Purity)
+				}
+				t.nodes[i] = node{feat: -1, label: label, purity: nj.Purity}
+				continue
+			}
+			if nj.Feat >= dataset.EmbedDims {
+				return nil, fmt.Errorf("learn: tree %d node %d: feature %d out of range", ti, i, nj.Feat)
+			}
+			// Children must point forward (the builder appends parents
+			// first); this also rules out cycles in hand-edited files.
+			if nj.Left <= i || nj.Right <= i || nj.Left >= len(tj.Nodes) || nj.Right >= len(tj.Nodes) {
+				return nil, fmt.Errorf("learn: tree %d node %d: child indices %d/%d invalid", ti, i, nj.Left, nj.Right)
+			}
+			t.nodes[i] = node{feat: nj.Feat, thresh: nj.Thresh, left: nj.Left, right: nj.Right}
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// LoadFile opens and loads a model file, naming the path in any error.
+func LoadFile(path string) (*Forest, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// SaveFile writes the forest to path.
+func (f *Forest) SaveFile(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Save(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,166 @@
+package learn
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// numLabels bounds the class space: every sparse.Format fits in a
+// fixed-size count array, which keeps the Gini inner loop allocation-free.
+const numLabels = len(sparse.AllFormats)
+
+// node is one decision-tree node in flattened array form. The builder
+// appends a parent before its children, so child indices are always larger
+// than the parent's — Load relies on that to reject cyclic files.
+type node struct {
+	feat        int // embedded-feature index; -1 marks a leaf
+	thresh      float64
+	left, right int           // child indices, internal nodes only
+	label       sparse.Format // leaf answer
+	purity      float64       // training fraction of label at this leaf
+}
+
+// tree is a single CART classifier over embedded feature points.
+type tree struct {
+	nodes []node
+}
+
+// predict walks to a leaf and returns its label with the leaf purity.
+func (t *tree) predict(p [dataset.EmbedDims]float64) (sparse.Format, float64) {
+	i := 0
+	for t.nodes[i].feat >= 0 {
+		if p[t.nodes[i].feat] <= t.nodes[i].thresh {
+			i = t.nodes[i].left
+		} else {
+			i = t.nodes[i].right
+		}
+	}
+	return t.nodes[i].label, t.nodes[i].purity
+}
+
+// growCfg bundles the recursive builder's parameters.
+type growCfg struct {
+	maxDepth int
+	minLeaf  int
+	mtry     int // features sampled per split; 0 = all
+	rng      *rand.Rand
+}
+
+// grow fits one tree on the examples selected by idx (with repeats, for
+// bootstrap samples).
+func grow(examples []Example, idx []int, cfg growCfg) *tree {
+	t := &tree{}
+	t.build(examples, idx, 0, cfg)
+	return t
+}
+
+// build appends the subtree over idx and returns its root index.
+func (t *tree) build(examples []Example, idx []int, depth int, cfg growCfg) int {
+	label, purity, pure := majority(examples, idx)
+	me := len(t.nodes)
+	t.nodes = append(t.nodes, node{feat: -1, label: label, purity: purity})
+	if pure || depth >= cfg.maxDepth || len(idx) < 2*cfg.minLeaf {
+		return me
+	}
+	feat, thresh, ok := bestSplit(examples, idx, cfg)
+	if !ok {
+		return me
+	}
+	var left, right []int
+	for _, i := range idx {
+		if examples[i].Point[feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.minLeaf || len(right) < cfg.minLeaf {
+		return me
+	}
+	l := t.build(examples, left, depth+1, cfg)
+	r := t.build(examples, right, depth+1, cfg)
+	t.nodes[me] = node{feat: feat, thresh: thresh, left: l, right: r}
+	return me
+}
+
+// majority returns the most frequent label in idx, its fraction, and
+// whether the set is single-class. Ties break toward the lower format
+// value for determinism.
+func majority(examples []Example, idx []int) (sparse.Format, float64, bool) {
+	var counts [numLabels]int
+	for _, i := range idx {
+		counts[examples[i].Label]++
+	}
+	best := 0
+	for c := 1; c < numLabels; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	frac := float64(counts[best]) / float64(len(idx))
+	return sparse.Format(best), frac, counts[best] == len(idx)
+}
+
+// bestSplit searches an mtry-sized random feature subset for the
+// (feature, threshold) pair with the largest Gini impurity decrease,
+// considering midpoints between distinct consecutive sorted values.
+func bestSplit(examples []Example, idx []int, cfg growCfg) (int, float64, bool) {
+	feats := cfg.rng.Perm(dataset.EmbedDims)
+	if cfg.mtry > 0 && cfg.mtry < len(feats) {
+		feats = feats[:cfg.mtry]
+	}
+	var total [numLabels]int
+	for _, i := range idx {
+		total[examples[i].Label]++
+	}
+	n := len(idx)
+	parent := gini(total, n)
+
+	type pair struct {
+		v     float64
+		label sparse.Format
+	}
+	pairs := make([]pair, n)
+	bestGain := 1e-12 // require a strictly positive decrease
+	bestFeat, bestThresh, found := -1, 0.0, false
+	for _, f := range feats {
+		for k, i := range idx {
+			pairs[k] = pair{examples[i].Point[f], examples[i].Label}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		var left [numLabels]int
+		for k := 0; k < n-1; k++ {
+			left[pairs[k].label]++
+			if pairs[k].v == pairs[k+1].v {
+				continue
+			}
+			var right [numLabels]int
+			for c := range right {
+				right[c] = total[c] - left[c]
+			}
+			nl, nr := k+1, n-k-1
+			gain := parent - (float64(nl)*gini(left, nl)+float64(nr)*gini(right, nr))/float64(n)
+			if gain > bestGain {
+				bestGain, bestFeat, found = gain, f, true
+				bestThresh = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, found
+}
+
+// gini computes the Gini impurity of a class-count vector over n samples.
+func gini(counts [numLabels]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}

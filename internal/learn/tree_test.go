@@ -1,0 +1,124 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// axisExamples builds a two-class set separable on a single embedded axis:
+// dimension `dim` below 0 → CSR, above → DIA.
+func axisExamples(n, dim int, rng *rand.Rand) []Example {
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		var e Example
+		for d := range e.Point {
+			e.Point[d] = rng.NormFloat64()
+		}
+		if e.Point[dim] <= 0 {
+			e.Point[dim] -= 0.5 // margin so midpoint thresholds generalize
+			e.Label = sparse.CSR
+		} else {
+			e.Point[dim] += 0.5
+			e.Label = sparse.DIA
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestTreeLearnsAxisSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	examples := axisExamples(200, 2, rng)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	tr := grow(examples, idx, growCfg{maxDepth: 4, minLeaf: 1, rng: rng})
+	for _, e := range axisExamples(100, 2, rng) {
+		got, purity := tr.predict(e.Point)
+		if got != e.Label {
+			t.Fatalf("tree predicted %v for a point with label %v", got, e.Label)
+		}
+		if purity != 1 {
+			t.Fatalf("separable data should give pure leaves, got purity %g", purity)
+		}
+	}
+}
+
+func TestTreeDepthCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	examples := axisExamples(64, 0, rng)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	tr := grow(examples, idx, growCfg{maxDepth: 0, minLeaf: 1, rng: rng})
+	if len(tr.nodes) != 1 || tr.nodes[0].feat != -1 {
+		t.Fatalf("maxDepth 0 must give a single leaf, got %d nodes", len(tr.nodes))
+	}
+	if _, purity := tr.predict(examples[0].Point); purity <= 0 || purity > 1 {
+		t.Fatalf("leaf purity %g outside (0,1]", purity)
+	}
+}
+
+func TestMajorityTieBreaksLow(t *testing.T) {
+	examples := []Example{
+		{Label: sparse.DIA}, {Label: sparse.DIA},
+		{Label: sparse.CSR}, {Label: sparse.CSR},
+	}
+	label, frac, pure := majority(examples, []int{0, 1, 2, 3})
+	if label != sparse.CSR {
+		t.Fatalf("tie must break toward the lower format value, got %v", label)
+	}
+	if frac != 0.5 || pure {
+		t.Fatalf("frac=%g pure=%v, want 0.5 false", frac, pure)
+	}
+}
+
+func TestBestSplitConstantFeatures(t *testing.T) {
+	// All points identical: no split can exist, the builder must emit a
+	// leaf instead of recursing forever.
+	examples := make([]Example, 10)
+	for i := range examples {
+		examples[i].Label = sparse.Format(i % 2)
+	}
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, _, ok := bestSplit(examples, idx, growCfg{rng: rng}); ok {
+		t.Fatal("bestSplit found a split in constant data")
+	}
+	tr := grow(examples, idx, growCfg{maxDepth: 8, minLeaf: 1, rng: rng})
+	if len(tr.nodes) != 1 {
+		t.Fatalf("constant data must give a single leaf, got %d nodes", len(tr.nodes))
+	}
+}
+
+func TestGrowRespectsMinLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	examples := axisExamples(40, 1, rng)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	tr := grow(examples, idx, growCfg{maxDepth: 10, minLeaf: 40, rng: rng})
+	if len(tr.nodes) != 1 {
+		t.Fatalf("minLeaf == len(examples) must stop at the root, got %d nodes", len(tr.nodes))
+	}
+}
+
+func TestFromFeaturesUsesSharedEmbedding(t *testing.T) {
+	f := dataset.Features{M: 100, N: 10, NNZ: 500, Ndig: 109, Dnnz: 4.587, Mdim: 9, Adim: 5, Vdim: 2.5, Density: 0.5}
+	e := FromFeatures(f, sparse.ELL)
+	if e.Point != dataset.Embed(f) {
+		t.Fatal("FromFeatures must vectorize with dataset.Embed")
+	}
+	if e.Label != sparse.ELL {
+		t.Fatalf("label %v", e.Label)
+	}
+}

@@ -20,10 +20,12 @@ import (
 type CachedDecision struct {
 	Format   sparse.Format
 	Measured map[sparse.Format]time.Duration
-	// Source is the provenance of the original decision ("measured" or
-	// "history"), preserved so cache hits can report how the format was
-	// first chosen.
+	// Source is the provenance of the original decision ("measured",
+	// "history", or "predictor"), preserved so cache hits can report how
+	// the format was first chosen.
 	Source string
+	// Confidence is the predictor's vote share when one was consulted.
+	Confidence float64
 }
 
 // Key derives the decision-cache key from the nine Table IV parameters plus

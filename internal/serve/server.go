@@ -39,6 +39,13 @@ type Config struct {
 	History *core.History
 	// Model, when non-nil, serves /v1/predict.
 	Model *svm.Model
+	// Predictor, when non-nil, serves /v1/predict-format and answers
+	// "predict"-policy schedule requests (typically a *learn.Forest
+	// loaded from -predictor at startup).
+	Predictor core.FormatPredictor
+	// MinConfidence gates the predictor; answers below it fall back to
+	// measurement. 0 = core.DefaultMinConfidence.
+	MinConfidence float64
 
 	TrialRows int   // scheduler trial rows; 0 = core default
 	Repeats   int   // scheduler repeats; 0 = core default
@@ -91,6 +98,10 @@ type Server struct {
 	closed  atomic.Bool
 
 	measurements atomic.Int64 // scheduler runs that actually measured
+
+	predictorHits      atomic.Int64 // decisions answered by the predictor
+	predictorFallbacks atomic.Int64 // predict-policy runs that measured instead
+	predictorConfMilli atomic.Int64 // sum of hit confidences ×1000, for the mean
 }
 
 // NewServer creates a Server from cfg.
@@ -113,6 +124,14 @@ func (s *Server) History() *core.History { return s.cfg.History }
 // dedup, or the rule-based model).
 func (s *Server) Measurements() int64 { return s.measurements.Load() }
 
+// PredictorHits reports how many decisions were answered by the trained
+// predictor without measurement.
+func (s *Server) PredictorHits() int64 { return s.predictorHits.Load() }
+
+// PredictorFallbacks reports how many predict-policy decisions fell back to
+// measurement (low confidence or unbuildable prediction).
+func (s *Server) PredictorFallbacks() int64 { return s.predictorFallbacks.Load() }
+
 // CacheStats exposes the decision-cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
@@ -126,14 +145,16 @@ func (s *Server) Drain() {
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/schedule  dataset profile or inline LIBSVM rows → decision
-//	POST /v1/predict   LIBSVM rows → SVM predictions
-//	GET  /healthz      liveness
-//	GET  /metrics      plain-text counters snapshot
+//	POST /v1/schedule        dataset profile or inline LIBSVM rows → decision
+//	POST /v1/predict         LIBSVM rows → SVM predictions
+//	POST /v1/predict-format  dataset profile or LIBSVM rows → predicted format
+//	GET  /healthz            liveness
+//	GET  /metrics            plain-text counters snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.route("schedule", http.MethodPost, s.handleSchedule))
 	mux.HandleFunc("/v1/predict", s.route("predict", http.MethodPost, s.handlePredict))
+	mux.HandleFunc("/v1/predict-format", s.route("predict-format", http.MethodPost, s.handlePredictFormat))
 	mux.HandleFunc("/healthz", s.route("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
 	return mux
@@ -224,6 +245,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "layoutd_cache_entries %d\n", cs.Len)
 	fmt.Fprintf(w, "layoutd_cache_inflight %d\n", cs.Inflight)
 	fmt.Fprintf(w, "layoutd_measurements_total %d\n", s.measurements.Load())
+	loaded := 0
+	if s.cfg.Predictor != nil {
+		loaded = 1
+	}
+	fmt.Fprintf(w, "layoutd_predictor_loaded %d\n", loaded)
+	fmt.Fprintf(w, "layoutd_predictor_hits_total %d\n", s.predictorHits.Load())
+	fmt.Fprintf(w, "layoutd_predictor_fallbacks_total %d\n", s.predictorFallbacks.Load())
+	fmt.Fprintf(w, "layoutd_predictor_confidence_milli_sum %d\n", s.predictorConfMilli.Load())
 	fmt.Fprintf(w, "layoutd_measurement_slots %d\n", cap(s.sem))
 	fmt.Fprintf(w, "layoutd_measurement_slots_busy %d\n", len(s.sem))
 	fmt.Fprintf(w, "layoutd_history_entries %d\n", s.cfg.History.Len())
@@ -243,6 +272,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		policy = p
+	}
+	if policy == core.PolicyPredict && s.cfg.Predictor == nil {
+		writeError(w, http.StatusBadRequest, "predict policy needs a trained model (start layoutd with -predictor)")
+		return
 	}
 	switch {
 	case req.Profile != nil && req.Data != "":
@@ -308,6 +341,7 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		Policy: policy, Exec: s.cfg.Exec,
 		TrialRows: s.cfg.TrialRows, Repeats: s.cfg.Repeats,
 		TopK: s.cfg.TopK, Seed: s.cfg.Seed, History: s.cfg.History,
+		Predictor: s.cfg.Predictor, MinConfidence: s.cfg.MinConfidence,
 	})
 
 	if policy == core.RuleBased {
@@ -340,12 +374,20 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 			return nil, err
 		}
 		source := "measured"
-		if dec.Reused {
+		switch {
+		case dec.Predicted:
+			source = "predictor"
+			s.predictorHits.Add(1)
+			s.predictorConfMilli.Add(int64(dec.Confidence * 1000))
+		case dec.Reused:
 			source = "history"
-		} else {
+		default:
 			s.measurements.Add(1)
+			if policy == core.PolicyPredict {
+				s.predictorFallbacks.Add(1)
+			}
 		}
-		return &CachedDecision{Format: dec.Chosen, Measured: dec.Measured, Source: source}, nil
+		return &CachedDecision{Format: dec.Chosen, Measured: dec.Measured, Source: source, Confidence: dec.Confidence}, nil
 	})
 	if err != nil {
 		writeScheduleError(w, err)
@@ -358,20 +400,29 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		trace = append(trace, fmt.Sprintf("cache: joined in-flight measurement for shape class %s", key))
 	default:
 		trace = append(trace, fmt.Sprintf("cache: miss for shape class %s", key))
-		if val.Source == "history" {
+		switch val.Source {
+		case "history":
 			trace = append(trace, "history: near-miss reuse, measurement skipped")
-		} else {
+		case "predictor":
+			trace = append(trace, fmt.Sprintf("predictor: answered %s with confidence %.2f, measurement skipped",
+				val.Format, val.Confidence))
+		default:
+			if policy == core.PolicyPredict {
+				trace = append(trace, fmt.Sprintf("predictor: confidence %.2f below threshold, falling back to measurement",
+					val.Confidence))
+			}
 			trace = append(trace, fmt.Sprintf("admission: acquired 1 of %d measurement slots", cap(s.sem)))
 		}
 	}
 
 	d := DecisionJSON{
-		Policy:   policy.String(),
-		Chosen:   val.Format.String(),
-		Features: NewFeaturesJSON(feats),
-		Source:   val.Source,
-		Measured: encodeMeasured(val.Measured),
-		Trace:    trace,
+		Policy:     policy.String(),
+		Chosen:     val.Format.String(),
+		Features:   NewFeaturesJSON(feats),
+		Source:     val.Source,
+		Confidence: val.Confidence,
+		Measured:   encodeMeasured(val.Measured),
+		Trace:      trace,
 	}
 	if outcome != "miss" {
 		d.Source = "cache"
@@ -458,5 +509,67 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Predictions: preds,
 		Decisions:   decisions,
 		SVs:         len(s.cfg.Model.SVs),
+	})
+}
+
+// handlePredictFormat answers a pure model inference: which storage format
+// does the trained predictor recommend for this dataset, and with what
+// confidence. Unlike /v1/schedule with the predict policy, it never falls
+// back to measurement, so it is safe to hammer — no admission control.
+func (s *Server) handlePredictFormat(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Predictor == nil {
+		writeError(w, http.StatusServiceUnavailable, "no format predictor loaded (start layoutd with -predictor)")
+		return
+	}
+	var req PredictFormatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var feats dataset.Features
+	switch {
+	case req.Profile != nil && req.Data != "":
+		writeError(w, http.StatusBadRequest, "give either profile or data, not both")
+		return
+	case req.Profile != nil:
+		feats = req.Profile.Features()
+		if feats.M <= 0 || feats.N <= 0 {
+			writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
+			return
+		}
+	case req.Data != "":
+		samples, n, err := dataset.ParseLIBSVM(strings.NewReader(req.Data))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(samples) == 0 {
+			writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
+			return
+		}
+		b, _ := dataset.SamplesToMatrix(samples, n)
+		csr, err := b.Build(sparse.CSR)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unbuildable matrix: %v", err))
+			return
+		}
+		feats = dataset.Extract(csr)
+	default:
+		writeError(w, http.StatusBadRequest, "give a profile or inline LIBSVM data")
+		return
+	}
+	f, conf, ok := s.cfg.Predictor.PredictFormat(feats)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "predictor has no answer (empty model)")
+		return
+	}
+	min := s.cfg.MinConfidence
+	if min <= 0 {
+		min = core.DefaultMinConfidence
+	}
+	writeJSON(w, http.StatusOK, PredictFormatResponse{
+		Format:     f.String(),
+		Confidence: conf,
+		Confident:  conf >= min,
+		Features:   NewFeaturesJSON(feats),
 	})
 }

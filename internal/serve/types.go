@@ -73,11 +73,15 @@ type DecisionJSON struct {
 	Features FeaturesJSON `json:"features"`
 	// Source records where the decision came from: "model" (rule-based
 	// cost model only), "measured" (fresh empirical measurement),
-	// "history" (near-miss reuse from the tuning history), or "cache"
-	// (exact shape-class hit in the serving cache).
-	Source    string            `json:"source"`
-	Estimates []EstimateJSON    `json:"estimates"`
-	Measured  []MeasurementJSON `json:"measured,omitempty"` // ascending time
+	// "history" (near-miss reuse from the tuning history), "predictor"
+	// (trained format model, no measurement), or "cache" (exact
+	// shape-class hit in the serving cache).
+	Source string `json:"source"`
+	// Confidence is the predictor's vote share when one was consulted
+	// (predict policy), including fallbacks that measured instead.
+	Confidence float64           `json:"confidence,omitempty"`
+	Estimates  []EstimateJSON    `json:"estimates"`
+	Measured   []MeasurementJSON `json:"measured,omitempty"` // ascending time
 	// Trace lists the policy steps the server took, in order, for
 	// observability ("cache: miss", "admission: acquired slot", ...).
 	Trace []string `json:"trace,omitempty"`
@@ -98,6 +102,10 @@ func NewDecisionJSON(d *core.Decision) DecisionJSON {
 	if d.Reused {
 		out.Source = "history"
 	}
+	if d.Predicted {
+		out.Source = "predictor"
+	}
+	out.Confidence = d.Confidence
 	out.Estimates = make([]EstimateJSON, 0, len(d.Estimates))
 	for _, e := range d.Estimates {
 		out.Estimates = append(out.Estimates, EstimateJSON{
@@ -138,7 +146,7 @@ type ScheduleRequest struct {
 	Profile *FeaturesJSON `json:"profile,omitempty"`
 	Data    string        `json:"data,omitempty"`
 	// Policy optionally overrides the server's default decision policy:
-	// "rule-based", "empirical", or "hybrid".
+	// "rule-based", "empirical", "hybrid", or "predict".
 	Policy string `json:"policy,omitempty"`
 	// TopK optionally overrides the hybrid policy's candidate count.
 	TopK int `json:"top_k,omitempty"`
@@ -147,6 +155,26 @@ type ScheduleRequest struct {
 // ScheduleResponse is the /v1/schedule reply.
 type ScheduleResponse struct {
 	Decision DecisionJSON `json:"decision"`
+}
+
+// PredictFormatRequest is the /v1/predict-format body. Exactly one of
+// Profile (the nine Table IV parameters) or Data (inline LIBSVM rows, whose
+// parameters are extracted server-side) must be set.
+type PredictFormatRequest struct {
+	Profile *FeaturesJSON `json:"profile,omitempty"`
+	Data    string        `json:"data,omitempty"`
+}
+
+// PredictFormatResponse is the /v1/predict-format reply: the trained
+// predictor's format recommendation with its vote-share confidence.
+// Confident reports whether the confidence clears the server's threshold,
+// i.e. whether a predict-policy schedule request would trust this answer
+// without measuring.
+type PredictFormatResponse struct {
+	Format     string       `json:"format"`
+	Confidence float64      `json:"confidence"`
+	Confident  bool         `json:"confident"`
+	Features   FeaturesJSON `json:"features"`
 }
 
 // PredictRequest is the /v1/predict body: rows in LIBSVM feature syntax
@@ -177,7 +205,9 @@ func parsePolicy(s string) (core.Policy, error) {
 		return core.Empirical, nil
 	case "hybrid":
 		return core.Hybrid, nil
+	case "predict":
+		return core.PolicyPredict, nil
 	default:
-		return 0, fmt.Errorf("unknown policy %q (want rule-based, empirical, or hybrid)", s)
+		return 0, fmt.Errorf("unknown policy %q (want rule-based, empirical, hybrid, or predict)", s)
 	}
 }
