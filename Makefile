@@ -4,16 +4,20 @@
 #   make vet        static analysis over the whole module
 #   make test       full test suite (tier-1 verify alongside build)
 #   make test-race  short-mode race check of the concurrency-heavy packages
+#   make chaos      fault-injection tests under the race detector
+#   make fuzz       native fuzz targets, $(FUZZTIME) each
 #   make bench      run every benchmark once, human-readable
 #   make bench-json full benchmark sweep as JSON lines in BENCH_<date>.json
 #   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
 GO ?= go
-RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/...
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/...
+CHAOS_PKGS := ./internal/parallel ./internal/core ./internal/serve
+FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
 LAYOUTD_ADDR ?= :8723
 
-.PHONY: build vet test test-race bench bench-json run-layoutd clean
+.PHONY: build vet test test-race chaos fuzz bench bench-json run-layoutd clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +30,17 @@ test:
 
 test-race:
 	$(GO) test -race -short $(RACE_PKGS)
+
+# Chaos: seeded failpoints (delays, errors, panics, timer skew) driven
+# through the scheduler, the pool, and the daemon, under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Panic|Breaker' -count=1 $(CHAOS_PKGS)
+
+# Fuzz: each native fuzz target gets $(FUZZTIME) of exploration. go test
+# accepts one -fuzz pattern per package invocation, hence the two runs.
+fuzz:
+	$(GO) test -fuzz '^FuzzParseLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -fuzz '^FuzzScheduleRequest$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

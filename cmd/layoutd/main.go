@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/learn"
 	"repro/internal/serve"
 	"repro/internal/svm"
@@ -57,6 +58,8 @@ type options struct {
 	trialRows     int
 	topK          int
 	seed          int64
+	faults        string
+	faultSeed     int64
 }
 
 func main() {
@@ -75,6 +78,8 @@ func main() {
 	flag.IntVar(&o.trialRows, "trial-rows", 0, "scheduler trial rows (0 = default)")
 	flag.IntVar(&o.topK, "topk", 0, "hybrid candidate count (0 = default)")
 	flag.Int64Var(&o.seed, "seed", 1, "measurement sampling seed")
+	flag.StringVar(&o.faults, "faults", "", "failpoint spec for chaos runs, e.g. 'core.measure.err=1;serve.request.delay=5ms@0.1'")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for probabilistic failpoints")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutd:", err)
@@ -90,6 +95,14 @@ func run(o options) error {
 	p, ok := pol[o.policy]
 	if !ok {
 		return fmt.Errorf("unknown policy %q", o.policy)
+	}
+	if o.faults != "" {
+		reg, err := fault.Parse(o.faults, o.faultSeed)
+		if err != nil {
+			return err
+		}
+		fault.Enable(reg)
+		log.Printf("fault injection armed: %s", reg)
 	}
 	hist := &core.History{}
 	if o.histPath != "" {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/learn"
 	"repro/internal/serve"
 	"repro/internal/sparse"
@@ -70,8 +71,19 @@ func scheduleCmd() {
 		verbose   = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
 		statsFlag = flag.Bool("stats", false, "report per-format kernel invocation counters after the decision")
 		jsonOut   = flag.Bool("json", false, "emit the decision as machine-readable JSON (the layoutd wire format) instead of tables")
+		faults    = flag.String("faults", "", "failpoint spec for chaos runs, e.g. 'core.measure.delay=10ms@0.5;core.build.err=1:2'")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic failpoints")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		reg, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fault.Enable(reg)
+		fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", reg)
+	}
 
 	b, err := loadMatrix(*file, *name, *seed)
 	if err != nil {

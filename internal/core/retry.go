@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// DefaultMeasureRetries is how many times a transient measurement failure is
+// retried (per candidate format) before the candidate is given up on.
+const DefaultMeasureRetries = 2
+
+// defaultRetryBackoff is the first retry's backoff; each further retry
+// doubles it and adds seeded full jitter.
+const defaultRetryBackoff = 250 * time.Microsecond
+
+// KernelPanicError wraps a panic recovered during a measurement kernel — a
+// poisoned dataset or an injected worker fault — so it surfaces to callers
+// as an ordinary error instead of tearing down the process.
+type KernelPanicError struct {
+	Format sparse.Format
+	Value  any
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("core: kernel panic measuring %s: %v", e.Format, e.Value)
+}
+
+// IsTransient reports whether err is a transient failure worth retrying: any
+// error in the chain exposing Transient() true (injected measurement faults,
+// and any future I/O-flake classification). Context cancellation and kernel
+// panics are deliberately not transient — the former must abort, the latter
+// reproduces deterministically on the same data.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// measureWithRetry runs one candidate's measurement with bounded retries:
+// transient failures back off exponentially with seeded full jitter (so
+// retry storms against a struggling machine stay spread out and tests stay
+// reproducible), everything else — context expiry, kernel panics — returns
+// immediately.
+func (s *Scheduler) measureWithRetry(ctx context.Context, m sparse.Matrix, trials []sparse.Vector, rng *rand.Rand) (time.Duration, error) {
+	backoff := s.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		t, err := s.measure(ctx, m, trials)
+		if err == nil {
+			return t, nil
+		}
+		if !IsTransient(err) || attempt >= s.cfg.MeasureRetries {
+			return 0, err
+		}
+		delay := backoff<<attempt + time.Duration(rng.Int63n(int64(backoff)))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return 0, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/sparse"
 )
 
@@ -101,6 +102,13 @@ type Config struct {
 	// MinConfidence gates the predictor: answers below it fall back to
 	// measurement. 0 = DefaultMinConfidence.
 	MinConfidence float64
+	// MeasureRetries bounds how many times a transient measurement failure
+	// is retried per candidate before the candidate is skipped.
+	// 0 = DefaultMeasureRetries, negative = never retry.
+	MeasureRetries int
+	// RetryBackoff is the first retry's backoff; each further attempt
+	// doubles it, plus seeded jitter. 0 = 250µs.
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +129,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinConfidence <= 0 {
 		c.MinConfidence = DefaultMinConfidence
+	}
+	if c.MeasureRetries == 0 {
+		c.MeasureRetries = DefaultMeasureRetries
+	} else if c.MeasureRetries < 0 {
+		c.MeasureRetries = 0
 	}
 	return c
 }
@@ -239,6 +252,8 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 			return nil, ErrNoPredictor
 		}
 		f, conf, ok := s.cfg.Predictor.PredictFormat(feats)
+		// Chaos hook: model-staleness simulation jitters the vote share.
+		conf = fault.Perturb("core.predict", conf)
 		d.Confidence = conf
 		if ok && conf >= s.cfg.MinConfidence {
 			if m, err := materialize(b, csr, f); err == nil {
@@ -267,14 +282,26 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: choose: %w", err)
 		}
+		if err := fault.Inject("core.build"); err != nil {
+			lastErr = err
+			continue
+		}
 		m, err := materialize(b, csr, f)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		t, err := s.measure(ctx, m, trials)
+		t, err := s.measureWithRetry(ctx, m, trials, rng)
 		if err != nil {
-			return nil, fmt.Errorf("core: choose: %w", err)
+			// Context expiry bounds the whole decision; anything else —
+			// retries exhausted, a kernel panic on this candidate's data —
+			// disqualifies only this candidate, so one poisoned format
+			// cannot sink a decision the others can still win.
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("core: choose: %w", ctx.Err())
+			}
+			lastErr = err
+			continue
 		}
 		d.Measured[f] = t
 		if bestTime < 0 || t < bestTime {
@@ -282,7 +309,7 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: no candidate format could be built: %w", lastErr)
+		return nil, fmt.Errorf("core: no candidate format could be measured: %w", lastErr)
 	}
 	d.Matrix = best
 	if s.cfg.History != nil {
@@ -323,8 +350,15 @@ func (s *Scheduler) sampleRows(m *sparse.CSRMatrix, rng *rand.Rand) []sparse.Vec
 
 // measure times Repeats SMSV products per trial row and returns the total.
 // Cancellation is observed between repetitions — one kernel invocation is
-// the granularity of abort.
-func (s *Scheduler) measure(ctx context.Context, m sparse.Matrix, trials []sparse.Vector) (time.Duration, error) {
+// the granularity of abort. A panic inside a kernel (a poisoned dataset, or
+// a worker fault re-raised by the pool) is recovered into a
+// *KernelPanicError so a measurement failure stays an error, never a crash.
+func (s *Scheduler) measure(ctx context.Context, m sparse.Matrix, trials []sparse.Vector) (total time.Duration, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			total, err = 0, &KernelPanicError{Format: m.Format(), Value: p}
+		}
+	}()
 	rows, cols := m.Dims()
 	dst := make([]float64, rows)
 	scratch := make([]float64, cols)
@@ -333,15 +367,20 @@ func (s *Scheduler) measure(ctx context.Context, m sparse.Matrix, trials []spars
 	if len(trials) > 0 {
 		m.MulVecSparse(dst, trials[0], scratch, s.cfg.Exec)
 	}
-	var total time.Duration
 	for _, x := range trials {
 		for r := 0; r < s.cfg.Repeats; r++ {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
+			// Chaos hooks: injected measurement failure, then timer skew and
+			// result perturbation over the measured repetition.
+			if err := fault.Inject("core.measure"); err != nil {
+				return 0, err
+			}
 			start := time.Now()
 			m.MulVecSparse(dst, x, scratch, s.cfg.Exec)
-			total += time.Since(start)
+			elapsed := fault.Skew("core.measure", time.Since(start))
+			total += time.Duration(fault.Perturb("core.measure", float64(elapsed)))
 		}
 	}
 	return total, nil

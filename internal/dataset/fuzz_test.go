@@ -16,14 +16,41 @@ func FuzzParseLIBSVM(f *testing.F) {
 	f.Add("-1 999999:3\n")
 	f.Add("+1 1:nan\n")
 	f.Add("2.5 1:0\n")
+	// Error-path corpus: each of these must be rejected (or at least never
+	// crash), and their mutations probe the parser's edges.
+	f.Add("x 1:1\n")              // bad label
+	f.Add("+1 1\n")               // missing colon
+	f.Add("+1 1:2:3\n")           // double colon
+	f.Add("+1 0:1\n")             // index below 1
+	f.Add("+1 -3:1\n")            // negative index
+	f.Add("+1 2:1 2:2\n")         // duplicate index
+	f.Add("+1 5:1 3:2\n")         // descending indices
+	f.Add("+1 1:inf\n")           // non-finite value
+	f.Add("inf 1:1\n")            // non-finite label
+	f.Add("+1 4294967301:1\n")    // index past int32: must not wrap to 4
+	f.Add("+1 2147483648:1\n")    // first index past int32
+	f.Add("+1 2147483647:1\n")    // largest legal index
+	f.Add("+1 1:0x1p-3\n")        // hex float syntax
+	f.Add("+1  1:1\t2:2 \n")      // mixed whitespace
+	f.Add("#only a comment\n\n#") // nothing but comments
 	f.Fuzz(func(t *testing.T, in string) {
 		samples, n, err := ParseLIBSVM(strings.NewReader(in))
 		if err != nil {
 			return
 		}
+		if n < 0 {
+			t.Fatalf("accepted input with negative numFeatures %d", n)
+		}
 		for _, s := range samples {
 			if s.Features.Dim != n && n > 0 {
 				t.Fatalf("sample dim %d, numFeatures %d", s.Features.Dim, n)
+			}
+			for _, idx := range s.Features.Index {
+				// A stored index outside [0, numFeatures) means a 64-bit
+				// file index wrapped during the int32 conversion.
+				if idx < 0 || int(idx) >= n {
+					t.Fatalf("stored index %d outside feature space [0,%d)", idx, n)
+				}
 			}
 			if err := s.Features.Validate(); err != nil {
 				// NaN/Inf inputs are accepted by the parser as floats but

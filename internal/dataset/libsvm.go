@@ -61,6 +61,12 @@ func ParseLIBSVM(r io.Reader) (samples []Sample, numFeatures int, err error) {
 			if err != nil || idx < 1 {
 				return nil, 0, fmt.Errorf("dataset: line %d: feature %q: index %q is not a positive integer", lineNo, f, f[:colon])
 			}
+			// Indices are stored as int32; without this check a 64-bit idx
+			// like 2^32+5 would silently wrap to the small index 4 while
+			// numFeatures ballooned to 2^32+5.
+			if idx-1 > math.MaxInt32 {
+				return nil, 0, fmt.Errorf("dataset: line %d: feature index %d exceeds the int32 index space", lineNo, idx)
+			}
 			val, err := strconv.ParseFloat(f[colon+1:], 64)
 			if err != nil {
 				return nil, 0, fmt.Errorf("dataset: line %d: feature %q: bad value %q", lineNo, f, f[colon+1:])
@@ -106,7 +112,9 @@ func WriteLIBSVM(w io.Writer, samples []Sample) error {
 			fmt.Fprintf(bw, "%g", s.Label)
 		}
 		for k, idx := range s.Features.Index {
-			fmt.Fprintf(bw, " %d:%g", idx+1, s.Features.Value[k])
+			// Widen before the 1-based shift: idx+1 in int32 wraps negative
+			// for the largest legal index.
+			fmt.Fprintf(bw, " %d:%g", int64(idx)+1, s.Features.Value[k])
 		}
 		if _, err := bw.WriteString("\n"); err != nil {
 			return err

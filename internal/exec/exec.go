@@ -20,6 +20,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/parallel"
 )
 
@@ -161,6 +162,8 @@ func (e *Exec) ForRange(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	// Chaos hook: one atomic nil-check when no fault registry is enabled.
+	fault.Disrupt("exec.dispatch")
 	if e == nil || e.workers == 1 || n == 1 {
 		body(0, n)
 		return
@@ -202,6 +205,7 @@ func (e *Exec) ForParts(parts int, body func(w int)) {
 	if parts <= 0 {
 		return
 	}
+	fault.Disrupt("exec.dispatch")
 	if e == nil || e.workers == 1 || parts == 1 {
 		for w := 0; w < parts; w++ {
 			body(w)

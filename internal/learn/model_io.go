@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/sparse"
 )
 
@@ -116,6 +117,9 @@ func Load(r io.Reader) (*Forest, error) {
 
 // LoadFile opens and loads a model file, naming the path in any error.
 func LoadFile(path string) (*Forest, error) {
+	if err := fault.Inject("model.load"); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
 	r, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -99,6 +99,7 @@ func ForRange(n, p int, sched Schedule, body func(lo, hi int)) {
 
 func forStatic(n, p int, body func(lo, hi int)) {
 	var wg sync.WaitGroup
+	var panics panicBox
 	wg.Add(p)
 	// Split as evenly as possible: the first (n%p) workers get one extra.
 	base, extra := n/p, n%p
@@ -110,6 +111,11 @@ func forStatic(n, p int, body func(lo, hi int)) {
 		}
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics.record(p)
+				}
+			}()
 			if lo < hi {
 				body(lo, hi)
 			}
@@ -117,15 +123,25 @@ func forStatic(n, p int, body func(lo, hi int)) {
 		lo = hi
 	}
 	wg.Wait()
+	panics.rethrow()
 }
 
 func forGuided(n, p int, body func(lo, hi int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panics panicBox
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics.record(p)
+					// Park the cursor past the end so the other workers stop
+					// claiming chunks.
+					next.Store(int64(n))
+				}
+			}()
 			for {
 				remaining := int64(n) - next.Load()
 				if remaining <= 0 {
@@ -148,6 +164,7 @@ func forGuided(n, p int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	panics.rethrow()
 }
 
 // SplitRange returns the w-th of p contiguous near-equal partitions of

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -28,17 +29,30 @@ type Pool struct {
 // picked up a ticket, plus the submitter) claim chunks from cursor until the
 // iteration space is exhausted; the last participant to finish a chunk
 // observes done == n and signals fin.
+//
+// A body panic does not kill the worker or the process: the panicking
+// participant records it, marks the run aborted so the other participants
+// stop claiming chunks, and the last participant to leave signals fin. The
+// submitter then waits for full quiescence and re-raises the panic as a
+// *PanicError on its own goroutine, where callers can recover it.
 type poolRun struct {
 	n     int
 	parts int // chunk count for static; 2·parts divisor for guided
 	sched Schedule
 	body  func(id, lo, hi int)
 
-	cursor atomic.Int64 // next chunk index (static) or iteration (guided)
-	slots  atomic.Int32 // participant IDs handed out so far
-	done   atomic.Int64 // iterations completed
-	fin    chan struct{}
+	cursor  atomic.Int64 // next chunk index (static) or iteration (guided)
+	slots   atomic.Int32 // participant IDs handed out so far
+	done    atomic.Int64 // iterations completed
+	joined  atomic.Int32 // participants that entered the claim loop
+	left    atomic.Int32 // participants that exited it
+	aborted atomic.Bool  // a body panicked; stop claiming chunks
+	panics  panicBox
+	fin     chan struct{}
+	finOnce sync.Once
 }
+
+func (r *poolRun) finish() { r.finOnce.Do(func() { close(r.fin) }) }
 
 // NewPool creates a pool with the given number of workers; workers <= 0
 // means NumWorkers(). The pool holds workers-1 goroutines until Close.
@@ -142,6 +156,15 @@ func (p *Pool) ForRangeID(n int, sched Schedule, body func(id, lo, hi int)) {
 	}
 	r.participate()
 	<-r.fin
+	if r.aborted.Load() {
+		// Wait until every joined participant has unwound before re-raising,
+		// so no worker is still writing into caller-owned buffers while the
+		// caller's recover handler reuses them.
+		for r.left.Load() != r.joined.Load() {
+			runtime.Gosched()
+		}
+		r.panics.rethrow()
+	}
 }
 
 func (r *poolRun) participate() {
@@ -150,8 +173,21 @@ func (r *poolRun) participate() {
 		// Late ticket for a run that already has enough participants.
 		return
 	}
+	r.joined.Add(1)
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.record(p)
+			r.aborted.Store(true)
+		}
+		// On an aborted run done never reaches n, so the last participant to
+		// leave releases the submitter instead. A participant joining after
+		// this observes aborted == true and leaves without running the body.
+		if left := r.left.Add(1); r.aborted.Load() && left == r.joined.Load() {
+			r.finish()
+		}
+	}()
 	total := int64(r.n)
-	for {
+	for !r.aborted.Load() {
 		var lo, hi int64
 		if r.sched == Guided {
 			remaining := total - r.cursor.Load()
@@ -181,7 +217,8 @@ func (r *poolRun) participate() {
 		r.body(id, int(lo), int(hi))
 		// Chunks partition [0, n), so done reaches n exactly once.
 		if r.done.Add(hi-lo) == total {
-			close(r.fin)
+			r.finish()
+			return
 		}
 	}
 }

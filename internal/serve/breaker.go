@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+// Breaker states. Closed passes measurements through; Open short-circuits
+// them into degraded answers; HalfOpen lets a single probe measurement
+// through to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultBreakerThreshold is how many consecutive measurement failures trip
+// the breaker open.
+const DefaultBreakerThreshold = 3
+
+// DefaultBreakerCooldown is how long an open breaker rejects measurements
+// before letting a half-open probe through.
+const DefaultBreakerCooldown = 10 * time.Second
+
+// Breaker is a consecutive-failure circuit breaker guarding the measurement
+// path. While measurement keeps failing (injected faults, kernel panics,
+// a saturated machine) the breaker opens and the server answers from
+// history, the predictor, or the cost model instead — degraded but 200,
+// never a 5xx storm. After the cooldown one probe measurement is allowed:
+// success closes the breaker, failure re-opens it for another cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+
+	opens atomic.Int64 // times tripped, for /metrics
+}
+
+// NewBreaker creates a breaker; threshold <= 0 means
+// DefaultBreakerThreshold, cooldown <= 0 means DefaultBreakerCooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a measurement may be attempted now. Closed always
+// allows; open allows nothing until the cooldown has elapsed, then
+// transitions to half-open and admits exactly one probe at a time. A caller
+// that is allowed MUST report the outcome with Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a measurement that completed: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Cancel releases an Allow that produced no measurement outcome — the
+// request was rejected by admission control or failed before measuring —
+// without moving the state machine. Crucially it frees a half-open probe
+// slot so the next request can still probe.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a measurement failure. A closed breaker trips open after
+// `threshold` consecutive failures; a half-open probe failure re-opens
+// immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	b.opens.Add(1)
+}
+
+// State reports the current position, advancing open→half-open when the
+// cooldown has lapsed so metrics reflect that a probe would be admitted.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Opens reports how many times the breaker has tripped.
+func (b *Breaker) Opens() int64 { return b.opens.Load() }

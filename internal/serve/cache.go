@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/sparse"
 )
 
@@ -21,11 +22,17 @@ type CachedDecision struct {
 	Format   sparse.Format
 	Measured map[sparse.Format]time.Duration
 	// Source is the provenance of the original decision ("measured",
-	// "history", or "predictor"), preserved so cache hits can report how
-	// the format was first chosen.
+	// "history", "predictor", or "model"), preserved so cache hits can
+	// report how the format was first chosen.
 	Source string
 	// Confidence is the predictor's vote share when one was consulted.
 	Confidence float64
+	// Degraded marks a decision produced without measurement because the
+	// measurement path was failing (circuit breaker open or a measurement
+	// error absorbed). Degraded entries are cached only for the cache's
+	// DegradedTTL, so they are re-measured once the path recovers instead
+	// of masquerading as authoritative forever.
+	Degraded bool
 }
 
 // Key derives the decision-cache key from the nine Table IV parameters plus
@@ -66,6 +73,9 @@ type shard struct {
 type lruEntry struct {
 	key string
 	val *CachedDecision
+	// expires is the entry's eviction deadline; zero means authoritative,
+	// cached until LRU pressure. Only degraded decisions get a deadline.
+	expires time.Time
 }
 
 // Cache is a sharded, profile-keyed decision cache with singleflight
@@ -74,18 +84,26 @@ type lruEntry struct {
 // to a shape class's hash bucket under concurrent serving load; each shard
 // holds at most capacity entries and evicts least-recently-used decisions.
 type Cache struct {
-	shards   []*shard
-	capacity int
+	shards      []*shard
+	capacity    int
+	degradedTTL time.Duration
+	now         func() time.Time // injectable for TTL tests
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	dedups    atomic.Int64
 	evictions atomic.Int64
+	expired   atomic.Int64
 }
 
 // DefaultCacheShards balances lock spread against footprint for a
 // single-host daemon.
 const DefaultCacheShards = 16
+
+// DefaultDegradedTTL is how long a degraded (unmeasured) decision may serve
+// from the cache before it is re-computed — short, so recovery re-measures
+// promptly.
+const DefaultDegradedTTL = 5 * time.Second
 
 // NewCache creates a cache with the given shard count (<=0 means
 // DefaultCacheShards) and per-shard entry capacity (<=0 means 256).
@@ -96,7 +114,12 @@ func NewCache(shards, capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	c := &Cache{shards: make([]*shard, shards), capacity: capacity}
+	c := &Cache{
+		shards:      make([]*shard, shards),
+		capacity:    capacity,
+		degradedTTL: DefaultDegradedTTL,
+		now:         time.Now,
+	}
 	for i := range c.shards {
 		c.shards[i] = &shard{
 			entries:  make(map[string]*list.Element),
@@ -121,13 +144,22 @@ func (c *Cache) shardFor(key string) *shard {
 // fails — including by cancellation — every deduplicated waiter receives
 // the same error.
 func (c *Cache) Do(key string, fn func() (*CachedDecision, error)) (val *CachedDecision, outcome string, err error) {
+	fault.Disrupt("serve.cache")
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if el, ok := sh.entries[key]; ok {
-		sh.order.MoveToFront(el)
-		sh.mu.Unlock()
-		c.hits.Add(1)
-		return el.Value.(*lruEntry).val, "hit", nil
+		e := el.Value.(*lruEntry)
+		if e.expires.IsZero() || c.now().Before(e.expires) {
+			sh.order.MoveToFront(el)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, "hit", nil
+		}
+		// A degraded entry past its TTL: drop it and re-compute, so the
+		// shape class is re-measured once the measurement path recovers.
+		sh.order.Remove(el)
+		delete(sh.entries, key)
+		c.expired.Add(1)
 	}
 	if cl, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
@@ -153,10 +185,16 @@ func (c *Cache) Do(key string, fn func() (*CachedDecision, error)) (val *CachedD
 }
 
 // insertLocked adds key→val to the shard, evicting from the LRU tail when
-// the shard is at capacity. Caller holds sh.mu.
+// the shard is at capacity. Degraded values get the short TTL so they are
+// never cached as authoritative. Caller holds sh.mu.
 func (c *Cache) insertLocked(sh *shard, key string, val *CachedDecision) {
+	var expires time.Time
+	if val.Degraded {
+		expires = c.now().Add(c.degradedTTL)
+	}
 	if el, ok := sh.entries[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val, e.expires = val, expires
 		sh.order.MoveToFront(el)
 		return
 	}
@@ -166,7 +204,7 @@ func (c *Cache) insertLocked(sh *shard, key string, val *CachedDecision) {
 		delete(sh.entries, tail.Value.(*lruEntry).key)
 		c.evictions.Add(1)
 	}
-	sh.entries[key] = sh.order.PushFront(&lruEntry{key: key, val: val})
+	sh.entries[key] = sh.order.PushFront(&lruEntry{key: key, val: val, expires: expires})
 }
 
 // Len reports the total number of cached decisions across shards.
@@ -194,8 +232,8 @@ func (c *Cache) Inflight() int {
 
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
-	Hits, Misses, Dedups, Evictions int64
-	Len, Inflight                   int
+	Hits, Misses, Dedups, Evictions, Expired int64
+	Len, Inflight                            int
 }
 
 // Stats snapshots the cache counters.
@@ -205,6 +243,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses.Load(),
 		Dedups:    c.dedups.Load(),
 		Evictions: c.evictions.Load(),
+		Expired:   c.expired.Load(),
 		Len:       c.Len(),
 		Inflight:  c.Inflight(),
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 )
@@ -22,6 +23,12 @@ import (
 // is occupied: the request would have queued unbounded work onto the shared
 // exec pool.
 var ErrOverloaded = errors.New("serve: all measurement slots busy, retry later")
+
+// maxInlineCells bounds the dense footprint (M×N cells) a measured inline
+// request may declare: candidate formats materialize the matrix, and DEN of
+// 2^26 cells is already a 512 MiB allocation. Larger shapes must use
+// profile-only scheduling, which is pure arithmetic.
+const maxInlineCells = 1 << 26
 
 // Config parameterizes a Server. The zero value is usable: hybrid policy,
 // shared default exec context, fresh history, no prediction model.
@@ -63,6 +70,19 @@ type Config struct {
 	// NewCache); zeros take the cache defaults.
 	CacheShards   int
 	CacheCapacity int
+
+	// BreakerThreshold is how many consecutive measurement failures trip
+	// the measurement circuit breaker open; while open, schedule requests
+	// are answered from history/predictor/model with degraded: true
+	// instead of 5xx. 0 = DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe measurement. 0 = DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// DegradedTTL bounds how long a degraded decision may serve from the
+	// cache before being re-computed (and re-measured, once the breaker
+	// closes). 0 = DefaultDegradedTTL.
+	DegradedTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -93,11 +113,14 @@ type Server struct {
 	cfg     Config
 	cache   *Cache
 	metrics *metricsRegistry
+	breaker *Breaker      // guards the measurement path
 	sem     chan struct{} // measurement admission slots
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 
 	measurements atomic.Int64 // scheduler runs that actually measured
+	degraded     atomic.Int64 // decisions served without measurement under failure
+	panics       atomic.Int64 // handler panics recovered into 500s
 
 	predictorHits      atomic.Int64 // decisions answered by the predictor
 	predictorFallbacks atomic.Int64 // predict-policy runs that measured instead
@@ -107,10 +130,15 @@ type Server struct {
 // NewServer creates a Server from cfg.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cache := NewCache(cfg.CacheShards, cfg.CacheCapacity)
+	if cfg.DegradedTTL > 0 {
+		cache.degradedTTL = cfg.DegradedTTL
+	}
 	return &Server{
 		cfg:     cfg,
-		cache:   NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		cache:   cache,
 		metrics: newMetricsRegistry(),
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 	}
 }
@@ -178,12 +206,25 @@ func (s *Server) route(name, method string, h http.HandlerFunc) http.HandlerFunc
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() { s.metrics.observe(name, rec.status, time.Since(start)) }()
+		// Last line of defense: a panic anywhere in a handler — including
+		// an injected serve.request panic — becomes a 500, not a dead
+		// connection and a crashed daemon.
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", p))
+			}
+		}()
 		if r.Method != method {
 			writeError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
 			return
 		}
 		if s.closed.Load() {
 			writeError(rec, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		if err := fault.Inject("serve.request"); err != nil {
+			writeError(rec, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		s.wg.Add(1)
@@ -242,9 +283,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "layoutd_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "layoutd_cache_dedups_total %d\n", cs.Dedups)
 	fmt.Fprintf(w, "layoutd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "layoutd_cache_expired_total %d\n", cs.Expired)
 	fmt.Fprintf(w, "layoutd_cache_entries %d\n", cs.Len)
 	fmt.Fprintf(w, "layoutd_cache_inflight %d\n", cs.Inflight)
 	fmt.Fprintf(w, "layoutd_measurements_total %d\n", s.measurements.Load())
+	fmt.Fprintf(w, "layoutd_degraded_total %d\n", s.degraded.Load())
+	fmt.Fprintf(w, "layoutd_handler_panics_total %d\n", s.panics.Load())
+	fmt.Fprintf(w, "layoutd_breaker_state %d\n", int(s.breaker.State()))
+	fmt.Fprintf(w, "layoutd_breaker_opens_total %d\n", s.breaker.Opens())
 	loaded := 0
 	if s.cfg.Predictor != nil {
 		loaded = 1
@@ -257,6 +303,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "layoutd_measurement_slots_busy %d\n", len(s.sem))
 	fmt.Fprintf(w, "layoutd_history_entries %d\n", s.cfg.History.Len())
 	s.cfg.Stats.WriteMetrics(w, "layoutd")
+	fault.WriteMetrics(w, "layoutd")
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -335,6 +382,15 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		return
 	}
 	feats := dataset.Extract(csr)
+	// A tiny body can declare a near-int32 feature index, making the dense
+	// measurement candidate a multi-gigabyte allocation. Shapes past the
+	// cap get the profile-only path, which never materializes formats.
+	if cells := int64(feats.M) * int64(feats.N); cells > maxInlineCells {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"matrix %d×%d declares %d dense cells, over the %d inline-scheduling cap; send a profile-only request for shapes this large",
+			feats.M, feats.N, cells, int64(maxInlineCells)))
+		return
+	}
 	trace := []string{fmt.Sprintf("parsed %d LIBSVM rows, %d features", len(samples), n)}
 
 	sched := core.New(core.Config{
@@ -361,17 +417,37 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	val, outcome, err := s.cache.Do(key, func() (*CachedDecision, error) {
-		// Only the singleflight leader reaches here; admission bounds how
-		// many leaders may queue measurement kernels onto the exec pool.
+		// Only the singleflight leader reaches here, so the breaker sees
+		// one Allow per computation, not one per deduplicated waiter.
+		if !s.breaker.Allow() {
+			return s.degrade(feats), nil
+		}
+		// Admission bounds how many leaders may queue measurement kernels
+		// onto the exec pool. Overload is not a measurement outcome, so it
+		// must release the breaker (a half-open probe slot in particular)
+		// rather than count for or against it.
 		select {
 		case s.sem <- struct{}{}:
 		default:
+			s.breaker.Cancel()
 			return nil, ErrOverloaded
 		}
 		defer func() { <-s.sem }()
 		dec, err := sched.ChooseContext(ctx, b)
 		if err != nil {
+			if isMeasurementFailure(err) {
+				s.breaker.Failure()
+				return s.degrade(feats), nil
+			}
+			s.breaker.Cancel()
 			return nil, err
+		}
+		if len(dec.Measured) > 0 {
+			s.breaker.Success()
+		} else {
+			// History/predictor answered without measuring: no evidence
+			// either way, so release the breaker without moving it.
+			s.breaker.Cancel()
 		}
 		source := "measured"
 		switch {
@@ -400,18 +476,13 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		trace = append(trace, fmt.Sprintf("cache: joined in-flight measurement for shape class %s", key))
 	default:
 		trace = append(trace, fmt.Sprintf("cache: miss for shape class %s", key))
-		switch val.Source {
-		case "history":
-			trace = append(trace, "history: near-miss reuse, measurement skipped")
-		case "predictor":
-			trace = append(trace, fmt.Sprintf("predictor: answered %s with confidence %.2f, measurement skipped",
-				val.Format, val.Confidence))
+		switch {
+		case val.Degraded:
+			trace = append(trace, fmt.Sprintf(
+				"degraded: measurement unavailable (breaker %s), answered from %s",
+				s.breaker.State(), val.Source))
 		default:
-			if policy == core.PolicyPredict {
-				trace = append(trace, fmt.Sprintf("predictor: confidence %.2f below threshold, falling back to measurement",
-					val.Confidence))
-			}
-			trace = append(trace, fmt.Sprintf("admission: acquired 1 of %d measurement slots", cap(s.sem)))
+			trace = appendSourceTrace(trace, val, policy, cap(s.sem))
 		}
 	}
 
@@ -422,6 +493,7 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		Source:     val.Source,
 		Confidence: val.Confidence,
 		Measured:   encodeMeasured(val.Measured),
+		Degraded:   val.Degraded,
 		Trace:      trace,
 	}
 	if outcome != "miss" {
@@ -434,6 +506,56 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		})
 	}
 	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: d})
+}
+
+// appendSourceTrace explains how a freshly computed (non-degraded) decision
+// was obtained.
+func appendSourceTrace(trace []string, val *CachedDecision, policy core.Policy, slots int) []string {
+	switch val.Source {
+	case "history":
+		trace = append(trace, "history: near-miss reuse, measurement skipped")
+	case "predictor":
+		trace = append(trace, fmt.Sprintf("predictor: answered %s with confidence %.2f, measurement skipped",
+			val.Format, val.Confidence))
+	default:
+		if policy == core.PolicyPredict {
+			trace = append(trace, fmt.Sprintf("predictor: confidence %.2f below threshold, falling back to measurement",
+				val.Confidence))
+		}
+		trace = append(trace, fmt.Sprintf("admission: acquired 1 of %d measurement slots", slots))
+	}
+	return trace
+}
+
+// isMeasurementFailure reports whether err is a failure of the measurement
+// machinery itself — the kind the circuit breaker guards and the degraded
+// path absorbs. Caller mistakes (empty matrices), admission overload, and
+// request cancellation keep their precise HTTP statuses instead.
+func isMeasurementFailure(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, core.ErrEmptyMatrix) || errors.Is(err, ErrOverloaded) {
+		return false
+	}
+	var kp *core.KernelPanicError
+	return core.IsTransient(err) || errors.As(err, &kp)
+}
+
+// degrade produces a best-effort decision with the measurement path down:
+// tuning history first (closest to evidence), then the trained predictor at
+// any confidence, then the rule-based cost model, which always answers. The
+// result is marked Degraded so it is cached only briefly and re-measured
+// once the path recovers.
+func (s *Server) degrade(feats dataset.Features) *CachedDecision {
+	s.degraded.Add(1)
+	if f, ok := s.cfg.History.Lookup(feats, core.DefaultHistoryRadius); ok {
+		return &CachedDecision{Format: f, Source: "history", Degraded: true}
+	}
+	if s.cfg.Predictor != nil {
+		if f, conf, ok := s.cfg.Predictor.PredictFormat(feats); ok {
+			return &CachedDecision{Format: f, Source: "predictor", Confidence: conf, Degraded: true}
+		}
+	}
+	return &CachedDecision{Format: core.EstimateCosts(feats)[0].Format, Source: "model", Degraded: true}
 }
 
 // writeScheduleError maps scheduler failures onto HTTP statuses.

@@ -82,6 +82,12 @@ type DecisionJSON struct {
 	Confidence float64           `json:"confidence,omitempty"`
 	Estimates  []EstimateJSON    `json:"estimates"`
 	Measured   []MeasurementJSON `json:"measured,omitempty"` // ascending time
+	// Degraded marks a decision produced without measurement because the
+	// measurement path was failing (circuit breaker open, or the failure
+	// that would have been a 5xx was absorbed). Degraded answers come from
+	// history, the predictor, or the cost model, and are only briefly
+	// cached so recovery re-measures the shape class.
+	Degraded bool `json:"degraded,omitempty"`
 	// Trace lists the policy steps the server took, in order, for
 	// observability ("cache: miss", "admission: acquired slot", ...).
 	Trace []string `json:"trace,omitempty"`
