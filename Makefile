@@ -8,16 +8,17 @@
 #   make fuzz       native fuzz targets, $(FUZZTIME) each
 #   make bench      run every benchmark once, human-readable
 #   make bench-json full benchmark sweep as JSON lines in BENCH_<date>.json
+#   make metrics-lint  validate /metrics exposition well-formedness
 #   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
 GO ?= go
-RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/...
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/...
 CHAOS_PKGS := ./internal/parallel ./internal/core ./internal/serve
 FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
 LAYOUTD_ADDR ?= :8723
 
-.PHONY: build vet test test-race chaos fuzz bench bench-json run-layoutd clean
+.PHONY: build vet test test-race chaos fuzz bench bench-json metrics-lint run-layoutd clean
 
 build:
 	$(GO) build ./...
@@ -48,6 +49,12 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCH_FILE)
 	@echo wrote $(BENCH_FILE)
+
+# Metrics lint: stand up an in-process layoutd server, run a schedule
+# decision through it, scrape /metrics, and fail on any exposition defect
+# (missing TYPE lines, duplicate series, non-cumulative histograms, ...).
+metrics-lint:
+	$(GO) run ./cmd/metricslint
 
 run-layoutd:
 	$(GO) run ./cmd/layoutd -addr $(LAYOUTD_ADDR)

@@ -17,17 +17,19 @@
 //	POST /v1/schedule        {"data": "<libsvm rows>"} or {"profile": {...}}
 //	POST /v1/predict         {"rows": ["1:0.5 3:1.2", ...]}
 //	POST /v1/predict-format  {"data": "<libsvm rows>"} or {"profile": {...}}
+//	GET  /v1/trace/{id}      span tree of a recent schedule decision
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debug/pprof/       runtime profiles (only with -pprof)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/serve"
 	"repro/internal/svm"
+	"repro/internal/telemetry"
 )
 
 // options collects every daemon flag so run stays callable from tests
@@ -60,6 +63,10 @@ type options struct {
 	seed          int64
 	faults        string
 	faultSeed     int64
+	logLevel      string
+	logFormat     string
+	pprofOn       bool
+	traceBuffer   int
 }
 
 func main() {
@@ -80,6 +87,10 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "measurement sampling seed")
 	flag.StringVar(&o.faults, "faults", "", "failpoint spec for chaos runs, e.g. 'core.measure.err=1;serve.request.delay=5ms@0.1'")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for probabilistic failpoints")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "completed decision traces kept for /v1/trace/{id} (0 = default)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutd:", err)
@@ -88,6 +99,10 @@ func main() {
 }
 
 func run(o options) error {
+	logger, err := telemetry.NewLogger(os.Stderr, o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
 	pol := map[string]core.Policy{
 		"rule-based": core.RuleBased, "empirical": core.Empirical,
 		"hybrid": core.Hybrid, "predict": core.PolicyPredict,
@@ -102,7 +117,7 @@ func run(o options) error {
 			return err
 		}
 		fault.Enable(reg)
-		log.Printf("fault injection armed: %s", reg)
+		logger.Warn("fault injection armed", "spec", fmt.Sprint(reg))
 	}
 	hist := &core.History{}
 	if o.histPath != "" {
@@ -111,7 +126,7 @@ func run(o options) error {
 			return err
 		}
 		hist = h
-		log.Printf("loaded %d tuning-history entries from %s", hist.Len(), o.histPath)
+		logger.Info("loaded tuning history", "entries", hist.Len(), "path", o.histPath)
 	}
 	var model *svm.Model
 	if o.modelPath != "" {
@@ -124,7 +139,7 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded SVM model with %d support vectors from %s", len(model.SVs), o.modelPath)
+		logger.Info("loaded SVM model", "support_vectors", len(model.SVs), "path", o.modelPath)
 	}
 	// A corrupt or outdated predictor fails startup here, with the file
 	// named in the error — never mid-request.
@@ -135,8 +150,8 @@ func run(o options) error {
 			return err
 		}
 		predictor = f
-		log.Printf("loaded format predictor (%d trees, trained on %d examples) from %s",
-			predictor.Trees(), predictor.TrainedOn(), o.predictorPath)
+		logger.Info("loaded format predictor",
+			"trees", predictor.Trees(), "trained_on", predictor.TrainedOn(), "path", o.predictorPath)
 	}
 	if p == core.PolicyPredict && predictor == nil {
 		return fmt.Errorf("policy predict needs -predictor")
@@ -150,13 +165,28 @@ func run(o options) error {
 		TrialRows:     o.trialRows, TopK: o.topK, Seed: o.seed,
 		MaxInflight: o.maxInflight, Timeout: o.timeout, MaxBody: o.maxBody,
 		CacheCapacity: o.cacheCap,
+		Logger:        logger, TraceCapacity: o.traceBuffer,
 	}
 	if predictor != nil {
 		cfg.Predictor = predictor
 	}
 	s := serve.NewServer(cfg)
+	handler := http.Handler(s.Handler())
+	if o.pprofOn {
+		// pprof rides the same listener but stays off the API mux, so it
+		// only exists when explicitly enabled.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	httpSrv := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -167,7 +197,10 @@ func run(o options) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("layoutd listening on %s (policy %s, %d measurement slots)", ln.Addr(), p, o.maxInflight)
+	// The startup line keeps its exact phrasing: tools (and the CLI test)
+	// scrape the bound address out of "layoutd listening on <addr>".
+	logger.Info(fmt.Sprintf("layoutd listening on %s (policy %s, %d measurement slots)",
+		ln.Addr(), p, o.maxInflight))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -175,7 +208,7 @@ func run(o options) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 	}
 
 	// Graceful shutdown: stop accepting, let in-flight handlers finish
@@ -184,18 +217,18 @@ func run(o options) error {
 	ctx, cancel := context.WithTimeout(context.Background(), o.timeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 	s.Drain()
 	if o.predictorPath != "" {
-		log.Printf("predictor answered %d decisions, fell back to measurement on %d",
-			s.PredictorHits(), s.PredictorFallbacks())
+		logger.Info("predictor summary",
+			"hits", s.PredictorHits(), "fallbacks", s.PredictorFallbacks())
 	}
 	if o.histPath != "" {
 		if err := saveHistory(o.histPath, s.History()); err != nil {
 			return fmt.Errorf("saving history: %w", err)
 		}
-		log.Printf("saved %d tuning-history entries to %s", s.History().Len(), o.histPath)
+		logger.Info("saved tuning history", "entries", s.History().Len(), "path", o.histPath)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 //	layoutsched -dataset sector -policy rule-based
 //	layoutsched -dataset mnist -stats        # report kernel counters
 //	layoutsched -dataset mnist -json         # machine-readable decision (layoutd wire format)
+//	layoutsched -dataset mnist -trace        # decision span tree on stderr
 //	layoutsched -dataset mnist -policy predict -predictor model.json
 //
 //	layoutsched train -synthetic 80 -out model.json
@@ -37,6 +38,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/serve"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -71,18 +73,25 @@ func scheduleCmd() {
 		verbose   = flag.Bool("verbose", false, "print the row-length histogram and densest diagonals")
 		statsFlag = flag.Bool("stats", false, "report per-format kernel invocation counters after the decision")
 		jsonOut   = flag.Bool("json", false, "emit the decision as machine-readable JSON (the layoutd wire format) instead of tables")
+		traceOut  = flag.Bool("trace", false, "print the decision's span tree to stderr (with -json, also the trace JSON)")
 		faults    = flag.String("faults", "", "failpoint spec for chaos runs, e.g. 'core.measure.delay=10ms@0.5;core.build.err=1:2'")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic failpoints")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 	if *faults != "" {
 		reg, err := fault.Parse(*faults, *faultSeed)
 		if err != nil {
 			fatal(err)
 		}
 		fault.Enable(reg)
-		fmt.Fprintf(os.Stderr, "fault injection armed: %s\n", reg)
+		logger.Warn("fault injection armed", "spec", fmt.Sprint(reg))
 	}
 
 	b, err := loadMatrix(*file, *name, *seed)
@@ -123,7 +132,24 @@ func scheduleCmd() {
 	}
 	cfg.Exec = ex
 	sched := core.New(cfg)
-	dec, err := sched.Choose(b)
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	var root *telemetry.Span
+	if *traceOut {
+		ctx, tr, root = telemetry.NewTrace(ctx, "layoutsched.schedule",
+			telemetry.String("policy", *policy))
+	}
+	dec, err := sched.ChooseContext(ctx, b)
+	if tr != nil {
+		root.EndErr(err)
+		tr.Finish()
+		fmt.Fprint(os.Stderr, tr.Tree())
+		if *jsonOut {
+			if encErr := json.NewEncoder(os.Stderr).Encode(tr.Snapshot()); encErr != nil {
+				fatal(encErr)
+			}
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -133,9 +159,13 @@ func scheduleCmd() {
 		}
 	}
 	if *jsonOut {
+		dj := serve.NewDecisionJSON(dec)
+		if tr != nil {
+			dj.TraceID = tr.ID
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(serve.NewDecisionJSON(dec)); err != nil {
+		if err := enc.Encode(dj); err != nil {
 			fatal(err)
 		}
 		return

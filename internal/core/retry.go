@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // DefaultMeasureRetries is how many times a transient measurement failure is
@@ -56,20 +57,26 @@ func (s *Scheduler) measureWithRetry(ctx context.Context, m sparse.Matrix, trial
 		backoff = defaultRetryBackoff
 	}
 	for attempt := 0; ; attempt++ {
-		t, err := s.measure(ctx, m, trials)
+		actx, asp := telemetry.StartSpan(ctx, "measure.attempt", telemetry.Int("attempt", attempt))
+		t, err := s.measure(actx, m, trials)
 		if err == nil {
+			asp.End()
 			return t, nil
 		}
+		asp.EndErr(err)
 		if !IsTransient(err) || attempt >= s.cfg.MeasureRetries {
 			return 0, err
 		}
 		delay := backoff<<attempt + time.Duration(rng.Int63n(int64(backoff)))
+		_, rsp := telemetry.StartSpan(ctx, "measure.retry-backoff", telemetry.Dur("delay", delay))
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
+			rsp.EndErr(ctx.Err())
 			return 0, ctx.Err()
 		case <-timer.C:
+			rsp.End()
 		}
 	}
 }

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // ErrEmptyMatrix is returned by Choose when the builder describes a
@@ -183,7 +185,41 @@ func (s *Scheduler) Choose(b *sparse.Builder) (*Decision, error) {
 // caller-imposed deadline bounds the measurement phase. A cancelled decision
 // returns ctx.Err() (wrapped); already-completed measurements are discarded
 // and nothing is recorded into the tuning history.
+//
+// When a telemetry trace rides ctx (see telemetry.NewTrace), the decision is
+// traced span by span: one per candidate build, per timed measurement rep,
+// per retry attempt, per predictor call, and per history lookup. Without a
+// trace the instrumentation is a handful of no-op calls.
 func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Decision, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "schedule.choose",
+		telemetry.String("policy", s.cfg.Policy.String()))
+	d, err := s.chooseContext(ctx, b)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	sp.Annotate(telemetry.String("chosen", d.Chosen.String()),
+		telemetry.String("source", decisionSource(d)))
+	sp.End()
+	return d, nil
+}
+
+// decisionSource labels where a decision came from, mirroring the serve
+// layer's Source field.
+func decisionSource(d *Decision) string {
+	switch {
+	case d.Predicted:
+		return "predictor"
+	case d.Reused:
+		return "history"
+	case len(d.Measured) > 0:
+		return "measured"
+	default:
+		return "model"
+	}
+}
+
+func (s *Scheduler) chooseContext(ctx context.Context, b *sparse.Builder) (*Decision, error) {
 	if rows, cols := b.Dims(); rows == 0 || cols == 0 {
 		return nil, ErrEmptyMatrix
 	}
@@ -211,7 +247,14 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 	// Incremental auto-tuning: reuse a recorded decision for a similar
 	// dataset before paying for any measurement.
 	if s.cfg.History != nil {
-		if f, ok := s.cfg.History.Lookup(feats, s.cfg.HistoryRadius); ok {
+		_, hsp := telemetry.StartSpan(ctx, "history.lookup")
+		f, ok := s.cfg.History.Lookup(feats, s.cfg.HistoryRadius)
+		hsp.Annotate(telemetry.String("hit", strconv.FormatBool(ok)))
+		if ok {
+			hsp.Annotate(telemetry.String("format", f.String()))
+		}
+		hsp.End()
+		if ok {
 			if m, err := materialize(b, csr, f); err == nil {
 				d.Chosen = f
 				d.Matrix = m
@@ -251,9 +294,14 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 		if s.cfg.Predictor == nil {
 			return nil, ErrNoPredictor
 		}
+		_, psp := telemetry.StartSpan(ctx, "predictor.predict")
 		f, conf, ok := s.cfg.Predictor.PredictFormat(feats)
 		// Chaos hook: model-staleness simulation jitters the vote share.
 		conf = fault.Perturb("core.predict", conf)
+		psp.Annotate(telemetry.String("format", f.String()),
+			telemetry.String("confidence", strconv.FormatFloat(conf, 'f', 3, 64)),
+			telemetry.String("trusted", strconv.FormatBool(ok && conf >= s.cfg.MinConfidence)))
+		psp.End()
 		d.Confidence = conf
 		if ok && conf >= s.cfg.MinConfidence {
 			if m, err := materialize(b, csr, f); err == nil {
@@ -282,17 +330,23 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: choose: %w", err)
 		}
-		if err := fault.Inject("core.build"); err != nil {
+		cctx, candSp := telemetry.StartSpan(ctx, "candidate",
+			telemetry.String("format", f.String()))
+		_, bsp := telemetry.StartSpan(cctx, "candidate.build")
+		err := fault.Inject("core.build")
+		var m sparse.Matrix
+		if err == nil {
+			m, err = materialize(b, csr, f)
+		}
+		bsp.EndErr(err)
+		if err != nil {
+			candSp.EndErr(err)
 			lastErr = err
 			continue
 		}
-		m, err := materialize(b, csr, f)
+		t, err := s.measureWithRetry(cctx, m, trials, rng)
 		if err != nil {
-			lastErr = err
-			continue
-		}
-		t, err := s.measureWithRetry(ctx, m, trials, rng)
-		if err != nil {
+			candSp.EndErr(err)
 			// Context expiry bounds the whole decision; anything else —
 			// retries exhausted, a kernel panic on this candidate's data —
 			// disqualifies only this candidate, so one poisoned format
@@ -303,6 +357,8 @@ func (s *Scheduler) ChooseContext(ctx context.Context, b *sparse.Builder) (*Deci
 			lastErr = err
 			continue
 		}
+		candSp.Annotate(telemetry.Dur("measured", t))
+		candSp.End()
 		d.Measured[f] = t
 		if bestTime < 0 || t < bestTime {
 			bestTime, best, d.Chosen = t, m, f
@@ -365,9 +421,11 @@ func (s *Scheduler) measure(ctx context.Context, m sparse.Matrix, trials []spars
 	// One warm-up pass touches every stored element, faulting pages in so
 	// the timed runs measure steady-state kernel speed.
 	if len(trials) > 0 {
+		_, wsp := telemetry.StartSpan(ctx, "measure.warmup")
 		m.MulVecSparse(dst, trials[0], scratch, s.cfg.Exec)
+		wsp.End()
 	}
-	for _, x := range trials {
+	for ti, x := range trials {
 		for r := 0; r < s.cfg.Repeats; r++ {
 			if err := ctx.Err(); err != nil {
 				return 0, err
@@ -377,8 +435,11 @@ func (s *Scheduler) measure(ctx context.Context, m sparse.Matrix, trials []spars
 			if err := fault.Inject("core.measure"); err != nil {
 				return 0, err
 			}
+			_, rsp := telemetry.StartSpan(ctx, "measure.rep",
+				telemetry.Int("trial", ti), telemetry.Int("rep", r))
 			start := time.Now()
 			m.MulVecSparse(dst, x, scratch, s.cfg.Exec)
+			rsp.End()
 			elapsed := fault.Skew("core.measure", time.Since(start))
 			total += time.Duration(fault.Perturb("core.measure", float64(elapsed)))
 		}

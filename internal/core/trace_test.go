@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestChooseContextTraced verifies the span contract the telemetry PR
+// promises: a traced hybrid decision carries at least one candidate span
+// per measured format, with build and measurement-rep children, and a
+// history lookup span when a history is configured.
+func TestChooseContextTraced(t *testing.T) {
+	b := buildRandom(t, 60, 40, 0.15, 1)
+	hist := &History{}
+	sched := New(Config{Policy: Hybrid, History: hist, TopK: 2})
+
+	ctx, tr, root := telemetry.NewTrace(context.Background(), "test-schedule")
+	dec, err := sched.ChooseContext(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	count := func(name string) int {
+		n := 0
+		for _, s := range snap.Spans {
+			if s.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("candidate"); got != len(dec.Measured) {
+		t.Fatalf("%d candidate spans for %d measured formats\n%s", got, len(dec.Measured), tr.Tree())
+	}
+	if count("candidate.build") < len(dec.Measured) {
+		t.Fatalf("missing build spans\n%s", tr.Tree())
+	}
+	// 3 trial rows × 2 repeats per measured candidate by default.
+	if got, want := count("measure.rep"), 6*len(dec.Measured); got != want {
+		t.Fatalf("%d rep spans, want %d\n%s", got, want, tr.Tree())
+	}
+	if count("history.lookup") != 1 {
+		t.Fatalf("history lookup not traced\n%s", tr.Tree())
+	}
+	if count("schedule.choose") != 1 {
+		t.Fatalf("choose wrapper span missing\n%s", tr.Tree())
+	}
+	if !strings.Contains(tr.Tree(), "chosen="+dec.Chosen.String()) {
+		t.Fatalf("chosen format not annotated\n%s", tr.Tree())
+	}
+
+	// A second decision for the same shape reuses history: the trace must
+	// show the hit and no candidates.
+	ctx2, tr2, root2 := telemetry.NewTrace(context.Background(), "test-schedule-2")
+	if _, err := sched.ChooseContext(ctx2, b); err != nil {
+		t.Fatal(err)
+	}
+	root2.End()
+	tr2.Finish()
+	tree := tr2.Tree()
+	if !strings.Contains(tree, "hit=true") || strings.Contains(tree, "candidate ") {
+		t.Fatalf("history reuse not reflected in trace:\n%s", tree)
+	}
+}
+
+// TestChooseContextUntracedNoSpans: without a trace on the context the
+// scheduler must not fabricate one (StartSpan no-ops).
+func TestChooseContextUntracedNoSpans(t *testing.T) {
+	b := buildRandom(t, 40, 30, 0.15, 2)
+	sched := New(Config{Policy: Hybrid})
+	if _, err := sched.ChooseContext(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	if tr := telemetry.ContextTrace(context.Background()); tr != nil {
+		t.Fatal("trace appeared on a bare context")
+	}
+}

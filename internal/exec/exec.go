@@ -155,6 +155,16 @@ func (e *Exec) Stats() *Stats {
 // counters.
 func (e *Exec) Tracking() bool { return e != nil && e.stats != nil }
 
+// Occupancy reports the pooled workers currently executing kernels and the
+// total worker count — the pool-occupancy gauge /metrics exposes. Serial
+// and spawning contexts report 0 busy.
+func (e *Exec) Occupancy() (busy, workers int) {
+	if e == nil {
+		return 0, 1
+	}
+	return e.pool.Busy(), e.Workers()
+}
+
 // ForRange runs body over contiguous sub-ranges [lo, hi) of [0, n) using
 // the context's workers and schedule, blocking until all iterations
 // complete. Serial contexts run body(0, n) inline.

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Kind labels one kernel family for the instrumentation counters. The
@@ -165,21 +167,39 @@ func (s *Stats) Reset() {
 	}
 }
 
-// WriteMetrics renders the snapshot in a Prometheus-style plain-text
-// exposition: one `<prefix>_kernel_{calls,elements,nanos}{kind="..."}` line
-// per non-empty kind. Concurrent updates during the write may split between
+// MetricFamilies renders the snapshot as telemetry metric families — one
+// counter family each for kernel calls, elements touched, and cumulative
+// kernel seconds, labelled by kind — so a telemetry.Registry can absorb the
+// kernel counters into a /metrics scrape (register via a CollectorFunc
+// closing over the Stats). Kinds appear in Kind order, which is stable, so
+// exposition output is deterministic. A nil receiver yields no families.
+func (s *Stats) MetricFamilies(prefix string) []telemetry.Family {
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	calls := telemetry.Family{Name: prefix + "_kernel_calls", Kind: telemetry.KindCounter,
+		Help: "Kernel invocations by kernel family."}
+	elems := telemetry.Family{Name: prefix + "_kernel_elements", Kind: telemetry.KindCounter,
+		Help: "Stored elements touched by kernels (Table II units)."}
+	nanos := telemetry.Family{Name: prefix + "_kernel_nanos", Kind: telemetry.KindCounter,
+		Help: "Cumulative kernel wall time in nanoseconds."}
+	for _, ks := range snap {
+		labels := []telemetry.Label{telemetry.L("kind", ks.Kind.String())}
+		calls.Samples = append(calls.Samples, telemetry.Sample{Labels: labels, Value: float64(ks.Calls)})
+		elems.Samples = append(elems.Samples, telemetry.Sample{Labels: labels, Value: float64(ks.Elements)})
+		nanos.Samples = append(nanos.Samples, telemetry.Sample{Labels: labels, Value: float64(ks.Time)})
+	}
+	return []telemetry.Family{calls, elems, nanos}
+}
+
+// WriteMetrics renders the snapshot in the Prometheus text exposition
+// format: `# TYPE`-prefixed `<prefix>_kernel_{calls,elements,nanos}` counter
+// families with one kind-labelled line each per non-empty kind, sorted
+// deterministically. Concurrent updates during the write may split between
 // lines but never corrupt them. A nil receiver writes nothing.
 func (s *Stats) WriteMetrics(w io.Writer, prefix string) error {
-	for _, ks := range s.Snapshot() {
-		if _, err := fmt.Fprintf(w,
-			"%s_kernel_calls{kind=%q} %d\n%s_kernel_elements{kind=%q} %d\n%s_kernel_nanos{kind=%q} %d\n",
-			prefix, ks.Kind, ks.Calls,
-			prefix, ks.Kind, ks.Elements,
-			prefix, ks.Kind, int64(ks.Time)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return telemetry.WriteFamilies(w, s.MetricFamilies(prefix))
 }
 
 // String renders the snapshot as one line per kind.

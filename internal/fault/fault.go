@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrInjected is the sentinel every injected error matches with errors.Is.
@@ -397,23 +399,43 @@ func (r *Registry) Fired(name string) int64 {
 	return 0
 }
 
-// WriteMetrics renders the active registry's counters in the plain-text
-// exposition the /metrics endpoint serves:
+// MetricFamilies renders the active registry's counters as telemetry
+// families: an enabled gauge, plus one activation counter per armed point
+// when a registry is enabled. Points appear in spec order, which is fixed
+// for a registry's lifetime, so exposition output is deterministic.
+func MetricFamilies(prefix string) []telemetry.Family {
+	r := active.Load()
+	enabled := telemetry.Family{
+		Name: prefix + "_faults_enabled", Kind: telemetry.KindGauge,
+		Help:    "1 when a fault-injection registry is armed.",
+		Samples: []telemetry.Sample{{Value: 0}},
+	}
+	if r == nil {
+		return []telemetry.Family{enabled}
+	}
+	enabled.Samples[0].Value = 1
+	injected := telemetry.Family{
+		Name: prefix + "_fault_injected_total", Kind: telemetry.KindCounter,
+		Help: "Failpoint activations by point.",
+	}
+	for _, ps := range r.Snapshot() {
+		injected.Samples = append(injected.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{telemetry.L("point", ps.Name)},
+			Value:  float64(ps.Fired),
+		})
+	}
+	return []telemetry.Family{enabled, injected}
+}
+
+// WriteMetrics renders the active registry's counters in the Prometheus
+// text exposition the /metrics endpoint serves:
 //
 //	<prefix>_faults_enabled 1
 //	<prefix>_fault_injected_total{point="core.measure.err"} 12
 //
 // With no registry enabled it writes only the disabled gauge.
 func WriteMetrics(w io.Writer, prefix string) {
-	r := active.Load()
-	if r == nil {
-		fmt.Fprintf(w, "%s_faults_enabled 0\n", prefix)
-		return
-	}
-	fmt.Fprintf(w, "%s_faults_enabled 1\n", prefix)
-	for _, ps := range r.Snapshot() {
-		fmt.Fprintf(w, "%s_fault_injected_total{point=%q} %d\n", prefix, ps.Name, ps.Fired)
-	}
+	telemetry.WriteFamilies(w, MetricFamilies(prefix))
 }
 
 // String lists the armed points, for startup logs.

@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestPoolNoGoroutineLeak verifies Close reclaims every pool goroutine,
+// including after panicking runs and concurrent submissions (hand-rolled
+// goleak-style check from the telemetry package).
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	lc := telemetry.NewLeakCheck()
+
+	p := NewPool(4)
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		p.For(1000, Guided, func(int) { n.Add(1) })
+	}
+	func() {
+		defer func() { recover() }()
+		p.ForRange(100, Static, func(lo, hi int) { panic("boom") })
+	}()
+	p.Close()
+
+	if got := n.Load(); got != 8000 {
+		t.Fatalf("ran %d iterations, want 8000", got)
+	}
+	lc.Assert(t)
+}
+
+// TestPoolBusyGauge: Busy must rise while pooled workers execute and return
+// to zero once the pool quiesces — the occupancy gauge /metrics exposes.
+func TestPoolBusyGauge(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	release := make(chan struct{})
+	fin := make(chan struct{})
+	go func() {
+		// 4 static parts and a blocking body: the submitter takes one part
+		// and the 3 pooled workers must each pick up a ticket for the run
+		// to finish, so Busy climbs to exactly 3.
+		p.ForRange(4, Static, func(lo, hi int) { <-release })
+		close(fin)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Busy() < 3 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if b := p.Busy(); b != 3 {
+		t.Fatalf("busy = %d with all workers blocked, want 3", b)
+	}
+	close(release)
+	<-fin
+	for p.Busy() != 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if b := p.Busy(); b != 0 {
+		t.Fatalf("busy = %d after quiescence, want 0", b)
+	}
+	if (*Pool)(nil).Busy() != 0 {
+		t.Fatal("nil pool must report 0 busy")
+	}
+}

@@ -23,6 +23,7 @@ type Pool struct {
 	tickets chan *poolRun
 	quit    chan struct{}
 	once    sync.Once
+	busy    atomic.Int32 // pooled workers currently executing a run
 }
 
 // poolRun is one For/ForRange submission. Participants (pool workers that
@@ -101,9 +102,22 @@ func (p *Pool) worker() {
 		case <-p.quit:
 			return
 		case r := <-p.tickets:
+			p.busy.Add(1)
 			r.participate()
+			p.busy.Add(-1)
 		}
 	}
+}
+
+// Busy reports how many pooled workers are currently executing a run — the
+// occupancy gauge the telemetry layer exposes. Submitting goroutines that
+// participate in their own runs are not counted: they are not pool
+// capacity. A nil pool is never busy.
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.busy.Load())
 }
 
 // ForRange runs body over contiguous sub-ranges [lo, hi) of [0, n) on the

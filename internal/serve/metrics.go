@@ -1,46 +1,62 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// latencyBuckets are the upper bounds of the fixed request-latency
-// histogram; the final +Inf bucket is implicit.
-var latencyBuckets = [...]time.Duration{
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-}
+// requestBuckets are the request-latency histogram upper bounds in seconds,
+// carrying over the old fixed-bucket registry's 1ms/10ms/100ms/1s bounds
+// (+Inf implicit).
+var requestBuckets = []float64{0.001, 0.01, 0.1, 1}
 
-// endpointMetrics accumulates one route's request counters. All fields are
-// atomic so the hot path takes no lock.
+// decisionBuckets span 100µs to ~1.6s log₂-spaced: fresh schedule decisions
+// range from near-instant history/predictor answers to multi-candidate
+// empirical measurement.
+var decisionBuckets = telemetry.ExpBuckets(1e-4, 2, 15)
+
+// endpointMetrics holds one route's pre-resolved metric handles, so the
+// per-request path is a few atomic ops with no registry lock.
 type endpointMetrics struct {
-	count   atomic.Int64
-	errors  atomic.Int64 // responses with status >= 400
-	nanos   atomic.Int64 // cumulative handler latency
-	maxNano atomic.Int64
-	buckets [len(latencyBuckets) + 1]atomic.Int64
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
-// metricsRegistry tracks per-endpoint request metrics. Endpoints register
-// lazily under a lock; observation is lock-free after the first request.
-type metricsRegistry struct {
-	start     time.Time
+// serverMetrics is the server's telemetry.Registry plus the handle caches
+// the request path needs. Everything /metrics exposes — request counters,
+// latency histograms, cache/breaker/predictor series, kernel and fault
+// collectors, process gauges — registers here, and handleMetrics is one
+// WriteText call.
+type serverMetrics struct {
+	reg      *telemetry.Registry
+	start    time.Time
+	decision *telemetry.Histogram
+
 	mu        sync.RWMutex
 	endpoints map[string]*endpointMetrics
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+func newServerMetrics() *serverMetrics {
+	m := &serverMetrics{
+		reg:       telemetry.NewRegistry(),
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics),
+	}
+	m.decision = m.reg.Histogram("layoutd_schedule_decision_duration_seconds",
+		"Wall time of freshly computed schedule decisions (cache misses that ran the scheduler).",
+		decisionBuckets)
+	m.reg.GaugeFunc("layoutd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
 }
 
-func (m *metricsRegistry) endpoint(name string) *endpointMetrics {
+// endpoint returns (registering on first use) the handles for one route.
+// Handler() pre-registers every route so zero-valued series appear in the
+// first scrape.
+func (m *serverMetrics) endpoint(name string) *endpointMetrics {
 	m.mu.RLock()
 	em := m.endpoints[name]
 	m.mu.RUnlock()
@@ -50,59 +66,26 @@ func (m *metricsRegistry) endpoint(name string) *endpointMetrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if em = m.endpoints[name]; em == nil {
-		em = &endpointMetrics{}
+		label := telemetry.L("endpoint", name)
+		em = &endpointMetrics{
+			requests: m.reg.Counter("layoutd_requests_total",
+				"HTTP requests handled, by endpoint.", label),
+			errors: m.reg.Counter("layoutd_request_errors_total",
+				"HTTP responses with status >= 400, by endpoint.", label),
+			latency: m.reg.Histogram("layoutd_request_duration_seconds",
+				"Handler latency in seconds, by endpoint.", requestBuckets, label),
+		}
 		m.endpoints[name] = em
 	}
 	return em
 }
 
 // observe records one completed request.
-func (m *metricsRegistry) observe(name string, status int, d time.Duration) {
+func (m *serverMetrics) observe(name string, status int, d time.Duration) {
 	em := m.endpoint(name)
-	em.count.Add(1)
+	em.requests.Inc()
 	if status >= 400 {
-		em.errors.Add(1)
+		em.errors.Inc()
 	}
-	em.nanos.Add(int64(d))
-	for {
-		cur := em.maxNano.Load()
-		if int64(d) <= cur || em.maxNano.CompareAndSwap(cur, int64(d)) {
-			break
-		}
-	}
-	b := len(latencyBuckets)
-	for i, ub := range latencyBuckets {
-		if d <= ub {
-			b = i
-			break
-		}
-	}
-	em.buckets[b].Add(1)
-}
-
-// write renders the registry as plain-text metric lines.
-func (m *metricsRegistry) write(w io.Writer) {
-	fmt.Fprintf(w, "layoutd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
-	m.mu.RLock()
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
-		names = append(names, name)
-	}
-	m.mu.RUnlock()
-	sort.Strings(names)
-	for _, name := range names {
-		em := m.endpoint(name)
-		fmt.Fprintf(w, "layoutd_requests_total{endpoint=%q} %d\n", name, em.count.Load())
-		fmt.Fprintf(w, "layoutd_request_errors_total{endpoint=%q} %d\n", name, em.errors.Load())
-		fmt.Fprintf(w, "layoutd_request_nanos_total{endpoint=%q} %d\n", name, em.nanos.Load())
-		fmt.Fprintf(w, "layoutd_request_nanos_max{endpoint=%q} %d\n", name, em.maxNano.Load())
-		for i := range em.buckets {
-			le := "+Inf"
-			if i < len(latencyBuckets) {
-				le = fmt.Sprintf("%g", latencyBuckets[i].Seconds())
-			}
-			fmt.Fprintf(w, "layoutd_request_latency_bucket{endpoint=%q,le=%q} %d\n",
-				name, le, em.buckets[i].Load())
-		}
-	}
+	em.latency.Observe(d.Seconds())
 }

@@ -174,9 +174,13 @@ func TestScheduleSingleflight(t *testing.T) {
 	if !strings.Contains(body, "layoutd_measurements_total 1") {
 		t.Fatalf("metrics missing measurement count:\n%s", body)
 	}
+	// Index past the # HELP/# TYPE lines to the sample itself.
 	var hits int64
-	if _, err := fmt.Sscanf(body[strings.Index(body, "layoutd_cache_hits_total"):],
-		"layoutd_cache_hits_total %d", &hits); err != nil {
+	idx := strings.Index(body, "\nlayoutd_cache_hits_total ")
+	if idx < 0 {
+		t.Fatalf("metrics missing cache hits:\n%s", body)
+	}
+	if _, err := fmt.Sscanf(body[idx+1:], "layoutd_cache_hits_total %d", &hits); err != nil {
 		t.Fatalf("metrics missing cache hits:\n%s", body)
 	}
 	if hits+cs.Dedups <= 0 {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/sparse"
 	"repro/internal/svm"
+	"repro/internal/telemetry"
 )
 
 // ErrOverloaded is returned (and mapped to 429) when every measurement slot
@@ -83,6 +85,13 @@ type Config struct {
 	// cache before being re-computed (and re-measured, once the breaker
 	// closes). 0 = DefaultDegradedTTL.
 	DegradedTTL time.Duration
+
+	// Logger receives structured request, degradation, and panic records;
+	// nil discards them (telemetry.NopLogger).
+	Logger *slog.Logger
+	// TraceCapacity sizes the ring buffer of completed decision traces that
+	// GET /v1/trace/{id} serves from. 0 = telemetry.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 8 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = telemetry.NopLogger()
+	}
 	return c
 }
 
@@ -112,7 +124,9 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *Cache
-	metrics *metricsRegistry
+	metrics *serverMetrics
+	traces  *telemetry.TraceStore // completed decision traces, /v1/trace/{id}
+	logger  *slog.Logger
 	breaker *Breaker      // guards the measurement path
 	sem     chan struct{} // measurement admission slots
 	wg      sync.WaitGroup
@@ -134,14 +148,101 @@ func NewServer(cfg Config) *Server {
 	if cfg.DegradedTTL > 0 {
 		cache.degradedTTL = cfg.DegradedTTL
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
-		metrics: newMetricsRegistry(),
+		metrics: newServerMetrics(),
+		traces:  telemetry.NewTraceStore(cfg.TraceCapacity),
+		logger:  cfg.Logger,
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 	}
+	s.registerMetrics()
+	return s
 }
+
+// registerMetrics hangs every /metrics series on the telemetry registry.
+// Server-owned counters stay plain atomics (the handlers' source of truth);
+// the registry reads them at scrape time through Counter/GaugeFuncs, and
+// external subsystems (kernel stats, fault registry) contribute whole
+// families through Collectors.
+func (s *Server) registerMetrics() {
+	reg := s.metrics.reg
+	iv := func(fn func() int64) func() float64 {
+		return func() float64 { return float64(fn()) }
+	}
+	reg.CounterFunc("layoutd_measurements_total",
+		"Schedule requests that ran an actual measurement.", iv(s.measurements.Load))
+	reg.CounterFunc("layoutd_degraded_total",
+		"Decisions served without measurement while the measurement path was failing.", iv(s.degraded.Load))
+	reg.CounterFunc("layoutd_handler_panics_total",
+		"Handler panics recovered into 500 responses.", iv(s.panics.Load))
+	reg.GaugeFunc("layoutd_breaker_state",
+		"Measurement circuit breaker state (0 closed, 1 open, 2 half-open).",
+		func() float64 { return float64(s.breaker.State()) })
+	reg.CounterFunc("layoutd_breaker_opens_total",
+		"Times the measurement breaker tripped open.", iv(s.breaker.Opens))
+	reg.GaugeFunc("layoutd_predictor_loaded",
+		"Whether a trained format predictor is loaded (0 or 1).",
+		func() float64 {
+			if s.cfg.Predictor != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("layoutd_predictor_hits_total",
+		"Decisions answered by the trained predictor without measurement.", iv(s.predictorHits.Load))
+	reg.CounterFunc("layoutd_predictor_fallbacks_total",
+		"Predict-policy decisions that fell back to measurement.", iv(s.predictorFallbacks.Load))
+	reg.CounterFunc("layoutd_predictor_confidence_milli_sum",
+		"Sum of predictor hit confidences ×1000 (divide by hits for the mean).", iv(s.predictorConfMilli.Load))
+	reg.CounterFunc("layoutd_cache_hits_total",
+		"Decision-cache exact hits.", func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("layoutd_cache_misses_total",
+		"Decision-cache misses.", func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("layoutd_cache_dedups_total",
+		"Requests that joined an in-flight computation (singleflight).",
+		func() float64 { return float64(s.cache.Stats().Dedups) })
+	reg.CounterFunc("layoutd_cache_evictions_total",
+		"Decision-cache LRU evictions.", func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.CounterFunc("layoutd_cache_expired_total",
+		"Degraded cache entries expired by TTL.", func() float64 { return float64(s.cache.Stats().Expired) })
+	reg.GaugeFunc("layoutd_cache_entries",
+		"Decision-cache resident entries.", func() float64 { return float64(s.cache.Stats().Len) })
+	reg.GaugeFunc("layoutd_cache_inflight",
+		"Decision computations currently in flight.", func() float64 { return float64(s.cache.Stats().Inflight) })
+	reg.GaugeFunc("layoutd_measurement_slots",
+		"Measurement admission slots.", func() float64 { return float64(cap(s.sem)) })
+	reg.GaugeFunc("layoutd_measurement_slots_busy",
+		"Measurement admission slots currently held.", func() float64 { return float64(len(s.sem)) })
+	reg.GaugeFunc("layoutd_history_entries",
+		"Tuning-history entries.", func() float64 { return float64(s.cfg.History.Len()) })
+	reg.GaugeFunc("layoutd_trace_store_entries",
+		"Completed decision traces held for /v1/trace/{id}.",
+		func() float64 { return float64(s.traces.Len()) })
+	reg.CounterFunc("layoutd_trace_store_evicted_total",
+		"Decision traces evicted from the bounded ring buffer.",
+		func() float64 { return float64(s.traces.Evicted()) })
+	reg.GaugeFunc("layoutd_pool_workers",
+		"Exec pool worker count.", func() float64 { _, n := s.cfg.Exec.Occupancy(); return float64(n) })
+	reg.GaugeFunc("layoutd_pool_busy",
+		"Pooled workers currently executing kernels.",
+		func() float64 { busy, _ := s.cfg.Exec.Occupancy(); return float64(busy) })
+	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
+		return s.cfg.Stats.MetricFamilies("layoutd")
+	}))
+	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
+		return fault.MetricFamilies("layoutd")
+	}))
+	telemetry.RegisterProcessMetrics(reg, "layoutd")
+}
+
+// Registry exposes the server's metric registry so embedders (and the
+// metrics lint) can scrape or extend it.
+func (s *Server) Registry() *telemetry.Registry { return s.metrics.reg }
+
+// Traces exposes the completed-trace ring buffer.
+func (s *Server) Traces() *telemetry.TraceStore { return s.traces }
 
 // History returns the tuning history the server records into, so daemons
 // can persist it across restarts.
@@ -176,15 +277,22 @@ func (s *Server) Drain() {
 //	POST /v1/schedule        dataset profile or inline LIBSVM rows → decision
 //	POST /v1/predict         LIBSVM rows → SVM predictions
 //	POST /v1/predict-format  dataset profile or LIBSVM rows → predicted format
+//	GET  /v1/trace/{id}      span tree of a recent schedule decision
 //	GET  /healthz            liveness
-//	GET  /metrics            plain-text counters snapshot
+//	GET  /metrics            Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.route("schedule", http.MethodPost, s.handleSchedule))
 	mux.HandleFunc("/v1/predict", s.route("predict", http.MethodPost, s.handlePredict))
 	mux.HandleFunc("/v1/predict-format", s.route("predict-format", http.MethodPost, s.handlePredictFormat))
+	mux.HandleFunc("/v1/trace/", s.route("trace", http.MethodGet, s.handleTrace))
 	mux.HandleFunc("/healthz", s.route("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
+	// Pre-register every route's series so the first scrape already shows
+	// zero-valued counters for endpoints that have seen no traffic.
+	for _, name := range []string{"schedule", "predict", "predict-format", "trace", "healthz", "metrics"} {
+		s.metrics.endpoint(name)
+	}
 	return mux
 }
 
@@ -205,13 +313,18 @@ func (s *Server) route(name, method string, h http.HandlerFunc) http.HandlerFunc
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		defer func() { s.metrics.observe(name, rec.status, time.Since(start)) }()
+		defer func() {
+			d := time.Since(start)
+			s.metrics.observe(name, rec.status, d)
+			s.logger.Debug("request", "endpoint", name, "status", rec.status, "dur", d)
+		}()
 		// Last line of defense: a panic anywhere in a handler — including
 		// an injected serve.request panic — becomes a 500, not a dead
 		// connection and a crashed daemon.
 		defer func() {
 			if p := recover(); p != nil {
 				s.panics.Add(1)
+				s.logger.Error("handler panic recovered", "endpoint", name, "panic", fmt.Sprint(p))
 				writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", p))
 			}
 		}()
@@ -276,34 +389,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.write(w)
-	cs := s.cache.Stats()
-	fmt.Fprintf(w, "layoutd_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "layoutd_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "layoutd_cache_dedups_total %d\n", cs.Dedups)
-	fmt.Fprintf(w, "layoutd_cache_evictions_total %d\n", cs.Evictions)
-	fmt.Fprintf(w, "layoutd_cache_expired_total %d\n", cs.Expired)
-	fmt.Fprintf(w, "layoutd_cache_entries %d\n", cs.Len)
-	fmt.Fprintf(w, "layoutd_cache_inflight %d\n", cs.Inflight)
-	fmt.Fprintf(w, "layoutd_measurements_total %d\n", s.measurements.Load())
-	fmt.Fprintf(w, "layoutd_degraded_total %d\n", s.degraded.Load())
-	fmt.Fprintf(w, "layoutd_handler_panics_total %d\n", s.panics.Load())
-	fmt.Fprintf(w, "layoutd_breaker_state %d\n", int(s.breaker.State()))
-	fmt.Fprintf(w, "layoutd_breaker_opens_total %d\n", s.breaker.Opens())
-	loaded := 0
-	if s.cfg.Predictor != nil {
-		loaded = 1
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WriteText(w)
+}
+
+// handleTrace serves the span tree of one recent schedule decision: GET
+// /v1/trace/{id}, where {id} is the trace_id a /v1/schedule decision
+// carried. Traces live in a bounded ring buffer, so old IDs eventually 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		writeError(w, http.StatusBadRequest, "trace id required: GET /v1/trace/{id}")
+		return
 	}
-	fmt.Fprintf(w, "layoutd_predictor_loaded %d\n", loaded)
-	fmt.Fprintf(w, "layoutd_predictor_hits_total %d\n", s.predictorHits.Load())
-	fmt.Fprintf(w, "layoutd_predictor_fallbacks_total %d\n", s.predictorFallbacks.Load())
-	fmt.Fprintf(w, "layoutd_predictor_confidence_milli_sum %d\n", s.predictorConfMilli.Load())
-	fmt.Fprintf(w, "layoutd_measurement_slots %d\n", cap(s.sem))
-	fmt.Fprintf(w, "layoutd_measurement_slots_busy %d\n", len(s.sem))
-	fmt.Fprintf(w, "layoutd_history_entries %d\n", s.cfg.History.Len())
-	s.cfg.Stats.WriteMetrics(w, "layoutd")
-	fault.WriteMetrics(w, "layoutd")
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf(
+			"trace %q not found (never recorded, or evicted from the %d-trace ring)", id, s.traces.Capacity()))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -324,11 +429,21 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "predict policy needs a trained model (start layoutd with -predictor)")
 		return
 	}
+	// Every schedule request gets a decision trace; the completed span tree
+	// is retrievable at /v1/trace/{id} with the trace_id from the response.
+	ctx, tr, root := telemetry.NewTrace(r.Context(), "schedule",
+		telemetry.String("policy", policy.String()))
+	defer func() {
+		root.End()
+		tr.Finish()
+		s.traces.Put(tr)
+	}()
+	r = r.WithContext(ctx)
 	switch {
 	case req.Profile != nil && req.Data != "":
 		writeError(w, http.StatusBadRequest, "give either profile or data, not both")
 	case req.Profile != nil:
-		s.scheduleProfile(w, *req.Profile)
+		s.scheduleProfile(w, r, *req.Profile)
 	case req.Data != "":
 		s.scheduleData(w, r, req, policy)
 	default:
@@ -336,21 +451,33 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// contextTraceID returns the trace ID riding ctx, for decision responses.
+func contextTraceID(ctx context.Context) string {
+	if tr := telemetry.ContextTrace(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}
+
 // scheduleProfile answers a profile-only request: with no data to measure,
 // the decision is the rule-based cost model evaluated on the given nine
 // parameters.
-func (s *Server) scheduleProfile(w http.ResponseWriter, p FeaturesJSON) {
+func (s *Server) scheduleProfile(w http.ResponseWriter, r *http.Request, p FeaturesJSON) {
 	f := p.Features()
 	if f.M <= 0 || f.N <= 0 {
 		writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
 		return
 	}
+	_, sp := telemetry.StartSpan(r.Context(), "estimate.costs")
 	ests := core.EstimateCosts(f)
+	sp.Annotate(telemetry.String("chosen", ests[0].Format.String()))
+	sp.End()
 	d := DecisionJSON{
 		Policy:   core.RuleBased.String(),
 		Chosen:   ests[0].Format.String(),
 		Features: p,
 		Source:   "model",
+		TraceID:  contextTraceID(r.Context()),
 		Trace:    []string{"profile-only request: rule-based cost model, no measurement"},
 	}
 	for _, e := range ests {
@@ -366,22 +493,28 @@ func (s *Server) scheduleProfile(w http.ResponseWriter, p FeaturesJSON) {
 // derive the shape class, and serve from the decision cache or measure
 // under admission control.
 func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req ScheduleRequest, policy core.Policy) {
+	_, psp := telemetry.StartSpan(r.Context(), "request.parse")
 	samples, n, err := dataset.ParseLIBSVM(strings.NewReader(req.Data))
 	if err != nil {
+		psp.EndErr(err)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(samples) == 0 {
+		psp.EndErr(core.ErrEmptyMatrix)
 		writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
 		return
 	}
 	b, _ := dataset.SamplesToMatrix(samples, n)
 	csr, err := b.Build(sparse.CSR)
 	if err != nil {
+		psp.EndErr(err)
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unbuildable matrix: %v", err))
 		return
 	}
 	feats := dataset.Extract(csr)
+	psp.Annotate(telemetry.Int("rows", len(samples)), telemetry.Int("features", n))
+	psp.End()
 	// A tiny body can declare a near-int32 feature index, making the dense
 	// measurement candidate a multi-gigabyte allocation. Shapes past the
 	// cap get the profile-only path, which never materializes formats.
@@ -402,19 +535,27 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 
 	if policy == core.RuleBased {
 		// Pure model decision: nothing to measure, nothing worth caching.
+		t0 := time.Now()
 		dec, err := sched.ChooseContext(r.Context(), b)
 		if err != nil {
 			writeScheduleError(w, err)
 			return
 		}
+		s.metrics.decision.Observe(time.Since(t0).Seconds())
 		dj := NewDecisionJSON(dec)
+		dj.TraceID = contextTraceID(r.Context())
 		dj.Trace = append(trace, "rule-based policy: model decision, no measurement")
 		writeJSON(w, http.StatusOK, ScheduleResponse{Decision: dj})
 		return
 	}
 
 	key := Key(feats, policy.String(), s.cfg.TopK)
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	// The cache span parents the scheduler's spans: the singleflight leader
+	// computes under this request's context, so its trace carries the full
+	// candidate/measurement tree while deduped waiters show only the join.
+	cctx, csp := telemetry.StartSpan(r.Context(), "cache.do",
+		telemetry.String("key", fmt.Sprint(key)))
+	ctx, cancel := context.WithTimeout(cctx, s.cfg.Timeout)
 	defer cancel()
 	val, outcome, err := s.cache.Do(key, func() (*CachedDecision, error) {
 		// Only the singleflight leader reaches here, so the breaker sees
@@ -433,7 +574,11 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 			return nil, ErrOverloaded
 		}
 		defer func() { <-s.sem }()
+		t0 := time.Now()
 		dec, err := sched.ChooseContext(ctx, b)
+		if err == nil {
+			s.metrics.decision.Observe(time.Since(t0).Seconds())
+		}
 		if err != nil {
 			if isMeasurementFailure(err) {
 				s.breaker.Failure()
@@ -466,9 +611,12 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		return &CachedDecision{Format: dec.Chosen, Measured: dec.Measured, Source: source, Confidence: dec.Confidence}, nil
 	})
 	if err != nil {
+		csp.EndErr(err)
 		writeScheduleError(w, err)
 		return
 	}
+	csp.Annotate(telemetry.String("outcome", outcome), telemetry.String("source", val.Source))
+	csp.End()
 	switch outcome {
 	case "hit":
 		trace = append(trace, fmt.Sprintf("cache: hit for shape class %s (decision first %s)", key, val.Source))
@@ -494,6 +642,7 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		Confidence: val.Confidence,
 		Measured:   encodeMeasured(val.Measured),
 		Degraded:   val.Degraded,
+		TraceID:    contextTraceID(r.Context()),
 		Trace:      trace,
 	}
 	if outcome != "miss" {
@@ -545,8 +694,12 @@ func isMeasurementFailure(err error) bool {
 // any confidence, then the rule-based cost model, which always answers. The
 // result is marked Degraded so it is cached only briefly and re-measured
 // once the path recovers.
-func (s *Server) degrade(feats dataset.Features) *CachedDecision {
+func (s *Server) degrade(feats dataset.Features) (val *CachedDecision) {
 	s.degraded.Add(1)
+	defer func() {
+		s.logger.Warn("serving degraded decision",
+			"breaker", s.breaker.State().String(), "source", val.Source, "format", val.Format.String())
+	}()
 	if f, ok := s.cfg.History.Lookup(feats, core.DefaultHistoryRadius); ok {
 		return &CachedDecision{Format: f, Source: "history", Degraded: true}
 	}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/telemetry"
+)
+
+// TestScheduleTraceEndpoint exercises the acceptance path of the telemetry
+// PR: a /v1/schedule decision carries a trace_id that resolves via
+// GET /v1/trace/{id} to a span tree with at least one candidate span per
+// measured format.
+func TestScheduleTraceEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Policy: core.Hybrid, TopK: 2})
+	h := s.Handler()
+
+	w := post(t, h, "/v1/schedule", ScheduleRequest{Data: makeLIBSVM(60, 40, 6, 7)})
+	if w.Code != http.StatusOK {
+		t.Fatalf("schedule status %d: %s", w.Code, w.Body)
+	}
+	var resp ScheduleResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	d := resp.Decision
+	if d.TraceID == "" {
+		t.Fatalf("decision has no trace_id: %s", w.Body)
+	}
+	if len(d.Measured) == 0 {
+		t.Fatalf("hybrid miss should have measured candidates: %s", w.Body)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/trace/"+d.TraceID, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace status %d: %s", rec.Code, rec.Body)
+	}
+	var tr telemetry.TraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != d.TraceID {
+		t.Fatalf("trace id %q != decision trace_id %q", tr.TraceID, d.TraceID)
+	}
+	count := func(name string) int {
+		n := 0
+		for _, sp := range tr.Spans {
+			if sp.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("candidate"); got < len(d.Measured) {
+		t.Fatalf("%d candidate spans for %d measured formats: %s", got, len(d.Measured), rec.Body)
+	}
+	for _, name := range []string{"schedule", "request.parse", "cache.do", "schedule.choose"} {
+		if count(name) != 1 {
+			t.Fatalf("expected exactly one %q span: %s", name, rec.Body)
+		}
+	}
+
+	// A cache hit still records a trace, but with no scheduler spans under
+	// the cache span.
+	w2 := post(t, h, "/v1/schedule", ScheduleRequest{Data: makeLIBSVM(60, 40, 6, 7)})
+	var resp2 ScheduleResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Decision.TraceID == "" || resp2.Decision.TraceID == d.TraceID {
+		t.Fatalf("second decision should carry its own trace_id, got %q", resp2.Decision.TraceID)
+	}
+	tr2, ok := s.Traces().Get(resp2.Decision.TraceID)
+	if !ok {
+		t.Fatal("hit trace not stored")
+	}
+	if tree := tr2.Tree(); !strings.Contains(tree, "outcome=hit") || strings.Contains(tree, "candidate ") {
+		t.Fatalf("hit trace should show the cache outcome and no candidates:\n%s", tree)
+	}
+
+	// Unknown and malformed IDs answer 404/400, never 500.
+	for id, want := range map[string]int{"deadbeefdeadbeef": 404, "a/b": 400} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/trace/"+id, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Fatalf("trace %q: status %d, want %d: %s", id, rec.Code, want, rec.Body)
+		}
+	}
+}
+
+// TestServerNoGoroutineLeak drives the server through schedule, trace, and
+// metrics requests, drains it, and verifies no handler or pool goroutine
+// outlives the test (hand-rolled goleak-style check; satellite of the
+// telemetry PR).
+func TestServerNoGoroutineLeak(t *testing.T) {
+	lc := telemetry.NewLeakCheck()
+	ex := exec.New(2, exec.Static)
+	s := NewServer(Config{Policy: core.Hybrid, TopK: 2, Exec: ex})
+	h := s.Handler()
+	post(t, h, "/v1/schedule", ScheduleRequest{Data: makeLIBSVM(50, 30, 5, 11)})
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	s.Drain()
+	ex.Close()
+	lc.Assert(t)
+}

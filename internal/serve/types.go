@@ -88,6 +88,10 @@ type DecisionJSON struct {
 	// history, the predictor, or the cost model, and are only briefly
 	// cached so recovery re-measures the shape class.
 	Degraded bool `json:"degraded,omitempty"`
+	// TraceID identifies the decision's span tree. Against layoutd,
+	// GET /v1/trace/{trace_id} returns the full tree while it remains in
+	// the bounded trace ring; layoutsched -trace prints it directly.
+	TraceID string `json:"trace_id,omitempty"`
 	// Trace lists the policy steps the server took, in order, for
 	// observability ("cache: miss", "admission: acquired slot", ...).
 	Trace []string `json:"trace,omitempty"`

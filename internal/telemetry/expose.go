@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a sample value: integral values print without a
+// decimal point (counters stay exact), everything else uses the shortest
+// round-trip float form, and infinities use the Prometheus spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// labelString renders a label set as {k="v",...}, or "" when empty. Labels
+// print in the given order — histogram buckets rely on `le` staying last —
+// except that exposition sorting has already canonicalized series order.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortFamilies orders families by name and each family's samples by suffix
+// then label signature, making exposition output deterministic. Histogram
+// bucket samples keep their cumulative `le` order because the bounds ascend
+// in registration order and sorting is stable on equal keys.
+func sortFamilies(fams []Family) {
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	for i := range fams {
+		if fams[i].Kind == KindHistogram {
+			// Bucket lines must stay in ascending-le order; series within
+			// the family are already grouped by registration.
+			continue
+		}
+		samples := fams[i].Samples
+		sort.SliceStable(samples, func(a, b int) bool {
+			if samples[a].Suffix != samples[b].Suffix {
+				return samples[a].Suffix < samples[b].Suffix
+			}
+			return signature(samples[a].Labels) < signature(samples[b].Labels)
+		})
+	}
+}
+
+// WriteFamilies renders families in the Prometheus text exposition format:
+// one # HELP and # TYPE line per family, then its samples. Families are
+// assumed sorted (Registry.Families sorts; hand-built slices can call
+// sortFamilies via a Registry or pre-sort themselves).
+func WriteFamilies(w io.Writer, fams []Family) error {
+	for _, f := range fams {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n",
+				f.Name, s.Suffix, labelString(s.Labels), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteText renders the registry's full state in the text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	return WriteFamilies(w, r.Families())
+}

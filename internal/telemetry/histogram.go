@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefDurationBuckets are the default latency bucket upper bounds, in
+// seconds: log-spaced powers of two from 1µs to ~33.6s, so nanosecond-scale
+// kernel reps and multi-second measurement phases land in distinct buckets
+// without configuration. 26 buckets keep one histogram series under 30
+// exposition lines.
+var DefDurationBuckets = ExpBuckets(1e-6, 2, 26)
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at start
+// and multiplying by factor: the log-bucketed shape latency histograms want.
+// It panics on a non-positive start, a factor <= 1, or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free: one
+// binary search over the bounds plus two atomic adds, so it can sit on the
+// per-request and per-kernel-measurement paths. Bucket counts are stored
+// per-bucket (not cumulative) and accumulated at exposition time, where the
+// Prometheus `le` semantics require cumulative counts.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds; +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	sumBits atomic.Uint64  // IEEE-754 bits of the observation sum
+	count   atomic.Int64
+	labels  []Label
+}
+
+func newHistogram(bounds []float64, labels []Label) *Histogram {
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(b) {
+		panic("telemetry: histogram buckets must ascend")
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1), labels: labels}
+}
+
+// Observe records one value. NaN observations are dropped: they would
+// poison the sum and satisfy no bucket bound.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// samples renders the histogram as exposition samples: cumulative _bucket
+// lines (including the explicit +Inf bucket), then _sum and _count.
+// Concurrent Observes during the snapshot may split between the bucket and
+// count lines but never corrupt them.
+func (h *Histogram) samples() []Sample {
+	out := make([]Sample, 0, len(h.bounds)+3)
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		out = append(out, Sample{
+			Suffix: "_bucket",
+			Labels: append(copyLabels(h.labels), Label{Key: "le", Value: formatValue(ub)}),
+			Value:  float64(cum),
+		})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out,
+		Sample{Suffix: "_bucket", Labels: append(copyLabels(h.labels), Label{Key: "le", Value: "+Inf"}), Value: float64(cum)},
+		Sample{Suffix: "_sum", Labels: h.labels, Value: h.Sum()},
+		Sample{Suffix: "_count", Labels: h.labels, Value: float64(cum)},
+	)
+	return out
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs, declared here so
+// non-test code importing telemetry does not pull in package testing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// LeakCheck snapshots the live goroutines so a later Assert can verify that
+// everything started since has exited — a hand-rolled, stdlib-only
+// goroutine-leak detector for tests of pools and servers:
+//
+//	check := telemetry.NewLeakCheck()
+//	pool := parallel.NewPool(8)
+//	... exercise ...
+//	pool.Close()
+//	check.Assert(t)
+//
+// Assert retries for a grace period (goroutine exit is asynchronous — a
+// closed pool's workers may still be unwinding) before reporting the stacks
+// of the stragglers.
+type LeakCheck struct {
+	baseline map[string]bool
+}
+
+// goroutineHeader matches "goroutine 123 [running]:".
+var goroutineHeader = regexp.MustCompile(`^goroutine (\d+) \[`)
+
+// liveGoroutines returns the currently live goroutines as id -> full stack.
+func liveGoroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		m := goroutineHeader.FindStringSubmatch(g)
+		if m == nil {
+			continue
+		}
+		out[m[1]] = g
+	}
+	return out
+}
+
+// ignoredStack reports whether a goroutine belongs to the runtime or the
+// test framework rather than code under test.
+func ignoredStack(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",      // the test runner itself
+		"testing.RunTests",      //
+		"testing.(*M).",         //
+		"runtime.goexit",        // header-only fragments
+		"runtime/trace",         //
+		"os/signal.signal_recv", // signal watcher
+		"runtime.gc",            // background GC helpers
+		"runtime.bgsweep",       //
+		"runtime.bgscavenge",    //
+		"runtime.forcegchelper", //
+		"runtime.ReadTrace",     //
+		"net/http.(*Server).",   // shared test servers closed elsewhere
+		"created by runtime.gc", //
+		"runtime.ensureSigM",    //
+		"time.goFunc",           // expiring timers unwind on their own
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// NewLeakCheck captures the set of currently live goroutines as the
+// baseline.
+func NewLeakCheck() *LeakCheck {
+	base := make(map[string]bool)
+	for id := range liveGoroutines() {
+		base[id] = true
+	}
+	return &LeakCheck{baseline: base}
+}
+
+// Leaked returns the stacks of goroutines started since the baseline that
+// are still alive after the grace period, excluding runtime and test
+// framework goroutines.
+func (c *LeakCheck) Leaked(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		var leaked []string
+		for id, stack := range liveGoroutines() {
+			if c.baseline[id] || ignoredStack(stack) {
+				continue
+			}
+			leaked = append(leaked, stack)
+		}
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Assert fails the test if goroutines started since the baseline are still
+// running after a one-second grace period.
+func (c *LeakCheck) Assert(t TB) {
+	t.Helper()
+	leaked := c.Leaked(time.Second)
+	if len(leaked) == 0 {
+		return
+	}
+	t.Errorf("%d goroutine(s) leaked:\n%s", len(leaked),
+		fmt.Sprintf("%s\n", strings.Join(leaked, "\n\n")))
+}

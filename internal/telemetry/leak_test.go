@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLeakCheckDetectsLeak(t *testing.T) {
+	check := NewLeakCheck()
+	stop := make(chan struct{})
+	go func() { <-stop }() // deliberately parked goroutine
+	leaked := check.Leaked(50 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine not detected")
+	}
+	close(stop)
+	if leaked = check.Leaked(time.Second); len(leaked) != 0 {
+		t.Fatalf("goroutine still reported after exit: %v", leaked)
+	}
+}
+
+func TestLeakCheckCleanPasses(t *testing.T) {
+	check := NewLeakCheck()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check.Assert(t)
+}
+
+func TestNewLogger(t *testing.T) {
+	var sb strings.Builder
+	lg, err := NewLogger(&sb, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", slog.String("k", "v"))
+	if !strings.Contains(sb.String(), `"msg":"hello"`) || !strings.Contains(sb.String(), `"k":"v"`) {
+		t.Fatalf("json log output wrong: %s", sb.String())
+	}
+
+	sb.Reset()
+	lg, err = NewLogger(&sb, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	lg.Warn("visible")
+	if strings.Contains(sb.String(), "suppressed") || !strings.Contains(sb.String(), "visible") {
+		t.Fatalf("level filtering wrong: %s", sb.String())
+	}
+
+	if _, err := NewLogger(&sb, "loud", "text"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if _, err := NewLogger(&sb, "info", "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition payload: every reported
+// problem is one scrape-breaking or scrape-degrading defect. It checks
+//
+//   - sample lines parse (name, optional {labels}, float value);
+//   - metric and label names are legal;
+//   - every sampled family has exactly one # TYPE line, appearing before
+//     its first sample;
+//   - a family's samples are contiguous (Prometheus requires grouping);
+//   - no duplicate series (same name and label set twice);
+//   - histogram families have _sum and _count, bucket counts are
+//     cumulative (non-decreasing in le order), and the +Inf bucket equals
+//     _count.
+//
+// A nil return means the payload is well-formed.
+func Lint(r io.Reader) []error {
+	l := &linter{
+		types:  map[string]string{},
+		seen:   map[string]bool{},
+		series: map[string]bool{},
+		hists:  map[string]*histCheck{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("reading exposition: %w", err))
+	}
+	l.finish()
+	return l.errs
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelRe      = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// histCheck accumulates one histogram series' bucket lines (keyed by the
+// label set minus `le`) for the cumulative/count cross-checks.
+type histCheck struct {
+	line    int
+	lastLe  float64
+	lastVal float64
+	infVal  float64
+	hasInf  bool
+	sumOK   bool
+	countOK bool
+	count   float64
+}
+
+type linter struct {
+	errs   []error
+	types  map[string]string // family -> TYPE
+	seen   map[string]bool   // family has samples
+	series map[string]bool
+	hists  map[string]*histCheck
+	// current tracks family grouping: once a family's run of samples ends,
+	// it may not restart.
+	current string
+	closed  map[string]bool
+}
+
+func (l *linter) errorf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// base maps a sample name to its family, stripping histogram suffixes when
+// the family was TYPEd as one.
+func (l *linter) base(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && l.types[b] == "histogram" {
+			return b
+		}
+	}
+	return name
+}
+
+func (l *linter) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.Fields(s)
+		if len(fields) >= 2 && fields[1] == "TYPE" {
+			if len(fields) != 4 {
+				l.errorf(n, "malformed TYPE line: %q", s)
+				return
+			}
+			name, typ := fields[2], fields[3]
+			if _, dup := l.types[name]; dup {
+				l.errorf(n, "duplicate # TYPE for %s", name)
+			}
+			if l.seen[name] {
+				l.errorf(n, "# TYPE %s appears after its samples", name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				l.errorf(n, "unknown TYPE %q for %s", typ, name)
+			}
+			l.types[name] = typ
+		}
+		return
+	}
+	m := sampleRe.FindStringSubmatch(s)
+	if m == nil {
+		l.errorf(n, "unparseable sample line: %q", s)
+		return
+	}
+	name, labelBlock, valStr := m[1], m[2], m[3]
+	val, err := parseValue(valStr)
+	if err != nil {
+		l.errorf(n, "%s: bad value %q", name, valStr)
+		return
+	}
+	labels, ok := l.parseLabels(n, name, labelBlock)
+	if !ok {
+		return
+	}
+	fam := l.base(name)
+	if !metricNameRe.MatchString(fam) {
+		l.errorf(n, "illegal metric name %q", fam)
+	}
+	if _, typed := l.types[fam]; !typed {
+		l.errorf(n, "%s has samples but no # TYPE line", fam)
+		l.types[fam] = "untyped" // report once
+	}
+	l.group(n, fam)
+	l.seen[fam] = true
+
+	sig := name + "{" + signature(labels) + "}"
+	if l.series[sig] {
+		l.errorf(n, "duplicate series %s", sig)
+	}
+	l.series[sig] = true
+
+	if l.types[fam] == "histogram" {
+		l.histSample(n, fam, name, labels, val)
+	}
+}
+
+// group enforces family contiguity.
+func (l *linter) group(n int, fam string) {
+	if fam == l.current {
+		return
+	}
+	if l.closed == nil {
+		l.closed = map[string]bool{}
+	}
+	if l.current != "" {
+		l.closed[l.current] = true
+	}
+	if l.closed[fam] {
+		l.errorf(n, "family %s has non-contiguous samples", fam)
+	}
+	l.current = fam
+}
+
+func (l *linter) parseLabels(n int, name, block string) ([]Label, bool) {
+	if block == "" {
+		return nil, true
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil, true
+	}
+	var out []Label
+	for _, part := range splitLabels(inner) {
+		m := labelRe.FindStringSubmatch(part)
+		if m == nil {
+			l.errorf(n, "%s: malformed label %q", name, part)
+			return nil, false
+		}
+		if !labelNameRe.MatchString(m[1]) {
+			l.errorf(n, "%s: illegal label name %q", name, m[1])
+		}
+		out = append(out, Label{Key: m[1], Value: m[2]})
+	}
+	return out, true
+}
+
+// splitLabels splits k="v",k="v" on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (l *linter) histSample(n int, fam, name string, labels []Label, val float64) {
+	var le string
+	rest := make([]Label, 0, len(labels))
+	for _, lab := range labels {
+		if lab.Key == "le" {
+			le = lab.Value
+			continue
+		}
+		rest = append(rest, lab)
+	}
+	key := fam + "{" + signature(rest) + "}"
+	hc := l.hists[key]
+	if hc == nil {
+		hc = &histCheck{line: n, lastLe: -1}
+		l.hists[key] = hc
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if le == "" {
+			l.errorf(n, "%s bucket without le label", fam)
+			return
+		}
+		bound, err := parseValue(le)
+		if err != nil {
+			l.errorf(n, "%s: bad le %q", fam, le)
+			return
+		}
+		if bound <= hc.lastLe && hc.lastLe >= 0 {
+			l.errorf(n, "%s: le %q out of order", fam, le)
+		}
+		if val < hc.lastVal {
+			l.errorf(n, "%s: bucket counts not cumulative at le=%q (%g < %g)", fam, le, val, hc.lastVal)
+		}
+		hc.lastLe, hc.lastVal = bound, val
+		if le == "+Inf" {
+			hc.hasInf, hc.infVal = true, val
+		}
+	case strings.HasSuffix(name, "_sum"):
+		hc.sumOK = true
+	case strings.HasSuffix(name, "_count"):
+		hc.countOK = true
+		hc.count = val
+	}
+}
+
+func (l *linter) finish() {
+	for key, hc := range l.hists {
+		if !hc.hasInf {
+			l.errorf(hc.line, "histogram %s missing +Inf bucket", key)
+		}
+		if !hc.sumOK {
+			l.errorf(hc.line, "histogram %s missing _sum", key)
+		}
+		if !hc.countOK {
+			l.errorf(hc.line, "histogram %s missing _count", key)
+		} else if hc.hasInf && hc.infVal != hc.count {
+			l.errorf(hc.line, "histogram %s +Inf bucket %g != _count %g", key, hc.infVal, hc.count)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErrs(s string) []error { return Lint(strings.NewReader(s)) }
+
+func TestLintCleanPayload(t *testing.T) {
+	payload := `# HELP good_total a counter
+# TYPE good_total counter
+good_total{endpoint="schedule"} 5
+good_total{endpoint="predict"} 2
+# TYPE plain_gauge gauge
+plain_gauge 1.5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.001"} 1
+lat_seconds_bucket{le="0.01"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 0.25
+lat_seconds_count 4
+`
+	if errs := lintErrs(payload); len(errs) > 0 {
+		t.Fatalf("clean payload flagged: %v", errs)
+	}
+}
+
+func TestLintDetectsDefects(t *testing.T) {
+	cases := []struct {
+		name, payload, wantSubstr string
+	}{
+		{"missing TYPE", "orphan_total 1\n", "no # TYPE"},
+		{"duplicate series", "# TYPE d_total counter\nd_total{a=\"x\"} 1\nd_total{a=\"x\"} 2\n", "duplicate series"},
+		{"duplicate TYPE", "# TYPE t_total counter\n# TYPE t_total counter\nt_total 1\n", "duplicate # TYPE"},
+		{"TYPE after samples", "u_total 1\n# TYPE u_total counter\n", "no # TYPE"},
+		{"unknown TYPE", "# TYPE w_total wibble\nw_total 1\n", "unknown TYPE"},
+		{"bad value", "# TYPE b_total counter\nb_total abc\n", "bad value"},
+		{"malformed line", "# TYPE m_total counter\nm_total{open 1\n", "unparseable"},
+		{"non-contiguous family", "# TYPE x_total counter\n# TYPE y_total counter\nx_total{a=\"1\"} 1\ny_total 1\nx_total{a=\"2\"} 1\n", "non-contiguous"},
+		{"histogram without Inf", "# TYPE h_seconds histogram\nh_seconds_bucket{le=\"1\"} 1\nh_seconds_sum 1\nh_seconds_count 1\n", "missing +Inf"},
+		{"histogram non-cumulative", "# TYPE h2_seconds histogram\nh2_seconds_bucket{le=\"1\"} 5\nh2_seconds_bucket{le=\"2\"} 3\nh2_seconds_bucket{le=\"+Inf\"} 5\nh2_seconds_sum 1\nh2_seconds_count 5\n", "not cumulative"},
+		{"histogram count mismatch", "# TYPE h3_seconds histogram\nh3_seconds_bucket{le=\"+Inf\"} 4\nh3_seconds_sum 1\nh3_seconds_count 9\n", "!= _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintErrs(tc.payload)
+			if len(errs) == 0 {
+				t.Fatalf("defect not detected in:\n%s", tc.payload)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.wantSubstr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("errors %v do not mention %q", errs, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestLintAcceptsLegacyUnlabelled(t *testing.T) {
+	// The pre-telemetry writers emitted bare name/value lines; with TYPE
+	// lines added they are valid untyped-free exposition.
+	payload := "# TYPE layoutd_uptime_seconds gauge\nlayoutd_uptime_seconds 12.5\n"
+	if errs := lintErrs(payload); len(errs) > 0 {
+		t.Fatalf("legacy line flagged: %v", errs)
+	}
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// NopLogger returns a logger that discards every record — the default for
+// embedded Servers that configure no logging, so instrumented code never
+// nil-checks its logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// NewLogger builds the structured logger both binaries hang their
+// -log-level/-log-format flags on: format "text" (default) or "json",
+// levels debug/info/warn/error.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}

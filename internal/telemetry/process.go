@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"runtime"
+)
+
+// RegisterProcessMetrics adds runtime introspection gauges to reg under the
+// given prefix: goroutine count, heap occupancy, and cumulative GC pause.
+// The memory stats are read once per scrape via a single Collector, so a
+// scrape pays one runtime.ReadMemStats, not one per series.
+func RegisterProcessMetrics(reg *Registry, prefix string) {
+	reg.Register(CollectorFunc(func() []Family {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []Family{
+			{
+				Name: prefix + "_goroutines", Kind: KindGauge,
+				Help:    "Number of live goroutines.",
+				Samples: []Sample{{Value: float64(runtime.NumGoroutine())}},
+			},
+			{
+				Name: prefix + "_heap_alloc_bytes", Kind: KindGauge,
+				Help:    "Bytes of allocated heap objects.",
+				Samples: []Sample{{Value: float64(ms.HeapAlloc)}},
+			},
+			{
+				Name: prefix + "_heap_sys_bytes", Kind: KindGauge,
+				Help:    "Bytes of heap memory obtained from the OS.",
+				Samples: []Sample{{Value: float64(ms.HeapSys)}},
+			},
+			{
+				Name: prefix + "_gc_cycles_total", Kind: KindCounter,
+				Help:    "Completed GC cycles.",
+				Samples: []Sample{{Value: float64(ms.NumGC)}},
+			},
+			{
+				Name: prefix + "_gc_pause_seconds_total", Kind: KindCounter,
+				Help:    "Cumulative GC stop-the-world pause time.",
+				Samples: []Sample{{Value: float64(ms.PauseTotalNs) / 1e9}},
+			},
+		}
+	}))
+}

@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSpans bounds the spans one trace may accumulate; past it new
+// spans are counted as dropped instead of recorded, so a pathological
+// decision (hundreds of retries) cannot balloon the trace store.
+const DefaultMaxSpans = 512
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: fmt.Sprint(v)} }
+
+// Dur builds a duration attribute.
+func Dur(key string, d time.Duration) Attr { return Attr{Key: key, Value: d.String()} }
+
+// Span is one timed operation inside a trace. A nil *Span is valid and
+// every method is a no-op, so instrumented code never branches on whether
+// tracing is active.
+type Span struct {
+	trace  *Trace
+	id     int
+	parent int // -1 for the root
+	name   string
+	start  time.Time
+	dur    time.Duration
+	attrs  []Attr
+	errMsg string
+	ended  bool
+}
+
+// Trace is one decision's span tree. It is safe for concurrent use: spans
+// may start and end from any goroutine participating in the decision.
+type Trace struct {
+	ID string
+
+	mu       sync.Mutex
+	spans    []*Span
+	dropped  int
+	maxSpans int
+	start    time.Time
+	finished bool
+}
+
+type traceCtxKey struct{}
+
+// newTraceID returns 16 hex characters of cryptographic randomness — short
+// enough for log lines, unique enough for a bounded ring buffer.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a time-derived ID rather than panicking on a telemetry path.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace with a root span of the given name and returns
+// the derived context (carrying the root span), the trace, and the root
+// span. Finish the root with End and hand the trace to a TraceStore.
+func NewTrace(ctx context.Context, name string, attrs ...Attr) (context.Context, *Trace, *Span) {
+	t := &Trace{ID: newTraceID(), maxSpans: DefaultMaxSpans, start: time.Now()}
+	root := &Span{trace: t, id: 0, parent: -1, name: name, start: t.start, attrs: attrs}
+	t.spans = append(t.spans, root)
+	return context.WithValue(ctx, traceCtxKey{}, root), t, root
+}
+
+// ContextTrace returns the trace riding ctx, or nil.
+func ContextTrace(ctx context.Context) *Trace {
+	if s, ok := ctx.Value(traceCtxKey{}).(*Span); ok {
+		return s.trace
+	}
+	return nil
+}
+
+// StartSpan opens a child span under the span riding ctx and returns the
+// derived context and the span. On a trace-free context (or a trace at its
+// span cap) it returns ctx unchanged and a nil span — one context lookup,
+// no allocation — so callers always write
+//
+//	ctx, sp := telemetry.StartSpan(ctx, "candidate.build", telemetry.String("format", f.String()))
+//	defer sp.End()
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent, ok := ctx.Value(traceCtxKey{}).(*Span)
+	if !ok {
+		return ctx, nil
+	}
+	t := parent.trace
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return ctx, nil
+	}
+	s := &Span{trace: t, id: len(t.spans), parent: parent.id, name: name, start: time.Now(), attrs: attrs}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return context.WithValue(ctx, traceCtxKey{}, s), s
+}
+
+// End closes the span, fixing its duration. Safe on nil and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.trace.mu.Unlock()
+}
+
+// EndErr closes the span recording err (nil err is a plain End).
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetError(err)
+	}
+	s.End()
+}
+
+// Annotate appends attributes to the span. Safe on nil.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.trace.mu.Unlock()
+}
+
+// SetError records an error on the span. Safe on nil.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.errMsg = err.Error()
+	s.trace.mu.Unlock()
+}
+
+// Finish marks the trace complete, ending any still-open spans (including
+// the root) at the current time.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, s := range t.spans {
+		if !s.ended {
+			s.ended = true
+			s.dur = time.Since(s.start)
+		}
+	}
+	t.finished = true
+	t.mu.Unlock()
+}
+
+// SpanJSON is the wire form of one span. Offsets and durations are
+// microseconds: fine enough for kernel reps, small enough to read.
+type SpanJSON struct {
+	ID       int      `json:"id"`
+	Parent   int      `json:"parent"` // -1 for the root
+	Name     string   `json:"name"`
+	StartUs  int64    `json:"start_us"` // offset from trace start
+	DurUs    int64    `json:"dur_us"`
+	Error    string   `json:"error,omitempty"`
+	Attrs    []Attr   `json:"-"`
+	AttrList []string `json:"attrs,omitempty"` // "key=value" pairs, insertion order
+}
+
+// TraceJSON is the wire form of a trace: the span tree flattened in id
+// order (parents always precede children).
+type TraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Start   time.Time  `json:"start"`
+	DurUs   int64      `json:"dur_us"` // root span duration
+	Spans   []SpanJSON `json:"spans"`
+	Dropped int        `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot renders the trace's current state as its wire form.
+func (t *Trace) Snapshot() TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceJSON{TraceID: t.ID, Start: t.start, Dropped: t.dropped}
+	for _, s := range t.spans {
+		sj := SpanJSON{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartUs: s.start.Sub(t.start).Microseconds(),
+			DurUs:   s.dur.Microseconds(),
+			Error:   s.errMsg,
+		}
+		for _, a := range s.attrs {
+			sj.AttrList = append(sj.AttrList, a.Key+"="+a.Value)
+		}
+		out.Spans = append(out.Spans, sj)
+	}
+	if len(out.Spans) > 0 {
+		out.DurUs = out.Spans[0].DurUs
+	}
+	return out
+}
+
+// Tree renders the trace as an indented human-readable span tree:
+//
+//	schedule 2.13ms policy=hybrid
+//	├─ history.lookup 3µs hit=false
+//	├─ candidate CSR
+//	│  ├─ build 120µs
+//	│  └─ measure 800µs reps=6
+//	└─ decide 1µs chosen=CSR
+func (t *Trace) Tree() string {
+	snap := t.Snapshot()
+	children := make(map[int][]int)
+	for _, s := range snap.Spans {
+		if s.Parent >= 0 {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		}
+	}
+	for _, c := range children {
+		sort.Ints(c)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", snap.TraceID)
+	if len(snap.Spans) == 0 {
+		return b.String()
+	}
+	var walk func(id int, prefix string, last bool)
+	walk = func(id int, prefix string, last bool) {
+		s := snap.Spans[id]
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		if s.Parent < 0 {
+			connector, childPrefix = "", ""
+		}
+		fmt.Fprintf(&b, "%s%s%s %s", prefix, connector, s.Name,
+			time.Duration(s.DurUs)*time.Microsecond)
+		for _, a := range s.AttrList {
+			b.WriteByte(' ')
+			b.WriteString(a)
+		}
+		if s.Error != "" {
+			fmt.Fprintf(&b, " error=%q", s.Error)
+		}
+		b.WriteByte('\n')
+		kids := children[id]
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	walk(0, "", true)
+	if snap.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d spans dropped over the %d-span cap)\n", snap.Dropped, DefaultMaxSpans)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTraceCapacity is the default ring size of a TraceStore: enough to
+// hold the recent decision history of a busy daemon without unbounded
+// memory (a full 512-span trace is a few hundred KB at most; 256 of them
+// stay well under typical heap budgets).
+const DefaultTraceCapacity = 256
+
+// TraceStore is a bounded ring buffer of completed traces keyed by trace
+// ID. When full, Put evicts the oldest trace; lookups of evicted IDs miss.
+// All methods are safe for concurrent use.
+type TraceStore struct {
+	mu      sync.Mutex
+	byID    map[string]*Trace
+	ring    []string // trace IDs in insertion order, circular
+	next    int
+	evicted atomic.Int64
+}
+
+// NewTraceStore creates a store holding up to capacity traces
+// (capacity <= 0 takes DefaultTraceCapacity).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceStore{byID: make(map[string]*Trace, capacity), ring: make([]string, capacity)}
+}
+
+// Put inserts a completed trace, evicting the oldest when full. Re-putting
+// the same trace ID refreshes the stored trace without consuming a slot.
+func (s *TraceStore) Put(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[t.ID]; ok {
+		s.byID[t.ID] = t
+		return
+	}
+	if old := s.ring[s.next]; old != "" {
+		delete(s.byID, old)
+		s.evicted.Add(1)
+	}
+	s.ring[s.next] = t.ID
+	s.byID[t.ID] = t
+	s.next = (s.next + 1) % len(s.ring)
+}
+
+// Get returns the trace with the given ID, if it has not been evicted.
+func (s *TraceStore) Get(id string) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+// Len reports how many traces are currently held.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Capacity reports the ring size.
+func (s *TraceStore) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ring)
+}
+
+// Evicted reports how many traces have been evicted since creation.
+func (s *TraceStore) Evicted() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.evicted.Load()
+}
