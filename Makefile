@@ -8,6 +8,9 @@
 #   make fuzz       native fuzz targets, $(FUZZTIME) each
 #   make bench      run every benchmark once, human-readable
 #   make bench-json full benchmark sweep as JSON lines in BENCH_<date>.json
+#   make bench-trajectory  hot-path trajectory benchmarks (pool-vs-spawn,
+#                   SMO fusion, predict-vs-measure, batched serving) as
+#                   schema-stable BENCH_6.json with the pre-joint baseline
 #   make metrics-lint  validate /metrics exposition well-formedness
 #   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
@@ -18,7 +21,7 @@ FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
 LAYOUTD_ADDR ?= :8723
 
-.PHONY: build vet test test-race chaos fuzz bench bench-json metrics-lint run-layoutd clean
+.PHONY: build vet test test-race chaos fuzz bench bench-json bench-trajectory metrics-lint run-layoutd clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +52,16 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... > $(BENCH_FILE)
 	@echo wrote $(BENCH_FILE)
+
+# Trajectory: the PR-gated hot-path numbers (scheduling decision cost,
+# pooled execution, batched serving) in one schema-stable document. The
+# committed baseline carries the pre-joint-candidate numbers for diffing.
+bench-trajectory:
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkSMOPoolVsSpawn|BenchmarkAblationFusion' -benchtime 5x -benchmem . ; \
+	   $(GO) test -run '^$$' -bench 'BenchmarkPredictVsMeasure' -benchtime 100x -benchmem . ; \
+	   $(GO) test -run '^$$' -bench 'BenchmarkServeBatch' -benchmem ./internal/serve ; } \
+	| $(GO) run ./cmd/benchjson -baseline cmd/benchjson/testdata/baseline_pre_joint.json -out BENCH_6.json
+	@echo wrote BENCH_6.json
 
 # Metrics lint: stand up an in-process layoutd server, run a schedule
 # decision through it, scrape /metrics, and fail on any exposition defect

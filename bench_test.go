@@ -159,9 +159,11 @@ func BenchmarkPredictVsMeasure(b *testing.B) {
 		sched := core.New(core.Config{Policy: core.Hybrid, Exec: ex, Seed: benchSeed})
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := sched.Choose(bl); err != nil {
+			dec, err := sched.Choose(bl)
+			if err != nil {
 				b.Fatal(err)
 			}
+			dec.Release()
 		}
 	})
 	b.Run("predict-choose", func(b *testing.B) {
@@ -180,6 +182,7 @@ func BenchmarkPredictVsMeasure(b *testing.B) {
 			if !dec.Predicted {
 				b.Fatal("decision fell back to measurement")
 			}
+			dec.Release()
 		}
 	})
 	b.Run("predict-infer", func(b *testing.B) {

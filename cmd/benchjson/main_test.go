@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/serve
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkServeBatch     	 3642127	       334.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeBatchHTTP-8 	     724	   1844667 ns/op	 1126872 B/op	    4292 allocs/op
+BenchmarkNoMem/sub=1 	     100	   12345 ns/op
+PASS
+ok  	repro/internal/serve	3.077s
+`
+
+func TestParseBenchLines(t *testing.T) {
+	got, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	b0 := got[0]
+	if b0.Name != "BenchmarkServeBatch" || b0.Iterations != 3642127 ||
+		b0.NsPerOp != 334.6 || !b0.HasMem || b0.BytesPerOp != 0 || b0.AllocsPerOp != 0 {
+		t.Fatalf("first row: %+v", b0)
+	}
+	b1 := got[1]
+	if b1.Name != "BenchmarkServeBatchHTTP" || b1.Procs != 8 ||
+		b1.BytesPerOp != 1126872 || b1.AllocsPerOp != 4292 {
+		t.Fatalf("second row: %+v", b1)
+	}
+	// A -benchmem-less row keeps its timing but marks memory as absent.
+	b2 := got[2]
+	if b2.Name != "BenchmarkNoMem/sub=1" || b2.HasMem || b2.NsPerOp != 12345 {
+		t.Fatalf("third row: %+v", b2)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
+		t.Fatal("no benchmark lines should be an error")
+	}
+}

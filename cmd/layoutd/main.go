@@ -15,6 +15,9 @@
 // Endpoints:
 //
 //	POST /v1/schedule        {"data": "<libsvm rows>"} or {"profile": {...}}
+//	POST /v1/schedule/batch  {"items": [<schedule bodies>...]} — up to
+//	                         -max-batch items decided in one round trip,
+//	                         sharing one trace and the pooled hot path
 //	POST /v1/predict         {"rows": ["1:0.5 3:1.2", ...]}
 //	POST /v1/predict-format  {"data": "<libsvm rows>"} or {"profile": {...}}
 //	GET  /v1/trace/{id}      span tree of a recent schedule decision
@@ -55,6 +58,7 @@ type options struct {
 	predictorPath string
 	minConfidence float64
 	maxInflight   int
+	maxBatch      int
 	timeout       time.Duration
 	maxBody       int64
 	cacheCap      int
@@ -79,6 +83,7 @@ func main() {
 	flag.StringVar(&o.predictorPath, "predictor", "", "trained format-predictor file (from `layoutsched train`) served by /v1/predict-format and the predict policy")
 	flag.Float64Var(&o.minConfidence, "min-confidence", 0, "predictor confidence below which decisions fall back to measurement (0 = default)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 4, "concurrent measurement slots; excess requests get 429")
+	flag.IntVar(&o.maxBatch, "max-batch", 0, "items allowed per /v1/schedule/batch request (0 = default)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request measurement deadline")
 	flag.Int64Var(&o.maxBody, "max-body", 8<<20, "request body byte cap")
 	flag.IntVar(&o.cacheCap, "cache-capacity", 256, "decision cache entries per shard")
@@ -163,7 +168,8 @@ func run(o options) error {
 		Policy: p, Exec: ex, Stats: &exec.Stats{}, History: hist, Model: model,
 		MinConfidence: o.minConfidence,
 		TrialRows:     o.trialRows, TopK: o.topK, Seed: o.seed,
-		MaxInflight: o.maxInflight, Timeout: o.timeout, MaxBody: o.maxBody,
+		MaxInflight: o.maxInflight, MaxBatch: o.maxBatch,
+		Timeout: o.timeout, MaxBody: o.maxBody,
 		CacheCapacity: o.cacheCap,
 		Logger:        logger, TraceCapacity: o.traceBuffer,
 	}

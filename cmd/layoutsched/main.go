@@ -192,18 +192,19 @@ func scheduleCmd() {
 	t.Render(os.Stdout)
 	if len(dec.Measured) > 0 {
 		fmt.Println()
-		mt := bench.NewTable("Measured SMSV times", "format", "time")
-		formats := make([]sparse.Format, 0, len(dec.Measured))
-		for f := range dec.Measured {
-			formats = append(formats, f)
+		mt := bench.NewTable("Measured SMO pair-unit times", "candidate", "time")
+		cands := make([]sparse.Candidate, 0, len(dec.Measured))
+		for c := range dec.Measured {
+			cands = append(cands, c)
 		}
-		sort.Slice(formats, func(i, j int) bool { return dec.Measured[formats[i]] < dec.Measured[formats[j]] })
-		for _, f := range formats {
-			mt.Add(f.String(), bench.FmtDur(dec.Measured[f]))
+		sort.Slice(cands, func(i, j int) bool { return dec.Measured[cands[i]] < dec.Measured[cands[j]] })
+		for _, c := range cands {
+			mt.Add(c.String(), bench.FmtDur(dec.Measured[c]))
 		}
 		mt.Render(os.Stdout)
 	}
-	fmt.Printf("\nDecision (%v policy): store this dataset in %v format.\n", dec.Policy, dec.Chosen)
+	fmt.Printf("\nDecision (%v policy): store this dataset in %v format and run the %v kernel with %v chunking.\n",
+		dec.Policy, dec.Chosen, dec.ChosenCandidate.Variant, dec.ChosenCandidate.Chunk)
 	if counters != nil {
 		fmt.Println()
 		st := bench.NewTable("Kernel counters", "kernel", "invocations", "elements", "time")

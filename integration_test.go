@@ -100,7 +100,7 @@ func TestIntegrationAdaptiveBeatsWorstFixed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		chosen := dec.Measured[dec.Chosen]
+		chosen := dec.Measured[dec.ChosenCandidate]
 		for f, tm := range dec.Measured {
 			if tm < chosen {
 				t.Errorf("%s: fixed %v (%v) beat the adaptive choice %v (%v)", name, f, tm, dec.Chosen, chosen)

@@ -146,17 +146,26 @@ func TestSchedulerEmpiricalMeasuresAllFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d.Measured) != 5 {
-		t.Fatalf("measured %d formats, want 5: %v", len(d.Measured), d.Measured)
+	// Empirical now sweeps the joint candidate space: every basic format
+	// must still be covered, via one or more kernel variants each.
+	formats := map[sparse.Format]bool{}
+	for c := range d.Measured {
+		formats[c.Format] = true
 	}
-	best := d.Measured[d.Chosen]
-	for f, dur := range d.Measured {
+	if len(formats) != 5 {
+		t.Fatalf("measured %d formats, want 5: %v", len(formats), d.Measured)
+	}
+	best := d.Measured[d.ChosenCandidate]
+	for c, dur := range d.Measured {
 		if dur < best {
-			t.Fatalf("chosen %v (%v) is not fastest; %v took %v", d.Chosen, best, f, dur)
+			t.Fatalf("chosen %v (%v) is not fastest; %v took %v", d.ChosenCandidate, best, c, dur)
 		}
 	}
 	if d.Matrix.Format() != d.Chosen {
 		t.Fatal("matrix not materialized in chosen format")
+	}
+	if d.Chosen != d.ChosenCandidate.Format {
+		t.Fatal("Chosen does not mirror ChosenCandidate.Format")
 	}
 }
 
@@ -168,12 +177,12 @@ func TestSchedulerHybridMeasuresTopK(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(d.Measured) != 3 {
-		t.Fatalf("measured %d formats, want 3", len(d.Measured))
+		t.Fatalf("measured %d candidates, want 3", len(d.Measured))
 	}
-	// The measured set must be exactly the model's top-3.
-	for _, e := range d.Estimates[:3] {
-		if _, ok := d.Measured[e.Format]; !ok {
-			t.Fatalf("model candidate %v was not measured", e.Format)
+	// The measured set must be exactly the joint model's top-3.
+	for _, e := range d.Candidates[:3] {
+		if _, ok := d.Measured[e.Candidate]; !ok {
+			t.Fatalf("model candidate %v was not measured", e.Candidate)
 		}
 	}
 }

@@ -13,12 +13,12 @@ import (
 )
 
 // History is the scheduler's incremental auto-tuning memory: every measured
-// decision is recorded as (feature vector → chosen format), and future
+// decision is recorded as (feature vector → chosen candidate), and future
 // datasets whose Table IV parameters land close enough to a recorded one
-// reuse its format without re-measuring. This amortizes the empirical
+// reuse its candidate without re-measuring. This amortizes the empirical
 // policy's measurement cost across a workload of similar datasets — the
 // OSKI-style tuning-database idea applied to the paper's nine-parameter
-// space.
+// space, widened to the joint (format × chunk × variant) space.
 //
 // Distance is Euclidean over log-scaled shape features (sizes and counts
 // span orders of magnitude; density and the vdim/adim ratio enter
@@ -29,8 +29,8 @@ type History struct {
 }
 
 type historyEntry struct {
-	point  [featureDims]float64
-	format sparse.Format
+	point     [featureDims]float64
+	candidate sparse.Candidate
 }
 
 // featureDims is the embedded feature-space dimensionality. The embedding
@@ -38,6 +38,11 @@ type historyEntry struct {
 // predictor (internal/learn) vectorize identically — one pinned helper
 // keeps saved histories and trained models mutually compatible.
 const featureDims = dataset.EmbedDims
+
+// historyHeader is the versioned file header Save writes. Files without a
+// header are the v1 wire form (one bare format name per line) and load as
+// base candidates — old persisted histories migrate transparently.
+const historyHeader = "#layoutsched-history v2"
 
 func dist2(a, b [featureDims]float64) float64 {
 	var s float64
@@ -48,11 +53,18 @@ func dist2(a, b [featureDims]float64) float64 {
 	return s
 }
 
-// Record stores a decided (features, format) pair.
+// Record stores a decided (features, format) pair as the format's base
+// candidate. Kept for format-level callers; the scheduler records joint
+// candidates via RecordCandidate.
 func (h *History) Record(f dataset.Features, format sparse.Format) {
+	h.RecordCandidate(f, sparse.BaseCandidate(format))
+}
+
+// RecordCandidate stores a decided (features, candidate) pair.
+func (h *History) RecordCandidate(f dataset.Features, c sparse.Candidate) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.entries = append(h.entries, historyEntry{point: dataset.Embed(f), format: format})
+	h.entries = append(h.entries, historyEntry{point: dataset.Embed(f), candidate: c})
 }
 
 // Len reports the number of recorded decisions.
@@ -62,10 +74,10 @@ func (h *History) Len() int {
 	return len(h.entries)
 }
 
-// Lookup returns the format of the nearest recorded decision within the
+// Lookup returns the candidate of the nearest recorded decision within the
 // given radius (in embedded-space distance), or ok=false when nothing is
 // close enough.
-func (h *History) Lookup(f dataset.Features, radius float64) (sparse.Format, bool) {
+func (h *History) Lookup(f dataset.Features, radius float64) (sparse.Candidate, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	p := dataset.Embed(f)
@@ -77,17 +89,17 @@ func (h *History) Lookup(f dataset.Features, radius float64) (sparse.Format, boo
 		}
 	}
 	if best < 0 {
-		return 0, false
+		return sparse.Candidate{}, false
 	}
-	return h.entries[best].format, true
+	return h.entries[best].candidate, true
 }
 
 // HistoryExample is one recorded decision in embedded form, exposed so the
-// learned format predictor can harvest every measurement the scheduler ever
-// made as training data (the measure→train→predict flywheel).
+// learned predictor can harvest every measurement the scheduler ever made
+// as training data (the measure→train→predict flywheel).
 type HistoryExample struct {
-	Point  [featureDims]float64
-	Format sparse.Format
+	Point     [featureDims]float64
+	Candidate sparse.Candidate
 }
 
 // Snapshot copies the recorded decisions. The copy is safe to read while
@@ -97,27 +109,31 @@ func (h *History) Snapshot() []HistoryExample {
 	defer h.mu.Unlock()
 	out := make([]HistoryExample, len(h.entries))
 	for i, e := range h.entries {
-		out[i] = HistoryExample{Point: e.point, Format: e.format}
+		out[i] = HistoryExample{Point: e.point, Candidate: e.candidate}
 	}
 	return out
 }
 
-// Save writes the history as one line per entry:
-// "<f0> <f1> ... <f6> <format>".
+// Save writes the v2 wire form: a version header, then one line per entry:
+// "<f0> <f1> ... <f6> <FORMAT>/<chunk>/<variant>".
 func (h *History) Save(w io.Writer) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, historyHeader)
 	for _, e := range h.entries {
 		for _, x := range e.point {
 			fmt.Fprintf(bw, "%.17g ", x)
 		}
-		fmt.Fprintln(bw, e.format)
+		fmt.Fprintln(bw, e.candidate)
 	}
 	return bw.Flush()
 }
 
-// LoadHistory reads a history written by Save.
+// LoadHistory reads a history written by Save, either wire version. v1
+// files (no header, bare format names) migrate in place: each entry loads
+// as the format's base candidate, so a pre-joint history keeps steering
+// decisions and is upgraded to v2 on the next Save.
 func LoadHistory(r io.Reader) (*History, error) {
 	h := &History{}
 	sc := bufio.NewScanner(r)
@@ -127,6 +143,12 @@ func LoadHistory(r io.Reader) (*History, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if lineNo == 1 && line == historyHeader {
+				continue
+			}
+			return nil, fmt.Errorf("core: history line %d: unsupported header %q (want %q)", lineNo, line, historyHeader)
 		}
 		fields := strings.Fields(line)
 		if len(fields) != featureDims+1 {
@@ -140,11 +162,11 @@ func LoadHistory(r io.Reader) (*History, error) {
 			}
 			e.point[i] = x
 		}
-		f, err := sparse.ParseFormat(fields[featureDims])
+		c, err := sparse.ParseCandidate(fields[featureDims])
 		if err != nil {
 			return nil, fmt.Errorf("core: history line %d: %v", lineNo, err)
 		}
-		e.format = f
+		e.candidate = c
 		h.entries = append(h.entries, e)
 	}
 	if err := sc.Err(); err != nil {
@@ -154,6 +176,6 @@ func LoadHistory(r io.Reader) (*History, error) {
 }
 
 // DefaultHistoryRadius is the reuse threshold: embedded points closer than
-// this share a format. Calibrated so the Table V clones under different
+// this share a candidate. Calibrated so the Table V clones under different
 // seeds reuse each other while structurally different datasets do not.
 const DefaultHistoryRadius = 0.75

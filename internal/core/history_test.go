@@ -19,7 +19,7 @@ func TestHistoryRecordLookup(t *testing.T) {
 	}
 	h.Record(fa, sparse.ELL)
 	got, ok := h.Lookup(fa, DefaultHistoryRadius)
-	if !ok || got != sparse.ELL {
+	if !ok || got != sparse.BaseCandidate(sparse.ELL) {
 		t.Fatalf("exact lookup: %v %v", got, ok)
 	}
 	// A structurally different dataset must miss.
@@ -44,7 +44,7 @@ func TestHistoryReusesAcrossSeeds(t *testing.T) {
 	h := &History{}
 	h.Record(f1, sparse.CSR)
 	got, ok := h.Lookup(f2, DefaultHistoryRadius)
-	if !ok || got != sparse.CSR {
+	if !ok || got != sparse.BaseCandidate(sparse.CSR) {
 		t.Fatalf("seed-variant lookup failed: %v %v", got, ok)
 	}
 }
@@ -65,7 +65,7 @@ func TestHistorySaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("loaded %d entries", loaded.Len())
 	}
 	got, ok := loaded.Lookup(featuresOf(t, "trefethen"), DefaultHistoryRadius)
-	if !ok || got != sparse.DIA {
+	if !ok || got != sparse.BaseCandidate(sparse.DIA) {
 		t.Fatalf("loaded lookup: %v %v", got, ok)
 	}
 }
@@ -101,7 +101,7 @@ func TestHistoryConcurrentRecordLookup(t *testing.T) {
 				if got, ok := h.Lookup(f, DefaultHistoryRadius); ok {
 					found := false
 					for _, want := range formats {
-						found = found || got == want
+						found = found || got == sparse.BaseCandidate(want)
 					}
 					if !found {
 						t.Errorf("lookup returned unrecorded format %v", got)

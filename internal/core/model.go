@@ -6,8 +6,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/dataset"
 	"repro/internal/sparse"
 )
@@ -60,6 +58,14 @@ func EstimateCosts(f dataset.Features) []Estimate {
 // EstimateCostsWith is EstimateCosts with explicit (e.g. host-calibrated)
 // weights.
 func EstimateCostsWith(f dataset.Features, w Weights) []Estimate {
+	return AppendEstimates(make([]Estimate, 0, len(sparse.BasicFormats)), f, w)
+}
+
+// AppendEstimates appends one Estimate per basic format to dst, sorted by
+// ascending cost, and returns it. It is the allocation-free form of
+// EstimateCostsWith for pooled hot paths: with capacity available it
+// neither allocates nor calls the reflect-based sort.
+func AppendEstimates(dst []Estimate, f dataset.Features, w Weights) []Estimate {
 	m, n := int64(f.M), int64(f.N)
 	stride := m
 	if n < m {
@@ -69,23 +75,33 @@ func EstimateCostsWith(f dataset.Features, w Weights) []Estimate {
 	if f.Adim > 0 {
 		imbCSR = 1 + w.Beta*f.Vdim/f.Adim
 	}
-	ests := []Estimate{
-		{Format: sparse.DEN, Bytes: 8 * m * n, Weight: w.DEN, Imbalance: 1},
-		{Format: sparse.CSR, Bytes: 12*f.NNZ + 8*m, Weight: w.CSR, Imbalance: imbCSR},
-		{Format: sparse.COO, Bytes: 16 * f.NNZ, Weight: w.COO, Imbalance: 1},
-		{Format: sparse.ELL, Bytes: 12 * m * int64(f.Mdim), Weight: w.ELL, Imbalance: 1},
-		{Format: sparse.DIA, Bytes: 8*int64(f.Ndig)*stride + 4*int64(f.Ndig), Weight: w.DIA, Imbalance: 1},
-	}
+	start := len(dst)
+	dst = append(dst,
+		Estimate{Format: sparse.DEN, Bytes: 8 * m * n, Weight: w.DEN, Imbalance: 1},
+		Estimate{Format: sparse.CSR, Bytes: 12*f.NNZ + 8*m, Weight: w.CSR, Imbalance: imbCSR},
+		Estimate{Format: sparse.COO, Bytes: 16 * f.NNZ, Weight: w.COO, Imbalance: 1},
+		Estimate{Format: sparse.ELL, Bytes: 12 * m * int64(f.Mdim), Weight: w.ELL, Imbalance: 1},
+		Estimate{Format: sparse.DIA, Bytes: 8*int64(f.Ndig)*stride + 4*int64(f.Ndig), Weight: w.DIA, Imbalance: 1},
+	)
+	ests := dst[start:]
 	for i := range ests {
 		ests[i].Cost = float64(ests[i].Bytes) * ests[i].Weight * ests[i].Imbalance
 	}
-	sort.Slice(ests, func(i, j int) bool {
-		if ests[i].Cost != ests[j].Cost {
-			return ests[i].Cost < ests[j].Cost
+	// Insertion sort over the five entries keeps the hot path off
+	// sort.Slice's reflection machinery.
+	for i := 1; i < len(ests); i++ {
+		for j := i; j > 0 && lessEstimate(ests[j], ests[j-1]); j-- {
+			ests[j], ests[j-1] = ests[j-1], ests[j]
 		}
-		return ests[i].Format < ests[j].Format
-	})
-	return ests
+	}
+	return dst
+}
+
+func lessEstimate(a, b Estimate) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.Format < b.Format
 }
 
 // RuleBasedChoice returns the model's best format for a feature vector.

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/sparse"
@@ -51,14 +50,18 @@ func IsTransient(err error) bool {
 // retry storms against a struggling machine stay spread out and tests stay
 // reproducible), everything else — context expiry, kernel panics — returns
 // immediately.
-func (s *Scheduler) measureWithRetry(ctx context.Context, m sparse.Matrix, trials []sparse.Vector, rng *rand.Rand) (time.Duration, error) {
+func (s *Scheduler) measureWithRetry(ctx context.Context, m sparse.Matrix, c sparse.Candidate, sc *chooseScratch, traced bool) (time.Duration, error) {
 	backoff := s.cfg.RetryBackoff
 	if backoff <= 0 {
 		backoff = defaultRetryBackoff
 	}
 	for attempt := 0; ; attempt++ {
-		actx, asp := telemetry.StartSpan(ctx, "measure.attempt", telemetry.Int("attempt", attempt))
-		t, err := s.measure(actx, m, trials)
+		actx := ctx
+		var asp *telemetry.Span
+		if traced {
+			actx, asp = telemetry.StartSpan(ctx, "measure.attempt", telemetry.Int("attempt", attempt))
+		}
+		t, err := s.measure(actx, m, c, sc, traced)
 		if err == nil {
 			asp.End()
 			return t, nil
@@ -67,8 +70,11 @@ func (s *Scheduler) measureWithRetry(ctx context.Context, m sparse.Matrix, trial
 		if !IsTransient(err) || attempt >= s.cfg.MeasureRetries {
 			return 0, err
 		}
-		delay := backoff<<attempt + time.Duration(rng.Int63n(int64(backoff)))
-		_, rsp := telemetry.StartSpan(ctx, "measure.retry-backoff", telemetry.Dur("delay", delay))
+		delay := backoff<<attempt + time.Duration(sc.rng.Int63n(int64(backoff)))
+		var rsp *telemetry.Span
+		if traced {
+			_, rsp = telemetry.StartSpan(ctx, "measure.retry-backoff", telemetry.Dur("delay", delay))
+		}
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():

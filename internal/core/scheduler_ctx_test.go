@@ -43,9 +43,11 @@ func TestChooseContextDeadlineMidMeasurement(t *testing.T) {
 }
 
 func TestChooseContextBackgroundMatchesChoose(t *testing.T) {
-	// trefethen's DIA advantage is decisive, so the two independent
-	// measurement runs agree even on a loaded machine; serial execution
-	// keeps pool-scheduling noise out of the timings.
+	// The two calls run independent wall-clock measurements, and in the
+	// joint candidate space near-tied kernels (DIA/fused vs CSR/fused on a
+	// banded matrix) can legitimately flip between runs. Path parity is
+	// therefore asserted structurally: both calls must measure the same
+	// candidate set, and each must choose its own measured minimum.
 	d, err := dataset.ByName("trefethen")
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +61,21 @@ func TestChooseContextBackgroundMatchesChoose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Chosen != b.Chosen {
-		t.Fatalf("ChooseContext chose %v, Choose chose %v", a.Chosen, b.Chosen)
+	if len(a.Measured) == 0 || len(a.Measured) != len(b.Measured) {
+		t.Fatalf("measured %d vs %d candidates", len(a.Measured), len(b.Measured))
+	}
+	for c := range a.Measured {
+		if _, ok := b.Measured[c]; !ok {
+			t.Fatalf("candidate %v measured by ChooseContext only", c)
+		}
+	}
+	for name, dec := range map[string]*Decision{"ChooseContext": a, "Choose": b} {
+		best := dec.Measured[dec.ChosenCandidate]
+		for c, tm := range dec.Measured {
+			if tm < best {
+				t.Fatalf("%s chose %v (%v) over faster %v (%v)",
+					name, dec.ChosenCandidate, best, c, tm)
+			}
+		}
 	}
 }

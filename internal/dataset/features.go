@@ -30,14 +30,33 @@ type Features struct {
 // Extract computes the nine Table IV parameters from any matrix in a single
 // pass over its rows.
 func Extract(m sparse.Matrix) Features {
+	var e Extractor
+	return e.Extract(m)
+}
+
+// Extractor is a reusable feature extractor: it owns the per-call
+// workspaces Extract needs (the diagonal-occupancy bitmap, the per-row
+// counts, a row cursor), so hot paths that extract features repeatedly —
+// the scheduler's choose path, the serve layer's batch endpoint — run
+// allocation-free after warmup. An Extractor is not safe for concurrent
+// use; pool instances instead.
+type Extractor struct {
+	diag []bool
+	dims []int
+	v    sparse.Vector
+}
+
+// Extract computes the nine Table IV parameters, reusing the extractor's
+// workspaces.
+func (e *Extractor) Extract(m sparse.Matrix) Features {
 	rows, cols := m.Dims()
 	f := Features{M: rows, N: cols}
 	if rows == 0 || cols == 0 {
 		return f
 	}
-	diag := make([]bool, rows+cols-1) // diagonal o = j-i+rows-1
-	dims := make([]int, rows)
-	var v sparse.Vector
+	diag := e.growDiag(rows + cols - 1) // diagonal o = j-i+rows-1
+	dims := e.growDims(rows)
+	v := e.v
 	for i := 0; i < rows; i++ {
 		v = m.RowTo(v, i)
 		dims[i] = v.NNZ()
@@ -64,7 +83,30 @@ func Extract(m sparse.Matrix) Features {
 	if f.Ndig > 0 {
 		f.Dnnz = float64(f.NNZ) / float64(f.Ndig)
 	}
+	e.v = v
 	return f
+}
+
+// growDiag returns a zeroed n-length bitmap, reusing capacity.
+func (e *Extractor) growDiag(n int) []bool {
+	if cap(e.diag) < n {
+		e.diag = make([]bool, n)
+	}
+	e.diag = e.diag[:n]
+	for i := range e.diag {
+		e.diag[i] = false
+	}
+	return e.diag
+}
+
+// growDims returns an n-length per-row count buffer, reusing capacity.
+// Every slot is overwritten by the extraction pass, so no zeroing.
+func (e *Extractor) growDims(n int) []int {
+	if cap(e.dims) < n {
+		e.dims = make([]int, n)
+	}
+	e.dims = e.dims[:n]
+	return e.dims
 }
 
 // String renders the features as one aligned line matching Table V's column

@@ -26,9 +26,24 @@ func (d *Dataset) NTest() int { return len(d.TestY) }
 // Batch copies rows idx of the training set into a fresh batch tensor and
 // label slice.
 func (d *Dataset) Batch(idx []int) (*Tensor, []int) {
+	return d.BatchInto(nil, nil, idx)
+}
+
+// BatchInto copies rows idx of the training set into x and y, reusing their
+// storage when it fits, and returns the (possibly re-allocated) pair. Pass
+// the previous step's return values back in and a fixed-batch training loop
+// builds every batch into the same tensor; nil inputs behave like Batch.
+func (d *Dataset) BatchInto(x *Tensor, y []int, idx []int) (*Tensor, []int) {
 	per := d.C * d.H * d.W
-	x := NewTensor(len(idx), d.C, d.H, d.W)
-	y := make([]int, len(idx))
+	if x == nil || cap(x.Data) < len(idx)*per {
+		x = NewTensor(max(len(idx), 1), d.C, d.H, d.W)
+	}
+	x.Shape = append(x.Shape[:0], len(idx), d.C, d.H, d.W)
+	x.Data = x.Data[:len(idx)*per]
+	if cap(y) < len(idx) {
+		y = make([]int, len(idx))
+	}
+	y = y[:len(idx)]
 	for k, i := range idx {
 		copy(x.Data[k*per:(k+1)*per], d.TrainX.Data[i*per:(i+1)*per])
 		y[k] = d.TrainY[i]

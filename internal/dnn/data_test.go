@@ -1,0 +1,56 @@
+package dnn
+
+import "testing"
+
+// TestBatchIntoReusesStorage pins the BatchInto contract: identical bytes
+// to Batch, storage reuse when the shapes fit, and zero steady-state
+// allocations for a fixed batch size.
+func TestBatchIntoReusesStorage(t *testing.T) {
+	d, err := SyntheticCIFAR(3, 1, 4, 4, 24, 6, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxA := []int{0, 3, 7, 11}
+	idxB := []int{2, 5, 9, 13}
+
+	wantX, wantY := d.Batch(idxA)
+	x, y := d.BatchInto(nil, nil, idxA)
+	if len(x.Data) != len(wantX.Data) || len(y) != len(wantY) {
+		t.Fatalf("BatchInto sizes %d/%d, Batch %d/%d", len(x.Data), len(y), len(wantX.Data), len(wantY))
+	}
+	for i := range wantX.Data {
+		if x.Data[i] != wantX.Data[i] {
+			t.Fatalf("pixel %d differs from Batch", i)
+		}
+	}
+	for i := range wantY {
+		if y[i] != wantY[i] {
+			t.Fatalf("label %d differs from Batch", i)
+		}
+	}
+
+	// Same-size refill must reuse the same backing arrays.
+	x2, y2 := d.BatchInto(x, y, idxB)
+	if &x2.Data[0] != &x.Data[0] || &y2[0] != &y[0] {
+		t.Fatal("same-size BatchInto re-allocated")
+	}
+	wantB, _ := d.Batch(idxB)
+	for i := range wantB.Data {
+		if x2.Data[i] != wantB.Data[i] {
+			t.Fatalf("refilled pixel %d stale", i)
+		}
+	}
+
+	// A smaller batch shrinks the view in place; a larger one may grow.
+	x3, y3 := d.BatchInto(x2, y2, idxB[:2])
+	if x3.Shape[0] != 2 || len(y3) != 2 || &x3.Data[0] != &x2.Data[0] {
+		t.Fatalf("shrink: shape %v len %d", x3.Shape, len(y3))
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		x, y = d.BatchInto(x, y, idxA)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state BatchInto allocates %.1f/op, want 0", allocs)
+	}
+}

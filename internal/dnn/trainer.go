@@ -128,14 +128,19 @@ func TrainToTarget(net *Network, d *Dataset, cfg TrainConfig) (TrainResult, erro
 	var res TrainResult
 	start := time.Now()
 	maxIters := cfg.MaxEpochs * itersPerEpoch
+	// One batch tensor is reused for every step: TrainStep consumes its
+	// input within the call, so the copy loop is the only per-iteration
+	// batch cost and the hot loop stops producing garbage.
+	var bx *Tensor
+	var by []int
 	for it := 0; it < maxIters; it++ {
 		if pos+cfg.Batch > len(perm) {
 			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 			pos = 0
 		}
-		x, y := d.Batch(perm[pos : pos+cfg.Batch])
+		bx, by = d.BatchInto(bx, by, perm[pos:pos+cfg.Batch])
 		pos += cfg.Batch
-		res.FinalLoss = net.TrainStep(x, y)
+		res.FinalLoss = net.TrainStep(bx, by)
 		opt.Step()
 		res.Iterations = it + 1
 		if (it+1)%evalEvery == 0 || it+1 == maxIters {

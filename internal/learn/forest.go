@@ -84,16 +84,16 @@ func (f *Forest) TrainedOn() int {
 }
 
 // PredictPoint votes the trees on an embedded point. Confidence is the
-// winning format's share of the vote; ok is false for a nil or empty
-// forest. Vote ties break toward the lower format value for determinism.
-func (f *Forest) PredictPoint(p [dataset.EmbedDims]float64) (sparse.Format, float64, bool) {
+// winning candidate's share of the vote; ok is false for a nil or empty
+// forest. Vote ties break toward the lower candidate index for determinism.
+func (f *Forest) PredictPoint(p [dataset.EmbedDims]float64) (sparse.Candidate, float64, bool) {
 	if f == nil || len(f.trees) == 0 {
-		return 0, 0, false
+		return sparse.Candidate{}, 0, false
 	}
 	var votes [numLabels]int
 	for _, t := range f.trees {
 		label, _ := t.predict(p)
-		votes[label]++
+		votes[label.Index()]++
 	}
 	best := 0
 	for c := 1; c < numLabels; c++ {
@@ -101,11 +101,21 @@ func (f *Forest) PredictPoint(p [dataset.EmbedDims]float64) (sparse.Format, floa
 			best = c
 		}
 	}
-	return sparse.Format(best), float64(votes[best]) / float64(len(f.trees)), true
+	return sparse.CandidateAt(best), float64(votes[best]) / float64(len(f.trees)), true
 }
 
-// PredictFormat embeds the Table IV parameters and votes; it implements
-// core.FormatPredictor.
-func (f *Forest) PredictFormat(feats dataset.Features) (sparse.Format, float64, bool) {
+// PredictCandidate embeds the Table IV parameters and votes over the joint
+// candidate space; it implements core.CandidatePredictor, so the scheduler
+// can execute the predicted chunk policy and kernel variant, not just the
+// storage format.
+func (f *Forest) PredictCandidate(feats dataset.Features) (sparse.Candidate, float64, bool) {
 	return f.PredictPoint(dataset.Embed(feats))
+}
+
+// PredictFormat projects the joint vote down to its storage format; it
+// keeps the legacy core.FormatPredictor contract for callers that cannot
+// act on chunk or variant choices.
+func (f *Forest) PredictFormat(feats dataset.Features) (sparse.Format, float64, bool) {
+	c, conf, ok := f.PredictPoint(dataset.Embed(feats))
+	return c.Format, conf, ok
 }

@@ -77,7 +77,7 @@ func TestNilAndEmptyForestPredict(t *testing.T) {
 }
 
 func TestSingleExampleConstantModel(t *testing.T) {
-	f, err := Train([]Example{FromFeatures(dataset.Features{M: 5, N: 5, NNZ: 5}, sparse.COO)}, TrainConfig{Trees: 3})
+	f, err := Train([]Example{FromFeatures(dataset.Features{M: 5, N: 5, NNZ: 5}, sparse.BaseCandidate(sparse.COO))}, TrainConfig{Trees: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,10 +132,10 @@ func TestFromHistoryHarvest(t *testing.T) {
 	if len(examples) != 2 {
 		t.Fatalf("harvested %d examples, want 2", len(examples))
 	}
-	if examples[0].Point != dataset.Embed(f1) || examples[0].Label != sparse.ELL {
+	if examples[0].Point != dataset.Embed(f1) || examples[0].Label != sparse.BaseCandidate(sparse.ELL) {
 		t.Fatalf("example 0 = %+v", examples[0])
 	}
-	if examples[1].Point != dataset.Embed(f2) || examples[1].Label != sparse.DIA {
+	if examples[1].Point != dataset.Embed(f2) || examples[1].Label != sparse.BaseCandidate(sparse.DIA) {
 		t.Fatalf("example 1 = %+v", examples[1])
 	}
 	// A forest trained on the harvest answers the recorded shape classes.

@@ -13,29 +13,36 @@ import (
 )
 
 // Labeled is a measurement-labeled dataset: the training example plus the
-// raw features and the full per-format timing evidence, kept so Evaluate
+// raw features and the full per-candidate timing evidence, kept so Evaluate
 // can score a prediction's slowdown against the measured oracle.
 type Labeled struct {
 	Example
 	Features dataset.Features
-	Times    map[sparse.Format]time.Duration
+	Times    map[sparse.Candidate]time.Duration
 }
 
-// Measure labels one dataset by empirical measurement: every basic format
-// is built and timed (the scheduler's Empirical policy) and the fastest
-// becomes the training label. This is the expensive side of the flywheel —
-// each call costs a full measurement sweep.
+// Measure labels one dataset by empirical measurement: every eligible joint
+// candidate is built and timed (the scheduler's Empirical policy) and the
+// fastest becomes the training label. This is the expensive side of the
+// flywheel — each call costs a full measurement sweep.
 func Measure(ctx context.Context, b *sparse.Builder, ex *exec.Exec, seed int64) (Labeled, error) {
 	sched := core.New(core.Config{Policy: core.Empirical, Exec: ex, Seed: seed})
 	dec, err := sched.ChooseContext(ctx, b)
 	if err != nil {
 		return Labeled{}, err
 	}
-	return Labeled{
-		Example:  FromFeatures(dec.Features, dec.Chosen),
+	// Decisions are pooled; copy what outlives the release.
+	times := make(map[sparse.Candidate]time.Duration, len(dec.Measured))
+	for c, t := range dec.Measured {
+		times[c] = t
+	}
+	l := Labeled{
+		Example:  FromFeatures(dec.Features, dec.ChosenCandidate),
 		Features: dec.Features,
-		Times:    dec.Measured,
-	}, nil
+		Times:    times,
+	}
+	dec.Release()
+	return l, nil
 }
 
 // MeasureAll measure-labels a corpus of builders.
@@ -56,6 +63,30 @@ func Examples(items []Labeled) []Example {
 	out := make([]Example, len(items))
 	for i, it := range items {
 		out[i] = it.Example
+	}
+	return out
+}
+
+// FormatOnlyExamples projects labeled data onto the pre-joint label space:
+// each item is relabeled with the base candidate (static chunks, base
+// kernel) of the format whose base measurement was fastest — exactly what
+// the format-only scheduler could observe and execute. Training a forest on
+// this projection gives the baseline for the joint-vs-format-only regret
+// comparison in Evaluate.
+func FormatOnlyExamples(items []Labeled) []Example {
+	out := make([]Example, len(items))
+	for i, it := range items {
+		best := it.Label // fall back to the joint label's format if no base time exists
+		bestT := time.Duration(-1)
+		for c, t := range it.Times {
+			if c != sparse.BaseCandidate(c.Format) {
+				continue
+			}
+			if bestT < 0 || t < bestT || (t == bestT && c.Index() < best.Index()) {
+				best, bestT = c, t
+			}
+		}
+		out[i] = Example{Point: it.Point, Label: sparse.BaseCandidate(best.Format)}
 	}
 	return out
 }
@@ -114,12 +145,12 @@ func SyntheticCorpus(n int, seed int64) []*sparse.Builder {
 // measured-best format, and how much time a misprediction actually costs.
 type EvalResult struct {
 	N         int     // scored datasets
-	Exact     int     // predictions matching the measured-best format
+	Exact     int     // predictions matching the measured-best candidate
 	Within    int     // predictions whose measured time ≤ Tolerance × best
 	Tolerance float64 // the slowdown tolerance used for Within
-	// MeanSlowdown averages predicted-format time over best-format time;
-	// 1.0 is the oracle. Predictions of unbuildable formats are excluded
-	// here (they count against Within but have no measured time).
+	// MeanSlowdown averages predicted-candidate time over best-candidate
+	// time; 1.0 is the oracle. Predictions of unbuildable candidates are
+	// excluded here (they count against Within but have no measured time).
 	MeanSlowdown   float64
 	MeanConfidence float64
 	LowConfidence  int // predictions below the given confidence threshold
@@ -151,7 +182,7 @@ func Evaluate(f *Forest, items []Labeled, tolerance, minConfidence float64) Eval
 		best, okBest := it.Times[it.Label]
 		got, okGot := it.Times[pred]
 		if !okBest || best <= 0 || !okGot {
-			// The model predicted a format the dataset could not even
+			// The model predicted a candidate the dataset could not even
 			// build (e.g. DIA over its cap): an unambiguous miss.
 			continue
 		}

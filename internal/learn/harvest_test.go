@@ -68,14 +68,17 @@ func TestMeasureLabelsWithMeasuredBest(t *testing.T) {
 func TestEvaluateScoring(t *testing.T) {
 	// A constant CSR model scored against one exact hit, one cheap miss
 	// (within tolerance), and one expensive miss.
-	f, err := Train([]Example{{Label: sparse.CSR}}, TrainConfig{Trees: 1})
+	csr := sparse.BaseCandidate(sparse.CSR)
+	ell := sparse.BaseCandidate(sparse.ELL)
+	dia := sparse.BaseCandidate(sparse.DIA)
+	f, err := Train([]Example{{Label: csr}}, TrainConfig{Trees: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	items := []Labeled{
-		{Example: Example{Label: sparse.CSR}, Times: map[sparse.Format]time.Duration{sparse.CSR: 100}},
-		{Example: Example{Label: sparse.ELL}, Times: map[sparse.Format]time.Duration{sparse.ELL: 100, sparse.CSR: 110}},
-		{Example: Example{Label: sparse.DIA}, Times: map[sparse.Format]time.Duration{sparse.DIA: 100, sparse.CSR: 300}},
+		{Example: Example{Label: csr}, Times: map[sparse.Candidate]time.Duration{csr: 100}},
+		{Example: Example{Label: ell}, Times: map[sparse.Candidate]time.Duration{ell: 100, csr: 110}},
+		{Example: Example{Label: dia}, Times: map[sparse.Candidate]time.Duration{dia: 100, csr: 300}},
 	}
 	res := Evaluate(f, items, 1.25, 0.5)
 	if res.N != 3 || res.Exact != 1 || res.Within != 2 {
@@ -88,8 +91,9 @@ func TestEvaluateScoring(t *testing.T) {
 	if res.String() == "" {
 		t.Fatal("empty report")
 	}
-	// A predicted format with no measured time counts against Within.
-	items = append(items, Labeled{Example: Example{Label: sparse.DEN}, Times: map[sparse.Format]time.Duration{sparse.DEN: 100}})
+	// A predicted candidate with no measured time counts against Within.
+	den := sparse.BaseCandidate(sparse.DEN)
+	items = append(items, Labeled{Example: Example{Label: den}, Times: map[sparse.Candidate]time.Duration{den: 100}})
 	res = Evaluate(f, items, 1.25, 0.5)
 	if res.N != 4 || res.Within != 2 {
 		t.Fatalf("unbuildable prediction must not count as within: %+v", res)

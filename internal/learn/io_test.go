@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/sparse"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -45,13 +46,13 @@ func TestLoadCorruptModel(t *testing.T) {
 	cases := []string{
 		"",                       // empty file
 		"not json at all",        // garbage
-		`{"version":1,"dims":7}`, // no trees
-		`{"version":1,"dims":3,"trees":[{"nodes":[{"feat":-1,"label":"CSR"}]}]}`,                               // wrong dims
-		`{"version":1,"dims":7,"trees":[{"nodes":[]}]}`,                                                        // empty tree
-		`{"version":1,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"XYZ"}]}]}`,                               // unknown label
-		`{"version":1,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"CSR","purity":1.5}]}]}`,                  // purity out of range
-		`{"version":1,"dims":7,"trees":[{"nodes":[{"feat":9,"thresh":0,"left":1,"right":1},{"feat":-1,"label":"CSR"}]}]}`, // feature out of range
-		`{"version":1,"dims":7,"trees":[{"nodes":[{"feat":0,"thresh":0,"left":0,"right":0}]}]}`,                // self-referential children
+		`{"version":2,"dims":7}`, // no trees
+		`{"version":2,"dims":3,"trees":[{"nodes":[{"feat":-1,"label":"CSR"}]}]}`,                               // wrong dims
+		`{"version":2,"dims":7,"trees":[{"nodes":[]}]}`,                                                        // empty tree
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"XYZ"}]}]}`,                               // unknown label
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"CSR","purity":1.5}]}]}`,                  // purity out of range
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":9,"thresh":0,"left":1,"right":1},{"feat":-1,"label":"CSR"}]}]}`, // feature out of range
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":0,"thresh":0,"left":0,"right":0}]}]}`,                // self-referential children
 	}
 	for i, raw := range cases {
 		if _, err := Load(strings.NewReader(raw)); err == nil {
@@ -68,6 +69,36 @@ func TestLoadVersionMismatch(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "layoutsched train") {
 		t.Fatalf("version error should tell the operator how to retrain: %v", err)
+	}
+	// A version-1 (format-only label space) model must be rejected, not
+	// silently reinterpreted in the joint space.
+	v1 := `{"version":1,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"CSR","purity":1}]}]}`
+	if _, err := Load(strings.NewReader(v1)); !errors.Is(err, ErrModelVersion) {
+		t.Fatalf("v1 model: err = %v, want ErrModelVersion", err)
+	}
+}
+
+// TestSaveWritesCandidateLabels pins the v2 wire form: leaves serialize the
+// full candidate string so chunk and variant survive the round trip.
+func TestSaveWritesCandidateLabels(t *testing.T) {
+	f, err := Train([]Example{{Label: sparse.Candidate{Format: sparse.CSR, Chunk: sparse.ChunkGuided, Variant: sparse.VariantFused}}}, TrainConfig{Trees: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"CSR/guided/fused"`) {
+		t.Fatalf("saved model lacks candidate wire form: %s", buf.String())
+	}
+	g, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := g.PredictPoint([dataset.EmbedDims]float64{})
+	if !ok || got != (sparse.Candidate{Format: sparse.CSR, Chunk: sparse.ChunkGuided, Variant: sparse.VariantFused}) {
+		t.Fatalf("round-tripped candidate label %v ok=%v", got, ok)
 	}
 }
 

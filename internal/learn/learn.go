@@ -28,29 +28,36 @@ import (
 // ErrNoTrainingData is returned by Train when the example set is empty.
 var ErrNoTrainingData = errors.New("learn: empty training set")
 
-// Forest must satisfy the scheduler's predictor interface.
-var _ core.FormatPredictor = (*Forest)(nil)
+// Forest must satisfy both of the scheduler's predictor interfaces: the
+// legacy format-only one and the joint candidate one the scheduler prefers.
+var (
+	_ core.FormatPredictor    = (*Forest)(nil)
+	_ core.CandidatePredictor = (*Forest)(nil)
+)
 
 // Example is one labeled training point: the embedded Table IV parameters
-// of a dataset and the storage format that measured fastest on it.
+// of a dataset and the joint (format, chunk, kernel-variant) candidate that
+// measured fastest on it.
 type Example struct {
 	Point [dataset.EmbedDims]float64
-	Label sparse.Format
+	Label sparse.Candidate
 }
 
 // FromFeatures embeds raw features into a labeled example.
-func FromFeatures(f dataset.Features, label sparse.Format) Example {
+func FromFeatures(f dataset.Features, label sparse.Candidate) Example {
 	return Example{Point: dataset.Embed(f), Label: label}
 }
 
 // FromHistory harvests every decision recorded in a scheduler tuning
 // history as a training example — the cheapest data source, since the
-// measurements were already paid for while serving.
+// measurements were already paid for while serving. Entries migrated from
+// v1 histories carry base candidates, which train the forest exactly as the
+// old format-only labels did.
 func FromHistory(h *core.History) []Example {
 	snap := h.Snapshot()
 	out := make([]Example, len(snap))
 	for i, e := range snap {
-		out[i] = Example{Point: e.Point, Label: e.Format}
+		out[i] = Example{Point: e.Point, Label: e.Candidate}
 	}
 	return out
 }

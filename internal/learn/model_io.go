@@ -15,8 +15,10 @@ import (
 // ModelVersion is the serialization format version. Bump it whenever the
 // embedding (dataset.Embed), the node layout, or the vote semantics change,
 // so stale models are rejected at load time instead of silently predicting
-// in the wrong feature space.
-const ModelVersion = 1
+// in the wrong feature space. Version 2 widened leaf labels from bare
+// format names to joint candidate strings ("CSR/guided/fused"); version 1
+// models predict in a different label space and must be retrained.
+const ModelVersion = 2
 
 // ErrModelVersion is wrapped into Load's error when the file was written
 // by a different, incompatible model version.
@@ -90,7 +92,7 @@ func Load(r io.Reader) (*Forest, error) {
 		t := &tree{nodes: make([]node, len(tj.Nodes))}
 		for i, nj := range tj.Nodes {
 			if nj.Feat < 0 {
-				label, err := sparse.ParseFormat(nj.Label)
+				label, err := sparse.ParseCandidate(nj.Label)
 				if err != nil {
 					return nil, fmt.Errorf("learn: tree %d node %d: %v", ti, i, err)
 				}

@@ -8,9 +8,11 @@ import (
 	"repro/internal/sparse"
 )
 
-// numLabels bounds the class space: every sparse.Format fits in a
-// fixed-size count array, which keeps the Gini inner loop allocation-free.
-const numLabels = len(sparse.AllFormats)
+// numLabels bounds the class space: every joint candidate maps into a
+// fixed-size count array via Candidate.Index(), which keeps the Gini inner
+// loop allocation-free. The index space is sparse (ineligible combinations
+// never occur as labels) but small enough that the dead slots are free.
+const numLabels = sparse.NumCandidates
 
 // node is one decision-tree node in flattened array form. The builder
 // appends a parent before its children, so child indices are always larger
@@ -18,9 +20,9 @@ const numLabels = len(sparse.AllFormats)
 type node struct {
 	feat        int // embedded-feature index; -1 marks a leaf
 	thresh      float64
-	left, right int           // child indices, internal nodes only
-	label       sparse.Format // leaf answer
-	purity      float64       // training fraction of label at this leaf
+	left, right int              // child indices, internal nodes only
+	label       sparse.Candidate // leaf answer
+	purity      float64          // training fraction of label at this leaf
 }
 
 // tree is a single CART classifier over embedded feature points.
@@ -29,7 +31,7 @@ type tree struct {
 }
 
 // predict walks to a leaf and returns its label with the leaf purity.
-func (t *tree) predict(p [dataset.EmbedDims]float64) (sparse.Format, float64) {
+func (t *tree) predict(p [dataset.EmbedDims]float64) (sparse.Candidate, float64) {
 	i := 0
 	for t.nodes[i].feat >= 0 {
 		if p[t.nodes[i].feat] <= t.nodes[i].thresh {
@@ -87,12 +89,12 @@ func (t *tree) build(examples []Example, idx []int, depth int, cfg growCfg) int 
 }
 
 // majority returns the most frequent label in idx, its fraction, and
-// whether the set is single-class. Ties break toward the lower format
-// value for determinism.
-func majority(examples []Example, idx []int) (sparse.Format, float64, bool) {
+// whether the set is single-class. Ties break toward the lower candidate
+// index for determinism.
+func majority(examples []Example, idx []int) (sparse.Candidate, float64, bool) {
 	var counts [numLabels]int
 	for _, i := range idx {
-		counts[examples[i].Label]++
+		counts[examples[i].Label.Index()]++
 	}
 	best := 0
 	for c := 1; c < numLabels; c++ {
@@ -101,7 +103,7 @@ func majority(examples []Example, idx []int) (sparse.Format, float64, bool) {
 		}
 	}
 	frac := float64(counts[best]) / float64(len(idx))
-	return sparse.Format(best), frac, counts[best] == len(idx)
+	return sparse.CandidateAt(best), frac, counts[best] == len(idx)
 }
 
 // bestSplit searches an mtry-sized random feature subset for the
@@ -114,21 +116,21 @@ func bestSplit(examples []Example, idx []int, cfg growCfg) (int, float64, bool) 
 	}
 	var total [numLabels]int
 	for _, i := range idx {
-		total[examples[i].Label]++
+		total[examples[i].Label.Index()]++
 	}
 	n := len(idx)
 	parent := gini(total, n)
 
 	type pair struct {
 		v     float64
-		label sparse.Format
+		label int // candidate index
 	}
 	pairs := make([]pair, n)
 	bestGain := 1e-12 // require a strictly positive decrease
 	bestFeat, bestThresh, found := -1, 0.0, false
 	for _, f := range feats {
 		for k, i := range idx {
-			pairs[k] = pair{examples[i].Point[f], examples[i].Label}
+			pairs[k] = pair{examples[i].Point[f], examples[i].Label.Index()}
 		}
 		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
 		var left [numLabels]int

@@ -19,10 +19,10 @@ func axisExamples(n, dim int, rng *rand.Rand) []Example {
 		}
 		if e.Point[dim] <= 0 {
 			e.Point[dim] -= 0.5 // margin so midpoint thresholds generalize
-			e.Label = sparse.CSR
+			e.Label = sparse.BaseCandidate(sparse.CSR)
 		} else {
 			e.Point[dim] += 0.5
-			e.Label = sparse.DIA
+			e.Label = sparse.BaseCandidate(sparse.DIA)
 		}
 		out = append(out, e)
 	}
@@ -66,12 +66,12 @@ func TestTreeDepthCap(t *testing.T) {
 
 func TestMajorityTieBreaksLow(t *testing.T) {
 	examples := []Example{
-		{Label: sparse.DIA}, {Label: sparse.DIA},
-		{Label: sparse.CSR}, {Label: sparse.CSR},
+		{Label: sparse.BaseCandidate(sparse.DIA)}, {Label: sparse.BaseCandidate(sparse.DIA)},
+		{Label: sparse.BaseCandidate(sparse.CSR)}, {Label: sparse.BaseCandidate(sparse.CSR)},
 	}
 	label, frac, pure := majority(examples, []int{0, 1, 2, 3})
-	if label != sparse.CSR {
-		t.Fatalf("tie must break toward the lower format value, got %v", label)
+	if label != sparse.BaseCandidate(sparse.CSR) {
+		t.Fatalf("tie must break toward the lower candidate index, got %v", label)
 	}
 	if frac != 0.5 || pure {
 		t.Fatalf("frac=%g pure=%v, want 0.5 false", frac, pure)
@@ -83,7 +83,7 @@ func TestBestSplitConstantFeatures(t *testing.T) {
 	// leaf instead of recursing forever.
 	examples := make([]Example, 10)
 	for i := range examples {
-		examples[i].Label = sparse.Format(i % 2)
+		examples[i].Label = sparse.BaseCandidate(sparse.Format(i % 2))
 	}
 	idx := make([]int, len(examples))
 	for i := range idx {
@@ -114,11 +114,11 @@ func TestGrowRespectsMinLeaf(t *testing.T) {
 
 func TestFromFeaturesUsesSharedEmbedding(t *testing.T) {
 	f := dataset.Features{M: 100, N: 10, NNZ: 500, Ndig: 109, Dnnz: 4.587, Mdim: 9, Adim: 5, Vdim: 2.5, Density: 0.5}
-	e := FromFeatures(f, sparse.ELL)
+	e := FromFeatures(f, sparse.BaseCandidate(sparse.ELL))
 	if e.Point != dataset.Embed(f) {
 		t.Fatal("FromFeatures must vectorize with dataset.Embed")
 	}
-	if e.Label != sparse.ELL {
+	if e.Label != sparse.BaseCandidate(sparse.ELL) {
 		t.Fatalf("label %v", e.Label)
 	}
 }

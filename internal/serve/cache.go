@@ -2,9 +2,8 @@ package serve
 
 import (
 	"container/list"
-	"fmt"
-	"hash/fnv"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,12 +14,15 @@ import (
 )
 
 // CachedDecision is what the serving cache keeps per shape class: the
-// winning format and the measurement evidence behind it. Matrices are never
-// cached — they belong to one request's data — and estimates are re-derived
-// from the request's own features (the model is pure and cheap).
+// winning joint candidate and the measurement evidence behind it. Matrices
+// are never cached — they belong to one request's data — and estimates are
+// re-derived from the request's own features (the model is pure and cheap).
 type CachedDecision struct {
-	Format   sparse.Format
-	Measured map[sparse.Format]time.Duration
+	// Candidate is the full execution choice; Format mirrors its storage
+	// format for callers that only materialize a layout.
+	Candidate sparse.Candidate
+	Format    sparse.Format
+	Measured  map[sparse.Candidate]time.Duration
 	// Source is the provenance of the original decision ("measured",
 	// "history", "predictor", or "model"), preserved so cache hits can
 	// report how the format was first chosen.
@@ -35,23 +37,49 @@ type CachedDecision struct {
 	Degraded bool
 }
 
-// Key derives the decision-cache key from the nine Table IV parameters plus
-// the decision knobs (policy, top-k). Shape features are quantized on a
+// keyVersion prefixes every decision-cache key. It was bumped to v2 when
+// cached decisions started carrying joint (format × chunk × variant)
+// candidates: a key schema change means pre-joint keys can never alias a
+// joint decision, even if cache state is ever persisted or handed across a
+// live upgrade.
+const keyVersion = "v2"
+
+// AppendKey appends the decision-cache key for f to dst and returns it —
+// allocation-free when dst has capacity, so the batched scheduling path can
+// key N lookups from one pooled buffer. Shape features are quantized on a
 // log1p grid so sampling noise between near-identical datasets — e.g. the
 // same corpus regenerated or resharded — lands in one shape class, while
 // structurally different matrices separate. Exact-key hits serve from the
 // cache; near misses beyond the grid still get the History radius lookup
 // inside the scheduler.
-func Key(f dataset.Features, policy string, topK int) string {
+func AppendKey(dst []byte, f dataset.Features, policy string, topK int) []byte {
 	// 8 buckets per natural-log unit ≈ 13% relative resolution.
 	q := func(x float64) int64 {
 		return int64(math.Round(math.Log1p(math.Max(x, 0)) * 8))
 	}
-	return fmt.Sprintf("%s/%d|%d,%d,%d,%d,%d,%d,%d,%d,%d",
-		policy, topK,
+	dst = append(dst, keyVersion...)
+	dst = append(dst, '|')
+	dst = append(dst, policy...)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(topK), 10)
+	dst = append(dst, '|')
+	for i, v := range [...]int64{
 		q(float64(f.M)), q(float64(f.N)), q(float64(f.NNZ)),
 		q(float64(f.Ndig)), q(f.Dnnz), q(float64(f.Mdim)),
-		q(f.Adim), q(f.Vdim), int64(math.Round(f.Density*1000)))
+		q(f.Adim), q(f.Vdim), int64(math.Round(f.Density * 1000)),
+	} {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, v, 10)
+	}
+	return dst
+}
+
+// Key derives the decision-cache key as a string; single-request paths use
+// it directly, batch paths build the same bytes with AppendKey.
+func Key(f dataset.Features, policy string, topK int) string {
+	return string(AppendKey(nil, f, policy, topK))
 }
 
 // call is one in-flight singleflight computation.
@@ -130,10 +158,44 @@ func NewCache(shards, capacity int) *Cache {
 	return c
 }
 
+// fnvSum32 is FNV-1a inlined over either key form, so hashing never
+// allocates a hasher or copies a byte-slice key to a string.
+func fnvSum32[T ~string | ~[]byte](key T) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
 func (c *Cache) shardFor(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return c.shards[h.Sum32()%uint32(len(c.shards))]
+	return c.shards[fnvSum32(key)%uint32(len(c.shards))]
+}
+
+// Get is the batch path's allocation-free hit check: the byte-slice key is
+// hashed and looked up without a string conversion (the compiler elides the
+// map-index conversion). Anything but a live cached entry — a miss, an
+// expired degraded entry, an in-flight computation — returns false, and the
+// caller takes the Do slow path, which re-checks under the same lock and
+// handles expiry, singleflight, and counters as usual.
+func (c *Cache) Get(key []byte) (*CachedDecision, bool) {
+	sh := c.shards[fnvSum32(key)%uint32(len(c.shards))]
+	sh.mu.Lock()
+	el, ok := sh.entries[string(key)]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*lruEntry)
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.order.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return e.val, true
 }
 
 // Do returns the decision for key, computing it with fn on a miss. The

@@ -64,6 +64,9 @@ type Config struct {
 	// MaxInflight bounds concurrent measurement computations; further
 	// cache-missing schedule requests get 429. 0 = 4.
 	MaxInflight int
+	// MaxBatch caps the items one /v1/schedule/batch request may carry;
+	// larger batches get 400. 0 = MaxBatchItems.
+	MaxBatch int
 	// Timeout bounds each request's measurement phase. 0 = 30s.
 	Timeout time.Duration
 	// MaxBody caps request body bytes; larger bodies get 413. 0 = 8 MiB.
@@ -107,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 4
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = MaxBatchItems
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
@@ -122,7 +128,11 @@ func (c Config) withDefaults() Config {
 // Server is the layout-scheduling service: Handler exposes it over
 // HTTP/JSON, Drain stops admission and waits out in-flight work.
 type Server struct {
-	cfg     Config
+	cfg Config
+	// scheds holds one shared scheduler per policy, built once: schedulers
+	// are concurrency-safe and pool their own scratch, so constructing one
+	// per request would defeat that pooling.
+	scheds  [4]*core.Scheduler
 	cache   *Cache
 	metrics *serverMetrics
 	traces  *telemetry.TraceStore // completed decision traces, /v1/trace/{id}
@@ -157,9 +167,20 @@ func NewServer(cfg Config) *Server {
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 	}
+	for _, p := range []core.Policy{core.RuleBased, core.Empirical, core.Hybrid, core.PolicyPredict} {
+		s.scheds[p] = core.New(core.Config{
+			Policy: p, Exec: cfg.Exec,
+			TrialRows: cfg.TrialRows, Repeats: cfg.Repeats,
+			TopK: cfg.TopK, Seed: cfg.Seed, History: cfg.History,
+			Predictor: cfg.Predictor, MinConfidence: cfg.MinConfidence,
+		})
+	}
 	s.registerMetrics()
 	return s
 }
+
+// sched returns the shared scheduler for a policy.
+func (s *Server) sched(policy core.Policy) *core.Scheduler { return s.scheds[policy] }
 
 // registerMetrics hangs every /metrics series on the telemetry registry.
 // Server-owned counters stay plain atomics (the handlers' source of truth);
@@ -275,6 +296,7 @@ func (s *Server) Drain() {
 // Handler returns the HTTP API:
 //
 //	POST /v1/schedule        dataset profile or inline LIBSVM rows → decision
+//	POST /v1/schedule/batch  up to MaxBatch schedule items → per-item decisions
 //	POST /v1/predict         LIBSVM rows → SVM predictions
 //	POST /v1/predict-format  dataset profile or LIBSVM rows → predicted format
 //	GET  /v1/trace/{id}      span tree of a recent schedule decision
@@ -283,6 +305,7 @@ func (s *Server) Drain() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.route("schedule", http.MethodPost, s.handleSchedule))
+	mux.HandleFunc("/v1/schedule/batch", s.route("schedule-batch", http.MethodPost, s.handleScheduleBatch))
 	mux.HandleFunc("/v1/predict", s.route("predict", http.MethodPost, s.handlePredict))
 	mux.HandleFunc("/v1/predict-format", s.route("predict-format", http.MethodPost, s.handlePredictFormat))
 	mux.HandleFunc("/v1/trace/", s.route("trace", http.MethodGet, s.handleTrace))
@@ -290,7 +313,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
 	// Pre-register every route's series so the first scrape already shows
 	// zero-valued counters for endpoints that have seen no traffic.
-	for _, name := range []string{"schedule", "predict", "predict-format", "trace", "healthz", "metrics"} {
+	for _, name := range []string{"schedule", "schedule-batch", "predict", "predict-format", "trace", "healthz", "metrics"} {
 		s.metrics.endpoint(name)
 	}
 	return mux
@@ -468,7 +491,13 @@ func (s *Server) scheduleProfile(w http.ResponseWriter, r *http.Request, p Featu
 		writeError(w, http.StatusBadRequest, core.ErrEmptyMatrix.Error())
 		return
 	}
-	_, sp := telemetry.StartSpan(r.Context(), "estimate.costs")
+	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: s.profileDecision(r.Context(), f, p)})
+}
+
+// profileDecision evaluates the rule-based cost model on an already
+// validated profile; shared by the single and batch profile paths.
+func (s *Server) profileDecision(ctx context.Context, f dataset.Features, p FeaturesJSON) DecisionJSON {
+	_, sp := telemetry.StartSpan(ctx, "estimate.costs")
 	ests := core.EstimateCosts(f)
 	sp.Annotate(telemetry.String("chosen", ests[0].Format.String()))
 	sp.End()
@@ -477,7 +506,7 @@ func (s *Server) scheduleProfile(w http.ResponseWriter, r *http.Request, p Featu
 		Chosen:   ests[0].Format.String(),
 		Features: p,
 		Source:   "model",
-		TraceID:  contextTraceID(r.Context()),
+		TraceID:  contextTraceID(ctx),
 		Trace:    []string{"profile-only request: rule-based cost model, no measurement"},
 	}
 	for _, e := range ests {
@@ -486,7 +515,7 @@ func (s *Server) scheduleProfile(w http.ResponseWriter, r *http.Request, p Featu
 			Imbalance: e.Imbalance, Cost: e.Cost,
 		})
 	}
-	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: d})
+	return d
 }
 
 // scheduleData answers an inline-data request: parse the LIBSVM rows,
@@ -526,12 +555,7 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 	}
 	trace := []string{fmt.Sprintf("parsed %d LIBSVM rows, %d features", len(samples), n)}
 
-	sched := core.New(core.Config{
-		Policy: policy, Exec: s.cfg.Exec,
-		TrialRows: s.cfg.TrialRows, Repeats: s.cfg.Repeats,
-		TopK: s.cfg.TopK, Seed: s.cfg.Seed, History: s.cfg.History,
-		Predictor: s.cfg.Predictor, MinConfidence: s.cfg.MinConfidence,
-	})
+	sched := s.sched(policy)
 
 	if policy == core.RuleBased {
 		// Pure model decision: nothing to measure, nothing worth caching.
@@ -543,21 +567,93 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		}
 		s.metrics.decision.Observe(time.Since(t0).Seconds())
 		dj := NewDecisionJSON(dec)
+		dec.Release()
 		dj.TraceID = contextTraceID(r.Context())
 		dj.Trace = append(trace, "rule-based policy: model decision, no measurement")
 		writeJSON(w, http.StatusOK, ScheduleResponse{Decision: dj})
 		return
 	}
 
-	key := Key(feats, policy.String(), s.cfg.TopK)
+	key := AppendKey(nil, feats, policy.String(), s.cfg.TopK)
+	val, outcome, err := s.decideInline(r.Context(), sched, b, feats, policy, key)
+	if err != nil {
+		writeScheduleError(w, err)
+		return
+	}
+	switch outcome {
+	case "hit":
+		trace = append(trace, fmt.Sprintf("cache: hit for shape class %s (decision first %s)", key, val.Source))
+	case "dedup":
+		trace = append(trace, fmt.Sprintf("cache: joined in-flight measurement for shape class %s", key))
+	default:
+		trace = append(trace, fmt.Sprintf("cache: miss for shape class %s", key))
+		switch {
+		case val.Degraded:
+			trace = append(trace, fmt.Sprintf(
+				"degraded: measurement unavailable (breaker %s), answered from %s",
+				s.breaker.State(), val.Source))
+		default:
+			trace = appendSourceTrace(trace, val, policy, cap(s.sem))
+		}
+	}
+
+	d := DecisionJSON{
+		Policy:     policy.String(),
+		Chosen:     val.Format.String(),
+		Chunk:      val.Candidate.Chunk.String(),
+		Variant:    val.Candidate.Variant.String(),
+		Features:   NewFeaturesJSON(feats),
+		Source:     val.Source,
+		Confidence: val.Confidence,
+		Measured:   encodeMeasured(val.Measured),
+		Degraded:   val.Degraded,
+		TraceID:    contextTraceID(r.Context()),
+		Trace:      trace,
+	}
+	if outcome != "miss" {
+		d.Source = "cache"
+	}
+	for _, e := range core.EstimateCosts(feats) {
+		d.Estimates = append(d.Estimates, EstimateJSON{
+			Format: e.Format.String(), Bytes: e.Bytes, Weight: e.Weight,
+			Imbalance: e.Imbalance, Cost: e.Cost,
+		})
+	}
+	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: d})
+}
+
+// decideInline serves one parsed inline-data request from the decision
+// cache, measuring under admission control on a miss. The byte-slice key is
+// borrowed from the caller (a pooled buffer on the batch path) and is only
+// read, never retained: the steady-state hit path — hash, map probe, LRU
+// touch — allocates nothing, which is what lets a warm batched request
+// decide N matrices with no per-item garbage. The outcome is "hit",
+// "dedup", or "miss", as for Cache.Do.
+func (s *Server) decideInline(ctx context.Context, sched *core.Scheduler, b *sparse.Builder, feats dataset.Features, policy core.Policy, key []byte) (*CachedDecision, string, error) {
+	if val, ok := s.cache.Get(key); ok {
+		// Traced requests still get the cache span on a hit; untraced
+		// callers (the batched steady state) skip it and stay alloc-free.
+		if telemetry.ContextTrace(ctx) != nil {
+			_, csp := telemetry.StartSpan(ctx, "cache.do",
+				telemetry.String("key", string(key)))
+			csp.Annotate(telemetry.String("outcome", "hit"),
+				telemetry.String("source", val.Source))
+			csp.End()
+		}
+		return val, "hit", nil
+	}
 	// The cache span parents the scheduler's spans: the singleflight leader
 	// computes under this request's context, so its trace carries the full
 	// candidate/measurement tree while deduped waiters show only the join.
-	cctx, csp := telemetry.StartSpan(r.Context(), "cache.do",
-		telemetry.String("key", fmt.Sprint(key)))
-	ctx, cancel := context.WithTimeout(cctx, s.cfg.Timeout)
+	cctx := ctx
+	var csp *telemetry.Span
+	if telemetry.ContextTrace(ctx) != nil {
+		cctx, csp = telemetry.StartSpan(ctx, "cache.do",
+			telemetry.String("key", string(key)))
+	}
+	mctx, cancel := context.WithTimeout(cctx, s.cfg.Timeout)
 	defer cancel()
-	val, outcome, err := s.cache.Do(key, func() (*CachedDecision, error) {
+	val, outcome, err := s.cache.Do(string(key), func() (*CachedDecision, error) {
 		// Only the singleflight leader reaches here, so the breaker sees
 		// one Allow per computation, not one per deduplicated waiter.
 		if !s.breaker.Allow() {
@@ -575,7 +671,7 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 		}
 		defer func() { <-s.sem }()
 		t0 := time.Now()
-		dec, err := sched.ChooseContext(ctx, b)
+		dec, err := sched.ChooseContext(mctx, b)
 		if err == nil {
 			s.metrics.decision.Observe(time.Since(t0).Seconds())
 		}
@@ -608,53 +704,30 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 				s.predictorFallbacks.Add(1)
 			}
 		}
-		return &CachedDecision{Format: dec.Chosen, Measured: dec.Measured, Source: source, Confidence: dec.Confidence}, nil
+		val := &CachedDecision{
+			Candidate: dec.ChosenCandidate, Format: dec.Chosen,
+			Source: source, Confidence: dec.Confidence,
+		}
+		// Decisions are pooled; the cache entry outlives the decision, so it
+		// owns a copy of the measurement evidence.
+		if len(dec.Measured) > 0 {
+			val.Measured = make(map[sparse.Candidate]time.Duration, len(dec.Measured))
+			for c, t := range dec.Measured {
+				val.Measured[c] = t
+			}
+		}
+		dec.Release()
+		return val, nil
 	})
 	if err != nil {
 		csp.EndErr(err)
-		writeScheduleError(w, err)
-		return
+		return nil, outcome, err
 	}
-	csp.Annotate(telemetry.String("outcome", outcome), telemetry.String("source", val.Source))
-	csp.End()
-	switch outcome {
-	case "hit":
-		trace = append(trace, fmt.Sprintf("cache: hit for shape class %s (decision first %s)", key, val.Source))
-	case "dedup":
-		trace = append(trace, fmt.Sprintf("cache: joined in-flight measurement for shape class %s", key))
-	default:
-		trace = append(trace, fmt.Sprintf("cache: miss for shape class %s", key))
-		switch {
-		case val.Degraded:
-			trace = append(trace, fmt.Sprintf(
-				"degraded: measurement unavailable (breaker %s), answered from %s",
-				s.breaker.State(), val.Source))
-		default:
-			trace = appendSourceTrace(trace, val, policy, cap(s.sem))
-		}
+	if csp != nil {
+		csp.Annotate(telemetry.String("outcome", outcome), telemetry.String("source", val.Source))
+		csp.End()
 	}
-
-	d := DecisionJSON{
-		Policy:     policy.String(),
-		Chosen:     val.Format.String(),
-		Features:   NewFeaturesJSON(feats),
-		Source:     val.Source,
-		Confidence: val.Confidence,
-		Measured:   encodeMeasured(val.Measured),
-		Degraded:   val.Degraded,
-		TraceID:    contextTraceID(r.Context()),
-		Trace:      trace,
-	}
-	if outcome != "miss" {
-		d.Source = "cache"
-	}
-	for _, e := range core.EstimateCosts(feats) {
-		d.Estimates = append(d.Estimates, EstimateJSON{
-			Format: e.Format.String(), Bytes: e.Bytes, Weight: e.Weight,
-			Imbalance: e.Imbalance, Cost: e.Cost,
-		})
-	}
-	writeJSON(w, http.StatusOK, ScheduleResponse{Decision: d})
+	return val, outcome, nil
 }
 
 // appendSourceTrace explains how a freshly computed (non-degraded) decision
@@ -700,15 +773,22 @@ func (s *Server) degrade(feats dataset.Features) (val *CachedDecision) {
 		s.logger.Warn("serving degraded decision",
 			"breaker", s.breaker.State().String(), "source", val.Source, "format", val.Format.String())
 	}()
-	if f, ok := s.cfg.History.Lookup(feats, core.DefaultHistoryRadius); ok {
-		return &CachedDecision{Format: f, Source: "history", Degraded: true}
+	if c, ok := s.cfg.History.Lookup(feats, core.DefaultHistoryRadius); ok {
+		return &CachedDecision{Candidate: c, Format: c.Format, Source: "history", Degraded: true}
 	}
 	if s.cfg.Predictor != nil {
-		if f, conf, ok := s.cfg.Predictor.PredictFormat(feats); ok {
-			return &CachedDecision{Format: f, Source: "predictor", Confidence: conf, Degraded: true}
+		// Joint-space predictors degrade to a full candidate; format-only
+		// ones to the predicted format's base candidate.
+		if cp, joint := s.cfg.Predictor.(core.CandidatePredictor); joint {
+			if c, conf, ok := cp.PredictCandidate(feats); ok {
+				return &CachedDecision{Candidate: c, Format: c.Format, Source: "predictor", Confidence: conf, Degraded: true}
+			}
+		} else if f, conf, ok := s.cfg.Predictor.PredictFormat(feats); ok {
+			return &CachedDecision{Candidate: sparse.BaseCandidate(f), Format: f, Source: "predictor", Confidence: conf, Degraded: true}
 		}
 	}
-	return &CachedDecision{Format: core.EstimateCosts(feats)[0].Format, Source: "model", Degraded: true}
+	f := core.EstimateCosts(feats)[0].Format
+	return &CachedDecision{Candidate: sparse.BaseCandidate(f), Format: f, Source: "model", Degraded: true}
 }
 
 // writeScheduleError maps scheduler failures onto HTTP statuses.

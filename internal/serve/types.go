@@ -58,18 +58,27 @@ type EstimateJSON struct {
 	Cost      float64 `json:"cost"`
 }
 
-// MeasurementJSON is one format's measured SMSV time.
+// MeasurementJSON is one joint candidate's measured SMO pair-unit time.
+// Chunk and Variant are additive (omitted by pre-joint encoders), so old
+// clients keep parsing the format-level fields unchanged.
 type MeasurementJSON struct {
-	Format string  `json:"format"`
-	Nanos  int64   `json:"nanos"`
-	Millis float64 `json:"millis"`
+	Format  string  `json:"format"`
+	Chunk   string  `json:"chunk,omitempty"`
+	Variant string  `json:"variant,omitempty"`
+	Nanos   int64   `json:"nanos"`
+	Millis  float64 `json:"millis"`
 }
 
 // DecisionJSON is the machine-readable layout decision shared by the
 // layoutd /v1/schedule response and the layoutsched -json flag.
 type DecisionJSON struct {
-	Policy   string       `json:"policy"`
-	Chosen   string       `json:"chosen"`
+	Policy string `json:"policy"`
+	Chosen string `json:"chosen"`
+	// Chunk and Variant complete the joint execution choice behind Chosen:
+	// the parallel chunking policy and the kernel variant the scheduler
+	// selected. Additive fields — absent in pre-joint responses.
+	Chunk    string       `json:"chunk,omitempty"`
+	Variant  string       `json:"variant,omitempty"`
 	Features FeaturesJSON `json:"features"`
 	// Source records where the decision came from: "model" (rule-based
 	// cost model only), "measured" (fresh empirical measurement),
@@ -103,6 +112,8 @@ func NewDecisionJSON(d *core.Decision) DecisionJSON {
 	out := DecisionJSON{
 		Policy:   d.Policy.String(),
 		Chosen:   d.Chosen.String(),
+		Chunk:    d.ChosenCandidate.Chunk.String(),
+		Variant:  d.ChosenCandidate.Variant.String(),
 		Features: NewFeaturesJSON(d.Features),
 		Source:   "model",
 	}
@@ -128,14 +139,15 @@ func NewDecisionJSON(d *core.Decision) DecisionJSON {
 }
 
 // encodeMeasured renders a measurement map sorted by ascending time.
-func encodeMeasured(m map[sparse.Format]time.Duration) []MeasurementJSON {
+func encodeMeasured(m map[sparse.Candidate]time.Duration) []MeasurementJSON {
 	if len(m) == 0 {
 		return nil
 	}
 	out := make([]MeasurementJSON, 0, len(m))
-	for f, t := range m {
+	for c, t := range m {
 		out = append(out, MeasurementJSON{
-			Format: f.String(), Nanos: int64(t),
+			Format: c.Format.String(), Chunk: c.Chunk.String(), Variant: c.Variant.String(),
+			Nanos:  int64(t),
 			Millis: float64(t) / float64(time.Millisecond),
 		})
 	}
@@ -143,7 +155,13 @@ func encodeMeasured(m map[sparse.Format]time.Duration) []MeasurementJSON {
 		if out[i].Nanos != out[j].Nanos {
 			return out[i].Nanos < out[j].Nanos
 		}
-		return out[i].Format < out[j].Format
+		if out[i].Format != out[j].Format {
+			return out[i].Format < out[j].Format
+		}
+		if out[i].Chunk != out[j].Chunk {
+			return out[i].Chunk < out[j].Chunk
+		}
+		return out[i].Variant < out[j].Variant
 	})
 	return out
 }
@@ -165,6 +183,33 @@ type ScheduleRequest struct {
 // ScheduleResponse is the /v1/schedule reply.
 type ScheduleResponse struct {
 	Decision DecisionJSON `json:"decision"`
+}
+
+// BatchScheduleRequest is the /v1/schedule/batch body: up to MaxBatchItems
+// schedule requests decided in one round trip, sharing one parse of the
+// connection, one decision trace, and one pass of pooled scratch. Policy
+// and TopK set batch-wide defaults that individual items may override.
+type BatchScheduleRequest struct {
+	Items  []ScheduleRequest `json:"items"`
+	Policy string            `json:"policy,omitempty"`
+	TopK   int               `json:"top_k,omitempty"`
+}
+
+// BatchItemResult is one item's outcome. Exactly one of Decision or Error
+// is set: a bad item (unparseable data, unknown policy, over the inline
+// cap) fails alone without failing the batch.
+type BatchItemResult struct {
+	Decision *DecisionJSON `json:"decision,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// BatchScheduleResponse is the /v1/schedule/batch reply; Decisions[i]
+// answers Items[i].
+type BatchScheduleResponse struct {
+	Decisions []BatchItemResult `json:"decisions"`
+	// TraceID identifies the batch's shared span tree: every item's
+	// scheduling spans nest under one trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // PredictFormatRequest is the /v1/predict-format body. Exactly one of

@@ -62,10 +62,10 @@ func TestNewDecisionJSON(t *testing.T) {
 }
 
 func TestEncodeMeasuredTieBreak(t *testing.T) {
-	m := map[sparse.Format]time.Duration{
-		sparse.COO: 5 * time.Millisecond,
-		sparse.CSR: 5 * time.Millisecond,
-		sparse.ELL: time.Millisecond,
+	m := map[sparse.Candidate]time.Duration{
+		sparse.BaseCandidate(sparse.COO): 5 * time.Millisecond,
+		sparse.BaseCandidate(sparse.CSR): 5 * time.Millisecond,
+		sparse.BaseCandidate(sparse.ELL): time.Millisecond,
 	}
 	out := encodeMeasured(m)
 	if out[0].Format != "ELL" {

@@ -20,6 +20,13 @@ type Builder struct {
 	canonR []int32
 	canonC []int32
 	canonV []float64
+
+	// Cached successful materializations per format, invalidated with the
+	// canonical form. Matrices are immutable, so repeated Build calls for
+	// the same format — every Choose/measure cycle hits CSR at least
+	// twice — return the same instance allocation-free.
+	built    [len(AllFormats)]Matrix
+	builtAny bool
 }
 
 // NewBuilder creates a builder for an rows×cols matrix. It panics if either
@@ -41,6 +48,27 @@ func (b *Builder) Add(row, col int, val float64) {
 	b.c = append(b.c, int32(col))
 	b.v = append(b.v, val)
 	b.canonR, b.canonC, b.canonV = nil, nil, nil
+	if b.builtAny {
+		b.built = [len(AllFormats)]Matrix{}
+		b.builtAny = false
+	}
+}
+
+// Reset empties the builder for reuse as an rows×cols matrix, keeping the
+// triplet arrays' capacity. It is the arena-reuse entry point for batch
+// parsers that build many matrices through one pooled builder. It panics
+// on non-positive dimensions, like NewBuilder.
+func (b *Builder) Reset(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sparse: invalid dimensions %dx%d", rows, cols))
+	}
+	b.rows, b.cols = rows, cols
+	b.r = b.r[:0]
+	b.c = b.c[:0]
+	b.v = b.v[:0]
+	b.canonR, b.canonC, b.canonV = nil, nil, nil
+	b.built = [len(AllFormats)]Matrix{}
+	b.builtAny = false
 }
 
 // AddRow appends an entire sparse row at once.
@@ -113,7 +141,21 @@ func (b *Builder) canonical() (r, c []int32, v []float64) {
 }
 
 // Build materializes the accumulated triplets in the requested format.
+// Successful materializations are cached until the next Add or Reset, so
+// re-requesting a format is allocation-free.
 func (b *Builder) Build(f Format) (Matrix, error) {
+	if f >= 0 && int(f) < len(b.built) && b.built[f] != nil {
+		return b.built[f], nil
+	}
+	m, err := b.build(f)
+	if err == nil && f >= 0 && int(f) < len(b.built) {
+		b.built[f] = m
+		b.builtAny = true
+	}
+	return m, err
+}
+
+func (b *Builder) build(f Format) (Matrix, error) {
 	r, c, v := b.canonical()
 	switch f {
 	case DEN:
