@@ -12,16 +12,17 @@
 #                   SMO fusion, predict-vs-measure, batched serving) as
 #                   schema-stable BENCH_6.json with the pre-joint baseline
 #   make metrics-lint  validate /metrics exposition well-formedness
+#   make loadgen-smoke  boot a 3-node ring and drive it with cmd/loadgen
 #   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
 GO ?= go
-RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/...
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/... ./internal/cluster/...
 CHAOS_PKGS := ./internal/parallel ./internal/core ./internal/serve
 FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
 LAYOUTD_ADDR ?= :8723
 
-.PHONY: build vet test test-race chaos fuzz bench bench-json bench-trajectory metrics-lint run-layoutd clean
+.PHONY: build vet test test-race chaos fuzz bench bench-json bench-trajectory metrics-lint loadgen-smoke run-layoutd clean
 
 build:
 	$(GO) build ./...
@@ -68,6 +69,11 @@ bench-trajectory:
 # (missing TYPE lines, duplicate series, non-cumulative histograms, ...).
 metrics-lint:
 	$(GO) run ./cmd/metricslint
+
+# Loadgen smoke: 3 clustered layoutd nodes on localhost, closed-loop
+# traffic, fails on any 5xx/transport error or a blown p99.
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
 
 run-layoutd:
 	$(GO) run ./cmd/layoutd -addr $(LAYOUTD_ADDR)

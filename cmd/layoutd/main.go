@@ -11,22 +11,33 @@
 //	layoutd -addr :8723
 //	layoutd -addr :8723 -policy hybrid -history tuning.hist -model svm.model
 //	layoutd -addr :8723 -policy predict -predictor model.json
+//	layoutd -addr :8731 -node-id n1 -peers n1=http://h1:8731,n2=http://h2:8731
+//
+// With -peers, nodes form a consistent-hash ring over shape classes: each
+// schedule request is answered by the node owning its shape class (one
+// forwarding hop at most), fresh decisions gossip to the ring successor,
+// and a model pushed to any node's /v1/cluster/model can propagate to all.
+// A dead peer costs locality, never availability — requests fall back to
+// the local decision path.
 //
 // Endpoints:
 //
-//	POST /v1/schedule        {"data": "<libsvm rows>"} or {"profile": {...}}
-//	POST /v1/schedule/batch  {"items": [<schedule bodies>...]} — up to
-//	                         -max-batch items decided in one round trip,
-//	                         sharing one trace and the pooled hot path
-//	POST /v1/predict         {"rows": ["1:0.5 3:1.2", ...]}
-//	POST /v1/predict-format  {"data": "<libsvm rows>"} or {"profile": {...}}
-//	GET  /v1/trace/{id}      span tree of a recent schedule decision
+//	POST /v1/schedule          {"data": "<libsvm rows>"} or {"profile": {...}}
+//	POST /v1/schedule/batch    {"items": [<schedule bodies>...]} — up to
+//	                           -max-batch items decided in one round trip,
+//	                           sharing one trace and the pooled hot path
+//	POST /v1/predict           {"rows": ["1:0.5 3:1.2", ...]}
+//	POST /v1/predict-format    {"data": "<libsvm rows>"} or {"profile": {...}}
+//	POST /v1/cluster/replicate gossip batches from ring peers
+//	POST /v1/cluster/model     {"model": <predictor json>, "propagate": true}
+//	GET  /v1/trace/{id}        span tree of a recent schedule decision
 //	GET  /healthz
-//	GET  /metrics            Prometheus text exposition
-//	GET  /debug/pprof/       runtime profiles (only with -pprof)
+//	GET  /metrics              Prometheus text exposition
+//	GET  /debug/pprof/         runtime profiles (only with -pprof)
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -38,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
@@ -71,6 +83,11 @@ type options struct {
 	logFormat     string
 	pprofOn       bool
 	traceBuffer   int
+
+	peers     string
+	nodeID    string
+	replicate bool
+	vnodes    int
 }
 
 func main() {
@@ -83,7 +100,7 @@ func main() {
 	flag.StringVar(&o.predictorPath, "predictor", "", "trained format-predictor file (from `layoutsched train`) served by /v1/predict-format and the predict policy")
 	flag.Float64Var(&o.minConfidence, "min-confidence", 0, "predictor confidence below which decisions fall back to measurement (0 = default)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 4, "concurrent measurement slots; excess requests get 429")
-	flag.IntVar(&o.maxBatch, "max-batch", 0, "items allowed per /v1/schedule/batch request (0 = default)")
+	flag.IntVar(&o.maxBatch, "max-batch", serve.MaxBatchItems, "items allowed per /v1/schedule/batch request")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request measurement deadline")
 	flag.Int64Var(&o.maxBody, "max-body", 8<<20, "request body byte cap")
 	flag.IntVar(&o.cacheCap, "cache-capacity", 256, "decision cache entries per shard")
@@ -95,7 +112,11 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
-	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "completed decision traces kept for /v1/trace/{id} (0 = default)")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", telemetry.DefaultTraceCapacity, "completed decision traces kept for /v1/trace/{id}")
+	flag.StringVar(&o.peers, "peers", "", "cluster member list as id=http://host:port pairs, comma-separated; empty runs single-node")
+	flag.StringVar(&o.nodeID, "node-id", "", "this node's id in the -peers list (required with -peers)")
+	flag.BoolVar(&o.replicate, "replicate", true, "gossip fresh decisions and history records to the ring successor")
+	flag.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per ring member (0 = default)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutd:", err)
@@ -115,6 +136,18 @@ func run(o options) error {
 	p, ok := pol[o.policy]
 	if !ok {
 		return fmt.Errorf("unknown policy %q", o.policy)
+	}
+	// Misconfiguration fails startup with the flag named, never mid-request:
+	// a zero or negative cap would silently fall back to a default (or wedge
+	// the endpoint), which is harder to debug than a refusal to boot.
+	if o.maxBatch <= 0 {
+		return fmt.Errorf("-max-batch must be positive, got %d", o.maxBatch)
+	}
+	if o.traceBuffer <= 0 {
+		return fmt.Errorf("-trace-buffer must be positive, got %d", o.traceBuffer)
+	}
+	if o.peers == "" && o.nodeID != "" {
+		return fmt.Errorf("-node-id %q given without -peers", o.nodeID)
 	}
 	if o.faults != "" {
 		reg, err := fault.Parse(o.faults, o.faultSeed)
@@ -161,6 +194,28 @@ func run(o options) error {
 	if p == core.PolicyPredict && predictor == nil {
 		return fmt.Errorf("policy predict needs -predictor")
 	}
+	// Cluster mode: every node is started with the same -peers list and its
+	// own -node-id; the consistent-hash ring then gives all nodes one view of
+	// which node owns each shape class.
+	var peers *cluster.Peers
+	if o.peers != "" {
+		if o.nodeID == "" {
+			return fmt.Errorf("-peers needs -node-id naming this node in the list")
+		}
+		members, err := cluster.ParseMembers(o.peers)
+		if err != nil {
+			return err
+		}
+		peers, err = cluster.NewPeers(o.nodeID, members, cluster.Options{
+			VirtualNodes:       o.vnodes,
+			DisableReplication: !o.replicate,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("cluster ring joined",
+			"node", o.nodeID, "members", len(members), "replicate", o.replicate)
+	}
 	ex := exec.New(o.workers, exec.Static)
 	defer ex.Close()
 
@@ -172,6 +227,16 @@ func run(o options) error {
 		Timeout: o.timeout, MaxBody: o.maxBody,
 		CacheCapacity: o.cacheCap,
 		Logger:        logger, TraceCapacity: o.traceBuffer,
+		Cluster:       peers,
+		// Pushed models decode exactly like -predictor files, so a model that
+		// trains on one node distributes to the rest of the ring unchanged.
+		ModelLoader: func(b []byte) (core.FormatPredictor, error) {
+			f, err := learn.Load(bytes.NewReader(b))
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		},
 	}
 	if predictor != nil {
 		cfg.Predictor = predictor
@@ -226,6 +291,11 @@ func run(o options) error {
 		logger.Error("shutdown", "err", err)
 	}
 	s.Drain()
+	if peers != nil {
+		// After Drain no handler can enqueue more gossip; Stop flushes what
+		// is queued to the successor while peers are still reachable.
+		peers.Stop()
+	}
 	if o.predictorPath != "" {
 		logger.Info("predictor summary",
 			"hits", s.PredictorHits(), "fallbacks", s.PredictorFallbacks())

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// goodOptions is a baseline that passes validation (it would bind a real
+// listener if run past validation, so tests only use it mutated to fail).
+func goodOptions() options {
+	return options{
+		addr: "127.0.0.1:0", policy: "hybrid",
+		maxInflight: 4, maxBatch: serve.MaxBatchItems,
+		timeout: time.Second, maxBody: 1 << 20, cacheCap: 16,
+		logLevel: "error", logFormat: "text",
+		traceBuffer: telemetry.DefaultTraceCapacity,
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantSub string
+	}{
+		{"zero max-batch", func(o *options) { o.maxBatch = 0 }, "-max-batch"},
+		{"negative max-batch", func(o *options) { o.maxBatch = -3 }, "-max-batch"},
+		{"zero trace-buffer", func(o *options) { o.traceBuffer = 0 }, "-trace-buffer"},
+		{"negative trace-buffer", func(o *options) { o.traceBuffer = -1 }, "-trace-buffer"},
+		{"unknown policy", func(o *options) { o.policy = "vibes" }, "unknown policy"},
+		{"node-id without peers", func(o *options) { o.nodeID = "n1" }, "-node-id"},
+		{"peers without node-id", func(o *options) { o.peers = "n1=http://h:1" }, "-node-id"},
+		{"node-id not in peers", func(o *options) {
+			o.peers, o.nodeID = "n1=http://h:1,n2=http://h:2", "n3"
+		}, "not in peer list"},
+		{"malformed peers", func(o *options) {
+			o.peers, o.nodeID = "n1@h:1", "n1"
+		}, "peer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := goodOptions()
+			tc.mutate(&o)
+			err := run(o)
+			if err == nil {
+				t.Fatal("run accepted invalid options")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the problem (%q)", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,510 @@
+// Command loadgen drives one layoutd node — or a consistent-hash ring of
+// them — with synthetic schedule traffic and reports client-side latency
+// percentiles cross-checked against the servers' own /metrics histograms.
+//
+// Shape classes are drawn from a Zipf distribution, mirroring the paper's
+// workload premise: a few dataset shapes dominate, so measured decisions
+// amortize. Each class is a small deterministic LIBSVM payload, so one
+// class always lands in one quantized shape class (and, in cluster mode,
+// on one ring owner).
+//
+// Usage:
+//
+//	loadgen -targets http://localhost:8723 -duration 10s
+//	loadgen -targets http://h1:8731,http://h2:8732,http://h3:8733 \
+//	        -mode closed -concurrency 16 -classes 64 -zipf-s 1.2 \
+//	        -assert-zero-5xx -max-p99 500ms
+//
+// The run's report is written to stdout as JSON (machine-readable; the
+// smoke script parses it), with a human summary on stderr. Assertion flags
+// turn report fields into a non-zero exit status for CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+type options struct {
+	targets     string
+	mode        string
+	duration    time.Duration
+	warmup      time.Duration
+	concurrency int
+	rate        float64
+	classes     int
+	zipfS       float64
+	batch       int
+	policy      string
+	seed        int64
+	timeout     time.Duration
+	checkServer bool
+	assertNo5xx bool
+	maxP99      time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.targets, "targets", "http://localhost:8723", "comma-separated layoutd base URLs; requests spread across all")
+	flag.StringVar(&o.mode, "mode", "closed", "closed (N workers, back-to-back) or open (fixed arrival rate)")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measured load duration")
+	flag.DurationVar(&o.warmup, "warmup", time.Second, "unrecorded warmup traffic before measuring (0 = none)")
+	flag.IntVar(&o.concurrency, "concurrency", 8, "closed-loop worker count")
+	flag.Float64Var(&o.rate, "rate", 50, "open-loop arrival rate, requests/second")
+	flag.IntVar(&o.classes, "classes", 64, "distinct shape classes in the workload")
+	flag.Float64Var(&o.zipfS, "zipf-s", 1.2, "Zipf skew across shape classes (> 1; higher = hotter head)")
+	flag.IntVar(&o.batch, "batch", 1, "items per request; > 1 uses /v1/schedule/batch")
+	flag.StringVar(&o.policy, "policy", "", "schedule policy override sent with each request")
+	flag.Int64Var(&o.seed, "seed", 1, "workload seed (payloads and class sequence)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	flag.BoolVar(&o.checkServer, "check-server", true, "scrape target /metrics and cross-check latency quantiles")
+	flag.BoolVar(&o.assertNo5xx, "assert-zero-5xx", false, "exit non-zero if any request returned 5xx or failed in transport")
+	flag.DurationVar(&o.maxP99, "max-p99", 0, "exit non-zero if client p99 exceeds this (0 = no assertion)")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON document a run emits on stdout.
+type Report struct {
+	Mode        string   `json:"mode"`
+	Targets     []string `json:"targets"`
+	DurationSec float64  `json:"duration_seconds"`
+	Requests    int64    `json:"requests"`
+	RPS         float64  `json:"rps"`
+	// Status buckets: transport errors (dial/timeout) count separately from
+	// HTTP statuses, since they never produced a status line.
+	Status2xx       int64 `json:"status_2xx"`
+	Status4xx       int64 `json:"status_4xx"`
+	Status5xx       int64 `json:"status_5xx"`
+	TransportErrors int64 `json:"transport_errors"`
+
+	ClientP50Sec  float64 `json:"client_p50_seconds"`
+	ClientP90Sec  float64 `json:"client_p90_seconds"`
+	ClientP99Sec  float64 `json:"client_p99_seconds"`
+	ClientMeanSec float64 `json:"client_mean_seconds"`
+
+	// Server is the merged view of every target's own request-duration
+	// histogram over the run's scrape window (delta of before/after).
+	Server *ServerCheck `json:"server,omitempty"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ServerCheck cross-checks client percentiles against the servers' merged
+// latency histogram for the endpoint the run drove.
+type ServerCheck struct {
+	Endpoint string  `json:"endpoint"`
+	Count    float64 `json:"count"`
+	P50Sec   float64 `json:"p50_seconds"`
+	P99Sec   float64 `json:"p99_seconds"`
+	// Bucket bounds containing each server quantile — the histogram's
+	// resolution limit, which is the honest agreement tolerance.
+	P50BucketSec [2]float64 `json:"p50_bucket_seconds"`
+	P99BucketSec [2]float64 `json:"p99_bucket_seconds"`
+	AgreeP50     bool       `json:"agree_p50"`
+	AgreeP99     bool       `json:"agree_p99"`
+}
+
+// recorder accumulates per-request outcomes under one mutex; requests are
+// network-bound, so contention here is noise.
+type recorder struct {
+	mu        sync.Mutex
+	lat       []float64
+	s2xx      int64
+	s4xx      int64
+	s5xx      int64
+	transport int64
+	recording atomic.Bool
+}
+
+func (rc *recorder) record(sec float64, status int, transportErr bool) {
+	if !rc.recording.Load() {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	switch {
+	case transportErr:
+		rc.transport++
+		return // no latency sample: the request never completed
+	case status >= 500:
+		rc.s5xx++
+	case status >= 400:
+		rc.s4xx++
+	default:
+		rc.s2xx++
+	}
+	rc.lat = append(rc.lat, sec)
+}
+
+func run(o options) error {
+	targets := strings.Split(o.targets, ",")
+	for i := range targets {
+		targets[i] = strings.TrimRight(strings.TrimSpace(targets[i]), "/")
+		if !strings.HasPrefix(targets[i], "http://") && !strings.HasPrefix(targets[i], "https://") {
+			return fmt.Errorf("target %q needs an http:// or https:// scheme", targets[i])
+		}
+	}
+	if o.classes < 1 {
+		return fmt.Errorf("-classes must be positive, got %d", o.classes)
+	}
+	if o.zipfS <= 1 {
+		return fmt.Errorf("-zipf-s must be > 1, got %g", o.zipfS)
+	}
+	if o.batch < 1 || o.batch > serve.MaxBatchItems {
+		return fmt.Errorf("-batch must be in [1, %d], got %d", serve.MaxBatchItems, o.batch)
+	}
+	if o.mode != "closed" && o.mode != "open" {
+		return fmt.Errorf("-mode must be open or closed, got %q", o.mode)
+	}
+	if o.mode == "open" && o.rate <= 0 {
+		return fmt.Errorf("-rate must be positive in open mode, got %g", o.rate)
+	}
+
+	payloads := buildPayloads(o.classes, o.seed)
+	bodies, endpoint := buildBodies(payloads, o)
+
+	// One shared transport with keepalive pools sized for the worker count:
+	// steady-state load must reuse connections, or the run benchmarks the
+	// TCP handshake path instead of the scheduler.
+	client := &http.Client{
+		Timeout: o.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        o.concurrency * len(targets) * 2,
+			MaxIdleConnsPerHost: o.concurrency * 2,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	before := make([]string, len(targets))
+	if o.checkServer {
+		for i, t := range targets {
+			text, err := scrape(client, t)
+			if err != nil {
+				return fmt.Errorf("pre-run scrape of %s: %w", t, err)
+			}
+			before[i] = text
+		}
+	}
+
+	rc := &recorder{}
+	// The class sequence is one shared Zipf draw consumed by atomic index,
+	// so the class mix is identical across modes and worker counts for a
+	// given seed.
+	seq := buildSequence(o, len(targets))
+	var next atomic.Int64
+	doOne := func() {
+		i := next.Add(1) - 1
+		pick := seq[i%int64(len(seq))]
+		body := bodies[pick.class]
+		start := time.Now()
+		status, err := post(client, targets[pick.target]+endpoint, body)
+		rc.record(time.Since(start).Seconds(), status, err != nil)
+	}
+
+	if o.warmup > 0 {
+		runPhase(o, o.warmup, doOne)
+	}
+	rc.recording.Store(true)
+	t0 := time.Now()
+	runPhase(o, o.duration, doOne)
+	elapsed := time.Since(t0)
+	rc.recording.Store(false)
+
+	rep := summarize(rc, o, targets, elapsed)
+	if o.checkServer {
+		sc, err := serverCheck(client, targets, before, endpoint, rep)
+		if err != nil {
+			return err
+		}
+		rep.Server = sc
+	}
+	assert(&rep, o)
+
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d requests in %.1fs (%.0f rps) — 2xx %d, 4xx %d, 5xx %d, transport %d; client p50 %.2fms p99 %.2fms\n",
+		rep.Requests, rep.DurationSec, rep.RPS, rep.Status2xx, rep.Status4xx, rep.Status5xx,
+		rep.TransportErrors, rep.ClientP50Sec*1e3, rep.ClientP99Sec*1e3)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("assertions failed: %s", strings.Join(rep.Violations, "; "))
+	}
+	return nil
+}
+
+// runPhase drives doOne for d in the configured mode. Closed loop: N
+// workers back-to-back, so concurrency is fixed and the arrival rate floats
+// with service time. Open loop: a fixed arrival schedule that does not slow
+// down when the server does — the mode that exposes queueing collapse.
+func runPhase(o options, d time.Duration, doOne func()) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	if o.mode == "closed" {
+		for w := 0; w < o.concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					doOne()
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	interval := time.Duration(float64(time.Second) / o.rate)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for now := range tick.C {
+		if !now.Before(deadline) {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doOne()
+		}()
+	}
+	wg.Wait()
+}
+
+type pick struct {
+	class  int
+	target int
+}
+
+// buildSequence precomputes the Zipf class draw and round-robin target
+// assignment. Targets rotate uniformly on purpose: in cluster mode that
+// means most requests arrive at a non-owner and exercise ring forwarding.
+func buildSequence(o options, targets int) []pick {
+	n := 1 << 16
+	seq := make([]pick, n)
+	rng := rand.New(rand.NewSource(o.seed))
+	zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(o.classes-1))
+	for i := range seq {
+		seq[i] = pick{class: int(zipf.Uint64()), target: i % targets}
+	}
+	return seq
+}
+
+// buildPayloads generates one small deterministic LIBSVM payload per shape
+// class. Shapes vary in rows, width, and density so classes quantize to
+// distinct cache keys; every payload stays tiny so a measured decision is
+// milliseconds, not seconds.
+func buildPayloads(classes int, seed int64) []string {
+	out := make([]string, classes)
+	for c := range out {
+		rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+		rows := 6 + (c%10)*3
+		cols := 12 + (c*17)%120
+		perRow := 2 + c%6
+		var sb strings.Builder
+		for r := 0; r < rows; r++ {
+			sb.WriteString("1")
+			used := map[int]bool{}
+			idx := make([]int, 0, perRow)
+			for k := 0; k < perRow; k++ {
+				j := 1 + rng.Intn(cols)
+				if used[j] {
+					continue
+				}
+				used[j] = true
+				idx = append(idx, j)
+			}
+			// LIBSVM rows must list feature indices strictly ascending.
+			sort.Ints(idx)
+			for _, j := range idx {
+				sb.WriteString(" ")
+				sb.WriteString(strconv.Itoa(j))
+				sb.WriteString(":")
+				sb.WriteString(strconv.FormatFloat(0.1+rng.Float64(), 'f', 3, 64))
+			}
+			sb.WriteString("\n")
+		}
+		out[c] = sb.String()
+	}
+	return out
+}
+
+// buildBodies pre-marshals one request body per class (single mode) or one
+// batch body per class window (batch mode), plus the endpoint they drive.
+func buildBodies(payloads []string, o options) ([][]byte, string) {
+	if o.batch == 1 {
+		bodies := make([][]byte, len(payloads))
+		for i, p := range payloads {
+			b, _ := json.Marshal(serve.ScheduleRequest{Data: p, Policy: o.policy})
+			bodies[i] = b
+		}
+		return bodies, "/v1/schedule"
+	}
+	bodies := make([][]byte, len(payloads))
+	for i := range payloads {
+		items := make([]serve.ScheduleRequest, o.batch)
+		for k := range items {
+			items[k] = serve.ScheduleRequest{Data: payloads[(i+k)%len(payloads)]}
+		}
+		b, _ := json.Marshal(serve.BatchScheduleRequest{Items: items, Policy: o.policy})
+		bodies[i] = b
+	}
+	return bodies, "/v1/schedule/batch"
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the keepalive pool can reuse the connection.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func scrape(client *http.Client, target string) (string, error) {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics returned %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func summarize(rc *recorder, o options, targets []string, elapsed time.Duration) Report {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rep := Report{
+		Mode: o.mode, Targets: targets,
+		DurationSec:     elapsed.Seconds(),
+		Requests:        int64(len(rc.lat)) + rc.transport,
+		Status2xx:       rc.s2xx,
+		Status4xx:       rc.s4xx,
+		Status5xx:       rc.s5xx,
+		TransportErrors: rc.transport,
+	}
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(rc.lat) == 0 {
+		return rep
+	}
+	sort.Float64s(rc.lat)
+	sum := 0.0
+	for _, v := range rc.lat {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(rc.lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return rc.lat[i]
+	}
+	rep.ClientP50Sec = q(0.50)
+	rep.ClientP90Sec = q(0.90)
+	rep.ClientP99Sec = q(0.99)
+	rep.ClientMeanSec = sum / float64(len(rc.lat))
+	return rep
+}
+
+// serverCheck scrapes every target again, subtracts the pre-run snapshots,
+// merges the per-node deltas into one cluster-wide histogram, and checks
+// that the client-side quantiles land inside (a tolerance band around) the
+// histogram bucket holding the server-side quantile. Client latency sits
+// above server handler latency by network and queueing overhead, so the
+// band extends further up than down.
+func serverCheck(client *http.Client, targets, before []string, endpoint string, rep Report) (*ServerCheck, error) {
+	name := "layoutd_request_duration_seconds"
+	match := map[string]string{"endpoint": strings.TrimPrefix(strings.ReplaceAll(endpoint, "/", "-"), "-v1-")}
+	var merged telemetry.HistogramSnapshot
+	for i, t := range targets {
+		after, err := scrape(client, t)
+		if err != nil {
+			return nil, fmt.Errorf("post-run scrape of %s: %w", t, err)
+		}
+		snapA, ok := telemetry.ParseHistogram(after, name, match)
+		if !ok {
+			return nil, fmt.Errorf("%s exposes no %s{endpoint=%q} histogram", t, name, match["endpoint"])
+		}
+		if snapB, ok := telemetry.ParseHistogram(before[i], name, match); ok {
+			if err := snapA.Subtract(snapB); err != nil {
+				return nil, fmt.Errorf("delta for %s: %w", t, err)
+			}
+		}
+		if err := merged.Merge(snapA); err != nil {
+			return nil, fmt.Errorf("merging %s: %w", t, err)
+		}
+	}
+	sc := &ServerCheck{Endpoint: match["endpoint"], Count: merged.Count}
+	sc.P50Sec = merged.Quantile(0.50)
+	sc.P99Sec = merged.Quantile(0.99)
+	lo50, hi50 := merged.QuantileBucket(0.50)
+	lo99, hi99 := merged.QuantileBucket(0.99)
+	sc.P50BucketSec = [2]float64{lo50, hi50}
+	sc.P99BucketSec = [2]float64{lo99, hi99}
+	agree := func(clientQ, lo, hi float64) bool {
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return false
+		}
+		// Within the bucket = as much agreement as histogram resolution can
+		// attest; 2× above its top + 2ms absorbs loopback and client-side
+		// queueing, half its bottom absorbs scrape-window skew.
+		return clientQ >= lo*0.5 && clientQ <= hi*2+0.002
+	}
+	sc.AgreeP50 = agree(rep.ClientP50Sec, lo50, hi50)
+	sc.AgreeP99 = agree(rep.ClientP99Sec, lo99, hi99)
+	return sc, nil
+}
+
+func assert(rep *Report, o options) {
+	if o.assertNo5xx && (rep.Status5xx > 0 || rep.TransportErrors > 0) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"wanted zero 5xx/transport failures, got %d/%d", rep.Status5xx, rep.TransportErrors))
+	}
+	if o.assertNo5xx && rep.Status2xx == 0 {
+		// A run where nothing succeeded proves nothing about availability —
+		// e.g. a workload generator bug turning every request into a 400.
+		rep.Violations = append(rep.Violations, "no successful (2xx) responses")
+	}
+	if o.maxP99 > 0 && rep.ClientP99Sec > o.maxP99.Seconds() {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"client p99 %.1fms over the %s cap", rep.ClientP99Sec*1e3, o.maxP99))
+	}
+	if o.checkServer && rep.Server != nil && rep.Status2xx > 0 {
+		if !rep.Server.AgreeP50 || !rep.Server.AgreeP99 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"client/server percentile disagreement: client p50 %.2fms vs server bucket [%.2f, %.2f]ms, p99 %.2fms vs [%.2f, %.2f]ms",
+				rep.ClientP50Sec*1e3, rep.Server.P50BucketSec[0]*1e3, rep.Server.P50BucketSec[1]*1e3,
+				rep.ClientP99Sec*1e3, rep.Server.P99BucketSec[0]*1e3, rep.Server.P99BucketSec[1]*1e3))
+		}
+	}
+}

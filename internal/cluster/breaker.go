@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Peer-breaker defaults: forwarding failures are cheap to detect (a refused
+// connection returns in microseconds), so the threshold is low and the
+// cooldown short — a dead peer costs at most a few failed dials before
+// every request falls back to the local decision path.
+const (
+	// DefaultBreakerThreshold is how many consecutive peer failures trip
+	// that peer's breaker open.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long an open peer breaker rejects
+	// forwards before admitting a half-open probe.
+	DefaultBreakerCooldown = 5 * time.Second
+)
+
+// breakerState is a peer breaker's position, mirroring the serve-layer
+// measurement breaker (PR 4): closed forwards normally, open fails fast to
+// the local fallback, half-open admits a single probe request.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker guarding one peer's
+// forwarding path. Same semantics as serve.Breaker: trip after threshold
+// consecutive failures, cool down, admit one probe, close on its success.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	opens    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a forward may be attempted now. An allowed caller
+// must report the outcome with success or failure (there is no cancel path:
+// every forward attempt either reaches the peer or errors).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker. Caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// currentState reports the position, advancing open→half-open once the
+// cooldown has lapsed so metrics reflect that a probe would be admitted.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return b.state
+}
+
+func (b *breaker) openCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClientBreakerFailsFastAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(ClientOptions{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+	ctx := context.Background()
+	// Two 5xx responses trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Post(ctx, srv.URL, "/x", "self", nil); err == nil {
+			t.Fatal("5xx did not error")
+		}
+	}
+	if st := c.PeerState(srv.URL); st != "open" {
+		t.Fatalf("breaker %s after threshold failures", st)
+	}
+	before := hits.Load()
+	if _, _, err := c.Post(ctx, srv.URL, "/x", "self", nil); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("open breaker returned %v, want ErrPeerDown", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker still dialed the peer")
+	}
+	// After the cooldown a probe goes through; success closes the breaker.
+	failing.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	status, _, err := c.Post(ctx, srv.URL, "/x", "self", nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("probe: status %d err %v", status, err)
+	}
+	if st := c.PeerState(srv.URL); st != "closed" {
+		t.Fatalf("breaker %s after successful probe", st)
+	}
+	if c.PeerOpens(srv.URL) != 1 {
+		t.Fatalf("opens %d, want 1", c.PeerOpens(srv.URL))
+	}
+}
+
+func TestClientPostSetsForwardedHeader(t *testing.T) {
+	var gotHeader, gotBody string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(ForwardedHeader)
+		buf := make([]byte, 64)
+		n, _ := r.Body.Read(buf)
+		gotBody = string(buf[:n])
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"nope"}`))
+	}))
+	defer srv.Close()
+	c := NewClient(ClientOptions{})
+	status, data, err := c.Post(context.Background(), srv.URL, "/v1/schedule", "n1", []byte(`{"a":1}`))
+	if err != nil {
+		t.Fatalf("4xx must not error (it is the request's fault): %v", err)
+	}
+	if status != http.StatusBadRequest || !strings.Contains(string(data), "nope") {
+		t.Fatalf("status %d body %q", status, data)
+	}
+	if gotHeader != "n1" || gotBody != `{"a":1}` {
+		t.Fatalf("header %q body %q", gotHeader, gotBody)
+	}
+	if st := c.PeerState(srv.URL); st != "closed" {
+		t.Fatalf("4xx moved the breaker to %s", st)
+	}
+}
+
+func TestClientTransportErrorCounts(t *testing.T) {
+	c := NewClient(ClientOptions{BreakerThreshold: 1, Timeout: 200 * time.Millisecond})
+	// Unroutable port: connection refused.
+	if _, _, err := c.Post(context.Background(), "http://127.0.0.1:1", "/x", "", nil); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if st := c.PeerState("http://127.0.0.1:1"); st != "open" {
+		t.Fatalf("breaker %s after dial failure with threshold 1", st)
+	}
+}

@@ -1,0 +1,60 @@
+// Package cluster turns a set of layoutd daemons into one horizontal
+// scheduling service: a consistent-hash ring (virtual nodes, stable FNV-1a
+// hashing over the quantized shape-class key the serving cache already
+// uses) routes each shape class to an owning peer, a keepalive HTTP client
+// with per-peer circuit breakers forwards requests to that owner with local
+// fallback when it is unreachable, and a bounded asynchronous replicator
+// gossips decision-cache entries and tuning-history records to the ring
+// successor so a peer death loses at most the not-yet-flushed tail.
+//
+// The package is transport and policy only — it never interprets the
+// payloads it moves. The serve layer owns the decision and history wire
+// forms and mounts the /v1/cluster/* endpoints this package talks to.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Member is one layoutd node in the ring: a stable identity and the base
+// URL its HTTP API answers on.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"` // base URL, e.g. http://10.0.0.7:8723
+}
+
+// ParseMembers parses the -peers flag form: a comma-separated list of
+// id=addr pairs, e.g. "n1=http://h1:8723,n2=http://h2:8723". IDs must be
+// unique and non-empty; addresses must carry a scheme.
+func ParseMembers(spec string) ([]Member, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty peer spec")
+	}
+	seen := make(map[string]bool)
+	var out []Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=addr", part)
+		}
+		if !strings.Contains(addr, "://") {
+			return nil, fmt.Errorf("cluster: peer %q: address needs a scheme, e.g. http://host:port", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		out = append(out, Member{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer spec")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

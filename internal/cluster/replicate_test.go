@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// twoNodeRing builds a ring of the local node plus one peer answering at
+// the test server's URL, so the successor of "self" is always the peer.
+func twoNodeRing(peerAddr string) *Ring {
+	return NewRing(16,
+		Member{ID: "self", Addr: "http://unused.invalid"},
+		Member{ID: "peer", Addr: peerAddr},
+	)
+}
+
+func TestReplicatorGossipsBatches(t *testing.T) {
+	var mu sync.Mutex
+	var got []ReplEntry
+	var froms []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != ReplicatePath {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		var p ReplicatePayload
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		mu.Lock()
+		got = append(got, p.Entries...)
+		froms = append(froms, p.From, r.Header.Get(ForwardedHeader))
+		mu.Unlock()
+		json.NewEncoder(w).Encode(ReplicateResponse{Applied: len(p.Entries)})
+	}))
+	defer srv.Close()
+
+	repl := NewReplicator(twoNodeRing(srv.URL), NewClient(ClientOptions{}), "self",
+		ReplicatorOptions{BatchSize: 4, Interval: 10 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if !repl.Enqueue(ReplEntry{Kind: KindDecision, Key: "k", Payload: json.RawMessage(`{}`)}) {
+			t.Fatal("enqueue rejected with room in the queue")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip delivered %d/10 entries", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	repl.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range froms {
+		if f != "self" {
+			t.Fatalf("payload/header From = %q, want self", f)
+		}
+	}
+	st := repl.Stats()
+	if st.Enqueued != 10 || st.Sent != 10 || st.Dropped != 0 || st.Batches < 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestReplicatorDropsWhenFull(t *testing.T) {
+	// No server: the flush loop will fail, but Enqueue behavior is what is
+	// under test. A tiny queue with a slow interval fills immediately.
+	repl := NewReplicator(twoNodeRing("http://127.0.0.1:1"), NewClient(ClientOptions{}), "self",
+		ReplicatorOptions{QueueSize: 2, BatchSize: 64, Interval: time.Hour})
+	defer repl.Stop()
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if repl.Enqueue(ReplEntry{Kind: KindHistory}) {
+			accepted++
+		}
+	}
+	st := repl.Stats()
+	if accepted != 2 || st.Dropped != 8 {
+		t.Fatalf("accepted %d dropped %d, want 2/8", accepted, st.Dropped)
+	}
+}
+
+func TestReplicatorStopFlushes(t *testing.T) {
+	var mu sync.Mutex
+	delivered := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var p ReplicatePayload
+		json.NewDecoder(r.Body).Decode(&p)
+		mu.Lock()
+		delivered += len(p.Entries)
+		mu.Unlock()
+		json.NewEncoder(w).Encode(ReplicateResponse{Applied: len(p.Entries)})
+	}))
+	defer srv.Close()
+	repl := NewReplicator(twoNodeRing(srv.URL), NewClient(ClientOptions{}), "self",
+		ReplicatorOptions{BatchSize: 64, Interval: time.Hour})
+	for i := 0; i < 5; i++ {
+		repl.Enqueue(ReplEntry{Kind: KindDecision, Key: "k"})
+	}
+	repl.Stop() // interval never fires; Stop must flush
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 5 {
+		t.Fatalf("Stop flushed %d/5 entries", delivered)
+	}
+}
+
+func TestReplicatorSingleNodeNoop(t *testing.T) {
+	ring := NewRing(16, Member{ID: "self", Addr: "http://unused.invalid"})
+	repl := NewReplicator(ring, NewClient(ClientOptions{}), "self",
+		ReplicatorOptions{BatchSize: 2, Interval: 5 * time.Millisecond})
+	repl.Enqueue(ReplEntry{Kind: KindDecision})
+	time.Sleep(20 * time.Millisecond)
+	repl.Stop()
+	if st := repl.Stats(); st.Errors != 0 || st.Sent != 0 {
+		t.Fatalf("single-node gossip stats %+v, want all zero sends/errors", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/sparse"
@@ -62,6 +63,12 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+	}
+	if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) != "" {
+		// A ring peer already routed this batch here; every item decides
+		// locally so routing can never loop.
+		r = r.WithContext(withForwarded(r.Context()))
+		s.forwardedServed.Add(1)
 	}
 	// One trace for the whole batch: every item's scheduling spans nest
 	// under it, so a slow batch can be read as one tree.
@@ -128,7 +135,7 @@ func (s *Server) scheduleItemInner(ctx context.Context, sc *batchScratch, req *B
 		}
 		policy = p
 	}
-	if policy == core.PolicyPredict && s.cfg.Predictor == nil {
+	if policy == core.PolicyPredict && !s.predictor.Loaded() {
 		return BatchItemResult{Error: "predict policy needs a trained model (start layoutd with -predictor)"}
 	}
 	switch {
@@ -192,6 +199,12 @@ func (s *Server) scheduleItemData(ctx context.Context, sc *batchScratch, item *S
 	}
 
 	sc.key = AppendKey(sc.key[:0], feats, policy.String(), s.cfg.TopK)
+	if m, owned := s.routeOwner(ctx, sc.key); owned {
+		if res, answered := s.forwardItem(ctx, item, policy, m); answered {
+			return res
+		}
+		s.forwardFallbacks.Add(1)
+	}
 	val, outcome, err := s.decideInline(ctx, s.sched(policy), sc.b, feats, policy, sc.key)
 	if err != nil {
 		return BatchItemResult{Error: err.Error()}

@@ -198,6 +198,32 @@ func (c *Cache) Get(key []byte) (*CachedDecision, bool) {
 	return e.val, true
 }
 
+// Peek reports whether key has a live entry, without counting a hit or
+// touching the LRU order. The cluster router uses it to keep shape classes
+// that replication already landed here local instead of forwarding them.
+func (c *Cache) Peek(key []byte) bool {
+	sh := c.shards[fnvSum32(key)%uint32(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[string(key)]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*lruEntry)
+	return e.expires.IsZero() || c.now().Before(e.expires)
+}
+
+// Put inserts a decision directly, bypassing singleflight — the replication
+// receiver's path, where the value was computed by a peer. An in-flight
+// local computation for the same key is left alone: its result overwrites
+// this one, which is the fresher of the two.
+func (c *Cache) Put(key string, val *CachedDecision) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	c.insertLocked(sh, key, val)
+	sh.mu.Unlock()
+}
+
 // Do returns the decision for key, computing it with fn on a miss. The
 // outcome reports how the value was obtained: "hit" (cached), "dedup"
 // (another goroutine was already computing it; this call waited and shared

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// This file is the serve side of the cluster subsystem (internal/cluster):
+// shape-class routing over the consistent-hash ring, the gossip and model
+// endpoints peers talk to, and the atomically swappable predictor that
+// makes hot model distribution safe under live traffic.
+//
+// Routing contract: a request whose shape-class key is owned by a remote
+// peer is forwarded there (one hop — forwarded requests carry a marker and
+// are always decided locally by the receiver), and any forwarding failure
+// falls back to the local decision path. A peer death therefore degrades
+// locality, never availability: the local node still answers, and its
+// breaker-guarded client stops dialing the dead peer after a few failures.
+
+// ctxForwarded marks a request context as already routed by a peer.
+type ctxForwarded struct{}
+
+func withForwarded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxForwarded{}, true)
+}
+
+func isForwarded(ctx context.Context) bool {
+	v, _ := ctx.Value(ctxForwarded{}).(bool)
+	return v
+}
+
+// decisionWire is the replicated form of a decision-cache entry. The cache
+// key it rides under is the v2 quantized shape-class key, so schema drift
+// between releases can never alias entries. Measurement evidence stays on
+// the owner: the successor only needs the verdict to answer after a
+// failover.
+type decisionWire struct {
+	Candidate  string  `json:"candidate"` // sparse.Candidate string form
+	Source     string  `json:"source"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// historyWire is the replicated form of one tuning-history record: the nine
+// Table IV parameters plus the chosen joint candidate. The receiver re-runs
+// dataset.Embed, so embedded-space drift between binaries cannot corrupt a
+// peer's history.
+type historyWire struct {
+	Features  FeaturesJSON `json:"features"`
+	Candidate string       `json:"candidate"`
+}
+
+// ModelPushRequest is the /v1/cluster/model body: a trained predictor in
+// its JSON wire form. Propagate makes the receiving node fan the model out
+// to every other ring member (with propagate off, so the fan-out is one
+// level deep and cannot echo).
+type ModelPushRequest struct {
+	Model     json.RawMessage `json:"model"`
+	Propagate bool            `json:"propagate,omitempty"`
+}
+
+// ModelPushResponse acknowledges a model push.
+type ModelPushResponse struct {
+	Swapped    bool `json:"swapped"`
+	Propagated int  `json:"propagated"`
+}
+
+// predictorSwap is an atomically swappable format predictor: the schedulers
+// and handlers hold one stable pointer for the server's lifetime while
+// /v1/cluster/model replaces the model underneath with a single atomic
+// store. It implements both predictor interfaces; an empty swap (no model
+// loaded yet) answers ok=false, which every caller already treats as
+// "measure instead".
+type predictorSwap struct {
+	v     atomic.Pointer[predictorBox]
+	swaps atomic.Int64
+}
+
+type predictorBox struct{ inner core.FormatPredictor }
+
+func newPredictorSwap(p core.FormatPredictor) *predictorSwap {
+	s := &predictorSwap{}
+	s.v.Store(&predictorBox{inner: p})
+	return s
+}
+
+func (s *predictorSwap) swap(p core.FormatPredictor) {
+	s.v.Store(&predictorBox{inner: p})
+	s.swaps.Add(1)
+}
+
+// Loaded reports whether a model is present.
+func (s *predictorSwap) Loaded() bool { return s.v.Load().inner != nil }
+
+// PredictFormat implements core.FormatPredictor.
+func (s *predictorSwap) PredictFormat(f dataset.Features) (sparse.Format, float64, bool) {
+	p := s.v.Load().inner
+	if p == nil {
+		return 0, 0, false
+	}
+	return p.PredictFormat(f)
+}
+
+// PredictCandidate implements core.CandidatePredictor, degrading a
+// format-only model to the format's base candidate — exactly what the
+// scheduler's own format-only branch does.
+func (s *predictorSwap) PredictCandidate(f dataset.Features) (sparse.Candidate, float64, bool) {
+	p := s.v.Load().inner
+	if p == nil {
+		return sparse.Candidate{}, 0, false
+	}
+	if cp, ok := p.(core.CandidatePredictor); ok {
+		return cp.PredictCandidate(f)
+	}
+	fm, conf, ok := p.PredictFormat(f)
+	return sparse.BaseCandidate(fm), conf, ok
+}
+
+// forwardSchedule relays one schedule request to its ring owner and writes
+// the peer's response through. It reports false — caller decides locally —
+// on any transport failure, open peer breaker, or peer 5xx.
+func (s *Server) forwardSchedule(ctx context.Context, w http.ResponseWriter, req *ScheduleRequest, policy core.Policy, m cluster.Member) bool {
+	fwd := *req
+	if fwd.Policy == "" {
+		// The request may have inherited the server default policy; pin it so
+		// the peer resolves identically.
+		fwd.Policy = policy.String()
+	}
+	body, err := json.Marshal(&fwd)
+	if err != nil {
+		return false
+	}
+	fctx, sp := telemetry.StartSpan(ctx, "cluster.forward",
+		telemetry.String("peer", m.ID))
+	status, data, err := s.cluster.Forward(fctx, m, "/v1/schedule", body)
+	if err != nil {
+		sp.EndErr(err)
+		return false
+	}
+	sp.Annotate(telemetry.Int("status", status))
+	sp.End()
+	if status == http.StatusTooManyRequests {
+		// The owner's admission control said back off; the Retry-After
+		// contract must survive the relay.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	return true
+}
+
+// forwardItem is forwardSchedule for one batch item: the owner answers a
+// single-item /v1/schedule call, and the result lands back in the item's
+// slot. ok=false means the caller should decide the item locally.
+func (s *Server) forwardItem(ctx context.Context, item *ScheduleRequest, policy core.Policy, m cluster.Member) (BatchItemResult, bool) {
+	fwd := *item
+	if fwd.Policy == "" {
+		// The item may have inherited its policy from the batch envelope or
+		// the server default; pin it so the peer resolves identically.
+		fwd.Policy = policy.String()
+	}
+	body, err := json.Marshal(&fwd)
+	if err != nil {
+		return BatchItemResult{}, false
+	}
+	fctx, sp := telemetry.StartSpan(ctx, "cluster.forward",
+		telemetry.String("peer", m.ID))
+	status, data, err := s.cluster.Forward(fctx, m, "/v1/schedule", body)
+	if err != nil {
+		sp.EndErr(err)
+		return BatchItemResult{}, false
+	}
+	sp.Annotate(telemetry.Int("status", status))
+	sp.End()
+	if status == http.StatusOK {
+		var resp ScheduleResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return BatchItemResult{}, false
+		}
+		return BatchItemResult{Decision: &resp.Decision}, true
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+		return BatchItemResult{Error: fmt.Sprintf("peer %s returned %d", m.ID, status)}, true
+	}
+	return BatchItemResult{Error: er.Error}, true
+}
+
+// routeOwner reports the remote owner a not-locally-cached shape class
+// should be forwarded to, or ok=false when the request must be decided
+// here: clustering off, request already forwarded once, or the local node
+// owns the key.
+func (s *Server) routeOwner(ctx context.Context, key []byte) (cluster.Member, bool) {
+	if s.cluster == nil || isForwarded(ctx) {
+		return cluster.Member{}, false
+	}
+	if s.cache.Peek(key) {
+		// Replication (or an earlier fallback) already landed this shape
+		// class locally; answering from the local cache beats a network hop.
+		return cluster.Member{}, false
+	}
+	return s.cluster.Route(key)
+}
+
+// replicateDecision queues a freshly computed decision (and, when it was
+// measured, the history record behind it) for async gossip to the ring
+// successor. Degraded decisions are not replicated: they are short-TTL
+// placeholders, not evidence.
+func (s *Server) replicateDecision(key []byte, feats dataset.Features, val *CachedDecision) {
+	if s.cluster == nil || val.Degraded {
+		return
+	}
+	payload, err := json.Marshal(decisionWire{
+		Candidate:  val.Candidate.String(),
+		Source:     val.Source,
+		Confidence: val.Confidence,
+	})
+	if err != nil {
+		return
+	}
+	s.cluster.Replicate(cluster.ReplEntry{Kind: cluster.KindDecision, Key: string(key), Payload: payload})
+	if val.Source == "measured" {
+		hp, err := json.Marshal(historyWire{
+			Features:  NewFeaturesJSON(feats),
+			Candidate: val.Candidate.String(),
+		})
+		if err == nil {
+			s.cluster.Replicate(cluster.ReplEntry{Kind: cluster.KindHistory, Payload: hp})
+		}
+	}
+}
+
+// handleClusterReplicate applies a gossip batch from a ring peer: decision
+// entries land in the decision cache under their shape-class key, history
+// entries in the tuning history. Entries that fail to parse are skipped
+// individually — gossip is best-effort in both directions.
+func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusServiceUnavailable, "clustering disabled (start layoutd with -peers)")
+		return
+	}
+	var payload cluster.ReplicatePayload
+	if !decodeBody(w, r, &payload) {
+		return
+	}
+	applied, skipped := 0, 0
+	for _, e := range payload.Entries {
+		switch e.Kind {
+		case cluster.KindDecision:
+			var dw decisionWire
+			if err := json.Unmarshal(e.Payload, &dw); err != nil || e.Key == "" {
+				skipped++
+				continue
+			}
+			c, err := sparse.ParseCandidate(dw.Candidate)
+			if err != nil {
+				skipped++
+				continue
+			}
+			s.cache.Put(e.Key, &CachedDecision{
+				Candidate: c, Format: c.Format,
+				Source: dw.Source, Confidence: dw.Confidence,
+			})
+			applied++
+		case cluster.KindHistory:
+			var hw historyWire
+			if err := json.Unmarshal(e.Payload, &hw); err != nil {
+				skipped++
+				continue
+			}
+			c, err := sparse.ParseCandidate(hw.Candidate)
+			if err != nil {
+				skipped++
+				continue
+			}
+			feats := hw.Features.Features()
+			if feats.M <= 0 || feats.N <= 0 {
+				skipped++
+				continue
+			}
+			s.cfg.History.RecordCandidate(feats, c)
+			applied++
+		default:
+			skipped++
+		}
+	}
+	s.replApplied.Add(int64(applied))
+	s.replSkipped.Add(int64(skipped))
+	s.logger.Debug("replication batch applied",
+		"from", payload.From, "applied", applied, "skipped", skipped)
+	writeJSON(w, http.StatusOK, cluster.ReplicateResponse{Applied: applied, Skipped: skipped})
+}
+
+// handleClusterModel hot-swaps the format predictor from a pushed model and
+// optionally fans it out across the ring. The swap is atomic: in-flight
+// decisions finish on the model they started with, the next decision sees
+// the new one, and a model that fails validation leaves the old model
+// serving.
+func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ModelLoader == nil {
+		writeError(w, http.StatusServiceUnavailable, "model distribution disabled (no model loader configured)")
+		return
+	}
+	var req ModelPushRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Model) == 0 {
+		writeError(w, http.StatusBadRequest, "model is empty")
+		return
+	}
+	p, err := s.cfg.ModelLoader(req.Model)
+	if err != nil {
+		s.modelSwapErrors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("rejected model: %v", err))
+		return
+	}
+	s.predictor.swap(p)
+	s.logger.Info("predictor hot-swapped", "from", r.Header.Get(cluster.ForwardedHeader))
+	propagated := 0
+	if req.Propagate && s.cluster != nil {
+		body, err := json.Marshal(ModelPushRequest{Model: req.Model})
+		if err == nil {
+			propagated = s.cluster.BroadcastModel(r.Context(), body)
+		}
+	}
+	writeJSON(w, http.StatusOK, ModelPushResponse{Swapped: true, Propagated: propagated})
+}
+
+// registerClusterMetrics hangs the cluster series on the registry; called
+// from registerMetrics only when clustering is enabled.
+func (s *Server) registerClusterMetrics() {
+	reg := s.metrics.reg
+	iv := func(fn func() int64) func() float64 {
+		return func() float64 { return float64(fn()) }
+	}
+	reg.CounterFunc("layoutd_cluster_forward_fallbacks_total",
+		"Forwards that failed and were answered by the local decision path instead.",
+		iv(s.forwardFallbacks.Load))
+	reg.CounterFunc("layoutd_cluster_forwarded_served_total",
+		"Requests decided here that arrived forwarded from a peer (this node owns their shape class).",
+		iv(s.forwardedServed.Load))
+	reg.CounterFunc("layoutd_cluster_replication_applied_total",
+		"Gossip entries applied into the local cache or history.", iv(s.replApplied.Load))
+	reg.CounterFunc("layoutd_cluster_replication_skipped_total",
+		"Gossip entries skipped (unparseable or unknown kind).", iv(s.replSkipped.Load))
+	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
+		return s.cluster.MetricFamilies("layoutd")
+	}))
+}

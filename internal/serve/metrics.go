@@ -7,10 +7,13 @@ import (
 	"repro/internal/telemetry"
 )
 
-// requestBuckets are the request-latency histogram upper bounds in seconds,
-// carrying over the old fixed-bucket registry's 1ms/10ms/100ms/1s bounds
-// (+Inf implicit).
-var requestBuckets = []float64{0.001, 0.01, 0.1, 1}
+// requestBuckets are the request-latency histogram upper bounds in seconds:
+// 50µs to ~1.6s log₂-spaced (+Inf implicit). Cache-hit schedule requests
+// land well under a millisecond, so the old 1ms/10ms/100ms/1s bounds put
+// nearly all traffic in the first bucket and left histogram_quantile with
+// nothing to interpolate — too coarse for loadgen's client/server
+// percentile cross-check.
+var requestBuckets = telemetry.ExpBuckets(5e-5, 2, 16)
 
 // decisionBuckets span 100µs to ~1.6s log₂-spaced: fresh schedule decisions
 // range from near-instant history/predictor answers to multi-candidate

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
@@ -95,6 +96,18 @@ type Config struct {
 	// TraceCapacity sizes the ring buffer of completed decision traces that
 	// GET /v1/trace/{id} serves from. 0 = telemetry.DefaultTraceCapacity.
 	TraceCapacity int
+
+	// Cluster, when non-nil, scales the server out: schedule requests whose
+	// shape class another ring member owns are forwarded there (falling back
+	// to the local decision path if the peer is unreachable), fresh decisions
+	// gossip to the ring successor, and /v1/cluster/* peer endpoints are
+	// served. nil runs single-node, with zero overhead on the decision path.
+	Cluster *cluster.Peers
+	// ModelLoader parses a pushed predictor model (the /v1/cluster/model
+	// body's model field) into a usable predictor; nil disables model
+	// distribution. Kept a function so serve stays decoupled from the model
+	// encoding (layoutd plugs in the learn package's decoder).
+	ModelLoader func([]byte) (core.FormatPredictor, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +155,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 
+	// predictor wraps cfg.Predictor so /v1/cluster/model can hot-swap the
+	// model under live traffic; schedulers and handlers only ever see this
+	// stable pointer.
+	predictor *predictorSwap
+	cluster   *cluster.Peers // nil when running single-node
+
 	measurements atomic.Int64 // scheduler runs that actually measured
 	degraded     atomic.Int64 // decisions served without measurement under failure
 	panics       atomic.Int64 // handler panics recovered into 500s
@@ -149,6 +168,12 @@ type Server struct {
 	predictorHits      atomic.Int64 // decisions answered by the predictor
 	predictorFallbacks atomic.Int64 // predict-policy runs that measured instead
 	predictorConfMilli atomic.Int64 // sum of hit confidences ×1000, for the mean
+
+	forwardFallbacks atomic.Int64 // failed forwards answered locally instead
+	forwardedServed  atomic.Int64 // schedule requests that arrived forwarded from a peer
+	replApplied      atomic.Int64 // gossip entries applied into cache/history
+	replSkipped      atomic.Int64 // gossip entries skipped as unparseable
+	modelSwapErrors  atomic.Int64 // pushed models rejected by the loader
 }
 
 // NewServer creates a Server from cfg.
@@ -159,20 +184,26 @@ func NewServer(cfg Config) *Server {
 		cache.degradedTTL = cfg.DegradedTTL
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache,
-		metrics: newServerMetrics(),
-		traces:  telemetry.NewTraceStore(cfg.TraceCapacity),
-		logger:  cfg.Logger,
-		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		sem:     make(chan struct{}, cfg.MaxInflight),
+		cfg:       cfg,
+		cache:     cache,
+		metrics:   newServerMetrics(),
+		traces:    telemetry.NewTraceStore(cfg.TraceCapacity),
+		logger:    cfg.Logger,
+		breaker:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		predictor: newPredictorSwap(cfg.Predictor),
+		cluster:   cfg.Cluster,
 	}
 	for _, p := range []core.Policy{core.RuleBased, core.Empirical, core.Hybrid, core.PolicyPredict} {
 		s.scheds[p] = core.New(core.Config{
 			Policy: p, Exec: cfg.Exec,
 			TrialRows: cfg.TrialRows, Repeats: cfg.Repeats,
 			TopK: cfg.TopK, Seed: cfg.Seed, History: cfg.History,
-			Predictor: cfg.Predictor, MinConfidence: cfg.MinConfidence,
+			// The swap wrapper, not cfg.Predictor: a pushed model must reach
+			// the shared schedulers without rebuilding them. With no model
+			// loaded it predicts ok=false, which the scheduler treats as
+			// "measure instead".
+			Predictor: s.predictor, MinConfidence: cfg.MinConfidence,
 		})
 	}
 	s.registerMetrics()
@@ -206,11 +237,16 @@ func (s *Server) registerMetrics() {
 	reg.GaugeFunc("layoutd_predictor_loaded",
 		"Whether a trained format predictor is loaded (0 or 1).",
 		func() float64 {
-			if s.cfg.Predictor != nil {
+			if s.predictor.Loaded() {
 				return 1
 			}
 			return 0
 		})
+	reg.CounterFunc("layoutd_model_swaps_total",
+		"Predictor models hot-swapped in via /v1/cluster/model.",
+		iv(s.predictor.swaps.Load))
+	reg.CounterFunc("layoutd_model_swap_errors_total",
+		"Pushed predictor models rejected by the loader.", iv(s.modelSwapErrors.Load))
 	reg.CounterFunc("layoutd_predictor_hits_total",
 		"Decisions answered by the trained predictor without measurement.", iv(s.predictorHits.Load))
 	reg.CounterFunc("layoutd_predictor_fallbacks_total",
@@ -255,6 +291,9 @@ func (s *Server) registerMetrics() {
 	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
 		return fault.MetricFamilies("layoutd")
 	}))
+	if s.cluster != nil {
+		s.registerClusterMetrics()
+	}
 	telemetry.RegisterProcessMetrics(reg, "layoutd")
 }
 
@@ -309,11 +348,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.route("predict", http.MethodPost, s.handlePredict))
 	mux.HandleFunc("/v1/predict-format", s.route("predict-format", http.MethodPost, s.handlePredictFormat))
 	mux.HandleFunc("/v1/trace/", s.route("trace", http.MethodGet, s.handleTrace))
+	mux.HandleFunc(cluster.ReplicatePath, s.route("cluster-replicate", http.MethodPost, s.handleClusterReplicate))
+	mux.HandleFunc(cluster.ModelPath, s.route("cluster-model", http.MethodPost, s.handleClusterModel))
 	mux.HandleFunc("/healthz", s.route("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
 	// Pre-register every route's series so the first scrape already shows
 	// zero-valued counters for endpoints that have seen no traffic.
-	for _, name := range []string{"schedule", "schedule-batch", "predict", "predict-format", "trace", "healthz", "metrics"} {
+	for _, name := range []string{"schedule", "schedule-batch", "predict", "predict-format", "trace", "cluster-replicate", "cluster-model", "healthz", "metrics"} {
 		s.metrics.endpoint(name)
 	}
 	return mux
@@ -448,9 +489,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		policy = p
 	}
-	if policy == core.PolicyPredict && s.cfg.Predictor == nil {
+	if policy == core.PolicyPredict && !s.predictor.Loaded() {
 		writeError(w, http.StatusBadRequest, "predict policy needs a trained model (start layoutd with -predictor)")
 		return
+	}
+	if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) != "" {
+		// A ring peer already routed this request here; decide locally no
+		// matter what the ring says, so routing can never loop.
+		r = r.WithContext(withForwarded(r.Context()))
+		s.forwardedServed.Add(1)
 	}
 	// Every schedule request gets a decision trace; the completed span tree
 	// is retrievable at /v1/trace/{id} with the trace_id from the response.
@@ -575,6 +622,15 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 	}
 
 	key := AppendKey(nil, feats, policy.String(), s.cfg.TopK)
+	if m, owned := s.routeOwner(r.Context(), key); owned {
+		if s.forwardSchedule(r.Context(), w, &req, policy, m) {
+			return
+		}
+		// Owner unreachable: locality is lost but availability is not — the
+		// local decision path answers, exactly as if clustering were off.
+		s.forwardFallbacks.Add(1)
+		trace = append(trace, fmt.Sprintf("cluster: owner %s unreachable, deciding locally", m.ID))
+	}
 	val, outcome, err := s.decideInline(r.Context(), sched, b, feats, policy, key)
 	if err != nil {
 		writeScheduleError(w, err)
@@ -727,6 +783,11 @@ func (s *Server) decideInline(ctx context.Context, sched *core.Scheduler, b *spa
 		csp.Annotate(telemetry.String("outcome", outcome), telemetry.String("source", val.Source))
 		csp.End()
 	}
+	if outcome == "miss" {
+		// Only the computing leader replicates, so one fresh decision gossips
+		// once no matter how many requests deduplicated onto it.
+		s.replicateDecision(key, feats, val)
+	}
 	return val, outcome, nil
 }
 
@@ -776,16 +837,10 @@ func (s *Server) degrade(feats dataset.Features) (val *CachedDecision) {
 	if c, ok := s.cfg.History.Lookup(feats, core.DefaultHistoryRadius); ok {
 		return &CachedDecision{Candidate: c, Format: c.Format, Source: "history", Degraded: true}
 	}
-	if s.cfg.Predictor != nil {
-		// Joint-space predictors degrade to a full candidate; format-only
-		// ones to the predicted format's base candidate.
-		if cp, joint := s.cfg.Predictor.(core.CandidatePredictor); joint {
-			if c, conf, ok := cp.PredictCandidate(feats); ok {
-				return &CachedDecision{Candidate: c, Format: c.Format, Source: "predictor", Confidence: conf, Degraded: true}
-			}
-		} else if f, conf, ok := s.cfg.Predictor.PredictFormat(feats); ok {
-			return &CachedDecision{Candidate: sparse.BaseCandidate(f), Format: f, Source: "predictor", Confidence: conf, Degraded: true}
-		}
+	// The swap degrades joint-space predictors to a full candidate and
+	// format-only ones to the predicted format's base candidate.
+	if c, conf, ok := s.predictor.PredictCandidate(feats); ok {
+		return &CachedDecision{Candidate: c, Format: c.Format, Source: "predictor", Confidence: conf, Degraded: true}
 	}
 	f := core.EstimateCosts(feats)[0].Format
 	return &CachedDecision{Candidate: sparse.BaseCandidate(f), Format: f, Source: "model", Degraded: true}
@@ -872,7 +927,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // confidence. Unlike /v1/schedule with the predict policy, it never falls
 // back to measurement, so it is safe to hammer — no admission control.
 func (s *Server) handlePredictFormat(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Predictor == nil {
+	if !s.predictor.Loaded() {
 		writeError(w, http.StatusServiceUnavailable, "no format predictor loaded (start layoutd with -predictor)")
 		return
 	}
@@ -912,7 +967,7 @@ func (s *Server) handlePredictFormat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "give a profile or inline LIBSVM data")
 		return
 	}
-	f, conf, ok := s.cfg.Predictor.PredictFormat(feats)
+	f, conf, ok := s.predictor.PredictFormat(feats)
 	if !ok {
 		writeError(w, http.StatusServiceUnavailable, "predictor has no answer (empty model)")
 		return

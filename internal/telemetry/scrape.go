@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is a parsed exposition histogram: cumulative bucket
+// counts by ascending upper bound (the +Inf bucket last), plus the _sum and
+// _count samples. Snapshots from several scrapes of the same family — e.g.
+// one per cluster node — can be merged with Merge and interrogated with
+// Quantile, which is how cmd/loadgen cross-checks its client-side
+// percentiles against the servers' own latency histograms.
+type HistogramSnapshot struct {
+	Bounds []float64 // ascending upper bounds; last is +Inf
+	Counts []float64 // cumulative counts, parallel to Bounds
+	Sum    float64
+	Count  float64
+}
+
+// ParseHistogram extracts one histogram family from Prometheus text
+// exposition output, keeping only series whose labels include every pair in
+// match (pass nil to accept all series of the family; multiple matching
+// series are summed). It returns ok=false when no matching bucket line was
+// found.
+func ParseHistogram(text, name string, match map[string]string) (HistogramSnapshot, bool) {
+	var snap HistogramSnapshot
+	byBound := make(map[float64]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, value, ok := splitSample(line)
+		if !ok {
+			continue
+		}
+		base, labels := splitMetricLabels(metric)
+		switch base {
+		case name + "_bucket":
+			if !labelsMatch(labels, match) {
+				continue
+			}
+			ub, err := parseBound(labels["le"])
+			if err != nil {
+				continue
+			}
+			byBound[ub] += value
+		case name + "_sum":
+			if labelsMatch(labels, match) {
+				snap.Sum += value
+			}
+		case name + "_count":
+			if labelsMatch(labels, match) {
+				snap.Count += value
+			}
+		}
+	}
+	if len(byBound) == 0 {
+		return HistogramSnapshot{}, false
+	}
+	for ub := range byBound {
+		snap.Bounds = append(snap.Bounds, ub)
+	}
+	sort.Float64s(snap.Bounds)
+	snap.Counts = make([]float64, len(snap.Bounds))
+	for i, ub := range snap.Bounds {
+		snap.Counts[i] = byBound[ub]
+	}
+	return snap, true
+}
+
+// splitSample separates "name{labels} value" (or "name value") into the
+// metric part and its float value.
+func splitSample(line string) (string, float64, bool) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return strings.TrimSpace(line[:i]), v, true
+}
+
+// splitMetricLabels separates a metric name from its label map. Label
+// values are the exposition-escaped forms; the escapes this module writes
+// (backslash, quote, newline) are reversed.
+func splitMetricLabels(metric string) (string, map[string]string) {
+	open := strings.IndexByte(metric, '{')
+	if open < 0 {
+		return metric, nil
+	}
+	name := metric[:open]
+	body := strings.TrimSuffix(metric[open+1:], "}")
+	labels := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			break
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		body = rest[i:]
+		body = strings.TrimPrefix(body, `"`)
+		body = strings.TrimPrefix(body, ",")
+	}
+	return name, labels
+}
+
+func labelsMatch(labels, match map[string]string) bool {
+	for k, v := range match {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func parseBound(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Merge adds other's counts into the snapshot; the bucket layouts must
+// agree (same family scraped from identically configured servers).
+func (h *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(h.Bounds) == 0 {
+		*h = other
+		return nil
+	}
+	if len(other.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("telemetry: merging histograms with %d vs %d buckets", len(other.Bounds), len(h.Bounds))
+	}
+	for i, b := range other.Bounds {
+		if b != h.Bounds[i] {
+			return fmt.Errorf("telemetry: bucket bound mismatch at %d: %g vs %g", i, b, h.Bounds[i])
+		}
+		h.Counts[i] += other.Counts[i]
+	}
+	h.Sum += other.Sum
+	h.Count += other.Count
+	return nil
+}
+
+// Subtract removes an earlier snapshot's counts, leaving the observations
+// made between the two scrapes — the delta a load run attributes to itself.
+// The bucket layouts must agree.
+func (h *HistogramSnapshot) Subtract(earlier HistogramSnapshot) error {
+	if len(earlier.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("telemetry: subtracting histogram with %d vs %d buckets", len(earlier.Bounds), len(h.Bounds))
+	}
+	for i, b := range earlier.Bounds {
+		if b != h.Bounds[i] {
+			return fmt.Errorf("telemetry: bucket bound mismatch at %d: %g vs %g", i, b, h.Bounds[i])
+		}
+		h.Counts[i] -= earlier.Counts[i]
+		if h.Counts[i] < 0 {
+			h.Counts[i] = 0 // counter reset between scrapes
+		}
+	}
+	h.Sum = math.Max(h.Sum-earlier.Sum, 0)
+	h.Count = math.Max(h.Count-earlier.Count, 0)
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) the way PromQL's
+// histogram_quantile does: find the bucket where the cumulative count
+// crosses rank = q·total and interpolate linearly inside it. Observations
+// in the +Inf bucket degrade to the highest finite bound. It returns NaN
+// for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	n := len(h.Bounds)
+	if n == 0 || h.Counts[n-1] == 0 {
+		return math.NaN()
+	}
+	total := h.Counts[n-1]
+	rank := q * total
+	i := sort.Search(n, func(i int) bool { return h.Counts[i] >= rank })
+	if i >= n-1 && math.IsInf(h.Bounds[n-1], 1) {
+		// Rank lands in +Inf: the best point estimate is the last finite bound.
+		if n >= 2 {
+			return h.Bounds[n-2]
+		}
+		return math.NaN()
+	}
+	lo, cumLo := 0.0, 0.0
+	if i > 0 {
+		lo, cumLo = h.Bounds[i-1], h.Counts[i-1]
+	}
+	hi, cumHi := h.Bounds[i], h.Counts[i]
+	if cumHi == cumLo {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-cumLo)/(cumHi-cumLo)
+}
+
+// QuantileBucket returns the [lower, upper) bucket bounds that contain the
+// q-quantile — the resolution limit of the estimate, which agreement checks
+// should use as their tolerance.
+func (h HistogramSnapshot) QuantileBucket(q float64) (lo, hi float64) {
+	n := len(h.Bounds)
+	if n == 0 || h.Counts[n-1] == 0 {
+		return math.NaN(), math.NaN()
+	}
+	rank := q * h.Counts[n-1]
+	i := sort.Search(n, func(i int) bool { return h.Counts[i] >= rank })
+	if i > 0 {
+		lo = h.Bounds[i-1]
+	}
+	if i < n {
+		hi = h.Bounds[i]
+	} else {
+		hi = math.Inf(1)
+	}
+	return lo, hi
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const scrapeFixture = `# HELP layoutd_request_duration_seconds Handler latency in seconds, by endpoint.
+# TYPE layoutd_request_duration_seconds histogram
+layoutd_request_duration_seconds_bucket{endpoint="schedule",le="0.001"} 10
+layoutd_request_duration_seconds_bucket{endpoint="schedule",le="0.01"} 70
+layoutd_request_duration_seconds_bucket{endpoint="schedule",le="0.1"} 95
+layoutd_request_duration_seconds_bucket{endpoint="schedule",le="1"} 100
+layoutd_request_duration_seconds_bucket{endpoint="schedule",le="+Inf"} 100
+layoutd_request_duration_seconds_sum{endpoint="schedule"} 1.25
+layoutd_request_duration_seconds_count{endpoint="schedule"} 100
+layoutd_request_duration_seconds_bucket{endpoint="healthz",le="0.001"} 500
+layoutd_request_duration_seconds_bucket{endpoint="healthz",le="0.01"} 500
+layoutd_request_duration_seconds_bucket{endpoint="healthz",le="0.1"} 500
+layoutd_request_duration_seconds_bucket{endpoint="healthz",le="1"} 500
+layoutd_request_duration_seconds_bucket{endpoint="healthz",le="+Inf"} 500
+layoutd_request_duration_seconds_sum{endpoint="healthz"} 0.05
+layoutd_request_duration_seconds_count{endpoint="healthz"} 500
+other_metric 42
+`
+
+func TestParseHistogramFiltersByLabel(t *testing.T) {
+	snap, ok := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds",
+		map[string]string{"endpoint": "schedule"})
+	if !ok {
+		t.Fatal("family not found")
+	}
+	if snap.Count != 100 || snap.Sum != 1.25 {
+		t.Fatalf("count %g sum %g", snap.Count, snap.Sum)
+	}
+	if len(snap.Bounds) != 5 || !math.IsInf(snap.Bounds[4], 1) {
+		t.Fatalf("bounds %v", snap.Bounds)
+	}
+	if snap.Counts[1] != 70 {
+		t.Fatalf("cumulative counts %v", snap.Counts)
+	}
+	if _, ok := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds",
+		map[string]string{"endpoint": "missing"}); ok {
+		t.Fatal("matched a non-existent label value")
+	}
+	if _, ok := ParseHistogram(scrapeFixture, "no_such_family", nil); ok {
+		t.Fatal("matched a non-existent family")
+	}
+}
+
+func TestParseHistogramSumsSeries(t *testing.T) {
+	snap, ok := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds", nil)
+	if !ok {
+		t.Fatal("family not found")
+	}
+	if snap.Count != 600 {
+		t.Fatalf("summed count %g, want 600", snap.Count)
+	}
+	if snap.Counts[0] != 510 {
+		t.Fatalf("summed first bucket %g, want 510", snap.Counts[0])
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	snap, _ := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds",
+		map[string]string{"endpoint": "schedule"})
+	// p50: rank 50 lands in the (0.001, 0.01] bucket holding ranks 11..70.
+	// Interpolated: 0.001 + 0.009*(50-10)/60 = 0.007.
+	if got := snap.Quantile(0.5); math.Abs(got-0.007) > 1e-9 {
+		t.Fatalf("p50 = %g, want 0.007", got)
+	}
+	// p99: rank 99 lands in the (0.1, 1] bucket.
+	if got := snap.Quantile(0.99); got <= 0.1 || got > 1 {
+		t.Fatalf("p99 = %g, want in (0.1, 1]", got)
+	}
+	lo, hi := snap.QuantileBucket(0.5)
+	if lo != 0.001 || hi != 0.01 {
+		t.Fatalf("p50 bucket [%g, %g], want [0.001, 0.01]", lo, hi)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+	// All observations in +Inf: estimate degrades to the last finite bound.
+	inf := HistogramSnapshot{Bounds: []float64{0.1, math.Inf(1)}, Counts: []float64{0, 10}, Count: 10}
+	if got := inf.Quantile(0.99); got != 0.1 {
+		t.Fatalf("all-inf p99 = %g, want 0.1", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds",
+		map[string]string{"endpoint": "schedule"})
+	b, _ := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds",
+		map[string]string{"endpoint": "schedule"})
+	var m HistogramSnapshot
+	if err := m.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 200 || m.Counts[0] != 20 {
+		t.Fatalf("merged count %g first bucket %g", m.Count, m.Counts[0])
+	}
+	bad := HistogramSnapshot{Bounds: []float64{1}, Counts: []float64{1}}
+	if err := m.Merge(bad); err == nil {
+		t.Fatal("merged mismatched layouts")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a, _ := ParseHistogram(scrapeFixture, "layoutd_request_duration_seconds",
+		map[string]string{"endpoint": "schedule"})
+	later := a
+	later.Counts = append([]float64(nil), a.Counts...)
+	for i := range later.Counts {
+		later.Counts[i] += 40
+	}
+	later.Count += 40
+	later.Sum += 1
+	if err := later.Subtract(a); err != nil {
+		t.Fatal(err)
+	}
+	if later.Count != 40 || later.Counts[0] != 40 || later.Sum != 1 {
+		t.Fatalf("delta %+v", later)
+	}
+	bad := HistogramSnapshot{Bounds: []float64{1}, Counts: []float64{1}}
+	if err := later.Subtract(bad); err == nil {
+		t.Fatal("subtracted mismatched layouts")
+	}
+}
+
+// TestParseHistogramRoundTrip parses what the registry itself writes, so
+// the scraper and the exposition writer cannot drift apart.
+func TestParseHistogramRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rt_seconds", "round trip", []float64{0.01, 0.1}, L("endpoint", "x"))
+	for _, v := range []float64{0.005, 0.05, 0.5, 0.05} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := ParseHistogram(sb.String(), "rt_seconds", map[string]string{"endpoint": "x"})
+	if !ok {
+		t.Fatalf("family not found in:\n%s", sb.String())
+	}
+	if snap.Count != 4 || snap.Counts[0] != 1 || snap.Counts[1] != 3 || snap.Counts[2] != 4 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh — end-to-end smoke of the clustered daemon under load.
+#
+# Boots a 3-node layoutd ring on localhost, drives closed-loop traffic at
+# it with cmd/loadgen, and fails if any request came back 5xx (or failed
+# in transport) or if the client p99 blows past a generous bound. The
+# loadgen JSON report lands on stdout so CI logs keep the numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT1=${PORT1:-18731}
+PORT2=${PORT2:-18732}
+PORT3=${PORT3:-18733}
+DURATION=${DURATION:-5s}
+BIN=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/layoutd" ./cmd/layoutd
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+PEERS="n1=http://127.0.0.1:$PORT1,n2=http://127.0.0.1:$PORT2,n3=http://127.0.0.1:$PORT3"
+for i in 1 2 3; do
+    port_var="PORT$i"
+    "$BIN/layoutd" -addr "127.0.0.1:${!port_var}" -peers "$PEERS" -node-id "n$i" \
+        -log-level warn &
+done
+
+# Wait for all three /healthz endpoints.
+for i in 1 2 3; do
+    port_var="PORT$i"
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:${!port_var}/healthz" >/dev/null 2>&1; then
+            continue 2
+        fi
+        sleep 0.2
+    done
+    echo "node n$i never became healthy" >&2
+    exit 1
+done
+
+"$BIN/loadgen" \
+    -targets "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2,http://127.0.0.1:$PORT3" \
+    -mode closed -concurrency 8 -classes 32 -warmup 1s -duration "$DURATION" \
+    -assert-zero-5xx -max-p99 2s
