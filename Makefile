@@ -16,7 +16,7 @@
 #   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
 GO ?= go
-RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/... ./internal/cluster/...
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/spgemm/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/... ./internal/cluster/...
 CHAOS_PKGS := ./internal/parallel ./internal/core ./internal/serve
 FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
@@ -46,6 +46,7 @@ chaos:
 fuzz:
 	$(GO) test -fuzz '^FuzzParseLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -fuzz '^FuzzScheduleRequest$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -fuzz '^FuzzSpGEMM$$' -fuzztime $(FUZZTIME) ./internal/spgemm
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// compareRow is one matched benchmark in a diff: the old and new timings
+// and the ratio new/old.
+type compareRow struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64
+	Regres bool
+}
+
+// compareDocs matches benchmarks by name (procs-insensitive: the name field
+// already excludes the -N suffix) and flags every row whose ns/op grew by
+// more than the tolerance factor. Benchmarks present on only one side are
+// reported in the returned slices but never counted as regressions — a
+// renamed or new benchmark is not a slowdown.
+func compareDocs(old, cur []Benchmark, tolerance float64) (rows []compareRow, onlyOld, onlyNew []string) {
+	prev := make(map[string]Benchmark, len(old))
+	for _, b := range old {
+		prev[b.Name] = b
+	}
+	seen := make(map[string]bool, len(cur))
+	for _, b := range cur {
+		seen[b.Name] = true
+		o, ok := prev[b.Name]
+		if !ok {
+			onlyNew = append(onlyNew, b.Name)
+			continue
+		}
+		r := compareRow{Name: b.Name, OldNs: o.NsPerOp, NewNs: b.NsPerOp}
+		if o.NsPerOp > 0 {
+			r.Ratio = b.NsPerOp / o.NsPerOp
+			r.Regres = r.Ratio > tolerance
+		}
+		rows = append(rows, r)
+	}
+	for _, b := range old {
+		if !seen[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Ratio > rows[j].Ratio })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}
+
+func loadDoc(path string) (Document, error) {
+	var doc Document
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != Schema {
+		return doc, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, Schema)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return doc, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc, nil
+}
+
+// compareCmd diffs two benchjson documents and fails (exit 1) when any
+// benchmark regressed beyond the noise tolerance. Machine differences make
+// absolute ns/op incomparable across hosts, so the tolerance is a ratio and
+// the default is generous; CI runs this as a soft gate.
+func compareCmd(args []string, w io.Writer) (regressions int, err error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(w)
+	tolerance := fs.Float64("tolerance", 1.30, "ns/op growth ratio above which a benchmark counts as regressed")
+	fs.Usage = func() {
+		fmt.Fprintln(w, "usage: benchjson compare [-tolerance 1.30] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 0, fmt.Errorf("give exactly two benchjson documents, got %d args", fs.NArg())
+	}
+	if *tolerance <= 0 {
+		return 0, fmt.Errorf("-tolerance must be positive, got %g", *tolerance)
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+	rows, onlyOld, onlyNew := compareDocs(oldDoc.Benchmarks, newDoc.Benchmarks, *tolerance)
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("no common benchmarks between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	for _, r := range rows {
+		mark := " "
+		if r.Regres {
+			mark = "!"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-60s %12.1f -> %12.1f ns/op  %.3fx\n", mark, r.Name, r.OldNs, r.NewNs, r.Ratio)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "- %s (only in %s)\n", name, fs.Arg(0))
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "+ %s (only in %s)\n", name, fs.Arg(1))
+	}
+	fmt.Fprintf(w, "%d/%d benchmarks regressed beyond %.2fx\n", regressions, len(rows), *tolerance)
+	return regressions, nil
+}

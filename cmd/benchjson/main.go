@@ -11,6 +11,11 @@
 //
 // With -baseline, the previous document's benchmarks are embedded under
 // "baseline" so one file carries the before/after pair.
+//
+// The compare subcommand diffs two documents and exits non-zero when any
+// benchmark's ns/op grew beyond the -tolerance ratio (new/old):
+//
+//	benchjson compare -tolerance 1.30 BENCH_prev.json BENCH.json
 package main
 
 import (
@@ -89,6 +94,16 @@ func parse(lines *bufio.Scanner) ([]Benchmark, error) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		regressions, err := compareCmd(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	out := flag.String("out", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson document to embed under \"baseline\"")
 	flag.Parse()

@@ -26,6 +26,10 @@
 //	POST /v1/schedule/batch    {"items": [<schedule bodies>...]} — up to
 //	                           -max-batch items decided in one round trip,
 //	                           sharing one trace and the pooled hot path
+//	POST /v1/schedule/spgemm   {"a": "<libsvm rows>", "b": "<libsvm rows>"} —
+//	                           pick a SpGEMM dataflow × format pair for A×B
+//	                           (-spgemm-history persists its pair history,
+//	                           -spgemm-predictor arms its predict policy)
 //	POST /v1/predict           {"rows": ["1:0.5 3:1.2", ...]}
 //	POST /v1/predict-format    {"data": "<libsvm rows>"} or {"profile": {...}}
 //	POST /v1/cluster/replicate gossip batches from ring peers
@@ -68,6 +72,8 @@ type options struct {
 	histPath      string
 	modelPath     string
 	predictorPath string
+	pairHistPath  string
+	pairPredPath  string
 	minConfidence float64
 	maxInflight   int
 	maxBatch      int
@@ -98,6 +104,8 @@ func main() {
 	flag.StringVar(&o.histPath, "history", "", "tuning-history file: loaded at startup, saved on shutdown")
 	flag.StringVar(&o.modelPath, "model", "", "trained SVM model file served by /v1/predict")
 	flag.StringVar(&o.predictorPath, "predictor", "", "trained format-predictor file (from `layoutsched train`) served by /v1/predict-format and the predict policy")
+	flag.StringVar(&o.pairHistPath, "spgemm-history", "", "SpGEMM pair tuning-history file: loaded at startup, saved on shutdown")
+	flag.StringVar(&o.pairPredPath, "spgemm-predictor", "", "trained pair-predictor file (from `layoutsched train-spgemm`) serving the predict policy on /v1/schedule/spgemm")
 	flag.Float64Var(&o.minConfidence, "min-confidence", 0, "predictor confidence below which decisions fall back to measurement (0 = default)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 4, "concurrent measurement slots; excess requests get 429")
 	flag.IntVar(&o.maxBatch, "max-batch", serve.MaxBatchItems, "items allowed per /v1/schedule/batch request")
@@ -149,6 +157,9 @@ func run(o options) error {
 	if o.peers == "" && o.nodeID != "" {
 		return fmt.Errorf("-node-id %q given without -peers", o.nodeID)
 	}
+	if o.vnodes < 0 {
+		return fmt.Errorf("-vnodes must not be negative, got %d (0 = default)", o.vnodes)
+	}
 	if o.faults != "" {
 		reg, err := fault.Parse(o.faults, o.faultSeed)
 		if err != nil {
@@ -194,6 +205,25 @@ func run(o options) error {
 	if p == core.PolicyPredict && predictor == nil {
 		return fmt.Errorf("policy predict needs -predictor")
 	}
+	pairHist := &core.PairHistory{}
+	if o.pairHistPath != "" {
+		h, err := loadPairHistory(o.pairHistPath)
+		if err != nil {
+			return err
+		}
+		pairHist = h
+		logger.Info("loaded pair tuning history", "entries", pairHist.Len(), "path", o.pairHistPath)
+	}
+	var pairPredictor *learn.PairForest
+	if o.pairPredPath != "" {
+		f, err := learn.LoadPairFile(o.pairPredPath)
+		if err != nil {
+			return err
+		}
+		pairPredictor = f
+		logger.Info("loaded pair predictor",
+			"trees", pairPredictor.Trees(), "trained_on", pairPredictor.TrainedOn(), "path", o.pairPredPath)
+	}
 	// Cluster mode: every node is started with the same -peers list and its
 	// own -node-id; the consistent-hash ring then gives all nodes one view of
 	// which node owns each shape class.
@@ -221,6 +251,7 @@ func run(o options) error {
 
 	cfg := serve.Config{
 		Policy: p, Exec: ex, Stats: &exec.Stats{}, History: hist, Model: model,
+		PairHistory:   pairHist,
 		MinConfidence: o.minConfidence,
 		TrialRows:     o.trialRows, TopK: o.topK, Seed: o.seed,
 		MaxInflight: o.maxInflight, MaxBatch: o.maxBatch,
@@ -240,6 +271,9 @@ func run(o options) error {
 	}
 	if predictor != nil {
 		cfg.Predictor = predictor
+	}
+	if pairPredictor != nil {
+		cfg.PairPredictor = pairPredictor
 	}
 	s := serve.NewServer(cfg)
 	handler := http.Handler(s.Handler())
@@ -306,7 +340,39 @@ func run(o options) error {
 		}
 		logger.Info("saved tuning history", "entries", s.History().Len(), "path", o.histPath)
 	}
+	if o.pairHistPath != "" {
+		if err := savePairHistory(o.pairHistPath, s.PairHistory()); err != nil {
+			return fmt.Errorf("saving pair history: %w", err)
+		}
+		logger.Info("saved pair tuning history", "entries", s.PairHistory().Len(), "path", o.pairHistPath)
+	}
 	return nil
+}
+
+// loadPairHistory reads an existing SpGEMM pair-history file; a missing
+// file starts empty.
+func loadPairHistory(path string) (*core.PairHistory, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &core.PairHistory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadPairHistory(f)
+}
+
+func savePairHistory(path string, h *core.PairHistory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadHistory(path string) (*core.History, error) {

@@ -40,6 +40,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"malformed peers", func(o *options) {
 			o.peers, o.nodeID = "n1@h:1", "n1"
 		}, "peer"},
+		{"negative vnodes", func(o *options) { o.vnodes = -8 }, "-vnodes"},
+		{"negative vnodes with peers", func(o *options) {
+			o.peers, o.nodeID, o.vnodes = "n1=http://h:1,n2=http://h:2", "n1", -1
+		}, "-vnodes"},
+		{"missing spgemm predictor", func(o *options) {
+			o.pairPredPath = "/nonexistent/spgemm-model.json"
+		}, "spgemm-model.json"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

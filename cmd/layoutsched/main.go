@@ -19,6 +19,14 @@
 //	layoutsched train -synthetic 80 -out model.json
 //	layoutsched train -history tuning.hist -data 'corpus/*.libsvm' -out model.json
 //	layoutsched eval -model model.json -synthetic 40
+//
+// The spgemm subcommand family decides a dataflow × format pair for a
+// sparse matrix product A×B instead of a storage format for one dataset:
+//
+//	layoutsched spgemm a.libsvm b.libsvm           # choose a SpGEMM dataflow
+//	layoutsched spgemm -policy predict -predictor spgemm-model.json a.libsvm b.libsvm
+//	layoutsched train-spgemm -synthetic 60 -out spgemm-model.json
+//	layoutsched eval-spgemm -model spgemm-model.json -synthetic 40
 package main
 
 import (
@@ -51,6 +59,21 @@ func main() {
 			return
 		case "eval":
 			if err := evalCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "spgemm":
+			if err := spgemmCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "train-spgemm":
+			if err := trainSpGEMMCmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		case "eval-spgemm":
+			if err := evalSpGEMMCmd(os.Args[2:]); err != nil {
 				fatal(err)
 			}
 			return

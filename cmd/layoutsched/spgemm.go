@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/learn"
+	"repro/internal/serve"
+	"repro/internal/spgemm"
+	"repro/internal/telemetry"
+)
+
+// spgemmCmd decides a dataflow × format-pair candidate for one A×B sparse
+// matrix product: the SpGEMM twin of the default SMSV schedule mode.
+func spgemmCmd(args []string) error {
+	fs := flag.NewFlagSet("spgemm", flag.ExitOnError)
+	var (
+		policy   = fs.String("policy", "hybrid", "decision policy: rule-based, empirical, hybrid, predict")
+		workers  = fs.Int("workers", 0, "kernel workers (0 = all cores)")
+		seed     = fs.Int64("seed", 1, "measurement shuffle seed")
+		histPath = fs.String("history", "", "pair tuning-history file: decisions are reused for similar operand pairs and new ones appended")
+		predPath = fs.String("predictor", "", "trained pair-predictor file (required for -policy predict)")
+		minConf  = fs.Float64("min-confidence", 0, "predictor confidence below which the decision falls back to measurement (0 = default)")
+		jsonOut  = fs.Bool("json", false, "emit the decision as machine-readable JSON (the layoutd wire format) instead of tables")
+		traceOut = fs.Bool("trace", false, "print the decision's span tree to stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: layoutsched spgemm [flags] a.libsvm b.libsvm")
+		fmt.Fprintln(fs.Output(), "A's column count must equal B's row count (A is m×k, B is k×n).")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("give exactly two LIBSVM operand files, got %d args", fs.NArg())
+	}
+	a, err := loadMatrix(fs.Arg(0), "", *seed)
+	if err != nil {
+		return fmt.Errorf("operand A: %w", err)
+	}
+	b, err := loadMatrix(fs.Arg(1), "", *seed)
+	if err != nil {
+		return fmt.Errorf("operand B: %w", err)
+	}
+
+	pol := map[string]core.Policy{
+		"rule-based": core.RuleBased, "empirical": core.Empirical,
+		"hybrid": core.Hybrid, "predict": core.PolicyPredict,
+	}
+	p, ok := pol[*policy]
+	if !ok {
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	var hist *core.PairHistory
+	if *histPath != "" {
+		hist, err = loadPairHistory(*histPath)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := core.SpGEMMConfig{Policy: p, Seed: *seed, History: hist, MinConfidence: *minConf}
+	if *predPath != "" {
+		forest, err := learn.LoadPairFile(*predPath)
+		if err != nil {
+			return err
+		}
+		cfg.Predictor = forest
+	} else if p == core.PolicyPredict {
+		return fmt.Errorf("policy predict needs -predictor (train one with layoutsched train-spgemm)")
+	}
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+	cfg.Exec = ex
+	sched := core.NewSpGEMM(cfg)
+
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	var root *telemetry.Span
+	if *traceOut {
+		ctx, tr, root = telemetry.NewTrace(ctx, "layoutsched.spgemm",
+			telemetry.String("policy", *policy))
+	}
+	dec, err := sched.ChooseContext(ctx, a, b)
+	if tr != nil {
+		root.EndErr(err)
+		tr.Finish()
+		fmt.Fprint(os.Stderr, tr.Tree())
+	}
+	if err != nil {
+		return err
+	}
+	if hist != nil {
+		if err := savePairHistory(*histPath, hist); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		dj := serve.NewSpGEMMDecisionJSON(dec)
+		if tr != nil {
+			dj.TraceID = tr.ID
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(dj)
+	}
+
+	if hist != nil && dec.Reused {
+		fmt.Println("(decision reused from pair tuning history)")
+	}
+	if dec.Predicted {
+		fmt.Printf("(decision predicted by the trained pair model, confidence %.2f — no measurement)\n", dec.Confidence)
+	} else if p == core.PolicyPredict {
+		fmt.Printf("(pair predictor confidence %.2f below threshold: measured instead)\n", dec.Confidence)
+	}
+	fmt.Println("Operand influencing parameters (Table IV, per operand):")
+	fmt.Printf("  A: %v\n  B: %v\n", dec.AFeatures, dec.BFeatures)
+	fmt.Printf("  estimated output nnz %.0f", dec.EstimatedNNZ)
+	if dec.OutputNNZ > 0 {
+		fmt.Printf(" (exact from the chosen product: %d)", dec.OutputNNZ)
+	}
+	fmt.Println()
+	fmt.Println()
+	t := bench.NewTable("Dataflow cost model (ascending)", "candidate", "cost")
+	for _, e := range dec.Estimates {
+		t.Add(e.Candidate.String(), fmt.Sprintf("%.3g", e.Cost))
+	}
+	t.Render(os.Stdout)
+	if len(dec.Measured) > 0 {
+		fmt.Println()
+		mt := bench.NewTable("Measured product times", "candidate", "time")
+		cands := make([]spgemm.Candidate, 0, len(dec.Measured))
+		for c := range dec.Measured {
+			cands = append(cands, c)
+		}
+		sort.Slice(cands, func(i, j int) bool { return dec.Measured[cands[i]] < dec.Measured[cands[j]] })
+		for _, c := range cands {
+			mt.Add(c.String(), bench.FmtDur(dec.Measured[c]))
+		}
+		mt.Render(os.Stdout)
+	}
+	fmt.Printf("\nDecision (%v policy): run the %v dataflow with A in %v and B in %v format.\n",
+		dec.Policy, dec.Chosen.Dataflow, dec.Chosen.AFormat, dec.Chosen.BFormat)
+	return nil
+}
+
+// trainSpGEMMCmd fits a pair predictor from measurement-labeled operand
+// pairs: harvested pair history and/or a generated synthetic pair corpus.
+func trainSpGEMMCmd(args []string) error {
+	fs := flag.NewFlagSet("train-spgemm", flag.ExitOnError)
+	var (
+		histPath  = fs.String("history", "", "pair tuning-history file to harvest examples from")
+		synthetic = fs.Int("synthetic", 0, "generate and measure-label this many synthetic operand pairs")
+		out       = fs.String("out", "spgemm-model.json", "output model file")
+		trees     = fs.Int("trees", 0, "forest size (0 = default)")
+		depth     = fs.Int("depth", 0, "maximum tree depth (0 = default)")
+		seed      = fs.Int64("seed", 1, "corpus generation and measurement seed")
+		workers   = fs.Int("workers", 0, "kernel workers for measurement (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+
+	var examples []learn.PairExample
+	if *histPath != "" {
+		h, err := loadPairHistory(*histPath)
+		if err != nil {
+			return err
+		}
+		harvested := learn.FromPairHistory(h)
+		fmt.Printf("harvested %d examples from %s\n", len(harvested), *histPath)
+		examples = append(examples, harvested...)
+	}
+	if *synthetic > 0 {
+		corpus := learn.SyntheticPairCorpus(*synthetic, *seed)
+		measured, err := learn.MeasurePairAll(context.Background(), corpus, ex, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("measure-labeled %d operand pairs\n", len(measured))
+		examples = append(examples, learn.PairExamples(measured)...)
+	}
+	forest, err := learn.TrainPair(examples, learn.TrainConfig{Trees: *trees, MaxDepth: *depth, Seed: *seed})
+	if err != nil {
+		return fmt.Errorf("%w (give -history and/or -synthetic)", err)
+	}
+	if err := forest.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d trees on %d pair examples, saved to %s\n", forest.Trees(), forest.TrainedOn(), *out)
+	return nil
+}
+
+// evalSpGEMMCmd scores a trained pair predictor against a measured oracle
+// on a held-out synthetic pair corpus.
+func evalSpGEMMCmd(args []string) error {
+	fs := flag.NewFlagSet("eval-spgemm", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "spgemm-model.json", "trained pair model file")
+		synthetic = fs.Int("synthetic", 0, "evaluate on this many synthetic operand pairs")
+		seed      = fs.Int64("seed", 2, "corpus seed; keep it different from the training seed so the split is held out")
+		tolerance = fs.Float64("tolerance", 1.25, "slowdown-vs-oracle counted as acceptable")
+		minConf   = fs.Float64("min-confidence", core.DefaultMinConfidence, "confidence threshold for the low-confidence count")
+		workers   = fs.Int("workers", 0, "kernel workers for measurement (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	forest, err := learn.LoadPairFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	ex := exec.New(*workers, exec.Static)
+	defer ex.Close()
+	if *synthetic <= 0 {
+		return fmt.Errorf("nothing to evaluate: give -synthetic")
+	}
+	corpus := learn.SyntheticPairCorpus(*synthetic, *seed)
+	measured, err := learn.MeasurePairAll(context.Background(), corpus, ex, *seed)
+	if err != nil {
+		return err
+	}
+	res := learn.EvaluatePair(forest, measured, *tolerance, *minConf)
+	fmt.Println(res)
+	return nil
+}
+
+// loadPairHistory reads an existing pair-history file; a missing file
+// starts empty.
+func loadPairHistory(path string) (*core.PairHistory, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &core.PairHistory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadPairHistory(f)
+}
+
+func savePairHistory(path string, h *core.PairHistory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

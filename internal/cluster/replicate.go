@@ -16,11 +16,14 @@ const ReplicatePath = "/v1/cluster/replicate"
 const ModelPath = "/v1/cluster/model"
 
 // Replication entry kinds. The payloads are opaque to this package; the
-// serve layer defines the wire structs for both kinds (versioned with the
-// v2 decision/history key schema).
+// serve layer defines the wire structs for every kind (versioned with the
+// v2 decision/history key schema, and the p1 pair key schema for the
+// spgemm kinds).
 const (
-	KindDecision = "decision"
-	KindHistory  = "history"
+	KindDecision    = "decision"
+	KindHistory     = "history"
+	KindSpGEMM      = "spgemm-decision"
+	KindPairHistory = "spgemm-history"
 )
 
 // ReplEntry is one replicated record: a decision-cache entry (Key is the

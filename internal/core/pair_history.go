@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/spgemm"
+)
+
+// PairHistory is the SpGEMM twin of History: measured dataflow decisions
+// recorded as (pairwise embedded point → spgemm candidate), reused for
+// operand pairs whose shape classes land close enough. It lives in its own
+// embedded space (dataset.EmbedPair) because the single-matrix embedding is
+// pinned and cannot carry the interaction terms the dataflow choice hinges
+// on.
+type PairHistory struct {
+	mu      sync.Mutex
+	entries []pairHistoryEntry
+}
+
+type pairHistoryEntry struct {
+	point     [dataset.PairEmbedDims]float64
+	candidate spgemm.Candidate
+}
+
+// pairHistoryHeader is the versioned file header PairHistory.Save writes.
+// The "v1" tracks dataset.PairEmbedVersion: a new embedding needs a new
+// header so stale points are rejected rather than silently misread.
+const pairHistoryHeader = "#layoutsched-spgemm-history v1"
+
+func pairDist2(a, b [dataset.PairEmbedDims]float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// RecordCandidate stores a decided (pair features, candidate) entry.
+func (h *PairHistory) RecordCandidate(fa, fb dataset.Features, c spgemm.Candidate) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.entries = append(h.entries, pairHistoryEntry{point: dataset.EmbedPair(fa, fb), candidate: c})
+}
+
+// Len reports the number of recorded decisions.
+func (h *PairHistory) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Lookup returns the candidate of the nearest recorded decision within
+// radius, or ok=false when nothing is close enough.
+func (h *PairHistory) Lookup(fa, fb dataset.Features, radius float64) (spgemm.Candidate, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := dataset.EmbedPair(fa, fb)
+	best := -1
+	bestD := radius * radius
+	for i := range h.entries {
+		if d := pairDist2(p, h.entries[i].point); d <= bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return spgemm.Candidate{}, false
+	}
+	return h.entries[best].candidate, true
+}
+
+// PairHistoryExample is one recorded decision in embedded form, the pair
+// forest's harvesting unit.
+type PairHistoryExample struct {
+	Point     [dataset.PairEmbedDims]float64
+	Candidate spgemm.Candidate
+}
+
+// Snapshot copies the recorded decisions; safe against concurrent Record.
+func (h *PairHistory) Snapshot() []PairHistoryExample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PairHistoryExample, len(h.entries))
+	for i, e := range h.entries {
+		out[i] = PairHistoryExample{Point: e.point, Candidate: e.candidate}
+	}
+	return out
+}
+
+// Save writes the v1 wire form: the version header, then one line per
+// entry: "<p0> ... <p11> <dataflow>/<AFORMAT>/<BFORMAT>".
+func (h *PairHistory) Save(w io.Writer) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, pairHistoryHeader)
+	for _, e := range h.entries {
+		for _, x := range e.point {
+			fmt.Fprintf(bw, "%.17g ", x)
+		}
+		fmt.Fprintln(bw, e.candidate)
+	}
+	return bw.Flush()
+}
+
+// LoadPairHistory reads a history written by Save. Unlike the SMSV history
+// there is no headerless legacy form: a missing or foreign header is an
+// error.
+func LoadPairHistory(r io.Reader) (*PairHistory, error) {
+	h := &PairHistory{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if lineNo == 1 && line == pairHistoryHeader {
+				sawHeader = true
+				continue
+			}
+			return nil, fmt.Errorf("core: pair history line %d: unsupported header %q (want %q)", lineNo, line, pairHistoryHeader)
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("core: pair history: missing %q header", pairHistoryHeader)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != dataset.PairEmbedDims+1 {
+			return nil, fmt.Errorf("core: pair history line %d: %d fields, want %d", lineNo, len(fields), dataset.PairEmbedDims+1)
+		}
+		var e pairHistoryEntry
+		for i := 0; i < dataset.PairEmbedDims; i++ {
+			x, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: pair history line %d field %d: %v", lineNo, i, err)
+			}
+			e.point[i] = x
+		}
+		c, err := spgemm.ParseCandidate(fields[dataset.PairEmbedDims])
+		if err != nil {
+			return nil, fmt.Errorf("core: pair history line %d: %v", lineNo, err)
+		}
+		e.candidate = c
+		h.entries = append(h.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import "math"
+
+// PairEmbedVersion stamps the pairwise embedding below. Pair histories and
+// pair models persist points from it, so any change to PairEmbedDims, the
+// dimension order, or the math is a format break: bump this constant and
+// the consumers' headers together (see the pin test in pair_test.go).
+const PairEmbedVersion = 1
+
+// PairEmbedDims is the dimensionality of the pairwise (A, B) embedding used
+// for SpGEMM dataflow scheduling. It is deliberately a separate space from
+// Embed/EmbedDims — the single-matrix embedding is pinned by existing
+// histories and models and must not grow.
+const PairEmbedDims = 12
+
+// PairEmbedNames names each pairwise dimension, in EmbedPair output order.
+var PairEmbedNames = [PairEmbedDims]string{
+	"a_aspect", "b_aspect", "log_annz", "log_bnnz",
+	"log_inner", "density_interaction", "log_est_nnz", "out_density10",
+	"a_skew", "b_skew", "reg_cross", "log_flops_proxy",
+}
+
+// EstimateOutputNNZ predicts nnz(A·B) from the operands' shape features
+// alone. Under independent uniform nonzero placement a product cell stays
+// empty with probability (1−dA·dB)^K, K the inner dimension, so
+//
+//	E[nnz] = M·N·(1 − (1−dA·dB)^K)
+//
+// This is the feature-level twin of spgemm.NNZUpperBound (which walks the
+// operands); it exists here so embeddings and cache keys can be computed
+// from features without the matrices in hand.
+func EstimateOutputNNZ(a, b Features) float64 {
+	if a.M <= 0 || a.N <= 0 || b.N <= 0 {
+		return 0
+	}
+	p := a.Density * b.Density
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return float64(a.M) * float64(b.N)
+	}
+	return float64(a.M) * float64(b.N) * (1 - math.Pow(1-p, float64(a.N)))
+}
+
+// EmbedPair maps an (A, B) operand pair into the normalized metric space
+// the SpGEMM scheduler's pair history and pair forest operate in. The
+// per-operand terms mirror Embed's conventions (log-scaled counts, ratios
+// against adim); the pairwise terms are what the single-matrix embedding
+// cannot express: the density interaction dA·dB·K (expected hits per output
+// cell), the estimated output size, a Gustavson flop proxy nnzA·nnzB/K,
+// and the row-regularity cross term that separates "both operands regular"
+// (ELL-friendly) from "either skewed".
+//
+// A's column count is taken as the inner dimension; callers are expected to
+// pass a conformable pair (a.N == b.M).
+func EmbedPair(a, b Features) [PairEmbedDims]float64 {
+	l := func(x float64) float64 { return math.Log1p(math.Max(x, 0)) }
+	skew := func(f Features) float64 {
+		if f.Adim <= 0 {
+			return 0
+		}
+		return l(float64(f.Mdim) / f.Adim)
+	}
+	reg := func(f Features) float64 {
+		if f.Adim <= 0 {
+			return 0
+		}
+		return l(f.Vdim / f.Adim)
+	}
+	k := float64(a.N)
+	est := EstimateOutputNNZ(a, b)
+	outDensity := 0.0
+	if cells := float64(a.M) * float64(b.N); cells > 0 {
+		outDensity = est / cells
+	}
+	flops := 0.0
+	if k > 0 {
+		flops = float64(a.NNZ) * float64(b.NNZ) / k
+	}
+	return [PairEmbedDims]float64{
+		l(float64(a.M)) - l(float64(a.N)), // a_aspect
+		l(float64(b.M)) - l(float64(b.N)), // b_aspect
+		l(float64(a.NNZ)),
+		l(float64(b.NNZ)),
+		l(k),
+		l(a.Density * b.Density * k), // density_interaction
+		l(est),
+		outDensity * 10,
+		skew(a),
+		skew(b),
+		reg(a) * reg(b), // reg_cross
+		l(flops),
+	}
+}

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEmbedPairPinned freezes the pairwise embedding bit-for-bit, the same
+// contract the single-matrix pin test enforces for Embed: pair histories
+// and pair models persist these points, so any drift here must come with a
+// PairEmbedVersion bump and a migration in the consumers. If this test
+// fails, that is the checklist — do not just update the numbers.
+func TestEmbedPairPinned(t *testing.T) {
+	a := Features{M: 100, N: 80, NNZ: 400, Ndig: 12, Dnnz: 0.3, Mdim: 20, Adim: 5, Vdim: 2.5, Density: 0.05}
+	b := Features{M: 80, N: 60, NNZ: 600, Ndig: 9, Dnnz: 0.4, Mdim: 30, Adim: 7.5, Vdim: 9, Density: 0.125}
+	want := [PairEmbedDims]float64{
+		0.22067136216882055,
+		0.28357529049912777,
+		5.9939614273065693,
+		6.3985949345352076,
+		4.3944491546724391,
+		0.40546510810816438,
+		7.7695989458579202,
+		3.9442026559783327,
+		1.6094379124341003,
+		1.6094379124341003,
+		0.31969194885877672,
+		8.006700845440367,
+	}
+	got := EmbedPair(a, b)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dim %d (%s) = %.17g, want %.17g", i, PairEmbedNames[i], got[i], want[i])
+		}
+	}
+	if PairEmbedVersion != 1 {
+		t.Errorf("PairEmbedVersion = %d; a bump requires migrating pair histories and models", PairEmbedVersion)
+	}
+	if len(PairEmbedNames) != PairEmbedDims {
+		t.Fatalf("PairEmbedNames has %d entries, want %d", len(PairEmbedNames), PairEmbedDims)
+	}
+}
+
+func TestEstimateOutputNNZ(t *testing.T) {
+	a := Features{M: 100, N: 80, Density: 0.05}
+	b := Features{M: 80, N: 60, Density: 0.125}
+	got := EstimateOutputNNZ(a, b)
+	if want := 2366.5215935869996; got != want {
+		t.Errorf("EstimateOutputNNZ = %.17g, want %.17g", got, want)
+	}
+	if got > 100*60 {
+		t.Error("estimate exceeds the dense cell count")
+	}
+	if EstimateOutputNNZ(Features{}, b) != 0 {
+		t.Error("empty A should estimate 0")
+	}
+	if EstimateOutputNNZ(Features{M: 10, N: 10, Density: 0}, b) != 0 {
+		t.Error("zero density should estimate 0")
+	}
+	full := EstimateOutputNNZ(
+		Features{M: 3, N: 5, Density: 1},
+		Features{M: 5, N: 4, Density: 1})
+	if full != 12 {
+		t.Errorf("dense×dense estimate = %g, want 12", full)
+	}
+}
+
+// TestEmbedPairFinite guards the embedding against NaN/Inf over degenerate
+// feature inputs (zero dims, zero adim, saturated density).
+func TestEmbedPairFinite(t *testing.T) {
+	cases := []Features{
+		{},
+		{M: 1, N: 1, NNZ: 1, Adim: 0, Density: 1},
+		{M: 1 << 30, N: 1 << 30, NNZ: 1 << 40, Mdim: 1 << 30, Adim: 1, Vdim: 1e18, Density: 1},
+	}
+	for _, fa := range cases {
+		for _, fb := range cases {
+			p := EmbedPair(fa, fb)
+			for i, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("EmbedPair(%+v, %+v) dim %d (%s) = %g", fa, fb, i, PairEmbedNames[i], v)
+				}
+			}
+		}
+	}
+}

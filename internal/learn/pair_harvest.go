@@ -1,0 +1,191 @@
+package learn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/sparse"
+	"repro/internal/spgemm"
+)
+
+// PairLabeled is a measurement-labeled operand pair: the training example
+// plus the raw features of both operands and the full per-candidate timing
+// evidence for regret scoring.
+type PairLabeled struct {
+	PairExample
+	AFeatures, BFeatures dataset.Features
+	Times                map[spgemm.Candidate]time.Duration
+}
+
+// MeasurePair labels one (A, B) pair by empirical measurement: every
+// supported dataflow candidate is built and timed and the fastest becomes
+// the label.
+func MeasurePair(ctx context.Context, a, b *sparse.Builder, ex *exec.Exec, seed int64) (PairLabeled, error) {
+	sched := core.NewSpGEMM(core.SpGEMMConfig{Policy: core.Empirical, Exec: ex, Seed: seed})
+	dec, err := sched.ChooseContext(ctx, a, b)
+	if err != nil {
+		return PairLabeled{}, err
+	}
+	times := make(map[spgemm.Candidate]time.Duration, len(dec.Measured))
+	for c, t := range dec.Measured {
+		times[c] = t
+	}
+	l := PairLabeled{
+		PairExample: FromPairFeatures(dec.AFeatures, dec.BFeatures, dec.Chosen),
+		AFeatures:   dec.AFeatures,
+		BFeatures:   dec.BFeatures,
+		Times:       times,
+	}
+	dec.Release()
+	return l, nil
+}
+
+// MeasurePairAll measure-labels a corpus of operand pairs.
+func MeasurePairAll(ctx context.Context, corpus [][2]*sparse.Builder, ex *exec.Exec, seed int64) ([]PairLabeled, error) {
+	out := make([]PairLabeled, 0, len(corpus))
+	for i, p := range corpus {
+		l, err := MeasurePair(ctx, p[0], p[1], ex, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("learn: labeling corpus pair %d: %w", i, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// PairExamples projects labeled pairs down to training examples.
+func PairExamples(items []PairLabeled) []PairExample {
+	out := make([]PairExample, len(items))
+	for i, it := range items {
+		out[i] = it.PairExample
+	}
+	return out
+}
+
+// FromPairHistory harvests a scheduler's pair history as training examples.
+func FromPairHistory(h *core.PairHistory) []PairExample {
+	snap := h.Snapshot()
+	out := make([]PairExample, len(snap))
+	for i, e := range snap {
+		out[i] = PairExample{Point: e.Point, Label: e.Candidate}
+	}
+	return out
+}
+
+// SyntheticPairCorpus generates n conformable (A: m×k, B: k×n) operand
+// pairs cycling structure families that separate the dataflows: sparse
+// uniform pairs (Gustavson territory), a dense-ish A against a hypersparse
+// B (outer-product friendly — few columns of A are ever touched), dense
+// pairs whose inner dimension dwarfs the output width (inner-product
+// viable — the all-cells probe is cheaper than hauling A's rows around),
+// skewed-row A against regular B (ELL-hostile A side), and banded pairs
+// (regular rows, ELL-friendly). Sizes are kept small: SpGEMM measurement
+// sweeps cost a full product per candidate.
+func SyntheticPairCorpus(n int, seed int64) [][2]*sparse.Builder {
+	rng := rand.New(rand.NewSource(seed))
+	uniform := func(r, c int, density float64) *sparse.Builder {
+		b := sparse.NewBuilder(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if rng.Float64() < density {
+					b.Add(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		if b.Len() == 0 {
+			b.Add(rng.Intn(r), rng.Intn(c), 1)
+		}
+		return b
+	}
+	out := make([][2]*sparse.Builder, 0, n)
+	for i := 0; len(out) < n; i++ {
+		var a, b *sparse.Builder
+		switch i % 5 {
+		case 0: // uniform sparse pair
+			m, k, c := 48+rng.Intn(48), 48+rng.Intn(48), 48+rng.Intn(48)
+			a, b = uniform(m, k, 0.02+0.05*rng.Float64()), uniform(k, c, 0.02+0.05*rng.Float64())
+		case 1: // dense-ish A × hypersparse B: outer-product friendly
+			m, k, c := 128+rng.Intn(128), 64+rng.Intn(32), 24+rng.Intn(24)
+			a = uniform(m, k, 0.1)
+			b = sparse.NewBuilder(k, c)
+			for e := 0; e < 8; e++ {
+				b.Add(rng.Intn(k), rng.Intn(c), rng.NormFloat64())
+			}
+		case 2: // dense pair, inner dim >> output width: inner product viable
+			m, k, c := 12+rng.Intn(12), 32+rng.Intn(32), 6+rng.Intn(6)
+			a, b = uniform(m, k, 0.7+0.25*rng.Float64()), uniform(k, c, 0.7+0.25*rng.Float64())
+		case 3: // skewed A (one long row) against a regular B
+			m, k, c := 64+rng.Intn(64), 64, 32+rng.Intn(32)
+			a = sparse.NewBuilder(m, k)
+			for j := 0; j < k; j++ {
+				a.Add(0, j, rng.NormFloat64())
+			}
+			for r := 1; r < m; r++ {
+				a.Add(r, rng.Intn(k), rng.NormFloat64())
+			}
+			b = uniform(k, c, 0.05)
+		case 4: // banded pair: uniform short rows on both sides
+			s := 48 + rng.Intn(64)
+			a = sparse.NewBuilder(s, s)
+			b = sparse.NewBuilder(s, s)
+			for r := 0; r < s; r++ {
+				for d := -1; d <= 1; d++ {
+					if j := r + d; j >= 0 && j < s {
+						a.Add(r, j, rng.NormFloat64())
+						b.Add(r, j, rng.NormFloat64())
+					}
+				}
+			}
+		}
+		out = append(out, [2]*sparse.Builder{a, b})
+	}
+	return out
+}
+
+// EvaluatePair scores the pair forest against measurement-labeled pairs,
+// with the same semantics as Evaluate (tolerance ≤ 0 means 1.25;
+// minConfidence only affects the LowConfidence count).
+func EvaluatePair(f *PairForest, items []PairLabeled, tolerance, minConfidence float64) EvalResult {
+	if tolerance <= 0 {
+		tolerance = 1.25
+	}
+	res := EvalResult{Tolerance: tolerance}
+	var slowdowns int
+	for _, it := range items {
+		pred, conf, ok := f.PredictPairPoint(it.Point)
+		if !ok {
+			continue
+		}
+		res.N++
+		res.MeanConfidence += conf
+		if conf < minConfidence {
+			res.LowConfidence++
+		}
+		if pred == it.Label {
+			res.Exact++
+		}
+		best, okBest := it.Times[it.Label]
+		got, okGot := it.Times[pred]
+		if !okBest || best <= 0 || !okGot {
+			continue
+		}
+		s := float64(got) / float64(best)
+		res.MeanSlowdown += s
+		slowdowns++
+		if s <= tolerance {
+			res.Within++
+		}
+	}
+	if res.N > 0 {
+		res.MeanConfidence /= float64(res.N)
+	}
+	if slowdowns > 0 {
+		res.MeanSlowdown /= float64(slowdowns)
+	}
+	return res
+}

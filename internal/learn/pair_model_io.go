@@ -1,0 +1,132 @@
+package learn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/spgemm"
+)
+
+// PairModelVersion versions the pair-forest serialization independently of
+// the SMSV ModelVersion: the two models live in different embedded spaces
+// and must never be loaded into each other. The Kind discriminator below
+// makes a cross-load a clean error even at matching version numbers.
+const PairModelVersion = 1
+
+// pairModelKind tags the file so a pair model handed to Load (or an SMSV
+// model handed to LoadPair) is rejected by content, not by filename.
+const pairModelKind = "spgemm-pair"
+
+type pairModelJSON struct {
+	Version int        `json:"version"`
+	Kind    string     `json:"kind"`
+	Dims    int        `json:"dims"`
+	Trained int        `json:"trained_examples"`
+	Trees   []treeJSON `json:"trees"`
+}
+
+// Save writes the pair forest as versioned JSON, reusing the flattened
+// node wire form of the SMSV model (labels are spgemm candidate strings).
+func (f *PairForest) Save(w io.Writer) error {
+	m := pairModelJSON{Version: PairModelVersion, Kind: pairModelKind, Dims: dataset.PairEmbedDims, Trained: f.trained}
+	for _, t := range f.trees {
+		tj := treeJSON{Nodes: make([]nodeJSON, len(t.nodes))}
+		for i, n := range t.nodes {
+			if n.feat < 0 {
+				tj.Nodes[i] = nodeJSON{Feat: -1, Label: n.label.String(), Purity: n.purity}
+			} else {
+				tj.Nodes[i] = nodeJSON{Feat: n.feat, Thresh: n.thresh, Left: n.left, Right: n.right}
+			}
+		}
+		m.Trees = append(m.Trees, tj)
+	}
+	return json.NewEncoder(w).Encode(m)
+}
+
+// LoadPair reads a pair forest saved by Save with the same structural
+// validation Load applies: version, kind, dimensionality, forward-pointing
+// children, parseable labels, purity range.
+func LoadPair(r io.Reader) (*PairForest, error) {
+	var m pairModelJSON
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("learn: corrupt pair model file: %w", err)
+	}
+	if m.Kind != pairModelKind {
+		return nil, fmt.Errorf("learn: model kind %q, want %q (this is not a SpGEMM pair model)", m.Kind, pairModelKind)
+	}
+	if m.Version != PairModelVersion {
+		return nil, fmt.Errorf("%w: pair model file has version %d, this build reads %d (retrain with `layoutsched train-spgemm`)",
+			ErrModelVersion, m.Version, PairModelVersion)
+	}
+	if m.Dims != dataset.PairEmbedDims {
+		return nil, fmt.Errorf("learn: pair model embeds %d dimensions, this build embeds %d", m.Dims, dataset.PairEmbedDims)
+	}
+	if len(m.Trees) == 0 {
+		return nil, fmt.Errorf("learn: pair model holds no trees")
+	}
+	f := &PairForest{trained: m.Trained}
+	for ti, tj := range m.Trees {
+		if len(tj.Nodes) == 0 {
+			return nil, fmt.Errorf("learn: pair tree %d is empty", ti)
+		}
+		t := &pairTree{nodes: make([]pairNode, len(tj.Nodes))}
+		for i, nj := range tj.Nodes {
+			if nj.Feat < 0 {
+				label, err := spgemm.ParseCandidate(nj.Label)
+				if err != nil {
+					return nil, fmt.Errorf("learn: pair tree %d node %d: %v", ti, i, err)
+				}
+				if nj.Purity < 0 || nj.Purity > 1 {
+					return nil, fmt.Errorf("learn: pair tree %d node %d: purity %g outside [0,1]", ti, i, nj.Purity)
+				}
+				t.nodes[i] = pairNode{feat: -1, label: label, purity: nj.Purity}
+				continue
+			}
+			if nj.Feat >= dataset.PairEmbedDims {
+				return nil, fmt.Errorf("learn: pair tree %d node %d: feature %d out of range", ti, i, nj.Feat)
+			}
+			if nj.Left <= i || nj.Right <= i || nj.Left >= len(tj.Nodes) || nj.Right >= len(tj.Nodes) {
+				return nil, fmt.Errorf("learn: pair tree %d node %d: child indices %d/%d invalid", ti, i, nj.Left, nj.Right)
+			}
+			t.nodes[i] = pairNode{feat: nj.Feat, thresh: nj.Thresh, left: nj.Left, right: nj.Right}
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// LoadPairFile opens and loads a pair model file, naming the path in any
+// error. It shares the SMSV loader's "model.load" fault site so chaos
+// specs cover both model kinds.
+func LoadPairFile(path string) (*PairForest, error) {
+	if err := fault.Inject("model.load"); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := LoadPair(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// SaveFile writes the pair forest to path.
+func (f *PairForest) SaveFile(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Save(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,232 @@
+package learn
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/spgemm"
+)
+
+// The pair classifier is a structural twin of the SMSV tree over a
+// different point space ([dataset.PairEmbedDims]float64) and label space
+// (spgemm.Candidate). The two are kept as separate concrete types rather
+// than a shared generic because both spaces are pinned serialization
+// contracts — their shapes must be free to diverge without coupling.
+
+// numPairLabels bounds the SpGEMM class space via Candidate.Index().
+const numPairLabels = spgemm.NumCandidates
+
+// PairExample is one labeled pairwise training point.
+type PairExample struct {
+	Point [dataset.PairEmbedDims]float64
+	Label spgemm.Candidate
+}
+
+// FromPairFeatures embeds an (A, B) feature pair into a training example.
+func FromPairFeatures(fa, fb dataset.Features, label spgemm.Candidate) PairExample {
+	return PairExample{Point: dataset.EmbedPair(fa, fb), Label: label}
+}
+
+// pairNode mirrors node; parents are appended before children so child
+// indices always point forward.
+type pairNode struct {
+	feat        int
+	thresh      float64
+	left, right int
+	label       spgemm.Candidate
+	purity      float64
+}
+
+type pairTree struct {
+	nodes []pairNode
+}
+
+func (t *pairTree) predict(p [dataset.PairEmbedDims]float64) (spgemm.Candidate, float64) {
+	i := 0
+	for t.nodes[i].feat >= 0 {
+		if p[t.nodes[i].feat] <= t.nodes[i].thresh {
+			i = t.nodes[i].left
+		} else {
+			i = t.nodes[i].right
+		}
+	}
+	return t.nodes[i].label, t.nodes[i].purity
+}
+
+func growPair(examples []PairExample, idx []int, cfg growCfg) *pairTree {
+	t := &pairTree{}
+	t.build(examples, idx, 0, cfg)
+	return t
+}
+
+func (t *pairTree) build(examples []PairExample, idx []int, depth int, cfg growCfg) int {
+	label, purity, pure := pairMajority(examples, idx)
+	me := len(t.nodes)
+	t.nodes = append(t.nodes, pairNode{feat: -1, label: label, purity: purity})
+	if pure || depth >= cfg.maxDepth || len(idx) < 2*cfg.minLeaf {
+		return me
+	}
+	feat, thresh, ok := bestPairSplit(examples, idx, cfg)
+	if !ok {
+		return me
+	}
+	var left, right []int
+	for _, i := range idx {
+		if examples[i].Point[feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.minLeaf || len(right) < cfg.minLeaf {
+		return me
+	}
+	l := t.build(examples, left, depth+1, cfg)
+	r := t.build(examples, right, depth+1, cfg)
+	t.nodes[me] = pairNode{feat: feat, thresh: thresh, left: l, right: r}
+	return me
+}
+
+func pairMajority(examples []PairExample, idx []int) (spgemm.Candidate, float64, bool) {
+	var counts [numPairLabels]int
+	for _, i := range idx {
+		counts[examples[i].Label.Index()]++
+	}
+	best := 0
+	for c := 1; c < numPairLabels; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	frac := float64(counts[best]) / float64(len(idx))
+	return spgemm.CandidateAt(best), frac, counts[best] == len(idx)
+}
+
+func bestPairSplit(examples []PairExample, idx []int, cfg growCfg) (int, float64, bool) {
+	feats := cfg.rng.Perm(dataset.PairEmbedDims)
+	if cfg.mtry > 0 && cfg.mtry < len(feats) {
+		feats = feats[:cfg.mtry]
+	}
+	var total [numPairLabels]int
+	for _, i := range idx {
+		total[examples[i].Label.Index()]++
+	}
+	n := len(idx)
+	parent := pairGini(total, n)
+
+	type pair struct {
+		v     float64
+		label int
+	}
+	pairs := make([]pair, n)
+	bestGain := 1e-12
+	bestFeat, bestThresh, found := -1, 0.0, false
+	for _, f := range feats {
+		for k, i := range idx {
+			pairs[k] = pair{examples[i].Point[f], examples[i].Label.Index()}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		var left [numPairLabels]int
+		for k := 0; k < n-1; k++ {
+			left[pairs[k].label]++
+			if pairs[k].v == pairs[k+1].v {
+				continue
+			}
+			var right [numPairLabels]int
+			for c := range right {
+				right[c] = total[c] - left[c]
+			}
+			nl, nr := k+1, n-k-1
+			gain := parent - (float64(nl)*pairGini(left, nl)+float64(nr)*pairGini(right, nr))/float64(n)
+			if gain > bestGain {
+				bestGain, bestFeat, found = gain, f, true
+				bestThresh = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, found
+}
+
+func pairGini(counts [numPairLabels]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// PairForest is the random forest over pairwise embeddings; it implements
+// core.PairPredictor. Immutable after TrainPair/LoadPair.
+type PairForest struct {
+	trees   []*pairTree
+	trained int
+}
+
+// TrainPair fits a pair forest; TrainConfig semantics match Train, with
+// the same defaults (Mtry 3 ≈ √PairEmbedDims is a reasonable subset here
+// too).
+func TrainPair(examples []PairExample, cfg TrainConfig) (*PairForest, error) {
+	if len(examples) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &PairForest{trained: len(examples)}
+	idx := make([]int, len(examples))
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range idx {
+			idx[i] = rng.Intn(len(examples))
+		}
+		f.trees = append(f.trees, growPair(examples, idx, growCfg{
+			maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, mtry: cfg.Mtry, rng: rng,
+		}))
+	}
+	return f, nil
+}
+
+// Trees reports the forest size.
+func (f *PairForest) Trees() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.trees)
+}
+
+// TrainedOn reports how many examples the forest was fitted to.
+func (f *PairForest) TrainedOn() int {
+	if f == nil {
+		return 0
+	}
+	return f.trained
+}
+
+// PredictPairPoint votes the trees on a pairwise embedded point; ties
+// break toward the lower candidate index.
+func (f *PairForest) PredictPairPoint(p [dataset.PairEmbedDims]float64) (spgemm.Candidate, float64, bool) {
+	if f == nil || len(f.trees) == 0 {
+		return spgemm.Candidate{}, 0, false
+	}
+	var votes [numPairLabels]int
+	for _, t := range f.trees {
+		label, _ := t.predict(p)
+		votes[label.Index()]++
+	}
+	best := 0
+	for c := 1; c < numPairLabels; c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return spgemm.CandidateAt(best), float64(votes[best]) / float64(len(f.trees)), true
+}
+
+// PredictPair embeds the feature pair and votes; this is the
+// core.PairPredictor contract.
+func (f *PairForest) PredictPair(fa, fb dataset.Features) (spgemm.Candidate, float64, bool) {
+	return f.PredictPairPoint(dataset.EmbedPair(fa, fb))
+}

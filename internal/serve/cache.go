@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/sparse"
+	"repro/internal/spgemm"
 )
 
 // CachedDecision is what the serving cache keeps per shape class: the
@@ -37,6 +38,34 @@ type CachedDecision struct {
 	Degraded bool
 }
 
+// IsDegraded implements Degradable.
+func (d *CachedDecision) IsDegraded() bool { return d.Degraded }
+
+// CachedPairDecision is the SpGEMM twin of CachedDecision: one pairwise
+// shape class's winning dataflow candidate with its measurement evidence.
+type CachedPairDecision struct {
+	Candidate spgemm.Candidate
+	Measured  map[spgemm.Candidate]time.Duration
+	Source    string
+	// Confidence is the pair predictor's vote share when one was consulted.
+	Confidence float64
+	// EstimatedNNZ and OutputNNZ carry the output-size evidence: the
+	// probabilistic estimate is always present, the exact count only when
+	// the decision measured (and therefore ran) the product.
+	EstimatedNNZ float64
+	OutputNNZ    int64
+	Degraded     bool
+}
+
+// IsDegraded implements Degradable.
+func (d *CachedPairDecision) IsDegraded() bool { return d.Degraded }
+
+// Degradable is what the cache needs to know about a value: degraded
+// entries get a short TTL instead of living until LRU pressure.
+type Degradable interface {
+	IsDegraded() bool
+}
+
 // keyVersion prefixes every decision-cache key. It was bumped to v2 when
 // cached decisions started carrying joint (format × chunk × variant)
 // candidates: a key schema change means pre-joint keys can never alias a
@@ -44,25 +73,21 @@ type CachedDecision struct {
 // live upgrade.
 const keyVersion = "v2"
 
-// AppendKey appends the decision-cache key for f to dst and returns it —
-// allocation-free when dst has capacity, so the batched scheduling path can
-// key N lookups from one pooled buffer. Shape features are quantized on a
-// log1p grid so sampling noise between near-identical datasets — e.g. the
-// same corpus regenerated or resharded — lands in one shape class, while
-// structurally different matrices separate. Exact-key hits serve from the
-// cache; near misses beyond the grid still get the History radius lookup
-// inside the scheduler.
-func AppendKey(dst []byte, f dataset.Features, policy string, topK int) []byte {
-	// 8 buckets per natural-log unit ≈ 13% relative resolution.
+// pairKeyVersion prefixes every SpGEMM pair key. The pair cache is a
+// separate instance, but the prefix still differs from keyVersion so pair
+// keys can never alias SMSV keys in replication streams or persisted state,
+// and so ring routing (which hashes raw key bytes) spreads the two key
+// families independently.
+const pairKeyVersion = "p1"
+
+// quantFeatures appends the nine quantized Table IV parameters of f to dst.
+// 8 buckets per natural-log unit ≈ 13% relative resolution: sampling noise
+// between near-identical datasets lands in one shape class while
+// structurally different matrices separate.
+func quantFeatures(dst []byte, f dataset.Features) []byte {
 	q := func(x float64) int64 {
 		return int64(math.Round(math.Log1p(math.Max(x, 0)) * 8))
 	}
-	dst = append(dst, keyVersion...)
-	dst = append(dst, '|')
-	dst = append(dst, policy...)
-	dst = append(dst, '/')
-	dst = strconv.AppendInt(dst, int64(topK), 10)
-	dst = append(dst, '|')
 	for i, v := range [...]int64{
 		q(float64(f.M)), q(float64(f.N)), q(float64(f.NNZ)),
 		q(float64(f.Ndig)), q(f.Dnnz), q(float64(f.Mdim)),
@@ -76,31 +101,67 @@ func AppendKey(dst []byte, f dataset.Features, policy string, topK int) []byte {
 	return dst
 }
 
+// AppendKey appends the decision-cache key for f to dst and returns it —
+// allocation-free when dst has capacity, so the batched scheduling path can
+// key N lookups from one pooled buffer. Exact-key hits serve from the
+// cache; near misses beyond the quantization grid still get the History
+// radius lookup inside the scheduler.
+func AppendKey(dst []byte, f dataset.Features, policy string, topK int) []byte {
+	dst = append(dst, keyVersion...)
+	dst = append(dst, '|')
+	dst = append(dst, policy...)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(topK), 10)
+	dst = append(dst, '|')
+	return quantFeatures(dst, f)
+}
+
 // Key derives the decision-cache key as a string; single-request paths use
 // it directly, batch paths build the same bytes with AppendKey.
 func Key(f dataset.Features, policy string, topK int) string {
 	return string(AppendKey(nil, f, policy, topK))
 }
 
+// AppendPairKey appends the SpGEMM pair-cache key for (fa, fb) to dst: the
+// pair schema version, the policy, and both operands' quantized shape
+// classes in order. Ring routing hashes these same bytes, so a pair's owner
+// is stable across the cluster just like a single matrix's.
+func AppendPairKey(dst []byte, fa, fb dataset.Features, policy string, topK int) []byte {
+	dst = append(dst, pairKeyVersion...)
+	dst = append(dst, '|')
+	dst = append(dst, policy...)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(topK), 10)
+	dst = append(dst, '|')
+	dst = quantFeatures(dst, fa)
+	dst = append(dst, '|')
+	return quantFeatures(dst, fb)
+}
+
+// PairKey derives the SpGEMM pair-cache key as a string.
+func PairKey(fa, fb dataset.Features, policy string, topK int) string {
+	return string(AppendPairKey(nil, fa, fb, policy, topK))
+}
+
 // call is one in-flight singleflight computation.
-type call struct {
+type call[V Degradable] struct {
 	done chan struct{}
-	val  *CachedDecision
+	val  V
 	err  error
 }
 
 // shard is one lock domain of the cache: an LRU map plus the in-flight
 // calls keyed into it.
-type shard struct {
+type shard[V Degradable] struct {
 	mu       sync.Mutex
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
-	inflight map[string]*call
+	inflight map[string]*call[V]
 }
 
-type lruEntry struct {
+type lruEntry[V Degradable] struct {
 	key string
-	val *CachedDecision
+	val V
 	// expires is the entry's eviction deadline; zero means authoritative,
 	// cached until LRU pressure. Only degraded decisions get a deadline.
 	expires time.Time
@@ -111,8 +172,10 @@ type lruEntry struct {
 // exactly once and share its result. Sharding keeps lock contention local
 // to a shape class's hash bucket under concurrent serving load; each shard
 // holds at most capacity entries and evicts least-recently-used decisions.
-type Cache struct {
-	shards      []*shard
+// The value type is generic over Degradable so the SMSV and SpGEMM caches
+// share one implementation without a common decision struct.
+type Cache[V Degradable] struct {
+	shards      []*shard[V]
 	capacity    int
 	degradedTTL time.Duration
 	now         func() time.Time // injectable for TTL tests
@@ -135,24 +198,24 @@ const DefaultDegradedTTL = 5 * time.Second
 
 // NewCache creates a cache with the given shard count (<=0 means
 // DefaultCacheShards) and per-shard entry capacity (<=0 means 256).
-func NewCache(shards, capacity int) *Cache {
+func NewCache[V Degradable](shards, capacity int) *Cache[V] {
 	if shards <= 0 {
 		shards = DefaultCacheShards
 	}
 	if capacity <= 0 {
 		capacity = 256
 	}
-	c := &Cache{
-		shards:      make([]*shard, shards),
+	c := &Cache[V]{
+		shards:      make([]*shard[V], shards),
 		capacity:    capacity,
 		degradedTTL: DefaultDegradedTTL,
 		now:         time.Now,
 	}
 	for i := range c.shards {
-		c.shards[i] = &shard{
+		c.shards[i] = &shard[V]{
 			entries:  make(map[string]*list.Element),
 			order:    list.New(),
-			inflight: make(map[string]*call),
+			inflight: make(map[string]*call[V]),
 		}
 	}
 	return c
@@ -169,7 +232,7 @@ func fnvSum32[T ~string | ~[]byte](key T) uint32 {
 	return h
 }
 
-func (c *Cache) shardFor(key string) *shard {
+func (c *Cache[V]) shardFor(key string) *shard[V] {
 	return c.shards[fnvSum32(key)%uint32(len(c.shards))]
 }
 
@@ -179,18 +242,19 @@ func (c *Cache) shardFor(key string) *shard {
 // expired degraded entry, an in-flight computation — returns false, and the
 // caller takes the Do slow path, which re-checks under the same lock and
 // handles expiry, singleflight, and counters as usual.
-func (c *Cache) Get(key []byte) (*CachedDecision, bool) {
+func (c *Cache[V]) Get(key []byte) (V, bool) {
+	var zero V
 	sh := c.shards[fnvSum32(key)%uint32(len(c.shards))]
 	sh.mu.Lock()
 	el, ok := sh.entries[string(key)]
 	if !ok {
 		sh.mu.Unlock()
-		return nil, false
+		return zero, false
 	}
-	e := el.Value.(*lruEntry)
+	e := el.Value.(*lruEntry[V])
 	if !e.expires.IsZero() && !c.now().Before(e.expires) {
 		sh.mu.Unlock()
-		return nil, false
+		return zero, false
 	}
 	sh.order.MoveToFront(el)
 	sh.mu.Unlock()
@@ -201,7 +265,7 @@ func (c *Cache) Get(key []byte) (*CachedDecision, bool) {
 // Peek reports whether key has a live entry, without counting a hit or
 // touching the LRU order. The cluster router uses it to keep shape classes
 // that replication already landed here local instead of forwarding them.
-func (c *Cache) Peek(key []byte) bool {
+func (c *Cache[V]) Peek(key []byte) bool {
 	sh := c.shards[fnvSum32(key)%uint32(len(c.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -209,7 +273,7 @@ func (c *Cache) Peek(key []byte) bool {
 	if !ok {
 		return false
 	}
-	e := el.Value.(*lruEntry)
+	e := el.Value.(*lruEntry[V])
 	return e.expires.IsZero() || c.now().Before(e.expires)
 }
 
@@ -217,7 +281,7 @@ func (c *Cache) Peek(key []byte) bool {
 // receiver's path, where the value was computed by a peer. An in-flight
 // local computation for the same key is left alone: its result overwrites
 // this one, which is the fresher of the two.
-func (c *Cache) Put(key string, val *CachedDecision) {
+func (c *Cache[V]) Put(key string, val V) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	c.insertLocked(sh, key, val)
@@ -231,12 +295,12 @@ func (c *Cache) Put(key string, val *CachedDecision) {
 // failed computation retries on the next request; if the computing leader
 // fails — including by cancellation — every deduplicated waiter receives
 // the same error.
-func (c *Cache) Do(key string, fn func() (*CachedDecision, error)) (val *CachedDecision, outcome string, err error) {
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (val V, outcome string, err error) {
 	fault.Disrupt("serve.cache")
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if el, ok := sh.entries[key]; ok {
-		e := el.Value.(*lruEntry)
+		e := el.Value.(*lruEntry[V])
 		if e.expires.IsZero() || c.now().Before(e.expires) {
 			sh.order.MoveToFront(el)
 			sh.mu.Unlock()
@@ -255,7 +319,7 @@ func (c *Cache) Do(key string, fn func() (*CachedDecision, error)) (val *CachedD
 		<-cl.done
 		return cl.val, "dedup", cl.err
 	}
-	cl := &call{done: make(chan struct{})}
+	cl := &call[V]{done: make(chan struct{})}
 	sh.inflight[key] = cl
 	sh.mu.Unlock()
 
@@ -275,13 +339,13 @@ func (c *Cache) Do(key string, fn func() (*CachedDecision, error)) (val *CachedD
 // insertLocked adds key→val to the shard, evicting from the LRU tail when
 // the shard is at capacity. Degraded values get the short TTL so they are
 // never cached as authoritative. Caller holds sh.mu.
-func (c *Cache) insertLocked(sh *shard, key string, val *CachedDecision) {
+func (c *Cache[V]) insertLocked(sh *shard[V], key string, val V) {
 	var expires time.Time
-	if val.Degraded {
+	if val.IsDegraded() {
 		expires = c.now().Add(c.degradedTTL)
 	}
 	if el, ok := sh.entries[key]; ok {
-		e := el.Value.(*lruEntry)
+		e := el.Value.(*lruEntry[V])
 		e.val, e.expires = val, expires
 		sh.order.MoveToFront(el)
 		return
@@ -289,14 +353,14 @@ func (c *Cache) insertLocked(sh *shard, key string, val *CachedDecision) {
 	for sh.order.Len() >= c.capacity {
 		tail := sh.order.Back()
 		sh.order.Remove(tail)
-		delete(sh.entries, tail.Value.(*lruEntry).key)
+		delete(sh.entries, tail.Value.(*lruEntry[V]).key)
 		c.evictions.Add(1)
 	}
-	sh.entries[key] = sh.order.PushFront(&lruEntry{key: key, val: val, expires: expires})
+	sh.entries[key] = sh.order.PushFront(&lruEntry[V]{key: key, val: val, expires: expires})
 }
 
 // Len reports the total number of cached decisions across shards.
-func (c *Cache) Len() int {
+func (c *Cache[V]) Len() int {
 	n := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -308,7 +372,7 @@ func (c *Cache) Len() int {
 
 // Inflight reports how many singleflight computations are currently
 // running.
-func (c *Cache) Inflight() int {
+func (c *Cache[V]) Inflight() int {
 	n := 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -325,7 +389,7 @@ type CacheStats struct {
 }
 
 // Stats snapshots the cache counters.
-func (c *Cache) Stats() CacheStats {
+func (c *Cache[V]) Stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),

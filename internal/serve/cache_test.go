@@ -17,7 +17,7 @@ func dec(f sparse.Format) *CachedDecision {
 }
 
 func TestCacheHitAndLRUEviction(t *testing.T) {
-	c := NewCache(1, 2) // one shard, two entries: eviction is deterministic
+	c := NewCache[*CachedDecision](1, 2) // one shard, two entries: eviction is deterministic
 	mk := func(key string) (*CachedDecision, string) {
 		v, outcome, err := c.Do(key, func() (*CachedDecision, error) { return dec(sparse.CSR), nil })
 		if err != nil {
@@ -53,7 +53,7 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 }
 
 func TestCacheEvictionUnderPressure(t *testing.T) {
-	c := NewCache(4, 4) // 16 entries total across shards
+	c := NewCache[*CachedDecision](4, 4) // 16 entries total across shards
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("key-%d", i)
 		if _, _, err := c.Do(key, func() (*CachedDecision, error) { return dec(sparse.ELL), nil }); err != nil {
@@ -74,7 +74,7 @@ func TestCacheEvictionUnderPressure(t *testing.T) {
 }
 
 func TestCacheSingleflightExactlyOnce(t *testing.T) {
-	c := NewCache(8, 32)
+	c := NewCache[*CachedDecision](8, 32)
 	var calls atomic.Int64
 	const n = 16
 	var start, done sync.WaitGroup
@@ -113,7 +113,7 @@ func TestCacheSingleflightExactlyOnce(t *testing.T) {
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := NewCache(1, 4)
+	c := NewCache[*CachedDecision](1, 4)
 	boom := errors.New("boom")
 	if _, _, err := c.Do("k", func() (*CachedDecision, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err %v", err)
@@ -155,7 +155,7 @@ func TestKeyGroupsShapeClasses(t *testing.T) {
 }
 
 func TestCacheConcurrentMixedKeys(t *testing.T) {
-	c := NewCache(4, 8)
+	c := NewCache[*CachedDecision](4, 8)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -290,7 +290,11 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 			s.cfg.History.RecordCandidate(feats, c)
 			applied++
 		default:
-			skipped++
+			if s.applyPairReplEntry(e) {
+				applied++
+			} else {
+				skipped++
+			}
 		}
 	}
 	s.replApplied.Add(int64(applied))

@@ -57,6 +57,13 @@ type Config struct {
 	// measurement. 0 = core.DefaultMinConfidence.
 	MinConfidence float64
 
+	// PairHistory is the SpGEMM scheduler's pairwise tuning memory, layered
+	// under the pair decision cache; nil starts empty.
+	PairHistory *core.PairHistory
+	// PairPredictor answers "predict"-policy /v1/schedule/spgemm requests
+	// (typically a *learn.PairForest loaded from -spgemm-predictor).
+	PairPredictor core.PairPredictor
+
 	TrialRows int   // scheduler trial rows; 0 = core default
 	Repeats   int   // scheduler repeats; 0 = core default
 	TopK      int   // hybrid candidate count; 0 = core default
@@ -120,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.History == nil {
 		c.History = &core.History{}
 	}
+	if c.PairHistory == nil {
+		c.PairHistory = &core.PairHistory{}
+	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 4
 	}
@@ -145,15 +155,19 @@ type Server struct {
 	// scheds holds one shared scheduler per policy, built once: schedulers
 	// are concurrency-safe and pool their own scratch, so constructing one
 	// per request would defeat that pooling.
-	scheds  [4]*core.Scheduler
-	cache   *Cache
-	metrics *serverMetrics
-	traces  *telemetry.TraceStore // completed decision traces, /v1/trace/{id}
-	logger  *slog.Logger
-	breaker *Breaker      // guards the measurement path
-	sem     chan struct{} // measurement admission slots
-	wg      sync.WaitGroup
-	closed  atomic.Bool
+	scheds [4]*core.Scheduler
+	// spScheds is the SpGEMM twin of scheds: one shared pair scheduler per
+	// policy, serving /v1/schedule/spgemm.
+	spScheds [4]*core.SpGEMMScheduler
+	cache    *Cache[*CachedDecision]
+	spCache  *Cache[*CachedPairDecision] // pairwise shape-class decisions
+	metrics  *serverMetrics
+	traces   *telemetry.TraceStore // completed decision traces, /v1/trace/{id}
+	logger   *slog.Logger
+	breaker  *Breaker      // guards the measurement path
+	sem      chan struct{} // measurement admission slots
+	wg       sync.WaitGroup
+	closed   atomic.Bool
 
 	// predictor wraps cfg.Predictor so /v1/cluster/model can hot-swap the
 	// model under live traffic; schedulers and handlers only ever see this
@@ -164,6 +178,9 @@ type Server struct {
 	measurements atomic.Int64 // scheduler runs that actually measured
 	degraded     atomic.Int64 // decisions served without measurement under failure
 	panics       atomic.Int64 // handler panics recovered into 500s
+
+	spMeasurements atomic.Int64 // spgemm scheduler runs that actually measured
+	spDegraded     atomic.Int64 // spgemm decisions served degraded
 
 	predictorHits      atomic.Int64 // decisions answered by the predictor
 	predictorFallbacks atomic.Int64 // predict-policy runs that measured instead
@@ -179,13 +196,18 @@ type Server struct {
 // NewServer creates a Server from cfg.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	cache := NewCache(cfg.CacheShards, cfg.CacheCapacity)
+	cache := NewCache[*CachedDecision](cfg.CacheShards, cfg.CacheCapacity)
 	if cfg.DegradedTTL > 0 {
 		cache.degradedTTL = cfg.DegradedTTL
+	}
+	spCache := NewCache[*CachedPairDecision](cfg.CacheShards, cfg.CacheCapacity)
+	if cfg.DegradedTTL > 0 {
+		spCache.degradedTTL = cfg.DegradedTTL
 	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
+		spCache:   spCache,
 		metrics:   newServerMetrics(),
 		traces:    telemetry.NewTraceStore(cfg.TraceCapacity),
 		logger:    cfg.Logger,
@@ -204,6 +226,12 @@ func NewServer(cfg Config) *Server {
 			// loaded it predicts ok=false, which the scheduler treats as
 			// "measure instead".
 			Predictor: s.predictor, MinConfidence: cfg.MinConfidence,
+		})
+		s.spScheds[p] = core.NewSpGEMM(core.SpGEMMConfig{
+			Policy: p, Exec: cfg.Exec,
+			Repeats: cfg.Repeats, TopK: cfg.TopK, Seed: cfg.Seed,
+			History:   cfg.PairHistory,
+			Predictor: cfg.PairPredictor, MinConfidence: cfg.MinConfidence,
 		})
 	}
 	s.registerMetrics()
@@ -291,6 +319,7 @@ func (s *Server) registerMetrics() {
 	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
 		return fault.MetricFamilies("layoutd")
 	}))
+	s.registerSpGEMMMetrics()
 	if s.cluster != nil {
 		s.registerClusterMetrics()
 	}
@@ -336,6 +365,7 @@ func (s *Server) Drain() {
 //
 //	POST /v1/schedule        dataset profile or inline LIBSVM rows → decision
 //	POST /v1/schedule/batch  up to MaxBatch schedule items → per-item decisions
+//	POST /v1/schedule/spgemm A and B operands as LIBSVM rows → dataflow decision
 //	POST /v1/predict         LIBSVM rows → SVM predictions
 //	POST /v1/predict-format  dataset profile or LIBSVM rows → predicted format
 //	GET  /v1/trace/{id}      span tree of a recent schedule decision
@@ -345,6 +375,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.route("schedule", http.MethodPost, s.handleSchedule))
 	mux.HandleFunc("/v1/schedule/batch", s.route("schedule-batch", http.MethodPost, s.handleScheduleBatch))
+	mux.HandleFunc("/v1/schedule/spgemm", s.route("schedule-spgemm", http.MethodPost, s.handleScheduleSpGEMM))
 	mux.HandleFunc("/v1/predict", s.route("predict", http.MethodPost, s.handlePredict))
 	mux.HandleFunc("/v1/predict-format", s.route("predict-format", http.MethodPost, s.handlePredictFormat))
 	mux.HandleFunc("/v1/trace/", s.route("trace", http.MethodGet, s.handleTrace))
@@ -354,7 +385,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
 	// Pre-register every route's series so the first scrape already shows
 	// zero-valued counters for endpoints that have seen no traffic.
-	for _, name := range []string{"schedule", "schedule-batch", "predict", "predict-format", "trace", "cluster-replicate", "cluster-model", "healthz", "metrics"} {
+	for _, name := range []string{"schedule", "schedule-batch", "schedule-spgemm", "predict", "predict-format", "trace", "cluster-replicate", "cluster-model", "healthz", "metrics"} {
 		s.metrics.endpoint(name)
 	}
 	return mux

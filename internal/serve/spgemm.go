@@ -1,0 +1,610 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+	"repro/internal/spgemm"
+	"repro/internal/telemetry"
+)
+
+// This file is the SpGEMM side of the serving layer: POST
+// /v1/schedule/spgemm decides a dataflow × format-pair candidate for an
+// A×B sparse product, with the same machinery the SMSV endpoint has — the
+// pairwise shape-class cache (singleflight, LRU, degraded TTL), admission
+// control and the shared measurement breaker, decision tracing, ring
+// routing by pair key, and gossip replication of fresh decisions.
+
+// SpGEMMRequest is the /v1/schedule/spgemm body: both operands as inline
+// LIBSVM rows (A is m×k, B is k×n; A's column count must equal B's row
+// count after parsing).
+type SpGEMMRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Policy optionally overrides the server's default decision policy:
+	// "rule-based", "empirical", "hybrid", or "predict".
+	Policy string `json:"policy,omitempty"`
+}
+
+// PairEstimateJSON is one SpGEMM candidate's modeled cost.
+type PairEstimateJSON struct {
+	Candidate string  `json:"candidate"`
+	Dataflow  string  `json:"dataflow"`
+	AFormat   string  `json:"a_format"`
+	BFormat   string  `json:"b_format"`
+	Cost      float64 `json:"cost"`
+}
+
+// PairMeasurementJSON is one SpGEMM candidate's measured product time.
+type PairMeasurementJSON struct {
+	Candidate string  `json:"candidate"`
+	Nanos     int64   `json:"nanos"`
+	Millis    float64 `json:"millis"`
+}
+
+// SpGEMMDecisionJSON is the machine-readable dataflow decision shared by
+// the layoutd /v1/schedule/spgemm response and the layoutsched spgemm
+// subcommand's -json flag.
+type SpGEMMDecisionJSON struct {
+	Policy string `json:"policy"`
+	// Chosen is the full candidate ("dataflow/AFORMAT/BFORMAT"); the three
+	// component fields break it out for callers that materialize layouts.
+	Chosen    string       `json:"chosen"`
+	Dataflow  string       `json:"dataflow"`
+	AFormat   string       `json:"a_format"`
+	BFormat   string       `json:"b_format"`
+	AFeatures FeaturesJSON `json:"a_features"`
+	BFeatures FeaturesJSON `json:"b_features"`
+	// Source mirrors DecisionJSON.Source: "model", "measured", "history",
+	// "predictor", or "cache".
+	Source     string  `json:"source"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// EstimatedNNZ is the probabilistic output-size estimate; OutputNNZ is
+	// the product's true entry count when the decision measured.
+	EstimatedNNZ float64               `json:"estimated_nnz,omitempty"`
+	OutputNNZ    int64                 `json:"output_nnz,omitempty"`
+	Estimates    []PairEstimateJSON    `json:"estimates"`
+	Measured     []PairMeasurementJSON `json:"measured,omitempty"` // ascending time
+	Degraded     bool                  `json:"degraded,omitempty"`
+	TraceID      string                `json:"trace_id,omitempty"`
+	Trace        []string              `json:"trace,omitempty"`
+}
+
+// SpGEMMResponse is the /v1/schedule/spgemm reply.
+type SpGEMMResponse struct {
+	Decision SpGEMMDecisionJSON `json:"decision"`
+}
+
+// NewSpGEMMDecisionJSON encodes a core SpGEMM decision; the measured block
+// is sorted by ascending time so the first entry is the empirical winner.
+func NewSpGEMMDecisionJSON(d *core.SpGEMMDecision) SpGEMMDecisionJSON {
+	out := SpGEMMDecisionJSON{
+		Policy:       d.Policy.String(),
+		Chosen:       d.Chosen.String(),
+		Dataflow:     d.Chosen.Dataflow.String(),
+		AFormat:      d.Chosen.AFormat.String(),
+		BFormat:      d.Chosen.BFormat.String(),
+		AFeatures:    NewFeaturesJSON(d.AFeatures),
+		BFeatures:    NewFeaturesJSON(d.BFeatures),
+		Source:       "model",
+		Confidence:   d.Confidence,
+		EstimatedNNZ: d.EstimatedNNZ,
+		OutputNNZ:    d.OutputNNZ,
+	}
+	if len(d.Measured) > 0 {
+		out.Source = "measured"
+	}
+	if d.Reused {
+		out.Source = "history"
+	}
+	if d.Predicted {
+		out.Source = "predictor"
+	}
+	out.Estimates = encodePairEstimates(d.Estimates)
+	out.Measured = encodePairMeasured(d.Measured)
+	return out
+}
+
+func encodePairEstimates(ests []core.PairEstimate) []PairEstimateJSON {
+	out := make([]PairEstimateJSON, 0, len(ests))
+	for _, e := range ests {
+		out = append(out, PairEstimateJSON{
+			Candidate: e.Candidate.String(),
+			Dataflow:  e.Candidate.Dataflow.String(),
+			AFormat:   e.Candidate.AFormat.String(),
+			BFormat:   e.Candidate.BFormat.String(),
+			Cost:      e.Cost,
+		})
+	}
+	return out
+}
+
+func encodePairMeasured(m map[spgemm.Candidate]time.Duration) []PairMeasurementJSON {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]PairMeasurementJSON, 0, len(m))
+	for c, t := range m {
+		out = append(out, PairMeasurementJSON{
+			Candidate: c.String(),
+			Nanos:     int64(t),
+			Millis:    float64(t) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos < out[j].Nanos
+		}
+		return out[i].Candidate < out[j].Candidate
+	})
+	return out
+}
+
+// spSched returns the shared SpGEMM scheduler for a policy.
+func (s *Server) spSched(policy core.Policy) *core.SpGEMMScheduler { return s.spScheds[policy] }
+
+// PairHistory returns the pairwise tuning history the server records into,
+// so daemons can persist it across restarts.
+func (s *Server) PairHistory() *core.PairHistory { return s.cfg.PairHistory }
+
+// SpGEMMMeasurements reports how many spgemm requests ran an actual
+// measurement.
+func (s *Server) SpGEMMMeasurements() int64 { return s.spMeasurements.Load() }
+
+// SpGEMMCacheStats exposes the pair decision-cache counters.
+func (s *Server) SpGEMMCacheStats() CacheStats { return s.spCache.Stats() }
+
+// registerSpGEMMMetrics hangs the pair-endpoint series on the registry;
+// called from registerMetrics.
+func (s *Server) registerSpGEMMMetrics() {
+	reg := s.metrics.reg
+	reg.CounterFunc("layoutd_spgemm_measurements_total",
+		"SpGEMM schedule requests that ran an actual measurement.",
+		func() float64 { return float64(s.spMeasurements.Load()) })
+	reg.CounterFunc("layoutd_spgemm_degraded_total",
+		"SpGEMM decisions served without measurement while the measurement path was failing.",
+		func() float64 { return float64(s.spDegraded.Load()) })
+	reg.CounterFunc("layoutd_spgemm_cache_hits_total",
+		"Pair decision-cache exact hits.", func() float64 { return float64(s.spCache.Stats().Hits) })
+	reg.CounterFunc("layoutd_spgemm_cache_misses_total",
+		"Pair decision-cache misses.", func() float64 { return float64(s.spCache.Stats().Misses) })
+	reg.GaugeFunc("layoutd_spgemm_cache_entries",
+		"Pair decision-cache resident entries.", func() float64 { return float64(s.spCache.Stats().Len) })
+	reg.GaugeFunc("layoutd_spgemm_history_entries",
+		"Pairwise tuning-history entries.", func() float64 { return float64(s.cfg.PairHistory.Len()) })
+}
+
+// parsePairOperand parses one operand's LIBSVM rows into a builder and its
+// extracted features. A non-empty errmsg means the request is bad (400);
+// which names the operand in the message.
+func parsePairOperand(which, data string) (*sparse.Builder, dataset.Features, string) {
+	samples, n, err := dataset.ParseLIBSVM(strings.NewReader(data))
+	if err != nil {
+		return nil, dataset.Features{}, fmt.Sprintf("operand %s: %v", which, err)
+	}
+	if len(samples) == 0 {
+		return nil, dataset.Features{}, fmt.Sprintf("operand %s: %v", which, core.ErrEmptyMatrix)
+	}
+	b, _ := dataset.SamplesToMatrix(samples, n)
+	csr, err := b.Build(sparse.CSR)
+	if err != nil {
+		return nil, dataset.Features{}, fmt.Sprintf("operand %s: unbuildable matrix: %v", which, err)
+	}
+	feats := dataset.Extract(csr)
+	if cells := int64(feats.M) * int64(feats.N); cells > maxInlineCells {
+		return nil, dataset.Features{}, fmt.Sprintf(
+			"operand %s: matrix %d×%d declares %d dense cells, over the %d inline-scheduling cap",
+			which, feats.M, feats.N, cells, int64(maxInlineCells))
+	}
+	return b, feats, ""
+}
+
+// handleScheduleSpGEMM answers POST /v1/schedule/spgemm: parse both
+// operands, derive the pairwise shape class, and serve the dataflow
+// decision from the pair cache, a ring peer, or a fresh measurement under
+// admission control.
+func (s *Server) handleScheduleSpGEMM(w http.ResponseWriter, r *http.Request) {
+	var req SpGEMMRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	policy := s.cfg.Policy
+	if req.Policy != "" {
+		p, err := parsePolicy(req.Policy)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		policy = p
+	}
+	if policy == core.PolicyPredict && s.cfg.PairPredictor == nil {
+		writeError(w, http.StatusBadRequest,
+			"predict policy needs a trained pair model (start layoutd with -spgemm-predictor)")
+		return
+	}
+	if req.A == "" || req.B == "" {
+		writeError(w, http.StatusBadRequest, "give both operands: a and b as inline LIBSVM rows")
+		return
+	}
+	if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) != "" {
+		// A ring peer already routed this request here; decide locally no
+		// matter what the ring says, so routing can never loop.
+		r = r.WithContext(withForwarded(r.Context()))
+		s.forwardedServed.Add(1)
+	}
+	ctx, tr, root := telemetry.NewTrace(r.Context(), "schedule-spgemm",
+		telemetry.String("policy", policy.String()))
+	defer func() {
+		root.End()
+		tr.Finish()
+		s.traces.Put(tr)
+	}()
+
+	_, psp := telemetry.StartSpan(ctx, "request.parse")
+	a, fa, msg := parsePairOperand("a", req.A)
+	if msg == "" {
+		var b *sparse.Builder
+		var fb dataset.Features
+		b, fb, msg = parsePairOperand("b", req.B)
+		if msg == "" {
+			psp.Annotate(telemetry.Int("a_rows", fa.M), telemetry.Int("b_rows", fb.M))
+			psp.End()
+			if fa.N != fb.M {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf(
+					"dimension mismatch: A is %d×%d but B is %d×%d", fa.M, fa.N, fb.M, fb.N))
+				return
+			}
+			s.scheduleSpGEMM(w, r.WithContext(ctx), &req, policy, a, b, fa, fb)
+			return
+		}
+	}
+	psp.EndErr(fmt.Errorf("%s", msg))
+	writeError(w, http.StatusBadRequest, msg)
+}
+
+// scheduleSpGEMM decides one parsed pair: rule-based requests go straight
+// to the cost model, everything else through routing, the pair cache, and
+// admission-controlled measurement.
+func (s *Server) scheduleSpGEMM(w http.ResponseWriter, r *http.Request, req *SpGEMMRequest, policy core.Policy, a, b *sparse.Builder, fa, fb dataset.Features) {
+	trace := []string{fmt.Sprintf("parsed pair %d×%d × %d×%d", fa.M, fa.N, fb.M, fb.N)}
+	sched := s.spSched(policy)
+
+	if policy == core.RuleBased {
+		// Pure model decision: nothing to measure, nothing worth caching.
+		t0 := time.Now()
+		dec, err := sched.ChooseContext(r.Context(), a, b)
+		if err != nil {
+			writeSpGEMMError(w, err)
+			return
+		}
+		s.metrics.decision.Observe(time.Since(t0).Seconds())
+		dj := NewSpGEMMDecisionJSON(dec)
+		dec.Release()
+		dj.TraceID = contextTraceID(r.Context())
+		dj.Trace = append(trace, "rule-based policy: model decision, no measurement")
+		writeJSON(w, http.StatusOK, SpGEMMResponse{Decision: dj})
+		return
+	}
+
+	key := AppendPairKey(nil, fa, fb, policy.String(), s.cfg.TopK)
+	if m, owned := s.routePairOwner(r.Context(), key); owned {
+		if s.forwardSpGEMM(r.Context(), w, req, policy, m) {
+			return
+		}
+		s.forwardFallbacks.Add(1)
+		trace = append(trace, fmt.Sprintf("cluster: owner %s unreachable, deciding locally", m.ID))
+	}
+	val, outcome, err := s.decidePair(r.Context(), sched, a, b, fa, fb, policy, key)
+	if err != nil {
+		writeSpGEMMError(w, err)
+		return
+	}
+	switch outcome {
+	case "hit":
+		trace = append(trace, fmt.Sprintf("cache: hit for pair shape class %s (decision first %s)", key, val.Source))
+	case "dedup":
+		trace = append(trace, fmt.Sprintf("cache: joined in-flight measurement for pair shape class %s", key))
+	default:
+		trace = append(trace, fmt.Sprintf("cache: miss for pair shape class %s", key))
+		switch {
+		case val.Degraded:
+			trace = append(trace, fmt.Sprintf(
+				"degraded: measurement unavailable (breaker %s), answered from %s",
+				s.breaker.State(), val.Source))
+		case val.Source == "history":
+			trace = append(trace, "history: near-miss reuse, measurement skipped")
+		case val.Source == "predictor":
+			trace = append(trace, fmt.Sprintf("predictor: answered %s with confidence %.2f, measurement skipped",
+				val.Candidate, val.Confidence))
+		default:
+			if policy == core.PolicyPredict {
+				trace = append(trace, fmt.Sprintf("predictor: confidence %.2f below threshold, falling back to measurement",
+					val.Confidence))
+			}
+			trace = append(trace, fmt.Sprintf("admission: acquired 1 of %d measurement slots", cap(s.sem)))
+		}
+	}
+
+	d := SpGEMMDecisionJSON{
+		Policy:       policy.String(),
+		Chosen:       val.Candidate.String(),
+		Dataflow:     val.Candidate.Dataflow.String(),
+		AFormat:      val.Candidate.AFormat.String(),
+		BFormat:      val.Candidate.BFormat.String(),
+		AFeatures:    NewFeaturesJSON(fa),
+		BFeatures:    NewFeaturesJSON(fb),
+		Source:       val.Source,
+		Confidence:   val.Confidence,
+		EstimatedNNZ: val.EstimatedNNZ,
+		OutputNNZ:    val.OutputNNZ,
+		Estimates:    encodePairEstimates(core.EstimatePairCandidates(fa, fb)),
+		Measured:     encodePairMeasured(val.Measured),
+		Degraded:     val.Degraded,
+		TraceID:      contextTraceID(r.Context()),
+		Trace:        trace,
+	}
+	if outcome != "miss" {
+		d.Source = "cache"
+	}
+	writeJSON(w, http.StatusOK, SpGEMMResponse{Decision: d})
+}
+
+// decidePair serves one parsed pair from the pair cache, measuring under
+// admission control on a miss — the SpGEMM twin of decideInline, sharing
+// the measurement breaker and admission slots with the SMSV path (both
+// queue kernels onto the same exec pool).
+func (s *Server) decidePair(ctx context.Context, sched *core.SpGEMMScheduler, a, b *sparse.Builder, fa, fb dataset.Features, policy core.Policy, key []byte) (*CachedPairDecision, string, error) {
+	if val, ok := s.spCache.Get(key); ok {
+		if telemetry.ContextTrace(ctx) != nil {
+			_, csp := telemetry.StartSpan(ctx, "cache.do",
+				telemetry.String("key", string(key)))
+			csp.Annotate(telemetry.String("outcome", "hit"),
+				telemetry.String("source", val.Source))
+			csp.End()
+		}
+		return val, "hit", nil
+	}
+	cctx := ctx
+	var csp *telemetry.Span
+	if telemetry.ContextTrace(ctx) != nil {
+		cctx, csp = telemetry.StartSpan(ctx, "cache.do",
+			telemetry.String("key", string(key)))
+	}
+	mctx, cancel := context.WithTimeout(cctx, s.cfg.Timeout)
+	defer cancel()
+	val, outcome, err := s.spCache.Do(string(key), func() (*CachedPairDecision, error) {
+		if !s.breaker.Allow() {
+			return s.degradePair(fa, fb), nil
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.breaker.Cancel()
+			return nil, ErrOverloaded
+		}
+		defer func() { <-s.sem }()
+		t0 := time.Now()
+		dec, err := sched.ChooseContext(mctx, a, b)
+		if err == nil {
+			s.metrics.decision.Observe(time.Since(t0).Seconds())
+		}
+		if err != nil {
+			if isMeasurementFailure(err) {
+				s.breaker.Failure()
+				return s.degradePair(fa, fb), nil
+			}
+			s.breaker.Cancel()
+			return nil, err
+		}
+		if len(dec.Measured) > 0 {
+			s.breaker.Success()
+		} else {
+			s.breaker.Cancel()
+		}
+		source := "measured"
+		switch {
+		case dec.Predicted:
+			source = "predictor"
+			s.predictorHits.Add(1)
+			s.predictorConfMilli.Add(int64(dec.Confidence * 1000))
+		case dec.Reused:
+			source = "history"
+		default:
+			s.spMeasurements.Add(1)
+			if policy == core.PolicyPredict {
+				s.predictorFallbacks.Add(1)
+			}
+		}
+		val := &CachedPairDecision{
+			Candidate: dec.Chosen, Source: source, Confidence: dec.Confidence,
+			EstimatedNNZ: dec.EstimatedNNZ, OutputNNZ: dec.OutputNNZ,
+		}
+		if len(dec.Measured) > 0 {
+			val.Measured = make(map[spgemm.Candidate]time.Duration, len(dec.Measured))
+			for c, t := range dec.Measured {
+				val.Measured[c] = t
+			}
+		}
+		dec.Release()
+		return val, nil
+	})
+	if err != nil {
+		csp.EndErr(err)
+		return nil, outcome, err
+	}
+	if csp != nil {
+		csp.Annotate(telemetry.String("outcome", outcome), telemetry.String("source", val.Source))
+		csp.End()
+	}
+	if outcome == "miss" {
+		s.replicatePairDecision(key, fa, fb, val)
+	}
+	return val, outcome, nil
+}
+
+// degradePair produces a best-effort pair decision with the measurement
+// path down: pairwise tuning history first, then the pair predictor at any
+// confidence, then the cost model, which always answers.
+func (s *Server) degradePair(fa, fb dataset.Features) (val *CachedPairDecision) {
+	s.spDegraded.Add(1)
+	defer func() {
+		s.logger.Warn("serving degraded spgemm decision",
+			"breaker", s.breaker.State().String(), "source", val.Source, "candidate", val.Candidate.String())
+	}()
+	if c, ok := s.cfg.PairHistory.Lookup(fa, fb, core.DefaultPairHistoryRadius); ok {
+		return &CachedPairDecision{Candidate: c, Source: "history",
+			EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
+	}
+	if s.cfg.PairPredictor != nil {
+		if c, conf, ok := s.cfg.PairPredictor.PredictPair(fa, fb); ok && spgemm.Supported(c) {
+			return &CachedPairDecision{Candidate: c, Source: "predictor", Confidence: conf,
+				EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
+		}
+	}
+	return &CachedPairDecision{Candidate: core.EstimatePairCandidates(fa, fb)[0].Candidate,
+		Source: "model", EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
+}
+
+// writeSpGEMMError maps SpGEMM scheduler failures onto HTTP statuses.
+func writeSpGEMMError(w http.ResponseWriter, err error) {
+	if errors.Is(err, core.ErrEmptyPair) {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeScheduleError(w, err)
+}
+
+// routePairOwner is routeOwner against the pair cache: clustering off,
+// already-forwarded, locally-cached, and locally-owned pairs all decide
+// here.
+func (s *Server) routePairOwner(ctx context.Context, key []byte) (cluster.Member, bool) {
+	if s.cluster == nil || isForwarded(ctx) {
+		return cluster.Member{}, false
+	}
+	if s.spCache.Peek(key) {
+		return cluster.Member{}, false
+	}
+	return s.cluster.Route(key)
+}
+
+// forwardSpGEMM relays one pair request to its ring owner and writes the
+// peer's response through; false means the caller should decide locally.
+func (s *Server) forwardSpGEMM(ctx context.Context, w http.ResponseWriter, req *SpGEMMRequest, policy core.Policy, m cluster.Member) bool {
+	fwd := *req
+	if fwd.Policy == "" {
+		fwd.Policy = policy.String()
+	}
+	body, err := json.Marshal(&fwd)
+	if err != nil {
+		return false
+	}
+	fctx, sp := telemetry.StartSpan(ctx, "cluster.forward",
+		telemetry.String("peer", m.ID))
+	status, data, err := s.cluster.Forward(fctx, m, "/v1/schedule/spgemm", body)
+	if err != nil {
+		sp.EndErr(err)
+		return false
+	}
+	sp.Annotate(telemetry.Int("status", status))
+	sp.End()
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	return true
+}
+
+// pairWire is the replicated form of a pair-cache entry, riding under the
+// p1 pair key. Measurement evidence stays on the owner.
+type pairWire struct {
+	Candidate    string  `json:"candidate"` // spgemm.Candidate string form
+	Source       string  `json:"source"`
+	Confidence   float64 `json:"confidence,omitempty"`
+	EstimatedNNZ float64 `json:"estimated_nnz,omitempty"`
+}
+
+// pairHistoryWire is the replicated form of one pairwise tuning-history
+// record; the receiver re-runs dataset.EmbedPair.
+type pairHistoryWire struct {
+	AFeatures FeaturesJSON `json:"a_features"`
+	BFeatures FeaturesJSON `json:"b_features"`
+	Candidate string       `json:"candidate"`
+}
+
+// replicatePairDecision queues a freshly computed pair decision (and, when
+// measured, the history record behind it) for async gossip to the ring
+// successor. Degraded decisions are not replicated.
+func (s *Server) replicatePairDecision(key []byte, fa, fb dataset.Features, val *CachedPairDecision) {
+	if s.cluster == nil || val.Degraded {
+		return
+	}
+	payload, err := json.Marshal(pairWire{
+		Candidate:    val.Candidate.String(),
+		Source:       val.Source,
+		Confidence:   val.Confidence,
+		EstimatedNNZ: val.EstimatedNNZ,
+	})
+	if err != nil {
+		return
+	}
+	s.cluster.Replicate(cluster.ReplEntry{Kind: cluster.KindSpGEMM, Key: string(key), Payload: payload})
+	if val.Source == "measured" {
+		hp, err := json.Marshal(pairHistoryWire{
+			AFeatures: NewFeaturesJSON(fa),
+			BFeatures: NewFeaturesJSON(fb),
+			Candidate: val.Candidate.String(),
+		})
+		if err == nil {
+			s.cluster.Replicate(cluster.ReplEntry{Kind: cluster.KindPairHistory, Payload: hp})
+		}
+	}
+}
+
+// applyPairReplEntry applies one spgemm gossip entry; it reports whether
+// the entry was applied (false = skip it).
+func (s *Server) applyPairReplEntry(e cluster.ReplEntry) bool {
+	switch e.Kind {
+	case cluster.KindSpGEMM:
+		var pw pairWire
+		if err := json.Unmarshal(e.Payload, &pw); err != nil || e.Key == "" {
+			return false
+		}
+		c, err := spgemm.ParseCandidate(pw.Candidate)
+		if err != nil || !spgemm.Supported(c) {
+			return false
+		}
+		s.spCache.Put(e.Key, &CachedPairDecision{
+			Candidate: c, Source: pw.Source, Confidence: pw.Confidence,
+			EstimatedNNZ: pw.EstimatedNNZ,
+		})
+		return true
+	case cluster.KindPairHistory:
+		var hw pairHistoryWire
+		if err := json.Unmarshal(e.Payload, &hw); err != nil {
+			return false
+		}
+		c, err := spgemm.ParseCandidate(hw.Candidate)
+		if err != nil || !spgemm.Supported(c) {
+			return false
+		}
+		fa, fb := hw.AFeatures.Features(), hw.BFeatures.Features()
+		if fa.M <= 0 || fa.N <= 0 || fb.M <= 0 || fb.N <= 0 {
+			return false
+		}
+		s.cfg.PairHistory.RecordCandidate(fa, fb, c)
+		return true
+	}
+	return false
+}

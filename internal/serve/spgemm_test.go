@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/spgemm"
+)
+
+func decodeSpGEMM(t *testing.T, w *httptest.ResponseRecorder) SpGEMMResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SpGEMMResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// conformablePair renders A (rows×inner) and B (inner×cols) whose parsed
+// dimensions are pinned by a final full-index row on each operand.
+func conformablePair(rows, inner, cols int, seed int64) SpGEMMRequest {
+	a := makeLIBSVM(rows-1, inner, 6, seed) + "+1 " + itoa(inner) + ":1\n"
+	b := makeLIBSVM(inner-1, cols, 5, seed+1000) + "+1 " + itoa(cols) + ":1\n"
+	return SpGEMMRequest{A: a, B: b}
+}
+
+func itoa(n int) string {
+	var sb strings.Builder
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append(digits, byte('0'+n%10))
+		n /= 10
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		sb.WriteByte(digits[i])
+	}
+	return sb.String()
+}
+
+func TestScheduleSpGEMMMeasuredThenCached(t *testing.T) {
+	s := newTestServer(t, Config{Policy: core.Hybrid, Repeats: 1})
+	h := s.Handler()
+
+	w := post(t, h, "/v1/schedule/spgemm", conformablePair(40, 32, 24, 1))
+	d := decodeSpGEMM(t, w).Decision
+	if d.Source != "measured" {
+		t.Fatalf("source %q, want measured (trace: %v)", d.Source, d.Trace)
+	}
+	if len(d.Measured) == 0 {
+		t.Fatal("hybrid spgemm decision has no measurements")
+	}
+	if _, err := spgemm.ParseCandidate(d.Chosen); err != nil {
+		t.Fatalf("chosen %q does not parse: %v", d.Chosen, err)
+	}
+	if len(d.Estimates) != 5 {
+		t.Fatalf("%d estimates, want 5", len(d.Estimates))
+	}
+	if d.EstimatedNNZ <= 0 || d.OutputNNZ <= 0 {
+		t.Fatalf("output-size evidence missing: est %g, exact %d", d.EstimatedNNZ, d.OutputNNZ)
+	}
+	if d.AFeatures.M != 40 || d.AFeatures.N != 32 || d.BFeatures.M != 32 || d.BFeatures.N != 24 {
+		t.Fatalf("echoed features %+v / %+v", d.AFeatures, d.BFeatures)
+	}
+	if s.SpGEMMMeasurements() != 1 {
+		t.Fatalf("spgemm measurements = %d", s.SpGEMMMeasurements())
+	}
+
+	// The decision trace must be retrievable while it lives in the ring.
+	if d.TraceID == "" {
+		t.Fatal("decision carries no trace id")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/trace/"+d.TraceID, nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("trace fetch status %d: %s", rw.Code, rw.Body)
+	}
+	for _, want := range []string{"schedule-spgemm", "request.parse", "cache.do"} {
+		if !strings.Contains(rw.Body.String(), want) {
+			t.Fatalf("trace missing %q:\n%s", want, rw.Body)
+		}
+	}
+
+	// Identical pair again: exact pair-key cache hit, no new measurement.
+	w = post(t, h, "/v1/schedule/spgemm", conformablePair(40, 32, 24, 1))
+	d2 := decodeSpGEMM(t, w).Decision
+	if d2.Source != "cache" {
+		t.Fatalf("second request source %q, want cache", d2.Source)
+	}
+	if d2.Chosen != d.Chosen {
+		t.Fatalf("cache changed the decision: %s vs %s", d2.Chosen, d.Chosen)
+	}
+	if s.SpGEMMMeasurements() != 1 {
+		t.Fatalf("cache hit re-measured: %d", s.SpGEMMMeasurements())
+	}
+	if cs := s.SpGEMMCacheStats(); cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("pair cache stats %+v", cs)
+	}
+}
+
+func TestScheduleSpGEMMHistoryNearMiss(t *testing.T) {
+	s := newTestServer(t, Config{Policy: core.Hybrid, Repeats: 1})
+	h := s.Handler()
+	d := decodeSpGEMM(t, post(t, h, "/v1/schedule/spgemm", conformablePair(40, 32, 24, 7))).Decision
+	if d.Source != "measured" {
+		t.Fatalf("first source %q", d.Source)
+	}
+	if s.PairHistory().Len() != 1 {
+		t.Fatalf("pair history has %d entries", s.PairHistory().Len())
+	}
+	// Same shape class, different seed: the quantized pair key may differ,
+	// but the scheduler's radius lookup reuses the recorded decision.
+	d2 := decodeSpGEMM(t, post(t, h, "/v1/schedule/spgemm", conformablePair(40, 32, 24, 8))).Decision
+	if d2.Source != "history" && d2.Source != "cache" {
+		t.Fatalf("near-miss source %q, want history or cache (trace: %v)", d2.Source, d2.Trace)
+	}
+	if s.SpGEMMMeasurements() != 1 {
+		t.Fatalf("near miss re-measured: %d", s.SpGEMMMeasurements())
+	}
+}
+
+func TestScheduleSpGEMMRuleBased(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	req := conformablePair(24, 20, 16, 3)
+	req.Policy = "rule-based"
+	d := decodeSpGEMM(t, post(t, h, "/v1/schedule/spgemm", req)).Decision
+	if d.Source != "model" || len(d.Measured) != 0 {
+		t.Fatalf("rule-based decision %+v", d)
+	}
+	if d.Chosen != d.Estimates[0].Candidate {
+		t.Fatalf("chosen %s but cheapest estimate %s", d.Chosen, d.Estimates[0].Candidate)
+	}
+	if s.SpGEMMCacheStats().Misses != 0 {
+		t.Fatal("rule-based decision went through the pair cache")
+	}
+}
+
+type fixedPairPredictor struct {
+	c    spgemm.Candidate
+	conf float64
+}
+
+func (p fixedPairPredictor) PredictPair(fa, fb dataset.Features) (spgemm.Candidate, float64, bool) {
+	return p.c, p.conf, true
+}
+
+func TestScheduleSpGEMMPredictPolicy(t *testing.T) {
+	s := newTestServer(t, Config{
+		PairPredictor: fixedPairPredictor{c: spgemm.BaseCandidate, conf: 0.95},
+	})
+	h := s.Handler()
+	req := conformablePair(30, 24, 18, 5)
+	req.Policy = "predict"
+	d := decodeSpGEMM(t, post(t, h, "/v1/schedule/spgemm", req)).Decision
+	if d.Source != "predictor" || d.Chosen != spgemm.BaseCandidate.String() {
+		t.Fatalf("predict decision source=%q chosen=%q", d.Source, d.Chosen)
+	}
+	if d.Confidence != 0.95 {
+		t.Fatalf("confidence %g", d.Confidence)
+	}
+	if s.SpGEMMMeasurements() != 0 {
+		t.Fatal("confident prediction measured anyway")
+	}
+
+	// Without a pair model the predict policy is a 400, mirroring the SMSV
+	// endpoint's contract.
+	s2 := newTestServer(t, Config{})
+	w := post(t, s2.Handler(), "/v1/schedule/spgemm", SpGEMMRequest{A: "x", B: "y", Policy: "predict"})
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "spgemm-predictor") {
+		t.Fatalf("predict without model: %d %s", w.Code, w.Body)
+	}
+}
+
+func TestScheduleSpGEMMBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := map[string]struct {
+		req  SpGEMMRequest
+		want string
+	}{
+		"missing-b":   {SpGEMMRequest{A: makeLIBSVM(4, 4, 2, 1)}, "both operands"},
+		"bad-policy":  {SpGEMMRequest{A: "x", B: "y", Policy: "nope"}, "unknown policy"},
+		"unparseable": {SpGEMMRequest{A: "not libsvm at all::", B: makeLIBSVM(4, 4, 2, 1)}, "operand a"},
+		"mismatch": {SpGEMMRequest{
+			A: makeLIBSVM(9, 8, 4, 1) + "+1 8:1\n",
+			B: makeLIBSVM(11, 6, 3, 2) + "+1 6:1\n",
+		}, "dimension mismatch"},
+	}
+	for name, tc := range cases {
+		w := post(t, h, "/v1/schedule/spgemm", tc.req)
+		if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), tc.want) {
+			t.Errorf("%s: %d %s (want 400 containing %q)", name, w.Code, w.Body, tc.want)
+		}
+	}
+}
+
+func TestSpGEMMMetricsExposed(t *testing.T) {
+	s := newTestServer(t, Config{Policy: core.Hybrid, Repeats: 1})
+	h := s.Handler()
+	decodeSpGEMM(t, post(t, h, "/v1/schedule/spgemm", conformablePair(24, 20, 14, 9)))
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	body := w.Body.String()
+	for _, want := range []string{
+		"layoutd_spgemm_measurements_total 1",
+		"layoutd_spgemm_cache_misses_total 1",
+		"layoutd_spgemm_history_entries 1",
+		`layoutd_requests_total{endpoint="schedule-spgemm"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestPairKeyStability(t *testing.T) {
+	fa := dataset.Features{M: 100, N: 80, NNZ: 500, Mdim: 10, Adim: 5, Vdim: 2, Density: 0.06}
+	fb := dataset.Features{M: 80, N: 60, NNZ: 400, Mdim: 9, Adim: 5, Vdim: 2, Density: 0.08}
+	k1 := PairKey(fa, fb, "hybrid", 2)
+	if !strings.HasPrefix(k1, pairKeyVersion+"|") {
+		t.Fatalf("pair key %q missing schema prefix", k1)
+	}
+	if k1 != string(AppendPairKey(nil, fa, fb, "hybrid", 2)) {
+		t.Fatal("PairKey and AppendPairKey disagree")
+	}
+	// Operand order matters: A×B and B×A are different products.
+	if k1 == PairKey(fb, fa, "hybrid", 2) {
+		t.Fatal("pair key is symmetric in its operands")
+	}
+	// Pair keys must never collide with the SMSV key space.
+	if strings.HasPrefix(k1, keyVersion+"|") {
+		t.Fatal("pair key aliases the SMSV key schema")
+	}
+}
+
+func TestClusterReplicateAppliesSpGEMMKinds(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	nd := nodes[0]
+	good := spgemm.BaseCandidate.String()
+	entry := func(kind, key string, payload any) cluster.ReplEntry {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cluster.ReplEntry{Kind: kind, Key: key, Payload: raw}
+	}
+	payload := cluster.ReplicatePayload{From: "n2", Entries: []cluster.ReplEntry{
+		entry(cluster.KindSpGEMM, "p1|hybrid/2|1,2,3|4,5,6", pairWire{
+			Candidate: good, Source: "measured", EstimatedNNZ: 128,
+		}),
+		entry(cluster.KindSpGEMM, "", pairWire{Candidate: good}),              // keyless
+		entry(cluster.KindSpGEMM, "p1|x", pairWire{Candidate: "gustavson/"}), // unparseable candidate
+		entry(cluster.KindPairHistory, "", pairHistoryWire{
+			AFeatures: FeaturesJSON{M: 64, N: 32, NNZ: 300, Density: 0.15},
+			BFeatures: FeaturesJSON{M: 32, N: 16, NNZ: 90, Density: 0.17},
+			Candidate: good,
+		}),
+		entry(cluster.KindPairHistory, "", pairHistoryWire{Candidate: good}), // zero dims
+	}}
+	status, raw, _ := postURL(t, nd.url+cluster.ReplicatePath, payload)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var resp cluster.ReplicateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 2 || resp.Skipped != 3 {
+		t.Fatalf("applied %d skipped %d, want 2/3", resp.Applied, resp.Skipped)
+	}
+	if !nd.srv.spCache.Peek([]byte("p1|hybrid/2|1,2,3|4,5,6")) {
+		t.Fatal("replicated spgemm decision not in the pair cache")
+	}
+	if nd.srv.PairHistory().Len() != 1 {
+		t.Fatalf("pair history len %d, want 1", nd.srv.PairHistory().Len())
+	}
+}

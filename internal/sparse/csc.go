@@ -56,6 +56,18 @@ func (m *CSCMatrix) NNZ() int { return len(m.val) }
 // Format returns CSC.
 func (m *CSCMatrix) Format() Format { return CSC }
 
+// Col returns column j as a zero-copy sparse vector whose Index slice holds
+// ascending row positions. The returned slices alias the matrix storage and
+// must not be mutated. This is the column-access dual of CSRMatrix.Row and
+// what makes CSC the natural A-side format for outer-product SpGEMM.
+func (m *CSCMatrix) Col(j int) Vector {
+	lo, hi := m.ptr[j], m.ptr[j+1]
+	return Vector{Index: m.idx[lo:hi], Value: m.val[lo:hi], Dim: m.rows}
+}
+
+// ColNNZ returns the number of stored nonzeros in column j.
+func (m *CSCMatrix) ColNNZ(j int) int { return int(m.ptr[j+1] - m.ptr[j]) }
+
 // RowTo appends the nonzeros of row i to dst. CSC has no row index, so this
 // probes every column with a binary search — O(N log nnz); CSC is built for
 // column access, and this cost asymmetry is why it is not in the scheduled

@@ -155,3 +155,75 @@ func TestParseHistogramRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot %+v", snap)
 	}
 }
+
+// TestSubtractEdgeCases covers the corners a live scrape pair can hit:
+// same bucket count with different bounds, a counter reset between scrapes
+// (later < earlier), and subtraction involving empty snapshots.
+func TestSubtractEdgeCases(t *testing.T) {
+	mk := func(bounds []float64, counts []float64, count, sum float64) HistogramSnapshot {
+		return HistogramSnapshot{
+			Bounds: append([]float64(nil), bounds...),
+			Counts: append([]float64(nil), counts...),
+			Count:  count, Sum: sum,
+		}
+	}
+
+	// Same length, different bound values: the layouts disagree, so the
+	// per-bucket deltas would be meaningless.
+	later := mk([]float64{0.1, 1}, []float64{5, 5}, 10, 3)
+	if err := later.Subtract(mk([]float64{0.1, 2}, []float64{1, 1}, 2, 1)); err == nil {
+		t.Fatal("subtracted histograms with mismatched bound values")
+	} else if !strings.Contains(err.Error(), "bound mismatch") {
+		t.Fatalf("error %q does not name the bound mismatch", err)
+	}
+	// A failed Subtract must not have half-applied: the first bucket pair
+	// matched and was subtracted before the mismatch was seen — accept
+	// either full rollback or detect-first semantics, but the caller
+	// contract is simply "error means unusable", so only the error matters.
+
+	// Counter reset: the process restarted between scrapes, every later
+	// value is below the earlier one. Deltas clamp to zero, never negative.
+	later = mk([]float64{0.1, 1}, []float64{2, 3}, 5, 1.5)
+	if err := later.Subtract(mk([]float64{0.1, 1}, []float64{10, 20}, 30, 9)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range later.Counts {
+		if c < 0 {
+			t.Fatalf("bucket %d went negative: %g", i, c)
+		}
+	}
+	if later.Count != 0 || later.Sum != 0 {
+		t.Fatalf("reset delta count %g sum %g, want both clamped to 0", later.Count, later.Sum)
+	}
+
+	// Partial reset: one bucket regressed, the rest advanced. Only the
+	// regressed bucket clamps.
+	later = mk([]float64{0.1, 1}, []float64{1, 50}, 51, 8)
+	if err := later.Subtract(mk([]float64{0.1, 1}, []float64{4, 20}, 24, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if later.Counts[0] != 0 || later.Counts[1] != 30 {
+		t.Fatalf("partial reset buckets %v, want [0 30]", later.Counts)
+	}
+
+	// Empty minus empty is a no-op that succeeds: zero buckets match zero
+	// buckets.
+	var empty HistogramSnapshot
+	if err := empty.Subtract(HistogramSnapshot{}); err != nil {
+		t.Fatalf("empty - empty: %v", err)
+	}
+	if empty.Count != 0 || empty.Sum != 0 || len(empty.Counts) != 0 {
+		t.Fatalf("empty - empty mutated: %+v", empty)
+	}
+
+	// Populated minus empty (and vice versa) is a layout mismatch, not a
+	// silent zero.
+	later = mk([]float64{0.1}, []float64{5}, 5, 1)
+	if err := later.Subtract(HistogramSnapshot{}); err == nil {
+		t.Fatal("subtracted empty snapshot from populated histogram")
+	}
+	empty = HistogramSnapshot{}
+	if err := empty.Subtract(mk([]float64{0.1}, []float64{5}, 5, 1)); err == nil {
+		t.Fatal("subtracted populated snapshot from empty histogram")
+	}
+}
