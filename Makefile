@@ -6,6 +6,7 @@
 #   make test-race  short-mode race check of the concurrency-heavy packages
 #   make chaos      fault-injection tests under the race detector
 #   make fuzz       native fuzz targets, $(FUZZTIME) each
+#   make flake      repeat the clock/cluster-sensitive suites 5x under -race
 #   make bench      run every benchmark once, human-readable
 #   make bench-json full benchmark sweep as JSON lines in BENCH_<date>.json
 #   make bench-trajectory  hot-path trajectory benchmarks (pool-vs-spawn,
@@ -16,13 +17,13 @@
 #   make run-layoutd  start the layout-scheduling daemon on $(LAYOUTD_ADDR)
 
 GO ?= go
-RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/spgemm/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/... ./internal/cluster/...
+RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/spgemm/... ./internal/core/... ./internal/svm/... ./internal/serve/... ./internal/learn/... ./internal/fault/... ./internal/telemetry/... ./internal/cluster/... ./internal/online/...
 CHAOS_PKGS := ./internal/parallel ./internal/core ./internal/serve
 FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
 LAYOUTD_ADDR ?= :8723
 
-.PHONY: build vet test test-race chaos fuzz bench bench-json bench-trajectory metrics-lint loadgen-smoke run-layoutd clean
+.PHONY: build vet test test-race chaos fuzz flake bench bench-json bench-trajectory metrics-lint loadgen-smoke run-layoutd clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +48,13 @@ fuzz:
 	$(GO) test -fuzz '^FuzzParseLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -fuzz '^FuzzScheduleRequest$$' -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -fuzz '^FuzzSpGEMM$$' -fuzztime $(FUZZTIME) ./internal/spgemm
+	$(GO) test -fuzz '^FuzzOnlineHarvestRecord$$' -fuzztime $(FUZZTIME) ./internal/online
+
+# Flake detector: the fake-clock state machine and the cluster suite are
+# the two places where nondeterminism would hide; five repetitions under
+# the race detector surface any order dependence cheaply.
+flake:
+	$(GO) test -race -count=5 ./internal/online ./internal/cluster
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -58,6 +66,17 @@ bench-json:
 # Trajectory: the PR-gated hot-path numbers (scheduling decision cost,
 # pooled execution, batched serving) in one schema-stable document. The
 # committed baseline carries the pre-joint-candidate numbers for diffing.
+#
+# Refreshing the committed BENCH_6.json baseline (do this when the numbers
+# go stale — new Go toolchain, hardware change, or an intentional perf
+# shift — never to paper over a regression):
+#   1. make bench-trajectory            # rewrites BENCH_6.json in place
+#   2. go run ./cmd/benchjson compare -tolerance 2.0 \
+#        <(git show HEAD:BENCH_6.json) BENCH_6.json
+#      and check that every ratio is either expected or improved;
+#   3. commit the new BENCH_6.json, citing the compare output in the
+#      message. CI diffs each PR's fresh run against the committed file
+#      with the same 2.0x soft tolerance.
 bench-trajectory:
 	@{ $(GO) test -run '^$$' -bench 'BenchmarkSMOPoolVsSpawn|BenchmarkAblationFusion' -benchtime 5x -benchmem . ; \
 	   $(GO) test -run '^$$' -bench 'BenchmarkPredictVsMeasure' -benchtime 100x -benchmem . ; \

@@ -12,6 +12,17 @@
 //	layoutd -addr :8723 -policy hybrid -history tuning.hist -model svm.model
 //	layoutd -addr :8723 -policy predict -predictor model.json
 //	layoutd -addr :8731 -node-id n1 -peers n1=http://h1:8731,n2=http://h2:8731
+//	layoutd -addr :8723 -online -retrain-interval 1m -online-store harvest.log
+//
+// With -online, the daemon closes the learning flywheel at runtime: every
+// fresh measured decision (SMSV and SpGEMM) is harvested into a bounded
+// store, a background loop periodically retrains candidate predictors from
+// the harvested window, shadow-evaluates them against the measured oracle,
+// hot-swaps a candidate that beats the live model by -promote-margin, and
+// rolls the swap back automatically if post-swap regret exceeds
+// -rollback-regret. In cluster mode a promoted model broadcasts to the
+// ring through /v1/cluster/model. Progress is visible under the
+// layoutd_online_* metrics.
 //
 // With -peers, nodes form a consistent-hash ring over shape classes: each
 // schedule request is answered by the node owning its shape class (one
@@ -58,6 +69,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/learn"
+	"repro/internal/online"
 	"repro/internal/serve"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
@@ -94,6 +106,13 @@ type options struct {
 	nodeID    string
 	replicate bool
 	vnodes    int
+
+	online          bool
+	retrainInterval time.Duration
+	shadowWindow    int
+	promoteMargin   float64
+	rollbackRegret  float64
+	onlineStorePath string
 }
 
 func main() {
@@ -125,6 +144,12 @@ func main() {
 	flag.StringVar(&o.nodeID, "node-id", "", "this node's id in the -peers list (required with -peers)")
 	flag.BoolVar(&o.replicate, "replicate", true, "gossip fresh decisions and history records to the ring successor")
 	flag.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per ring member (0 = default)")
+	flag.BoolVar(&o.online, "online", false, "run the online flywheel: harvest measured decisions, retrain in the background, shadow-evaluate and hot-swap predictors with automatic rollback")
+	flag.DurationVar(&o.retrainInterval, "retrain-interval", time.Minute, "online retrain cadence per lane (with -online)")
+	flag.IntVar(&o.shadowWindow, "shadow-window", 256, "harvested records per lane the online retrainer fits and shadow-evaluates on (with -online)")
+	flag.Float64Var(&o.promoteMargin, "promote-margin", 0.05, "shadow hit-rate edge (0..1) a candidate model needs over the live one to be promoted (with -online)")
+	flag.Float64Var(&o.rollbackRegret, "rollback-regret", 1.5, "mean post-swap regret ratio beyond which a promotion is rolled back (with -online)")
+	flag.StringVar(&o.onlineStorePath, "online-store", "", "harvest-store file: loaded at startup, saved on shutdown (with -online)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutd:", err)
@@ -159,6 +184,23 @@ func run(o options) error {
 	}
 	if o.vnodes < 0 {
 		return fmt.Errorf("-vnodes must not be negative, got %d (0 = default)", o.vnodes)
+	}
+	if o.onlineStorePath != "" && !o.online {
+		return fmt.Errorf("-online-store %q given without -online", o.onlineStorePath)
+	}
+	if o.online {
+		if o.retrainInterval <= 0 {
+			return fmt.Errorf("-retrain-interval must be positive, got %v", o.retrainInterval)
+		}
+		if o.shadowWindow <= 0 {
+			return fmt.Errorf("-shadow-window must be positive, got %d", o.shadowWindow)
+		}
+		if o.promoteMargin < 0 || o.promoteMargin > 1 {
+			return fmt.Errorf("-promote-margin is an absolute hit-rate edge and must be in [0,1], got %g", o.promoteMargin)
+		}
+		if o.rollbackRegret < 1 {
+			return fmt.Errorf("-rollback-regret is a slowdown ratio and must be at least 1, got %g", o.rollbackRegret)
+		}
 	}
 	if o.faults != "" {
 		reg, err := fault.Parse(o.faults, o.faultSeed)
@@ -249,6 +291,34 @@ func run(o options) error {
 	ex := exec.New(o.workers, exec.Static)
 	defer ex.Close()
 
+	// The harvest store is sized to hold several shadow windows per lane so
+	// one retrain's window survives the other lane's traffic bursts.
+	var store *online.Store
+	if o.online {
+		capacity := 4 * o.shadowWindow
+		if capacity < 1024 {
+			capacity = 1024
+		}
+		store = online.NewStore(capacity, nil)
+		if o.onlineStorePath != "" {
+			f, err := os.Open(o.onlineStorePath)
+			switch {
+			case os.IsNotExist(err):
+				// First boot: the store starts empty and is saved on shutdown.
+			case err != nil:
+				return err
+			default:
+				err = store.Load(f)
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("loading online store %s: %w", o.onlineStorePath, err)
+				}
+				logger.Info("loaded online harvest store",
+					"records", store.Len(), "path", o.onlineStorePath)
+			}
+		}
+	}
+
 	cfg := serve.Config{
 		Policy: p, Exec: ex, Stats: &exec.Stats{}, History: hist, Model: model,
 		PairHistory:   pairHist,
@@ -268,6 +338,18 @@ func run(o options) error {
 			}
 			return f, nil
 		},
+		PairModelLoader: func(b []byte) (core.PairPredictor, error) {
+			f, err := learn.LoadPair(bytes.NewReader(b))
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		},
+	}
+	if store != nil {
+		// The store validates and counts rejected records itself, so the
+		// hot-path hook stays a plain enqueue.
+		cfg.Harvest = func(r online.Record) { _ = store.Add(r) }
 	}
 	if predictor != nil {
 		cfg.Predictor = predictor
@@ -276,6 +358,65 @@ func run(o options) error {
 		cfg.PairPredictor = pairPredictor
 	}
 	s := serve.NewServer(cfg)
+
+	// The flywheel: retrain from the harvest store on a cadence, promote a
+	// candidate only when it shadow-beats the live model, install through
+	// the same hot-swap path cluster pushes use, and broadcast the promoted
+	// model to the ring so every node serves it.
+	var ctl *online.Controller
+	var ctlCancel context.CancelFunc
+	if o.online {
+		smsvInstall := func(f *learn.Forest) error {
+			var buf bytes.Buffer
+			if err := f.Save(&buf); err != nil {
+				return err
+			}
+			s.SwapPredictor(f)
+			if n := s.BroadcastModel(context.Background(), serve.ModelKindSMSV, buf.Bytes()); n > 0 {
+				logger.Info("broadcast promoted format predictor", "peers", n)
+			}
+			return nil
+		}
+		pairInstall := func(f *learn.PairForest) error {
+			var buf bytes.Buffer
+			if err := f.Save(&buf); err != nil {
+				return err
+			}
+			s.SwapPairPredictor(f)
+			if n := s.BroadcastModel(context.Background(), serve.ModelKindPair, buf.Bytes()); n > 0 {
+				logger.Info("broadcast promoted pair predictor", "peers", n)
+			}
+			return nil
+		}
+		ctl, err = online.New(online.Config{
+			Store:           store,
+			RetrainInterval: o.retrainInterval,
+			ShadowWindow:    o.shadowWindow,
+			PromoteMargin:   o.promoteMargin,
+			RollbackRegret:  o.rollbackRegret,
+			Logger:          logger,
+			Lanes: []online.LaneConfig{
+				online.SMSVLane(predictor, learn.TrainConfig{}, smsvInstall),
+				online.PairLane(pairPredictor, learn.TrainConfig{}, pairInstall),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		s.Registry().Register(telemetry.CollectorFunc(func() []telemetry.Family {
+			return ctl.MetricFamilies("layoutd")
+		}))
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ctlCancel = cancel
+		go ctl.Run(ctx)
+		logger.Info("online flywheel armed",
+			"retrain_interval", o.retrainInterval.String(),
+			"shadow_window", o.shadowWindow,
+			"promote_margin", o.promoteMargin,
+			"rollback_regret", o.rollbackRegret)
+	}
+
 	handler := http.Handler(s.Handler())
 	if o.pprofOn {
 		// pprof rides the same listener but stays off the API mux, so it
@@ -324,6 +465,9 @@ func run(o options) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
 	}
+	if ctlCancel != nil {
+		ctlCancel()
+	}
 	s.Drain()
 	if peers != nil {
 		// After Drain no handler can enqueue more gossip; Stop flushes what
@@ -346,7 +490,32 @@ func run(o options) error {
 		}
 		logger.Info("saved pair tuning history", "entries", s.PairHistory().Len(), "path", o.pairHistPath)
 	}
+	if ctl != nil {
+		for _, ls := range ctl.Status() {
+			logger.Info("online lane summary", "lane", string(ls.Kind),
+				"model", ls.LiveModel, "promotions", ls.Promotions,
+				"rollbacks", ls.Rollbacks, "commits", ls.Commits)
+		}
+	}
+	if store != nil && o.onlineStorePath != "" {
+		if err := saveOnlineStore(o.onlineStorePath, store); err != nil {
+			return fmt.Errorf("saving online store: %w", err)
+		}
+		logger.Info("saved online harvest store", "records", store.Len(), "path", o.onlineStorePath)
+	}
 	return nil
+}
+
+func saveOnlineStore(path string, st *online.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadPairHistory reads an existing SpGEMM pair-history file; a missing

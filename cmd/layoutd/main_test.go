@@ -21,6 +21,16 @@ func goodOptions() options {
 	}
 }
 
+// onlineDefaults arms -online with the flag-default knobs so each test
+// case below can break exactly one of them.
+func onlineDefaults(o *options) {
+	o.online = true
+	o.retrainInterval = time.Minute
+	o.shadowWindow = 256
+	o.promoteMargin = 0.05
+	o.rollbackRegret = 1.5
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -47,6 +57,29 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"missing spgemm predictor", func(o *options) {
 			o.pairPredPath = "/nonexistent/spgemm-model.json"
 		}, "spgemm-model.json"},
+		{"online-store without online", func(o *options) {
+			o.onlineStorePath = "harvest.log"
+		}, "-online"},
+		{"online zero retrain interval", func(o *options) {
+			onlineDefaults(o)
+			o.retrainInterval = 0
+		}, "-retrain-interval"},
+		{"online zero shadow window", func(o *options) {
+			onlineDefaults(o)
+			o.shadowWindow = 0
+		}, "-shadow-window"},
+		{"online negative promote margin", func(o *options) {
+			onlineDefaults(o)
+			o.promoteMargin = -0.1
+		}, "-promote-margin"},
+		{"online promote margin over one", func(o *options) {
+			onlineDefaults(o)
+			o.promoteMargin = 1.5
+		}, "-promote-margin"},
+		{"online rollback regret below one", func(o *options) {
+			onlineDefaults(o)
+			o.rollbackRegret = 0.5
+		}, "-rollback-regret"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/learn"
+	"repro/internal/online"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -81,10 +83,28 @@ func gather(url, file string) (string, error) {
 func scrapeTestServer() (string, error) {
 	ex := exec.New(2, exec.Static)
 	defer ex.Close()
+	store := online.NewStore(64, nil)
 	s := serve.NewServer(serve.Config{
 		Policy: core.Hybrid, Exec: ex, Stats: &exec.Stats{}, TopK: 2,
+		Harvest: func(r online.Record) { _ = store.Add(r) },
 	})
 	defer s.Drain()
+	// The online flywheel contributes its hand-built layoutd_online_*
+	// families to the same exposition; lint them together the way a
+	// `layoutd -online` scrape would serve them.
+	ctl, err := online.New(online.Config{
+		Store: store,
+		Lanes: []online.LaneConfig{
+			online.SMSVLane(nil, learn.TrainConfig{}, func(*learn.Forest) error { return nil }),
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	s.Registry().Register(telemetry.CollectorFunc(func() []telemetry.Family {
+		return ctl.MetricFamilies("layoutd")
+	}))
+	ctl.Step()
 	h := s.Handler()
 
 	var data strings.Builder

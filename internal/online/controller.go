@@ -1,0 +1,491 @@
+package online
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Model is a candidate (or live) predictor as the controller manages
+// it: a display name for logs/traces, the shadow-evaluable predict
+// function, and an Install hook that makes it the serving model
+// (typically serve's atomic predictorSwap plus a ring-wide broadcast).
+type Model struct {
+	Name    string
+	Predict PredictFunc
+	Install func() error
+}
+
+// LaneConfig is one workload's flywheel: which records it trains from,
+// the model serving at boot, and how to fit a fresh candidate from a
+// harvested window. The controller runs every lane through the same
+// state machine independently — SMSV and SpGEMM promote and roll back
+// on their own evidence.
+type LaneConfig struct {
+	Kind Kind
+	// Boot is the model serving when the controller starts. A Boot
+	// with a nil Predict is treated as always abstaining (no model
+	// loaded), which any trained candidate shadow-beats.
+	Boot Model
+	// Train fits a candidate from a harvested window. round is a
+	// monotonic retrain counter, useful for naming.
+	Train func(recs []Record, round int64) (Model, error)
+	// MinRecords gates training: fewer harvested records than this and
+	// the lane skips the round. Default 8.
+	MinRecords int
+}
+
+// Config parameterizes the controller. Zero fields take the documented
+// defaults, so tests and callers set only what they care about.
+type Config struct {
+	Store *Store
+	Now   Clock // nil = wall clock
+
+	// RetrainInterval is the cadence of retrain attempts per lane and
+	// the patience ceiling for judging a promoted model. Default 1m.
+	RetrainInterval time.Duration
+	// ShadowWindow is how many recent records (per lane) the retrainer
+	// fits and shadow-evaluates on. Default 256.
+	ShadowWindow int
+	// PromoteMargin is the hit-rate edge (absolute, 0..1) a candidate
+	// must have over the live model on the shadow window to be
+	// promoted. Default 0.05.
+	PromoteMargin float64
+	// RollbackRegret rolls a promoted model back when its mean regret
+	// on fresh post-swap traffic exceeds this ratio. Default 1.5.
+	RollbackRegret float64
+	// MonitorRecords is how many fresh records after a swap trigger
+	// the post-swap judgment (the interval elapsing judges on whatever
+	// arrived). Default 16.
+	MonitorRecords int
+
+	Logger *slog.Logger
+	Lanes  []LaneConfig
+}
+
+// laneState is the per-lane position in the promotion state machine.
+type laneState int
+
+const (
+	// laneIdle: serving the live model, retraining on the interval.
+	laneIdle laneState = iota
+	// laneMonitoring: a candidate was promoted; fresh traffic decides
+	// between commit and rollback.
+	laneMonitoring
+)
+
+// lane is one workload's live state plus its lifetime counters. All
+// mutable fields are guarded by Controller.mu.
+type lane struct {
+	cfg         LaneConfig
+	state       laneState
+	live        Model
+	prev        Model // only set while monitoring; rollback target
+	round       int64
+	lastRetrain time.Time
+	promotedSeq uint64
+	promotedAt  time.Time
+
+	retrains      int64
+	retrainErrors int64
+	installErrors int64
+	shadowEvals   int64
+	promotions    int64
+	rejections    int64
+	rollbacks     int64
+	commits       int64
+
+	liveHitRate float64
+	candHitRate float64
+	postRegret  float64
+
+	regretHist histCounts
+}
+
+// regretBounds bucket candidate shadow mean-regret ratios (1 = perfect).
+var regretBounds = [...]float64{1.01, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}
+
+// histCounts is a minimal fixed-bucket histogram for the hand-built
+// exposition below (guarded by Controller.mu like the rest of lane).
+type histCounts struct {
+	counts [len(regretBounds) + 1]int64 // last bucket is +Inf
+	sum    float64
+	n      int64
+}
+
+func (h *histCounts) observe(v float64) {
+	i := 0
+	for i < len(regretBounds) && v > regretBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Controller drives the harvest→retrain→shadow→promote/rollback state
+// machine. Step is the only state transition and is synchronous and
+// clock-injected, so tests walk the machine deterministically; Run is
+// the daemon-mode ticker around it.
+type Controller struct {
+	cfg Config
+	// mu is held for the whole of Step and any metric snapshot. Step
+	// runs training under it too — retrains are background cadence
+	// work, never on a request path, so simplicity beats concurrency.
+	mu    chMutex
+	lanes []*lane
+}
+
+// chMutex is a channel-based mutex so MetricFamilies can snapshot
+// without blocking scrape goroutines behind a long training run more
+// than necessary — functionally a sync.Mutex with TryLock on scrape.
+type chMutex chan struct{}
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+func (m chMutex) tryLock() bool {
+	select {
+	case m <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// New validates cfg, applies defaults, and returns a controller with
+// every lane idle on its boot model.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("online: controller needs a store")
+	}
+	if len(cfg.Lanes) == 0 {
+		return nil, fmt.Errorf("online: controller needs at least one lane")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.RetrainInterval <= 0 {
+		cfg.RetrainInterval = time.Minute
+	}
+	if cfg.ShadowWindow <= 0 {
+		cfg.ShadowWindow = 256
+	}
+	if cfg.PromoteMargin < 0 || cfg.PromoteMargin > 1 {
+		return nil, fmt.Errorf("online: promote margin %g outside [0,1]", cfg.PromoteMargin)
+	}
+	if cfg.PromoteMargin == 0 {
+		cfg.PromoteMargin = 0.05
+	}
+	if cfg.RollbackRegret == 0 {
+		cfg.RollbackRegret = 1.5
+	}
+	if cfg.RollbackRegret < 1 {
+		return nil, fmt.Errorf("online: rollback regret %g below 1 (regret ratios are >= 1)", cfg.RollbackRegret)
+	}
+	if cfg.MonitorRecords <= 0 {
+		cfg.MonitorRecords = 16
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(discard{}, nil))
+	}
+	c := &Controller{cfg: cfg, mu: make(chMutex, 1)}
+	seen := map[Kind]bool{}
+	now := cfg.Now()
+	for _, lc := range cfg.Lanes {
+		if !lc.Kind.Valid() {
+			return nil, fmt.Errorf("online: lane with unknown kind %q", lc.Kind)
+		}
+		if seen[lc.Kind] {
+			return nil, fmt.Errorf("online: duplicate lane for kind %q", lc.Kind)
+		}
+		seen[lc.Kind] = true
+		if lc.Train == nil {
+			return nil, fmt.Errorf("online: lane %q has no trainer", lc.Kind)
+		}
+		if lc.MinRecords <= 0 {
+			lc.MinRecords = 8
+		}
+		c.lanes = append(c.lanes, &lane{cfg: lc, live: lc.Boot, lastRetrain: now})
+	}
+	return c, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// predictOrAbstain tolerates models without a Predict (nothing loaded).
+func predictOrAbstain(m Model) PredictFunc {
+	if m.Predict == nil {
+		return func(Record) (string, bool) { return "", false }
+	}
+	return m.Predict
+}
+
+// Step advances every lane one tick at the injected clock's current
+// time: monitoring lanes are judged (commit or rollback) and idle lanes
+// retrain + shadow-evaluate + maybe promote once their interval has
+// elapsed. It is safe to call from one goroutine at a time per
+// controller (Run serializes; tests call it directly).
+func (c *Controller) Step() {
+	c.mu.lock()
+	defer c.mu.unlock()
+	now := c.cfg.Now()
+	for _, ln := range c.lanes {
+		if ln.state == laneMonitoring {
+			c.judge(ln, now)
+		}
+		if ln.state == laneIdle {
+			c.retrain(ln, now)
+		}
+	}
+}
+
+// judge decides a promoted model's fate from fresh post-swap traffic:
+// rollback when mean regret regressed past the threshold, commit
+// otherwise. With neither enough fresh records nor an elapsed interval
+// it keeps waiting.
+func (c *Controller) judge(ln *lane, now time.Time) {
+	fresh := c.cfg.Store.Since(ln.cfg.Kind, ln.promotedSeq, c.cfg.MonitorRecords)
+	if len(fresh) < c.cfg.MonitorRecords && now.Sub(ln.promotedAt) < c.cfg.RetrainInterval {
+		return // not enough evidence yet; stay monitoring
+	}
+	post := EvalShadow(fresh, predictOrAbstain(ln.live))
+	ln.postRegret = post.MeanRegret()
+	if post.N > 0 && post.MeanRegret() > c.cfg.RollbackRegret {
+		if err := ln.prev.Install(); err != nil {
+			ln.installErrors++
+			c.cfg.Logger.Error("online rollback install failed; will retry",
+				"lane", ln.cfg.Kind, "model", ln.prev.Name, "err", err)
+			return // stay monitoring, retry next tick
+		}
+		c.cfg.Logger.Warn("online rollback",
+			"lane", ln.cfg.Kind, "from", ln.live.Name, "to", ln.prev.Name,
+			"post_regret", post.MeanRegret(), "threshold", c.cfg.RollbackRegret)
+		ln.live, ln.prev = ln.prev, Model{}
+		ln.state = laneIdle
+		ln.rollbacks++
+		// Back off one interval: the window that produced the bad
+		// candidate is still mostly in the store.
+		ln.lastRetrain = now
+		return
+	}
+	c.cfg.Logger.Info("online commit",
+		"lane", ln.cfg.Kind, "model", ln.live.Name,
+		"post_regret", post.MeanRegret(), "fresh", post.N)
+	ln.prev = Model{}
+	ln.state = laneIdle
+	ln.commits++
+}
+
+// retrain fits a candidate from the lane's recent window, shadow-scores
+// it against the live model, and promotes when it clears the margin.
+func (c *Controller) retrain(ln *lane, now time.Time) {
+	if now.Sub(ln.lastRetrain) < c.cfg.RetrainInterval {
+		return
+	}
+	ln.lastRetrain = now
+	window := c.cfg.Store.Window(ln.cfg.Kind, c.cfg.ShadowWindow)
+	if len(window) < ln.cfg.MinRecords {
+		return
+	}
+	ln.round++
+	ln.retrains++
+	cand, err := ln.cfg.Train(window, ln.round)
+	if err != nil {
+		ln.retrainErrors++
+		c.cfg.Logger.Error("online retrain failed", "lane", ln.cfg.Kind, "err", err)
+		return
+	}
+	liveStats := EvalShadow(window, predictOrAbstain(ln.live))
+	candStats := EvalShadow(window, predictOrAbstain(cand))
+	ln.shadowEvals++
+	ln.liveHitRate = liveStats.HitRate()
+	ln.candHitRate = candStats.HitRate()
+	ln.regretHist.observe(candStats.MeanRegret())
+	if candStats.N == 0 || candStats.HitRate() < liveStats.HitRate()+c.cfg.PromoteMargin {
+		ln.rejections++
+		c.cfg.Logger.Info("online candidate rejected",
+			"lane", ln.cfg.Kind, "candidate", cand.Name,
+			"cand_hit", candStats.HitRate(), "live_hit", liveStats.HitRate(),
+			"margin", c.cfg.PromoteMargin)
+		return
+	}
+	if err := cand.Install(); err != nil {
+		ln.installErrors++
+		c.cfg.Logger.Error("online promote install failed",
+			"lane", ln.cfg.Kind, "candidate", cand.Name, "err", err)
+		return
+	}
+	c.cfg.Logger.Info("online promotion",
+		"lane", ln.cfg.Kind, "from", ln.live.Name, "to", cand.Name,
+		"cand_hit", candStats.HitRate(), "live_hit", liveStats.HitRate())
+	ln.prev, ln.live = ln.live, cand
+	ln.promotedSeq = c.cfg.Store.LastSeq()
+	ln.promotedAt = now
+	ln.state = laneMonitoring
+	ln.promotions++
+}
+
+// Run ticks Step at a quarter of the retrain interval (floor 1s) until
+// ctx is done, so post-swap judgments land promptly while retrains stay
+// on their own internal cadence. Daemon mode only — tests use Step.
+func (c *Controller) Run(ctx context.Context) {
+	period := c.cfg.RetrainInterval / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Step()
+		}
+	}
+}
+
+// LaneStatus is a point-in-time snapshot of one lane for logs/tests.
+type LaneStatus struct {
+	Kind        Kind
+	Monitoring  bool
+	LiveModel   string
+	Promotions  int64
+	Rollbacks   int64
+	Commits     int64
+	LiveHitRate float64
+}
+
+// Status snapshots every lane.
+func (c *Controller) Status() []LaneStatus {
+	c.mu.lock()
+	defer c.mu.unlock()
+	out := make([]LaneStatus, 0, len(c.lanes))
+	for _, ln := range c.lanes {
+		out = append(out, LaneStatus{
+			Kind:       ln.cfg.Kind,
+			Monitoring: ln.state == laneMonitoring,
+			LiveModel:  ln.live.Name,
+			Promotions: ln.promotions, Rollbacks: ln.rollbacks, Commits: ln.commits,
+			LiveHitRate: ln.liveHitRate,
+		})
+	}
+	return out
+}
+
+// MetricFamilies renders the flywheel's state as hand-built exposition
+// families under <prefix>_online_*, the same idiom as
+// fault.MetricFamilies: counters for every state-machine transition,
+// gauges for the latest shadow scores, and a per-lane histogram of
+// candidate shadow regret. If the controller is mid-Step, the previous
+// scrape's families would require blocking behind a training run; the
+// scrape instead reports only the store-level families (which have
+// their own synchronization) and retries lane state next scrape.
+func (c *Controller) MetricFamilies(prefix string) []telemetry.Family {
+	p := prefix + "_online"
+	smsv, pair, evicted, rejected := c.cfg.Store.Counters()
+	fams := []telemetry.Family{
+		{
+			Name: p + "_enabled", Kind: telemetry.KindGauge,
+			Help:    "1 when the online flywheel is running.",
+			Samples: []telemetry.Sample{{Value: 1}},
+		},
+		{
+			Name: p + "_harvested_total", Kind: telemetry.KindCounter,
+			Help: "Measured decisions harvested into the online store, by workload.",
+			Samples: []telemetry.Sample{
+				{Labels: []telemetry.Label{telemetry.L("kind", string(KindSMSV))}, Value: float64(smsv)},
+				{Labels: []telemetry.Label{telemetry.L("kind", string(KindPair))}, Value: float64(pair)},
+			},
+		},
+		{
+			Name: p + "_store_evicted_total", Kind: telemetry.KindCounter,
+			Help:    "Oldest records evicted from the bounded online store.",
+			Samples: []telemetry.Sample{{Value: float64(evicted)}},
+		},
+		{
+			Name: p + "_store_rejected_total", Kind: telemetry.KindCounter,
+			Help:    "Invalid records rejected at harvest.",
+			Samples: []telemetry.Sample{{Value: float64(rejected)}},
+		},
+		{
+			Name: p + "_store_records", Kind: telemetry.KindGauge,
+			Help:    "Live records in the online store.",
+			Samples: []telemetry.Sample{{Value: float64(c.cfg.Store.Len())}},
+		},
+	}
+	if !c.mu.tryLock() {
+		return fams
+	}
+	defer c.mu.unlock()
+
+	counter := func(name, help string, get func(*lane) int64) telemetry.Family {
+		f := telemetry.Family{Name: p + name, Kind: telemetry.KindCounter, Help: help}
+		for _, ln := range c.lanes {
+			f.Samples = append(f.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{telemetry.L("lane", string(ln.cfg.Kind))},
+				Value:  float64(get(ln)),
+			})
+		}
+		return f
+	}
+	gauge := func(name, help string, get func(*lane) float64) telemetry.Family {
+		f := telemetry.Family{Name: p + name, Kind: telemetry.KindGauge, Help: help}
+		for _, ln := range c.lanes {
+			f.Samples = append(f.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{telemetry.L("lane", string(ln.cfg.Kind))},
+				Value:  float64(get(ln)),
+			})
+		}
+		return f
+	}
+	fams = append(fams,
+		counter("_retrains_total", "Background retrain rounds attempted.", func(l *lane) int64 { return l.retrains }),
+		counter("_retrain_errors_total", "Retrain rounds that failed to fit a model.", func(l *lane) int64 { return l.retrainErrors }),
+		counter("_install_errors_total", "Model installs (promote or rollback) that failed.", func(l *lane) int64 { return l.installErrors }),
+		counter("_shadow_evals_total", "Shadow evaluations of candidate vs live model.", func(l *lane) int64 { return l.shadowEvals }),
+		counter("_promotions_total", "Candidates hot-swapped in after winning shadow eval.", func(l *lane) int64 { return l.promotions }),
+		counter("_rejections_total", "Candidates that failed to clear the promote margin.", func(l *lane) int64 { return l.rejections }),
+		counter("_rollbacks_total", "Promoted models rolled back on post-swap regret regression.", func(l *lane) int64 { return l.rollbacks }),
+		counter("_commits_total", "Promoted models confirmed by post-swap traffic.", func(l *lane) int64 { return l.commits }),
+		gauge("_state", "Lane state: 0 idle, 1 monitoring a fresh promotion.", func(l *lane) float64 {
+			if l.state == laneMonitoring {
+				return 1
+			}
+			return 0
+		}),
+		gauge("_live_hit_rate", "Live model hit rate on the latest shadow window.", func(l *lane) float64 { return l.liveHitRate }),
+		gauge("_candidate_hit_rate", "Candidate model hit rate on the latest shadow window.", func(l *lane) float64 { return l.candHitRate }),
+		gauge("_post_swap_regret", "Mean regret of the latest post-swap judgment window.", func(l *lane) float64 { return l.postRegret }),
+	)
+
+	hist := telemetry.Family{
+		Name: p + "_shadow_regret", Kind: telemetry.KindHistogram,
+		Help: "Candidate mean shadow regret per retrain round (ratio, 1 = oracle).",
+	}
+	for _, ln := range c.lanes {
+		laneLabel := telemetry.L("lane", string(ln.cfg.Kind))
+		cum := int64(0)
+		for i, ub := range regretBounds {
+			cum += ln.regretHist.counts[i]
+			hist.Samples = append(hist.Samples, telemetry.Sample{
+				Suffix: "_bucket",
+				Labels: []telemetry.Label{laneLabel, telemetry.L("le", strconv.FormatFloat(ub, 'g', -1, 64))},
+				Value:  float64(cum),
+			})
+		}
+		cum += ln.regretHist.counts[len(regretBounds)]
+		hist.Samples = append(hist.Samples,
+			telemetry.Sample{Suffix: "_bucket", Labels: []telemetry.Label{laneLabel, telemetry.L("le", "+Inf")}, Value: float64(cum)},
+			telemetry.Sample{Suffix: "_sum", Labels: []telemetry.Label{laneLabel}, Value: ln.regretHist.sum},
+			telemetry.Sample{Suffix: "_count", Labels: []telemetry.Label{laneLabel}, Value: float64(cum)},
+		)
+	}
+	return append(fams, hist)
+}

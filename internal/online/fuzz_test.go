@@ -1,0 +1,77 @@
+package online
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzOnlineHarvestRecord drives the harvested-record wire codec the
+// store's save/load is built on. Invariants, mirroring the PR 8 model
+// IO: anything that decodes must validate (so a store can never load a
+// cross-workload or unreplayable record), and decode→encode→decode is
+// a fixed point.
+func FuzzOnlineHarvestRecord(f *testing.F) {
+	seed := func(r Record) {
+		if b, err := json.Marshal(r); err == nil {
+			f.Add(b)
+		}
+	}
+	seed(Record{
+		Kind: KindSMSV, Seq: 3, At: 17,
+		F:     feats(100, 80),
+		Label: "CSR/static/base",
+		Times: map[string]int64{"CSR/static/base": 100, "COO/static/base": 250},
+	})
+	seed(Record{
+		Kind: KindPair, Seq: 9, At: 23,
+		F: feats(60, 40), FB: feats(40, 50),
+		Label: "gustavson/CSR/CSR",
+		Times: map[string]int64{"gustavson/CSR/CSR": 90, "inner/CSR/CSC": 400},
+	})
+	// Cross-workload poison: an SMSV record labeled with a pair
+	// candidate, and vice versa — both must be rejected.
+	seed(Record{
+		Kind: KindSMSV, F: feats(10, 10),
+		Label: "gustavson/CSR/CSR", Times: map[string]int64{"gustavson/CSR/CSR": 5},
+	})
+	seed(Record{
+		Kind: KindPair, F: feats(10, 10), FB: feats(10, 10),
+		Label: "CSR/static/base", Times: map[string]int64{"CSR/static/base": 5},
+	})
+	f.Add([]byte(`{"kind":"smsv"`))
+	f.Add([]byte(`{}{}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		// Decoded ⇒ valid: the codec's whole point is that a store
+		// never holds a record Validate would reject.
+		if verr := r.Validate(); verr != nil {
+			t.Fatalf("decoded record fails Validate: %v\ninput: %q", verr, data)
+		}
+		if r.Kind == KindSMSV && r.FB != (dataset.Features{}) {
+			t.Fatalf("smsv record decoded with operand-B features: %q", data)
+		}
+		enc, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatalf("valid decoded record fails to encode: %v\ninput: %q", err, data)
+		}
+		if bytes.ContainsRune(enc, '\n') {
+			t.Fatalf("encoded record spans lines (breaks the save format): %q", enc)
+		}
+		r2, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoded: %q", err, enc)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip not a fixed point:\n first: %+v\nsecond: %+v", r, r2)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/learn"
+	"repro/internal/sparse"
+	"repro/internal/spgemm"
+)
+
+// Turnkey lane constructors: each wraps one of learn's forests as a
+// flywheel lane — records decode into the forest's example type, the
+// fitted forest predicts candidate strings for shadow eval, and the
+// caller supplies the install step (serve swap + cluster broadcast).
+
+// SMSVLane builds the single-matrix lane over learn.Forest. boot may be
+// nil (no model loaded at daemon start — the lane then promotes the
+// first candidate that clears the margin over an always-abstaining
+// live model). install makes a fitted forest the serving model.
+func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Forest) error) LaneConfig {
+	mk := func(name string, f *learn.Forest) Model {
+		return Model{
+			Name: name,
+			Predict: func(r Record) (string, bool) {
+				c, _, ok := f.PredictCandidate(r.F)
+				if !ok {
+					return "", false
+				}
+				return c.String(), true
+			},
+			Install: func() error { return install(f) },
+		}
+	}
+	bootModel := Model{Name: "boot"}
+	if boot != nil {
+		bootModel = mk("boot", boot)
+	}
+	return LaneConfig{
+		Kind: KindSMSV,
+		Boot: bootModel,
+		Train: func(recs []Record, round int64) (Model, error) {
+			exs := make([]learn.Example, 0, len(recs))
+			for _, r := range recs {
+				c, err := sparse.ParseCandidate(r.Label)
+				if err != nil {
+					continue // store validation makes this unreachable
+				}
+				exs = append(exs, learn.FromFeatures(r.F, c))
+			}
+			f, err := learn.Train(exs, tc)
+			if err != nil {
+				return Model{}, err
+			}
+			return mk(fmt.Sprintf("smsv-online-r%d", round), f), nil
+		},
+	}
+}
+
+// PairLane builds the SpGEMM lane over learn.PairForest, the pairwise
+// twin of SMSVLane.
+func PairLane(boot *learn.PairForest, tc learn.TrainConfig, install func(*learn.PairForest) error) LaneConfig {
+	mk := func(name string, f *learn.PairForest) Model {
+		return Model{
+			Name: name,
+			Predict: func(r Record) (string, bool) {
+				c, _, ok := f.PredictPair(r.F, r.FB)
+				if !ok {
+					return "", false
+				}
+				return c.String(), true
+			},
+			Install: func() error { return install(f) },
+		}
+	}
+	bootModel := Model{Name: "boot"}
+	if boot != nil {
+		bootModel = mk("boot", boot)
+	}
+	return LaneConfig{
+		Kind: KindPair,
+		Boot: bootModel,
+		Train: func(recs []Record, round int64) (Model, error) {
+			exs := make([]learn.PairExample, 0, len(recs))
+			for _, r := range recs {
+				c, err := spgemm.ParseCandidate(r.Label)
+				if err != nil {
+					continue // store validation makes this unreachable
+				}
+				exs = append(exs, learn.FromPairFeatures(r.F, r.FB, c))
+			}
+			f, err := learn.TrainPair(exs, tc)
+			if err != nil {
+				return Model{}, err
+			}
+			return mk(fmt.Sprintf("spgemm-online-r%d", round), f), nil
+		},
+	}
+}

@@ -1,0 +1,313 @@
+package online
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// testClock is a deterministic manual clock shared by the online tests:
+// every transition in this package is exercised without a single sleep.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// feats returns valid features for an m×n matrix.
+func feats(m, n int) dataset.Features {
+	return dataset.Features{
+		M: m, N: n, NNZ: int64(3 * m), Ndig: 5, Dnnz: float64(3*m) / 5,
+		Mdim: 7, Adim: 3, Vdim: 1.5, Density: float64(3) / float64(n),
+	}
+}
+
+// smsvRecord builds a valid SMSV record labeled with the fastest entry
+// of times.
+func smsvRecord(label string, times map[string]int64) Record {
+	return Record{Kind: KindSMSV, F: feats(100, 80), Label: label, Times: times}
+}
+
+// pairRecord builds a valid SpGEMM record.
+func pairRecord(label string, times map[string]int64) Record {
+	return Record{Kind: KindPair, F: feats(60, 40), FB: feats(40, 50), Label: label, Times: times}
+}
+
+func smsvTimes(fast string) map[string]int64 {
+	t := map[string]int64{
+		"CSR/static/base": 300, "COO/static/base": 400, "ELL/static/base": 500,
+	}
+	t[fast] = 100
+	return t
+}
+
+func pairTimes(fast string) map[string]int64 {
+	t := map[string]int64{
+		"gustavson/CSR/CSR": 300, "inner/CSR/CSC": 400, "outer/CSC/CSR": 500,
+	}
+	t[fast] = 100
+	return t
+}
+
+func TestRecordValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Record)
+		wantSub string
+	}{
+		{"unknown kind", func(r *Record) { r.Kind = "dnn" }, "unknown record kind"},
+		{"zero rows", func(r *Record) { r.F.M = 0 }, "degenerate"},
+		{"negative nnz", func(r *Record) { r.F.NNZ = -1 }, "negative nnz"},
+		{"no label", func(r *Record) { r.Label = "" }, "no label"},
+		{"cross-workload label", func(r *Record) { r.Label = "gustavson/CSR/CSR" }, "bad label"},
+		{"label not measured", func(r *Record) { r.Label = "DIA/static/base" }, "missing from measurements"},
+		{"no measurements", func(r *Record) { r.Times = nil }, "no measurements"},
+		{"zero measurement", func(r *Record) { r.Times["CSR/static/base"] = 0 }, "non-positive"},
+		{"cross-workload measurement", func(r *Record) { r.Times["inner/CSR/CSC"] = 50 }, "bad measured candidate"},
+		{"smsv with operand B", func(r *Record) { r.FB = feats(80, 9) }, "operand-B"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := smsvRecord("CSR/static/base", smsvTimes("CSR/static/base"))
+			tc.mutate(&r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a bad record")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestRecordValidatePairRejects(t *testing.T) {
+	r := pairRecord("gustavson/CSR/CSR", pairTimes("gustavson/CSR/CSR"))
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid pair record rejected: %v", err)
+	}
+	r.FB.M = 99 // A is 60x40, so B must have 40 rows
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "inner dims") {
+		t.Fatalf("dims mismatch not caught: %v", err)
+	}
+	r = pairRecord("gustavson/CSC/CSC", map[string]int64{"gustavson/CSC/CSC": 10})
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("unsupported dataflow/format combo not caught: %v", err)
+	}
+	r = pairRecord("CSR/static/base", map[string]int64{"CSR/static/base": 10})
+	if err := r.Validate(); err == nil {
+		t.Fatal("pair record with SMSV label accepted")
+	}
+}
+
+func TestStoreBoundsAndOrder(t *testing.T) {
+	clk := newTestClock()
+	s := NewStore(4, clk.Now)
+	for i := 0; i < 7; i++ {
+		clk.Advance(time.Second)
+		r := smsvRecord("CSR/static/base", smsvTimes("CSR/static/base"))
+		if err := s.Add(r); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	if got := s.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq = %d, want 7", got)
+	}
+	w := s.Window(KindSMSV, 10)
+	if len(w) != 4 {
+		t.Fatalf("window has %d records, want 4", len(w))
+	}
+	for i, r := range w {
+		if want := uint64(4 + i); r.Seq != want {
+			t.Fatalf("window[%d].Seq = %d, want %d (oldest evicted, arrival order)", i, r.Seq, want)
+		}
+		if r.At == 0 {
+			t.Fatal("store did not stamp At")
+		}
+	}
+	smsv, pair, evicted, rejected := s.Counters()
+	if smsv != 7 || pair != 0 || evicted != 3 || rejected != 0 {
+		t.Fatalf("counters = (%d,%d,%d,%d), want (7,0,3,0)", smsv, pair, evicted, rejected)
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	s := NewStore(4, nil)
+	r := smsvRecord("CSR/static/base", smsvTimes("CSR/static/base"))
+	r.Label = "gustavson/CSR/CSR"
+	if err := s.Add(r); err == nil {
+		t.Fatal("store accepted a cross-workload record")
+	}
+	if s.Len() != 0 {
+		t.Fatal("rejected record was stored")
+	}
+	if _, _, _, rejected := s.Counters(); rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", rejected)
+	}
+}
+
+func TestStoreKindsInterleaveAndSince(t *testing.T) {
+	s := NewStore(16, nil)
+	for i := 0; i < 5; i++ {
+		if err := s.Add(smsvRecord("CSR/static/base", smsvTimes("CSR/static/base"))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(pairRecord("gustavson/CSR/CSR", pairTimes("gustavson/CSR/CSR"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Window(KindSMSV, 100)); got != 5 {
+		t.Fatalf("smsv window = %d, want 5", got)
+	}
+	if got := len(s.Window(KindPair, 3)); got != 3 {
+		t.Fatalf("pair window capped = %d, want 3", got)
+	}
+	// Seqs interleave 1..10; pair records hold the even ones.
+	since := s.Since(KindPair, 4, 0)
+	if len(since) != 3 {
+		t.Fatalf("Since returned %d records, want 3", len(since))
+	}
+	for i, r := range since {
+		if want := uint64(6 + 2*i); r.Seq != want {
+			t.Fatalf("since[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+	if got := len(s.Since(KindPair, 4, 2)); got != 2 {
+		t.Fatalf("Since max=2 returned %d", got)
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	clk := newTestClock()
+	s := NewStore(8, clk.Now)
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Millisecond)
+		if i%2 == 0 {
+			_ = s.Add(smsvRecord("ELL/static/base", smsvTimes("ELL/static/base")))
+		} else {
+			_ = s.Add(pairRecord("inner/CSR/CSC", pairTimes("inner/CSR/CSC")))
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	s2 := NewStore(8, clk.Now)
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if s2.Len() != 6 || s2.LastSeq() != 6 {
+		t.Fatalf("loaded Len=%d LastSeq=%d, want 6/6", s2.Len(), s2.LastSeq())
+	}
+	a, b := s.Window(KindSMSV, 10), s2.Window(KindSMSV, 10)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("smsv window mismatch after round trip:\n%v\n%v", a, b)
+	}
+	// Sequence numbering resumes past the loaded records.
+	if err := s2.Add(smsvRecord("CSR/static/base", smsvTimes("CSR/static/base"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.LastSeq(); got != 7 {
+		t.Fatalf("post-load LastSeq = %d, want 7", got)
+	}
+}
+
+func TestStoreLoadRejectsCorruption(t *testing.T) {
+	good := "layoutd-online-harvest v1\n"
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"bad header", "harvest v9\n"},
+		{"cross-workload line", good + `{"kind":"smsv","seq":1,"at":1,"f":{"M":2,"N":2,"NNZ":1,"Ndig":1,"Dnnz":1,"Mdim":1,"Adim":0.5,"Vdim":0,"Density":0.25},"fb":{"M":0,"N":0,"NNZ":0,"Ndig":0,"Dnnz":0,"Mdim":0,"Adim":0,"Vdim":0,"Density":0},"label":"gustavson/CSR/CSR","times":{"gustavson/CSR/CSR":5}}` + "\n"},
+		{"garbage line", good + "{not json}\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore(4, nil)
+			if err := s.Load(strings.NewReader(tc.body)); err == nil {
+				t.Fatal("Load accepted corrupt input")
+			}
+		})
+	}
+}
+
+func TestStoreLoadKeepsNewestWhenOverCapacity(t *testing.T) {
+	big := NewStore(10, nil)
+	for i := 0; i < 10; i++ {
+		_ = big.Add(smsvRecord("CSR/static/base", smsvTimes("CSR/static/base")))
+	}
+	var buf bytes.Buffer
+	if err := big.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small := NewStore(3, nil)
+	if err := small.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	w := small.Window(KindSMSV, 10)
+	if len(w) != 3 || w[0].Seq != 8 || w[2].Seq != 10 {
+		t.Fatalf("small store kept %v, want seqs 8..10", w)
+	}
+}
+
+// TestStoreConcurrentHarvest exercises Add/Window/Since/Counters under
+// the race detector: the harvest hook runs on request goroutines while
+// the controller reads windows.
+func TestStoreConcurrentHarvest(t *testing.T) {
+	s := NewStore(64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Add(smsvRecord("CSR/static/base", smsvTimes("CSR/static/base")))
+				_ = s.Add(pairRecord("gustavson/CSR/CSR", pairTimes("gustavson/CSR/CSR")))
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Window(KindSMSV, 32)
+				_ = s.Since(KindPair, 10, 16)
+				_, _, _, _ = s.Counters()
+				_ = s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want full capacity 64", s.Len())
+	}
+	smsv, pair, evicted, _ := s.Counters()
+	if smsv != 800 || pair != 800 || evicted != 1536 {
+		t.Fatalf("counters = (%d,%d,%d), want (800,800,1536)", smsv, pair, evicted)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/sparse"
+	"repro/internal/spgemm"
 	"repro/internal/telemetry"
 )
 
@@ -61,11 +62,22 @@ type historyWire struct {
 // ModelPushRequest is the /v1/cluster/model body: a trained predictor in
 // its JSON wire form. Propagate makes the receiving node fan the model out
 // to every other ring member (with propagate off, so the fan-out is one
-// level deep and cannot echo).
+// level deep and cannot echo). Kind selects the workload the model serves:
+// "" or "smsv" routes through ModelLoader into the format-predictor swap,
+// "spgemm-pair" through PairModelLoader into the pair-predictor swap — the
+// same discriminator strings the model files themselves carry, so a model
+// can never be installed into the wrong workload's slot.
 type ModelPushRequest struct {
 	Model     json.RawMessage `json:"model"`
+	Kind      string          `json:"kind,omitempty"`
 	Propagate bool            `json:"propagate,omitempty"`
 }
+
+// Model push kinds.
+const (
+	ModelKindSMSV = "smsv"
+	ModelKindPair = "spgemm-pair"
+)
 
 // ModelPushResponse acknowledges a model push.
 type ModelPushResponse struct {
@@ -122,6 +134,64 @@ func (s *predictorSwap) PredictCandidate(f dataset.Features) (sparse.Candidate, 
 	}
 	fm, conf, ok := p.PredictFormat(f)
 	return sparse.BaseCandidate(fm), conf, ok
+}
+
+// pairPredictorSwap is predictorSwap's SpGEMM twin: an atomically
+// swappable pair predictor behind the stable pointer the pair schedulers
+// and the degrade ladder hold.
+type pairPredictorSwap struct {
+	v     atomic.Pointer[pairPredictorBox]
+	swaps atomic.Int64
+}
+
+type pairPredictorBox struct{ inner core.PairPredictor }
+
+func newPairPredictorSwap(p core.PairPredictor) *pairPredictorSwap {
+	s := &pairPredictorSwap{}
+	s.v.Store(&pairPredictorBox{inner: p})
+	return s
+}
+
+func (s *pairPredictorSwap) swap(p core.PairPredictor) {
+	s.v.Store(&pairPredictorBox{inner: p})
+	s.swaps.Add(1)
+}
+
+// Loaded reports whether a pair model is present.
+func (s *pairPredictorSwap) Loaded() bool { return s.v.Load().inner != nil }
+
+// PredictPair implements core.PairPredictor; with no model loaded it
+// abstains, which every caller treats as "measure instead".
+func (s *pairPredictorSwap) PredictPair(fa, fb dataset.Features) (spgemm.Candidate, float64, bool) {
+	p := s.v.Load().inner
+	if p == nil {
+		return spgemm.Candidate{}, 0, false
+	}
+	return p.PredictPair(fa, fb)
+}
+
+// SwapPredictor atomically replaces the serving format predictor — the
+// install step of an online SMSV promotion (cluster pushes arrive through
+// handleClusterModel instead). nil unloads the model.
+func (s *Server) SwapPredictor(p core.FormatPredictor) { s.predictor.swap(p) }
+
+// SwapPairPredictor atomically replaces the serving pair predictor.
+func (s *Server) SwapPairPredictor(p core.PairPredictor) { s.pairPredictor.swap(p) }
+
+// BroadcastModel pushes a serialized model of the given kind ("" or
+// ModelKindSMSV for the format predictor, ModelKindPair for the pair
+// predictor) to every other ring member without propagate, returning how
+// many peers acked. A non-clustered server returns 0 — promotion still
+// succeeds locally.
+func (s *Server) BroadcastModel(ctx context.Context, kind string, model []byte) int {
+	if s.cluster == nil || len(model) == 0 {
+		return 0
+	}
+	body, err := json.Marshal(ModelPushRequest{Model: model, Kind: kind})
+	if err != nil {
+		return 0
+	}
+	return s.cluster.BroadcastModel(ctx, body)
 }
 
 // forwardSchedule relays one schedule request to its ring owner and writes
@@ -310,10 +380,6 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 // the new one, and a model that fails validation leaves the old model
 // serving.
 func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.ModelLoader == nil {
-		writeError(w, http.StatusServiceUnavailable, "model distribution disabled (no model loader configured)")
-		return
-	}
 	var req ModelPushRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -322,17 +388,40 @@ func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "model is empty")
 		return
 	}
-	p, err := s.cfg.ModelLoader(req.Model)
-	if err != nil {
-		s.modelSwapErrors.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("rejected model: %v", err))
+	switch req.Kind {
+	case "", ModelKindSMSV:
+		if s.cfg.ModelLoader == nil {
+			writeError(w, http.StatusServiceUnavailable, "model distribution disabled (no model loader configured)")
+			return
+		}
+		p, err := s.cfg.ModelLoader(req.Model)
+		if err != nil {
+			s.modelSwapErrors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("rejected model: %v", err))
+			return
+		}
+		s.predictor.swap(p)
+		s.logger.Info("predictor hot-swapped", "from", r.Header.Get(cluster.ForwardedHeader))
+	case ModelKindPair:
+		if s.cfg.PairModelLoader == nil {
+			writeError(w, http.StatusServiceUnavailable, "pair model distribution disabled (no pair model loader configured)")
+			return
+		}
+		p, err := s.cfg.PairModelLoader(req.Model)
+		if err != nil {
+			s.modelSwapErrors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("rejected pair model: %v", err))
+			return
+		}
+		s.pairPredictor.swap(p)
+		s.logger.Info("pair predictor hot-swapped", "from", r.Header.Get(cluster.ForwardedHeader))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown model kind %q", req.Kind))
 		return
 	}
-	s.predictor.swap(p)
-	s.logger.Info("predictor hot-swapped", "from", r.Header.Get(cluster.ForwardedHeader))
 	propagated := 0
 	if req.Propagate && s.cluster != nil {
-		body, err := json.Marshal(ModelPushRequest{Model: req.Model})
+		body, err := json.Marshal(ModelPushRequest{Model: req.Model, Kind: req.Kind})
 		if err == nil {
 			propagated = s.cluster.BroadcastModel(r.Context(), body)
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/online"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
@@ -115,6 +116,19 @@ type Config struct {
 	// distribution. Kept a function so serve stays decoupled from the model
 	// encoding (layoutd plugs in the learn package's decoder).
 	ModelLoader func([]byte) (core.FormatPredictor, error)
+	// PairModelLoader is ModelLoader's SpGEMM twin: it parses a pushed
+	// pair-predictor model (a /v1/cluster/model body with kind
+	// "spgemm-pair") into a usable pair predictor; nil disables pair
+	// model distribution.
+	PairModelLoader func([]byte) (core.PairPredictor, error)
+
+	// Harvest, when non-nil, receives one online.Record for every
+	// non-degraded *measured* decision this node computes (both SMSV
+	// and SpGEMM) — the feed for the online retraining flywheel.
+	// Called synchronously by the singleflight leader after the
+	// decision is cached; implementations must be cheap and
+	// concurrency-safe (online.Store.Add is both).
+	Harvest func(online.Record)
 }
 
 func (c Config) withDefaults() Config {
@@ -173,7 +187,11 @@ type Server struct {
 	// model under live traffic; schedulers and handlers only ever see this
 	// stable pointer.
 	predictor *predictorSwap
-	cluster   *cluster.Peers // nil when running single-node
+	// pairPredictor is predictor's SpGEMM twin: the pair schedulers and
+	// degrade ladder read through it so online promotion and
+	// /v1/cluster/model pushes can replace the pair model atomically.
+	pairPredictor *pairPredictorSwap
+	cluster       *cluster.Peers // nil when running single-node
 
 	measurements atomic.Int64 // scheduler runs that actually measured
 	degraded     atomic.Int64 // decisions served without measurement under failure
@@ -205,16 +223,17 @@ func NewServer(cfg Config) *Server {
 		spCache.degradedTTL = cfg.DegradedTTL
 	}
 	s := &Server{
-		cfg:       cfg,
-		cache:     cache,
-		spCache:   spCache,
-		metrics:   newServerMetrics(),
-		traces:    telemetry.NewTraceStore(cfg.TraceCapacity),
-		logger:    cfg.Logger,
-		breaker:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		sem:       make(chan struct{}, cfg.MaxInflight),
-		predictor: newPredictorSwap(cfg.Predictor),
-		cluster:   cfg.Cluster,
+		cfg:           cfg,
+		cache:         cache,
+		spCache:       spCache,
+		metrics:       newServerMetrics(),
+		traces:        telemetry.NewTraceStore(cfg.TraceCapacity),
+		logger:        cfg.Logger,
+		breaker:       NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		sem:           make(chan struct{}, cfg.MaxInflight),
+		predictor:     newPredictorSwap(cfg.Predictor),
+		pairPredictor: newPairPredictorSwap(cfg.PairPredictor),
+		cluster:       cfg.Cluster,
 	}
 	for _, p := range []core.Policy{core.RuleBased, core.Empirical, core.Hybrid, core.PolicyPredict} {
 		s.scheds[p] = core.New(core.Config{
@@ -230,8 +249,11 @@ func NewServer(cfg Config) *Server {
 		s.spScheds[p] = core.NewSpGEMM(core.SpGEMMConfig{
 			Policy: p, Exec: cfg.Exec,
 			Repeats: cfg.Repeats, TopK: cfg.TopK, Seed: cfg.Seed,
-			History:   cfg.PairHistory,
-			Predictor: cfg.PairPredictor, MinConfidence: cfg.MinConfidence,
+			History: cfg.PairHistory,
+			// The swap wrapper, for the same reason as the SMSV
+			// schedulers above: hot-swapped pair models must reach the
+			// shared schedulers without rebuilding them.
+			Predictor: s.pairPredictor, MinConfidence: cfg.MinConfidence,
 		})
 	}
 	s.registerMetrics()
@@ -818,8 +840,32 @@ func (s *Server) decideInline(ctx context.Context, sched *core.Scheduler, b *spa
 		// Only the computing leader replicates, so one fresh decision gossips
 		// once no matter how many requests deduplicated onto it.
 		s.replicateDecision(key, feats, val)
+		// Same leader-only rule for the online flywheel: one measured
+		// decision is one training record, however many waiters joined.
+		s.harvestDecision(feats, val)
 	}
 	return val, outcome, nil
+}
+
+// harvestDecision feeds one non-degraded measured SMSV decision to the
+// online flywheel as a measurement-labeled training record. Degraded,
+// history-, and predictor-sourced decisions carry no fresh measurement
+// evidence and are never harvested.
+func (s *Server) harvestDecision(feats dataset.Features, val *CachedDecision) {
+	if s.cfg.Harvest == nil || val.Degraded || val.Source != "measured" || len(val.Measured) == 0 {
+		return
+	}
+	times := make(map[string]int64, len(val.Measured))
+	for c, d := range val.Measured {
+		if d > 0 {
+			times[c.String()] = int64(d)
+		}
+	}
+	label := val.Candidate.String()
+	if _, ok := times[label]; !ok {
+		return // winner's own measurement rounded to zero: not usable evidence
+	}
+	s.cfg.Harvest(online.Record{Kind: online.KindSMSV, F: feats, Label: label, Times: times})
 }
 
 // appendSourceTrace explains how a freshly computed (non-degraded) decision

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/online"
 	"repro/internal/sparse"
 	"repro/internal/spgemm"
 	"repro/internal/telemetry"
@@ -182,6 +183,17 @@ func (s *Server) registerSpGEMMMetrics() {
 		"Pair decision-cache resident entries.", func() float64 { return float64(s.spCache.Stats().Len) })
 	reg.GaugeFunc("layoutd_spgemm_history_entries",
 		"Pairwise tuning-history entries.", func() float64 { return float64(s.cfg.PairHistory.Len()) })
+	reg.GaugeFunc("layoutd_spgemm_predictor_loaded",
+		"Whether a trained pair predictor is loaded (0 or 1).",
+		func() float64 {
+			if s.pairPredictor.Loaded() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("layoutd_spgemm_model_swaps_total",
+		"Pair predictor hot swaps (cluster pushes and online promotions).",
+		func() float64 { return float64(s.pairPredictor.swaps.Load()) })
 }
 
 // parsePairOperand parses one operand's LIBSVM rows into a builder and its
@@ -227,7 +239,7 @@ func (s *Server) handleScheduleSpGEMM(w http.ResponseWriter, r *http.Request) {
 		}
 		policy = p
 	}
-	if policy == core.PolicyPredict && s.cfg.PairPredictor == nil {
+	if policy == core.PolicyPredict && !s.pairPredictor.Loaded() {
 		writeError(w, http.StatusBadRequest,
 			"predict policy needs a trained pair model (start layoutd with -spgemm-predictor)")
 		return
@@ -448,8 +460,28 @@ func (s *Server) decidePair(ctx context.Context, sched *core.SpGEMMScheduler, a,
 	}
 	if outcome == "miss" {
 		s.replicatePairDecision(key, fa, fb, val)
+		s.harvestPairDecision(fa, fb, val)
 	}
 	return val, outcome, nil
+}
+
+// harvestPairDecision is harvestDecision's SpGEMM twin: one non-degraded
+// measured pair decision becomes one online training record.
+func (s *Server) harvestPairDecision(fa, fb dataset.Features, val *CachedPairDecision) {
+	if s.cfg.Harvest == nil || val.Degraded || val.Source != "measured" || len(val.Measured) == 0 {
+		return
+	}
+	times := make(map[string]int64, len(val.Measured))
+	for c, d := range val.Measured {
+		if d > 0 {
+			times[c.String()] = int64(d)
+		}
+	}
+	label := val.Candidate.String()
+	if _, ok := times[label]; !ok {
+		return
+	}
+	s.cfg.Harvest(online.Record{Kind: online.KindPair, F: fa, FB: fb, Label: label, Times: times})
 }
 
 // degradePair produces a best-effort pair decision with the measurement
@@ -465,11 +497,9 @@ func (s *Server) degradePair(fa, fb dataset.Features) (val *CachedPairDecision) 
 		return &CachedPairDecision{Candidate: c, Source: "history",
 			EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
 	}
-	if s.cfg.PairPredictor != nil {
-		if c, conf, ok := s.cfg.PairPredictor.PredictPair(fa, fb); ok && spgemm.Supported(c) {
-			return &CachedPairDecision{Candidate: c, Source: "predictor", Confidence: conf,
-				EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
-		}
+	if c, conf, ok := s.pairPredictor.PredictPair(fa, fb); ok && spgemm.Supported(c) {
+		return &CachedPairDecision{Candidate: c, Source: "predictor", Confidence: conf,
+			EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
 	}
 	return &CachedPairDecision{Candidate: core.EstimatePairCandidates(fa, fb)[0].Candidate,
 		Source: "model", EstimatedNNZ: dataset.EstimateOutputNNZ(fa, fb), Degraded: true}
