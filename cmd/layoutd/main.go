@@ -56,6 +56,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -299,24 +300,7 @@ func run(o options) error {
 		if capacity < 1024 {
 			capacity = 1024
 		}
-		store = online.NewStore(capacity, nil)
-		if o.onlineStorePath != "" {
-			f, err := os.Open(o.onlineStorePath)
-			switch {
-			case os.IsNotExist(err):
-				// First boot: the store starts empty and is saved on shutdown.
-			case err != nil:
-				return err
-			default:
-				err = store.Load(f)
-				f.Close()
-				if err != nil {
-					return fmt.Errorf("loading online store %s: %w", o.onlineStorePath, err)
-				}
-				logger.Info("loaded online harvest store",
-					"records", store.Len(), "path", o.onlineStorePath)
-			}
-		}
+		store = loadOnlineStore(o.onlineStorePath, capacity, logger)
 	}
 
 	cfg := serve.Config{
@@ -328,7 +312,7 @@ func run(o options) error {
 		Timeout: o.timeout, MaxBody: o.maxBody,
 		CacheCapacity: o.cacheCap,
 		Logger:        logger, TraceCapacity: o.traceBuffer,
-		Cluster:       peers,
+		Cluster: peers,
 		// Pushed models decode exactly like -predictor files, so a model that
 		// trains on one node distributes to the rest of the ring unchanged.
 		ModelLoader: func(b []byte) (core.FormatPredictor, error) {
@@ -366,7 +350,14 @@ func run(o options) error {
 	var ctl *online.Controller
 	var ctlCancel context.CancelFunc
 	if o.online {
+		// Both installers accept nil: a rollback to a no-model boot lane
+		// unloads the serving predictor locally (nothing to broadcast —
+		// peers keep whatever they serve until the next promotion).
 		smsvInstall := func(f *learn.Forest) error {
+			if f == nil {
+				s.SwapPredictor(nil)
+				return nil
+			}
 			var buf bytes.Buffer
 			if err := f.Save(&buf); err != nil {
 				return err
@@ -378,6 +369,10 @@ func run(o options) error {
 			return nil
 		}
 		pairInstall := func(f *learn.PairForest) error {
+			if f == nil {
+				s.SwapPairPredictor(nil)
+				return nil
+			}
 			var buf bytes.Buffer
 			if err := f.Save(&buf); err != nil {
 				return err
@@ -388,11 +383,18 @@ func run(o options) error {
 			}
 			return nil
 		}
+		// The Config zero value means "default margin"; an operator's
+		// explicit -promote-margin 0 means exactly zero (ties promote),
+		// which the controller spells with a sentinel.
+		margin := o.promoteMargin
+		if margin == 0 {
+			margin = online.PromoteMarginZero
+		}
 		ctl, err = online.New(online.Config{
 			Store:           store,
 			RetrainInterval: o.retrainInterval,
 			ShadowWindow:    o.shadowWindow,
-			PromoteMargin:   o.promoteMargin,
+			PromoteMargin:   margin,
 			RollbackRegret:  o.rollbackRegret,
 			Logger:          logger,
 			Lanes: []online.LaneConfig{
@@ -506,16 +508,55 @@ func run(o options) error {
 	return nil
 }
 
+// loadOnlineStore builds the harvest store and warm-starts it from path
+// when one is configured. The file is an advisory cache, not an artifact
+// the daemon depends on: missing starts empty, and an unreadable or
+// corrupt file logs a warning and starts empty rather than blocking the
+// restart (a crash mid-save, or an operator edit, must never require
+// deleting the file by hand to boot).
+func loadOnlineStore(path string, capacity int, logger *slog.Logger) *online.Store {
+	store := online.NewStore(capacity, nil)
+	if path == "" {
+		return store
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return store // first boot: saved on shutdown
+	}
+	if err != nil {
+		logger.Warn("online harvest store unreadable; starting with an empty store",
+			"path", path, "err", err)
+		return store
+	}
+	defer f.Close()
+	if err := store.Load(f); err != nil {
+		logger.Warn("online harvest store unreadable; starting with an empty store",
+			"path", path, "err", err)
+		return online.NewStore(capacity, nil)
+	}
+	logger.Info("loaded online harvest store", "records", store.Len(), "path", path)
+	return store
+}
+
+// saveOnlineStore writes atomically (temp file + rename): Store.Load
+// rejects truncated records, so a crash mid-save must never leave a
+// half-written file at the real path.
 func saveOnlineStore(path string, st *online.Store) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := st.Save(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // loadPairHistory reads an existing SpGEMM pair-history file; a missing

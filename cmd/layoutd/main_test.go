@@ -1,10 +1,16 @@
 package main
 
 import (
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/dataset"
+	"repro/internal/online"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -93,5 +99,79 @@ func TestRunRejectsBadFlags(t *testing.T) {
 				t.Fatalf("error %q does not name the problem (%q)", err, tc.wantSub)
 			}
 		})
+	}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// harvestRecord is a minimal valid SMSV record for persistence tests.
+func harvestRecord() online.Record {
+	return online.Record{
+		Kind: online.KindSMSV,
+		F: dataset.Features{
+			M: 40, N: 30, NNZ: 120, Ndig: 15, Dnnz: 3,
+			Mdim: 8, Adim: 4, Vdim: 2, Density: 0.1,
+		},
+		Label: "CSR/static/base",
+		Times: map[string]int64{"CSR/static/base": 100, "COO/static/base": 250},
+	}
+}
+
+// TestOnlineStorePersistenceRoundTrip: saveOnlineStore writes atomically
+// (no .tmp residue) and loadOnlineStore warm-starts from the result.
+func TestOnlineStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "harvest.log")
+	st := online.NewStore(16, nil)
+	for i := 0; i < 3; i++ {
+		if err := st.Add(harvestRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := saveOnlineStore(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after save (stat err %v)", err)
+	}
+	loaded := loadOnlineStore(path, 16, quietLogger())
+	if loaded.Len() != 3 {
+		t.Fatalf("loaded %d records, want 3", loaded.Len())
+	}
+}
+
+// TestLoadOnlineStoreToleratesCorruptFile: the harvest file is an
+// advisory cache — a truncated or garbage file (e.g. from a crash
+// mid-save) must yield an empty store, never block startup.
+func TestLoadOnlineStoreToleratesCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, content string
+	}{
+		{"garbage", "not a harvest file\n"},
+		{"truncated record", "layoutd-online-harvest v1\n{\"kind\":\"smsv\",\"se"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name)
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st := loadOnlineStore(path, 16, quietLogger())
+			if st == nil || st.Len() != 0 {
+				t.Fatalf("corrupt file %q: store=%v len=%d, want empty store", tc.name, st, st.Len())
+			}
+			// The daemon keeps harvesting into the fallback store.
+			if err := st.Add(harvestRecord()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// A missing file is the normal first boot.
+	if st := loadOnlineStore(filepath.Join(dir, "nope"), 16, quietLogger()); st.Len() != 0 {
+		t.Fatal("missing file did not start empty")
 	}
 }

@@ -47,12 +47,12 @@ func TestLoadCorruptModel(t *testing.T) {
 		"",                       // empty file
 		"not json at all",        // garbage
 		`{"version":2,"dims":7}`, // no trees
-		`{"version":2,"dims":3,"trees":[{"nodes":[{"feat":-1,"label":"CSR"}]}]}`,                               // wrong dims
-		`{"version":2,"dims":7,"trees":[{"nodes":[]}]}`,                                                        // empty tree
-		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"XYZ"}]}]}`,                               // unknown label
-		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"CSR","purity":1.5}]}]}`,                  // purity out of range
+		`{"version":2,"dims":3,"trees":[{"nodes":[{"feat":-1,"label":"CSR"}]}]}`,                                          // wrong dims
+		`{"version":2,"dims":7,"trees":[{"nodes":[]}]}`,                                                                   // empty tree
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"XYZ"}]}]}`,                                          // unknown label
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":-1,"label":"CSR","purity":1.5}]}]}`,                             // purity out of range
 		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":9,"thresh":0,"left":1,"right":1},{"feat":-1,"label":"CSR"}]}]}`, // feature out of range
-		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":0,"thresh":0,"left":0,"right":0}]}]}`,                // self-referential children
+		`{"version":2,"dims":7,"trees":[{"nodes":[{"feat":0,"thresh":0,"left":0,"right":0}]}]}`,                           // self-referential children
 	}
 	for i, raw := range cases {
 		if _, err := Load(strings.NewReader(raw)); err == nil {

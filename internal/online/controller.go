@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -14,10 +15,24 @@ import (
 // it: a display name for logs/traces, the shadow-evaluable predict
 // function, and an Install hook that makes it the serving model
 // (typically serve's atomic predictorSwap plus a ring-wide broadcast).
+// A nil Install installs trivially — the model needs no serving-side
+// step, e.g. a boot placeholder when no predictor was ever loaded.
+// Lanes whose serving slot must actually be cleared on rollback-to-boot
+// should install nil into the slot instead (see SMSVLane/PairLane).
 type Model struct {
 	Name    string
 	Predict PredictFunc
 	Install func() error
+}
+
+// installModel runs a model's install hook, treating a nil hook as an
+// immediate success so a rollback to a no-model boot lane never
+// dereferences a missing function.
+func installModel(m Model) error {
+	if m.Install == nil {
+		return nil
+	}
+	return m.Install()
 }
 
 // LaneConfig is one workload's flywheel: which records it trains from,
@@ -53,7 +68,9 @@ type Config struct {
 	ShadowWindow int
 	// PromoteMargin is the hit-rate edge (absolute, 0..1) a candidate
 	// must have over the live model on the shadow window to be
-	// promoted. Default 0.05.
+	// promoted. The zero value takes the 0.05 default like every other
+	// field, so an explicit zero margin is spelled PromoteMarginZero
+	// (any negative value): ties with the live model then promote.
 	PromoteMargin float64
 	// RollbackRegret rolls a promoted model back when its mean regret
 	// on fresh post-swap traffic exceeds this ratio. Default 1.5.
@@ -66,6 +83,18 @@ type Config struct {
 	Logger *slog.Logger
 	Lanes  []LaneConfig
 }
+
+// PromoteMarginZero requests a promote margin of exactly zero: any
+// candidate that does not lose to the live model promotes. The Config
+// zero value keeps the documented 0.05 default, so exact zero needs a
+// sentinel (any negative PromoteMargin is treated the same way).
+const PromoteMarginZero = -1.0
+
+// quiescentPatience bounds how long (in retrain intervals) a monitoring
+// lane waits for scoreable post-swap traffic before committing without
+// evidence. One interval is the normal judgment patience; a quiescent
+// lane gets a few more before the promotion is confirmed by default.
+const quiescentPatience = 4
 
 // laneState is the per-lane position in the promotion state machine.
 type laneState int
@@ -138,6 +167,14 @@ type Controller struct {
 	// work, never on a request path, so simplicity beats concurrency.
 	mu    chMutex
 	lanes []*lane
+
+	// scrapeMu guards the last successfully rendered per-lane families,
+	// served verbatim when a scrape loses the lock race against a Step
+	// in progress — counters must never vanish from one scrape and
+	// reappear the next, or scraper-side staleness and rate() break.
+	scrapeMu       sync.Mutex
+	lastLaneFams   []telemetry.Family
+	lastLanePrefix string
 }
 
 // chMutex is a channel-based mutex so MetricFamilies can snapshot
@@ -174,10 +211,13 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.ShadowWindow <= 0 {
 		cfg.ShadowWindow = 256
 	}
-	if cfg.PromoteMargin < 0 || cfg.PromoteMargin > 1 {
+	if cfg.PromoteMargin > 1 {
 		return nil, fmt.Errorf("online: promote margin %g outside [0,1]", cfg.PromoteMargin)
 	}
-	if cfg.PromoteMargin == 0 {
+	switch {
+	case cfg.PromoteMargin < 0: // PromoteMarginZero
+		cfg.PromoteMargin = 0
+	case cfg.PromoteMargin == 0:
 		cfg.PromoteMargin = 0.05
 	}
 	if cfg.RollbackRegret == 0 {
@@ -246,9 +286,12 @@ func (c *Controller) Step() {
 }
 
 // judge decides a promoted model's fate from fresh post-swap traffic:
-// rollback when mean regret regressed past the threshold, commit
-// otherwise. With neither enough fresh records nor an elapsed interval
-// it keeps waiting.
+// rollback when mean regret regressed past the threshold, commit when
+// the evidence clears it. With neither enough fresh records nor an
+// elapsed interval it keeps waiting; with an elapsed interval but zero
+// scoreable records it keeps monitoring — quiescent traffic is not
+// confirmation — up to a patience ceiling so the lane eventually
+// returns to idle.
 func (c *Controller) judge(ln *lane, now time.Time) {
 	fresh := c.cfg.Store.Since(ln.cfg.Kind, ln.promotedSeq, c.cfg.MonitorRecords)
 	if len(fresh) < c.cfg.MonitorRecords && now.Sub(ln.promotedAt) < c.cfg.RetrainInterval {
@@ -257,7 +300,7 @@ func (c *Controller) judge(ln *lane, now time.Time) {
 	post := EvalShadow(fresh, predictOrAbstain(ln.live))
 	ln.postRegret = post.MeanRegret()
 	if post.N > 0 && post.MeanRegret() > c.cfg.RollbackRegret {
-		if err := ln.prev.Install(); err != nil {
+		if err := installModel(ln.prev); err != nil {
 			ln.installErrors++
 			c.cfg.Logger.Error("online rollback install failed; will retry",
 				"lane", ln.cfg.Kind, "model", ln.prev.Name, "err", err)
@@ -274,9 +317,13 @@ func (c *Controller) judge(ln *lane, now time.Time) {
 		ln.lastRetrain = now
 		return
 	}
+	if post.N == 0 && now.Sub(ln.promotedAt) < quiescentPatience*c.cfg.RetrainInterval {
+		return // no evidence either way; keep monitoring
+	}
 	c.cfg.Logger.Info("online commit",
 		"lane", ln.cfg.Kind, "model", ln.live.Name,
-		"post_regret", post.MeanRegret(), "fresh", post.N)
+		"post_regret", post.MeanRegret(), "fresh", post.N,
+		"quiescent", post.N == 0)
 	ln.prev = Model{}
 	ln.state = laneIdle
 	ln.commits++
@@ -315,7 +362,7 @@ func (c *Controller) retrain(ln *lane, now time.Time) {
 			"margin", c.cfg.PromoteMargin)
 		return
 	}
-	if err := cand.Install(); err != nil {
+	if err := installModel(cand); err != nil {
 		ln.installErrors++
 		c.cfg.Logger.Error("online promote install failed",
 			"lane", ln.cfg.Kind, "candidate", cand.Name, "err", err)
@@ -383,10 +430,11 @@ func (c *Controller) Status() []LaneStatus {
 // families under <prefix>_online_*, the same idiom as
 // fault.MetricFamilies: counters for every state-machine transition,
 // gauges for the latest shadow scores, and a per-lane histogram of
-// candidate shadow regret. If the controller is mid-Step, the previous
-// scrape's families would require blocking behind a training run; the
-// scrape instead reports only the store-level families (which have
-// their own synchronization) and retries lane state next scrape.
+// candidate shadow regret. If the controller is mid-Step, rendering
+// fresh lane families would mean blocking the scrape behind a training
+// run; the scrape instead serves the last successfully rendered lane
+// families (slightly stale, never absent) next to the store-level
+// families, which have their own synchronization.
 func (c *Controller) MetricFamilies(prefix string) []telemetry.Family {
 	p := prefix + "_online"
 	smsv, pair, evicted, rejected := c.cfg.Store.Counters()
@@ -421,10 +469,25 @@ func (c *Controller) MetricFamilies(prefix string) []telemetry.Family {
 		},
 	}
 	if !c.mu.tryLock() {
-		return fams
+		c.scrapeMu.Lock()
+		defer c.scrapeMu.Unlock()
+		if c.lastLanePrefix == p {
+			return append(fams, c.lastLaneFams...)
+		}
+		return fams // first scrape under a Step: nothing cached yet
 	}
-	defer c.mu.unlock()
+	laneFams := c.laneFamilies(p)
+	c.mu.unlock()
+	c.scrapeMu.Lock()
+	c.lastLaneFams, c.lastLanePrefix = laneFams, p
+	c.scrapeMu.Unlock()
+	return append(fams, laneFams...)
+}
 
+// laneFamilies renders the per-lane counter/gauge/histogram families.
+// Caller holds c.mu.
+func (c *Controller) laneFamilies(p string) []telemetry.Family {
+	var fams []telemetry.Family
 	counter := func(name, help string, get func(*lane) int64) telemetry.Family {
 		f := telemetry.Family{Name: p + name, Kind: telemetry.KindCounter, Help: help}
 		for _, ln := range c.lanes {

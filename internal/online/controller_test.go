@@ -198,8 +198,10 @@ func TestControllerPromoteCommitRollback(t *testing.T) {
 }
 
 // TestControllerJudgesOnIntervalWithSparseTraffic covers the patience
-// path: fewer than MonitorRecords fresh records, but a full interval
-// elapsed, judges on whatever arrived (here: nothing → commit).
+// path: fewer than MonitorRecords fresh records but a full interval
+// elapsed judges on whatever arrived — except that zero scored records
+// is no evidence at all, so the lane keeps monitoring until the
+// quiescent-patience ceiling, then commits.
 func TestControllerJudgesOnIntervalWithSparseTraffic(t *testing.T) {
 	clk := newTestClock()
 	store := NewStore(64, clk.Now)
@@ -225,9 +227,124 @@ func TestControllerJudgesOnIntervalWithSparseTraffic(t *testing.T) {
 		t.Fatal("lane judged with neither fresh records nor an elapsed interval")
 	}
 	clk.Advance(time.Minute)
-	c.Step() // patience expired with zero fresh records: commit
+	c.Step() // interval elapsed but zero evidence: quiescent, keep monitoring
+	if st := c.Status()[0]; !st.Monitoring || st.Commits != 0 {
+		t.Fatalf("lane committed a promotion with zero fresh evidence: %+v", st)
+	}
+	// A couple of scored fresh records is evidence enough once the
+	// interval has elapsed.
+	harvestRegime(t, store, 2, "CSR/static/base", map[string]float64{"COO/static/base": 2})
+	c.Step()
 	if st := c.Status()[0]; st.Monitoring || st.Commits != 1 {
-		t.Fatalf("expected commit on interval, got %+v", st)
+		t.Fatalf("expected commit on sparse evidence after the interval, got %+v", st)
+	}
+}
+
+// TestControllerQuiescentCommitAfterPatienceCeiling: a promotion with
+// no post-swap traffic at all is eventually confirmed by default — the
+// lane must return to idle and resume retraining, just not on the first
+// elapsed interval.
+func TestControllerQuiescentCommitAfterPatienceCeiling(t *testing.T) {
+	clk := newTestClock()
+	store := NewStore(64, clk.Now)
+	it := &installTracker{}
+	c, err := New(Config{
+		Store: store, Now: clk.Now, RetrainInterval: time.Minute,
+		MonitorRecords: 8,
+		Lanes: []LaneConfig{{
+			Kind: KindSMSV, Boot: it.model("boot", ""), Train: majorityTrainer(it),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestRegime(t, store, 16, "CSR/static/base", map[string]float64{"COO/static/base": 2})
+	clk.Advance(time.Minute)
+	c.Step()
+	if st := c.Status()[0]; !st.Monitoring {
+		t.Fatalf("expected promotion into monitoring, got %+v", st)
+	}
+	for i := 0; i < quiescentPatience-1; i++ {
+		clk.Advance(time.Minute)
+		c.Step()
+		if st := c.Status()[0]; !st.Monitoring {
+			t.Fatalf("quiescent lane left monitoring after %d intervals, got %+v", i+1, st)
+		}
+	}
+	clk.Advance(time.Minute)
+	c.Step() // patience ceiling reached: commit without evidence
+	if st := c.Status()[0]; st.Monitoring || st.Commits != 1 {
+		t.Fatalf("expected quiescent commit at the patience ceiling, got %+v", st)
+	}
+}
+
+// TestControllerRollbackToNilInstallBoot: the default daemon shape — no
+// predictor loaded at boot, so the boot Model has a nil Install — must
+// survive a promote-then-rollback without panicking (the rollback has
+// nothing to install; it only flips the controller's bookkeeping).
+func TestControllerRollbackToNilInstallBoot(t *testing.T) {
+	clk := newTestClock()
+	store := NewStore(64, clk.Now)
+	it := &installTracker{}
+	c, err := New(Config{
+		Store: store, Now: clk.Now, RetrainInterval: time.Minute,
+		MonitorRecords: 4, RollbackRegret: 1.5,
+		Lanes: []LaneConfig{{
+			Kind:  KindSMSV,
+			Boot:  Model{Name: "boot"}, // nil Predict AND nil Install
+			Train: majorityTrainer(it),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestRegime(t, store, 16, "CSR/static/base", map[string]float64{"COO/static/base": 3})
+	clk.Advance(time.Minute)
+	c.Step() // promote over the abstaining boot model
+	if st := c.Status()[0]; !st.Monitoring || st.Promotions != 1 {
+		t.Fatalf("expected promotion over nil boot, got %+v", st)
+	}
+	// Regime flip: the promoted CSR model regrets 4x → rollback to the
+	// nil-Install boot model.
+	harvestRegime(t, store, 4, "COO/static/base", map[string]float64{"CSR/static/base": 4})
+	c.Step()
+	st := c.Status()[0]
+	if st.Monitoring || st.Rollbacks != 1 {
+		t.Fatalf("expected rollback to nil-Install boot, got %+v", st)
+	}
+	if st.LiveModel != "boot" {
+		t.Fatalf("live model %q after rollback, want boot", st.LiveModel)
+	}
+	exp := scrape(t, c)
+	wantMetric(t, exp, `layoutd_online_rollbacks_total{lane="smsv"} 1`)
+	wantMetric(t, exp, `layoutd_online_install_errors_total{lane="smsv"} 0`)
+}
+
+// TestControllerPromoteMarginZero: the sentinel makes an exactly-zero
+// margin expressible — a candidate that merely ties the live model
+// promotes, where the 0.05 default would reject it.
+func TestControllerPromoteMarginZero(t *testing.T) {
+	clk := newTestClock()
+	store := NewStore(64, clk.Now)
+	it := &installTracker{serving: "boot"}
+	c, err := New(Config{
+		Store: store, Now: clk.Now, RetrainInterval: time.Minute,
+		PromoteMargin: PromoteMarginZero,
+		Lanes: []LaneConfig{{
+			Kind: KindSMSV,
+			// Live model already picks the winner: the candidate ties.
+			Boot:  it.model("boot", "CSR/static/base"),
+			Train: majorityTrainer(it),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestRegime(t, store, 16, "CSR/static/base", map[string]float64{"COO/static/base": 2})
+	clk.Advance(time.Minute)
+	c.Step()
+	if st := c.Status()[0]; !st.Monitoring || st.Promotions != 1 {
+		t.Fatalf("tying candidate was not promoted under a zero margin: %+v", st)
 	}
 }
 
@@ -394,6 +511,43 @@ func TestControllerConfigValidation(t *testing.T) {
 				t.Fatal("New accepted an invalid config")
 			}
 		})
+	}
+}
+
+// TestControllerScrapeServesCachedLaneFamiliesUnderStep: a scrape that
+// loses the lock race against a Step must serve the last rendered lane
+// families instead of dropping them — counters intermittently vanishing
+// breaks scraper-side staleness handling and rate().
+func TestControllerScrapeServesCachedLaneFamiliesUnderStep(t *testing.T) {
+	clk := newTestClock()
+	store := NewStore(64, clk.Now)
+	it := &installTracker{}
+	c, err := New(Config{
+		Store: store, Now: clk.Now, RetrainInterval: time.Minute,
+		Lanes: []LaneConfig{{Kind: KindSMSV, Boot: it.model("boot", ""), Train: majorityTrainer(it)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestRegime(t, store, 16, "CSR/static/base", map[string]float64{"COO/static/base": 2})
+	clk.Advance(time.Minute)
+	c.Step()
+	// A clean scrape renders and caches the lane families.
+	exp := scrape(t, c)
+	wantMetric(t, exp, `layoutd_online_retrains_total{lane="smsv"} 1`)
+
+	// Simulate a Step in progress (training under the controller lock)
+	// and scrape again: the lane families must still be present, served
+	// from the cached render.
+	c.mu.lock()
+	exp = scrape(t, c)
+	c.mu.unlock()
+	wantMetric(t, exp, `layoutd_online_retrains_total{lane="smsv"} 1`)
+	wantMetric(t, exp, `layoutd_online_promotions_total{lane="smsv"} 1`)
+	wantMetric(t, exp, `layoutd_online_shadow_regret_count{lane="smsv"} 1`)
+	wantMetric(t, exp, `layoutd_online_harvested_total{kind="smsv"} 16`)
+	if errs := telemetry.Lint(strings.NewReader(exp)); errs != nil {
+		t.Fatalf("cached exposition lint: %v", errs)
 	}
 }
 

@@ -16,7 +16,9 @@ import (
 // SMSVLane builds the single-matrix lane over learn.Forest. boot may be
 // nil (no model loaded at daemon start — the lane then promotes the
 // first candidate that clears the margin over an always-abstaining
-// live model). install makes a fitted forest the serving model.
+// live model, and a rollback to boot installs a nil forest, unloading
+// the serving predictor). install makes a fitted forest the serving
+// model and must accept nil as "unload".
 func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Forest) error) LaneConfig {
 	mk := func(name string, f *learn.Forest) Model {
 		return Model{
@@ -31,7 +33,11 @@ func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Fore
 			Install: func() error { return install(f) },
 		}
 	}
-	bootModel := Model{Name: "boot"}
+	// With no boot forest the boot model abstains, and its Install puts
+	// the daemon back where it started: no predictor loaded. Without
+	// this, rolling back a first promotion would leave the rejected
+	// candidate serving.
+	bootModel := Model{Name: "boot", Install: func() error { return install(nil) }}
 	if boot != nil {
 		bootModel = mk("boot", boot)
 	}
@@ -57,7 +63,8 @@ func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Fore
 }
 
 // PairLane builds the SpGEMM lane over learn.PairForest, the pairwise
-// twin of SMSVLane.
+// twin of SMSVLane (including nil boot = abstain, and install(nil) =
+// unload on rollback-to-boot).
 func PairLane(boot *learn.PairForest, tc learn.TrainConfig, install func(*learn.PairForest) error) LaneConfig {
 	mk := func(name string, f *learn.PairForest) Model {
 		return Model{
@@ -72,7 +79,7 @@ func PairLane(boot *learn.PairForest, tc learn.TrainConfig, install func(*learn.
 			Install: func() error { return install(f) },
 		}
 	}
-	bootModel := Model{Name: "boot"}
+	bootModel := Model{Name: "boot", Install: func() error { return install(nil) }}
 	if boot != nil {
 		bootModel = mk("boot", boot)
 	}

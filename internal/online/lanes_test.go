@@ -1,0 +1,50 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/learn"
+)
+
+// TestLaneNilBootInstallsUnload pins the rollback-to-boot contract for
+// daemons that start with no predictor loaded: the boot Model of each
+// lane constructor must carry an Install that hands nil to the caller's
+// install hook (unloading the serving model), never a nil function the
+// controller could be asked to call.
+func TestLaneNilBootInstallsUnload(t *testing.T) {
+	t.Run("smsv", func(t *testing.T) {
+		called, gotNil := false, false
+		lc := SMSVLane(nil, learn.TrainConfig{}, func(f *learn.Forest) error {
+			called, gotNil = true, f == nil
+			return nil
+		})
+		if lc.Boot.Install == nil {
+			t.Fatal("SMSVLane(nil, ...) boot model has a nil Install")
+		}
+		if err := lc.Boot.Install(); err != nil {
+			t.Fatalf("boot install: %v", err)
+		}
+		if !called || !gotNil {
+			t.Fatalf("boot install called=%v nil-forest=%v, want install(nil)", called, gotNil)
+		}
+		if lc.Boot.Predict != nil {
+			t.Fatal("nil-boot model must abstain via a nil Predict")
+		}
+	})
+	t.Run("pair", func(t *testing.T) {
+		called, gotNil := false, false
+		lc := PairLane(nil, learn.TrainConfig{}, func(f *learn.PairForest) error {
+			called, gotNil = true, f == nil
+			return nil
+		})
+		if lc.Boot.Install == nil {
+			t.Fatal("PairLane(nil, ...) boot model has a nil Install")
+		}
+		if err := lc.Boot.Install(); err != nil {
+			t.Fatalf("boot install: %v", err)
+		}
+		if !called || !gotNil {
+			t.Fatalf("boot install called=%v nil-forest=%v, want install(nil)", called, gotNil)
+		}
+	})
+}

@@ -289,6 +289,10 @@ func TestClusterOnlinePromotionPropagatesModel(t *testing.T) {
 	store := online.NewStore(64, clock)
 	var propagated int
 	install := func(f *learn.Forest) error {
+		if f == nil { // rollback to the no-model boot lane unloads
+			nodes[0].srv.SwapPredictor(nil)
+			return nil
+		}
 		nodes[0].srv.SwapPredictor(f)
 		var buf bytes.Buffer
 		if err := f.Save(&buf); err != nil {

@@ -262,7 +262,7 @@ func TestClusterReplicateAppliesSpGEMMKinds(t *testing.T) {
 		entry(cluster.KindSpGEMM, "p1|hybrid/2|1,2,3|4,5,6", pairWire{
 			Candidate: good, Source: "measured", EstimatedNNZ: 128,
 		}),
-		entry(cluster.KindSpGEMM, "", pairWire{Candidate: good}),              // keyless
+		entry(cluster.KindSpGEMM, "", pairWire{Candidate: good}),             // keyless
 		entry(cluster.KindSpGEMM, "p1|x", pairWire{Candidate: "gustavson/"}), // unparseable candidate
 		entry(cluster.KindPairHistory, "", pairHistoryWire{
 			AFeatures: FeaturesJSON{M: 64, N: 32, NNZ: 300, Density: 0.15},
