@@ -21,6 +21,9 @@ RACE_PKGS := ./internal/parallel/... ./internal/sparse/... ./internal/spgemm/...
 CHAOS_PKGS := ./internal/parallel ./internal/core ./internal/serve
 FUZZTIME ?= 20s
 BENCH_FILE := BENCH_$(shell date +%Y%m%d).json
+# bench-trajectory output file; CI overrides this to collect repeated runs
+# for the noise-aware compare gate without clobbering the committed baseline.
+BENCH_OUT ?= BENCH_6.json
 LAYOUTD_ADDR ?= :8723
 
 .PHONY: build vet test test-race chaos fuzz flake bench bench-json bench-trajectory metrics-lint loadgen-smoke run-layoutd clean
@@ -81,8 +84,8 @@ bench-trajectory:
 	@{ $(GO) test -run '^$$' -bench 'BenchmarkSMOPoolVsSpawn|BenchmarkAblationFusion' -benchtime 5x -benchmem . ; \
 	   $(GO) test -run '^$$' -bench 'BenchmarkPredictVsMeasure' -benchtime 100x -benchmem . ; \
 	   $(GO) test -run '^$$' -bench 'BenchmarkServeBatch' -benchmem ./internal/serve ; } \
-	| $(GO) run ./cmd/benchjson -baseline cmd/benchjson/testdata/baseline_pre_joint.json -out BENCH_6.json
-	@echo wrote BENCH_6.json
+	| $(GO) run ./cmd/benchjson -baseline cmd/benchjson/testdata/baseline_pre_joint.json -out $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
 
 # Metrics lint: stand up an in-process layoutd server, run a schedule
 # decision through it, scrape /metrics, and fail on any exposition defect

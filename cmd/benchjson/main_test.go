@@ -147,3 +147,73 @@ func TestCompareCmd(t *testing.T) {
 		t.Fatal("corrupt document accepted")
 	}
 }
+
+func TestCompareNoise(t *testing.T) {
+	old := []Benchmark{
+		{Name: "BenchmarkSteady", NsPerOp: 100},
+		{Name: "BenchmarkJittery", NsPerOp: 100},
+		{Name: "BenchmarkRegressed", NsPerOp: 100},
+	}
+	// Three repeated runs: Steady barely moves, Jittery swings 50% between
+	// runs, Regressed is consistently 2x slower.
+	runs := [][]Benchmark{
+		{{Name: "BenchmarkSteady", NsPerOp: 108}, {Name: "BenchmarkJittery", NsPerOp: 150}, {Name: "BenchmarkRegressed", NsPerOp: 210}},
+		{{Name: "BenchmarkSteady", NsPerOp: 104}, {Name: "BenchmarkJittery", NsPerOp: 100}, {Name: "BenchmarkRegressed", NsPerOp: 205}},
+		{{Name: "BenchmarkSteady", NsPerOp: 106}, {Name: "BenchmarkJittery", NsPerOp: 140}, {Name: "BenchmarkRegressed", NsPerOp: 200}},
+	}
+	rows := compareNoise(old, runs, 1.30)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3: %+v", len(rows), rows)
+	}
+	byName := map[string]noiseRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Steady: min 104, ratio 1.04, dispersion (108-104)/104 ~ 3.8% — clean.
+	if r := byName["BenchmarkSteady"]; r.Regres || r.NewMinNs != 104 {
+		t.Fatalf("steady flagged or wrong min: %+v", r)
+	}
+	// Jittery: min 100, ratio 1.00. Even though one run hit 150, the min
+	// says the code itself did not slow down — and the 50% dispersion
+	// widens its bound to 1.30*(1.5) = 1.95 regardless.
+	if r := byName["BenchmarkJittery"]; r.Regres {
+		t.Fatalf("jittery run-to-run noise flagged as a regression: %+v", r)
+	} else if r.Dispersion < 0.49 || r.Dispersion > 0.51 {
+		t.Fatalf("jittery dispersion %.3f, want ~0.50", r.Dispersion)
+	}
+	// Regressed: min 200 = 2.00x, dispersion (210-200)/200 = 5% widens the
+	// bound only to 1.365x — still flagged.
+	if r := byName["BenchmarkRegressed"]; !r.Regres || r.Ratio != 2.0 {
+		t.Fatalf("true regression not flagged: %+v", r)
+	}
+	// The worst offender (largest ratio/allowed) sorts first.
+	if rows[0].Name != "BenchmarkRegressed" {
+		t.Fatalf("rows[0] = %s, want BenchmarkRegressed", rows[0].Name)
+	}
+}
+
+func TestCompareCmdNoise(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchDoc(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100},
+	})
+	run1 := writeBenchDoc(t, dir, "run1.json", []Benchmark{{Name: "BenchmarkA", NsPerOp: 250}})
+	run2 := writeBenchDoc(t, dir, "run2.json", []Benchmark{{Name: "BenchmarkA", NsPerOp: 240}})
+
+	var out strings.Builder
+	regressions, err := compareCmd([]string{"-noise", "-tolerance", "1.30", oldPath, run1, run2}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "! BenchmarkA") {
+		t.Fatalf("report does not flag BenchmarkA:\n%s", out.String())
+	}
+
+	// A single new run is not enough to measure noise.
+	if _, err := compareCmd([]string{"-noise", oldPath, run1}, &out); err == nil {
+		t.Fatal("-noise with one new run accepted")
+	}
+}

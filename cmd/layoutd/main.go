@@ -45,9 +45,13 @@
 //	POST /v1/predict-format    {"data": "<libsvm rows>"} or {"profile": {...}}
 //	POST /v1/cluster/replicate gossip batches from ring peers
 //	POST /v1/cluster/model     {"model": <predictor json>, "propagate": true}
-//	GET  /v1/trace/{id}        span tree of a recent schedule decision
-//	GET  /healthz
-//	GET  /metrics              Prometheus text exposition
+//	GET  /v1/trace/{id}        span tree of a recent decision; in cluster
+//	                           mode assembled across the ring (?scope=local
+//	                           for this node's fragment only)
+//	GET  /v1/online/events     flywheel promote/commit/rollback timeline
+//	GET  /v1/healthz           SLO health: ok, degraded, or critical (503)
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text exposition (with exemplars)
 //	GET  /debug/pprof/         runtime profiles (only with -pprof)
 package main
 
@@ -102,6 +106,9 @@ type options struct {
 	logFormat     string
 	pprofOn       bool
 	traceBuffer   int
+	sloLatency    time.Duration
+	traceFetch    time.Duration
+	tracePeer     time.Duration
 
 	peers     string
 	nodeID    string
@@ -141,6 +148,9 @@ func main() {
 	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", telemetry.DefaultTraceCapacity, "completed decision traces kept for /v1/trace/{id}")
+	flag.DurationVar(&o.sloLatency, "slo-latency-objective", 500*time.Millisecond, "per-request latency objective feeding the SLO burn windows and /v1/healthz")
+	flag.DurationVar(&o.traceFetch, "trace-fetch-timeout", 3*time.Second, "overall deadline for assembling one cross-node trace from peer fragments")
+	flag.DurationVar(&o.tracePeer, "trace-fetch-peer-timeout", time.Second, "per-peer deadline for a single trace-fragment fetch")
 	flag.StringVar(&o.peers, "peers", "", "cluster member list as id=http://host:port pairs, comma-separated; empty runs single-node")
 	flag.StringVar(&o.nodeID, "node-id", "", "this node's id in the -peers list (required with -peers)")
 	flag.BoolVar(&o.replicate, "replicate", true, "gossip fresh decisions and history records to the ring successor")
@@ -179,6 +189,18 @@ func run(o options) error {
 	}
 	if o.traceBuffer <= 0 {
 		return fmt.Errorf("-trace-buffer must be positive, got %d", o.traceBuffer)
+	}
+	if o.sloLatency <= 0 {
+		return fmt.Errorf("-slo-latency-objective must be positive, got %v", o.sloLatency)
+	}
+	if o.traceFetch <= 0 {
+		return fmt.Errorf("-trace-fetch-timeout must be positive, got %v", o.traceFetch)
+	}
+	if o.tracePeer <= 0 {
+		return fmt.Errorf("-trace-fetch-peer-timeout must be positive, got %v", o.tracePeer)
+	}
+	if o.tracePeer > o.traceFetch {
+		return fmt.Errorf("-trace-fetch-peer-timeout %v exceeds -trace-fetch-timeout %v", o.tracePeer, o.traceFetch)
 	}
 	if o.peers == "" && o.nodeID != "" {
 		return fmt.Errorf("-node-id %q given without -peers", o.nodeID)
@@ -295,12 +317,14 @@ func run(o options) error {
 	// The harvest store is sized to hold several shadow windows per lane so
 	// one retrain's window survives the other lane's traffic bursts.
 	var store *online.Store
+	var events *online.EventLog
 	if o.online {
 		capacity := 4 * o.shadowWindow
 		if capacity < 1024 {
 			capacity = 1024
 		}
 		store = loadOnlineStore(o.onlineStorePath, capacity, logger)
+		events = online.NewEventLog(0)
 	}
 
 	cfg := serve.Config{
@@ -312,7 +336,11 @@ func run(o options) error {
 		Timeout: o.timeout, MaxBody: o.maxBody,
 		CacheCapacity: o.cacheCap,
 		Logger:        logger, TraceCapacity: o.traceBuffer,
-		Cluster: peers,
+		SLOLatencyObjective:   o.sloLatency,
+		TraceFetchTimeout:     o.traceFetch,
+		TraceFetchPeerTimeout: o.tracePeer,
+		Cluster:               peers,
+		OnlineEvents:          events,
 		// Pushed models decode exactly like -predictor files, so a model that
 		// trains on one node distributes to the rest of the ring unchanged.
 		ModelLoader: func(b []byte) (core.FormatPredictor, error) {
@@ -353,7 +381,9 @@ func run(o options) error {
 		// Both installers accept nil: a rollback to a no-model boot lane
 		// unloads the serving predictor locally (nothing to broadcast —
 		// peers keep whatever they serve until the next promotion).
-		smsvInstall := func(f *learn.Forest) error {
+		// The install context carries the controller's online.retrain trace,
+		// so a promotion's ring-wide broadcast is recorded as one trace.
+		smsvInstall := func(ctx context.Context, f *learn.Forest) error {
 			if f == nil {
 				s.SwapPredictor(nil)
 				return nil
@@ -363,12 +393,12 @@ func run(o options) error {
 				return err
 			}
 			s.SwapPredictor(f)
-			if n := s.BroadcastModel(context.Background(), serve.ModelKindSMSV, buf.Bytes()); n > 0 {
+			if n := s.BroadcastModel(ctx, serve.ModelKindSMSV, buf.Bytes()); n > 0 {
 				logger.Info("broadcast promoted format predictor", "peers", n)
 			}
 			return nil
 		}
-		pairInstall := func(f *learn.PairForest) error {
+		pairInstall := func(ctx context.Context, f *learn.PairForest) error {
 			if f == nil {
 				s.SwapPairPredictor(nil)
 				return nil
@@ -378,7 +408,7 @@ func run(o options) error {
 				return err
 			}
 			s.SwapPairPredictor(f)
-			if n := s.BroadcastModel(context.Background(), serve.ModelKindPair, buf.Bytes()); n > 0 {
+			if n := s.BroadcastModel(ctx, serve.ModelKindPair, buf.Bytes()); n > 0 {
 				logger.Info("broadcast promoted pair predictor", "peers", n)
 			}
 			return nil
@@ -397,6 +427,9 @@ func run(o options) error {
 			PromoteMargin:   margin,
 			RollbackRegret:  o.rollbackRegret,
 			Logger:          logger,
+			Events:          events,
+			TraceSink:       func(tr *telemetry.Trace) { s.Traces().Put(tr) },
+			Node:            o.nodeID,
 			Lanes: []online.LaneConfig{
 				online.SMSVLane(predictor, learn.TrainConfig{}, smsvInstall),
 				online.PairLane(pairPredictor, learn.TrainConfig{}, pairInstall),

@@ -24,6 +24,8 @@ func goodOptions() options {
 		timeout: time.Second, maxBody: 1 << 20, cacheCap: 16,
 		logLevel: "error", logFormat: "text",
 		traceBuffer: telemetry.DefaultTraceCapacity,
+		sloLatency:  500 * time.Millisecond,
+		traceFetch:  3 * time.Second, tracePeer: time.Second,
 	}
 }
 
@@ -47,6 +49,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative max-batch", func(o *options) { o.maxBatch = -3 }, "-max-batch"},
 		{"zero trace-buffer", func(o *options) { o.traceBuffer = 0 }, "-trace-buffer"},
 		{"negative trace-buffer", func(o *options) { o.traceBuffer = -1 }, "-trace-buffer"},
+		{"zero slo latency objective", func(o *options) { o.sloLatency = 0 }, "-slo-latency-objective"},
+		{"zero trace fetch timeout", func(o *options) { o.traceFetch = 0 }, "-trace-fetch-timeout"},
+		{"negative trace fetch peer timeout", func(o *options) { o.tracePeer = -time.Second }, "-trace-fetch-peer-timeout"},
+		{"peer timeout over overall timeout", func(o *options) {
+			o.traceFetch, o.tracePeer = time.Second, 2*time.Second
+		}, "-trace-fetch-peer-timeout"},
 		{"unknown policy", func(o *options) { o.policy = "vibes" }, "unknown policy"},
 		{"node-id without peers", func(o *options) { o.nodeID = "n1" }, "-node-id"},
 		{"peers without node-id", func(o *options) { o.peers = "n1=http://h:1" }, "-node-id"},

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -106,7 +107,21 @@ type Report struct {
 	// histogram over the run's scrape window (delta of before/after).
 	Server *ServerCheck `json:"server,omitempty"`
 
+	// SlowTraces are exemplar trace ids harvested from the targets' latency
+	// histograms when -max-p99 fails: each one is a real slow request whose
+	// full tree resolves at <target>/v1/trace/<id>.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
+
 	Violations []string `json:"violations,omitempty"`
+}
+
+// SlowTrace points a blown latency assertion at a retrievable trace.
+type SlowTrace struct {
+	TraceID     string  `json:"trace_id"`
+	Node        string  `json:"node,omitempty"`
+	Target      string  `json:"target"`
+	ValueSec    float64 `json:"value_seconds"`
+	BucketLESec string  `json:"bucket_le"`
 }
 
 // ServerCheck cross-checks client percentiles against the servers' merged
@@ -239,6 +254,16 @@ func run(o options) error {
 		rep.Server = sc
 	}
 	assert(&rep, o)
+	if o.maxP99 > 0 && rep.ClientP99Sec > o.maxP99.Seconds() {
+		// The p99 cap blew: turn the abstract percentile into concrete
+		// requests by harvesting exemplar trace ids from each target's
+		// latency histogram. Every id resolves at <target>/v1/trace/<id>.
+		rep.SlowTraces = slowExemplars(client, targets, o.maxP99.Seconds())
+		for _, st := range rep.SlowTraces {
+			fmt.Fprintf(os.Stderr, "loadgen: slow exemplar trace=%s node=%s %.2fms (le=%s) — inspect %s/v1/trace/%s\n",
+				st.TraceID, st.Node, st.ValueSec*1e3, st.BucketLESec, st.Target, st.TraceID)
+		}
+	}
 
 	fmt.Fprintf(os.Stderr,
 		"loadgen: %d requests in %.1fs (%.0f rps) — 2xx %d, 4xx %d, 5xx %d, transport %d; client p50 %.2fms p99 %.2fms\n",
@@ -483,6 +508,45 @@ func serverCheck(client *http.Client, targets, before []string, endpoint string,
 	sc.AgreeP50 = agree(rep.ClientP50Sec, lo50, hi50)
 	sc.AgreeP99 = agree(rep.ClientP99Sec, lo99, hi99)
 	return sc, nil
+}
+
+// slowExemplars scrapes every target's latency histogram and returns the
+// exemplars whose observed value is over the p99 cap — or, if none is that
+// slow server-side (the overshoot came from client queueing), the slowest
+// exemplar per target so the operator still gets a representative trace.
+func slowExemplars(client *http.Client, targets []string, capSec float64) []SlowTrace {
+	var out []SlowTrace
+	for _, t := range targets {
+		text, err := scrape(client, t)
+		if err != nil {
+			continue // the run is already failing; exemplars are best-effort
+		}
+		exs := telemetry.ParseExemplars(text, "layoutd_request_duration_seconds")
+		slowest, found := SlowTrace{}, false
+		for _, e := range exs {
+			if e.TraceID == "" {
+				continue
+			}
+			st := SlowTrace{
+				TraceID: e.TraceID, Node: e.Node, Target: t,
+				ValueSec: e.Value, BucketLESec: e.Series["le"],
+			}
+			if e.Value > capSec {
+				out = append(out, st)
+			}
+			if !found || e.Value > slowest.ValueSec {
+				slowest, found = st, true
+			}
+		}
+		if found && !slices.ContainsFunc(out, func(s SlowTrace) bool { return s.Target == t }) {
+			out = append(out, slowest)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ValueSec > out[j].ValueSec })
+	if len(out) > 8 {
+		out = out[:8] // cap the report: eight slow traces diagnose a tail
+	}
+	return out
 }
 
 func assert(rep *Report, o options) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -77,25 +78,46 @@ func gather(url, file string) (string, error) {
 	}
 }
 
+// requiredFamilies are the observability families the in-process scrape
+// must expose: the SLO layer and the flywheel event timeline. A refactor
+// that silently drops one of these fails the CI gate here, not in an
+// operator's dashboard.
+var requiredFamilies = []string{
+	"layoutd_slo_burn_rate",
+	"layoutd_slo_state",
+	"layoutd_slo_target",
+	"layoutd_slo_health",
+	"layoutd_slo_good_total",
+	"layoutd_slo_bad_total",
+	"layoutd_online_events_total",
+	"layoutd_online_events_retained",
+}
+
 // scrapeTestServer runs one schedule decision through an in-process server
 // so the scrape exercises request counters, the decision histogram, kernel
-// collectors, and the trace store, then returns the /metrics body.
+// collectors, and the trace store, then returns the /metrics body. Beyond
+// the generic lint in main, it asserts the SLO and event families are
+// present, the latency histogram carries a trace_id exemplar, and that
+// exemplar's trace resolves at /v1/trace/{id}.
 func scrapeTestServer() (string, error) {
 	ex := exec.New(2, exec.Static)
 	defer ex.Close()
 	store := online.NewStore(64, nil)
+	events := online.NewEventLog(0)
 	s := serve.NewServer(serve.Config{
 		Policy: core.Hybrid, Exec: ex, Stats: &exec.Stats{}, TopK: 2,
-		Harvest: func(r online.Record) { _ = store.Add(r) },
+		Harvest:      func(r online.Record) { _ = store.Add(r) },
+		OnlineEvents: events,
 	})
 	defer s.Drain()
 	// The online flywheel contributes its hand-built layoutd_online_*
 	// families to the same exposition; lint them together the way a
 	// `layoutd -online` scrape would serve them.
 	ctl, err := online.New(online.Config{
-		Store: store,
+		Store:  store,
+		Events: events,
 		Lanes: []online.LaneConfig{
-			online.SMSVLane(nil, learn.TrainConfig{}, func(*learn.Forest) error { return nil }),
+			online.SMSVLane(nil, learn.TrainConfig{}, func(context.Context, *learn.Forest) error { return nil }),
 		},
 	})
 	if err != nil {
@@ -124,5 +146,22 @@ func scrapeTestServer() (string, error) {
 	if rec.Code != http.StatusOK {
 		return "", fmt.Errorf("/metrics: %d", rec.Code)
 	}
-	return rec.Body.String(), nil
+	payload := rec.Body.String()
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(payload, "# TYPE "+fam+" ") {
+			return "", fmt.Errorf("required family %s missing from /metrics", fam)
+		}
+	}
+	exs := telemetry.ParseExemplars(payload, "layoutd_request_duration_seconds")
+	if len(exs) == 0 {
+		return "", fmt.Errorf("layoutd_request_duration_seconds carries no trace_id exemplar after a schedule request")
+	}
+	for _, e := range exs {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/trace/"+e.TraceID, nil))
+		if rec.Code != http.StatusOK {
+			return "", fmt.Errorf("exemplar trace %s does not resolve at /v1/trace/{id}: %d", e.TraceID, rec.Code)
+		}
+	}
+	return payload, nil
 }

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrPeerDown is returned by Client.Post when the target peer's circuit
@@ -30,6 +32,17 @@ const maxPeerResponse = 8 << 20
 // receiving it always decides locally — one hop, never a forwarding loop,
 // even when two nodes' membership views disagree during a rolling restart.
 const ForwardedHeader = "X-Layoutd-Forwarded"
+
+// TraceHeader and ParentHeader propagate distributed trace context on every
+// inter-node hop, W3C-traceparent-shaped: TraceHeader carries the 16-hex
+// trace id shared by every fragment of one logical operation, ParentHeader
+// the 16-hex wire id (telemetry.SpanWireID) of the caller's current span.
+// Client.Post injects them from the request context; serve handlers extract
+// them into telemetry.NewRemoteTrace.
+const (
+	TraceHeader  = "X-Layoutd-Trace"
+	ParentHeader = "X-Layoutd-Parent"
+)
 
 // Client is the peer-to-peer HTTP client: one shared keepalive transport
 // (connections persist across forwards, so steady-state routing pays no
@@ -99,6 +112,13 @@ func (c *Client) PeerOpens(addr string) int64 {
 	return c.breakerFor(addr).openCount()
 }
 
+// PeerDown reports whether addr's breaker is currently open — a cheap
+// pre-check for best-effort fan-outs (trace assembly) that want to skip
+// known-dead peers without probing them.
+func (c *Client) PeerDown(addr string) bool {
+	return c.breakerFor(addr).currentState() == breakerOpen
+}
+
 // Post sends body as JSON to addr+path with the forwarded marker set to
 // from, returning the response status and body. Transport failures and 5xx
 // responses count against the peer's breaker (the peer is unhealthy); 2xx
@@ -117,6 +137,10 @@ func (c *Client) Post(ctx context.Context, addr, path, from string, body []byte)
 	req.Header.Set("Content-Type", "application/json")
 	if from != "" {
 		req.Header.Set(ForwardedHeader, from)
+	}
+	if tid, sid, ok := telemetry.ContextTraceParent(ctx); ok {
+		req.Header.Set(TraceHeader, tid)
+		req.Header.Set(ParentHeader, sid)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

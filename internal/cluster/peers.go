@@ -99,7 +99,9 @@ func (p *Peers) Replicate(e ReplEntry) {
 
 // BroadcastModel pushes a model payload to every other ring member,
 // best-effort and sequential (model pushes are rare control-plane traffic).
-// It returns how many peers acknowledged.
+// It returns how many peers acknowledged. When a trace rides ctx each push
+// gets a cluster.model.push span, and the propagated headers make every
+// peer's apply a fragment of the same trace.
 func (p *Peers) BroadcastModel(ctx context.Context, body []byte) int {
 	acked := 0
 	for _, m := range p.ring.Members() {
@@ -107,14 +109,66 @@ func (p *Peers) BroadcastModel(ctx context.Context, body []byte) int {
 			continue
 		}
 		p.modelBroadcasts.Add(1)
-		status, _, err := p.client.Post(ctx, m.Addr, ModelPath, p.self.ID, body)
+		sctx, sp := telemetry.StartSpan(ctx, "cluster.model.push", telemetry.String("peer", m.ID))
+		status, _, err := p.client.Post(sctx, m.Addr, ModelPath, p.self.ID, body)
 		if err != nil || status >= 300 {
 			p.modelBroadcastNG.Add(1)
+			if err == nil {
+				err = fmt.Errorf("cluster: peer %s returned %d", m.ID, status)
+			}
+			sp.EndErr(err)
 			continue
 		}
+		sp.End()
 		acked++
 	}
 	return acked
+}
+
+// Others returns every ring member except the local node, in ring order.
+func (p *Peers) Others() []Member {
+	members := p.ring.Members()
+	out := make([]Member, 0, len(members))
+	for _, m := range members {
+		if m.ID != p.self.ID {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PeerDown reports whether m's breaker is open (see Client.PeerDown).
+func (p *Peers) PeerDown(m Member) bool { return p.client.PeerDown(m.Addr) }
+
+// FetchTrace fetches peer m's local fragment of trace id. found=false means
+// the peer answered but holds no fragment (not an error: most traces touch
+// a subset of the ring). A breaker-open peer fails fast with ErrPeerDown so
+// trace assembly never probes a known-dead node.
+func (p *Peers) FetchTrace(ctx context.Context, m Member, id string) (data []byte, found bool, err error) {
+	if p.client.PeerDown(m.Addr) {
+		return nil, false, ErrPeerDown
+	}
+	status, data, err := p.client.Get(ctx, m.Addr, "/v1/trace/"+id+"?scope=local")
+	if err != nil {
+		return nil, false, err
+	}
+	if status == 404 {
+		return nil, false, nil
+	}
+	if status != 200 {
+		return nil, false, fmt.Errorf("cluster: peer %s trace fetch returned %d", m.ID, status)
+	}
+	return data, true, nil
+}
+
+// SetTraceSink routes traces recorded inside the cluster layer itself —
+// today the replicator's per-flush gossip traces — into the node's trace
+// store. The serve layer wires this at construction; a nil sink disables
+// gossip tracing.
+func (p *Peers) SetTraceSink(sink func(*telemetry.Trace)) {
+	if p.repl != nil {
+		p.repl.setTraceSink(sink)
+	}
 }
 
 // EncodePayload marshals a payload for Replicate entries; a helper so the

@@ -3,9 +3,12 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ReplicatePath is the endpoint gossip batches are POSTed to; the serve
@@ -72,6 +75,22 @@ type Replicator struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// traceSink receives the per-flush gossip trace when set (atomically,
+	// since the serve layer wires it after the loop is already running).
+	traceSink atomic.Pointer[traceSinkBox]
+}
+
+// traceSinkBox wraps the sink func so it can live in an atomic.Pointer.
+type traceSinkBox struct{ fn func(*telemetry.Trace) }
+
+// setTraceSink installs (or clears, with nil) the gossip trace sink.
+func (r *Replicator) setTraceSink(fn func(*telemetry.Trace)) {
+	if fn == nil {
+		r.traceSink.Store(nil)
+		return
+	}
+	r.traceSink.Store(&traceSinkBox{fn: fn})
 }
 
 // ReplicatorOptions tune a Replicator; zeros take defaults.
@@ -158,7 +177,9 @@ func (r *Replicator) loop() {
 
 // flush sends the pending batch to the ring successor and resets it. A
 // single-node ring (no successor) silently discards — there is nobody to
-// replicate to.
+// replicate to. With a trace sink wired, each flush records a
+// replicate.flush trace whose propagated context makes the successor's
+// apply a fragment of the same trace.
 func (r *Replicator) flush(pending *[]ReplEntry) {
 	if len(*pending) == 0 {
 		return
@@ -176,8 +197,25 @@ func (r *Replicator) flush(pending *[]ReplEntry) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
 	defer cancel()
+	var tr *telemetry.Trace
+	var root *telemetry.Span
+	sink := r.traceSink.Load()
+	if sink != nil {
+		ctx, tr, root = telemetry.NewTrace(ctx, "replicate.flush",
+			telemetry.Int("entries", len(batch)),
+			telemetry.String("successor", succ.ID))
+		tr.SetNode(r.self)
+	}
 	status, _, err := r.client.Post(ctx, succ.Addr, ReplicatePath, r.self, body)
-	if err != nil || status >= 300 {
+	if err == nil && status >= 300 {
+		err = fmt.Errorf("cluster: gossip flush returned %d", status)
+	}
+	if sink != nil {
+		root.EndErr(err)
+		tr.Finish()
+		sink.fn(tr)
+	}
+	if err != nil {
 		r.errors.Add(1)
 		return
 	}

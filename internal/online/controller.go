@@ -15,24 +15,26 @@ import (
 // it: a display name for logs/traces, the shadow-evaluable predict
 // function, and an Install hook that makes it the serving model
 // (typically serve's atomic predictorSwap plus a ring-wide broadcast).
-// A nil Install installs trivially — the model needs no serving-side
-// step, e.g. a boot placeholder when no predictor was ever loaded.
-// Lanes whose serving slot must actually be cleared on rollback-to-boot
-// should install nil into the slot instead (see SMSVLane/PairLane).
+// Install receives the round's trace context, so a broadcast inside it
+// propagates the online.retrain trace across the ring. A nil Install
+// installs trivially — the model needs no serving-side step, e.g. a
+// boot placeholder when no predictor was ever loaded. Lanes whose
+// serving slot must actually be cleared on rollback-to-boot should
+// install nil into the slot instead (see SMSVLane/PairLane).
 type Model struct {
 	Name    string
 	Predict PredictFunc
-	Install func() error
+	Install func(context.Context) error
 }
 
 // installModel runs a model's install hook, treating a nil hook as an
 // immediate success so a rollback to a no-model boot lane never
 // dereferences a missing function.
-func installModel(m Model) error {
+func installModel(ctx context.Context, m Model) error {
 	if m.Install == nil {
 		return nil
 	}
-	return m.Install()
+	return m.Install(ctx)
 }
 
 // LaneConfig is one workload's flywheel: which records it trains from,
@@ -82,6 +84,16 @@ type Config struct {
 
 	Logger *slog.Logger
 	Lanes  []LaneConfig
+
+	// Events receives a timeline entry for every state-machine
+	// transition (promote/reject/rollback/commit); nil disables the
+	// timeline. TraceSink receives the per-round online.retrain and
+	// online.judge traces (typically the serve trace store's Put); nil
+	// disables round tracing. Node stamps those traces with the local
+	// node id so assembled cluster traces attribute flywheel spans.
+	Events    *EventLog
+	TraceSink func(*telemetry.Trace)
+	Node      string
 }
 
 // PromoteMarginZero requests a promote margin of exactly zero: any
@@ -285,6 +297,34 @@ func (c *Controller) Step() {
 	}
 }
 
+// roundTrace starts one flywheel round's trace when a sink is wired.
+// The returned context carries the root span (so installs that
+// broadcast propagate the trace ring-wide), the id links events to the
+// trace, and finish must be called exactly once to record it. With no
+// sink everything degrades to no-ops.
+func (c *Controller) roundTrace(name string, attrs ...telemetry.Attr) (context.Context, string, func(error)) {
+	if c.cfg.TraceSink == nil {
+		return context.Background(), "", func(error) {}
+	}
+	ctx, tr, root := telemetry.NewTrace(context.Background(), name, attrs...)
+	if c.cfg.Node != "" {
+		tr.SetNode(c.cfg.Node)
+	}
+	return ctx, tr.ID, func(err error) {
+		root.EndErr(err)
+		tr.Finish()
+		c.cfg.TraceSink(tr)
+	}
+}
+
+// event appends one transition to the event log (nil-safe).
+func (c *Controller) event(ln *lane, typ, model, traceID, detail string) {
+	c.cfg.Events.Append(Event{
+		Time: c.cfg.Now(), Lane: string(ln.cfg.Kind), Type: typ,
+		Model: model, TraceID: traceID, Detail: detail,
+	})
+}
+
 // judge decides a promoted model's fate from fresh post-swap traffic:
 // rollback when mean regret regressed past the threshold, commit when
 // the evidence clears it. With neither enough fresh records nor an
@@ -300,15 +340,26 @@ func (c *Controller) judge(ln *lane, now time.Time) {
 	post := EvalShadow(fresh, predictOrAbstain(ln.live))
 	ln.postRegret = post.MeanRegret()
 	if post.N > 0 && post.MeanRegret() > c.cfg.RollbackRegret {
-		if err := installModel(ln.prev); err != nil {
+		// The trace is created only once a verdict is reached — judge runs
+		// every tick while monitoring, and a trace per no-op tick would
+		// flood the bounded trace store.
+		ctx, tid, finish := c.roundTrace("online.judge",
+			telemetry.String("lane", string(ln.cfg.Kind)),
+			telemetry.String("decision", "rollback"),
+			telemetry.Float("post_regret", post.MeanRegret()))
+		if err := installModel(ctx, ln.prev); err != nil {
+			finish(err)
 			ln.installErrors++
 			c.cfg.Logger.Error("online rollback install failed; will retry",
 				"lane", ln.cfg.Kind, "model", ln.prev.Name, "err", err)
 			return // stay monitoring, retry next tick
 		}
+		finish(nil)
 		c.cfg.Logger.Warn("online rollback",
 			"lane", ln.cfg.Kind, "from", ln.live.Name, "to", ln.prev.Name,
 			"post_regret", post.MeanRegret(), "threshold", c.cfg.RollbackRegret)
+		c.event(ln, EventRollback, ln.live.Name, tid,
+			fmt.Sprintf("post_regret=%.3g threshold=%.3g to=%s", post.MeanRegret(), c.cfg.RollbackRegret, ln.prev.Name))
 		ln.live, ln.prev = ln.prev, Model{}
 		ln.state = laneIdle
 		ln.rollbacks++
@@ -320,10 +371,22 @@ func (c *Controller) judge(ln *lane, now time.Time) {
 	if post.N == 0 && now.Sub(ln.promotedAt) < quiescentPatience*c.cfg.RetrainInterval {
 		return // no evidence either way; keep monitoring
 	}
+	typ := EventCommit
+	if post.N == 0 {
+		typ = EventQuiescentCommit
+	}
+	_, tid, finish := c.roundTrace("online.judge",
+		telemetry.String("lane", string(ln.cfg.Kind)),
+		telemetry.String("decision", typ),
+		telemetry.Float("post_regret", post.MeanRegret()),
+		telemetry.Int("fresh", post.N))
+	finish(nil)
 	c.cfg.Logger.Info("online commit",
 		"lane", ln.cfg.Kind, "model", ln.live.Name,
 		"post_regret", post.MeanRegret(), "fresh", post.N,
 		"quiescent", post.N == 0)
+	c.event(ln, typ, ln.live.Name, tid,
+		fmt.Sprintf("post_regret=%.3g fresh=%d", post.MeanRegret(), post.N))
 	ln.prev = Model{}
 	ln.state = laneIdle
 	ln.commits++
@@ -342,35 +405,58 @@ func (c *Controller) retrain(ln *lane, now time.Time) {
 	}
 	ln.round++
 	ln.retrains++
+	ctx, tid, finish := c.roundTrace("online.retrain",
+		telemetry.String("lane", string(ln.cfg.Kind)),
+		telemetry.Int("round", int(ln.round)),
+		telemetry.Int("window", len(window)))
+	tctx, tsp := telemetry.StartSpan(ctx, "online.train")
 	cand, err := ln.cfg.Train(window, ln.round)
 	if err != nil {
+		tsp.EndErr(err)
+		finish(err)
 		ln.retrainErrors++
 		c.cfg.Logger.Error("online retrain failed", "lane", ln.cfg.Kind, "err", err)
 		return
 	}
+	tsp.End()
+	_, ssp := telemetry.StartSpan(tctx, "online.shadow")
 	liveStats := EvalShadow(window, predictOrAbstain(ln.live))
 	candStats := EvalShadow(window, predictOrAbstain(cand))
+	ssp.Annotate(
+		telemetry.Float("live_hit", liveStats.HitRate()),
+		telemetry.Float("cand_hit", candStats.HitRate()))
+	ssp.End()
 	ln.shadowEvals++
 	ln.liveHitRate = liveStats.HitRate()
 	ln.candHitRate = candStats.HitRate()
 	ln.regretHist.observe(candStats.MeanRegret())
 	if candStats.N == 0 || candStats.HitRate() < liveStats.HitRate()+c.cfg.PromoteMargin {
+		finish(nil)
 		ln.rejections++
 		c.cfg.Logger.Info("online candidate rejected",
 			"lane", ln.cfg.Kind, "candidate", cand.Name,
 			"cand_hit", candStats.HitRate(), "live_hit", liveStats.HitRate(),
 			"margin", c.cfg.PromoteMargin)
+		c.event(ln, EventReject, cand.Name, tid,
+			fmt.Sprintf("cand_hit=%.3g live_hit=%.3g margin=%.3g", candStats.HitRate(), liveStats.HitRate(), c.cfg.PromoteMargin))
 		return
 	}
-	if err := installModel(cand); err != nil {
+	ictx, isp := telemetry.StartSpan(tctx, "online.install", telemetry.String("model", cand.Name))
+	if err := installModel(ictx, cand); err != nil {
+		isp.EndErr(err)
+		finish(err)
 		ln.installErrors++
 		c.cfg.Logger.Error("online promote install failed",
 			"lane", ln.cfg.Kind, "candidate", cand.Name, "err", err)
 		return
 	}
+	isp.End()
+	finish(nil)
 	c.cfg.Logger.Info("online promotion",
 		"lane", ln.cfg.Kind, "from", ln.live.Name, "to", cand.Name,
 		"cand_hit", candStats.HitRate(), "live_hit", liveStats.HitRate())
+	c.event(ln, EventPromote, cand.Name, tid,
+		fmt.Sprintf("cand_hit=%.3g live_hit=%.3g from=%s", candStats.HitRate(), liveStats.HitRate(), ln.live.Name))
 	ln.prev, ln.live = ln.live, cand
 	ln.promotedSeq = c.cfg.Store.LastSeq()
 	ln.promotedAt = now

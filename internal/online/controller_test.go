@@ -2,6 +2,7 @@ package online
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,7 +29,7 @@ func (it *installTracker) model(name, predicts string) Model {
 			}
 			return predicts, true
 		},
-		Install: func() error {
+		Install: func(context.Context) error {
 			it.mu.Lock()
 			it.serving = name
 			it.mu.Unlock()
@@ -418,7 +419,7 @@ func TestControllerInstallErrorStaysMonitoring(t *testing.T) {
 	boot := Model{
 		Name:    "boot",
 		Predict: func(Record) (string, bool) { return "COO/static/base", true },
-		Install: func() error {
+		Install: func(context.Context) error {
 			mu.Lock()
 			defer mu.Unlock()
 			if failInstalls {

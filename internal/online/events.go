@@ -1,0 +1,158 @@
+package online
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Event is one flywheel state-machine transition: a candidate promoted,
+// rejected, rolled back, or committed (with or without post-swap
+// evidence). TraceID links the event to the online.retrain or
+// online.judge trace recorded for the round that produced it, so an
+// operator reading the event timeline can jump straight to the spans.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Lane    string    `json:"lane"`
+	Type    string    `json:"type"`
+	Model   string    `json:"model,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// Event types, pre-registered so the counter family exposes a zero
+// sample per type from the first scrape.
+const (
+	EventPromote         = "promote"
+	EventReject          = "reject"
+	EventRollback        = "rollback"
+	EventCommit          = "commit"
+	EventQuiescentCommit = "quiescent-commit"
+)
+
+var eventTypes = []string{EventPromote, EventReject, EventRollback, EventCommit, EventQuiescentCommit}
+
+// EventLog is a bounded in-memory ring of flywheel transitions, the
+// data behind /v1/online/events. Appends never block and never grow
+// past the capacity: the oldest events fall off, exactly like the trace
+// store. A nil *EventLog is safe to append to (events just vanish), so
+// wiring it is optional everywhere.
+type EventLog struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	seq    uint64
+	counts map[string]int64
+	subs   []func(Event)
+}
+
+// DefaultEventCapacity bounds the event ring when NewEventLog gets 0.
+const DefaultEventCapacity = 256
+
+// NewEventLog builds a ring holding the last cap events (0 = 256).
+func NewEventLog(cap int) *EventLog {
+	if cap <= 0 {
+		cap = DefaultEventCapacity
+	}
+	l := &EventLog{buf: make([]Event, 0, cap), counts: make(map[string]int64, len(eventTypes))}
+	for _, t := range eventTypes {
+		l.counts[t] = 0
+	}
+	return l
+}
+
+// Subscribe registers fn to run synchronously on every append — the
+// serve layer's rollback-rate SLI hangs off this. Subscribers must be
+// fast and must not call back into the log.
+func (l *EventLog) Subscribe(fn func(Event)) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.mu.Lock()
+	l.subs = append(l.subs, fn)
+	l.mu.Unlock()
+}
+
+// Append records one transition, stamping Seq. Nil-safe.
+func (l *EventLog) Append(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.counts[e.Type]++
+	subs := l.subs
+	l.mu.Unlock()
+	for _, fn := range subs {
+		fn(e)
+	}
+}
+
+// Events returns the retained events oldest-first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	if len(l.buf) == cap(l.buf) {
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	} else {
+		out = append(out, l.buf...)
+	}
+	return out
+}
+
+// MetricFamilies renders the per-type transition counters; every
+// pre-registered type has a sample even at zero, plus any type appended
+// that this build does not know (forward compatibility over gossip-free
+// upgrades).
+func (l *EventLog) MetricFamilies(prefix string) []telemetry.Family {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f := telemetry.Family{
+		Name: prefix + "_online_events_total", Kind: telemetry.KindCounter,
+		Help: "Flywheel state-machine transitions recorded in the event log, by type.",
+	}
+	for _, t := range eventTypes {
+		f.Samples = append(f.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{telemetry.L("type", t)},
+			Value:  float64(l.counts[t]),
+		})
+	}
+	for t, n := range l.counts {
+		known := false
+		for _, k := range eventTypes {
+			if t == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			f.Samples = append(f.Samples, telemetry.Sample{
+				Labels: []telemetry.Label{telemetry.L("type", t)},
+				Value:  float64(n),
+			})
+		}
+	}
+	retained := telemetry.Family{
+		Name: prefix + "_online_events_retained", Kind: telemetry.KindGauge,
+		Help:    "Events currently held in the bounded event ring.",
+		Samples: []telemetry.Sample{{Value: float64(len(l.buf))}},
+	}
+	return []telemetry.Family{f, retained}
+}

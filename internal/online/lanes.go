@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/learn"
@@ -19,7 +20,7 @@ import (
 // live model, and a rollback to boot installs a nil forest, unloading
 // the serving predictor). install makes a fitted forest the serving
 // model and must accept nil as "unload".
-func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Forest) error) LaneConfig {
+func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(context.Context, *learn.Forest) error) LaneConfig {
 	mk := func(name string, f *learn.Forest) Model {
 		return Model{
 			Name: name,
@@ -30,14 +31,14 @@ func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Fore
 				}
 				return c.String(), true
 			},
-			Install: func() error { return install(f) },
+			Install: func(ctx context.Context) error { return install(ctx, f) },
 		}
 	}
 	// With no boot forest the boot model abstains, and its Install puts
 	// the daemon back where it started: no predictor loaded. Without
 	// this, rolling back a first promotion would leave the rejected
 	// candidate serving.
-	bootModel := Model{Name: "boot", Install: func() error { return install(nil) }}
+	bootModel := Model{Name: "boot", Install: func(ctx context.Context) error { return install(ctx, nil) }}
 	if boot != nil {
 		bootModel = mk("boot", boot)
 	}
@@ -65,7 +66,7 @@ func SMSVLane(boot *learn.Forest, tc learn.TrainConfig, install func(*learn.Fore
 // PairLane builds the SpGEMM lane over learn.PairForest, the pairwise
 // twin of SMSVLane (including nil boot = abstain, and install(nil) =
 // unload on rollback-to-boot).
-func PairLane(boot *learn.PairForest, tc learn.TrainConfig, install func(*learn.PairForest) error) LaneConfig {
+func PairLane(boot *learn.PairForest, tc learn.TrainConfig, install func(context.Context, *learn.PairForest) error) LaneConfig {
 	mk := func(name string, f *learn.PairForest) Model {
 		return Model{
 			Name: name,
@@ -76,10 +77,10 @@ func PairLane(boot *learn.PairForest, tc learn.TrainConfig, install func(*learn.
 				}
 				return c.String(), true
 			},
-			Install: func() error { return install(f) },
+			Install: func(ctx context.Context) error { return install(ctx, f) },
 		}
 	}
-	bootModel := Model{Name: "boot", Install: func() error { return install(nil) }}
+	bootModel := Model{Name: "boot", Install: func(ctx context.Context) error { return install(ctx, nil) }}
 	if boot != nil {
 		bootModel = mk("boot", boot)
 	}

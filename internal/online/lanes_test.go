@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/learn"
@@ -14,14 +15,14 @@ import (
 func TestLaneNilBootInstallsUnload(t *testing.T) {
 	t.Run("smsv", func(t *testing.T) {
 		called, gotNil := false, false
-		lc := SMSVLane(nil, learn.TrainConfig{}, func(f *learn.Forest) error {
+		lc := SMSVLane(nil, learn.TrainConfig{}, func(_ context.Context, f *learn.Forest) error {
 			called, gotNil = true, f == nil
 			return nil
 		})
 		if lc.Boot.Install == nil {
 			t.Fatal("SMSVLane(nil, ...) boot model has a nil Install")
 		}
-		if err := lc.Boot.Install(); err != nil {
+		if err := lc.Boot.Install(context.Background()); err != nil {
 			t.Fatalf("boot install: %v", err)
 		}
 		if !called || !gotNil {
@@ -33,14 +34,14 @@ func TestLaneNilBootInstallsUnload(t *testing.T) {
 	})
 	t.Run("pair", func(t *testing.T) {
 		called, gotNil := false, false
-		lc := PairLane(nil, learn.TrainConfig{}, func(f *learn.PairForest) error {
+		lc := PairLane(nil, learn.TrainConfig{}, func(_ context.Context, f *learn.PairForest) error {
 			called, gotNil = true, f == nil
 			return nil
 		})
 		if lc.Boot.Install == nil {
 			t.Fatal("PairLane(nil, ...) boot model has a nil Install")
 		}
-		if err := lc.Boot.Install(); err != nil {
+		if err := lc.Boot.Install(context.Background()); err != nil {
 			t.Fatalf("boot install: %v", err)
 		}
 		if !called || !gotNil {

@@ -72,8 +72,9 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// One trace for the whole batch: every item's scheduling spans nest
 	// under it, so a slow batch can be read as one tree.
-	ctx, tr, root := telemetry.NewTrace(r.Context(), "schedule.batch",
+	ctx, tr, root := s.joinOrStartTrace(r, "schedule.batch",
 		telemetry.Int("items", len(req.Items)))
+	setTraceID(w, tr.ID)
 	defer func() {
 		root.End()
 		tr.Finish()

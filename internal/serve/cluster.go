@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cluster"
@@ -79,10 +80,14 @@ const (
 	ModelKindPair = "spgemm-pair"
 )
 
-// ModelPushResponse acknowledges a model push.
+// ModelPushResponse acknowledges a model push. TraceID names the trace
+// the apply (and any fan-out) was recorded under — the pusher's own
+// trace when headers propagated one, or a fresh trace on a direct
+// operator push — so /v1/trace/{id} shows the ring-wide distribution.
 type ModelPushResponse struct {
-	Swapped    bool `json:"swapped"`
-	Propagated int  `json:"propagated"`
+	Swapped    bool   `json:"swapped"`
+	Propagated int    `json:"propagated"`
+	TraceID    string `json:"trace_id,omitempty"`
 }
 
 // predictorSwap is an atomically swappable format predictor: the schedulers
@@ -322,6 +327,21 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 	if !decodeBody(w, r, &payload) {
 		return
 	}
+	// A gossip flush whose sender recorded a replicate.flush trace
+	// propagates it here; the apply becomes a fragment of that trace.
+	// Without headers no trace is recorded — steady-state gossip must not
+	// churn the bounded trace store.
+	var finishTrace func(error)
+	if tid, parent, ok := s.traceHeaders(r); ok {
+		_, tr, root := telemetry.NewRemoteTrace(r.Context(), tid, parent, s.node, "replicate.apply",
+			telemetry.String("from", payload.From),
+			telemetry.Int("entries", len(payload.Entries)))
+		finishTrace = func(err error) {
+			root.EndErr(err)
+			tr.Finish()
+			s.traces.Put(tr)
+		}
+	}
 	applied, skipped := 0, 0
 	for _, e := range payload.Entries {
 		switch e.Kind {
@@ -369,6 +389,9 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 	}
 	s.replApplied.Add(int64(applied))
 	s.replSkipped.Add(int64(skipped))
+	if finishTrace != nil {
+		finishTrace(nil)
+	}
 	s.logger.Debug("replication batch applied",
 		"from", payload.From, "applied", applied, "skipped", skipped)
 	writeJSON(w, http.StatusOK, cluster.ReplicateResponse{Applied: applied, Skipped: skipped})
@@ -388,6 +411,18 @@ func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "model is empty")
 		return
 	}
+	// Every model apply is traced: as a fragment of the pusher's trace when
+	// headers propagated one (an online promotion's install, or a peer's
+	// propagate fan-out), or as a fresh trace on a direct operator push —
+	// so a propagated push is ONE trace spanning the whole ring.
+	ctx, tr, root := s.joinOrStartTrace(r, "model.apply",
+		telemetry.String("kind", req.Kind))
+	var applyErr error
+	defer func() {
+		root.EndErr(applyErr)
+		tr.Finish()
+		s.traces.Put(tr)
+	}()
 	switch req.Kind {
 	case "", ModelKindSMSV:
 		if s.cfg.ModelLoader == nil {
@@ -396,6 +431,7 @@ func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
 		}
 		p, err := s.cfg.ModelLoader(req.Model)
 		if err != nil {
+			applyErr = err
 			s.modelSwapErrors.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("rejected model: %v", err))
 			return
@@ -409,6 +445,7 @@ func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
 		}
 		p, err := s.cfg.PairModelLoader(req.Model)
 		if err != nil {
+			applyErr = err
 			s.modelSwapErrors.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("rejected pair model: %v", err))
 			return
@@ -423,10 +460,61 @@ func (s *Server) handleClusterModel(w http.ResponseWriter, r *http.Request) {
 	if req.Propagate && s.cluster != nil {
 		body, err := json.Marshal(ModelPushRequest{Model: req.Model, Kind: req.Kind})
 		if err == nil {
-			propagated = s.cluster.BroadcastModel(r.Context(), body)
+			// ctx carries the apply trace, so each fan-out push gets a
+			// cluster.model.push span and every peer's apply joins the trace.
+			propagated = s.cluster.BroadcastModel(ctx, body)
 		}
 	}
-	writeJSON(w, http.StatusOK, ModelPushResponse{Swapped: true, Propagated: propagated})
+	writeJSON(w, http.StatusOK, ModelPushResponse{Swapped: true, Propagated: propagated, TraceID: tr.ID})
+}
+
+// fetchPeerFragments gathers every other ring member's local fragment of
+// trace id, under one overall deadline with a per-peer timeout and a
+// bounded fan-out. Breaker-open peers fail fast without a dial. The
+// second result is true when any peer could not answer — the assembled
+// trace is then marked incomplete instead of the request failing.
+func (s *Server) fetchPeerFragments(ctx context.Context, id string) ([]telemetry.TraceJSON, bool) {
+	others := s.cluster.Others()
+	if len(others) == 0 {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.TraceFetchTimeout)
+	defer cancel()
+	sem := make(chan struct{}, 8)
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		frags      []telemetry.TraceJSON
+		incomplete bool
+	)
+	for _, m := range others {
+		wg.Add(1)
+		go func(m cluster.Member) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pctx, pcancel := context.WithTimeout(ctx, s.cfg.TraceFetchPeerTimeout)
+			defer pcancel()
+			data, found, err := s.cluster.FetchTrace(pctx, m, id)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				incomplete = true
+				return
+			}
+			if !found {
+				return // peer answered: this trace never touched it
+			}
+			var frag telemetry.TraceJSON
+			if json.Unmarshal(data, &frag) != nil || frag.TraceID != id {
+				incomplete = true
+				return
+			}
+			frags = append(frags, frag)
+		}(m)
+	}
+	wg.Wait()
+	return frags, incomplete
 }
 
 // registerClusterMetrics hangs the cluster series on the registry; called

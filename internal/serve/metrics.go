@@ -83,12 +83,14 @@ func (m *serverMetrics) endpoint(name string) *endpointMetrics {
 	return em
 }
 
-// observe records one completed request.
-func (m *serverMetrics) observe(name string, status int, d time.Duration) {
+// observe records one completed request. A non-empty traceID rides the
+// latency bucket as an OpenMetrics exemplar, so a blown percentile links
+// straight to a retrievable trace.
+func (m *serverMetrics) observe(name string, status int, d time.Duration, traceID, node string) {
 	em := m.endpoint(name)
 	em.requests.Inc()
 	if status >= 400 {
 		em.errors.Inc()
 	}
-	em.latency.Observe(d.Seconds())
+	em.latency.ObserveExemplar(d.Seconds(), traceID, node)
 }

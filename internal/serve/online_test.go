@@ -288,7 +288,7 @@ func TestClusterOnlinePromotionPropagatesModel(t *testing.T) {
 
 	store := online.NewStore(64, clock)
 	var propagated int
-	install := func(f *learn.Forest) error {
+	install := func(ctx context.Context, f *learn.Forest) error {
 		if f == nil { // rollback to the no-model boot lane unloads
 			nodes[0].srv.SwapPredictor(nil)
 			return nil
@@ -298,7 +298,7 @@ func TestClusterOnlinePromotionPropagatesModel(t *testing.T) {
 		if err := f.Save(&buf); err != nil {
 			return err
 		}
-		propagated = nodes[0].srv.BroadcastModel(context.Background(), ModelKindSMSV, buf.Bytes())
+		propagated = nodes[0].srv.BroadcastModel(ctx, ModelKindSMSV, buf.Bytes())
 		return nil
 	}
 	interval := time.Minute

@@ -21,6 +21,7 @@ import (
 	"repro/internal/sparse"
 	"repro/internal/svm"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/slo"
 )
 
 // ErrOverloaded is returned (and mapped to 429) when every measurement slot
@@ -129,6 +130,27 @@ type Config struct {
 	// decision is cached; implementations must be cheap and
 	// concurrency-safe (online.Store.Add is both).
 	Harvest func(online.Record)
+
+	// OnlineEvents, when non-nil, is the flywheel's transition timeline:
+	// /v1/online/events serves it, its per-type counters join /metrics,
+	// and its rollback/commit transitions feed the rollback-rate SLO.
+	OnlineEvents *online.EventLog
+
+	// SLOLatencyObjective is the per-request latency objective the
+	// latency SLO counts against (a data-plane request slower than this
+	// is "bad"). 0 = 500ms.
+	SLOLatencyObjective time.Duration
+	// SLONow injects the SLO burn-rate clock; nil = wall clock. Tests
+	// use it to age fault storms out of the burn windows deterministically.
+	SLONow func() time.Time
+
+	// TraceFetchTimeout bounds the whole remote-fragment assembly of one
+	// GET /v1/trace/{id} request across all peers. 0 = 3s.
+	TraceFetchTimeout time.Duration
+	// TraceFetchPeerTimeout bounds each individual peer's fragment fetch
+	// within that budget, so one hung peer costs its timeout, not the
+	// whole request's. 0 = 1s.
+	TraceFetchPeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +180,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = telemetry.NopLogger()
+	}
+	if c.SLOLatencyObjective <= 0 {
+		c.SLOLatencyObjective = 500 * time.Millisecond
+	}
+	if c.TraceFetchTimeout <= 0 {
+		c.TraceFetchTimeout = 3 * time.Second
+	}
+	if c.TraceFetchPeerTimeout <= 0 {
+		c.TraceFetchPeerTimeout = time.Second
 	}
 	return c
 }
@@ -192,6 +223,14 @@ type Server struct {
 	// /v1/cluster/model pushes can replace the pair model atomically.
 	pairPredictor *pairPredictorSwap
 	cluster       *cluster.Peers // nil when running single-node
+	node          string         // cluster node id; "" single-node
+
+	// The SLO layer: multi-window burn rates over the request-level SLIs
+	// route() records, surfaced at /v1/healthz and layoutd_slo_*.
+	slos        *slo.Tracker
+	sloAvail    *slo.SLO // non-5xx responses on data-plane endpoints
+	sloLatency  *slo.SLO // data-plane responses under SLOLatencyObjective
+	sloRollback *slo.SLO // flywheel verdicts that were not rollbacks
 
 	measurements atomic.Int64 // scheduler runs that actually measured
 	degraded     atomic.Int64 // decisions served without measurement under failure
@@ -234,6 +273,29 @@ func NewServer(cfg Config) *Server {
 		predictor:     newPredictorSwap(cfg.Predictor),
 		pairPredictor: newPairPredictorSwap(cfg.PairPredictor),
 		cluster:       cfg.Cluster,
+	}
+	if s.cluster != nil {
+		s.node = s.cluster.Self().ID
+		// Traces the cluster layer records on its own (gossip flushes) land
+		// in the same bounded store the handlers use.
+		s.cluster.SetTraceSink(func(tr *telemetry.Trace) { s.traces.Put(tr) })
+	}
+	s.slos = slo.NewTracker(slo.Options{Now: cfg.SLONow})
+	s.sloAvail = s.slos.Add("availability", 0.999)
+	s.sloLatency = s.slos.Add("latency", 0.99)
+	// Rollback target 0.8: its burn saturates at 5, so rollbacks alone can
+	// degrade the node (≥40% of recent flywheel verdicts) but never mark it
+	// critical — only sustained request-level failure does that.
+	s.sloRollback = s.slos.Add("rollback", 0.8)
+	if cfg.OnlineEvents != nil {
+		cfg.OnlineEvents.Subscribe(func(e online.Event) {
+			switch e.Type {
+			case online.EventRollback:
+				s.sloRollback.Record(false)
+			case online.EventCommit, online.EventQuiescentCommit:
+				s.sloRollback.Record(true)
+			}
+		})
 	}
 	for _, p := range []core.Policy{core.RuleBased, core.Empirical, core.Hybrid, core.PolicyPredict} {
 		s.scheds[p] = core.New(core.Config{
@@ -341,6 +403,14 @@ func (s *Server) registerMetrics() {
 	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
 		return fault.MetricFamilies("layoutd")
 	}))
+	reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
+		return s.slos.MetricFamilies("layoutd")
+	}))
+	if s.cfg.OnlineEvents != nil {
+		reg.Register(telemetry.CollectorFunc(func() []telemetry.Family {
+			return s.cfg.OnlineEvents.MetricFamilies("layoutd")
+		}))
+	}
 	s.registerSpGEMMMetrics()
 	if s.cluster != nil {
 		s.registerClusterMetrics()
@@ -403,20 +473,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/trace/", s.route("trace", http.MethodGet, s.handleTrace))
 	mux.HandleFunc(cluster.ReplicatePath, s.route("cluster-replicate", http.MethodPost, s.handleClusterReplicate))
 	mux.HandleFunc(cluster.ModelPath, s.route("cluster-model", http.MethodPost, s.handleClusterModel))
+	mux.HandleFunc("/v1/healthz", s.route("healthz-slo", http.MethodGet, s.handleSLOHealthz))
+	mux.HandleFunc("/v1/online/events", s.route("online-events", http.MethodGet, s.handleOnlineEvents))
 	mux.HandleFunc("/healthz", s.route("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.route("metrics", http.MethodGet, s.handleMetrics))
 	// Pre-register every route's series so the first scrape already shows
 	// zero-valued counters for endpoints that have seen no traffic.
-	for _, name := range []string{"schedule", "schedule-batch", "schedule-spgemm", "predict", "predict-format", "trace", "cluster-replicate", "cluster-model", "healthz", "metrics"} {
+	for _, name := range []string{"schedule", "schedule-batch", "schedule-spgemm", "predict", "predict-format", "trace", "cluster-replicate", "cluster-model", "healthz-slo", "online-events", "healthz", "metrics"} {
 		s.metrics.endpoint(name)
 	}
 	return mux
 }
 
-// statusRecorder captures the response code for the metrics layer.
+// dataPlaneEndpoints are the routes whose responses count against the
+// availability and latency SLOs. Control-plane endpoints (metrics, trace
+// retrieval, peer gossip) are excluded: a scrape or an admin fetch
+// failing is not user-visible unavailability.
+var dataPlaneEndpoints = map[string]bool{
+	"schedule":        true,
+	"schedule-batch":  true,
+	"schedule-spgemm": true,
+	"predict":         true,
+	"predict-format":  true,
+}
+
+// statusRecorder captures the response code (for the metrics layer) and
+// the request's trace id (for latency-histogram exemplars).
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status  int
+	traceID string
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -424,15 +510,34 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// setTraceID stamps the request's trace id onto the response recorder so
+// the metrics layer can attach it to the latency exemplar. Handlers call
+// it as soon as their trace exists; a non-recorder writer is a no-op.
+func setTraceID(w http.ResponseWriter, id string) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.traceID = id
+	}
+}
+
 // route wraps a handler with method filtering, drain gating, in-flight
-// tracking, body capping, and latency observation.
+// tracking, body capping, latency observation, and SLI recording.
 func (s *Server) route(name, method string, h http.HandlerFunc) http.HandlerFunc {
+	sli := dataPlaneEndpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() {
 			d := time.Since(start)
-			s.metrics.observe(name, rec.status, d)
+			s.metrics.observe(name, rec.status, d, rec.traceID, s.node)
+			if sli {
+				good := rec.status < 500
+				s.sloAvail.Record(good)
+				if good {
+					// Latency only counts answered requests: a fast 503 is an
+					// availability failure, not a latency success.
+					s.sloLatency.Record(d <= s.cfg.SLOLatencyObjective)
+				}
+			}
 			s.logger.Debug("request", "endpoint", name, "status", rec.status, "dur", d)
 		}()
 		// Last line of defense: a panic anywhere in a handler — including
@@ -510,22 +615,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reg.WriteText(w)
 }
 
-// handleTrace serves the span tree of one recent schedule decision: GET
-// /v1/trace/{id}, where {id} is the trace_id a /v1/schedule decision
-// carried. Traces live in a bounded ring buffer, so old IDs eventually 404.
+// handleSLOHealthz serves the SLO health verdict: ok, degraded (short-
+// window burn over budget), or critical (both windows burning hard).
+// Only critical maps to 503 — degraded is an alert, not an outage, and
+// load balancers polling this endpoint should not evict a node that is
+// still answering.
+func (s *Server) handleSLOHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.slos.Health()
+	status := http.StatusOK
+	if h.Status == slo.StateCritical {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// OnlineEventsResponse is the /v1/online/events body.
+type OnlineEventsResponse struct {
+	Events []online.Event `json:"events"`
+}
+
+// handleOnlineEvents serves the flywheel's transition timeline,
+// oldest-first, from the bounded event ring.
+func (s *Server) handleOnlineEvents(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.OnlineEvents == nil {
+		writeError(w, http.StatusServiceUnavailable, "online event log disabled (start layoutd with -online)")
+		return
+	}
+	writeJSON(w, http.StatusOK, OnlineEventsResponse{Events: s.cfg.OnlineEvents.Events()})
+}
+
+// handleTrace serves the span tree of one recent decision: GET
+// /v1/trace/{id}, where {id} is the trace_id a decision carried. In
+// cluster mode the node assembles the full distributed tree by fetching
+// each peer's fragment (bounded fan-out, per-peer timeout, breaker-aware)
+// and grafting them under the propagated parent spans; unreachable peers
+// mark the result incomplete rather than failing it. ?scope=local skips
+// assembly and serves only this node's fragment — the form peers use, so
+// fetches never recurse. Traces live in a bounded ring buffer, so old
+// IDs eventually 404.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
 	if id == "" || strings.ContainsRune(id, '/') {
 		writeError(w, http.StatusBadRequest, "trace id required: GET /v1/trace/{id}")
 		return
 	}
-	tr, ok := s.traces.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf(
-			"trace %q not found (never recorded, or evicted from the %d-trace ring)", id, s.traces.Capacity()))
+	// Failpoint for the partial-assembly test: serve.trace.delay hangs this
+	// node's answer past a caller's per-peer timeout.
+	if err := fault.Inject("serve.trace"); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, tr.Snapshot())
+	local, localOK := s.traces.Get(id)
+	if r.URL.Query().Get("scope") == "local" || s.cluster == nil || !telemetry.ValidTraceID(id) {
+		if !localOK {
+			writeError(w, http.StatusNotFound, fmt.Sprintf(
+				"trace %q not found (never recorded, or evicted from the %d-trace ring)", id, s.traces.Capacity()))
+			return
+		}
+		writeJSON(w, http.StatusOK, local.Snapshot())
+		return
+	}
+	var frags []telemetry.TraceJSON
+	if localOK {
+		frags = append(frags, local.Snapshot())
+	}
+	remote, incomplete := s.fetchPeerFragments(r.Context(), id)
+	frags = append(frags, remote...)
+	if len(frags) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf(
+			"trace %q not found on any reachable ring member", id))
+		return
+	}
+	out := telemetry.AssembleTrace(frags)
+	out.Incomplete = incomplete
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -554,8 +717,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every schedule request gets a decision trace; the completed span tree
 	// is retrievable at /v1/trace/{id} with the trace_id from the response.
-	ctx, tr, root := telemetry.NewTrace(r.Context(), "schedule",
+	// A request forwarded by a peer carries that peer's trace headers, so
+	// this node records a fragment of the SAME trace, parented under the
+	// sender's cluster.forward span.
+	ctx, tr, root := s.joinOrStartTrace(r, "schedule",
 		telemetry.String("policy", policy.String()))
+	setTraceID(w, tr.ID)
 	defer func() {
 		root.End()
 		tr.Finish()
@@ -580,6 +747,39 @@ func contextTraceID(ctx context.Context) string {
 		return tr.ID
 	}
 	return ""
+}
+
+// traceHeaders extracts a validated propagated trace id and parent span
+// wire id from a forwarded request. ok=false means no (or garbage)
+// propagation headers, and the handler should start a fresh trace.
+func (s *Server) traceHeaders(r *http.Request) (traceID, parent string, ok bool) {
+	tid := r.Header.Get(cluster.TraceHeader)
+	if !telemetry.ValidTraceID(tid) {
+		return "", "", false
+	}
+	return tid, r.Header.Get(cluster.ParentHeader), true
+}
+
+// joinOrStartTrace continues the sender's trace when valid propagation
+// headers rode the request, and starts a fresh one otherwise. Either way
+// the trace is stamped with the local node id so assembled cluster
+// traces attribute every span.
+func (s *Server) joinOrStartTrace(r *http.Request, name string, attrs ...telemetry.Attr) (context.Context, *telemetry.Trace, *telemetry.Span) {
+	if tid, parent, ok := s.traceHeaders(r); ok {
+		return telemetry.NewRemoteTrace(r.Context(), tid, parent, s.node, name, attrs...)
+	}
+	ctx, tr, root := telemetry.NewTrace(r.Context(), name, attrs...)
+	if s.node != "" {
+		tr.SetNode(s.node)
+	}
+	return ctx, tr, root
+}
+
+// observeDecision records one freshly computed decision's wall time,
+// attaching the request's trace id as a histogram exemplar so a slow
+// decision bucket links straight to its span tree.
+func (s *Server) observeDecision(ctx context.Context, d time.Duration) {
+	s.metrics.decision.ObserveExemplar(d.Seconds(), contextTraceID(ctx), s.node)
 }
 
 // scheduleProfile answers a profile-only request: with no data to measure,
@@ -665,7 +865,7 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 			writeScheduleError(w, err)
 			return
 		}
-		s.metrics.decision.Observe(time.Since(t0).Seconds())
+		s.observeDecision(r.Context(), time.Since(t0))
 		dj := NewDecisionJSON(dec)
 		dec.Release()
 		dj.TraceID = contextTraceID(r.Context())
@@ -675,6 +875,19 @@ func (s *Server) scheduleData(w http.ResponseWriter, r *http.Request, req Schedu
 	}
 
 	key := AppendKey(nil, feats, policy.String(), s.cfg.TopK)
+	if isForwarded(r.Context()) && s.cluster != nil {
+		if m, owned := s.cluster.Route(key); owned {
+			// Divergent membership views: the sender's ring said this node
+			// owns the key, ours disagrees. The forwarded marker already
+			// stops the loop — record that it did, so operators can see
+			// view skew in the trace instead of inferring it from hops.
+			_, lsp := telemetry.StartSpan(r.Context(), "forward.loop_averted",
+				telemetry.String("claimed_owner", m.ID))
+			lsp.End()
+			trace = append(trace, fmt.Sprintf(
+				"cluster: forwarded here but local ring says %s owns this key; deciding locally (loop averted)", m.ID))
+		}
+	}
 	if m, owned := s.routeOwner(r.Context(), key); owned {
 		if s.forwardSchedule(r.Context(), w, &req, policy, m) {
 			return
@@ -782,7 +995,7 @@ func (s *Server) decideInline(ctx context.Context, sched *core.Scheduler, b *spa
 		t0 := time.Now()
 		dec, err := sched.ChooseContext(mctx, b)
 		if err == nil {
-			s.metrics.decision.Observe(time.Since(t0).Seconds())
+			s.observeDecision(mctx, time.Since(t0))
 		}
 		if err != nil {
 			if isMeasurementFailure(err) {

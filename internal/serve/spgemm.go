@@ -254,8 +254,9 @@ func (s *Server) handleScheduleSpGEMM(w http.ResponseWriter, r *http.Request) {
 		r = r.WithContext(withForwarded(r.Context()))
 		s.forwardedServed.Add(1)
 	}
-	ctx, tr, root := telemetry.NewTrace(r.Context(), "schedule-spgemm",
+	ctx, tr, root := s.joinOrStartTrace(r, "schedule-spgemm",
 		telemetry.String("policy", policy.String()))
+	setTraceID(w, tr.ID)
 	defer func() {
 		root.End()
 		tr.Finish()

@@ -1,0 +1,90 @@
+package telemetry
+
+// Trace assembly: /v1/trace/{id} on a ring node collects the local fragment
+// plus every peer's fragment of the same trace id and merges them into one
+// tree. Fragments link to each other through wire ids (SpanWireID): a
+// fragment's RemoteParent names the span — on some other node — whose
+// outbound hop caused it. Wire ids are deterministic functions of
+// (trace id, node, span id), so the assembler recomputes them from each
+// fragment's snapshot; nothing beyond Node and RemoteParent crosses the wire.
+
+// AssembleTrace merges fragments of one distributed trace into a single
+// tree. The primary fragment is the first one without a remote parent (the
+// origin); remaining fragments are grafted under the spans their
+// RemoteParent wire ids name. A fragment whose parent span is missing (its
+// origin node was unreachable) is grafted under the primary root with a
+// link=unresolved attr rather than dropped. Span ids are renumbered
+// sequentially; start offsets are rebased onto the primary fragment's wall
+// clock. With zero fragments the zero TraceJSON is returned; with one, the
+// fragment is returned as-is.
+func AssembleTrace(frags []TraceJSON) TraceJSON {
+	if len(frags) == 0 {
+		return TraceJSON{}
+	}
+	if len(frags) == 1 {
+		return frags[0]
+	}
+	primary := 0
+	for i, f := range frags {
+		if f.RemoteParent == "" {
+			primary = i
+			break
+		}
+	}
+	order := make([]int, 0, len(frags))
+	order = append(order, primary)
+	for i := range frags {
+		if i != primary {
+			order = append(order, i)
+		}
+	}
+
+	out := TraceJSON{
+		TraceID: frags[primary].TraceID,
+		Start:   frags[primary].Start,
+		DurUs:   frags[primary].DurUs,
+	}
+	// First pass: assign new sequential ids and index every span's wire id.
+	wireToNew := make(map[string]int)
+	newID := 0
+	fragBase := make([]int, len(frags)) // first new id of each fragment
+	for _, fi := range order {
+		f := frags[fi]
+		fragBase[fi] = newID
+		for _, s := range f.Spans {
+			wireToNew[SpanWireID(f.TraceID, f.Node, s.ID)] = newID
+			newID++
+		}
+	}
+	// Second pass: emit spans with remapped parents and rebased offsets.
+	for _, fi := range order {
+		f := frags[fi]
+		base := fragBase[fi]
+		shiftUs := f.Start.Sub(frags[primary].Start).Microseconds()
+		for _, s := range f.Spans {
+			ns := s
+			ns.ID = base + s.ID
+			ns.StartUs = s.StartUs + shiftUs
+			if ns.Node == "" {
+				ns.Node = f.Node
+			}
+			switch {
+			case s.Parent >= 0:
+				ns.Parent = base + s.Parent
+			case fi == primary:
+				ns.Parent = -1
+			default:
+				// Fragment root: graft under the remote span that caused it.
+				if p, ok := wireToNew[f.RemoteParent]; ok && f.RemoteParent != "" {
+					ns.Parent = p
+				} else {
+					ns.Parent = 0
+					ns.AttrList = append(append([]string(nil), ns.AttrList...), "link=unresolved")
+				}
+			}
+			out.Spans = append(out.Spans, ns)
+		}
+		out.Dropped += f.Dropped
+	}
+	return out
+}

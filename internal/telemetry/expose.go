@@ -66,6 +66,15 @@ func labelString(labels []Label) string {
 	return b.String()
 }
 
+// exemplarString renders an exemplar's label set in OpenMetrics syntax:
+// always braced, even when empty.
+func exemplarString(e *Exemplar) string {
+	if len(e.Labels) == 0 {
+		return "{}"
+	}
+	return labelString(e.Labels)
+}
+
 // sortFamilies orders families by name and each family's samples by suffix
 // then label signature, making exposition output deterministic. Histogram
 // bucket samples keep their cumulative `le` order because the bounds ascend
@@ -103,6 +112,14 @@ func WriteFamilies(w io.Writer, fams []Family) error {
 			return err
 		}
 		for _, s := range f.Samples {
+			if s.Exemplar != nil {
+				if _, err := fmt.Fprintf(w, "%s%s%s %s # %s %s\n",
+					f.Name, s.Suffix, labelString(s.Labels), formatValue(s.Value),
+					exemplarString(s.Exemplar), formatValue(s.Exemplar.Value)); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(w, "%s%s%s %s\n",
 				f.Name, s.Suffix, labelString(s.Labels), formatValue(s.Value)); err != nil {
 				return err

@@ -35,11 +35,12 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // per-bucket (not cumulative) and accumulated at exposition time, where the
 // Prometheus `le` semantics require cumulative counts.
 type Histogram struct {
-	bounds  []float64      // ascending upper bounds; +Inf implicit
-	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
-	sumBits atomic.Uint64  // IEEE-754 bits of the observation sum
-	count   atomic.Int64
-	labels  []Label
+	bounds    []float64      // ascending upper bounds; +Inf implicit
+	counts    []atomic.Int64 // len(bounds)+1, last is +Inf
+	sumBits   atomic.Uint64  // IEEE-754 bits of the observation sum
+	count     atomic.Int64
+	labels    []Label
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last observation per bucket
 }
 
 func newHistogram(bounds []float64, labels []Label) *Histogram {
@@ -50,7 +51,12 @@ func newHistogram(bounds []float64, labels []Label) *Histogram {
 	if !sort.Float64sAreSorted(b) {
 		panic("telemetry: histogram buckets must ascend")
 	}
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1), labels: labels}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		labels:    labels,
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value. NaN observations are dropped: they would
@@ -59,7 +65,32 @@ func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
-	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.observe(v, sort.SearchFloat64s(h.bounds, v))
+}
+
+// ObserveExemplar records one value and retains (v, trace_id[, node]) as
+// the bucket's exemplar under an atomic slot — last observation wins, no
+// locking on the hot path. The exposition attaches it to the bucket line in
+// OpenMetrics `# {trace_id="..."}` syntax, so a latency spike in a scrape
+// links straight to the decision trace that caused it.
+func (h *Histogram) ObserveExemplar(v float64, traceID, node string) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if traceID != "" {
+		labels := make([]Label, 1, 2)
+		labels[0] = Label{Key: "trace_id", Value: traceID}
+		if node != "" {
+			labels = append(labels, Label{Key: "node", Value: node})
+		}
+		h.exemplars[i].Store(&Exemplar{Labels: labels, Value: v})
+	}
+	h.observe(v, i)
+}
+
+func (h *Histogram) observe(v float64, bucket int) {
+	h.counts[bucket].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -88,14 +119,15 @@ func (h *Histogram) samples() []Sample {
 	for i, ub := range h.bounds {
 		cum += h.counts[i].Load()
 		out = append(out, Sample{
-			Suffix: "_bucket",
-			Labels: append(copyLabels(h.labels), Label{Key: "le", Value: formatValue(ub)}),
-			Value:  float64(cum),
+			Suffix:   "_bucket",
+			Labels:   append(copyLabels(h.labels), Label{Key: "le", Value: formatValue(ub)}),
+			Value:    float64(cum),
+			Exemplar: h.exemplars[i].Load(),
 		})
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	out = append(out,
-		Sample{Suffix: "_bucket", Labels: append(copyLabels(h.labels), Label{Key: "le", Value: "+Inf"}), Value: float64(cum)},
+		Sample{Suffix: "_bucket", Labels: append(copyLabels(h.labels), Label{Key: "le", Value: "+Inf"}), Value: float64(cum), Exemplar: h.exemplars[len(h.bounds)].Load()},
 		Sample{Suffix: "_sum", Labels: h.labels, Value: h.Sum()},
 		Sample{Suffix: "_count", Labels: h.labels, Value: float64(cum)},
 	)

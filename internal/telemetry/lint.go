@@ -20,7 +20,11 @@ import (
 //   - no duplicate series (same name and label set twice);
 //   - histogram families have _sum and _count, bucket counts are
 //     cumulative (non-decreasing in le order), and the +Inf bucket equals
-//     _count.
+//     _count;
+//   - OpenMetrics exemplars (`# {trace_id="..."} value` after a sample)
+//     appear only on histogram _bucket lines, carry well-formed labels, a
+//     16-hex trace_id when one is present, and a value satisfying the
+//     bucket's le bound.
 //
 // A nil return means the payload is well-formed.
 func Lint(r io.Reader) []error {
@@ -118,7 +122,17 @@ func (l *linter) line(n int, s string) {
 		}
 		return
 	}
-	m := sampleRe.FindStringSubmatch(s)
+	// OpenMetrics exemplar: "<sample> # {labels} value". Split it off before
+	// the sample regex, which predates exemplars. A ` # {` inside a quoted
+	// label value would misfire the cut, so fall back to the whole line when
+	// the prefix no longer parses as a sample.
+	sample, exemplar := s, ""
+	if i := strings.LastIndex(s, " # {"); i >= 0 {
+		if sampleRe.MatchString(s[:i]) {
+			sample, exemplar = s[:i], s[i+len(" # "):]
+		}
+	}
+	m := sampleRe.FindStringSubmatch(sample)
 	if m == nil {
 		l.errorf(n, "unparseable sample line: %q", s)
 		return
@@ -152,6 +166,52 @@ func (l *linter) line(n int, s string) {
 
 	if l.types[fam] == "histogram" {
 		l.histSample(n, fam, name, labels, val)
+	}
+	if exemplar != "" {
+		l.exemplar(n, fam, name, labels, exemplar)
+	}
+}
+
+// exemplar validates one OpenMetrics exemplar block attached to a sample:
+// ex is `{labels} value`. Exemplars are only emitted on histogram bucket
+// lines here, and an exemplar that does not satisfy its bucket's le bound
+// points at a recording bug.
+func (l *linter) exemplar(n int, fam, name string, labels []Label, ex string) {
+	if l.types[fam] != "histogram" || !strings.HasSuffix(name, "_bucket") {
+		l.errorf(n, "%s: exemplar on a non-bucket sample", name)
+		return
+	}
+	close := strings.Index(ex, "}")
+	if !strings.HasPrefix(ex, "{") || close < 0 {
+		l.errorf(n, "%s: malformed exemplar %q", name, ex)
+		return
+	}
+	block, rest := ex[:close+1], strings.TrimSpace(ex[close+1:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value, optional timestamp
+		l.errorf(n, "%s: malformed exemplar %q", name, ex)
+		return
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		l.errorf(n, "%s: bad exemplar value %q", name, fields[0])
+		return
+	}
+	exLabels, ok := l.parseLabels(n, name, block)
+	if !ok {
+		return
+	}
+	for _, lab := range exLabels {
+		if lab.Key == "trace_id" && !ValidTraceID(lab.Value) {
+			l.errorf(n, "%s: exemplar trace_id %q is not 16 hex chars", name, lab.Value)
+		}
+	}
+	for _, lab := range labels {
+		if lab.Key == "le" {
+			if bound, err := parseValue(lab.Value); err == nil && v > bound {
+				l.errorf(n, "%s: exemplar value %g exceeds bucket le=%q", name, v, lab.Value)
+			}
+		}
 	}
 }
 

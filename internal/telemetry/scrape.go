@@ -77,8 +77,12 @@ func ParseHistogram(text, name string, match map[string]string) (HistogramSnapsh
 }
 
 // splitSample separates "name{labels} value" (or "name value") into the
-// metric part and its float value.
+// metric part and its float value, dropping any trailing OpenMetrics
+// exemplar (` # {...} value`) first.
 func splitSample(line string) (string, float64, bool) {
+	if i := strings.LastIndex(line, " # {"); i >= 0 {
+		line = line[:i]
+	}
 	i := strings.LastIndexByte(line, ' ')
 	if i < 0 {
 		return "", 0, false
@@ -88,6 +92,60 @@ func splitSample(line string) (string, float64, bool) {
 		return "", 0, false
 	}
 	return strings.TrimSpace(line[:i]), v, true
+}
+
+// ScrapedExemplar is one exemplar parsed back out of an exposition payload:
+// which bucket series carried it and the (trace_id, node, value) it retains.
+type ScrapedExemplar struct {
+	Series  map[string]string // the bucket sample's labels, including le
+	TraceID string
+	Node    string
+	Value   float64
+}
+
+// ParseExemplars extracts the exemplars attached to name's _bucket lines in
+// a text exposition payload — the hook cmd/loadgen uses to turn a blown p99
+// into the trace ids of the slow decisions.
+func ParseExemplars(text, name string) []ScrapedExemplar {
+	var out []ScrapedExemplar
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prefix := name + "_bucket"
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		cut := strings.LastIndex(line, " # {")
+		if cut < 0 {
+			continue
+		}
+		metric, _, ok := splitSample(line)
+		if !ok {
+			continue
+		}
+		base, labels := splitMetricLabels(metric)
+		if base != prefix {
+			continue
+		}
+		ex := line[cut+len(" # "):]
+		close := strings.IndexByte(ex, '}')
+		if close < 0 {
+			continue
+		}
+		_, exLabels := splitMetricLabels("x" + ex[:close+1])
+		v, err := strconv.ParseFloat(strings.TrimSpace(ex[close+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, ScrapedExemplar{
+			Series:  labels,
+			TraceID: exLabels["trace_id"],
+			Node:    exLabels["node"],
+			Value:   v,
+		})
+	}
+	return out
 }
 
 // splitMetricLabels separates a metric name from its label map. Label

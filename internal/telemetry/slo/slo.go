@@ -1,0 +1,327 @@
+// Package slo tracks service-level objectives with multi-window burn
+// rates, the way production alerting does (Google SRE workbook ch. 5): each
+// SLI is a stream of good/bad events counted into two sliding windows — a
+// short one that reacts fast and a long one that filters blips — and the
+// burn rate over a window is
+//
+//	burn = (bad / total) / (1 - target)
+//
+// i.e. how many times faster than the error budget the service is burning.
+// burn = 1 means exactly on budget; burn = 10 on a 99.9% objective means
+// 1% of events are bad. State thresholds combine the windows: a short-window
+// spike alone marks the SLO degraded, and only a spike the long window
+// corroborates (sustained burn) escalates to critical — so a young process
+// or a brief fault storm degrades without paging-grade noise, which is the
+// whole point of multi-window burn alerting.
+//
+// Recording is mutex-per-SLO and O(1); windows are fixed rings of
+// time-aligned buckets, so memory is constant and old events age out as the
+// clock (injectable for tests) advances past them.
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Defaults; Options fields override each independently.
+const (
+	DefShortWindow  = 5 * time.Minute
+	DefLongWindow   = time.Hour
+	DefDegradedBurn = 2.0
+	DefCriticalBurn = 10.0
+	windowBuckets   = 30
+)
+
+// States, ordered by severity.
+const (
+	StateOK       = "ok"
+	StateDegraded = "degraded"
+	StateCritical = "critical"
+)
+
+// Options configures a Tracker. The zero value means wall clock, 5m/1h
+// windows, and burn thresholds 2 (degraded) / 10 (critical).
+type Options struct {
+	Now          func() time.Time
+	ShortWindow  time.Duration
+	LongWindow   time.Duration
+	DegradedBurn float64
+	CriticalBurn float64
+}
+
+// window is a ring of time-aligned good/bad buckets covering span = width*n
+// of history. Callers hold the owning SLO's mutex.
+type window struct {
+	width time.Duration
+	good  []int64
+	bad   []int64
+	last  int64 // absolute bucket index the ring is rotated to
+}
+
+func newWindow(span time.Duration) *window {
+	w := &window{width: span / windowBuckets}
+	if w.width <= 0 {
+		w.width = time.Second
+	}
+	w.good = make([]int64, windowBuckets)
+	w.bad = make([]int64, windowBuckets)
+	return w
+}
+
+// rotate advances the ring to now, zeroing buckets whose time has passed.
+func (w *window) rotate(now time.Time) {
+	idx := now.UnixNano() / int64(w.width)
+	if idx <= w.last {
+		return
+	}
+	step := idx - w.last
+	if step > int64(len(w.good)) {
+		step = int64(len(w.good))
+	}
+	for i := int64(1); i <= step; i++ {
+		slot := (w.last + i) % int64(len(w.good))
+		w.good[slot], w.bad[slot] = 0, 0
+	}
+	w.last = idx
+}
+
+func (w *window) record(now time.Time, good bool) {
+	w.rotate(now)
+	slot := w.last % int64(len(w.good))
+	if good {
+		w.good[slot]++
+	} else {
+		w.bad[slot]++
+	}
+}
+
+func (w *window) totals(now time.Time) (good, bad int64) {
+	w.rotate(now)
+	for i := range w.good {
+		good += w.good[i]
+		bad += w.bad[i]
+	}
+	return good, bad
+}
+
+// SLO is one tracked objective. Create through Tracker.Add.
+type SLO struct {
+	name   string
+	target float64 // good-event fraction objective, e.g. 0.999
+
+	mu          sync.Mutex
+	short, long *window
+	goodTotal   int64
+	badTotal    int64
+	tr          *Tracker
+}
+
+// Tracker owns a set of SLOs sharing one clock and one set of thresholds,
+// and renders their combined health.
+type Tracker struct {
+	opts Options
+	mu   sync.Mutex
+	slos []*SLO
+}
+
+// NewTracker builds a tracker; zero-valued Options fields take defaults.
+func NewTracker(opts Options) *Tracker {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.ShortWindow <= 0 {
+		opts.ShortWindow = DefShortWindow
+	}
+	if opts.LongWindow <= 0 {
+		opts.LongWindow = DefLongWindow
+	}
+	if opts.DegradedBurn <= 0 {
+		opts.DegradedBurn = DefDegradedBurn
+	}
+	if opts.CriticalBurn <= 0 {
+		opts.CriticalBurn = DefCriticalBurn
+	}
+	return &Tracker{opts: opts}
+}
+
+// Add registers an SLO with a good-fraction target in (0, 1), e.g. 0.999
+// for three nines. It panics on a target outside that range or a duplicate
+// name — both wiring bugs.
+func (t *Tracker) Add(name string, target float64) *SLO {
+	if target <= 0 || target >= 1 {
+		panic(fmt.Sprintf("slo: target for %q must be in (0,1), got %g", name, target))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.slos {
+		if s.name == name {
+			panic("slo: duplicate SLO " + name)
+		}
+	}
+	s := &SLO{
+		name:   name,
+		target: target,
+		short:  newWindow(t.opts.ShortWindow),
+		long:   newWindow(t.opts.LongWindow),
+		tr:     t,
+	}
+	t.slos = append(t.slos, s)
+	return s
+}
+
+// Record counts one event against the SLO. Nil-safe so call sites need no
+// wiring guards.
+func (s *SLO) Record(good bool) {
+	if s == nil {
+		return
+	}
+	now := s.tr.opts.Now()
+	s.mu.Lock()
+	s.short.record(now, good)
+	s.long.record(now, good)
+	if good {
+		s.goodTotal++
+	} else {
+		s.badTotal++
+	}
+	s.mu.Unlock()
+}
+
+// burn computes the burn rate from window totals: error rate over the
+// window divided by the error budget. No traffic burns nothing.
+func burn(good, bad int64, target float64) float64 {
+	total := good + bad
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// Health is the JSON health summary: overall state (worst SLO wins) plus
+// per-SLO burn detail.
+type Health struct {
+	Status string      `json:"status"`
+	SLOs   []SLOHealth `json:"slos"`
+}
+
+// SLOHealth is one SLO's health detail.
+type SLOHealth struct {
+	Name      string  `json:"name"`
+	Status    string  `json:"status"`
+	Target    float64 `json:"target"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	GoodShort int64   `json:"good_short"`
+	BadShort  int64   `json:"bad_short"`
+	GoodTotal int64   `json:"good_total"`
+	BadTotal  int64   `json:"bad_total"`
+}
+
+func (s *SLO) health(now time.Time, degraded, critical float64) SLOHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs, bs := s.short.totals(now)
+	gl, bl := s.long.totals(now)
+	h := SLOHealth{
+		Name:      s.name,
+		Target:    s.target,
+		BurnShort: burn(gs, bs, s.target),
+		BurnLong:  burn(gl, bl, s.target),
+		GoodShort: gs,
+		BadShort:  bs,
+		GoodTotal: s.goodTotal,
+		BadTotal:  s.badTotal,
+	}
+	switch {
+	case h.BurnShort >= critical && h.BurnLong >= critical:
+		h.Status = StateCritical
+	case h.BurnShort >= degraded:
+		h.Status = StateDegraded
+	default:
+		h.Status = StateOK
+	}
+	return h
+}
+
+// Health snapshots every SLO and combines them: the overall status is the
+// worst individual one.
+func (t *Tracker) Health() Health {
+	now := t.opts.Now()
+	t.mu.Lock()
+	slos := append([]*SLO(nil), t.slos...)
+	t.mu.Unlock()
+	out := Health{Status: StateOK}
+	rank := map[string]int{StateOK: 0, StateDegraded: 1, StateCritical: 2}
+	for _, s := range slos {
+		h := s.health(now, t.opts.DegradedBurn, t.opts.CriticalBurn)
+		if rank[h.Status] > rank[out.Status] {
+			out.Status = h.Status
+		}
+		out.SLOs = append(out.SLOs, h)
+	}
+	return out
+}
+
+// stateValue maps a state to its gauge encoding: 0 ok, 1 degraded, 2 critical.
+func stateValue(state string) float64 {
+	switch state {
+	case StateCritical:
+		return 2
+	case StateDegraded:
+		return 1
+	}
+	return 0
+}
+
+// MetricFamilies renders the tracker as layoutd_slo_* exposition families
+// under the given prefix.
+func (t *Tracker) MetricFamilies(prefix string) []telemetry.Family {
+	h := t.Health()
+	burnF := telemetry.Family{
+		Name: prefix + "_slo_burn_rate",
+		Help: "Error-budget burn rate per SLO and window (1 = exactly on budget).",
+		Kind: telemetry.KindGauge,
+	}
+	stateF := telemetry.Family{
+		Name: prefix + "_slo_state",
+		Help: "Per-SLO state: 0 ok, 1 degraded, 2 critical.",
+		Kind: telemetry.KindGauge,
+	}
+	targetF := telemetry.Family{
+		Name: prefix + "_slo_target",
+		Help: "Good-event fraction objective per SLO.",
+		Kind: telemetry.KindGauge,
+	}
+	goodF := telemetry.Family{
+		Name: prefix + "_slo_good_total",
+		Help: "Lifetime good events per SLO.",
+		Kind: telemetry.KindCounter,
+	}
+	badF := telemetry.Family{
+		Name: prefix + "_slo_bad_total",
+		Help: "Lifetime bad events per SLO.",
+		Kind: telemetry.KindCounter,
+	}
+	for _, s := range h.SLOs {
+		sl := []telemetry.Label{{Key: "slo", Value: s.Name}}
+		burnF.Samples = append(burnF.Samples,
+			telemetry.Sample{Labels: append([]telemetry.Label{{Key: "slo", Value: s.Name}}, telemetry.Label{Key: "window", Value: "short"}), Value: s.BurnShort},
+			telemetry.Sample{Labels: append([]telemetry.Label{{Key: "slo", Value: s.Name}}, telemetry.Label{Key: "window", Value: "long"}), Value: s.BurnLong},
+		)
+		stateF.Samples = append(stateF.Samples, telemetry.Sample{Labels: sl, Value: stateValue(s.Status)})
+		targetF.Samples = append(targetF.Samples, telemetry.Sample{Labels: sl, Value: s.Target})
+		goodF.Samples = append(goodF.Samples, telemetry.Sample{Labels: sl, Value: float64(s.GoodTotal)})
+		badF.Samples = append(badF.Samples, telemetry.Sample{Labels: sl, Value: float64(s.BadTotal)})
+	}
+	overall := telemetry.Family{
+		Name:    prefix + "_slo_health",
+		Help:    "Overall SLO health: 0 ok, 1 degraded, 2 critical (worst SLO).",
+		Kind:    telemetry.KindGauge,
+		Samples: []telemetry.Sample{{Value: stateValue(h.Status)}},
+	}
+	return []telemetry.Family{badF, burnF, goodF, overall, stateF, targetF}
+}

@@ -2,10 +2,13 @@ package telemetry
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	mrand "math/rand/v2"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -27,6 +30,11 @@ func String(key, value string) Attr { return Attr{Key: key, Value: value} }
 
 // Int builds an integer attribute.
 func Int(key string, v int) Attr { return Attr{Key: key, Value: fmt.Sprint(v)} }
+
+// Float builds a float attribute in compact form.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
 
 // Dur builds a duration attribute.
 func Dur(key string, d time.Duration) Attr { return Attr{Key: key, Value: d.String()} }
@@ -51,26 +59,83 @@ type Span struct {
 type Trace struct {
 	ID string
 
-	mu       sync.Mutex
-	spans    []*Span
-	dropped  int
-	maxSpans int
-	start    time.Time
-	finished bool
+	mu           sync.Mutex
+	spans        []*Span
+	dropped      int
+	maxSpans     int
+	start        time.Time
+	finished     bool
+	node         string // cluster node that recorded this fragment ("" = standalone)
+	remoteParent string // wire id of the remote span that caused this fragment
 }
 
 type traceCtxKey struct{}
 
-// newTraceID returns 16 hex characters of cryptographic randomness — short
-// enough for log lines, unique enough for a bounded ring buffer.
-func newTraceID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal elsewhere; fall back to
-		// a time-derived ID rather than panicking on a telemetry path.
-		return fmt.Sprintf("%016x", time.Now().UnixNano())
+// tidPool holds per-use PCG generators, each seeded once from crypto/rand.
+// A pooled generator costs two atomic-ish pool ops plus one 64-bit step per
+// id — versus a syscall-backed crypto/rand read per decision on the old hot
+// path — while the crypto seed keeps ids process-unique across a ring.
+var tidPool = sync.Pool{New: func() any {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; seed from the
+		// clock rather than panicking on a telemetry path.
+		now := uint64(time.Now().UnixNano())
+		return mrand.NewPCG(now, now^0x9e3779b97f4a7c15)
 	}
-	return hex.EncodeToString(b[:])
+	return mrand.NewPCG(binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]))
+}}
+
+// NewTraceID returns a 16-hex-character trace id — short enough for log
+// lines, unique enough for a bounded ring buffer and for correlating
+// fragments across ring nodes.
+func NewTraceID() string {
+	g := tidPool.Get().(*mrand.PCG)
+	v := g.Uint64()
+	tidPool.Put(g)
+	return hex16(v)
+}
+
+func newTraceID() string { return NewTraceID() }
+
+// hex16 renders v as exactly 16 lowercase hex characters.
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ValidTraceID reports whether s is a well-formed wire id: exactly 16
+// lowercase hex characters. Both trace ids and span wire ids use this shape.
+func ValidTraceID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanWireID derives the 16-hex wire id of span id within a trace fragment
+// recorded on node. It is deterministic — fnv64a over (trace, node, id) —
+// so the assembler can recompute every fragment's wire ids from its
+// snapshot alone and no per-span id needs to cross the wire.
+func SpanWireID(traceID, node string, id int) string {
+	h := fnv.New64a()
+	h.Write([]byte(traceID))
+	h.Write([]byte{'|'})
+	h.Write([]byte(node))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.Itoa(id)))
+	return hex16(h.Sum64())
 }
 
 // NewTrace starts a trace with a root span of the given name and returns
@@ -83,12 +148,76 @@ func NewTrace(ctx context.Context, name string, attrs ...Attr) (context.Context,
 	return context.WithValue(ctx, traceCtxKey{}, root), t, root
 }
 
+// NewRemoteTrace starts a local fragment of a distributed trace: id is the
+// propagated 16-hex trace id and parent the wire id of the remote span that
+// caused this work (empty if the caller did not say). The fragment's root
+// span carries a node attr so assembled trees show which node ran what.
+// An invalid id is replaced with a fresh one, degrading to a local trace.
+func NewRemoteTrace(ctx context.Context, id, parent, node, name string, attrs ...Attr) (context.Context, *Trace, *Span) {
+	if !ValidTraceID(id) {
+		id = newTraceID()
+		parent = ""
+	}
+	if !ValidTraceID(parent) {
+		parent = ""
+	}
+	t := &Trace{ID: id, maxSpans: DefaultMaxSpans, start: time.Now(), node: node, remoteParent: parent}
+	if node != "" {
+		attrs = append(attrs, String("node", node))
+	}
+	root := &Span{trace: t, id: 0, parent: -1, name: name, start: t.start, attrs: attrs}
+	t.spans = append(t.spans, root)
+	return context.WithValue(ctx, traceCtxKey{}, root), t, root
+}
+
+// SetNode records which cluster node this trace belongs to and annotates
+// the root span with it. Call once, right after NewTrace; remote fragments
+// get their node from NewRemoteTrace instead.
+func (t *Trace) SetNode(node string) {
+	if t == nil || node == "" {
+		return
+	}
+	t.mu.Lock()
+	if t.node == "" {
+		t.node = node
+		if len(t.spans) > 0 {
+			t.spans[0].attrs = append(t.spans[0].attrs, String("node", node))
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Node returns the cluster node recorded on the trace ("" = standalone).
+func (t *Trace) Node() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node
+}
+
 // ContextTrace returns the trace riding ctx, or nil.
 func ContextTrace(ctx context.Context) *Trace {
 	if s, ok := ctx.Value(traceCtxKey{}).(*Span); ok {
 		return s.trace
 	}
 	return nil
+}
+
+// ContextTraceParent returns the propagation header values for the span
+// riding ctx: the trace id and the current span's wire id. ok is false on
+// a trace-free context.
+func ContextTraceParent(ctx context.Context) (traceID, spanID string, ok bool) {
+	s, ok := ctx.Value(traceCtxKey{}).(*Span)
+	if !ok {
+		return "", "", false
+	}
+	t := s.trace
+	t.mu.Lock()
+	node := t.node
+	t.mu.Unlock()
+	return t.ID, SpanWireID(t.ID, node, s.id), true
 }
 
 // StartSpan opens a child span under the span riding ctx and returns the
@@ -183,7 +312,8 @@ type SpanJSON struct {
 	ID       int      `json:"id"`
 	Parent   int      `json:"parent"` // -1 for the root
 	Name     string   `json:"name"`
-	StartUs  int64    `json:"start_us"` // offset from trace start
+	Node     string   `json:"node,omitempty"` // set on assembled cross-node trees
+	StartUs  int64    `json:"start_us"`       // offset from trace start
 	DurUs    int64    `json:"dur_us"`
 	Error    string   `json:"error,omitempty"`
 	Attrs    []Attr   `json:"-"`
@@ -191,20 +321,29 @@ type SpanJSON struct {
 }
 
 // TraceJSON is the wire form of a trace: the span tree flattened in id
-// order (parents always precede children).
+// order (in single-fragment snapshots parents always precede children;
+// assembled cross-node trees only guarantee the root is span 0).
 type TraceJSON struct {
 	TraceID string     `json:"trace_id"`
 	Start   time.Time  `json:"start"`
 	DurUs   int64      `json:"dur_us"` // root span duration
 	Spans   []SpanJSON `json:"spans"`
 	Dropped int        `json:"dropped_spans,omitempty"`
+	// Node and RemoteParent describe a fragment of a distributed trace:
+	// the node that recorded it and the wire id (SpanWireID) of the remote
+	// span that caused it. Both empty on standalone / origin traces.
+	Node         string `json:"node,omitempty"`
+	RemoteParent string `json:"remote_parent,omitempty"`
+	// Incomplete marks an assembled tree where at least one ring peer
+	// could not be consulted (down, hung past its timeout, or errored).
+	Incomplete bool `json:"incomplete,omitempty"`
 }
 
 // Snapshot renders the trace's current state as its wire form.
 func (t *Trace) Snapshot() TraceJSON {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := TraceJSON{TraceID: t.ID, Start: t.start, Dropped: t.dropped}
+	out := TraceJSON{TraceID: t.ID, Start: t.start, Dropped: t.dropped, Node: t.node, RemoteParent: t.remoteParent}
 	for _, s := range t.spans {
 		sj := SpanJSON{
 			ID:      s.id,

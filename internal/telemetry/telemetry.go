@@ -71,6 +71,18 @@ type Sample struct {
 	Suffix string
 	Labels []Label
 	Value  float64
+	// Exemplar, when non-nil, is appended to the sample line in OpenMetrics
+	// `# {label="..."} value` syntax. Only histogram _bucket samples carry
+	// exemplars here.
+	Exemplar *Exemplar
+}
+
+// Exemplar is one retained observation with trace attribution: the label
+// set (trace_id, optionally node) and the observed value. Histogram buckets
+// keep the last observation recorded through ObserveExemplar.
+type Exemplar struct {
+	Labels []Label
+	Value  float64
 }
 
 // Family is a named group of samples sharing one TYPE — the unit the

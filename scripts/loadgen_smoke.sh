@@ -43,3 +43,19 @@ done
     -targets "http://127.0.0.1:$PORT1,http://127.0.0.1:$PORT2,http://127.0.0.1:$PORT3" \
     -mode closed -concurrency 8 -classes 32 -warmup 1s -duration "$DURATION" \
     -assert-zero-5xx -max-p99 2s
+
+# SLO health: after a clean run every node's /v1/healthz must report
+# status "ok" — a degraded/critical verdict here means the burn-rate
+# windows saw failures the 5xx assertion somehow missed.
+for i in 1 2 3; do
+    port_var="PORT$i"
+    health=$(curl -fsS "http://127.0.0.1:${!port_var}/v1/healthz")
+    case "$health" in
+        *'"status":"ok"'*|*'"status": "ok"'*) ;;
+        *)
+            echo "node n$i /v1/healthz not ok after a clean run: $health" >&2
+            exit 1
+            ;;
+    esac
+done
+echo "loadgen_smoke: all 3 nodes report SLO health ok" >&2
